@@ -1,0 +1,70 @@
+// Shared workloads and helpers for the benchmark binaries.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cc/compiler.h"
+#include "config/cpu_config.h"
+#include "core/simulation.h"
+#include "server/api.h"
+
+namespace rvss::bench {
+
+/// The two interactive programs used by the paper's load test: one
+/// branchy integer sort, one floating-point kernel.
+inline const char* kSortC = R"(
+int arr[64];
+int main() {
+  for (int i = 0; i < 64; i++) arr[i] = (i * 37 + 11) % 101;
+  for (int i = 1; i < 64; i++) {
+    int key = arr[i];
+    int j = i - 1;
+    while (j >= 0 && arr[j] > key) { arr[j + 1] = arr[j]; j--; }
+    arr[j + 1] = key;
+  }
+  return arr[0] + arr[63];
+}
+)";
+
+inline const char* kFloatC = R"(
+float x[32]; float y[32];
+int main() {
+  for (int i = 0; i < 32; i++) { x[i] = (float)i * 0.25f; y[i] = (float)(32 - i); }
+  float acc = 0.0f;
+  for (int rep = 0; rep < 8; rep++)
+    for (int i = 0; i < 32; i++) acc += x[i] * y[i];
+  return (int)acc;
+}
+)";
+
+/// Compiles a C program and creates a simulation session for it on a
+/// server; returns the session id (or -1).
+inline std::int64_t CreateCSession(server::SimServer& server,
+                                   const std::string& cSource,
+                                   const config::CpuConfig& config) {
+  json::Json request = json::Json::MakeObject();
+  request.Set("command", "createSession");
+  request.Set("code", cSource);
+  request.Set("isC", true);
+  request.Set("optLevel", 2);
+  request.Set("config", config::ToJson(config));
+  json::Json response = server.Handle(request);
+  if (response.GetString("status", "") != "ok") {
+    std::fprintf(stderr, "session error: %s\n",
+                 response.GetString("message", "?").c_str());
+    return -1;
+  }
+  return response.GetInt("sessionId", -1);
+}
+
+inline double SecondsSince(
+    std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace rvss::bench

@@ -1,0 +1,93 @@
+// E2 — the paper's profiling conclusion (§IV-A): "about 60% of the request
+// handling time is consumed by working with the JSON format".
+//
+// Replays representative interactive `step` requests through the raw
+// byte-level server path and reports the time split between JSON work
+// (parse + serialize), the simulation itself, and compression.
+#include "bench_common.h"
+#include "server/slz.h"
+#include "server/state_renderer.h"
+
+using namespace rvss;
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int main() {
+  // Phase-by-phase measurement of one interactive `step` request:
+  //   parse request JSON -> advance the simulation one cycle ->
+  //   build the JSON state object -> serialize it -> compress it.
+  // "Working with the JSON format" (the paper's phrase) covers the
+  // request parse, the response-object construction and serialization.
+  std::vector<std::unique_ptr<core::Simulation>> sims;
+  for (const char* program : {bench::kSortC, bench::kFloatC}) {
+    auto compiled = cc::Compile(program, cc::CompileOptions{2});
+    sims.push_back(std::move(core::Simulation::Create(
+                                 config::DefaultConfig(),
+                                 compiled.value().assembly, {{}, "main"}))
+                       .value());
+  }
+
+  const std::string request = R"({"command": "step", "sessionId": 1})";
+  std::uint64_t parseNs = 0, simNs = 0, buildNs = 0, serializeNs = 0,
+                compressNs = 0;
+  std::size_t requests = 0;
+  for (int round = 0; round < 400; ++round) {
+    for (auto& sim : sims) {
+      if (sim->status() != core::SimStatus::kRunning) sim->Reset();
+      std::uint64_t t0 = NowNs();
+      auto parsed = json::Parse(request);
+      std::uint64_t t1 = NowNs();
+      sim->Step();
+      std::uint64_t t2 = NowNs();
+      json::Json state = server::RenderJson(*sim);
+      std::uint64_t t3 = NowNs();
+      std::string serialized = state.Dump();
+      std::uint64_t t4 = NowNs();
+      std::string compressed = server::SlzCompress(serialized);
+      std::uint64_t t5 = NowNs();
+      if (!parsed.ok() || compressed.empty()) return 1;
+      if (round < 20) continue;
+      parseNs += t1 - t0;
+      simNs += t2 - t1;
+      buildNs += t3 - t2;
+      serializeNs += t4 - t3;
+      compressNs += t5 - t4;
+      ++requests;
+    }
+  }
+
+  const double total = static_cast<double>(parseNs + simNs + buildNs +
+                                           serializeNs + compressNs);
+  std::printf("bench_json_overhead (E2) — request-handling time split\n");
+  std::printf("requests measured: %zu\n\n", requests);
+  std::printf("%-30s %10s %8s\n", "component", "us/req", "share");
+  auto row = [&](const char* name, std::uint64_t ns) {
+    std::printf("%-30s %10.1f %7.1f%%\n", name,
+                static_cast<double>(ns) / 1e3 / static_cast<double>(requests),
+                100.0 * static_cast<double>(ns) / total);
+  };
+  row("JSON parse (request)", parseNs);
+  row("simulation step", simNs);
+  row("JSON build (state object)", buildNs);
+  row("JSON serialize (response)", serializeNs);
+  row("compression (slz)", compressNs);
+  const double jsonShare =
+      static_cast<double>(parseNs + buildNs + serializeNs) / total;
+  const double jsonShareNoGzip =
+      static_cast<double>(parseNs + buildNs + serializeNs) /
+      static_cast<double>(parseNs + simNs + buildNs + serializeNs);
+  std::printf("\nJSON share of request handling:  %.1f%% (incl. compression "
+              "in total)\n", 100.0 * jsonShare);
+  std::printf("JSON share excluding compression: %.1f%%   [paper: ~60%%]\n",
+              100.0 * jsonShareNoGzip);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E4 — the paper's render cost (§IV): "Performance tests showed that
+// rendering typically takes around 80 ms" (web GUI, Lighthouse).
+//
+// Our GUI substitution renders the complete main-window state (JSON
+// snapshot + text layout); this bench reports the cost of both paths per
+// displayed cycle for small and medium pipeline states.
+#include "bench_common.h"
+#include "server/state_renderer.h"
+
+using namespace rvss;
+
+int main() {
+  std::printf("bench_render (E4) — full-state render cost per cycle\n\n");
+  std::printf("%-12s %10s %14s %14s %12s\n", "state", "cycles", "json [us]",
+              "text [us]", "json bytes");
+  struct Scenario {
+    const char* name;
+    const config::CpuConfig config;
+    const char* program;
+  };
+  const Scenario scenarios[] = {
+      {"small", config::ScalarConfig(), bench::kSortC},
+      {"medium", config::DefaultConfig(), bench::kSortC},
+      {"large", config::WideConfig(), bench::kFloatC},
+  };
+  for (const Scenario& scenario : scenarios) {
+    auto compiled = cc::Compile(scenario.program, cc::CompileOptions{2});
+    auto sim = core::Simulation::Create(scenario.config,
+                                        compiled.value().assembly,
+                                        {{}, "main"});
+    if (!sim.ok()) continue;
+    core::Simulation& s = *sim.value();
+    // Put the pipeline into a representative busy state.
+    for (int i = 0; i < 50; ++i) s.Step();
+
+    constexpr int kIterations = 400;
+    double jsonSeconds = 0, textSeconds = 0;
+    std::size_t jsonBytes = 0;
+    for (int i = 0; i < kIterations; ++i) {
+      s.Step();
+      auto t0 = std::chrono::steady_clock::now();
+      json::Json state = server::RenderJson(s);
+      std::string dumped = state.Dump();
+      jsonSeconds += bench::SecondsSince(t0);
+      jsonBytes += dumped.size();
+
+      auto t1 = std::chrono::steady_clock::now();
+      std::string text = server::RenderText(s);
+      textSeconds += bench::SecondsSince(t1);
+      if (text.empty()) return 1;  // keep the optimizer honest
+    }
+    std::printf("%-12s %10d %14.1f %14.1f %12zu\n", scenario.name, kIterations,
+                jsonSeconds / kIterations * 1e6,
+                textSeconds / kIterations * 1e6, jsonBytes / kIterations);
+  }
+  std::printf(
+      "\npaper: ~80 ms per browser render (React DOM); the simulator-side\n"
+      "snapshot above is the server share of that budget\n");
+  return 0;
+}

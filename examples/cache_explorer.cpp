@@ -1,0 +1,77 @@
+// Cache exploration — the paper's Memory/Cache settings tabs in action:
+// sweep capacity, associativity and replacement policy against a workload
+// with a known reuse pattern, and watch hit rate and cycle count respond.
+#include <cstdio>
+
+#include "cc/compiler.h"
+#include "config/cpu_config.h"
+#include "core/simulation.h"
+
+namespace {
+
+// Repeatedly walks a 2 KiB working set: fits in larger caches, thrashes
+// small ones; conflict misses appear at low associativity.
+const char* kWorkload = R"(
+int data[512];
+int main() {
+  int sum = 0;
+  for (int rep = 0; rep < 8; rep++)
+    for (int i = 0; i < 512; i += 8)
+      sum += ++data[i];
+  return sum;
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace rvss;
+  auto compiled = cc::Compile(kWorkload, cc::CompileOptions{2});
+  if (!compiled.ok()) return 1;
+
+  struct Variant {
+    const char* name;
+    std::uint32_t lineCount;
+    std::uint32_t associativity;
+    config::ReplacementPolicy policy;
+  };
+  const Variant variants[] = {
+      {"4 KiB, 8-way, LRU", 128, 8, config::ReplacementPolicy::kLru},
+      {"2 KiB, 4-way, LRU", 64, 4, config::ReplacementPolicy::kLru},
+      {"1 KiB, 2-way, LRU", 32, 2, config::ReplacementPolicy::kLru},
+      {"1 KiB, direct-mapped", 32, 1, config::ReplacementPolicy::kLru},
+      {"512 B, 2-way, LRU", 16, 2, config::ReplacementPolicy::kLru},
+      {"512 B, 2-way, FIFO", 16, 2, config::ReplacementPolicy::kFifo},
+      {"512 B, 2-way, Random", 16, 2, config::ReplacementPolicy::kRandom},
+  };
+
+  std::printf("%-24s %10s %10s %12s\n", "cache", "hit rate", "cycles",
+              "mem traffic");
+  for (const Variant& variant : variants) {
+    config::CpuConfig config = config::DefaultConfig();
+    config.cache.lineCount = variant.lineCount;
+    config.cache.lineSizeBytes = 32;
+    config.cache.associativity = variant.associativity;
+    config.cache.replacement = variant.policy;
+    auto sim = core::Simulation::Create(config, compiled.value().assembly,
+                                        {{}, "main"});
+    if (!sim.ok()) return 1;
+    sim.value()->Run();
+    const auto& memStats = sim.value()->memorySystem().stats();
+    std::printf("%-24s %9.1f%% %10llu %9llu B\n", variant.name,
+                100.0 * memStats.HitRate(),
+                static_cast<unsigned long long>(sim.value()->cycle()),
+                static_cast<unsigned long long>(memStats.bytesReadFromMemory +
+                                                memStats.bytesWrittenToMemory));
+  }
+  std::printf("\nno-cache baseline:\n");
+  {
+    auto sim = core::Simulation::Create(config::NoCacheConfig(),
+                                        compiled.value().assembly,
+                                        {{}, "main"});
+    sim.value()->Run();
+    std::printf("%-24s %10s %10llu\n", "disabled", "-",
+                static_cast<unsigned long long>(sim.value()->cycle()));
+  }
+  return 0;
+}

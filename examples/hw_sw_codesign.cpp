@@ -1,0 +1,99 @@
+// HW/SW co-design study — the paper's motivating question (§I-B): "Given
+// an algorithm, how should one design a processor and optimize the code
+// for the best performance?"
+//
+// Two implementations of the same reduction (a straightforward loop and a
+// 4-way unrolled version with independent accumulators) are compiled with
+// rvcc and run on three processor designs. The table shows how the code
+// transformation interacts with the architecture: unrolling barely helps
+// a scalar core but unlocks the wide core's parallelism.
+#include <cstdio>
+
+#include "cc/compiler.h"
+#include "config/cpu_config.h"
+#include "core/simulation.h"
+
+namespace {
+
+const char* kSimpleLoop = R"(
+int data[256];
+int main() {
+  for (int i = 0; i < 256; i++) data[i] = i * 3 - 128;
+  int sum = 0;
+  for (int i = 0; i < 256; i++) sum += data[i] * data[i];
+  return sum;
+}
+)";
+
+const char* kUnrolledLoop = R"(
+int data[256];
+int main() {
+  for (int i = 0; i < 256; i++) data[i] = i * 3 - 128;
+  int s0 = 0; int s1 = 0; int s2 = 0; int s3 = 0;
+  for (int i = 0; i < 256; i += 4) {
+    s0 += data[i] * data[i];
+    s1 += data[i + 1] * data[i + 1];
+    s2 += data[i + 2] * data[i + 2];
+    s3 += data[i + 3] * data[i + 3];
+  }
+  return s0 + s1 + s2 + s3;
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace rvss;
+
+  struct Arch {
+    const char* name;
+    config::CpuConfig config;
+  };
+  const Arch architectures[] = {
+      {"scalar (1-wide)", config::ScalarConfig()},
+      {"default (4-wide)", config::DefaultConfig()},
+      {"wide (8-wide)", config::WideConfig()},
+  };
+  struct Version {
+    const char* name;
+    const char* source;
+  };
+  const Version versions[] = {
+      {"simple loop", kSimpleLoop},
+      {"4-way unrolled", kUnrolledLoop},
+  };
+
+  std::printf("%-18s %-16s %10s %8s %10s %8s\n", "architecture", "code",
+              "cycles", "IPC", "wall [us]", "result");
+  for (const Arch& arch : architectures) {
+    for (const Version& version : versions) {
+      auto compiled = cc::Compile(version.source, cc::CompileOptions{2});
+      if (!compiled.ok()) {
+        std::fprintf(stderr, "compile: %s\n",
+                     compiled.error().ToText().c_str());
+        return 1;
+      }
+      auto sim = core::Simulation::Create(arch.config,
+                                          compiled.value().assembly,
+                                          {{}, "main"});
+      if (!sim.ok()) {
+        std::fprintf(stderr, "sim: %s\n", sim.error().ToText().c_str());
+        return 1;
+      }
+      sim.value()->Run();
+      const auto& stats = sim.value()->statistics();
+      std::printf("%-18s %-16s %10llu %8.3f %10.1f %8d\n", arch.name,
+                  version.name,
+                  static_cast<unsigned long long>(sim.value()->cycle()),
+                  stats.Ipc(),
+                  stats.WallTimeSeconds(arch.config.coreClockHz) * 1e6,
+                  static_cast<int>(static_cast<std::int32_t>(
+                      sim.value()->ReadIntReg(10))));
+    }
+  }
+  std::printf(
+      "\nreading: unrolling pays off only once the pipeline is wide enough\n"
+      "to exploit the independent accumulators — the co-design lesson the\n"
+      "simulator is built to teach.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Two-pass RISC-V assembler (paper §III-C).
+//
+// Pass 1 processes instructions and memory directives: lines are lexed,
+// pseudo-instructions expand, data directives assemble into a byte image,
+// and labels bind to positions. Memory allocation happens *between* the
+// passes (data labels need final addresses because instruction arguments
+// may contain arithmetic expressions such as `lla x4, arr+64`). Pass 2
+// evaluates every operand expression — including %hi()/%lo() relocation
+// operators and label arithmetic — and converts branch/jump targets to
+// PC-relative immediates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "assembler/program.h"
+#include "common/status.h"
+#include "isa/instruction_set.h"
+
+namespace rvss::assembler {
+
+struct AssembleOptions {
+  /// Memory address where the program's .data image is placed (above the
+  /// call stack and user-defined arrays).
+  std::uint32_t dataBase = 0;
+  /// Pre-resolved symbols (the paper's Memory Settings arrays, referenced
+  /// from C via `extern`). These shadow nothing: a duplicate label defined
+  /// in the program is an error.
+  std::map<std::string, std::uint32_t> externalSymbols;
+  /// Entry label; empty selects the first instruction.
+  std::string entryLabel;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(const isa::InstructionSet& isa = isa::InstructionSet::Default())
+      : isa_(isa) {}
+
+  /// Assembles `source` into a Program.
+  Result<Program> Assemble(std::string_view source,
+                           const AssembleOptions& options = {}) const;
+
+ private:
+  const isa::InstructionSet& isa_;
+};
+
+/// Evaluates an assembler operand expression: integers in any base, label
+/// names, `+ - *` arithmetic, parentheses, unary minus, and the `%hi()` /
+/// `%lo()` relocation operators. Exposed for the compiler-output filter
+/// and for tests.
+Result<std::int64_t> EvaluateOperandExpression(
+    std::string_view text, const std::map<std::string, std::uint32_t>& symbols,
+    std::uint32_t lineNo);
+
+}  // namespace rvss::assembler

@@ -1,0 +1,107 @@
+#include "assembler/filter.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "assembler/lexer.h"
+#include "common/strings.h"
+
+namespace rvss::assembler {
+namespace {
+
+const std::unordered_set<std::string_view>& DroppedDirectives() {
+  static const auto* kSet = new std::unordered_set<std::string_view>{
+      ".file", ".ident", ".option", ".attribute", ".type", ".size",
+      ".globl", ".global", ".local", ".weak",
+      ".cfi_startproc", ".cfi_endproc", ".cfi_offset",
+      ".cfi_def_cfa_offset", ".cfi_restore", ".cfi_def_cfa",
+      ".addrsig", ".addrsig_sym",
+  };
+  return *kSet;
+}
+
+bool IsSymbolStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+bool IsSymbolChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '$';
+}
+
+/// Collects every symbol-shaped token in an operand.
+void CollectSymbols(std::string_view operand, std::set<std::string>& out) {
+  std::size_t i = 0;
+  while (i < operand.size()) {
+    if (IsSymbolStart(operand[i])) {
+      std::size_t start = i;
+      while (i < operand.size() && IsSymbolChar(operand[i])) ++i;
+      out.insert(std::string(operand.substr(start, i - start)));
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
+std::string FilterAssembly(std::string_view source,
+                           const FilterOptions& options) {
+  auto lexed = LexSource(source);
+  if (!lexed.ok()) return std::string(source);  // malformed: pass through
+  const std::vector<Line>& lines = lexed.value();
+
+  // First sweep: find every referenced symbol.
+  std::set<std::string> referenced;
+  for (const Line& line : lines) {
+    if (line.mnemonic.empty() || line.mnemonic[0] == '.') {
+      // .word label references keep the label alive.
+      if (line.mnemonic == ".word") {
+        for (const std::string& operand : line.operands) {
+          CollectSymbols(operand, referenced);
+        }
+      }
+      continue;
+    }
+    for (const std::string& operand : line.operands) {
+      CollectSymbols(operand, referenced);
+    }
+  }
+
+  // Second sweep: emit surviving lines.
+  std::string out;
+  bool lastBlank = true;
+  for (const Line& line : lines) {
+    std::string text;
+
+    for (const std::string& label : line.labels) {
+      // Data labels and referenced code labels survive; compiler-internal
+      // unreferenced labels (.LC0 debris) are dropped.
+      if (referenced.contains(label) || !StartsWith(label, ".L")) {
+        text += label + ":\n";
+      }
+    }
+
+    if (!line.mnemonic.empty() &&
+        !DroppedDirectives().contains(line.mnemonic)) {
+      text += "    " + line.mnemonic;
+      for (std::size_t i = 0; i < line.operands.size(); ++i) {
+        text += i == 0 ? " " : ", ";
+        text += line.operands[i];
+      }
+      if (options.keepComments && !line.comment.empty()) {
+        text += "  # " + line.comment;
+      }
+      text += '\n';
+    }
+
+    if (text.empty()) continue;
+    lastBlank = false;
+    out += text;
+  }
+  (void)lastBlank;
+  return out;
+}
+
+}  // namespace rvss::assembler

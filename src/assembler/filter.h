@@ -1,0 +1,25 @@
+// Compiler-output filter (paper §III-C): "the assembler output may contain
+// a large amount of information that is redundant for the simulator and
+// also reduces the readability of the code. Therefore, the compiler output
+// is passed through a filter that removes unnecessary directives, labels,
+// and data."
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rvss::assembler {
+
+struct FilterOptions {
+  /// Keep comments (the C-line link tags survive filtering by default).
+  bool keepComments = true;
+};
+
+/// Returns a cleaned copy of `source`: metadata directives (.file, .ident,
+/// .cfi_*, .globl, ...) are dropped, labels that nothing references are
+/// removed, and blank-line runs collapse. Instructions, referenced labels
+/// and memory-definition directives always survive.
+std::string FilterAssembly(std::string_view source,
+                           const FilterOptions& options = {});
+
+}  // namespace rvss::assembler

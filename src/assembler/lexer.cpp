@@ -1,0 +1,157 @@
+#include "assembler/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace rvss::assembler {
+namespace {
+
+bool IsSymbolChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '$';
+}
+
+/// Splits the operand field on top-level commas, respecting parentheses
+/// and string literals.
+Result<std::vector<std::string>> SplitOperands(std::string_view text,
+                                               std::uint32_t lineNo) {
+  std::vector<std::string> operands;
+  std::string current;
+  int parenDepth = 0;
+  bool inString = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (inString) {
+      current += c;
+      if (c == '\\' && i + 1 < text.size()) {
+        current += text[++i];
+      } else if (c == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        inString = true;
+        current += c;
+        break;
+      case '(':
+        ++parenDepth;
+        current += c;
+        break;
+      case ')':
+        --parenDepth;
+        if (parenDepth < 0) {
+          return Error{ErrorKind::kParse, "unbalanced ')'",
+                       SourcePos{lineNo, static_cast<std::uint32_t>(i + 1)}};
+        }
+        current += c;
+        break;
+      case ',':
+        if (parenDepth == 0) {
+          operands.push_back(std::string(Trim(current)));
+          current.clear();
+        } else {
+          current += c;
+        }
+        break;
+      default:
+        current += c;
+    }
+  }
+  if (inString) {
+    return Error{ErrorKind::kParse, "unterminated string literal",
+                 SourcePos{lineNo, 0}};
+  }
+  if (parenDepth != 0) {
+    return Error{ErrorKind::kParse, "unbalanced '('", SourcePos{lineNo, 0}};
+  }
+  std::string_view last = Trim(current);
+  if (!last.empty()) operands.push_back(std::string(last));
+  if (!operands.empty() && operands.back().empty()) {
+    return Error{ErrorKind::kParse, "trailing comma in operand list",
+                 SourcePos{lineNo, 0}};
+  }
+  for (const std::string& op : operands) {
+    if (op.empty()) {
+      return Error{ErrorKind::kParse, "empty operand", SourcePos{lineNo, 0}};
+    }
+  }
+  return operands;
+}
+
+}  // namespace
+
+Result<std::vector<Line>> LexSource(std::string_view source) {
+  std::vector<Line> lines;
+  std::uint32_t lineNo = 0;
+  for (std::string_view raw : Split(source, '\n')) {
+    ++lineNo;
+
+    // Strip comments, but not inside string literals.
+    std::string code;
+    std::string comment;
+    bool inString = false;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      char c = raw[i];
+      if (inString) {
+        code += c;
+        if (c == '\\' && i + 1 < raw.size()) {
+          code += raw[++i];
+        } else if (c == '"') {
+          inString = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        inString = true;
+        code += c;
+        continue;
+      }
+      if (c == '#' ||
+          (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/')) {
+        comment = std::string(Trim(raw.substr(i + (c == '#' ? 1 : 2))));
+        break;
+      }
+      code += c;
+    }
+
+    Line line;
+    line.number = lineNo;
+    line.comment = std::move(comment);
+
+    std::string_view rest = Trim(code);
+    // Extract `label:` prefixes. A label is a symbol followed by ':'.
+    while (!rest.empty()) {
+      std::size_t len = 0;
+      while (len < rest.size() && IsSymbolChar(rest[len])) ++len;
+      if (len == 0 || len >= rest.size() || rest[len] != ':') break;
+      line.labels.push_back(std::string(rest.substr(0, len)));
+      rest = Trim(rest.substr(len + 1));
+    }
+
+    if (!rest.empty()) {
+      std::size_t len = 0;
+      while (len < rest.size() &&
+             !std::isspace(static_cast<unsigned char>(rest[len]))) {
+        ++len;
+      }
+      line.mnemonic = ToLower(rest.substr(0, len));
+      std::string_view operandText = Trim(rest.substr(len));
+      if (!operandText.empty()) {
+        auto operands = SplitOperands(operandText, lineNo);
+        if (!operands.ok()) return operands.error();
+        line.operands = std::move(operands).value();
+      }
+    }
+
+    if (!line.labels.empty() || !line.mnemonic.empty() ||
+        !line.comment.empty()) {
+      lines.push_back(std::move(line));
+    }
+  }
+  return lines;
+}
+
+}  // namespace rvss::assembler

@@ -1,0 +1,33 @@
+// Assembly-line lexer: splits source into labeled statements.
+//
+// The paper's first pass "divides the program text into language units
+// (tokens such as symbols, comments, or new lines)"; this lexer does that
+// per line, handling comments (# and //), any number of `label:` prefixes,
+// string literals with escapes, and comma-separated operands where an
+// operand may itself contain parentheses (`8(sp)`, `%hi(arr+4)`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rvss::assembler {
+
+/// One statement (at most one per line after label extraction).
+struct Line {
+  std::uint32_t number = 0;            ///< 1-based source line
+  std::vector<std::string> labels;     ///< labels defined on this line
+  std::string mnemonic;                ///< instruction or directive (".word");
+                                       ///< empty for label-only lines
+  std::vector<std::string> operands;   ///< raw operand texts, trimmed
+  std::string comment;                 ///< comment text without the marker
+};
+
+/// Lexes a whole source file. Fails on unterminated strings and stray
+/// characters; all other validation happens in the assembler passes.
+Result<std::vector<Line>> LexSource(std::string_view source);
+
+}  // namespace rvss::assembler

@@ -1,0 +1,50 @@
+#include "assembler/loader.h"
+
+#include "common/bitops.h"
+#include "isa/abi.h"
+
+namespace rvss::assembler {
+
+Result<LoadedProgram> LoadProgram(
+    std::string_view source, const std::vector<memory::ArrayDefinition>& arrays,
+    const config::CpuConfig& config, memory::MainMemory& memory,
+    std::string_view entryLabel, const isa::InstructionSet& isa) {
+  LoadedProgram loaded;
+
+  // 1. Place user arrays right above the call stack.
+  const std::uint32_t arraysBase = config.memory.callStackBytes;
+  RVSS_ASSIGN_OR_RETURN(
+      loaded.arrayLayout,
+      memory::ComputeLayout(arrays, arraysBase, memory.size()));
+
+  // 2. The program's own .data image follows, aligned.
+  const std::uint32_t dataBase = static_cast<std::uint32_t>(
+      AlignUp(loaded.arrayLayout.dataEnd, isa::kDataAlignment));
+
+  // 3. Assemble with array labels visible as external symbols.
+  AssembleOptions options;
+  options.dataBase = dataBase;
+  options.externalSymbols = loaded.arrayLayout.symbols;
+  options.entryLabel = std::string(entryLabel);
+  Assembler assembler(isa);
+  RVSS_ASSIGN_OR_RETURN(loaded.program, assembler.Assemble(source, options));
+
+  if (dataBase + loaded.program.dataImage.size() > memory.size()) {
+    return Error{ErrorKind::kInvalidArgument,
+                 "program data does not fit in memory"};
+  }
+
+  // 4. Populate memory: arrays, then the data image.
+  RVSS_ASSIGN_OR_RETURN(loaded.arrayLayout,
+                        memory::InitializeArrays(memory, arrays, arraysBase));
+  for (std::size_t i = 0; i < loaded.program.dataImage.size(); ++i) {
+    memory.Write8(dataBase + static_cast<std::uint32_t>(i),
+                  loaded.program.dataImage[i]);
+  }
+
+  loaded.initialSp = config.memory.callStackBytes;
+  loaded.initialRa = isa::kExitAddress;
+  return loaded;
+}
+
+}  // namespace rvss::assembler

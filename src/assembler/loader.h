@@ -1,0 +1,38 @@
+// Program loading: composes the memory map and assembles a program into it.
+//
+// Memory map (paper §III-C): the call stack sits at the beginning of
+// memory with `sp` (x2) pointing at its top; user-defined arrays from the
+// Memory Settings window come next; the program's own .data image follows,
+// 16-byte aligned. `ra` (x1) is initialised with the exit sentinel so that
+// returning from the entry routine ends the simulation.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "assembler/assembler.h"
+#include "assembler/program.h"
+#include "common/status.h"
+#include "config/cpu_config.h"
+#include "memory/main_memory.h"
+#include "memory/memory_initializer.h"
+
+namespace rvss::assembler {
+
+struct LoadedProgram {
+  Program program;
+  memory::MemoryLayout arrayLayout;  ///< user arrays (label -> address)
+  std::uint32_t initialSp = 0;       ///< top of the call stack
+  std::uint32_t initialRa = 0;       ///< exit sentinel
+};
+
+/// Assembles `source` against the memory map implied by `config` and
+/// `arrays`, and writes arrays + the program's data image into `memory`.
+/// `memory` must have been constructed with `config.memory.sizeBytes`.
+Result<LoadedProgram> LoadProgram(
+    std::string_view source, const std::vector<memory::ArrayDefinition>& arrays,
+    const config::CpuConfig& config, memory::MainMemory& memory,
+    std::string_view entryLabel = "",
+    const isa::InstructionSet& isa = isa::InstructionSet::Default());
+
+}  // namespace rvss::assembler

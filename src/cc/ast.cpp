@@ -1,0 +1,118 @@
+#include "cc/ast.h"
+
+namespace rvss::cc {
+namespace {
+
+TypePtr MakeScalar(TypeKind kind, std::uint32_t size, std::uint32_t align) {
+  auto type = std::make_shared<Type>();
+  type->kind = kind;
+  type->size = size;
+  type->align = align;
+  return type;
+}
+
+}  // namespace
+
+TypePtr VoidType() {
+  static const TypePtr kType = MakeScalar(TypeKind::kVoid, 0, 1);
+  return kType;
+}
+TypePtr CharType() {
+  static const TypePtr kType = MakeScalar(TypeKind::kChar, 1, 1);
+  return kType;
+}
+TypePtr IntType() {
+  static const TypePtr kType = MakeScalar(TypeKind::kInt, 4, 4);
+  return kType;
+}
+TypePtr UIntType() {
+  static const TypePtr kType = MakeScalar(TypeKind::kUInt, 4, 4);
+  return kType;
+}
+TypePtr FloatType() {
+  static const TypePtr kType = MakeScalar(TypeKind::kFloat, 4, 4);
+  return kType;
+}
+TypePtr DoubleType() {
+  static const TypePtr kType = MakeScalar(TypeKind::kDouble, 8, 8);
+  return kType;
+}
+
+TypePtr PointerTo(TypePtr base) {
+  auto type = std::make_shared<Type>();
+  type->kind = TypeKind::kPointer;
+  type->base = std::move(base);
+  type->size = 4;
+  type->align = 4;
+  return type;
+}
+
+TypePtr ArrayOf(TypePtr element, std::uint32_t length) {
+  auto type = std::make_shared<Type>();
+  type->kind = TypeKind::kArray;
+  type->size = element->size * length;
+  type->align = element->align;
+  type->base = std::move(element);
+  type->arrayLength = length;
+  return type;
+}
+
+TypePtr FunctionType(TypePtr returnType, std::vector<TypePtr> params) {
+  auto type = std::make_shared<Type>();
+  type->kind = TypeKind::kFunction;
+  type->base = std::move(returnType);
+  type->params = std::move(params);
+  type->size = 4;  // as a value: a code address
+  type->align = 4;
+  return type;
+}
+
+bool SameType(const Type& a, const Type& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case TypeKind::kPointer:
+      return SameType(*a.base, *b.base);
+    case TypeKind::kArray:
+      return a.arrayLength == b.arrayLength && SameType(*a.base, *b.base);
+    case TypeKind::kStruct:
+      return a.structName == b.structName && a.size == b.size;
+    case TypeKind::kFunction: {
+      if (!SameType(*a.base, *b.base) || a.params.size() != b.params.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < a.params.size(); ++i) {
+        if (!SameType(*a.params[i], *b.params[i])) return false;
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+std::string Type::ToText() const {
+  switch (kind) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kChar: return "char";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kUInt: return "unsigned";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kPointer: return base->ToText() + "*";
+    case TypeKind::kArray:
+      return base->ToText() + "[" + std::to_string(arrayLength) + "]";
+    case TypeKind::kStruct:
+      return "struct " + (structName.empty() ? "<anon>" : structName);
+    case TypeKind::kFunction: {
+      std::string out = base->ToText() + "(";
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += params[i]->ToText();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace rvss::cc

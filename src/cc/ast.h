@@ -1,0 +1,144 @@
+// rvcc type system and AST.
+//
+// A deliberately small C: void/char/int/unsigned/float/double, pointers,
+// arrays, structs and function pointers — enough to express the paper's
+// test workloads (quicksort, linked lists, dynamic dispatch through
+// function-pointer tables) and the HPC kernels the benches compile.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rvss::cc {
+
+enum class TypeKind : std::uint8_t {
+  kVoid, kChar, kInt, kUInt, kFloat, kDouble, kPointer, kArray, kStruct,
+  kFunction,
+};
+
+struct Type;
+using TypePtr = std::shared_ptr<Type>;
+
+struct StructMember {
+  std::string name;
+  TypePtr type;
+  std::uint32_t offset = 0;
+};
+
+struct Type {
+  TypeKind kind = TypeKind::kInt;
+  TypePtr base;                      ///< pointee / element / return type
+  std::uint32_t arrayLength = 0;     ///< kArray
+  std::string structName;            ///< kStruct (may be empty)
+  std::vector<StructMember> members; ///< kStruct
+  std::vector<TypePtr> params;       ///< kFunction
+  std::vector<std::string> paramNames;  ///< kFunction (empty for prototypes
+                                        ///< written without names)
+  std::uint32_t size = 4;            ///< sizeof
+  std::uint32_t align = 4;
+
+  bool IsInteger() const {
+    return kind == TypeKind::kChar || kind == TypeKind::kInt ||
+           kind == TypeKind::kUInt;
+  }
+  bool IsFloating() const {
+    return kind == TypeKind::kFloat || kind == TypeKind::kDouble;
+  }
+  bool IsArithmetic() const { return IsInteger() || IsFloating(); }
+  bool IsPointerLike() const {
+    return kind == TypeKind::kPointer || kind == TypeKind::kArray;
+  }
+
+  /// Printable form for diagnostics ("int*", "struct Node").
+  std::string ToText() const;
+};
+
+TypePtr VoidType();
+TypePtr CharType();
+TypePtr IntType();
+TypePtr UIntType();
+TypePtr FloatType();
+TypePtr DoubleType();
+TypePtr PointerTo(TypePtr base);
+TypePtr ArrayOf(TypePtr element, std::uint32_t length);
+TypePtr FunctionType(TypePtr returnType, std::vector<TypePtr> params);
+
+/// Structural compatibility (used for assignment/call checks).
+bool SameType(const Type& a, const Type& b);
+
+// ---------------------------------------------------------------------------
+
+enum class NodeKind : std::uint8_t {
+  // expressions
+  kIntLiteral, kFloatLiteral, kStringLiteral,
+  kVarRef, kAssign, kBinary, kUnary, kCond, kCall, kIndirectCall,
+  kMember, kDeref, kAddr, kCast, kComma, kPostIncDec,
+  // statements
+  kExprStmt, kCompound, kIf, kWhile, kDoWhile, kFor, kBreak, kContinue,
+  kReturn, kDeclStmt, kEmpty,
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// A local or global variable.
+struct Variable {
+  std::string name;
+  TypePtr type;
+  bool isGlobal = false;
+  bool isExtern = false;           ///< resolved against memory-settings arrays
+  std::int32_t frameOffset = 0;    ///< locals: offset from the frame pointer
+  std::vector<double> init;        ///< globals: initial values (flattened)
+  bool hasInit = false;
+  std::string stringInit;          ///< globals backed by a string literal
+};
+
+struct Node {
+  NodeKind kind;
+  SourcePos pos;
+  TypePtr type;  ///< expression result type (set during parsing)
+
+  // generic children
+  NodePtr lhs;
+  NodePtr rhs;
+  NodePtr cond;
+  NodePtr thenBranch;
+  NodePtr elseBranch;
+  NodePtr init;  ///< for-init
+  NodePtr step;  ///< for-step
+  std::vector<NodePtr> body;  ///< compound statements / call arguments
+
+  std::string op;             ///< binary/unary operator spelling
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+  Variable* var = nullptr;    ///< kVarRef
+  std::string callee;         ///< kCall
+  std::string memberName;     ///< kMember
+  std::uint32_t memberOffset = 0;
+  bool postfix = false;       ///< kPostIncDec: ++ vs --  via op
+
+  explicit Node(NodeKind k) : kind(k) {}
+};
+
+/// A parsed function definition.
+struct Function {
+  std::string name;
+  TypePtr type;  ///< kFunction
+  std::vector<Variable*> params;  ///< non-owning views into `locals`
+  std::vector<std::unique_ptr<Variable>> locals;  ///< includes params
+  NodePtr body;
+  std::uint32_t frameSize = 0;  ///< assigned by codegen
+  SourcePos pos;
+};
+
+/// A whole translation unit.
+struct TranslationUnit {
+  std::vector<std::unique_ptr<Function>> functions;
+  std::vector<std::unique_ptr<Variable>> globals;
+};
+
+}  // namespace rvss::cc

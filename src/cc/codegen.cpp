@@ -1,0 +1,874 @@
+#include "cc/codegen.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/strings.h"
+
+namespace rvss::cc {
+namespace {
+
+bool IsFloatKind(const TypePtr& type) {
+  return type->kind == TypeKind::kFloat || type->kind == TypeKind::kDouble;
+}
+
+/// Types whose "value" is their address (no load emitted).
+bool IsAddressValued(const TypePtr& type) {
+  return type->kind == TypeKind::kArray || type->kind == TypeKind::kStruct ||
+         type->kind == TypeKind::kFunction;
+}
+
+class CodeGenerator {
+ public:
+  explicit CodeGenerator(const TranslationUnit& unit) : unit_(unit) {}
+
+  Result<std::string> Run() {
+    text_ += ".text\n";
+    for (const auto& function : unit_.functions) {
+      RVSS_RETURN_IF_ERROR(GenFunction(*function));
+    }
+    EmitDataSection();
+    return text_ + data_;
+  }
+
+ private:
+  // ---- emission -------------------------------------------------------------
+  void Emit(const std::string& instr) {
+    text_ += "    " + instr;
+    if (cLine_ > 0) text_ += "  #@c " + std::to_string(cLine_);
+    text_ += '\n';
+  }
+  void EmitLabel(const std::string& label) { text_ += label + ":\n"; }
+  std::string NewLabel(const char* stem) {
+    return StrFormat(".L%s%u", stem, labelCounter_++);
+  }
+
+  Error Unsupported(std::string message, SourcePos pos) const {
+    return Error{ErrorKind::kUnsupported, std::move(message), pos};
+  }
+
+  // ---- stack helpers ---------------------------------------------------------
+  void Push() {
+    Emit("addi sp, sp, -4");
+    Emit("sw a0, 0(sp)");
+  }
+  void Pop(const char* reg) {
+    Emit(StrFormat("lw %s, 0(sp)", reg));
+    Emit("addi sp, sp, 4");
+  }
+  void PushF(const TypePtr& type) {
+    if (type->kind == TypeKind::kDouble) {
+      Emit("addi sp, sp, -8");
+      Emit("fsd fa0, 0(sp)");
+    } else {
+      Emit("addi sp, sp, -4");
+      Emit("fsw fa0, 0(sp)");
+    }
+  }
+  void PopF(const char* reg, const TypePtr& type) {
+    if (type->kind == TypeKind::kDouble) {
+      Emit(StrFormat("fld %s, 0(sp)", reg));
+      Emit("addi sp, sp, 8");
+    } else {
+      Emit(StrFormat("flw %s, 0(sp)", reg));
+      Emit("addi sp, sp, 4");
+    }
+  }
+
+  // ---- loads and stores -------------------------------------------------------
+  /// Loads the value at address a0 into a0 / fa0.
+  void Load(const TypePtr& type) {
+    if (IsAddressValued(type)) return;  // address *is* the value
+    switch (type->kind) {
+      case TypeKind::kChar: Emit("lb a0, 0(a0)"); break;
+      case TypeKind::kFloat: Emit("flw fa0, 0(a0)"); break;
+      case TypeKind::kDouble: Emit("fld fa0, 0(a0)"); break;
+      default: Emit("lw a0, 0(a0)"); break;
+    }
+  }
+
+  /// Stores a0 / fa0 to the address in a1.
+  Status Store(const TypePtr& type, SourcePos pos) {
+    switch (type->kind) {
+      case TypeKind::kChar: Emit("sb a0, 0(a1)"); break;
+      case TypeKind::kFloat: Emit("fsw fa0, 0(a1)"); break;
+      case TypeKind::kDouble: Emit("fsd fa0, 0(a1)"); break;
+      case TypeKind::kStruct:
+        return Unsupported("struct assignment is not supported by rvcc", pos);
+      default: Emit("sw a0, 0(a1)"); break;
+    }
+    return Status::Ok();
+  }
+
+  // ---- addresses ---------------------------------------------------------------
+  Status GenAddr(const Node& node) {
+    switch (node.kind) {
+      case NodeKind::kVarRef:
+        if (node.var == nullptr) {
+          // Function designator.
+          Emit("la a0, " + node.memberName);
+          return Status::Ok();
+        }
+        if (node.var->isGlobal) {
+          Emit("la a0, " + node.var->name);
+        } else {
+          const std::int32_t offset = node.var->frameOffset;
+          if (offset >= -2048 && offset <= 2047) {
+            Emit(StrFormat("addi a0, s0, %d", offset));
+          } else {
+            Emit(StrFormat("li a0, %d", offset));
+            Emit("add a0, s0, a0");
+          }
+        }
+        return Status::Ok();
+      case NodeKind::kDeref:
+        return GenExpr(*node.lhs);
+      case NodeKind::kMember: {
+        // node.postfix marks '->' (base is a pointer value).
+        if (node.postfix) {
+          RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+        } else {
+          RVSS_RETURN_IF_ERROR(GenAddr(*node.lhs));
+        }
+        if (node.memberOffset != 0) {
+          Emit(StrFormat("addi a0, a0, %u", node.memberOffset));
+        }
+        return Status::Ok();
+      }
+      case NodeKind::kStringLiteral: {
+        const std::string label = InternString(node.memberName);
+        Emit("la a0, " + label);
+        return Status::Ok();
+      }
+      default:
+        return Unsupported("expression is not addressable", node.pos);
+    }
+  }
+
+  // ---- conversions ----------------------------------------------------------
+  void Convert(const TypePtr& from, const TypePtr& to) {
+    if (SameType(*from, *to)) return;
+    auto kindOf = [](const TypePtr& t) { return t->kind; };
+    const TypeKind f = kindOf(from);
+    const TypeKind t = kindOf(to);
+    auto isIntish = [](TypeKind k) {
+      return k == TypeKind::kChar || k == TypeKind::kInt ||
+             k == TypeKind::kUInt || k == TypeKind::kPointer ||
+             k == TypeKind::kArray || k == TypeKind::kFunction;
+    };
+    if (isIntish(f) && isIntish(t)) {
+      if (t == TypeKind::kChar) {
+        Emit("slli a0, a0, 24");
+        Emit("srai a0, a0, 24");
+      }
+      return;
+    }
+    if (isIntish(f) && t == TypeKind::kFloat) {
+      Emit(f == TypeKind::kUInt ? "fcvt.s.wu fa0, a0" : "fcvt.s.w fa0, a0");
+      return;
+    }
+    if (isIntish(f) && t == TypeKind::kDouble) {
+      Emit(f == TypeKind::kUInt ? "fcvt.d.wu fa0, a0" : "fcvt.d.w fa0, a0");
+      return;
+    }
+    if (f == TypeKind::kFloat && isIntish(t)) {
+      Emit(t == TypeKind::kUInt ? "fcvt.wu.s a0, fa0, rtz"
+                                : "fcvt.w.s a0, fa0, rtz");
+      if (t == TypeKind::kChar) {
+        Emit("slli a0, a0, 24");
+        Emit("srai a0, a0, 24");
+      }
+      return;
+    }
+    if (f == TypeKind::kDouble && isIntish(t)) {
+      Emit(t == TypeKind::kUInt ? "fcvt.wu.d a0, fa0, rtz"
+                                : "fcvt.w.d a0, fa0, rtz");
+      if (t == TypeKind::kChar) {
+        Emit("slli a0, a0, 24");
+        Emit("srai a0, a0, 24");
+      }
+      return;
+    }
+    if (f == TypeKind::kFloat && t == TypeKind::kDouble) {
+      Emit("fcvt.d.s fa0, fa0");
+      return;
+    }
+    if (f == TypeKind::kDouble && t == TypeKind::kFloat) {
+      Emit("fcvt.s.d fa0, fa0");
+      return;
+    }
+  }
+
+  /// Turns the current a0/fa0 value of type `type` into a 0/1 truth value
+  /// in a0.
+  void Truthify(const TypePtr& type) {
+    if (type->kind == TypeKind::kFloat) {
+      Emit("fmv.w.x fa1, x0");
+      Emit("feq.s a0, fa0, fa1");
+      Emit("xori a0, a0, 1");
+    } else if (type->kind == TypeKind::kDouble) {
+      Emit("fcvt.d.w fa1, x0");
+      Emit("feq.d a0, fa0, fa1");
+      Emit("xori a0, a0, 1");
+    } else {
+      Emit("snez a0, a0");
+    }
+  }
+
+  // ---- expressions ------------------------------------------------------------
+  Status GenExpr(const Node& node) {
+    const std::int32_t savedLine = cLine_;
+    if (node.pos.line != 0) cLine_ = static_cast<std::int32_t>(node.pos.line);
+    Status status = GenExprInner(node);
+    cLine_ = savedLine;
+    return status;
+  }
+
+  Status GenExprInner(const Node& node) {
+    switch (node.kind) {
+      case NodeKind::kIntLiteral:
+        Emit(StrFormat("li a0, %lld", static_cast<long long>(node.intValue)));
+        return Status::Ok();
+      case NodeKind::kFloatLiteral: {
+        const std::string label = InternFloat(node.floatValue,
+                                              node.type->kind == TypeKind::kDouble);
+        Emit(StrFormat("%s fa0, %s, t6",
+                       node.type->kind == TypeKind::kDouble ? "fld" : "flw",
+                       label.c_str()));
+        return Status::Ok();
+      }
+      case NodeKind::kStringLiteral:
+      case NodeKind::kAddr:
+        return node.kind == NodeKind::kAddr ? GenAddr(*node.lhs)
+                                            : GenAddr(node);
+      case NodeKind::kVarRef:
+        RVSS_RETURN_IF_ERROR(GenAddr(node));
+        Load(node.type);
+        return Status::Ok();
+      case NodeKind::kDeref:
+        RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+        Load(node.type);
+        return Status::Ok();
+      case NodeKind::kMember:
+        RVSS_RETURN_IF_ERROR(GenAddr(node));
+        Load(node.type);
+        return Status::Ok();
+      case NodeKind::kComma:
+        RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+        return GenExpr(*node.rhs);
+      case NodeKind::kCast:
+        RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+        Convert(node.lhs->type, node.type);
+        return Status::Ok();
+      case NodeKind::kAssign:
+        return GenAssign(node);
+      case NodeKind::kBinary:
+        return GenBinary(node);
+      case NodeKind::kUnary:
+        return GenUnary(node);
+      case NodeKind::kCond: {
+        const std::string elseLabel = NewLabel("cond.else");
+        const std::string endLabel = NewLabel("cond.end");
+        RVSS_RETURN_IF_ERROR(GenExpr(*node.cond));
+        Truthify(node.cond->type);
+        Emit("beqz a0, " + elseLabel);
+        RVSS_RETURN_IF_ERROR(GenExpr(*node.thenBranch));
+        Emit("j " + endLabel);
+        EmitLabel(elseLabel);
+        RVSS_RETURN_IF_ERROR(GenExpr(*node.elseBranch));
+        EmitLabel(endLabel);
+        return Status::Ok();
+      }
+      case NodeKind::kCall:
+      case NodeKind::kIndirectCall:
+        return GenCall(node);
+      case NodeKind::kPostIncDec:
+        return GenPostIncDec(node);
+      default:
+        return Unsupported("cannot generate code for this expression",
+                           node.pos);
+    }
+  }
+
+  Status GenAssign(const Node& node) {
+    const TypePtr& type = node.lhs->type;
+    if (node.op == "=") {
+      RVSS_RETURN_IF_ERROR(GenExpr(*node.rhs));
+      if (IsFloatKind(type)) {
+        PushF(type);
+        RVSS_RETURN_IF_ERROR(GenAddr(*node.lhs));
+        Emit("mv a1, a0");
+        PopF("fa0", type);
+      } else {
+        Push();
+        RVSS_RETURN_IF_ERROR(GenAddr(*node.lhs));
+        Emit("mv a1, a0");
+        Pop("a0");
+      }
+      return Store(type, node.pos);
+    }
+
+    // Compound assignment: evaluate rhs, reload lhs, combine, store back.
+    const std::string op = node.op.substr(0, node.op.size() - 1);
+    RVSS_RETURN_IF_ERROR(GenExpr(*node.rhs));
+    if (IsFloatKind(type)) {
+      PushF(type);
+      RVSS_RETURN_IF_ERROR(GenAddr(*node.lhs));
+      Emit("mv a1, a0");
+      Emit(type->kind == TypeKind::kDouble ? "fld fa0, 0(a1)"
+                                           : "flw fa0, 0(a1)");
+      PopF("fa1", type);
+      const char* suffix = type->kind == TypeKind::kDouble ? "d" : "s";
+      if (op == "+") Emit(StrFormat("fadd.%s fa0, fa0, fa1", suffix));
+      else if (op == "-") Emit(StrFormat("fsub.%s fa0, fa0, fa1", suffix));
+      else if (op == "*") Emit(StrFormat("fmul.%s fa0, fa0, fa1", suffix));
+      else if (op == "/") Emit(StrFormat("fdiv.%s fa0, fa0, fa1", suffix));
+      else return Unsupported("bad compound operator on float", node.pos);
+      return Store(type, node.pos);
+    }
+
+    Push();  // rhs
+    RVSS_RETURN_IF_ERROR(GenAddr(*node.lhs));
+    Emit("mv a1, a0");
+    Load(type);  // clobbers a0 only; a1 keeps the address
+    // NB: Load() reads through a0; reload through a1 instead:
+    // (Load() emitted "l? a0, 0(a0)" — but a0 held the address before the
+    // mv, so the sequence above loads correctly via a0. Keep a1 as the
+    // store target.)
+    Pop("a2");  // rhs value
+
+    // Pointer arithmetic scaling for p += n / p -= n.
+    if (type->IsPointerLike() && (op == "+" || op == "-")) {
+      const std::uint32_t size = type->base->size;
+      if (size > 1) {
+        if (IsPowerOfTwo(size)) {
+          Emit(StrFormat("slli a2, a2, %u", Log2(size)));
+        } else {
+          Emit(StrFormat("li a3, %u", size));
+          Emit("mul a2, a2, a3");
+        }
+      }
+    }
+    const bool isUnsigned = type->kind == TypeKind::kUInt;
+    if (op == "+") Emit("add a0, a0, a2");
+    else if (op == "-") Emit("sub a0, a0, a2");
+    else if (op == "*") Emit("mul a0, a0, a2");
+    else if (op == "/") Emit(isUnsigned ? "divu a0, a0, a2" : "div a0, a0, a2");
+    else if (op == "%") Emit(isUnsigned ? "remu a0, a0, a2" : "rem a0, a0, a2");
+    else if (op == "&") Emit("and a0, a0, a2");
+    else if (op == "|") Emit("or a0, a0, a2");
+    else if (op == "^") Emit("xor a0, a0, a2");
+    else if (op == "<<") Emit("sll a0, a0, a2");
+    else if (op == ">>") Emit(isUnsigned ? "srl a0, a0, a2" : "sra a0, a0, a2");
+    else return Unsupported("bad compound operator", node.pos);
+    return Store(type, node.pos);
+  }
+
+  Status GenBinary(const Node& node) {
+    const std::string& op = node.op;
+
+    if (op == "&&" || op == "||") {
+      const std::string shortLabel = NewLabel("sc");
+      const std::string endLabel = NewLabel("sc.end");
+      RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+      Truthify(node.lhs->type);
+      Emit((op == "&&" ? "beqz a0, " : "bnez a0, ") + shortLabel);
+      RVSS_RETURN_IF_ERROR(GenExpr(*node.rhs));
+      Truthify(node.rhs->type);
+      Emit("j " + endLabel);
+      EmitLabel(shortLabel);
+      Emit(op == "&&" ? "li a0, 0" : "li a0, 1");
+      EmitLabel(endLabel);
+      return Status::Ok();
+    }
+
+    const TypePtr& lt = node.lhs->type;
+    const TypePtr& rt = node.rhs->type;
+
+    if (IsFloatKind(lt) || IsFloatKind(rt)) {
+      // Operands were coerced to a common float type by the parser.
+      const TypePtr common = IsFloatKind(lt) ? lt : rt;
+      const char* s = common->kind == TypeKind::kDouble ? "d" : "s";
+      RVSS_RETURN_IF_ERROR(GenExpr(*node.rhs));
+      PushF(common);
+      RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+      PopF("fa1", common);
+      if (op == "+") Emit(StrFormat("fadd.%s fa0, fa0, fa1", s));
+      else if (op == "-") Emit(StrFormat("fsub.%s fa0, fa0, fa1", s));
+      else if (op == "*") Emit(StrFormat("fmul.%s fa0, fa0, fa1", s));
+      else if (op == "/") Emit(StrFormat("fdiv.%s fa0, fa0, fa1", s));
+      else if (op == "==") Emit(StrFormat("feq.%s a0, fa0, fa1", s));
+      else if (op == "!=") {
+        Emit(StrFormat("feq.%s a0, fa0, fa1", s));
+        Emit("xori a0, a0, 1");
+      } else if (op == "<") Emit(StrFormat("flt.%s a0, fa0, fa1", s));
+      else if (op == "<=") Emit(StrFormat("fle.%s a0, fa0, fa1", s));
+      else if (op == ">") Emit(StrFormat("flt.%s a0, fa1, fa0", s));
+      else if (op == ">=") Emit(StrFormat("fle.%s a0, fa1, fa0", s));
+      else return Unsupported("operator '" + op + "' on float", node.pos);
+      return Status::Ok();
+    }
+
+    // Integer / pointer path.
+    RVSS_RETURN_IF_ERROR(GenExpr(*node.rhs));
+    Push();
+    RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+    Pop("a1");
+
+    // Pointer arithmetic scaling.
+    if ((op == "+" || op == "-") && node.type->IsPointerLike() &&
+        node.type->base != nullptr) {
+      const std::uint32_t size = node.type->base->size;
+      const bool lhsIsPointer = lt->IsPointerLike();
+      if (size > 1) {
+        const char* intSide = lhsIsPointer ? "a1" : "a0";
+        if (IsPowerOfTwo(size)) {
+          Emit(StrFormat("slli %s, %s, %u", intSide, intSide, Log2(size)));
+        } else {
+          Emit(StrFormat("li a2, %u", size));
+          Emit(StrFormat("mul %s, %s, a2", intSide, intSide));
+        }
+      }
+    }
+    if (op == "-" && lt->IsPointerLike() && rt->IsPointerLike()) {
+      Emit("sub a0, a0, a1");
+      const std::uint32_t size = lt->base->size;
+      if (size > 1) {
+        if (IsPowerOfTwo(size)) {
+          Emit(StrFormat("srai a0, a0, %u", Log2(size)));
+        } else {
+          Emit(StrFormat("li a1, %u", size));
+          Emit("div a0, a0, a1");
+        }
+      }
+      return Status::Ok();
+    }
+
+    const bool isUnsigned =
+        lt->kind == TypeKind::kUInt || rt->kind == TypeKind::kUInt ||
+        lt->IsPointerLike() || rt->IsPointerLike();
+    if (op == "+") Emit("add a0, a0, a1");
+    else if (op == "-") Emit("sub a0, a0, a1");
+    else if (op == "*") Emit("mul a0, a0, a1");
+    else if (op == "/") Emit(isUnsigned ? "divu a0, a0, a1" : "div a0, a0, a1");
+    else if (op == "%") Emit(isUnsigned ? "remu a0, a0, a1" : "rem a0, a0, a1");
+    else if (op == "&") Emit("and a0, a0, a1");
+    else if (op == "|") Emit("or a0, a0, a1");
+    else if (op == "^") Emit("xor a0, a0, a1");
+    else if (op == "<<") Emit("sll a0, a0, a1");
+    else if (op == ">>") Emit(isUnsigned ? "srl a0, a0, a1" : "sra a0, a0, a1");
+    else if (op == "==") {
+      Emit("xor a0, a0, a1");
+      Emit("seqz a0, a0");
+    } else if (op == "!=") {
+      Emit("xor a0, a0, a1");
+      Emit("snez a0, a0");
+    } else if (op == "<") {
+      Emit(isUnsigned ? "sltu a0, a0, a1" : "slt a0, a0, a1");
+    } else if (op == "<=") {
+      Emit(isUnsigned ? "sltu a0, a1, a0" : "slt a0, a1, a0");
+      Emit("xori a0, a0, 1");
+    } else if (op == ">") {
+      Emit(isUnsigned ? "sltu a0, a1, a0" : "slt a0, a1, a0");
+    } else if (op == ">=") {
+      Emit(isUnsigned ? "sltu a0, a0, a1" : "slt a0, a0, a1");
+      Emit("xori a0, a0, 1");
+    } else {
+      return Unsupported("operator '" + op + "'", node.pos);
+    }
+    return Status::Ok();
+  }
+
+  Status GenUnary(const Node& node) {
+    RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+    const TypePtr& type = node.lhs->type;
+    if (node.op == "-") {
+      if (type->kind == TypeKind::kFloat) Emit("fneg.s fa0, fa0");
+      else if (type->kind == TypeKind::kDouble) Emit("fneg.d fa0, fa0");
+      else Emit("neg a0, a0");
+      return Status::Ok();
+    }
+    if (node.op == "!") {
+      Truthify(type);
+      Emit("xori a0, a0, 1");
+      return Status::Ok();
+    }
+    if (node.op == "~") {
+      Emit("not a0, a0");
+      return Status::Ok();
+    }
+    return Unsupported("unary operator '" + node.op + "'", node.pos);
+  }
+
+  Status GenCall(const Node& node) {
+    // Evaluate arguments left to right, pushing each.
+    for (const NodePtr& arg : node.body) {
+      RVSS_RETURN_IF_ERROR(GenExpr(*arg));
+      if (IsFloatKind(arg->type)) {
+        PushF(arg->type);
+      } else {
+        Push();
+      }
+    }
+    // Indirect callee: compute the target into t5 before popping args.
+    if (node.kind == NodeKind::kIndirectCall) {
+      RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+      Emit("mv t5, a0");
+    }
+    // Pop into argument registers, last argument first. Integer and float
+    // argument registers are numbered independently, per the ABI.
+    int intSlots = 0;
+    int floatSlots = 0;
+    for (const NodePtr& arg : node.body) {
+      if (IsFloatKind(arg->type)) ++floatSlots; else ++intSlots;
+    }
+    for (std::size_t i = node.body.size(); i-- > 0;) {
+      const NodePtr& arg = node.body[i];
+      if (IsFloatKind(arg->type)) {
+        PopF(StrFormat("fa%d", --floatSlots).c_str(), arg->type);
+      } else {
+        Pop(StrFormat("a%d", --intSlots).c_str());
+      }
+    }
+    if (node.kind == NodeKind::kIndirectCall) {
+      Emit("jalr ra, t5, 0");
+    } else {
+      Emit("call " + node.callee);
+    }
+    return Status::Ok();
+  }
+
+  Status GenPostIncDec(const Node& node) {
+    const TypePtr& type = node.type;
+    if (IsFloatKind(type)) {
+      return Unsupported("postfix ++/-- on floating types", node.pos);
+    }
+    RVSS_RETURN_IF_ERROR(GenAddr(*node.lhs));
+    Emit("mv a1, a0");
+    Emit(type->kind == TypeKind::kChar ? "lb a0, 0(a1)" : "lw a0, 0(a1)");
+    std::int32_t delta = 1;
+    if (type->IsPointerLike()) delta = static_cast<std::int32_t>(type->base->size);
+    if (node.op == "--") delta = -delta;
+    Emit(StrFormat("addi a2, a0, %d", delta));
+    Emit(type->kind == TypeKind::kChar ? "sb a2, 0(a1)" : "sw a2, 0(a1)");
+    // a0 still holds the old value, which is the expression result.
+    return Status::Ok();
+  }
+
+  // ---- statements ----------------------------------------------------------
+  Status GenStmt(const Node& node) {
+    if (node.pos.line != 0) cLine_ = static_cast<std::int32_t>(node.pos.line);
+    switch (node.kind) {
+      case NodeKind::kEmpty:
+        return Status::Ok();
+      case NodeKind::kExprStmt:
+        return GenExpr(*node.lhs);
+      case NodeKind::kDeclStmt:
+        for (const NodePtr& init : node.body) {
+          RVSS_RETURN_IF_ERROR(GenExpr(*init));
+        }
+        return Status::Ok();
+      case NodeKind::kCompound:
+        for (const NodePtr& stmt : node.body) {
+          RVSS_RETURN_IF_ERROR(GenStmt(*stmt));
+        }
+        return Status::Ok();
+      case NodeKind::kIf: {
+        const std::string elseLabel = NewLabel("if.else");
+        const std::string endLabel = NewLabel("if.end");
+        RVSS_RETURN_IF_ERROR(GenExpr(*node.cond));
+        Truthify(node.cond->type);
+        Emit("beqz a0, " + elseLabel);
+        RVSS_RETURN_IF_ERROR(GenStmt(*node.thenBranch));
+        if (node.elseBranch) {
+          Emit("j " + endLabel);
+          EmitLabel(elseLabel);
+          RVSS_RETURN_IF_ERROR(GenStmt(*node.elseBranch));
+          EmitLabel(endLabel);
+        } else {
+          EmitLabel(elseLabel);
+        }
+        return Status::Ok();
+      }
+      case NodeKind::kWhile: {
+        const std::string head = NewLabel("while");
+        const std::string endLabel = NewLabel("while.end");
+        EmitLabel(head);
+        RVSS_RETURN_IF_ERROR(GenExpr(*node.cond));
+        Truthify(node.cond->type);
+        Emit("beqz a0, " + endLabel);
+        breakLabels_.push_back(endLabel);
+        continueLabels_.push_back(head);
+        RVSS_RETURN_IF_ERROR(GenStmt(*node.thenBranch));
+        breakLabels_.pop_back();
+        continueLabels_.pop_back();
+        Emit("j " + head);
+        EmitLabel(endLabel);
+        return Status::Ok();
+      }
+      case NodeKind::kDoWhile: {
+        const std::string head = NewLabel("do");
+        const std::string condLabel = NewLabel("do.cond");
+        const std::string endLabel = NewLabel("do.end");
+        EmitLabel(head);
+        breakLabels_.push_back(endLabel);
+        continueLabels_.push_back(condLabel);
+        RVSS_RETURN_IF_ERROR(GenStmt(*node.thenBranch));
+        breakLabels_.pop_back();
+        continueLabels_.pop_back();
+        EmitLabel(condLabel);
+        RVSS_RETURN_IF_ERROR(GenExpr(*node.cond));
+        Truthify(node.cond->type);
+        Emit("bnez a0, " + head);
+        EmitLabel(endLabel);
+        return Status::Ok();
+      }
+      case NodeKind::kFor: {
+        const std::string head = NewLabel("for");
+        const std::string stepLabel = NewLabel("for.step");
+        const std::string endLabel = NewLabel("for.end");
+        if (node.init) RVSS_RETURN_IF_ERROR(GenStmt(*node.init));
+        EmitLabel(head);
+        if (node.cond) {
+          RVSS_RETURN_IF_ERROR(GenExpr(*node.cond));
+          Truthify(node.cond->type);
+          Emit("beqz a0, " + endLabel);
+        }
+        breakLabels_.push_back(endLabel);
+        continueLabels_.push_back(stepLabel);
+        RVSS_RETURN_IF_ERROR(GenStmt(*node.thenBranch));
+        breakLabels_.pop_back();
+        continueLabels_.pop_back();
+        EmitLabel(stepLabel);
+        if (node.step) RVSS_RETURN_IF_ERROR(GenExpr(*node.step));
+        Emit("j " + head);
+        EmitLabel(endLabel);
+        return Status::Ok();
+      }
+      case NodeKind::kBreak:
+        if (breakLabels_.empty()) {
+          return Unsupported("'break' outside a loop", node.pos);
+        }
+        Emit("j " + breakLabels_.back());
+        return Status::Ok();
+      case NodeKind::kContinue:
+        if (continueLabels_.empty()) {
+          return Unsupported("'continue' outside a loop", node.pos);
+        }
+        Emit("j " + continueLabels_.back());
+        return Status::Ok();
+      case NodeKind::kReturn:
+        if (node.lhs) {
+          RVSS_RETURN_IF_ERROR(GenExpr(*node.lhs));
+          Convert(node.lhs->type, currentReturnType_);
+        }
+        Emit("j " + returnLabel_);
+        return Status::Ok();
+      default:
+        return GenExpr(node);
+    }
+  }
+
+  // ---- functions -----------------------------------------------------------
+  Status GenFunction(const Function& function) {
+    // Frame layout: [ra][s0][locals...], 16-byte aligned.
+    std::int32_t offset = -8;  // below the saved ra / s0 pair
+    for (const auto& local : function.locals) {
+      const std::uint32_t align = std::max<std::uint32_t>(local->type->align, 1);
+      offset -= static_cast<std::int32_t>(local->type->size);
+      offset &= ~static_cast<std::int32_t>(align - 1);
+      local->frameOffset = offset;
+    }
+    const std::uint32_t frame =
+        (static_cast<std::uint32_t>(-offset) + 15) & ~15u;
+
+    cLine_ = static_cast<std::int32_t>(function.pos.line);
+    EmitLabel(function.name);
+    EmitFrameAdjust(-static_cast<std::int64_t>(frame));
+    EmitFrameStore("sw", "ra", frame - 4);
+    EmitFrameStore("sw", "s0", frame - 8);
+    if (frame <= 2047) {
+      Emit(StrFormat("addi s0, sp, %u", frame));
+    } else {
+      Emit(StrFormat("li t6, %u", frame));
+      Emit("add s0, sp, t6");
+    }
+
+    // Spill incoming arguments to their frame slots.
+    int intSlots = 0;
+    int floatSlots = 0;
+    for (const Variable* param : function.params) {
+      const std::int32_t paramOffset = param->frameOffset;
+      const bool isFloat = IsFloatKind(param->type);
+      std::string reg = isFloat ? StrFormat("fa%d", floatSlots++)
+                                : StrFormat("a%d", intSlots++);
+      const char* storeOp = "sw";
+      if (param->type->kind == TypeKind::kChar) storeOp = "sb";
+      if (param->type->kind == TypeKind::kFloat) storeOp = "fsw";
+      if (param->type->kind == TypeKind::kDouble) storeOp = "fsd";
+      if (paramOffset >= -2048 && paramOffset <= 2047) {
+        Emit(StrFormat("%s %s, %d(s0)", storeOp, reg.c_str(), paramOffset));
+      } else {
+        Emit(StrFormat("li t6, %d", paramOffset));
+        Emit("add t6, s0, t6");
+        Emit(StrFormat("%s %s, 0(t6)", storeOp, reg.c_str()));
+      }
+    }
+
+    currentReturnType_ = function.type->base;
+    returnLabel_ = ".Lret." + function.name;
+    RVSS_RETURN_IF_ERROR(GenStmt(*function.body));
+
+    EmitLabel(returnLabel_);
+    EmitFrameLoad("lw", "ra", frame - 4);
+    EmitFrameLoad("lw", "s0", frame - 8);
+    EmitFrameAdjust(static_cast<std::int64_t>(frame));
+    Emit("ret");
+    return Status::Ok();
+  }
+
+  void EmitFrameAdjust(std::int64_t delta) {
+    if (delta >= -2048 && delta <= 2047) {
+      Emit(StrFormat("addi sp, sp, %lld", static_cast<long long>(delta)));
+    } else {
+      Emit(StrFormat("li t6, %lld", static_cast<long long>(delta)));
+      Emit("add sp, sp, t6");
+    }
+  }
+  void EmitFrameStore(const char* op, const char* reg, std::uint32_t offset) {
+    if (offset <= 2047) {
+      Emit(StrFormat("%s %s, %u(sp)", op, reg, offset));
+    } else {
+      Emit(StrFormat("li t6, %u", offset));
+      Emit("add t6, sp, t6");
+      Emit(StrFormat("%s %s, 0(t6)", op, reg));
+    }
+  }
+  void EmitFrameLoad(const char* op, const char* reg, std::uint32_t offset) {
+    EmitFrameStore(op, reg, offset);  // same addressing shape
+  }
+
+  // ---- data section ----------------------------------------------------------
+  std::string InternString(const std::string& text) {
+    for (const auto& [label, value] : strings_) {
+      if (value == text) return label;
+    }
+    std::string label = StrFormat(".LCs%zu", strings_.size());
+    strings_.emplace_back(label, text);
+    return label;
+  }
+
+  std::string InternFloat(double value, bool isDouble) {
+    for (const auto& entry : floats_) {
+      if (entry.value == value && entry.isDouble == isDouble) {
+        return entry.label;
+      }
+    }
+    std::string label = StrFormat(".LCf%zu", floats_.size());
+    floats_.push_back(FloatConstant{label, value, isDouble});
+    return label;
+  }
+
+  void EmitDataSection() {
+    data_ += ".data\n";
+    for (const auto& global : unit_.globals) {
+      if (global->isExtern) continue;  // provided by memory settings
+      data_ += StrFormat(".align %u\n", Log2(std::max<std::uint32_t>(
+                                            global->type->align, 1)));
+      data_ += global->name + ":\n";
+      EmitGlobalPayload(*global);
+    }
+    for (const auto& [label, text] : strings_) {
+      data_ += label + ":\n";
+      std::string escaped;
+      for (char c : text) {
+        switch (c) {
+          case '\n': escaped += "\\n"; break;
+          case '\t': escaped += "\\t"; break;
+          case '"': escaped += "\\\""; break;
+          case '\\': escaped += "\\\\"; break;
+          default: escaped += c;
+        }
+      }
+      data_ += "    .asciiz \"" + escaped + "\"\n";
+    }
+    for (const FloatConstant& constant : floats_) {
+      data_ += constant.label + ":\n";
+      if (constant.isDouble) {
+        data_ += StrFormat("    .double %.17g\n", constant.value);
+      } else {
+        data_ += StrFormat("    .float %.9g\n", constant.value);
+      }
+    }
+  }
+
+  void EmitGlobalPayload(const Variable& global) {
+    const TypePtr& type = global.type;
+    TypePtr element = type->kind == TypeKind::kArray ? type->base : type;
+    const std::uint32_t total =
+        type->kind == TypeKind::kArray ? type->arrayLength : 1;
+
+    if (!global.stringInit.empty()) {
+      std::string escaped;
+      for (char c : global.stringInit) {
+        if (c == '"' || c == '\\') escaped += '\\';
+        escaped += c;
+      }
+      data_ += "    .asciiz \"" + escaped + "\"\n";
+      const std::uint32_t used =
+          static_cast<std::uint32_t>(global.stringInit.size()) + 1;
+      if (total > used) data_ += StrFormat("    .zero %u\n", total - used);
+      return;
+    }
+    if (!global.hasInit || global.init.empty()) {
+      data_ += StrFormat("    .zero %u\n", std::max<std::uint32_t>(type->size, 1));
+      return;
+    }
+    for (std::uint32_t i = 0; i < total; ++i) {
+      const double value = i < global.init.size() ? global.init[i] : 0.0;
+      switch (element->kind) {
+        case TypeKind::kChar:
+          data_ += StrFormat("    .byte %d\n",
+                             static_cast<int>(static_cast<std::int64_t>(value)));
+          break;
+        case TypeKind::kFloat:
+          data_ += StrFormat("    .float %.9g\n", value);
+          break;
+        case TypeKind::kDouble:
+          data_ += StrFormat("    .double %.17g\n", value);
+          break;
+        default:
+          data_ += StrFormat(
+              "    .word %lld\n",
+              static_cast<long long>(static_cast<std::int64_t>(value)));
+          break;
+      }
+    }
+  }
+
+  struct FloatConstant {
+    std::string label;
+    double value;
+    bool isDouble;
+  };
+
+  const TranslationUnit& unit_;
+  std::string text_;
+  std::string data_;
+  std::uint32_t labelCounter_ = 0;
+  std::int32_t cLine_ = 0;
+  std::vector<std::string> breakLabels_;
+  std::vector<std::string> continueLabels_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+  std::vector<FloatConstant> floats_;
+  TypePtr currentReturnType_;
+  std::string returnLabel_;
+};
+
+}  // namespace
+
+Result<std::string> GenerateAssembly(const TranslationUnit& unit) {
+  return CodeGenerator(unit).Run();
+}
+
+}  // namespace rvss::cc

@@ -1,0 +1,26 @@
+// rvcc code generator: typed AST -> RV32IMFD assembly text.
+//
+// Classic accumulator codegen (the shape GCC -O0 produces, which is what
+// the paper's students read): integer and pointer values travel in a0,
+// floating-point values in fa0, intermediates spill to the stack, locals
+// live in an s0-anchored frame. Every emitted instruction carries a
+// `#@c <line>` tag linking it to the C source line — the assembler stores
+// the tag so a front end can implement the paper's C<->assembly
+// highlighting.
+//
+// ABI: ILP32-style. Up to 8 arguments; integer/pointer arguments in
+// a0..a7, float/double arguments in fa0..fa7, return value in a0 / fa0.
+// ra and s0 are saved in the prologue; sp stays 16-byte aligned.
+#pragma once
+
+#include <string>
+
+#include "cc/ast.h"
+#include "common/status.h"
+
+namespace rvss::cc {
+
+/// Generates assembly for a whole translation unit.
+Result<std::string> GenerateAssembly(const TranslationUnit& unit);
+
+}  // namespace rvss::cc

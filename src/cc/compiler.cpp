@@ -1,0 +1,28 @@
+#include "cc/compiler.h"
+
+#include "cc/codegen.h"
+#include "cc/optimizer.h"
+#include "cc/parser.h"
+
+namespace rvss::cc {
+
+Result<CompileOutput> Compile(std::string_view source,
+                              const CompileOptions& options) {
+  RVSS_ASSIGN_OR_RETURN(TranslationUnit unit, ParseTranslationUnit(source));
+  if (options.optLevel >= 1) {
+    FoldConstants(unit);
+  }
+  RVSS_ASSIGN_OR_RETURN(std::string assembly, GenerateAssembly(unit));
+  if (options.optLevel >= 2) {
+    assembly = Peephole(assembly);
+  }
+  if (options.optLevel >= 3) {
+    assembly = EliminateRedundantLoads(assembly);
+    assembly = Peephole(assembly);
+  }
+  CompileOutput output;
+  output.assembly = std::move(assembly);
+  return output;
+}
+
+}  // namespace rvss::cc

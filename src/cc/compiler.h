@@ -1,0 +1,27 @@
+// rvcc driver: C source -> RV32IMFD assembly at a chosen optimization
+// level. This is the repository's analogue of the paper's server-side GCC
+// invocation (§III-C): the web client posts C code, the server compiles it
+// and returns assembly plus diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rvss::cc {
+
+struct CompileOptions {
+  int optLevel = 0;  ///< 0..3, mirroring -O0 .. -O3
+};
+
+struct CompileOutput {
+  std::string assembly;
+};
+
+/// Compiles a C translation unit. Errors carry source positions for the
+/// editor's error highlighting (paper Fig. 6).
+Result<CompileOutput> Compile(std::string_view source,
+                              const CompileOptions& options = {});
+
+}  // namespace rvss::cc

@@ -1,0 +1,234 @@
+#include "cc/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace rvss::cc {
+
+bool IsKeyword(std::string_view text) {
+  static const auto* kKeywords = new std::unordered_set<std::string_view>{
+      "void", "char", "int", "unsigned", "float", "double", "struct",
+      "if", "else", "while", "for", "do", "break", "continue", "return",
+      "sizeof", "extern", "static", "const",
+  };
+  return kKeywords->contains(text);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      RVSS_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      if (AtEnd()) break;
+      RVSS_ASSIGN_OR_RETURN(Token token, Next());
+      tokens.push_back(std::move(token));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.pos = Pos();
+    tokens.push_back(std::move(eof));
+    return tokens;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      lineStart_ = pos_;
+    }
+    return c;
+  }
+  SourcePos Pos() const {
+    return SourcePos{line_, static_cast<std::uint32_t>(pos_ - lineStart_ + 1)};
+  }
+  Error Fail(std::string message) const {
+    return Error{ErrorKind::kParse, std::move(message), Pos()};
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+        if (AtEnd()) return Fail("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<char> DecodeEscape() {
+    if (AtEnd()) return Fail("dangling escape");
+    char c = Advance();
+    switch (c) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        return Fail(std::string("unknown escape '\\") + c + "'");
+    }
+  }
+
+  Result<Token> Next() {
+    Token token;
+    token.pos = Pos();
+    char c = Peek();
+
+    if (IsIdentStart(c)) {
+      std::size_t start = pos_;
+      while (!AtEnd() && IsIdentChar(Peek())) Advance();
+      token.text = std::string(source_.substr(start, pos_ - start));
+      token.kind = IsKeyword(token.text) ? TokenKind::kKeyword
+                                         : TokenKind::kIdentifier;
+      return token;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return Number();
+    }
+
+    if (c == '\'') {
+      Advance();
+      if (AtEnd()) return Fail("unterminated character literal");
+      char value = Advance();
+      if (value == '\\') {
+        RVSS_ASSIGN_OR_RETURN(value, DecodeEscape());
+      }
+      if (AtEnd() || Advance() != '\'') {
+        return Fail("unterminated character literal");
+      }
+      token.kind = TokenKind::kCharLiteral;
+      token.intValue = value;
+      return token;
+    }
+
+    if (c == '"') {
+      Advance();
+      std::string decoded;
+      while (!AtEnd() && Peek() != '"') {
+        char part = Advance();
+        if (part == '\\') {
+          RVSS_ASSIGN_OR_RETURN(part, DecodeEscape());
+        }
+        decoded += part;
+      }
+      if (AtEnd()) return Fail("unterminated string literal");
+      Advance();  // closing quote
+      token.kind = TokenKind::kStringLiteral;
+      token.text = std::move(decoded);
+      return token;
+    }
+
+    for (std::string_view punct : kPuncts) {
+      if (source_.substr(pos_, punct.size()) == punct) {
+        for (std::size_t i = 0; i < punct.size(); ++i) Advance();
+        token.kind = TokenKind::kPunct;
+        token.text = std::string(punct);
+        return token;
+      }
+    }
+    return Fail(std::string("stray character '") + c + "'");
+  }
+
+  Result<Token> Number() {
+    Token token;
+    token.pos = Pos();
+    std::size_t start = pos_;
+    bool isFloat = false;
+
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      Advance();
+      Advance();
+      while (!AtEnd() && std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        isFloat = true;
+        Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        isFloat = true;
+        Advance();
+        if (Peek() == '+' || Peek() == '-') Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+      }
+    }
+    std::string literal(source_.substr(start, pos_ - start));
+    if (isFloat) {
+      token.kind = TokenKind::kFloatLiteral;
+      token.floatValue = std::strtod(literal.c_str(), nullptr);
+      if (Peek() == 'f' || Peek() == 'F') {
+        Advance();
+        token.isFloatLiteral32 = true;
+      }
+    } else {
+      token.kind = TokenKind::kIntLiteral;
+      token.intValue = std::strtoll(literal.c_str(), nullptr, 0);
+      if (Peek() == 'u' || Peek() == 'U') {
+        Advance();
+        token.isUnsignedLiteral = true;
+      }
+    }
+    return token;
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::size_t lineStart_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace rvss::cc

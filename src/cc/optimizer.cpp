@@ -1,0 +1,298 @@
+#include "cc/optimizer.h"
+
+#include <optional>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace rvss::cc {
+namespace {
+
+bool IsIntLiteral(const Node& node) { return node.kind == NodeKind::kIntLiteral; }
+
+/// Folds one binary node when both children are integer literals.
+void FoldNode(NodePtr& node) {
+  if (node == nullptr) return;
+  FoldNode(node->lhs);
+  FoldNode(node->rhs);
+  FoldNode(node->cond);
+  FoldNode(node->thenBranch);
+  FoldNode(node->elseBranch);
+  FoldNode(node->init);
+  FoldNode(node->step);
+  for (NodePtr& child : node->body) FoldNode(child);
+
+  if (node->kind == NodeKind::kUnary && node->op == "-" &&
+      node->lhs != nullptr && IsIntLiteral(*node->lhs)) {
+    node->intValue = -node->lhs->intValue;
+    node->kind = NodeKind::kIntLiteral;
+    node->lhs.reset();
+    return;
+  }
+
+  if (node->kind != NodeKind::kBinary || node->lhs == nullptr ||
+      node->rhs == nullptr) {
+    return;
+  }
+  if (!IsIntLiteral(*node->lhs) || !IsIntLiteral(*node->rhs)) {
+    // Algebraic identities with one literal side.
+    if (IsIntLiteral(*node->rhs)) {
+      const std::int64_t r = node->rhs->intValue;
+      if ((node->op == "+" || node->op == "-" || node->op == "<<" ||
+           node->op == ">>" || node->op == "|" || node->op == "^") &&
+          r == 0 && !node->lhs->type->IsPointerLike() &&
+          !node->type->IsPointerLike()) {
+        NodePtr keep = std::move(node->lhs);
+        node = std::move(keep);
+        return;
+      }
+      if (node->op == "*" && r == 1) {
+        NodePtr keep = std::move(node->lhs);
+        node = std::move(keep);
+        return;
+      }
+    }
+    return;
+  }
+  if (!node->lhs->type->IsInteger() || !node->rhs->type->IsInteger()) return;
+
+  const std::int64_t a = node->lhs->intValue;
+  const std::int64_t b = node->rhs->intValue;
+  const bool isUnsigned = node->type != nullptr &&
+                          node->type->kind == TypeKind::kUInt;
+  const auto ua = static_cast<std::uint32_t>(a);
+  const auto ub = static_cast<std::uint32_t>(b);
+  std::optional<std::int64_t> value;
+  if (node->op == "+") value = static_cast<std::int32_t>(ua + ub);
+  else if (node->op == "-") value = static_cast<std::int32_t>(ua - ub);
+  else if (node->op == "*") value = static_cast<std::int32_t>(ua * ub);
+  else if (node->op == "/" && b != 0) {
+    value = isUnsigned ? static_cast<std::int64_t>(ua / ub)
+                       : static_cast<std::int64_t>(
+                             static_cast<std::int32_t>(a) /
+                             static_cast<std::int32_t>(b));
+  } else if (node->op == "%" && b != 0) {
+    value = isUnsigned ? static_cast<std::int64_t>(ua % ub)
+                       : static_cast<std::int64_t>(
+                             static_cast<std::int32_t>(a) %
+                             static_cast<std::int32_t>(b));
+  } else if (node->op == "&") value = a & b;
+  else if (node->op == "|") value = a | b;
+  else if (node->op == "^") value = a ^ b;
+  else if (node->op == "<<") value = static_cast<std::int32_t>(ua << (ub & 31));
+  else if (node->op == ">>") {
+    value = isUnsigned
+                ? static_cast<std::int64_t>(ua >> (ub & 31))
+                : static_cast<std::int64_t>(static_cast<std::int32_t>(a) >>
+                                            (ub & 31));
+  } else if (node->op == "==") value = a == b;
+  else if (node->op == "!=") value = a != b;
+  else if (node->op == "<") {
+    value = isUnsigned ? (ua < ub) : (a < b);
+  } else if (node->op == "<=") {
+    value = isUnsigned ? (ua <= ub) : (a <= b);
+  } else if (node->op == ">") {
+    value = isUnsigned ? (ua > ub) : (a > b);
+  } else if (node->op == ">=") {
+    value = isUnsigned ? (ua >= ub) : (a >= b);
+  }
+  if (!value.has_value()) return;
+  node->kind = NodeKind::kIntLiteral;
+  node->intValue = *value;
+  node->lhs.reset();
+  node->rhs.reset();
+}
+
+/// Splits an assembly listing into (instruction, comment) lines, keeping
+/// labels and directives as opaque lines.
+struct AsmLine {
+  std::string text;      ///< trimmed instruction text (no comment)
+  std::string comment;   ///< trailing comment, with '#'
+  bool isInstruction = false;
+  bool isLabelOrDirective = false;
+};
+
+std::vector<AsmLine> SplitAsm(const std::string& assembly) {
+  std::vector<AsmLine> lines;
+  for (std::string_view raw : Split(assembly, '\n')) {
+    AsmLine line;
+    std::string_view code = raw;
+    std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) {
+      line.comment = std::string(raw.substr(hash));
+      code = raw.substr(0, hash);
+    }
+    std::string_view trimmed = Trim(code);
+    line.text = std::string(trimmed);
+    if (trimmed.empty()) {
+      // keep blank/comment-only lines verbatim
+    } else if (trimmed.back() == ':' || trimmed.front() == '.') {
+      line.isLabelOrDirective = true;
+    } else {
+      line.isInstruction = true;
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::string JoinAsm(const std::vector<AsmLine>& lines) {
+  std::string out;
+  for (const AsmLine& line : lines) {
+    if (line.text.empty() && line.comment.empty()) continue;
+    if (line.isInstruction) out += "    ";
+    out += line.text;
+    if (!line.comment.empty()) {
+      if (!line.text.empty()) out += "  ";
+      out += line.comment;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+void FoldConstants(TranslationUnit& unit) {
+  for (auto& function : unit.functions) {
+    FoldNode(function->body);
+  }
+}
+
+std::string Peephole(const std::string& assembly) {
+  std::vector<AsmLine> lines = SplitAsm(assembly);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 3 < lines.size(); ++i) {
+      // Pattern: addi sp,sp,-4 / sw X,0(sp) / lw Y,0(sp) / addi sp,sp,4
+      //       -> mv Y, X
+      if (lines[i].text == "addi sp, sp, -4" &&
+          StartsWith(lines[i + 1].text, "sw ") &&
+          EndsWith(lines[i + 1].text, ", 0(sp)") &&
+          StartsWith(lines[i + 2].text, "lw ") &&
+          EndsWith(lines[i + 2].text, ", 0(sp)") &&
+          lines[i + 3].text == "addi sp, sp, 4") {
+        auto regOf = [](const std::string& text) {
+          auto fields = SplitWhitespace(text);
+          std::string reg(fields[1]);
+          if (!reg.empty() && reg.back() == ',') reg.pop_back();
+          return reg;
+        };
+        const std::string src = regOf(lines[i + 1].text);
+        const std::string dst = regOf(lines[i + 2].text);
+        lines[i].text = dst == src ? "" : "mv " + dst + ", " + src;
+        lines[i].isInstruction = !lines[i].text.empty();
+        lines[i + 1].text.clear();
+        lines[i + 1].isInstruction = false;
+        lines[i + 2].text.clear();
+        lines[i + 2].isInstruction = false;
+        lines[i + 3].text.clear();
+        lines[i + 3].isInstruction = false;
+        changed = true;
+      }
+    }
+    // Drop mv x, x.
+    for (AsmLine& line : lines) {
+      if (!line.isInstruction) continue;
+      auto fields = SplitWhitespace(line.text);
+      if (fields.size() == 3 && fields[0] == "mv") {
+        std::string a(fields[1]);
+        if (!a.empty() && a.back() == ',') a.pop_back();
+        if (a == fields[2]) {
+          line.text.clear();
+          line.isInstruction = false;
+          changed = true;
+        }
+      }
+    }
+  }
+  return JoinAsm(lines);
+}
+
+std::string EliminateRedundantLoads(const std::string& assembly) {
+  std::vector<AsmLine> lines = SplitAsm(assembly);
+  // Track the register most recently stored to each s0 frame slot within a
+  // basic block; a subsequent load from the same slot becomes a move.
+  struct SlotValue {
+    std::string offset;
+    std::string reg;
+  };
+  std::vector<SlotValue> known;
+  auto invalidate = [&]() { known.clear(); };
+  auto invalidateReg = [&](std::string_view reg) {
+    for (auto it = known.begin(); it != known.end();) {
+      if (it->reg == reg) {
+        it = known.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (AsmLine& line : lines) {
+    if (line.isLabelOrDirective) {
+      invalidate();
+      continue;
+    }
+    if (!line.isInstruction) continue;
+    auto fields = SplitWhitespace(line.text);
+    if (fields.empty()) continue;
+    std::string op(fields[0]);
+
+    // Control flow, calls and sp adjustment end the tracked region.
+    if (op[0] == 'b' || op[0] == 'j' || op == "call" || op == "ret" ||
+        op == "jalr" || line.text.find("sp") != std::string::npos) {
+      invalidate();
+      continue;
+    }
+
+    if (op == "sw" && fields.size() == 3 && EndsWith(fields[2], "(s0)")) {
+      std::string reg(fields[1]);
+      if (!reg.empty() && reg.back() == ',') reg.pop_back();
+      std::string offset(fields[2]);
+      invalidateReg(reg);  // old aliases of this register die... (it keeps value)
+      // Replace any existing knowledge of this slot.
+      for (auto it = known.begin(); it != known.end();) {
+        if (it->offset == offset) {
+          it = known.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      known.push_back(SlotValue{offset, reg});
+      continue;
+    }
+    if (op == "lw" && fields.size() == 3 && EndsWith(fields[2], "(s0)")) {
+      std::string reg(fields[1]);
+      if (!reg.empty() && reg.back() == ',') reg.pop_back();
+      std::string offset(fields[2]);
+      for (const SlotValue& slot : known) {
+        if (slot.offset == offset && slot.reg != reg) {
+          line.text = "mv " + reg + ", " + slot.reg;
+          break;
+        } else if (slot.offset == offset && slot.reg == reg) {
+          line.text.clear();
+          line.isInstruction = false;
+          break;
+        }
+      }
+      if (line.isInstruction) {
+        // This lw defines `reg`; any slot currently held in reg is stale.
+        invalidateReg(reg);
+      }
+      continue;
+    }
+
+    // Generic instruction: the destination register (first operand) is
+    // clobbered.
+    if (fields.size() >= 2) {
+      std::string dst(fields[1]);
+      if (!dst.empty() && dst.back() == ',') dst.pop_back();
+      invalidateReg(dst);
+    }
+  }
+  return JoinAsm(lines);
+}
+
+}  // namespace rvss::cc

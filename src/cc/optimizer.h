@@ -1,0 +1,31 @@
+// rvcc optimizations.
+//
+// The paper offers four GCC optimization levels; rvcc mirrors the
+// interface with four honest-but-modest levels of its own:
+//   O0  straight accumulator code,
+//   O1  AST constant folding and algebraic simplification,
+//   O2  O1 + peephole on the emitted assembly (push/pop pairs to moves,
+//       redundant move elimination),
+//   O3  O2 + basic-block redundant load elimination.
+// The differences are observable in the simulator's instruction counts,
+// which is exactly what the paper's students are meant to study.
+#pragma once
+
+#include <string>
+
+#include "cc/ast.h"
+
+namespace rvss::cc {
+
+/// Folds constant subexpressions in place (O1+).
+void FoldConstants(TranslationUnit& unit);
+
+/// Assembly-level peephole (O2+): push/pop pairs, mv x,x removal.
+std::string Peephole(const std::string& assembly);
+
+/// Basic-block redundant load elimination (O3): a `lw` from a frame slot
+/// written earlier in the same block with no intervening side effects
+/// becomes a register move.
+std::string EliminateRedundantLoads(const std::string& assembly);
+
+}  // namespace rvss::cc

@@ -1,0 +1,21 @@
+// rvcc parser: recursive descent with integrated type checking.
+//
+// Grammar subset: global variables (with initializers or `extern`), struct
+// declarations, function definitions, the full C statement repertoire
+// (if/else, while, do-while, for, break/continue/return, compound), and
+// expressions with standard precedence including assignment operators,
+// ternary, short-circuit logic, pointer arithmetic, array indexing,
+// member access (./->), function pointers and casts.
+#pragma once
+
+#include "cc/ast.h"
+#include "cc/lexer.h"
+#include "common/status.h"
+
+namespace rvss::cc {
+
+/// Parses a translation unit. Types are checked and annotated during
+/// parsing; the returned AST is ready for codegen.
+Result<TranslationUnit> ParseTranslationUnit(std::string_view source);
+
+}  // namespace rvss::cc

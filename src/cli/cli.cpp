@@ -1,0 +1,267 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "cc/compiler.h"
+#include "common/strings.h"
+#include "config/cpu_config.h"
+#include "core/simulation.h"
+#include "memory/dump.h"
+#include "memory/memory_initializer.h"
+#include "server/state_renderer.h"
+
+namespace rvss::cli {
+namespace {
+
+std::string UsageTextInternal() {
+  return R"(rvss-cli — batch superscalar RISC-V simulation
+
+Usage: rvss-cli --asm FILE | --c FILE [options]
+
+Inputs:
+  --asm FILE          RISC-V assembly source (RV32IMFD subset)
+  --c FILE            C source, compiled with the built-in rvcc compiler
+  --opt N             rvcc optimization level 0..3 (default 0)
+  --config FILE       architecture description JSON (default: built-in)
+  --memory FILE       memory settings JSON (array definitions)
+  --entry LABEL       entry point label (default: first instruction, or
+                      'main' for C inputs)
+
+Execution:
+  --max-cycles N      cycle budget (default 100000000)
+
+Output:
+  --format text|json  statistics format (default text)
+  --dump FILE         write a binary memory dump after the run
+  --dump-csv FILE     write a CSV memory dump after the run
+  --verbose           also print the final pipeline state
+  --trace             print the pipeline state every cycle (small runs)
+)";
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Options {
+  std::string asmPath;
+  std::string cPath;
+  int optLevel = 0;
+  std::string configPath;
+  std::string memoryPath;
+  std::string entry;
+  std::uint64_t maxCycles = 100'000'000;
+  std::string format = "text";
+  std::string dumpPath;
+  std::string dumpCsvPath;
+  bool verbose = false;
+  bool trace = false;
+};
+
+}  // namespace
+
+std::string UsageText() { return UsageTextInternal(); }
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  Options options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      out << UsageTextInternal();
+      return 0;
+    } else if (arg == "--asm") {
+      auto v = value();
+      if (!v) { err << "--asm needs a file\n"; return 1; }
+      options.asmPath = *v;
+    } else if (arg == "--c") {
+      auto v = value();
+      if (!v) { err << "--c needs a file\n"; return 1; }
+      options.cPath = *v;
+    } else if (arg == "--opt") {
+      auto v = value();
+      if (!v) { err << "--opt needs a level\n"; return 1; }
+      options.optLevel = static_cast<int>(ParseInt(*v).value_or(0));
+    } else if (arg == "--config") {
+      auto v = value();
+      if (!v) { err << "--config needs a file\n"; return 1; }
+      options.configPath = *v;
+    } else if (arg == "--memory") {
+      auto v = value();
+      if (!v) { err << "--memory needs a file\n"; return 1; }
+      options.memoryPath = *v;
+    } else if (arg == "--entry") {
+      auto v = value();
+      if (!v) { err << "--entry needs a label\n"; return 1; }
+      options.entry = *v;
+    } else if (arg == "--max-cycles") {
+      auto v = value();
+      if (!v) { err << "--max-cycles needs a number\n"; return 1; }
+      options.maxCycles = static_cast<std::uint64_t>(ParseInt(*v).value_or(0));
+    } else if (arg == "--format") {
+      auto v = value();
+      if (!v || (*v != "text" && *v != "json")) {
+        err << "--format must be text or json\n";
+        return 1;
+      }
+      options.format = *v;
+    } else if (arg == "--dump") {
+      auto v = value();
+      if (!v) { err << "--dump needs a file\n"; return 1; }
+      options.dumpPath = *v;
+    } else if (arg == "--dump-csv") {
+      auto v = value();
+      if (!v) { err << "--dump-csv needs a file\n"; return 1; }
+      options.dumpCsvPath = *v;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else {
+      err << "unknown argument '" << arg << "'\n" << UsageTextInternal();
+      return 1;
+    }
+  }
+
+  if (options.asmPath.empty() == options.cPath.empty()) {
+    err << "exactly one of --asm or --c is required\n";
+    return 1;
+  }
+
+  // Load the program source.
+  std::string source;
+  if (!options.cPath.empty()) {
+    auto text = ReadFile(options.cPath);
+    if (!text) {
+      err << "cannot read '" << options.cPath << "'\n";
+      return 1;
+    }
+    auto compiled = cc::Compile(*text, cc::CompileOptions{options.optLevel});
+    if (!compiled.ok()) {
+      err << "compile error: " << compiled.error().ToText() << "\n";
+      return 2;
+    }
+    source = compiled.value().assembly;
+    if (options.entry.empty()) options.entry = "main";
+  } else {
+    auto text = ReadFile(options.asmPath);
+    if (!text) {
+      err << "cannot read '" << options.asmPath << "'\n";
+      return 1;
+    }
+    source = *text;
+  }
+
+  // Architecture configuration.
+  config::CpuConfig config = config::DefaultConfig();
+  if (!options.configPath.empty()) {
+    auto text = ReadFile(options.configPath);
+    if (!text) {
+      err << "cannot read '" << options.configPath << "'\n";
+      return 1;
+    }
+    auto parsed = json::Parse(*text);
+    if (!parsed.ok()) {
+      err << "config JSON error: " << parsed.error().ToText() << "\n";
+      return 2;
+    }
+    auto parsedConfig = config::CpuConfigFromJson(parsed.value());
+    if (!parsedConfig.ok()) {
+      err << "config error: " << parsedConfig.error().ToText() << "\n";
+      return 2;
+    }
+    config = std::move(parsedConfig).value();
+  }
+
+  // Memory settings.
+  core::Simulation::CreateOptions createOptions;
+  createOptions.entryLabel = options.entry;
+  if (!options.memoryPath.empty()) {
+    auto text = ReadFile(options.memoryPath);
+    if (!text) {
+      err << "cannot read '" << options.memoryPath << "'\n";
+      return 1;
+    }
+    auto parsed = json::Parse(*text);
+    if (!parsed.ok() || !parsed.value().IsArray()) {
+      err << "memory settings must be a JSON array\n";
+      return 2;
+    }
+    for (const json::Json& node : parsed.value().AsArray()) {
+      auto def = memory::ArrayDefinitionFromJson(node);
+      if (!def.ok()) {
+        err << "memory settings error: " << def.error().ToText() << "\n";
+        return 2;
+      }
+      createOptions.arrays.push_back(std::move(def).value());
+    }
+  }
+
+  auto sim = core::Simulation::Create(config, source, createOptions);
+  if (!sim.ok()) {
+    err << "error: " << sim.error().ToText() << "\n";
+    return 2;
+  }
+  core::Simulation& simulation = *sim.value();
+
+  if (options.trace) {
+    while (simulation.status() == core::SimStatus::kRunning &&
+           simulation.cycle() < options.maxCycles) {
+      simulation.Step();
+      out << server::RenderText(simulation);
+    }
+  } else {
+    simulation.Run(options.maxCycles);
+  }
+
+  if (options.verbose) {
+    out << server::RenderText(simulation);
+  }
+
+  if (options.format == "json") {
+    json::Json report = json::Json::MakeObject();
+    report.Set("finishReason", core::ToString(simulation.finishReason()));
+    if (simulation.fault().has_value()) {
+      report.Set("fault", simulation.fault()->ToText());
+    }
+    report.Set("statistics",
+               simulation.statistics().ToJson(
+                   simulation.memorySystem().stats(),
+                   simulation.config().coreClockHz));
+    out << report.DumpPretty() << "\n";
+  } else {
+    out << "finish reason: " << core::ToString(simulation.finishReason())
+        << "\n";
+    if (simulation.fault().has_value()) {
+      out << "fault: " << simulation.fault()->ToText() << "\n";
+    }
+    out << simulation.statistics().ToText(simulation.memorySystem().stats(),
+                                          simulation.config().coreClockHz);
+  }
+
+  if (!options.dumpPath.empty()) {
+    std::ofstream dump(options.dumpPath, std::ios::binary);
+    const std::string bytes =
+        memory::ExportBinary(simulation.memorySystem().memory());
+    dump.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  if (!options.dumpCsvPath.empty()) {
+    std::ofstream dump(options.dumpCsvPath);
+    dump << memory::ExportCsv(simulation.memorySystem().memory());
+  }
+
+  return simulation.status() == core::SimStatus::kFault ? 2 : 0;
+}
+
+}  // namespace rvss::cli

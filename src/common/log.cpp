@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+namespace rvss {
+
+const char* ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarning: return "warning";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+void SimLog::Add(std::uint64_t cycle, LogLevel level, std::string block,
+                 std::string text) {
+  if (static_cast<int>(level) < static_cast<int>(minLevel_)) return;
+  if (entries_.size() >= capacity_ && capacity_ > 0) {
+    entries_.erase(entries_.begin());
+  }
+  entries_.push_back(LogEntry{cycle, level, std::move(block), std::move(text)});
+}
+
+std::string SimLog::ToText() const {
+  std::string out;
+  for (const LogEntry& entry : entries_) {
+    out += std::to_string(entry.cycle);
+    out += " [";
+    out += ToString(entry.level);
+    out += "] ";
+    out += entry.block;
+    out += ": ";
+    out += entry.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rvss

@@ -1,0 +1,50 @@
+// Cycle-stamped debug log, mirroring the paper's right-hand panel log: each
+// message is tagged with the simulation cycle in which it was generated so a
+// GUI (or our pipeline_viewer example) can navigate to that cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rvss {
+
+enum class LogLevel : std::uint8_t { kDebug, kInfo, kWarning, kError };
+
+const char* ToString(LogLevel level);
+
+/// One emitted message.
+struct LogEntry {
+  std::uint64_t cycle = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::string block;  ///< originating block name, e.g. "Fetch"
+  std::string text;
+};
+
+/// Bounded in-memory log. Deterministic: no timestamps, only cycles.
+class SimLog {
+ public:
+  explicit SimLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Appends a message; evicts the oldest entry beyond capacity.
+  void Add(std::uint64_t cycle, LogLevel level, std::string block,
+           std::string text);
+
+  /// Minimum level stored; lower-level messages are dropped at the source.
+  void SetMinLevel(LogLevel level) { minLevel_ = level; }
+  LogLevel minLevel() const { return minLevel_; }
+
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  /// Renders "cycle [level] block: text" lines.
+  std::string ToText() const;
+
+ private:
+  std::size_t capacity_;
+  LogLevel minLevel_ = LogLevel::kInfo;
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace rvss

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generator.
+//
+// Everything stochastic in the simulator (Random cache replacement, random
+// memory fills, the fuzzing program generator, the load-test arrival jitter)
+// draws from this generator so that a (program, config, seed) triple fully
+// determines a simulation — a hard requirement for the paper's backward
+// simulation, which re-executes the first t-1 cycles and must land in the
+// exact same state.
+#pragma once
+
+#include <cstdint>
+
+namespace rvss {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state, and —
+/// unlike std::mt19937 — bit-identical across standard library versions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds via SplitMix64 so that small seeds still produce good streams.
+  void Seed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform value in [0, bound); bound == 0 returns 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace rvss

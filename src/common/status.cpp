@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace rvss {
+
+const char* ToString(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInvalidArgument: return "invalid_argument";
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kSemantic: return "semantic";
+    case ErrorKind::kConfig: return "config";
+    case ErrorKind::kRuntime: return "runtime";
+    case ErrorKind::kUnsupported: return "unsupported";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::ToText() const {
+  std::string out = ToString(kind);
+  out += ": ";
+  out += message;
+  if (pos.line != 0) {
+    out += " (line " + std::to_string(pos.line);
+    if (pos.column != 0) out += ", col " + std::to_string(pos.column);
+    out += ")";
+  }
+  return out;
+}
+
+std::string Status::ToText() const {
+  return ok() ? std::string("ok") : error().ToText();
+}
+
+}  // namespace rvss

@@ -1,0 +1,131 @@
+// Preset architectures, mirroring the paper's switchable configurations.
+#include "config/cpu_config.h"
+
+namespace rvss::config {
+namespace {
+
+using Kind = FunctionalUnitConfig::Kind;
+using Op = FunctionalUnitConfig::Operation;
+
+FunctionalUnitConfig FxUnit(std::string name, std::uint32_t aluLatency = 1,
+                            std::uint32_t mulLatency = 3,
+                            std::uint32_t divLatency = 12) {
+  FunctionalUnitConfig fu;
+  fu.kind = Kind::kFx;
+  fu.name = std::move(name);
+  fu.operations = {Op{isa::OpClass::kIntAlu, aluLatency},
+                   Op{isa::OpClass::kIntMul, mulLatency},
+                   Op{isa::OpClass::kIntDiv, divLatency}};
+  return fu;
+}
+
+FunctionalUnitConfig SimpleFxUnit(std::string name) {
+  FunctionalUnitConfig fu;
+  fu.kind = Kind::kFx;
+  fu.name = std::move(name);
+  fu.operations = {Op{isa::OpClass::kIntAlu, 1}};
+  return fu;
+}
+
+FunctionalUnitConfig FpUnit(std::string name, std::uint32_t addLatency = 3,
+                            std::uint32_t mulLatency = 4,
+                            std::uint32_t divLatency = 16,
+                            std::uint32_t fmaLatency = 5,
+                            std::uint32_t otherLatency = 2) {
+  FunctionalUnitConfig fu;
+  fu.kind = Kind::kFp;
+  fu.name = std::move(name);
+  fu.operations = {Op{isa::OpClass::kFpAdd, addLatency},
+                   Op{isa::OpClass::kFpMul, mulLatency},
+                   Op{isa::OpClass::kFpDiv, divLatency},
+                   Op{isa::OpClass::kFpFma, fmaLatency},
+                   Op{isa::OpClass::kFpOther, otherLatency}};
+  return fu;
+}
+
+FunctionalUnitConfig PlainUnit(Kind kind, std::string name,
+                               std::uint32_t latency) {
+  FunctionalUnitConfig fu;
+  fu.kind = kind;
+  fu.name = std::move(name);
+  fu.latency = latency;
+  return fu;
+}
+
+}  // namespace
+
+CpuConfig DefaultConfig() {
+  CpuConfig config;
+  config.name = "rvss-default";
+  config.functionalUnits = {
+      FxUnit("FX1"),
+      SimpleFxUnit("FX2"),
+      FpUnit("FP1"),
+      PlainUnit(Kind::kLs, "LS1", 1),
+      PlainUnit(Kind::kLs, "LS2", 1),
+      PlainUnit(Kind::kBranch, "BR1", 1),
+      PlainUnit(Kind::kMemory, "MEM1", 1),
+  };
+  return config;
+}
+
+CpuConfig ScalarConfig() {
+  CpuConfig config;
+  config.name = "rvss-scalar";
+  config.buffers.robSize = 8;
+  config.buffers.fetchWidth = 1;
+  config.buffers.commitWidth = 1;
+  config.buffers.issueWindowSize = 2;
+  config.buffers.fetchBranchFollowLimit = 1;
+  config.memory.renameRegisterCount = 16;
+  config.predictor.type = PredictorType::kOneBit;
+  config.predictor.btbSize = 16;
+  config.predictor.phtSize = 16;
+  config.functionalUnits = {
+      FxUnit("FX1"),
+      FpUnit("FP1"),
+      PlainUnit(Kind::kLs, "LS1", 1),
+      PlainUnit(Kind::kBranch, "BR1", 1),
+      PlainUnit(Kind::kMemory, "MEM1", 1),
+  };
+  return config;
+}
+
+CpuConfig WideConfig() {
+  CpuConfig config;
+  config.name = "rvss-wide";
+  config.buffers.robSize = 192;
+  config.buffers.fetchWidth = 8;
+  config.buffers.commitWidth = 8;
+  config.buffers.issueWindowSize = 48;
+  config.buffers.fetchBranchFollowLimit = 2;
+  config.memory.renameRegisterCount = 192;
+  config.memory.loadBufferSize = 48;
+  config.memory.storeBufferSize = 48;
+  config.predictor.btbSize = 512;
+  config.predictor.phtSize = 1024;
+  config.predictor.historyBits = 8;
+  config.predictor.history = HistoryKind::kGlobal;
+  config.cache.lineCount = 256;
+  config.cache.associativity = 4;
+  config.functionalUnits = {
+      FxUnit("FX1"), FxUnit("FX2"), SimpleFxUnit("FX3"), SimpleFxUnit("FX4"),
+      FpUnit("FP1"), FpUnit("FP2"),
+      PlainUnit(Kind::kLs, "LS1", 1),
+      PlainUnit(Kind::kLs, "LS2", 1),
+      PlainUnit(Kind::kLs, "LS3", 1),
+      PlainUnit(Kind::kBranch, "BR1", 1),
+      PlainUnit(Kind::kBranch, "BR2", 1),
+      PlainUnit(Kind::kMemory, "MEM1", 1),
+  };
+  return config;
+}
+
+CpuConfig NoCacheConfig() {
+  CpuConfig config = DefaultConfig();
+  config.name = "rvss-nocache";
+  config.cache.enabled = false;
+  return config;
+}
+
+}  // namespace rvss::config

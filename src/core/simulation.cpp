@@ -1,0 +1,1027 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "isa/abi.h"
+
+namespace rvss::core {
+
+const char* ToString(Phase phase) {
+  switch (phase) {
+    case Phase::kFetched: return "fetched";
+    case Phase::kDecoded: return "decoded";
+    case Phase::kExecuting: return "executing";
+    case Phase::kDone: return "done";
+    case Phase::kCommitted: return "committed";
+    case Phase::kSquashed: return "squashed";
+  }
+  return "unknown";
+}
+
+const char* ToString(SimStatus status) {
+  switch (status) {
+    case SimStatus::kRunning: return "running";
+    case SimStatus::kFinished: return "finished";
+    case SimStatus::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+const char* ToString(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::kNone: return "none";
+    case FinishReason::kMainReturned: return "main returned";
+    case FinishReason::kHalted: return "halted";
+    case FinishReason::kPipelineEmpty: return "pipeline empty";
+    case FinishReason::kException: return "exception";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Simulation>> Simulation::Create(
+    const config::CpuConfig& config, std::string_view source,
+    const CreateOptions& options) {
+  std::vector<Error> problems = config::Validate(config);
+  if (!problems.empty()) {
+    std::string message = "invalid configuration:";
+    for (const Error& problem : problems) {
+      message += "\n  - " + problem.message;
+    }
+    return Error{ErrorKind::kConfig, std::move(message)};
+  }
+
+  auto memorySystem = std::make_unique<memory::MemorySystem>(config);
+  RVSS_ASSIGN_OR_RETURN(
+      assembler::LoadedProgram loaded,
+      assembler::LoadProgram(source, options.arrays, config,
+                             memorySystem->memory(), options.entryLabel));
+
+  std::unique_ptr<Simulation> sim(
+      new Simulation(config, std::move(loaded)));
+  sim->memory_ = std::move(memorySystem);
+  // Snapshot the loaded memory for Reset()/StepBack().
+  sim->initialMemoryImage_.assign(sim->memory_->memory().bytes().begin(),
+                                  sim->memory_->memory().bytes().end());
+  sim->Reset();
+  return sim;
+}
+
+Simulation::Simulation(config::CpuConfig config, assembler::LoadedProgram loaded)
+    : config_(std::move(config)),
+      loaded_(std::move(loaded)),
+      predictor_(config_.predictor),
+      rename_(config_.memory.renameRegisterCount) {
+  // Instantiate functional units and their statistics slots.
+  std::size_t statsIndex = 0;
+  for (const config::FunctionalUnitConfig& fuConfig : config_.functionalUnits) {
+    FunctionalUnit fu;
+    fu.config = fuConfig;
+    if (fu.config.name.empty()) {
+      fu.config.name = std::string(config::ToString(fuConfig.kind)) +
+                       std::to_string(statsIndex);
+    }
+    fu.statsIndex = statsIndex++;
+    fus_.push_back(std::move(fu));
+  }
+}
+
+void Simulation::Reset() {
+  cycle_ = 0;
+  nextSeq_ = 1;
+  pc_ = loaded_.program.entryPc;
+  fetchResumeCycle_ = 0;
+  fetchStalledIndirect_ = false;
+  status_ = SimStatus::kRunning;
+  finishReason_ = FinishReason::kNone;
+  fault_.reset();
+
+  fetchQueue_.clear();
+  rob_.clear();
+  for (auto& window : windows_) window.clear();
+  loadBuffer_.clear();
+  storeBuffer_.clear();
+  for (FunctionalUnit& fu : fus_) {
+    fu.current.reset();
+    fu.busyUntil = 0;
+  }
+
+  arch_.Reset();
+  arch_.Write(isa::RegisterId{isa::RegisterKind::kInt, isa::kSpReg},
+              loaded_.initialSp);
+  arch_.Write(isa::RegisterId{isa::RegisterKind::kInt, isa::kRaReg},
+              loaded_.initialRa);
+  rename_.Reset();
+  predictor_.Reset();
+  log_.Clear();
+
+  if (memory_) {
+    memory_->Reset();
+    std::copy(initialMemoryImage_.begin(), initialMemoryImage_.end(),
+              memory_->memory().bytes().begin());
+  }
+
+  stats_ = stats::SimulationStatistics{};
+  stats_.unitUsage.clear();
+  for (const FunctionalUnit& fu : fus_) {
+    stats_.unitUsage.push_back(stats::UnitUsage{fu.config.name, 0, 0});
+  }
+  for (const assembler::Instruction& inst : loaded_.program.instructions) {
+    ++stats_.staticMix[static_cast<std::size_t>(inst.def->type)];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+WindowKind Simulation::WindowFor(isa::OpClass opClass) const {
+  switch (opClass) {
+    case isa::OpClass::kIntAlu:
+    case isa::OpClass::kIntMul:
+    case isa::OpClass::kIntDiv:
+      return WindowKind::kFx;
+    case isa::OpClass::kFpAdd:
+    case isa::OpClass::kFpMul:
+    case isa::OpClass::kFpDiv:
+    case isa::OpClass::kFpFma:
+    case isa::OpClass::kFpOther:
+      return WindowKind::kFp;
+    case isa::OpClass::kMemAddr:
+      return WindowKind::kLs;
+    case isa::OpClass::kBranch:
+      return WindowKind::kBranch;
+  }
+  return WindowKind::kFx;
+}
+
+config::FunctionalUnitConfig::Kind Simulation::FuKindFor(
+    WindowKind kind) const {
+  switch (kind) {
+    case WindowKind::kFx: return config::FunctionalUnitConfig::Kind::kFx;
+    case WindowKind::kFp: return config::FunctionalUnitConfig::Kind::kFp;
+    case WindowKind::kLs: return config::FunctionalUnitConfig::Kind::kLs;
+    case WindowKind::kBranch:
+      return config::FunctionalUnitConfig::Kind::kBranch;
+  }
+  return config::FunctionalUnitConfig::Kind::kFx;
+}
+
+bool Simulation::StoreDataReady(const InFlight& inst) const {
+  // Store definitions put the data register (rs2) first.
+  return inst.operands[0].ready;
+}
+
+std::uint64_t Simulation::StoreRawData(const InFlight& inst) const {
+  const isa::ArgumentDescription& arg = inst.inst->def->args[0];
+  const std::uint64_t cell = expr::ValueToCell(inst.operands[0].value, arg.type);
+  if (inst.inst->def->mem.isFloat && inst.inst->def->mem.sizeBytes == 4) {
+    return UnboxFloat(cell);
+  }
+  return cell;
+}
+
+std::vector<expr::Value> Simulation::GatherArgs(const InFlight& inst) const {
+  std::vector<expr::Value> args(inst.operandCount);
+  for (std::size_t i = 0; i < inst.operandCount; ++i) {
+    args[i] = inst.operands[i].value;
+  }
+  return args;
+}
+
+void Simulation::Finish(FinishReason reason) {
+  finishReason_ = reason;
+  status_ = reason == FinishReason::kException ? SimStatus::kFault
+                                               : SimStatus::kFinished;
+  log_.Add(cycle_, LogLevel::kInfo, "Sim",
+           std::string("simulation finished: ") + ToString(reason));
+}
+
+// ---------------------------------------------------------------------------
+// Wakeup / write-back
+// ---------------------------------------------------------------------------
+
+void Simulation::WakeUp(int tag, std::uint64_t cell) {
+  auto wake = [&](const InFlightPtr& inst) {
+    for (std::size_t i = 0; i < inst->operandCount; ++i) {
+      OperandRuntime& operand = inst->operands[i];
+      if (operand.isSource && !operand.ready && operand.waitTag == tag) {
+        operand.value =
+            expr::CellToValue(cell, inst->inst->def->args[i].type);
+        operand.ready = true;
+        operand.waitTag = -1;
+        SpecRegister& reg = rename_.reg(tag);
+        if (reg.references > 0) --reg.references;
+      }
+    }
+  };
+  for (const auto& window : windows_) {
+    for (const InFlightPtr& inst : window) wake(inst);
+  }
+  // Stores waiting for data have already left the LS window.
+  for (const InFlightPtr& inst : storeBuffer_) wake(inst);
+}
+
+void Simulation::WriteDestinations(const InFlightPtr& inst,
+                                   const expr::EvalResult& result) {
+  for (const expr::WriteEffect& write : result.writes) {
+    OperandRuntime& operand =
+        inst->operands[static_cast<std::size_t>(write.argIndex)];
+    operand.value = write.value;
+    if (operand.destTag < 0) continue;  // x0: discard
+    const isa::ArgumentDescription& arg =
+        inst->inst->def->args[static_cast<std::size_t>(write.argIndex)];
+    SpecRegister& reg = rename_.reg(operand.destTag);
+    reg.cell = expr::ValueToCell(write.value, arg.type);
+    reg.valid = true;
+    WakeUp(operand.destTag, reg.cell);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution finalizers (complete stage)
+// ---------------------------------------------------------------------------
+
+void Simulation::FinalizeAlu(const InFlightPtr& inst) {
+  auto compiled = expressions_.Get(*inst->inst->def);
+  if (!compiled.ok()) {
+    inst->exception = compiled.error();
+    inst->resultsReady = true;
+    inst->phase = Phase::kDone;
+    return;
+  }
+  const std::vector<expr::Value> args = GatherArgs(*inst);
+  expr::EvalResult result = compiled.value()->Evaluate(args, inst->pc);
+  if (config_.trapOnDivZero && result.flags.divByZero) {
+    inst->exception = Error{ErrorKind::kRuntime,
+                            StrFormat("division by zero at pc 0x%08x", inst->pc)};
+  }
+  WriteDestinations(inst, result);
+  inst->resultsReady = true;
+  inst->executeDoneCycle = cycle_;
+  inst->phase = Phase::kDone;
+  ++stats_.executedInstructions;
+}
+
+void Simulation::FinalizeAddressGen(const InFlightPtr& inst) {
+  auto compiled = expressions_.Get(*inst->inst->def);
+  if (!compiled.ok()) {
+    inst->exception = compiled.error();
+    inst->resultsReady = true;
+    inst->phase = Phase::kDone;
+    return;
+  }
+  const std::vector<expr::Value> args = GatherArgs(*inst);
+  expr::EvalResult result = compiled.value()->Evaluate(args, inst->pc);
+  inst->effectiveAddress =
+      result.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32();
+  inst->addressReady = true;
+  inst->executeDoneCycle = cycle_;
+  ++stats_.executedInstructions;
+
+  const std::uint32_t size = inst->inst->def->mem.sizeBytes;
+  if (!memory_->memory().InBounds(inst->effectiveAddress, size)) {
+    inst->exception = Error{
+        ErrorKind::kRuntime,
+        StrFormat("memory access out of bounds: 0x%08x (size %u) at pc 0x%08x",
+                  inst->effectiveAddress, size, inst->pc)};
+    inst->resultsReady = true;
+    inst->memoryDone = true;
+    inst->phase = Phase::kDone;
+    // Unblock speculative consumers; the exception stops commit anyway.
+    if (inst->IsLoad()) {
+      for (std::size_t i = 0; i < inst->operandCount; ++i) {
+        OperandRuntime& operand = inst->operands[i];
+        if (operand.isDest && operand.destTag >= 0) {
+          SpecRegister& reg = rename_.reg(operand.destTag);
+          reg.cell = 0;
+          reg.valid = true;
+          WakeUp(operand.destTag, 0);
+        }
+      }
+    }
+    return;
+  }
+
+  if (inst->IsStore()) {
+    // A store's "execution" is its address generation; data may still be
+    // pending, which commit waits for.
+    inst->resultsReady = true;
+    inst->phase = Phase::kDone;
+  }
+}
+
+void Simulation::ResolveBranch(const InFlightPtr& inst,
+                               std::vector<InFlightPtr>& mispredicts) {
+  auto compiled = expressions_.Get(*inst->inst->def);
+  if (!compiled.ok()) {
+    inst->exception = compiled.error();
+    inst->resultsReady = true;
+    inst->phase = Phase::kDone;
+    return;
+  }
+  const std::vector<expr::Value> args = GatherArgs(*inst);
+  expr::EvalResult result = compiled.value()->Evaluate(args, inst->pc);
+
+  const isa::InstructionDescription& def = *inst->inst->def;
+  std::uint32_t actualNext = inst->pc + 4;
+  if (def.branch == isa::BranchKind::kConditional) {
+    inst->branchTaken = result.stackTop->AsBool();
+    const int immIndex = def.ArgIndex("imm");
+    inst->branchTarget =
+        inst->pc + static_cast<std::uint32_t>(
+                       inst->inst->operands[static_cast<std::size_t>(immIndex)].imm);
+    if (inst->branchTaken) actualNext = inst->branchTarget;
+    ++stats_.branchesResolved;
+    if (inst->branchTaken) ++stats_.branchesTaken;
+  } else {
+    // jal / jalr: the expression leaves the absolute target on the stack
+    // and link-register writes ride along as write effects.
+    inst->branchTaken = true;
+    inst->branchTarget =
+        result.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32();
+    actualNext = inst->branchTarget;
+    if (inst->branchTarget == isa::kExitAddress) {
+      inst->isExit = true;
+    } else if (inst->branchTarget % 4 != 0 ||
+               inst->branchTarget / 4 > loaded_.program.instructions.size()) {
+      inst->exception =
+          Error{ErrorKind::kRuntime,
+                StrFormat("jump to invalid address 0x%08x at pc 0x%08x",
+                          inst->branchTarget, inst->pc)};
+    }
+  }
+
+  WriteDestinations(inst, result);
+  inst->resultsReady = true;
+  inst->executeDoneCycle = cycle_;
+  inst->phase = Phase::kDone;
+  ++stats_.executedInstructions;
+
+  // Train the predictor.
+  if (def.branch == isa::BranchKind::kConditional) {
+    const bool mispredicted = inst->predictedNextPc != actualNext;
+    inst->mispredicted = mispredicted;
+    predictor_.Resolve(inst->pc, inst->branchTaken, inst->branchTarget,
+                       mispredicted, inst->historyCheckpoint);
+    if (mispredicted) {
+      ++stats_.branchesMispredicted;
+      mispredicts.push_back(inst);
+    }
+  } else {
+    if (!inst->isExit && !inst->exception.has_value()) {
+      predictor_.TrainIndirect(inst->pc, inst->branchTarget);
+    }
+    if (inst->stalledFetch) {
+      // Fetch was parked on this BTB-missing jalr: redirect without a
+      // flush (nothing younger was fetched).
+      mispredicts.push_back(inst);
+    } else if (inst->predictedNextPc != actualNext) {
+      inst->mispredicted = true;
+      ++stats_.branchesMispredicted;
+      mispredicts.push_back(inst);
+    }
+    ++stats_.branchesResolved;
+  }
+}
+
+void Simulation::CompleteLoad(const InFlightPtr& inst) {
+  const isa::MemAccess& mem = inst->inst->def->mem;
+  std::uint64_t raw;
+  if (inst->forwarded) {
+    // Forwarded store data is a full register cell; narrow it to the
+    // access width exactly as the memory write would have.
+    raw = inst->forwardedRaw;
+    if (mem.sizeBytes < 8) {
+      raw &= (std::uint64_t{1} << (8 * mem.sizeBytes)) - 1;
+    }
+  } else {
+    raw = memory_->memory().ReadBytes(inst->effectiveAddress, mem.sizeBytes);
+  }
+
+  std::uint64_t cell;
+  if (mem.isFloat) {
+    cell = mem.sizeBytes == 4 ? NanBoxFloat(static_cast<std::uint32_t>(raw))
+                              : raw;
+  } else if (mem.isSigned) {
+    cell = static_cast<std::uint64_t>(SignExtend(raw, mem.sizeBytes * 8));
+  } else {
+    cell = raw;
+  }
+
+  OperandRuntime& dest = inst->operands[0];
+  if (dest.destTag >= 0) {
+    SpecRegister& reg = rename_.reg(dest.destTag);
+    reg.cell = cell;
+    reg.valid = true;
+    WakeUp(dest.destTag, cell);
+  }
+  inst->memoryDone = true;
+  inst->resultsReady = true;
+  inst->phase = Phase::kDone;
+}
+
+// ---------------------------------------------------------------------------
+// Flush
+// ---------------------------------------------------------------------------
+
+void Simulation::FlushYoungerThan(std::uint64_t seq, std::uint32_t newPc) {
+  ++stats_.robFlushes;
+
+  // Fetch queue: everything younger goes.
+  std::size_t squashedCount = 0;
+  auto squashFromDeque = [&](std::deque<InFlightPtr>& queue) {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if ((*it)->seq > seq) {
+        (*it)->phase = Phase::kSquashed;
+        ++squashedCount;
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  squashFromDeque(fetchQueue_);
+  squashFromDeque(loadBuffer_);
+  squashFromDeque(storeBuffer_);
+
+  // Issue windows: release waiting-reference counts.
+  for (auto& window : windows_) {
+    for (auto it = window.begin(); it != window.end();) {
+      if ((*it)->seq > seq) {
+        for (std::size_t i = 0; i < (*it)->operandCount; ++i) {
+          OperandRuntime& operand = (*it)->operands[i];
+          if (operand.isSource && !operand.ready && operand.waitTag >= 0) {
+            SpecRegister& reg = rename_.reg(operand.waitTag);
+            if (reg.references > 0) --reg.references;
+          }
+        }
+        (*it)->phase = Phase::kSquashed;
+        it = window.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Functional units: abort younger in-flight work.
+  for (FunctionalUnit& fu : fus_) {
+    if (fu.current && fu.current->seq > seq) {
+      fu.current->phase = Phase::kSquashed;
+      fu.current.reset();
+      fu.busyUntil = 0;
+    }
+  }
+
+  // ROB: walk youngest-first, undoing renames.
+  while (!rob_.empty() && rob_.back()->seq > seq) {
+    const InFlightPtr inst = rob_.back();
+    rob_.pop_back();
+    for (std::size_t i = inst->operandCount; i-- > 0;) {
+      OperandRuntime& operand = inst->operands[i];
+      if (operand.isDest && operand.destTag >= 0) {
+        rename_.SquashAndFree(operand.destTag, operand.prevTag);
+      }
+      if (operand.isSource && !operand.ready && operand.waitTag >= 0) {
+        // Source still waiting: the producer may itself be squashed; the
+        // reference bookkeeping is cleared either way.
+        SpecRegister& reg = rename_.reg(operand.waitTag);
+        if (reg.references > 0) --reg.references;
+      }
+    }
+    inst->phase = Phase::kSquashed;
+    ++squashedCount;
+  }
+
+  stats_.squashedInstructions += squashedCount;
+  pc_ = newPc;
+  fetchResumeCycle_ = cycle_ + config_.buffers.flushPenalty;
+  fetchStalledIndirect_ = false;
+  log_.Add(cycle_, LogLevel::kDebug, "ROB",
+           StrFormat("flush: %zu squashed, refetch from 0x%08x", squashedCount,
+                     newPc));
+}
+
+// ---------------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------------
+
+void Simulation::StageCommit() {
+  for (std::uint32_t slot = 0; slot < config_.buffers.commitWidth; ++slot) {
+    if (rob_.empty()) return;
+    const InFlightPtr inst = rob_.front();
+    if (!inst->resultsReady) return;
+
+    if (inst->exception.has_value()) {
+      fault_ = inst->exception;
+      log_.Add(cycle_, LogLevel::kError, "Commit",
+               "exception: " + inst->exception->message);
+      Finish(FinishReason::kException);
+      return;
+    }
+
+    if (inst->IsStore()) {
+      if (!StoreDataReady(*inst)) return;
+      // Functional write happens at commit, in program order; the cache /
+      // memory timing drains through the memory unit afterwards.
+      memory_->memory().WriteBytes(inst->effectiveAddress,
+                                   inst->inst->def->mem.sizeBytes,
+                                   StoreRawData(*inst));
+      inst->drainPending = true;
+    }
+
+    for (std::size_t i = 0; i < inst->operandCount; ++i) {
+      OperandRuntime& operand = inst->operands[i];
+      if (operand.isDest && operand.destTag >= 0) {
+        const int tag = operand.destTag;
+        rename_.CommitAndFree(tag, arch_);
+        // The freed tag may be recycled immediately. Any younger in-flight
+        // instruction whose rename-undo checkpoint (prevTag) references it
+        // must now restore to "architectural" instead — the committed value
+        // lives in the architectural file from this point on.
+        for (const InFlightPtr& younger : rob_) {
+          for (std::size_t j = 0; j < younger->operandCount; ++j) {
+            OperandRuntime& other = younger->operands[j];
+            if (other.isDest && other.prevTag == tag) {
+              other.prevTag = kPrevWasArchitectural;
+            }
+          }
+        }
+      }
+    }
+
+    inst->phase = Phase::kCommitted;
+    inst->commitCycle = cycle_;
+    if (commitTraceSink_ != nullptr) commitTraceSink_->push_back(inst->pc);
+    ++stats_.committedInstructions;
+    ++stats_.dynamicMix[static_cast<std::size_t>(inst->inst->def->type)];
+    stats_.flops += inst->inst->def->flops;
+
+    rob_.pop_front();
+    if (inst->IsLoad()) {
+      // Loads leave their buffer at commit.
+      auto it = std::find(loadBuffer_.begin(), loadBuffer_.end(), inst);
+      if (it != loadBuffer_.end()) loadBuffer_.erase(it);
+    }
+
+    if (inst->isExit) {
+      Finish(FinishReason::kMainReturned);
+      return;
+    }
+    if (inst->inst->def->isHalt) {
+      Finish(FinishReason::kHalted);
+      return;
+    }
+  }
+}
+
+void Simulation::StageComplete() {
+  // Sub-step 1 of the paper's functional-unit cycle: everything whose
+  // latency elapsed publishes its result; the unit is free for re-issue
+  // later this same cycle.
+  std::vector<InFlightPtr> mispredicts;
+  for (FunctionalUnit& fu : fus_) {
+    if (!fu.current || cycle_ < fu.busyUntil) continue;
+    const InFlightPtr inst = fu.current;
+    fu.current.reset();
+
+    switch (fu.config.kind) {
+      case config::FunctionalUnitConfig::Kind::kFx:
+      case config::FunctionalUnitConfig::Kind::kFp:
+        FinalizeAlu(inst);
+        break;
+      case config::FunctionalUnitConfig::Kind::kLs:
+        FinalizeAddressGen(inst);
+        break;
+      case config::FunctionalUnitConfig::Kind::kBranch:
+        ResolveBranch(inst, mispredicts);
+        break;
+      case config::FunctionalUnitConfig::Kind::kMemory:
+        if (inst->IsLoad()) {
+          CompleteLoad(inst);
+        } else {
+          // Store drain finished: release the buffer slot.
+          inst->memoryDone = true;
+          auto it = std::find(storeBuffer_.begin(), storeBuffer_.end(), inst);
+          if (it != storeBuffer_.end()) storeBuffer_.erase(it);
+        }
+        break;
+    }
+  }
+
+  // Apply at most one redirect: the oldest one wins (it squashes the rest).
+  if (!mispredicts.empty()) {
+    const InFlightPtr oldest = *std::min_element(
+        mispredicts.begin(), mispredicts.end(),
+        [](const InFlightPtr& a, const InFlightPtr& b) { return a->seq < b->seq; });
+    const std::uint32_t redirect =
+        oldest->branchTaken ? oldest->branchTarget : oldest->pc + 4;
+    if (oldest->stalledFetch && !oldest->mispredicted) {
+      // BTB-miss jalr: fetch was parked, nothing to squash.
+      pc_ = redirect;
+      fetchStalledIndirect_ = false;
+    } else {
+      FlushYoungerThan(oldest->seq, redirect);
+    }
+  }
+}
+
+void Simulation::StageMemory() {
+  for (FunctionalUnit& fu : fus_) {
+    if (fu.config.kind != config::FunctionalUnitConfig::Kind::kMemory ||
+        fu.current) {
+      continue;
+    }
+
+    // Gather the oldest eligible job: a committed store waiting to drain
+    // or a load whose dependences allow it to run.
+    InFlightPtr job;
+
+    for (const InFlightPtr& store : storeBuffer_) {
+      if (store->drainPending && !store->drainStarted) {
+        job = store;
+        break;
+      }
+    }
+
+    for (const InFlightPtr& load : loadBuffer_) {
+      if (!load->addressReady || load->memoryStarted ||
+          load->exception.has_value()) {
+        continue;
+      }
+      // Dependence check against older, not-yet-committed stores.
+      bool blocked = false;
+      const InFlightPtr* forwardFrom = nullptr;
+      for (const InFlightPtr& store : storeBuffer_) {
+        if (store->seq > load->seq) break;
+        if (store->phase == Phase::kCommitted) continue;  // memory is current
+        if (!store->addressReady) {
+          blocked = true;  // unknown address: conservative stall
+          break;
+        }
+        const std::uint32_t loadSize = load->inst->def->mem.sizeBytes;
+        const std::uint32_t storeSize = store->inst->def->mem.sizeBytes;
+        const bool overlap =
+            store->effectiveAddress < load->effectiveAddress + loadSize &&
+            load->effectiveAddress < store->effectiveAddress + storeSize;
+        if (!overlap) continue;
+        if (store->effectiveAddress == load->effectiveAddress &&
+            storeSize == loadSize && StoreDataReady(*store)) {
+          forwardFrom = &store;  // youngest exact match wins (keep scanning)
+        } else {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+
+      if (forwardFrom != nullptr) {
+        load->forwarded = true;
+        load->forwardedRaw = StoreRawData(**forwardFrom);
+      }
+      if (job == nullptr || load->seq < job->seq) job = load;
+      break;  // loads scanned oldest-first; the first eligible is oldest
+    }
+
+    if (job == nullptr) return;
+
+    if (job->IsLoad()) {
+      job->memoryStarted = true;
+      if (job->forwarded) {
+        // Store-to-load forwarding bypasses the cache entirely.
+        fu.busyUntil = cycle_ + fu.config.latency;
+        job->cacheHit = true;
+      } else {
+        memory::MemoryTransaction txn = memory_->Register(
+            job->effectiveAddress, job->inst->def->mem.sizeBytes,
+            /*isStore=*/false, cycle_);
+        job->cacheHit = txn.cacheHit;
+        fu.busyUntil = std::max(txn.completesAtCycle,
+                                cycle_ + static_cast<std::uint64_t>(
+                                             fu.config.latency));
+      }
+    } else {
+      job->drainStarted = true;
+      memory::MemoryTransaction txn = memory_->Register(
+          job->effectiveAddress, job->inst->def->mem.sizeBytes,
+          /*isStore=*/true, cycle_);
+      job->cacheHit = txn.cacheHit;
+      fu.busyUntil = std::max(
+          txn.completesAtCycle,
+          cycle_ + static_cast<std::uint64_t>(fu.config.latency));
+    }
+    fu.current = job;
+    ++stats_.unitUsage[fu.statsIndex].instructions;
+  }
+}
+
+void Simulation::StageIssue() {
+  for (std::size_t windowIndex = 0; windowIndex < windows_.size();
+       ++windowIndex) {
+    auto& window = windows_[windowIndex];
+    const auto fuKind = FuKindFor(static_cast<WindowKind>(windowIndex));
+
+    for (auto it = window.begin(); it != window.end();) {
+      const InFlightPtr& inst = *it;
+      // Readiness: all source operands captured. Stores only need their
+      // address inputs here; the data operand (index 0) may arrive later.
+      bool ready = true;
+      for (std::size_t i = 0; i < inst->operandCount; ++i) {
+        if (inst->IsStore() && i == 0) continue;
+        if (inst->operands[i].isSource && !inst->operands[i].ready) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        ++it;
+        continue;
+      }
+
+      // Find a free functional unit able to execute this op class.
+      FunctionalUnit* chosen = nullptr;
+      std::uint32_t latency = 0;
+      for (FunctionalUnit& fu : fus_) {
+        if (fu.config.kind != fuKind || fu.current) continue;
+        if (fuKind == config::FunctionalUnitConfig::Kind::kFx ||
+            fuKind == config::FunctionalUnitConfig::Kind::kFp) {
+          const std::uint32_t opLatency =
+              fu.config.LatencyFor(inst->inst->def->opClass);
+          if (opLatency == 0) continue;  // unit does not support the op
+          chosen = &fu;
+          latency = opLatency;
+        } else {
+          chosen = &fu;
+          latency = fu.config.latency;
+        }
+        break;
+      }
+      if (chosen == nullptr) {
+        ++it;
+        continue;
+      }
+
+      chosen->current = inst;
+      chosen->busyUntil = cycle_ + latency;
+      inst->phase = Phase::kExecuting;
+      inst->issueCycle = cycle_;
+      ++stats_.issuedInstructions;
+      ++stats_.unitUsage[chosen->statsIndex].instructions;
+      it = window.erase(it);
+    }
+  }
+}
+
+void Simulation::StageDecode() {
+  for (std::uint32_t slot = 0; slot < config_.buffers.fetchWidth; ++slot) {
+    if (fetchQueue_.empty()) return;
+    const InFlightPtr inst = fetchQueue_.front();
+    const isa::InstructionDescription& def = *inst->inst->def;
+
+    // ---- resource checks (all-or-nothing, then mutate) ----
+    if (rob_.size() >= config_.buffers.robSize) {
+      ++stats_.stallCyclesRobFull;
+      return;
+    }
+    auto& window = windows_[static_cast<std::size_t>(WindowFor(def.opClass))];
+    if (window.size() >= config_.buffers.issueWindowSize) {
+      ++stats_.stallCyclesWindowFull;
+      return;
+    }
+    if (def.mem.isLoad && loadBuffer_.size() >= config_.memory.loadBufferSize) {
+      ++stats_.stallCyclesLsBufferFull;
+      return;
+    }
+    if (def.mem.isStore &&
+        storeBuffer_.size() >= config_.memory.storeBufferSize) {
+      ++stats_.stallCyclesLsBufferFull;
+      return;
+    }
+    std::uint32_t destsNeeded = 0;
+    for (std::size_t i = 0; i < def.args.size(); ++i) {
+      const isa::ArgumentDescription& arg = def.args[i];
+      const assembler::Operand& operand = inst->inst->operands[i];
+      if (arg.writeBack && operand.isRegister &&
+          !(operand.reg.kind == isa::RegisterKind::kInt &&
+            operand.reg.index == 0)) {
+        ++destsNeeded;
+      }
+    }
+    if (rename_.FreeCount() < destsNeeded) {
+      ++stats_.stallCyclesRenameFull;
+      return;
+    }
+
+    // ---- rename ----
+    inst->operandCount = static_cast<std::uint8_t>(def.args.size());
+    // Sources first: an instruction reading and writing the same register
+    // must see the *previous* mapping for its source.
+    for (std::size_t i = 0; i < def.args.size(); ++i) {
+      const isa::ArgumentDescription& arg = def.args[i];
+      const assembler::Operand& operand = inst->inst->operands[i];
+      OperandRuntime& runtime = inst->operands[i];
+      runtime = OperandRuntime{};
+      if (arg.writeBack) {
+        runtime.isDest = true;
+        continue;  // allocated below
+      }
+      if (!operand.isRegister) {
+        runtime.value = expr::ImmediateToValue(operand.imm, arg.type);
+        runtime.ready = true;
+        continue;
+      }
+      runtime.isSource = true;
+      if (operand.reg.kind == isa::RegisterKind::kInt &&
+          operand.reg.index == 0) {
+        runtime.value = expr::CellToValue(0, arg.type);
+        runtime.ready = true;
+        continue;
+      }
+      if (auto tag = rename_.Lookup(operand.reg); tag.has_value()) {
+        SpecRegister& reg = rename_.reg(*tag);
+        if (reg.valid) {
+          runtime.value = expr::CellToValue(reg.cell, arg.type);
+          runtime.ready = true;
+        } else {
+          runtime.ready = false;
+          runtime.waitTag = *tag;
+          ++reg.references;
+        }
+      } else {
+        runtime.value = expr::CellToValue(arch_.Read(operand.reg), arg.type);
+        runtime.ready = true;
+      }
+    }
+    // Destinations.
+    for (std::size_t i = 0; i < def.args.size(); ++i) {
+      const isa::ArgumentDescription& arg = def.args[i];
+      const assembler::Operand& operand = inst->inst->operands[i];
+      OperandRuntime& runtime = inst->operands[i];
+      if (!arg.writeBack) continue;
+      if (operand.reg.kind == isa::RegisterKind::kInt &&
+          operand.reg.index == 0) {
+        runtime.destTag = -1;  // writes to x0 are discarded
+        continue;
+      }
+      auto allocation = rename_.AllocateAndMap(operand.reg);
+      // FreeCount was checked above; allocation cannot fail here.
+      runtime.destTag = allocation->first;
+      runtime.prevTag = allocation->second;
+    }
+
+    // ---- dispatch ----
+    inst->phase = Phase::kDecoded;
+    inst->decodeCycle = cycle_;
+    rob_.push_back(inst);
+    window.push_back(inst);
+    if (def.mem.isLoad) loadBuffer_.push_back(inst);
+    if (def.mem.isStore) storeBuffer_.push_back(inst);
+    ++stats_.decodedInstructions;
+    fetchQueue_.pop_front();
+  }
+}
+
+void Simulation::StageFetch() {
+  if (fetchStalledIndirect_ || cycle_ < fetchResumeCycle_) return;
+  // Keep the fetch queue bounded to one extra fetch group.
+  if (fetchQueue_.size() >= config_.buffers.fetchWidth) return;
+
+  std::uint32_t jumpsFollowed = 0;
+  for (std::uint32_t slot = 0; slot < config_.buffers.fetchWidth; ++slot) {
+    if (pc_ % 4 != 0) return;  // wild redirect target: fetch nothing
+    const std::uint32_t index = pc_ / 4;
+    if (index >= loaded_.program.instructions.size()) return;
+
+    const assembler::Instruction& decoded = loaded_.program.instructions[index];
+    auto inst = std::make_shared<InFlight>();
+    inst->seq = nextSeq_++;
+    inst->inst = &decoded;
+    inst->pc = pc_;
+    inst->phase = Phase::kFetched;
+    inst->fetchCycle = cycle_;
+    inst->isControl = decoded.def->IsControlFlow();
+
+    std::uint32_t nextPc = pc_ + 4;
+    bool stopAfter = false;
+
+    switch (decoded.def->branch) {
+      case isa::BranchKind::kNone:
+        break;
+      case isa::BranchKind::kConditional: {
+        predictor::PredictorUnit::Prediction prediction =
+            predictor_.Predict(pc_);
+        ++stats_.btbLookups;
+        if (prediction.target.has_value()) ++stats_.btbHits;
+        inst->predictedTaken = prediction.predictTaken;
+        inst->historyCheckpoint = prediction.historyCheckpoint;
+        inst->btbHit = prediction.target.has_value();
+        predictor_.SpeculateOutcome(pc_, prediction.predictTaken);
+        if (prediction.predictTaken) {
+          const int immIndex = decoded.def->ArgIndex("imm");
+          nextPc = pc_ + static_cast<std::uint32_t>(
+                             decoded.operands[static_cast<std::size_t>(immIndex)]
+                                 .imm);
+          if (++jumpsFollowed >= config_.buffers.fetchBranchFollowLimit) {
+            stopAfter = true;
+          }
+        }
+        break;
+      }
+      case isa::BranchKind::kUnconditionalDirect: {
+        // jal: the fetch unit decodes the target directly.
+        inst->predictedTaken = true;
+        const int immIndex = decoded.def->ArgIndex("imm");
+        nextPc = pc_ + static_cast<std::uint32_t>(
+                           decoded.operands[static_cast<std::size_t>(immIndex)]
+                               .imm);
+        if (++jumpsFollowed >= config_.buffers.fetchBranchFollowLimit) {
+          stopAfter = true;
+        }
+        break;
+      }
+      case isa::BranchKind::kUnconditionalIndirect: {
+        predictor::PredictorUnit::Prediction prediction =
+            predictor_.Predict(pc_);
+        ++stats_.btbLookups;
+        if (prediction.target.has_value()) {
+          ++stats_.btbHits;
+          inst->predictedTaken = true;
+          inst->btbHit = true;
+          nextPc = *prediction.target;
+          if (++jumpsFollowed >= config_.buffers.fetchBranchFollowLimit) {
+            stopAfter = true;
+          }
+        } else {
+          // Unknown target: park fetch until the jalr resolves.
+          inst->stalledFetch = true;
+          fetchStalledIndirect_ = true;
+          stopAfter = true;
+          nextPc = pc_;  // placeholder; resolution redirects
+        }
+        break;
+      }
+    }
+
+    inst->predictedNextPc = nextPc;
+    fetchQueue_.push_back(inst);
+    ++stats_.fetchedInstructions;
+    pc_ = nextPc;
+    if (stopAfter) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step / Run / StepBack
+// ---------------------------------------------------------------------------
+
+void Simulation::Step() {
+  if (status_ != SimStatus::kRunning) return;
+  ++cycle_;
+  ++stats_.cycles;
+
+  StageCommit();
+  if (status_ != SimStatus::kRunning) return;
+  StageComplete();
+  StageMemory();
+  StageIssue();
+  StageDecode();
+  StageFetch();
+
+  // Busy-cycle accounting: a unit occupied at end-of-cycle was busy.
+  for (const FunctionalUnit& fu : fus_) {
+    if (fu.current) ++stats_.unitUsage[fu.statsIndex].busyCycles;
+  }
+
+  // Termination: the pipeline drained with nothing left to fetch.
+  if (rob_.empty() && fetchQueue_.empty() && !fetchStalledIndirect_ &&
+      (pc_ % 4 != 0 || pc_ / 4 >= loaded_.program.instructions.size())) {
+    Finish(FinishReason::kPipelineEmpty);
+  }
+}
+
+SimStatus Simulation::Run(std::uint64_t maxCycles) {
+  for (std::uint64_t i = 0; i < maxCycles && status_ == SimStatus::kRunning;
+       ++i) {
+    Step();
+  }
+  return status_;
+}
+
+Status Simulation::StepBack() {
+  if (cycle_ == 0) {
+    return Status::Fail(ErrorKind::kInvalidArgument,
+                        "already at cycle 0; cannot step back");
+  }
+  const std::uint64_t target = cycle_ - 1;
+  Reset();
+  while (cycle_ < target && status_ == SimStatus::kRunning) {
+    Step();
+  }
+  return Status::Ok();
+}
+
+}  // namespace rvss::core

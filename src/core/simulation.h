@@ -1,0 +1,193 @@
+// The out-of-order superscalar pipeline simulator — the paper's primary
+// contribution.
+//
+// Pipeline structure (paper §II-A / §III-A): a fetch unit with branch
+// prediction that can follow a configurable number of jumps per cycle, a
+// decode/rename stage, per-class issue windows (FX, FP, LS-address,
+// branch), configurable functional units without internal pipelining, load
+// and store buffers with store-to-load forwarding, a memory-access unit in
+// front of the L1 cache, and a reorder buffer committing in order with
+// exception checks at commit.
+//
+// One clock cycle executes the blocks in reverse pipeline order
+// (commit -> complete -> memory -> issue -> decode -> fetch); completing
+// a functional unit early in the cycle and re-filling it later implements
+// the paper's "two sub-steps ... to allow the completion of the current
+// instruction and the loading of the next one within a single clock
+// cycle".
+//
+// Backward simulation (paper §III-B) is forward re-execution: the whole
+// simulation is deterministic for a fixed (program, config) pair, so
+// stepping back to cycle t-1 resets and re-runs t-1 cycles.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "assembler/loader.h"
+#include "common/log.h"
+#include "common/status.h"
+#include "config/cpu_config.h"
+#include "core/inflight.h"
+#include "core/rename.h"
+#include "expr/expression_cache.h"
+#include "memory/memory_system.h"
+#include "predictor/predictors.h"
+#include "stats/simulation_statistics.h"
+
+namespace rvss::core {
+
+enum class SimStatus : std::uint8_t { kRunning, kFinished, kFault };
+enum class FinishReason : std::uint8_t {
+  kNone,
+  kMainReturned,   ///< jump to the exit sentinel committed
+  kHalted,         ///< ecall / ebreak committed
+  kPipelineEmpty,  ///< fetch ran past the program and the pipeline drained
+  kException,      ///< runtime exception committed
+};
+
+const char* ToString(SimStatus status);
+const char* ToString(FinishReason reason);
+
+/// Issue-window identity (one per functional-unit class).
+enum class WindowKind : std::uint8_t { kFx, kFp, kLs, kBranch };
+
+/// Runtime state of one functional unit.
+struct FunctionalUnit {
+  config::FunctionalUnitConfig config;
+  std::size_t statsIndex = 0;     ///< index into statistics().unitUsage
+  InFlightPtr current;            ///< instruction in execution, if any
+  std::uint64_t busyUntil = 0;    ///< cycle the current instruction finishes
+};
+
+class Simulation {
+ public:
+  struct CreateOptions {
+    std::vector<memory::ArrayDefinition> arrays;
+    std::string entryLabel;
+  };
+
+  /// Validates the configuration, assembles `source`, lays out memory and
+  /// constructs a ready-to-step simulation.
+  static Result<std::unique_ptr<Simulation>> Create(
+      const config::CpuConfig& config, std::string_view source,
+      const CreateOptions& options = {});
+
+  /// Advances one clock cycle. No-op once finished.
+  void Step();
+
+  /// Runs until completion or `maxCycles` more cycles.
+  SimStatus Run(std::uint64_t maxCycles = UINT64_MAX);
+
+  /// Backward simulation: re-runs the first cycle()-1 cycles from reset
+  /// (paper §III-B). Fails at cycle 0.
+  Status StepBack();
+
+  /// Resets to the initial state (cycle 0, memory re-imaged).
+  void Reset();
+
+  // --- state inspection ----------------------------------------------------
+  std::uint64_t cycle() const { return cycle_; }
+  SimStatus status() const { return status_; }
+  FinishReason finishReason() const { return finishReason_; }
+  const std::optional<Error>& fault() const { return fault_; }
+  std::uint32_t fetchPc() const { return pc_; }
+
+  const config::CpuConfig& config() const { return config_; }
+  const assembler::Program& program() const { return loaded_.program; }
+  const stats::SimulationStatistics& statistics() const { return stats_; }
+  const memory::MemorySystem& memorySystem() const { return *memory_; }
+  memory::MemorySystem& memorySystem() { return *memory_; }
+  const ArchRegisterFile& archRegs() const { return arch_; }
+  const RenameState& rename() const { return rename_; }
+  const predictor::PredictorUnit& predictor() const { return predictor_; }
+  SimLog& log() { return log_; }
+  const SimLog& log() const { return log_; }
+
+  const std::deque<InFlightPtr>& fetchQueue() const { return fetchQueue_; }
+  const std::deque<InFlightPtr>& rob() const { return rob_; }
+  const std::vector<InFlightPtr>& window(WindowKind kind) const {
+    return windows_[static_cast<std::size_t>(kind)];
+  }
+  const std::deque<InFlightPtr>& loadBuffer() const { return loadBuffer_; }
+  const std::deque<InFlightPtr>& storeBuffer() const { return storeBuffer_; }
+  const std::vector<FunctionalUnit>& functionalUnits() const { return fus_; }
+
+  /// Optional commit-order trace: every committed PC is appended to
+  /// `sink` (tests and the backward-simulation determinism checks).
+  void SetCommitTraceSink(std::vector<std::uint32_t>* sink) {
+    commitTraceSink_ = sink;
+  }
+
+  /// Architectural value of an integer/FP register as seen at commit.
+  std::uint64_t ReadIntReg(unsigned index) const {
+    return arch_.Read(isa::RegisterId{isa::RegisterKind::kInt,
+                                      static_cast<std::uint8_t>(index)});
+  }
+  std::uint64_t ReadFpReg(unsigned index) const {
+    return arch_.Read(isa::RegisterId{isa::RegisterKind::kFp,
+                                      static_cast<std::uint8_t>(index)});
+  }
+
+ private:
+  Simulation(config::CpuConfig config, assembler::LoadedProgram loaded);
+
+  // Pipeline stages, in the order Step() runs them.
+  void StageCommit();
+  void StageComplete();
+  void StageMemory();
+  void StageIssue();
+  void StageDecode();
+  void StageFetch();
+
+  // Helpers.
+  void FinalizeAlu(const InFlightPtr& inst);
+  void FinalizeAddressGen(const InFlightPtr& inst);
+  void ResolveBranch(const InFlightPtr& inst,
+                     std::vector<InFlightPtr>& mispredicts);
+  void CompleteLoad(const InFlightPtr& inst);
+  void WriteDestinations(const InFlightPtr& inst,
+                         const expr::EvalResult& result);
+  void WakeUp(int tag, std::uint64_t cell);
+  void FlushYoungerThan(std::uint64_t seq, std::uint32_t newPc);
+  void Finish(FinishReason reason);
+  bool StoreDataReady(const InFlight& inst) const;
+  std::uint64_t StoreRawData(const InFlight& inst) const;
+  std::vector<expr::Value> GatherArgs(const InFlight& inst) const;
+  WindowKind WindowFor(isa::OpClass opClass) const;
+  config::FunctionalUnitConfig::Kind FuKindFor(WindowKind kind) const;
+
+  config::CpuConfig config_;
+  assembler::LoadedProgram loaded_;
+  std::vector<std::uint8_t> initialMemoryImage_;
+
+  std::unique_ptr<memory::MemorySystem> memory_;
+  predictor::PredictorUnit predictor_;
+  ArchRegisterFile arch_;
+  RenameState rename_;
+  expr::ExpressionCache expressions_;
+  stats::SimulationStatistics stats_;
+  SimLog log_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t nextSeq_ = 1;
+  std::uint32_t pc_ = 0;
+  std::uint64_t fetchResumeCycle_ = 0;  ///< flush-penalty stall
+  bool fetchStalledIndirect_ = false;   ///< waiting for a BTB-miss jalr
+  SimStatus status_ = SimStatus::kRunning;
+  FinishReason finishReason_ = FinishReason::kNone;
+  std::optional<Error> fault_;
+
+  std::deque<InFlightPtr> fetchQueue_;
+  std::deque<InFlightPtr> rob_;
+  std::array<std::vector<InFlightPtr>, 4> windows_;
+  std::deque<InFlightPtr> loadBuffer_;
+  std::deque<InFlightPtr> storeBuffer_;
+  std::vector<FunctionalUnit> fus_;
+  std::vector<std::uint32_t>* commitTraceSink_ = nullptr;
+};
+
+}  // namespace rvss::core

@@ -1,0 +1,213 @@
+#include "expr/expression.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace rvss::expr {
+
+std::optional<Expression::Op> Expression::LookupOperator(
+    std::string_view text) {
+  static const auto* kTable = new std::unordered_map<std::string_view, Op>{
+      {"+", Op::kAdd},   {"-", Op::kSub},   {"*", Op::kMul},
+      {"/", Op::kDiv},   {"%", Op::kRem},   {"&", Op::kAnd},
+      {"|", Op::kOr},    {"^", Op::kXor},   {"<<", Op::kShl},
+      {">>", Op::kShr},  {"==", Op::kEq},   {"!=", Op::kNe},
+      {"<", Op::kLt},    {"<=", Op::kLe},   {">", Op::kGt},
+      {">=", Op::kGe},   {"=", Op::kAssign},
+      {"neg", Op::kNeg}, {"sqrt", Op::kSqrt}, {"fma", Op::kFma},
+      {"min", Op::kMin}, {"max", Op::kMax},
+      {"sgnj", Op::kSgnj}, {"sgnjn", Op::kSgnjn}, {"sgnjx", Op::kSgnjx},
+      {"class", Op::kClass},
+      {"i2l", Op::kI2L}, {"u2l", Op::kU2L}, {"l2i", Op::kL2I},
+      {"i2f", Op::kI2F}, {"i2d", Op::kI2D}, {"u2f", Op::kU2F},
+      {"u2d", Op::kU2D},
+      {"f2i", Op::kF2I}, {"f2u", Op::kF2U}, {"d2i", Op::kD2I},
+      {"d2u", Op::kD2U}, {"f2d", Op::kF2D}, {"d2f", Op::kD2F},
+      {"fbits", Op::kFBits}, {"ifbits", Op::kIFBits},
+  };
+  auto it = kTable->find(text);
+  if (it == kTable->end()) return std::nullopt;
+  return it->second;
+}
+
+int Expression::Arity(Op op) {
+  switch (op) {
+    case Op::kPushArg:
+    case Op::kPushRef:
+    case Op::kPushPc:
+    case Op::kPushLiteral:
+      return 0;
+    case Op::kNeg: case Op::kSqrt: case Op::kClass:
+    case Op::kI2L: case Op::kU2L: case Op::kL2I:
+    case Op::kI2F: case Op::kI2D: case Op::kU2F: case Op::kU2D:
+    case Op::kF2I: case Op::kF2U: case Op::kD2I: case Op::kD2U:
+    case Op::kF2D: case Op::kD2F: case Op::kFBits: case Op::kIFBits:
+      return 1;
+    case Op::kFma:
+      return 3;
+    default:
+      return 2;  // binary operators and kAssign
+  }
+}
+
+Result<Expression> Expression::Compile(std::string_view text,
+                                       const isa::InstructionDescription& def) {
+  Expression compiled;
+  compiled.argKinds_.reserve(def.args.size());
+  for (const isa::ArgumentDescription& arg : def.args) {
+    compiled.argKinds_.push_back(KindForArgType(arg.type));
+  }
+
+  constexpr int kMaxDepth = 16;
+  int depth = 0;
+  int maxDepth = 0;
+  for (std::string_view tokenText : SplitWhitespace(text)) {
+    Token token{};
+    if (tokenText[0] == '\\') {
+      std::string_view name = tokenText.substr(1);
+      if (name == "pc") {
+        token.op = Op::kPushPc;
+      } else {
+        int index = def.ArgIndex(name);
+        if (index < 0) {
+          return Error{ErrorKind::kSemantic,
+                       "expression of '" + def.name +
+                           "' references undeclared argument '\\" +
+                           std::string(name) + "'"};
+        }
+        token.op = def.args[static_cast<std::size_t>(index)].writeBack
+                       ? Op::kPushRef
+                       : Op::kPushArg;
+        token.arg = index;
+      }
+    } else if (auto literal = ParseInt(tokenText); literal.has_value()) {
+      token.op = Op::kPushLiteral;
+      token.literal = static_cast<std::int32_t>(*literal);
+    } else if (auto op = LookupOperator(tokenText); op.has_value()) {
+      token.op = *op;
+    } else {
+      return Error{ErrorKind::kSemantic,
+                   "unknown token '" + std::string(tokenText) +
+                       "' in expression of '" + def.name + "'"};
+    }
+
+    const int needed = Arity(token.op);
+    if (depth < needed) {
+      return Error{ErrorKind::kSemantic,
+                   "stack underflow at token '" + std::string(tokenText) +
+                       "' in expression of '" + def.name + "'"};
+    }
+    depth -= needed;
+    if (token.op != Op::kAssign) ++depth;  // everything else pushes a result
+    if (depth > kMaxDepth) {
+      return Error{ErrorKind::kSemantic,
+                   "expression of '" + def.name + "' exceeds max stack depth"};
+    }
+    maxDepth = std::max(maxDepth, depth);
+    compiled.tokens_.push_back(token);
+  }
+  if (depth > 1) {
+    return Error{ErrorKind::kSemantic,
+                 "expression of '" + def.name + "' leaves " +
+                     std::to_string(depth) + " values on the stack"};
+  }
+  compiled.maxStackDepth_ = static_cast<std::size_t>(maxDepth);
+  return compiled;
+}
+
+EvalResult Expression::Evaluate(std::span<const Value> argValues,
+                                std::uint32_t pc) const {
+  // Slots hold either a value or a write-back reference (argument index).
+  struct Slot {
+    Value value;
+    int ref = -1;  ///< >= 0 marks a reference slot
+  };
+  // Compile enforces depth <= 16, so evaluation is allocation-free.
+  Slot stack[16];
+  std::size_t top = 0;
+
+  EvalResult result;
+
+  auto push = [&](Value v) { stack[top++] = Slot{v, -1}; };
+  auto pop = [&]() -> Value { return stack[--top].value; };
+
+  for (const Token& token : tokens_) {
+    switch (token.op) {
+      case Op::kPushArg:
+        push(argValues[static_cast<std::size_t>(token.arg)]);
+        break;
+      case Op::kPushRef:
+        stack[top++] = Slot{Value(), token.arg};
+        break;
+      case Op::kPushPc:
+        push(Value::Int(static_cast<std::int32_t>(pc)));
+        break;
+      case Op::kPushLiteral:
+        push(Value::Int(token.literal));
+        break;
+      case Op::kAssign: {
+        const Slot dest = stack[--top];
+        const Value value = pop();
+        // Compile guarantees dest is a reference (writeBack args push refs);
+        // a plain value in dest position would be malformed — ignore it.
+        if (dest.ref >= 0) {
+          result.writes.push_back(WriteEffect{
+              dest.ref,
+              value.ConvertTo(argKinds_[static_cast<std::size_t>(dest.ref)])});
+        }
+        break;
+      }
+      case Op::kAdd: { Value b = pop(), a = pop(); push(Add(a, b)); break; }
+      case Op::kSub: { Value b = pop(), a = pop(); push(Sub(a, b)); break; }
+      case Op::kMul: { Value b = pop(), a = pop(); push(Mul(a, b)); break; }
+      case Op::kDiv: { Value b = pop(), a = pop(); push(Div(a, b, result.flags)); break; }
+      case Op::kRem: { Value b = pop(), a = pop(); push(Rem(a, b, result.flags)); break; }
+      case Op::kAnd: { Value b = pop(), a = pop(); push(BitAnd(a, b)); break; }
+      case Op::kOr: { Value b = pop(), a = pop(); push(BitOr(a, b)); break; }
+      case Op::kXor: { Value b = pop(), a = pop(); push(BitXor(a, b)); break; }
+      case Op::kShl: { Value b = pop(), a = pop(); push(Shl(a, b)); break; }
+      case Op::kShr: { Value b = pop(), a = pop(); push(Shr(a, b)); break; }
+      case Op::kEq: { Value b = pop(), a = pop(); push(CmpEq(a, b)); break; }
+      case Op::kNe: { Value b = pop(), a = pop(); push(CmpNe(a, b)); break; }
+      case Op::kLt: { Value b = pop(), a = pop(); push(CmpLt(a, b)); break; }
+      case Op::kLe: { Value b = pop(), a = pop(); push(CmpLe(a, b)); break; }
+      case Op::kGt: { Value b = pop(), a = pop(); push(CmpGt(a, b)); break; }
+      case Op::kGe: { Value b = pop(), a = pop(); push(CmpGe(a, b)); break; }
+      case Op::kNeg: push(Negate(pop())); break;
+      case Op::kSqrt: push(Sqrt(pop())); break;
+      case Op::kFma: {
+        Value c = pop(), b = pop(), a = pop();
+        push(Fma(a, b, c));
+        break;
+      }
+      case Op::kMin: { Value b = pop(), a = pop(); push(Min(a, b)); break; }
+      case Op::kMax: { Value b = pop(), a = pop(); push(Max(a, b)); break; }
+      case Op::kSgnj: { Value b = pop(), a = pop(); push(SignInject(a, b)); break; }
+      case Op::kSgnjn: { Value b = pop(), a = pop(); push(SignInjectNeg(a, b)); break; }
+      case Op::kSgnjx: { Value b = pop(), a = pop(); push(SignInjectXor(a, b)); break; }
+      case Op::kClass: push(Classify(pop())); break;
+      case Op::kI2L: push(I2L(pop())); break;
+      case Op::kU2L: push(U2L(pop())); break;
+      case Op::kL2I: push(L2I(pop())); break;
+      case Op::kI2F: push(I2F(pop())); break;
+      case Op::kI2D: push(I2D(pop())); break;
+      case Op::kU2F: push(U2F(pop())); break;
+      case Op::kU2D: push(U2D(pop())); break;
+      case Op::kF2I: push(F2I(pop(), result.flags)); break;
+      case Op::kF2U: push(F2U(pop(), result.flags)); break;
+      case Op::kD2I: push(D2I(pop(), result.flags)); break;
+      case Op::kD2U: push(D2U(pop(), result.flags)); break;
+      case Op::kF2D: push(F2D(pop())); break;
+      case Op::kD2F: push(D2F(pop())); break;
+      case Op::kFBits: push(FloatBits(pop())); break;
+      case Op::kIFBits: push(BitsToFloatValue(pop())); break;
+    }
+  }
+
+  if (top > 0) result.stackTop = stack[top - 1].value;
+  return result;
+}
+
+}  // namespace rvss::expr

@@ -1,0 +1,33 @@
+// Cache of compiled expressions, keyed by instruction description.
+//
+// Compiling an `interpretableAs` string is cheap but not free; both
+// simulators compile each definition once and reuse the result for every
+// dynamic instance.
+#pragma once
+
+#include <unordered_map>
+
+#include "expr/expression.h"
+
+namespace rvss::expr {
+
+class ExpressionCache {
+ public:
+  /// Returns the compiled semantics of `def`, compiling on first use.
+  /// Compilation failure of a built-in definition is a programming error;
+  /// the Result surfaces it for JSON-loaded custom instruction sets.
+  Result<const Expression*> Get(const isa::InstructionDescription& def) {
+    auto it = cache_.find(&def);
+    if (it != cache_.end()) return &it->second;
+    RVSS_ASSIGN_OR_RETURN(Expression compiled,
+                          Expression::Compile(def.interpretableAs, def));
+    auto [inserted, unused] = cache_.emplace(&def, std::move(compiled));
+    (void)unused;
+    return &inserted->second;
+  }
+
+ private:
+  std::unordered_map<const isa::InstructionDescription*, Expression> cache_;
+};
+
+}  // namespace rvss::expr

@@ -1,0 +1,65 @@
+// Conversions between 64-bit register cells and typed interpreter values.
+//
+// The paper stores registers as 64-bit arrays whose interpretation depends
+// on the executing instruction (§III-B). These helpers define that
+// interpretation once, shared by the golden-model ISS and the OoO core:
+// integer registers keep their 32-bit value sign-extended (nicer to debug),
+// single-precision floats are NaN-boxed exactly as RV32FD mandates, and
+// doubles occupy the full cell.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.h"
+#include "expr/value.h"
+#include "isa/isa_types.h"
+
+namespace rvss::expr {
+
+/// Reads a register cell as the given argument type.
+inline Value CellToValue(std::uint64_t cell, isa::ArgType type) {
+  switch (type) {
+    case isa::ArgType::kInt:
+      return Value::Int(static_cast<std::int32_t>(cell));
+    case isa::ArgType::kUInt:
+      return Value::UInt(static_cast<std::uint32_t>(cell));
+    case isa::ArgType::kFloat:
+      return Value::Float(BitsToFloat(UnboxFloat(cell)));
+    case isa::ArgType::kDouble:
+      return Value::Double(BitsToDouble(cell));
+    case isa::ArgType::kBool:
+      return Value::Bool(cell != 0);
+  }
+  return Value::Int(0);
+}
+
+/// Encodes a typed value into a 64-bit register cell.
+inline std::uint64_t ValueToCell(Value value, isa::ArgType type) {
+  switch (type) {
+    case isa::ArgType::kInt:
+    case isa::ArgType::kUInt:
+    case isa::ArgType::kBool: {
+      const auto v32 = value.ConvertTo(ValueKind::kInt).AsInt32();
+      return static_cast<std::uint64_t>(static_cast<std::int64_t>(v32));
+    }
+    case isa::ArgType::kFloat:
+      return NanBoxFloat(
+          FloatToBits(value.ConvertTo(ValueKind::kFloat).AsFloat()));
+    case isa::ArgType::kDouble:
+      return DoubleToBits(value.ConvertTo(ValueKind::kDouble).AsDouble());
+  }
+  return 0;
+}
+
+/// Turns an instruction's immediate operand into the value the expression
+/// interpreter expects for the declared argument type.
+inline Value ImmediateToValue(std::int32_t imm, isa::ArgType type) {
+  switch (type) {
+    case isa::ArgType::kUInt:
+      return Value::UInt(static_cast<std::uint32_t>(imm));
+    default:
+      return Value::Int(imm);
+  }
+}
+
+}  // namespace rvss::expr

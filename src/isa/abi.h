@@ -1,0 +1,19 @@
+// ABI / simulation conventions shared by the OoO core, the golden-model
+// interpreter and the program loader.
+#pragma once
+
+#include <cstdint>
+
+namespace rvss::isa {
+
+/// Sentinel return address installed in `ra` before entry. A jump landing
+/// here means the main routine returned: the paper's "stack pointer reaches
+/// the bottom of the call stack, indicating process completion as the main
+/// routine is exited" — implemented as a link-register sentinel, which is
+/// robust even for programs that juggle `sp`.
+inline constexpr std::uint32_t kExitAddress = 0xfffffff0u;
+
+/// Alignment of the program's .data image above user-defined arrays.
+inline constexpr std::uint32_t kDataAlignment = 16;
+
+}  // namespace rvss::isa

@@ -1,0 +1,374 @@
+#include "isa/instruction_set.h"
+
+namespace rvss::isa {
+
+int InstructionDescription::ArgIndex(std::string_view argName) const {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].name == argName) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+InstructionSet::InstructionSet(std::vector<InstructionDescription> defs)
+    : defs_(std::move(defs)) {
+  index_.reserve(defs_.size());
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    index_.emplace(defs_[i].name, i);
+  }
+}
+
+const InstructionDescription* InstructionSet::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &defs_[it->second];
+}
+
+namespace {
+
+using AD = ArgumentDescription;
+
+AD Reg(const char* name, ArgType type, bool writeBack = false) {
+  return AD{name, type, writeBack, /*isImmediate=*/false};
+}
+AD Imm(ArgType type = ArgType::kInt) {
+  return AD{"imm", type, /*writeBack=*/false, /*isImmediate=*/true};
+}
+
+/// R-type integer op: `name rd, rs1, rs2`.
+InstructionDescription R(const char* name, const char* expr,
+                         OpClass opClass = OpClass::kIntAlu,
+                         InstructionType type = InstructionType::kArithmetic,
+                         ArgType srcType = ArgType::kInt) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = type;
+  d.opClass = opClass;
+  d.args = {Reg("rd", ArgType::kInt, true), Reg("rs1", srcType),
+            Reg("rs2", srcType)};
+  d.interpretableAs = expr;
+  return d;
+}
+
+/// I-type integer op: `name rd, rs1, imm`.
+InstructionDescription I(const char* name, const char* expr,
+                         ArgType srcType = ArgType::kInt) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = InstructionType::kArithmetic;
+  d.opClass = OpClass::kIntAlu;
+  d.args = {Reg("rd", ArgType::kInt, true), Reg("rs1", srcType), Imm(srcType)};
+  d.interpretableAs = expr;
+  return d;
+}
+
+/// U-type: `name rd, imm`.
+InstructionDescription U(const char* name, const char* expr) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = InstructionType::kArithmetic;
+  d.opClass = OpClass::kIntAlu;
+  d.args = {Reg("rd", ArgType::kInt, true), Imm()};
+  d.interpretableAs = expr;
+  return d;
+}
+
+/// Load: `name rd, imm(rs1)`. Semantics compute the effective address; the
+/// load/store unit performs the access and the register write.
+InstructionDescription Ld(const char* name, std::uint8_t size, bool isSigned,
+                          bool isFloat, ArgType dstType = ArgType::kInt) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = InstructionType::kLoad;
+  d.opClass = OpClass::kMemAddr;
+  d.args = {Reg("rd", dstType, true), Reg("rs1", ArgType::kInt), Imm()};
+  d.interpretableAs = "\\rs1 \\imm +";
+  d.mem = MemAccess{true, false, size, isSigned, isFloat};
+  return d;
+}
+
+/// Store: `name rs2, imm(rs1)`.
+InstructionDescription St(const char* name, std::uint8_t size, bool isFloat,
+                          ArgType srcType = ArgType::kInt) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = InstructionType::kStore;
+  d.opClass = OpClass::kMemAddr;
+  d.args = {Reg("rs2", srcType), Reg("rs1", ArgType::kInt), Imm()};
+  d.interpretableAs = "\\rs1 \\imm +";
+  d.mem = MemAccess{false, true, size, false, isFloat};
+  return d;
+}
+
+/// Conditional branch: `name rs1, rs2, label`. Semantics yield the taken
+/// condition; the target is PC + imm.
+InstructionDescription Br(const char* name, const char* expr,
+                          ArgType srcType = ArgType::kInt) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = InstructionType::kBranch;
+  d.opClass = OpClass::kBranch;
+  d.args = {Reg("rs1", srcType), Reg("rs2", srcType), Imm()};
+  d.interpretableAs = expr;
+  d.branch = BranchKind::kConditional;
+  return d;
+}
+
+/// FP three-operand op: `name rd, rs1, rs2`.
+InstructionDescription F3(const char* name, const char* expr, OpClass opClass,
+                          ArgType fpType, std::uint8_t flops,
+                          bool rounded = false) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = InstructionType::kFloat;
+  d.opClass = opClass;
+  d.args = {Reg("rd", fpType, true), Reg("rs1", fpType), Reg("rs2", fpType)};
+  d.interpretableAs = expr;
+  d.flops = flops;
+  d.takesRoundingMode = rounded;
+  return d;
+}
+
+/// FP fused multiply-add family: `name rd, rs1, rs2, rs3`.
+InstructionDescription F4(const char* name, const char* expr, ArgType fpType) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = InstructionType::kFloat;
+  d.opClass = OpClass::kFpFma;
+  d.args = {Reg("rd", fpType, true), Reg("rs1", fpType), Reg("rs2", fpType),
+            Reg("rs3", fpType)};
+  d.interpretableAs = expr;
+  d.flops = 2;
+  d.takesRoundingMode = true;
+  return d;
+}
+
+/// Two-operand FP/integer transfer or conversion: `name rd, rs1`.
+InstructionDescription F2(const char* name, const char* expr, ArgType dstType,
+                          ArgType srcType, OpClass opClass = OpClass::kFpOther,
+                          std::uint8_t flops = 0, bool rounded = false) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = InstructionType::kFloat;
+  d.opClass = opClass;
+  d.args = {Reg("rd", dstType, true), Reg("rs1", srcType)};
+  d.interpretableAs = expr;
+  d.flops = flops;
+  d.takesRoundingMode = rounded;
+  return d;
+}
+
+/// FP compare producing an integer flag: `name rd, rs1, rs2`.
+InstructionDescription FCmp(const char* name, const char* expr,
+                            ArgType fpType) {
+  InstructionDescription d;
+  d.name = name;
+  d.type = InstructionType::kFloat;
+  d.opClass = OpClass::kFpOther;
+  d.args = {Reg("rd", ArgType::kInt, true), Reg("rs1", fpType),
+            Reg("rs2", fpType)};
+  d.interpretableAs = expr;
+  return d;
+}
+
+std::vector<InstructionDescription> BuildRv32Imfd() {
+  constexpr ArgType F = ArgType::kFloat;
+  constexpr ArgType D = ArgType::kDouble;
+  constexpr ArgType UI = ArgType::kUInt;
+
+  std::vector<InstructionDescription> defs;
+  defs.reserve(160);
+
+  // ---- RV32I: integer register-register -------------------------------
+  defs.push_back(R("add", "\\rs1 \\rs2 + \\rd ="));
+  defs.push_back(R("sub", "\\rs1 \\rs2 - \\rd ="));
+  defs.push_back(R("sll", "\\rs1 \\rs2 << \\rd ="));
+  defs.push_back(R("slt", "\\rs1 \\rs2 < \\rd ="));
+  defs.push_back(R("sltu", "\\rs1 \\rs2 < \\rd =", OpClass::kIntAlu,
+                   InstructionType::kArithmetic, UI));
+  defs.push_back(R("xor", "\\rs1 \\rs2 ^ \\rd ="));
+  defs.push_back(R("srl", "\\rs1 \\rs2 >> \\rd =", OpClass::kIntAlu,
+                   InstructionType::kArithmetic, UI));
+  defs.push_back(R("sra", "\\rs1 \\rs2 >> \\rd ="));
+  defs.push_back(R("or", "\\rs1 \\rs2 | \\rd ="));
+  defs.push_back(R("and", "\\rs1 \\rs2 & \\rd ="));
+
+  // ---- RV32I: integer immediate ---------------------------------------
+  defs.push_back(I("addi", "\\rs1 \\imm + \\rd ="));
+  defs.push_back(I("slti", "\\rs1 \\imm < \\rd ="));
+  defs.push_back(I("sltiu", "\\rs1 \\imm < \\rd =", UI));
+  defs.push_back(I("xori", "\\rs1 \\imm ^ \\rd ="));
+  defs.push_back(I("ori", "\\rs1 \\imm | \\rd ="));
+  defs.push_back(I("andi", "\\rs1 \\imm & \\rd ="));
+  defs.push_back(I("slli", "\\rs1 \\imm << \\rd ="));
+  defs.push_back(I("srli", "\\rs1 \\imm >> \\rd =", UI));
+  defs.push_back(I("srai", "\\rs1 \\imm >> \\rd ="));
+
+  defs.push_back(U("lui", "\\imm 12 << \\rd ="));
+  defs.push_back(U("auipc", "\\pc \\imm 12 << + \\rd ="));
+
+  // ---- RV32I: control flow --------------------------------------------
+  {
+    InstructionDescription jal;
+    jal.name = "jal";
+    jal.type = InstructionType::kJump;
+    jal.opClass = OpClass::kBranch;
+    jal.args = {Reg("rd", ArgType::kInt, true), Imm()};
+    jal.interpretableAs = "\\pc 4 + \\rd = \\pc \\imm +";
+    jal.branch = BranchKind::kUnconditionalDirect;
+    defs.push_back(jal);
+
+    InstructionDescription jalr;
+    jalr.name = "jalr";
+    jalr.type = InstructionType::kJump;
+    jalr.opClass = OpClass::kBranch;
+    jalr.args = {Reg("rd", ArgType::kInt, true), Reg("rs1", ArgType::kInt),
+                 Imm()};
+    jalr.interpretableAs = "\\pc 4 + \\rd = \\rs1 \\imm + -2 &";
+    jalr.branch = BranchKind::kUnconditionalIndirect;
+    defs.push_back(jalr);
+  }
+
+  defs.push_back(Br("beq", "\\rs1 \\rs2 =="));
+  defs.push_back(Br("bne", "\\rs1 \\rs2 !="));
+  defs.push_back(Br("blt", "\\rs1 \\rs2 <"));
+  defs.push_back(Br("bge", "\\rs1 \\rs2 >="));
+  defs.push_back(Br("bltu", "\\rs1 \\rs2 <", UI));
+  defs.push_back(Br("bgeu", "\\rs1 \\rs2 >=", UI));
+
+  // ---- RV32I: loads and stores ----------------------------------------
+  defs.push_back(Ld("lb", 1, true, false));
+  defs.push_back(Ld("lh", 2, true, false));
+  defs.push_back(Ld("lw", 4, true, false));
+  defs.push_back(Ld("lbu", 1, false, false));
+  defs.push_back(Ld("lhu", 2, false, false));
+  defs.push_back(St("sb", 1, false));
+  defs.push_back(St("sh", 2, false));
+  defs.push_back(St("sw", 4, false));
+
+  // ---- RV32I: system ----------------------------------------------------
+  {
+    InstructionDescription fence;
+    fence.name = "fence";
+    fence.type = InstructionType::kArithmetic;
+    fence.opClass = OpClass::kIntAlu;
+    fence.interpretableAs = "";
+    defs.push_back(fence);
+
+    for (const char* haltName : {"ecall", "ebreak"}) {
+      InstructionDescription halt;
+      halt.name = haltName;
+      halt.type = InstructionType::kArithmetic;
+      halt.opClass = OpClass::kIntAlu;
+      halt.interpretableAs = "";
+      halt.isHalt = true;
+      defs.push_back(halt);
+    }
+  }
+
+  // ---- M extension ------------------------------------------------------
+  auto m = [](const char* name, const char* expr,
+              OpClass opClass) {
+    InstructionDescription d = R(name, expr, opClass, InstructionType::kMulDiv);
+    return d;
+  };
+  defs.push_back(m("mul", "\\rs1 \\rs2 * \\rd =", OpClass::kIntMul));
+  defs.push_back(m("mulh", "\\rs1 i2l \\rs2 i2l * 32 >> l2i \\rd =",
+                   OpClass::kIntMul));
+  defs.push_back(m("mulhsu", "\\rs1 i2l \\rs2 u2l * 32 >> l2i \\rd =",
+                   OpClass::kIntMul));
+  defs.push_back(m("mulhu", "\\rs1 u2l \\rs2 u2l * 32 >> l2i \\rd =",
+                   OpClass::kIntMul));
+  defs.push_back(m("div", "\\rs1 \\rs2 / \\rd =", OpClass::kIntDiv));
+  {
+    InstructionDescription d = R("divu", "\\rs1 \\rs2 / \\rd =",
+                                 OpClass::kIntDiv, InstructionType::kMulDiv, UI);
+    defs.push_back(d);
+    defs.push_back(m("rem", "\\rs1 \\rs2 % \\rd =", OpClass::kIntDiv));
+    InstructionDescription r = R("remu", "\\rs1 \\rs2 % \\rd =",
+                                 OpClass::kIntDiv, InstructionType::kMulDiv, UI);
+    defs.push_back(r);
+  }
+
+  // ---- F extension ------------------------------------------------------
+  defs.push_back(Ld("flw", 4, false, true, F));
+  defs.push_back(St("fsw", 4, true, F));
+
+  defs.push_back(F3("fadd.s", "\\rs1 \\rs2 + \\rd =", OpClass::kFpAdd, F, 1, true));
+  defs.push_back(F3("fsub.s", "\\rs1 \\rs2 - \\rd =", OpClass::kFpAdd, F, 1, true));
+  defs.push_back(F3("fmul.s", "\\rs1 \\rs2 * \\rd =", OpClass::kFpMul, F, 1, true));
+  defs.push_back(F3("fdiv.s", "\\rs1 \\rs2 / \\rd =", OpClass::kFpDiv, F, 1, true));
+  defs.push_back(F2("fsqrt.s", "\\rs1 sqrt \\rd =", F, F, OpClass::kFpDiv, 1, true));
+
+  defs.push_back(F4("fmadd.s", "\\rs1 \\rs2 \\rs3 fma \\rd =", F));
+  defs.push_back(F4("fmsub.s", "\\rs1 \\rs2 \\rs3 neg fma \\rd =", F));
+  defs.push_back(F4("fnmsub.s", "\\rs1 neg \\rs2 \\rs3 fma \\rd =", F));
+  defs.push_back(F4("fnmadd.s", "\\rs1 neg \\rs2 \\rs3 neg fma \\rd =", F));
+
+  defs.push_back(F3("fsgnj.s", "\\rs1 \\rs2 sgnj \\rd =", OpClass::kFpOther, F, 0));
+  defs.push_back(F3("fsgnjn.s", "\\rs1 \\rs2 sgnjn \\rd =", OpClass::kFpOther, F, 0));
+  defs.push_back(F3("fsgnjx.s", "\\rs1 \\rs2 sgnjx \\rd =", OpClass::kFpOther, F, 0));
+  defs.push_back(F3("fmin.s", "\\rs1 \\rs2 min \\rd =", OpClass::kFpOther, F, 1));
+  defs.push_back(F3("fmax.s", "\\rs1 \\rs2 max \\rd =", OpClass::kFpOther, F, 1));
+
+  defs.push_back(FCmp("feq.s", "\\rs1 \\rs2 == \\rd =", F));
+  defs.push_back(FCmp("flt.s", "\\rs1 \\rs2 < \\rd =", F));
+  defs.push_back(FCmp("fle.s", "\\rs1 \\rs2 <= \\rd =", F));
+  defs.push_back(F2("fclass.s", "\\rs1 class \\rd =", ArgType::kInt, F));
+
+  defs.push_back(F2("fcvt.w.s", "\\rs1 f2i \\rd =", ArgType::kInt, F,
+                    OpClass::kFpOther, 0, true));
+  defs.push_back(F2("fcvt.wu.s", "\\rs1 f2u \\rd =", UI, F,
+                    OpClass::kFpOther, 0, true));
+  defs.push_back(F2("fcvt.s.w", "\\rs1 i2f \\rd =", F, ArgType::kInt,
+                    OpClass::kFpOther, 0, true));
+  defs.push_back(F2("fcvt.s.wu", "\\rs1 u2f \\rd =", F, UI,
+                    OpClass::kFpOther, 0, true));
+  defs.push_back(F2("fmv.x.w", "\\rs1 fbits \\rd =", ArgType::kInt, F));
+  defs.push_back(F2("fmv.w.x", "\\rs1 ifbits \\rd =", F, ArgType::kInt));
+
+  // ---- D extension ------------------------------------------------------
+  defs.push_back(Ld("fld", 8, false, true, D));
+  defs.push_back(St("fsd", 8, true, D));
+
+  defs.push_back(F3("fadd.d", "\\rs1 \\rs2 + \\rd =", OpClass::kFpAdd, D, 1, true));
+  defs.push_back(F3("fsub.d", "\\rs1 \\rs2 - \\rd =", OpClass::kFpAdd, D, 1, true));
+  defs.push_back(F3("fmul.d", "\\rs1 \\rs2 * \\rd =", OpClass::kFpMul, D, 1, true));
+  defs.push_back(F3("fdiv.d", "\\rs1 \\rs2 / \\rd =", OpClass::kFpDiv, D, 1, true));
+  defs.push_back(F2("fsqrt.d", "\\rs1 sqrt \\rd =", D, D, OpClass::kFpDiv, 1, true));
+
+  defs.push_back(F4("fmadd.d", "\\rs1 \\rs2 \\rs3 fma \\rd =", D));
+  defs.push_back(F4("fmsub.d", "\\rs1 \\rs2 \\rs3 neg fma \\rd =", D));
+  defs.push_back(F4("fnmsub.d", "\\rs1 neg \\rs2 \\rs3 fma \\rd =", D));
+  defs.push_back(F4("fnmadd.d", "\\rs1 neg \\rs2 \\rs3 neg fma \\rd =", D));
+
+  defs.push_back(F3("fsgnj.d", "\\rs1 \\rs2 sgnj \\rd =", OpClass::kFpOther, D, 0));
+  defs.push_back(F3("fsgnjn.d", "\\rs1 \\rs2 sgnjn \\rd =", OpClass::kFpOther, D, 0));
+  defs.push_back(F3("fsgnjx.d", "\\rs1 \\rs2 sgnjx \\rd =", OpClass::kFpOther, D, 0));
+  defs.push_back(F3("fmin.d", "\\rs1 \\rs2 min \\rd =", OpClass::kFpOther, D, 1));
+  defs.push_back(F3("fmax.d", "\\rs1 \\rs2 max \\rd =", OpClass::kFpOther, D, 1));
+
+  defs.push_back(FCmp("feq.d", "\\rs1 \\rs2 == \\rd =", D));
+  defs.push_back(FCmp("flt.d", "\\rs1 \\rs2 < \\rd =", D));
+  defs.push_back(FCmp("fle.d", "\\rs1 \\rs2 <= \\rd =", D));
+  defs.push_back(F2("fclass.d", "\\rs1 class \\rd =", ArgType::kInt, D));
+
+  defs.push_back(F2("fcvt.w.d", "\\rs1 d2i \\rd =", ArgType::kInt, D,
+                    OpClass::kFpOther, 0, true));
+  defs.push_back(F2("fcvt.wu.d", "\\rs1 d2u \\rd =", UI, D,
+                    OpClass::kFpOther, 0, true));
+  defs.push_back(F2("fcvt.d.w", "\\rs1 i2d \\rd =", D, ArgType::kInt));
+  defs.push_back(F2("fcvt.d.wu", "\\rs1 u2d \\rd =", D, UI));
+  defs.push_back(F2("fcvt.s.d", "\\rs1 d2f \\rd =", F, D,
+                    OpClass::kFpOther, 0, true));
+  defs.push_back(F2("fcvt.d.s", "\\rs1 f2d \\rd =", D, F));
+
+  return defs;
+}
+
+}  // namespace
+
+const InstructionSet& InstructionSet::Default() {
+  static const InstructionSet* kSet = new InstructionSet(BuildRv32Imfd());
+  return *kSet;
+}
+
+}  // namespace rvss::isa

@@ -1,0 +1,68 @@
+// The RV32IMFD instruction-set description table.
+//
+// Mirrors the paper's data-driven design: every instruction is *data* — a
+// name, a type, typed arguments and a postfix semantics string — rather
+// than a hard-coded case in the simulator. Both the out-of-order core and
+// the golden-model ISS execute instructions by interpreting these
+// definitions, so there is a single source of truth for semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "isa/isa_types.h"
+
+namespace rvss::isa {
+
+/// Full definition of one instruction (paper Listing 1 plus the routing
+/// metadata the pipeline needs).
+struct InstructionDescription {
+  std::string name;                       ///< mnemonic, e.g. "add", "fmadd.s"
+  InstructionType type = InstructionType::kArithmetic;
+  OpClass opClass = OpClass::kIntAlu;
+  std::vector<ArgumentDescription> args;  ///< in assembly operand order
+  std::string interpretableAs;            ///< postfix semantics
+  BranchKind branch = BranchKind::kNone;
+  MemAccess mem;
+  std::uint8_t flops = 0;                 ///< FLOPs contributed per execution
+  bool takesRoundingMode = false;         ///< accepts an optional frm operand
+  bool isHalt = false;                    ///< ecall/ebreak: stops simulation at
+                                          ///< commit (no OS is modelled)
+
+  /// Index of the argument named `name`, or -1.
+  int ArgIndex(std::string_view argName) const;
+
+  /// True for loads and stores.
+  bool IsMemory() const { return mem.isLoad || mem.isStore; }
+
+  /// True when the instruction may redirect control flow.
+  bool IsControlFlow() const { return branch != BranchKind::kNone; }
+};
+
+/// Immutable collection of instruction definitions with O(1) lookup.
+class InstructionSet {
+ public:
+  /// The built-in RV32IMFD table (plus the `halt` simulator convention for
+  /// `ebreak`/`ecall`). Constructed once, thread-safe to share.
+  static const InstructionSet& Default();
+
+  /// Builds a set from explicit definitions (used by the JSON loader and
+  /// by tests that extend the ISA, exercising the paper's extensibility
+  /// claim).
+  explicit InstructionSet(std::vector<InstructionDescription> defs);
+
+  /// Looks up a mnemonic; nullptr when unknown.
+  const InstructionDescription* Find(std::string_view name) const;
+
+  const std::vector<InstructionDescription>& all() const { return defs_; }
+
+ private:
+  std::vector<InstructionDescription> defs_;
+  std::unordered_map<std::string_view, std::size_t> index_;
+};
+
+}  // namespace rvss::isa

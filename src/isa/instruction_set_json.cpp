@@ -1,0 +1,229 @@
+#include "isa/instruction_set_json.h"
+
+#include <array>
+
+namespace rvss::isa {
+
+const char* ToString(InstructionType type) {
+  switch (type) {
+    case InstructionType::kArithmetic: return "kArithmetic";
+    case InstructionType::kMulDiv: return "kMulDiv";
+    case InstructionType::kFloat: return "kFloat";
+    case InstructionType::kLoad: return "kLoad";
+    case InstructionType::kStore: return "kStore";
+    case InstructionType::kBranch: return "kBranch";
+    case InstructionType::kJump: return "kJump";
+  }
+  return "kArithmetic";
+}
+
+const char* ToString(OpClass opClass) {
+  switch (opClass) {
+    case OpClass::kIntAlu: return "kIntAlu";
+    case OpClass::kIntMul: return "kIntMul";
+    case OpClass::kIntDiv: return "kIntDiv";
+    case OpClass::kFpAdd: return "kFpAdd";
+    case OpClass::kFpMul: return "kFpMul";
+    case OpClass::kFpDiv: return "kFpDiv";
+    case OpClass::kFpFma: return "kFpFma";
+    case OpClass::kFpOther: return "kFpOther";
+    case OpClass::kBranch: return "kBranch";
+    case OpClass::kMemAddr: return "kMemAddr";
+  }
+  return "kIntAlu";
+}
+
+const char* ToString(ArgType type) {
+  switch (type) {
+    case ArgType::kInt: return "kInt";
+    case ArgType::kUInt: return "kUInt";
+    case ArgType::kFloat: return "kFloat";
+    case ArgType::kDouble: return "kDouble";
+    case ArgType::kBool: return "kBool";
+  }
+  return "kInt";
+}
+
+namespace {
+
+const char* ToString(BranchKind kind) {
+  switch (kind) {
+    case BranchKind::kNone: return "kNone";
+    case BranchKind::kConditional: return "kConditional";
+    case BranchKind::kUnconditionalDirect: return "kUnconditionalDirect";
+    case BranchKind::kUnconditionalIndirect: return "kUnconditionalIndirect";
+  }
+  return "kNone";
+}
+
+template <typename Enum, std::size_t N>
+std::optional<Enum> ParseEnum(
+    std::string_view text,
+    const std::array<std::pair<std::string_view, Enum>, N>& table) {
+  for (const auto& [name, value] : table) {
+    if (name == text) return value;
+  }
+  return std::nullopt;
+}
+
+constexpr std::array<std::pair<std::string_view, InstructionType>, 7>
+    kInstructionTypes{{{"kArithmetic", InstructionType::kArithmetic},
+                       {"kMulDiv", InstructionType::kMulDiv},
+                       {"kFloat", InstructionType::kFloat},
+                       {"kLoad", InstructionType::kLoad},
+                       {"kStore", InstructionType::kStore},
+                       {"kBranch", InstructionType::kBranch},
+                       {"kJump", InstructionType::kJump}}};
+
+constexpr std::array<std::pair<std::string_view, OpClass>, 10> kOpClasses{
+    {{"kIntAlu", OpClass::kIntAlu},
+     {"kIntMul", OpClass::kIntMul},
+     {"kIntDiv", OpClass::kIntDiv},
+     {"kFpAdd", OpClass::kFpAdd},
+     {"kFpMul", OpClass::kFpMul},
+     {"kFpDiv", OpClass::kFpDiv},
+     {"kFpFma", OpClass::kFpFma},
+     {"kFpOther", OpClass::kFpOther},
+     {"kBranch", OpClass::kBranch},
+     {"kMemAddr", OpClass::kMemAddr}}};
+
+constexpr std::array<std::pair<std::string_view, ArgType>, 5> kArgTypes{
+    {{"kInt", ArgType::kInt},
+     {"kUInt", ArgType::kUInt},
+     {"kFloat", ArgType::kFloat},
+     {"kDouble", ArgType::kDouble},
+     {"kBool", ArgType::kBool}}};
+
+constexpr std::array<std::pair<std::string_view, BranchKind>, 4> kBranchKinds{
+    {{"kNone", BranchKind::kNone},
+     {"kConditional", BranchKind::kConditional},
+     {"kUnconditionalDirect", BranchKind::kUnconditionalDirect},
+     {"kUnconditionalIndirect", BranchKind::kUnconditionalIndirect}}};
+
+}  // namespace
+
+json::Json ToJson(const InstructionDescription& def) {
+  json::Json node = json::Json::MakeObject();
+  node.Set("name", def.name);
+  node.Set("instructionType", ToString(def.type));
+  node.Set("opClass", ToString(def.opClass));
+  json::Json args = json::Json::MakeArray();
+  for (const ArgumentDescription& arg : def.args) {
+    json::Json argNode = json::Json::MakeObject();
+    argNode.Set("name", arg.name);
+    argNode.Set("type", ToString(arg.type));
+    if (arg.writeBack) argNode.Set("writeBack", true);
+    if (arg.isImmediate) argNode.Set("isImmediate", true);
+    args.Append(std::move(argNode));
+  }
+  node.Set("arguments", std::move(args));
+  node.Set("interpretableAs", def.interpretableAs);
+  if (def.branch != BranchKind::kNone) node.Set("branch", ToString(def.branch));
+  if (def.mem.isLoad || def.mem.isStore) {
+    json::Json mem = json::Json::MakeObject();
+    mem.Set("isLoad", def.mem.isLoad);
+    mem.Set("isStore", def.mem.isStore);
+    mem.Set("sizeBytes", static_cast<int>(def.mem.sizeBytes));
+    mem.Set("isSigned", def.mem.isSigned);
+    mem.Set("isFloat", def.mem.isFloat);
+    node.Set("memory", std::move(mem));
+  }
+  if (def.flops != 0) node.Set("flops", static_cast<int>(def.flops));
+  if (def.takesRoundingMode) node.Set("takesRoundingMode", true);
+  if (def.isHalt) node.Set("isHalt", true);
+  return node;
+}
+
+json::Json ToJson(const InstructionSet& set) {
+  json::Json out = json::Json::MakeArray();
+  for (const InstructionDescription& def : set.all()) {
+    out.Append(ToJson(def));
+  }
+  return out;
+}
+
+Result<InstructionDescription> InstructionFromJson(const json::Json& node) {
+  if (!node.IsObject()) {
+    return Error{ErrorKind::kParse, "instruction definition must be an object"};
+  }
+  InstructionDescription def;
+  def.name = node.GetString("name", "");
+  if (def.name.empty()) {
+    return Error{ErrorKind::kParse, "instruction definition missing 'name'"};
+  }
+  auto type = ParseEnum(node.GetString("instructionType", "kArithmetic"),
+                        kInstructionTypes);
+  if (!type) {
+    return Error{ErrorKind::kParse,
+                 "unknown instructionType in definition of '" + def.name + "'"};
+  }
+  def.type = *type;
+  auto opClass = ParseEnum(node.GetString("opClass", "kIntAlu"), kOpClasses);
+  if (!opClass) {
+    return Error{ErrorKind::kParse,
+                 "unknown opClass in definition of '" + def.name + "'"};
+  }
+  def.opClass = *opClass;
+  if (const json::Json* args = node.Find("arguments"); args != nullptr) {
+    if (!args->IsArray()) {
+      return Error{ErrorKind::kParse, "'arguments' must be an array"};
+    }
+    for (const json::Json& argNode : args->AsArray()) {
+      ArgumentDescription arg;
+      arg.name = argNode.GetString("name", "");
+      if (arg.name.empty()) {
+        return Error{ErrorKind::kParse,
+                     "argument of '" + def.name + "' missing 'name'"};
+      }
+      auto argType = ParseEnum(argNode.GetString("type", "kInt"), kArgTypes);
+      if (!argType) {
+        return Error{ErrorKind::kParse,
+                     "unknown argument type in '" + def.name + "'"};
+      }
+      arg.type = *argType;
+      arg.writeBack = argNode.GetBool("writeBack", false);
+      arg.isImmediate =
+          argNode.GetBool("isImmediate", arg.name == "imm");
+      def.args.push_back(std::move(arg));
+    }
+  }
+  def.interpretableAs = node.GetString("interpretableAs", "");
+  auto branch = ParseEnum(node.GetString("branch", "kNone"), kBranchKinds);
+  if (!branch) {
+    return Error{ErrorKind::kParse,
+                 "unknown branch kind in '" + def.name + "'"};
+  }
+  def.branch = *branch;
+  if (const json::Json* mem = node.Find("memory"); mem != nullptr) {
+    def.mem.isLoad = mem->GetBool("isLoad", false);
+    def.mem.isStore = mem->GetBool("isStore", false);
+    def.mem.sizeBytes = static_cast<std::uint8_t>(mem->GetInt("sizeBytes", 0));
+    def.mem.isSigned = mem->GetBool("isSigned", false);
+    def.mem.isFloat = mem->GetBool("isFloat", false);
+    if (def.mem.sizeBytes != 1 && def.mem.sizeBytes != 2 &&
+        def.mem.sizeBytes != 4 && def.mem.sizeBytes != 8) {
+      return Error{ErrorKind::kParse,
+                   "invalid memory sizeBytes in '" + def.name + "'"};
+    }
+  }
+  def.flops = static_cast<std::uint8_t>(node.GetInt("flops", 0));
+  def.takesRoundingMode = node.GetBool("takesRoundingMode", false);
+  def.isHalt = node.GetBool("isHalt", false);
+  return def;
+}
+
+Result<InstructionSet> InstructionSetFromJson(const json::Json& node) {
+  if (!node.IsArray()) {
+    return Error{ErrorKind::kParse, "instruction set must be a JSON array"};
+  }
+  std::vector<InstructionDescription> defs;
+  defs.reserve(node.AsArray().size());
+  for (const json::Json& defNode : node.AsArray()) {
+    RVSS_ASSIGN_OR_RETURN(InstructionDescription def,
+                          InstructionFromJson(defNode));
+    defs.push_back(std::move(def));
+  }
+  return InstructionSet(std::move(defs));
+}
+
+}  // namespace rvss::isa

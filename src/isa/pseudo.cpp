@@ -1,0 +1,176 @@
+#include "isa/pseudo.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace rvss::isa {
+namespace {
+
+using Expansion = std::vector<ExpandedInstruction>;
+
+Error WrongOperandCount(std::string_view mnemonic, std::size_t expected,
+                        std::size_t got) {
+  return Error{ErrorKind::kParse,
+               std::string(mnemonic) + " expects " + std::to_string(expected) +
+                   " operand(s), got " + std::to_string(got)};
+}
+
+ExpandedInstruction Make(std::string mnemonic,
+                         std::vector<std::string> operands) {
+  return ExpandedInstruction{std::move(mnemonic), std::move(operands)};
+}
+
+/// True when `text` parses as an integer that fits a signed 12-bit
+/// immediate. Label operands return false and defer to lui+addi.
+bool FitsImm12(std::string_view text) {
+  auto value = ParseInt(text);
+  return value.has_value() && *value >= -2048 && *value <= 2047;
+}
+
+}  // namespace
+
+bool IsPseudoInstruction(std::string_view mnemonic) {
+  static const std::unordered_map<std::string_view, int>* kNames = [] {
+    auto* set = new std::unordered_map<std::string_view, int>();
+    for (const char* name :
+         {"nop",  "li",   "la",    "lla",  "mv",    "not",   "neg",
+          "seqz", "snez", "sltz",  "sgtz", "beqz",  "bnez",  "blez",
+          "bgez", "bltz", "bgtz",  "bgt",  "ble",   "bgtu",  "bleu",
+          "j",    "jr",   "ret",   "call", "tail",  "fmv.s", "fabs.s",
+          "fneg.s", "fmv.d", "fabs.d", "fneg.d"}) {
+      set->emplace(name, 0);
+    }
+    return set;
+  }();
+  // `jal label` / `jalr rs` single-operand forms are handled as pseudo too,
+  // but dispatch on operand count happens in ExpandPseudoInstruction.
+  return kNames->contains(mnemonic);
+}
+
+Result<Expansion> ExpandPseudoInstruction(
+    std::string_view mnemonic, const std::vector<std::string>& ops) {
+  auto require = [&](std::size_t n) -> Status {
+    if (ops.size() != n) return WrongOperandCount(mnemonic, n, ops.size());
+    return Status::Ok();
+  };
+
+  if (mnemonic == "nop") {
+    RVSS_RETURN_IF_ERROR(require(0));
+    return Expansion{Make("addi", {"x0", "x0", "0"})};
+  }
+  if (mnemonic == "li") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    if (FitsImm12(ops[1])) {
+      return Expansion{Make("addi", {ops[0], "x0", ops[1]})};
+    }
+    // lui rd, %hi(imm); addi rd, rd, %lo(imm) — the relocation operators
+    // handle the +0x800 rounding interplay exactly like compiler output.
+    return Expansion{Make("lui", {ops[0], "%hi(" + ops[1] + ")"}),
+                     Make("addi", {ops[0], ops[0], "%lo(" + ops[1] + ")"})};
+  }
+  if (mnemonic == "la" || mnemonic == "lla") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("lui", {ops[0], "%hi(" + ops[1] + ")"}),
+                     Make("addi", {ops[0], ops[0], "%lo(" + ops[1] + ")"})};
+  }
+  if (mnemonic == "mv") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("addi", {ops[0], ops[1], "0"})};
+  }
+  if (mnemonic == "not") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("xori", {ops[0], ops[1], "-1"})};
+  }
+  if (mnemonic == "neg") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("sub", {ops[0], "x0", ops[1]})};
+  }
+  if (mnemonic == "seqz") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("sltiu", {ops[0], ops[1], "1"})};
+  }
+  if (mnemonic == "snez") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("sltu", {ops[0], "x0", ops[1]})};
+  }
+  if (mnemonic == "sltz") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("slt", {ops[0], ops[1], "x0"})};
+  }
+  if (mnemonic == "sgtz") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("slt", {ops[0], "x0", ops[1]})};
+  }
+
+  // Branch-against-zero family.
+  if (mnemonic == "beqz" || mnemonic == "bnez" || mnemonic == "bgez" ||
+      mnemonic == "bltz") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    static const std::unordered_map<std::string_view, const char*> kMap = {
+        {"beqz", "beq"}, {"bnez", "bne"}, {"bgez", "bge"}, {"bltz", "blt"}};
+    return Expansion{Make(kMap.at(mnemonic), {ops[0], "x0", ops[1]})};
+  }
+  if (mnemonic == "blez") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("bge", {"x0", ops[0], ops[1]})};
+  }
+  if (mnemonic == "bgtz") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    return Expansion{Make("blt", {"x0", ops[0], ops[1]})};
+  }
+
+  // Swapped-operand comparison branches.
+  if (mnemonic == "bgt" || mnemonic == "ble" || mnemonic == "bgtu" ||
+      mnemonic == "bleu") {
+    RVSS_RETURN_IF_ERROR(require(3));
+    static const std::unordered_map<std::string_view, const char*> kMap = {
+        {"bgt", "blt"}, {"ble", "bge"}, {"bgtu", "bltu"}, {"bleu", "bgeu"}};
+    return Expansion{Make(kMap.at(mnemonic), {ops[1], ops[0], ops[2]})};
+  }
+
+  // Jumps.
+  if (mnemonic == "j") {
+    RVSS_RETURN_IF_ERROR(require(1));
+    return Expansion{Make("jal", {"x0", ops[0]})};
+  }
+  if (mnemonic == "jr") {
+    RVSS_RETURN_IF_ERROR(require(1));
+    return Expansion{Make("jalr", {"x0", ops[0], "0"})};
+  }
+  if (mnemonic == "ret") {
+    RVSS_RETURN_IF_ERROR(require(0));
+    return Expansion{Make("jalr", {"x0", "ra", "0"})};
+  }
+  if (mnemonic == "call") {
+    RVSS_RETURN_IF_ERROR(require(1));
+    return Expansion{Make("jal", {"ra", ops[0]})};
+  }
+  if (mnemonic == "tail") {
+    RVSS_RETURN_IF_ERROR(require(1));
+    return Expansion{Make("jal", {"x0", ops[0]})};
+  }
+
+  // FP register moves via sign injection.
+  if (mnemonic == "fmv.s" || mnemonic == "fmv.d") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    const char* base = mnemonic == "fmv.s" ? "fsgnj.s" : "fsgnj.d";
+    return Expansion{Make(base, {ops[0], ops[1], ops[1]})};
+  }
+  if (mnemonic == "fabs.s" || mnemonic == "fabs.d") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    const char* base = mnemonic == "fabs.s" ? "fsgnjx.s" : "fsgnjx.d";
+    return Expansion{Make(base, {ops[0], ops[1], ops[1]})};
+  }
+  if (mnemonic == "fneg.s" || mnemonic == "fneg.d") {
+    RVSS_RETURN_IF_ERROR(require(2));
+    const char* base = mnemonic == "fneg.s" ? "fsgnjn.s" : "fsgnjn.d";
+    return Expansion{Make(base, {ops[0], ops[1], ops[1]})};
+  }
+
+  return Error{ErrorKind::kInternal,
+               "ExpandPseudoInstruction called with non-pseudo mnemonic '" +
+                   std::string(mnemonic) + "'"};
+}
+
+}  // namespace rvss::isa

@@ -1,0 +1,37 @@
+// Pseudo-instruction expansion.
+//
+// Works at the text level, before operand resolution: the assembler hands
+// in a mnemonic plus raw operand strings and receives one or more real
+// RV32IMFD instructions. Label operands pass through untouched and are
+// resolved later by the assembler's second pass, which also lets `li` with
+// a label-valued immediate work.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rvss::isa {
+
+/// One expanded instruction: mnemonic + operand texts.
+struct ExpandedInstruction {
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+/// True if `mnemonic` names a pseudo-instruction this module expands.
+bool IsPseudoInstruction(std::string_view mnemonic);
+
+/// Expands a pseudo-instruction. For `li` with an immediate that does not
+/// fit 12 bits this produces the standard lui+addi pair; `la`/`lla`
+/// produce `lui %hi` + `addi %lo` so that compiler-style relocation
+/// operators flow through the same path as hand-written code.
+///
+/// Returns an error for malformed operand counts. Calling this with a
+/// non-pseudo mnemonic is an error.
+Result<std::vector<ExpandedInstruction>> ExpandPseudoInstruction(
+    std::string_view mnemonic, const std::vector<std::string>& operands);
+
+}  // namespace rvss::isa

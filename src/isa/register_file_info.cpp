@@ -1,0 +1,68 @@
+#include "isa/register_file_info.h"
+
+#include <array>
+#include <cctype>
+
+namespace rvss::isa {
+namespace {
+
+constexpr std::array<const char*, 32> kIntAliases = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0",   "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6",   "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+constexpr std::array<const char*, 32> kFpAliases = {
+    "ft0", "ft1", "ft2",  "ft3",  "ft4", "ft5", "ft6",  "ft7",
+    "fs0", "fs1", "fa0",  "fa1",  "fa2", "fa3", "fa4",  "fa5",
+    "fa6", "fa7", "fs2",  "fs3",  "fs4", "fs5", "fs6",  "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"};
+
+std::optional<std::uint8_t> ParseIndex(std::string_view digits) {
+  if (digits.empty() || digits.size() > 2) return std::nullopt;
+  unsigned value = 0;
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (value >= 32) return std::nullopt;
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<RegisterId> ParseRegisterName(std::string_view name) {
+  if (name.empty()) return std::nullopt;
+  // Machine names: x0..x31, f0..f31.
+  if ((name[0] == 'x' || name[0] == 'f') && name.size() >= 2 &&
+      std::isdigit(static_cast<unsigned char>(name[1]))) {
+    auto index = ParseIndex(name.substr(1));
+    if (index.has_value()) {
+      return RegisterId{name[0] == 'x' ? RegisterKind::kInt : RegisterKind::kFp,
+                        *index};
+    }
+  }
+  // "fp" is the standard alias of s0/x8.
+  if (name == "fp") return RegisterId{RegisterKind::kInt, 8};
+  for (std::uint8_t i = 0; i < 32; ++i) {
+    if (name == kIntAliases[i]) return RegisterId{RegisterKind::kInt, i};
+  }
+  for (std::uint8_t i = 0; i < 32; ++i) {
+    if (name == kFpAliases[i]) return RegisterId{RegisterKind::kFp, i};
+  }
+  return std::nullopt;
+}
+
+std::string RegisterName(RegisterId id) {
+  return (id.kind == RegisterKind::kInt ? "x" : "f") + std::to_string(id.index);
+}
+
+std::string RegisterAbiName(RegisterId id) {
+  if (id.index < 32) {
+    return id.kind == RegisterKind::kInt ? kIntAliases[id.index]
+                                         : kFpAliases[id.index];
+  }
+  return RegisterName(id);
+}
+
+}  // namespace rvss::isa

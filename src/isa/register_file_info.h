@@ -1,0 +1,37 @@
+// Architectural register naming: x0..x31 / f0..f31 plus ABI aliases.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rvss::isa {
+
+enum class RegisterKind : std::uint8_t { kInt, kFp };
+
+/// Identity of one architectural register.
+struct RegisterId {
+  RegisterKind kind = RegisterKind::kInt;
+  std::uint8_t index = 0;  ///< 0..31
+
+  friend bool operator==(const RegisterId&, const RegisterId&) = default;
+};
+
+/// Well-known integer registers.
+inline constexpr std::uint8_t kZeroReg = 0;   ///< x0
+inline constexpr std::uint8_t kRaReg = 1;     ///< x1, link register
+inline constexpr std::uint8_t kSpReg = 2;     ///< x2, stack pointer
+
+/// Parses "x7", "f3" or any ABI alias ("t0", "sp", "fa0", ...).
+/// Returns nullopt for unknown names.
+std::optional<RegisterId> ParseRegisterName(std::string_view name);
+
+/// Canonical machine name: "x7" / "f3".
+std::string RegisterName(RegisterId id);
+
+/// ABI alias: "t2" / "fs1". Falls back to the machine name when the index
+/// has no alias.
+std::string RegisterAbiName(RegisterId id);
+
+}  // namespace rvss::isa

@@ -1,0 +1,30 @@
+// Memory dump import/export in binary and CSV formats (paper §II-C: the
+// memory editor can import and export dumps in both formats).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "memory/main_memory.h"
+
+namespace rvss::memory {
+
+/// Raw bytes of [start, start+length). `length == 0` means "to the end".
+std::string ExportBinary(const MainMemory& memory, std::uint32_t start = 0,
+                         std::uint32_t length = 0);
+
+/// Writes `data` into memory at `start`; fails when it does not fit.
+Status ImportBinary(MainMemory& memory, std::string_view data,
+                    std::uint32_t start = 0);
+
+/// CSV with one "address,value" row per byte (hex address, decimal value).
+std::string ExportCsv(const MainMemory& memory, std::uint32_t start = 0,
+                      std::uint32_t length = 0);
+
+/// Parses CSV produced by ExportCsv (tolerates a header row and blank
+/// lines) and applies every row.
+Status ImportCsv(MainMemory& memory, std::string_view csv);
+
+}  // namespace rvss::memory

@@ -1,0 +1,61 @@
+#include "memory/main_memory.h"
+
+#include <algorithm>
+
+namespace rvss::memory {
+
+std::uint16_t MainMemory::Read16(std::uint32_t address) const {
+  return static_cast<std::uint16_t>(bytes_[address]) |
+         static_cast<std::uint16_t>(bytes_[address + 1]) << 8;
+}
+
+std::uint32_t MainMemory::Read32(std::uint32_t address) const {
+  return static_cast<std::uint32_t>(bytes_[address]) |
+         static_cast<std::uint32_t>(bytes_[address + 1]) << 8 |
+         static_cast<std::uint32_t>(bytes_[address + 2]) << 16 |
+         static_cast<std::uint32_t>(bytes_[address + 3]) << 24;
+}
+
+std::uint64_t MainMemory::Read64(std::uint32_t address) const {
+  return static_cast<std::uint64_t>(Read32(address)) |
+         static_cast<std::uint64_t>(Read32(address + 4)) << 32;
+}
+
+void MainMemory::Write16(std::uint32_t address, std::uint16_t value) {
+  bytes_[address] = static_cast<std::uint8_t>(value);
+  bytes_[address + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void MainMemory::Write32(std::uint32_t address, std::uint32_t value) {
+  Write16(address, static_cast<std::uint16_t>(value));
+  Write16(address + 2, static_cast<std::uint16_t>(value >> 16));
+}
+
+void MainMemory::Write64(std::uint32_t address, std::uint64_t value) {
+  Write32(address, static_cast<std::uint32_t>(value));
+  Write32(address + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint64_t MainMemory::ReadBytes(std::uint32_t address,
+                                    std::uint32_t accessSize) const {
+  switch (accessSize) {
+    case 1: return Read8(address);
+    case 2: return Read16(address);
+    case 4: return Read32(address);
+    default: return Read64(address);
+  }
+}
+
+void MainMemory::WriteBytes(std::uint32_t address, std::uint32_t accessSize,
+                            std::uint64_t value) {
+  switch (accessSize) {
+    case 1: Write8(address, static_cast<std::uint8_t>(value)); break;
+    case 2: Write16(address, static_cast<std::uint16_t>(value)); break;
+    case 4: Write32(address, static_cast<std::uint32_t>(value)); break;
+    default: Write64(address, value); break;
+  }
+}
+
+void MainMemory::Clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+}  // namespace rvss::memory

@@ -1,0 +1,61 @@
+// Main memory: a 1-D byte array with little-endian typed accessors.
+//
+// Matching the paper (§III-A), the simulator's memory is a flat byte array
+// of predefined capacity. Functional correctness and timing are split:
+// data reads/writes happen immediately on this array, while access *timing*
+// is produced by MemorySystem (cache + latency model) through transaction
+// objects. Stores are only performed at commit, in program order, so the
+// immediate-write model is architecturally exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rvss::memory {
+
+class MainMemory {
+ public:
+  explicit MainMemory(std::uint32_t sizeBytes) : bytes_(sizeBytes, 0) {}
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(bytes_.size()); }
+
+  /// True when [address, address+size) lies inside memory.
+  bool InBounds(std::uint32_t address, std::uint32_t accessSize) const {
+    return accessSize <= bytes_.size() &&
+           address <= bytes_.size() - accessSize;
+  }
+
+  /// Unchecked little-endian loads; callers bounds-check first (the LSU
+  /// turns violations into runtime exceptions at commit).
+  std::uint8_t Read8(std::uint32_t address) const { return bytes_[address]; }
+  std::uint16_t Read16(std::uint32_t address) const;
+  std::uint32_t Read32(std::uint32_t address) const;
+  std::uint64_t Read64(std::uint32_t address) const;
+
+  void Write8(std::uint32_t address, std::uint8_t value) {
+    bytes_[address] = value;
+  }
+  void Write16(std::uint32_t address, std::uint16_t value);
+  void Write32(std::uint32_t address, std::uint32_t value);
+  void Write64(std::uint32_t address, std::uint64_t value);
+
+  /// Generic accessors used by the load/store unit (size in {1,2,4,8}).
+  std::uint64_t ReadBytes(std::uint32_t address, std::uint32_t accessSize) const;
+  void WriteBytes(std::uint32_t address, std::uint32_t accessSize,
+                  std::uint64_t value);
+
+  /// Whole-memory views for dump import/export and the GUI memory pop-up.
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  std::span<std::uint8_t> bytes() { return bytes_; }
+
+  /// Zeroes all contents (simulation reset).
+  void Clear();
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace rvss::memory

@@ -1,0 +1,23 @@
+// Memory transactions (paper §III-A): functional blocks that need memory
+// generate a transaction object; the memory system "populates this object
+// with information about the transaction's completion time". Transactions
+// also carry the metadata the GUI shows (hit/miss, evictions).
+#pragma once
+
+#include <cstdint>
+
+namespace rvss::memory {
+
+struct MemoryTransaction {
+  std::uint64_t id = 0;             ///< monotonically increasing
+  std::uint32_t address = 0;
+  std::uint32_t sizeBytes = 0;
+  bool isStore = false;
+  std::uint64_t issuedCycle = 0;    ///< cycle the request was registered
+  std::uint64_t completesAtCycle = 0;  ///< filled in by MemorySystem
+  bool cacheHit = false;
+  bool causedEviction = false;      ///< replaced a valid line
+  bool evictionWasDirty = false;    ///< eviction wrote the line back
+};
+
+}  // namespace rvss::memory

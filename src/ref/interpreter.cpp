@@ -1,0 +1,190 @@
+#include "ref/interpreter.h"
+
+#include "common/strings.h"
+
+namespace rvss::ref {
+
+const char* ToString(ExitReason reason) {
+  switch (reason) {
+    case ExitReason::kRunning: return "running";
+    case ExitReason::kMainReturned: return "main returned";
+    case ExitReason::kHalted: return "halted";
+    case ExitReason::kRanOffCode: return "ran off code";
+    case ExitReason::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+Interpreter::Interpreter(const assembler::Program& program,
+                         memory::MainMemory& memory, bool trapOnDivZero)
+    : program_(program), memory_(memory), trapOnDivZero_(trapOnDivZero) {
+  pc_ = program.entryPc;
+}
+
+void Interpreter::InitRegisters(std::uint32_t initialSp) {
+  x_.fill(0);
+  f_.fill(0);
+  x_[isa::kSpReg] = initialSp;
+  x_[isa::kRaReg] = isa::kExitAddress;
+  pc_ = program_.entryPc;
+}
+
+ExitReason Interpreter::Fault(std::string message) {
+  fault_ = Error{ErrorKind::kRuntime, std::move(message)};
+  return ExitReason::kFault;
+}
+
+ExitReason Interpreter::StepOne() {
+  const std::uint32_t index = pc_ / 4;
+  if (pc_ % 4 != 0) {
+    return Fault(StrFormat("misaligned PC 0x%08x", pc_));
+  }
+  if (index >= program_.instructions.size()) {
+    return ExitReason::kRanOffCode;
+  }
+  const assembler::Instruction& inst = program_.instructions[index];
+  const isa::InstructionDescription& def = *inst.def;
+
+  if (def.isHalt) {
+    ++stats_.executedInstructions;
+    ++stats_.mixByType[static_cast<std::size_t>(def.type)];
+    return ExitReason::kHalted;
+  }
+
+  // Gather argument values.
+  expr::Value args[4];
+  for (std::size_t i = 0; i < def.args.size(); ++i) {
+    const isa::ArgumentDescription& arg = def.args[i];
+    const assembler::Operand& operand = inst.operands[i];
+    if (arg.writeBack) continue;  // destinations push references, not values
+    if (operand.isRegister) {
+      const std::uint64_t cell = operand.reg.kind == isa::RegisterKind::kInt
+                                     ? x_[operand.reg.index]
+                                     : f_[operand.reg.index];
+      args[i] = expr::CellToValue(cell, arg.type);
+    } else {
+      args[i] = expr::ImmediateToValue(operand.imm, arg.type);
+    }
+  }
+
+  auto compiled = expressions_.Get(def);
+  if (!compiled.ok()) {
+    return Fault("bad semantics for '" + def.name + "': " +
+                 compiled.error().message);
+  }
+  expr::EvalResult result = compiled.value()->Evaluate(
+      std::span<const expr::Value>(args, def.args.size()), pc_);
+
+  if (trapOnDivZero_ && result.flags.divByZero) {
+    return Fault(StrFormat("division by zero at pc 0x%08x", pc_));
+  }
+
+  // Apply register write-backs.
+  auto writeReg = [&](int argIndex, expr::Value value) {
+    const isa::ArgumentDescription& arg =
+        def.args[static_cast<std::size_t>(argIndex)];
+    const assembler::Operand& operand =
+        inst.operands[static_cast<std::size_t>(argIndex)];
+    const std::uint64_t cell = expr::ValueToCell(value, arg.type);
+    if (operand.reg.kind == isa::RegisterKind::kInt) {
+      if (operand.reg.index != 0) x_[operand.reg.index] = cell;
+    } else {
+      f_[operand.reg.index] = cell;
+    }
+  };
+  for (const expr::WriteEffect& write : result.writes) {
+    writeReg(write.argIndex, write.value);
+  }
+
+  ++stats_.executedInstructions;
+  ++stats_.mixByType[static_cast<std::size_t>(def.type)];
+  stats_.flops += def.flops;
+
+  // Memory operations.
+  if (def.IsMemory()) {
+    const std::uint32_t address =
+        result.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32();
+    if (!memory_.InBounds(address, def.mem.sizeBytes)) {
+      return Fault(StrFormat("memory access out of bounds: 0x%08x (size %u)",
+                             address, def.mem.sizeBytes));
+    }
+    if (def.mem.isLoad) {
+      std::uint64_t raw = memory_.ReadBytes(address, def.mem.sizeBytes);
+      std::uint64_t cell;
+      if (def.mem.isFloat) {
+        cell = def.mem.sizeBytes == 4
+                   ? NanBoxFloat(static_cast<std::uint32_t>(raw))
+                   : raw;
+        f_[inst.operands[0].reg.index] = cell;
+      } else {
+        if (def.mem.isSigned) {
+          cell = static_cast<std::uint64_t>(
+              SignExtend(raw, def.mem.sizeBytes * 8));
+        } else {
+          cell = raw;
+        }
+        if (inst.operands[0].reg.index != 0) {
+          x_[inst.operands[0].reg.index] = cell;
+        }
+      }
+    } else {
+      // Store: operand 0 is rs2 (the data register).
+      const assembler::Operand& data = inst.operands[0];
+      std::uint64_t cell = data.reg.kind == isa::RegisterKind::kInt
+                               ? x_[data.reg.index]
+                               : f_[data.reg.index];
+      std::uint64_t raw = cell;
+      if (def.mem.isFloat && def.mem.sizeBytes == 4) {
+        raw = UnboxFloat(cell);
+      }
+      memory_.WriteBytes(address, def.mem.sizeBytes, raw);
+    }
+    pc_ += 4;
+    return ExitReason::kRunning;
+  }
+
+  // Control flow.
+  switch (def.branch) {
+    case isa::BranchKind::kNone:
+      pc_ += 4;
+      return ExitReason::kRunning;
+    case isa::BranchKind::kConditional: {
+      const bool taken = result.stackTop->AsBool();
+      if (taken) {
+        ++stats_.takenBranches;
+        const int immIndex = def.ArgIndex("imm");
+        pc_ = pc_ + static_cast<std::uint32_t>(
+                        inst.operands[static_cast<std::size_t>(immIndex)].imm);
+      } else {
+        ++stats_.notTakenBranches;
+        pc_ += 4;
+      }
+      return ExitReason::kRunning;
+    }
+    case isa::BranchKind::kUnconditionalDirect:
+    case isa::BranchKind::kUnconditionalIndirect: {
+      const std::uint32_t target =
+          result.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32();
+      if (target == isa::kExitAddress) {
+        return ExitReason::kMainReturned;
+      }
+      if (target % 4 != 0 || target / 4 >= program_.instructions.size()) {
+        return Fault(StrFormat("jump to invalid address 0x%08x", target));
+      }
+      pc_ = target;
+      return ExitReason::kRunning;
+    }
+  }
+  return ExitReason::kRunning;
+}
+
+ExitReason Interpreter::Run(std::uint64_t maxInstructions) {
+  const std::uint64_t limit = stats_.executedInstructions + maxInstructions;
+  while (stats_.executedInstructions < limit) {
+    ExitReason reason = StepOne();
+    if (reason != ExitReason::kRunning) return reason;
+  }
+  return ExitReason::kRunning;
+}
+
+}  // namespace rvss::ref

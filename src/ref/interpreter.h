@@ -1,0 +1,89 @@
+// Golden-model instruction-set simulator.
+//
+// A deliberately simple in-order, one-instruction-at-a-time interpreter
+// over the *same* instruction definitions and expression semantics as the
+// out-of-order core. It serves three purposes:
+//   1. differential oracle — the OoO core must produce the identical
+//      architectural state on every program and configuration,
+//   2. fast batch execution for the compiler's own tests,
+//   3. a reference for the per-instruction semantics test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "assembler/loader.h"
+#include "assembler/program.h"
+#include "common/status.h"
+#include "expr/expression_cache.h"
+#include "expr/reg_value.h"
+#include "isa/abi.h"
+#include "memory/main_memory.h"
+
+namespace rvss::ref {
+
+enum class ExitReason : std::uint8_t {
+  kRunning,       ///< budget exhausted before completion
+  kMainReturned,  ///< jump to the exit sentinel (ret from entry routine)
+  kHalted,        ///< ecall / ebreak committed
+  kRanOffCode,    ///< PC advanced past the last instruction
+  kFault,         ///< runtime exception (bad access, misaligned jump, ...)
+};
+
+const char* ToString(ExitReason reason);
+
+/// Dynamic execution counters (a subset of the paper's statistics that is
+/// meaningful without a microarchitecture).
+struct InterpreterStats {
+  std::uint64_t executedInstructions = 0;
+  std::uint64_t flops = 0;
+  std::uint64_t takenBranches = 0;
+  std::uint64_t notTakenBranches = 0;
+  std::array<std::uint64_t, 7> mixByType{};  ///< indexed by InstructionType
+};
+
+class Interpreter {
+ public:
+  /// `memory` must already contain the program's data (see LoadProgram).
+  Interpreter(const assembler::Program& program, memory::MainMemory& memory,
+              bool trapOnDivZero = false);
+
+  /// Installs sp / ra and the entry PC. Call before Run/StepOne.
+  void InitRegisters(std::uint32_t initialSp);
+
+  /// Runs until completion or until `maxInstructions` executed.
+  ExitReason Run(std::uint64_t maxInstructions = 100'000'000);
+
+  /// Executes one instruction; returns kRunning while there is more.
+  ExitReason StepOne();
+
+  std::uint32_t pc() const { return pc_; }
+  const InterpreterStats& stats() const { return stats_; }
+  /// Fault details when the exit reason was kFault.
+  const std::optional<Error>& fault() const { return fault_; }
+
+  /// Architectural register access (tests, differential comparison).
+  std::uint64_t ReadIntReg(unsigned index) const { return x_[index]; }
+  std::uint64_t ReadFpReg(unsigned index) const { return f_[index]; }
+  void WriteIntReg(unsigned index, std::uint64_t cell) {
+    if (index != 0) x_[index] = cell;
+  }
+  void WriteFpReg(unsigned index, std::uint64_t cell) { f_[index] = cell; }
+
+ private:
+  ExitReason Fault(std::string message);
+
+  const assembler::Program& program_;
+  memory::MainMemory& memory_;
+  bool trapOnDivZero_;
+  expr::ExpressionCache expressions_;
+
+  std::array<std::uint64_t, 32> x_{};
+  std::array<std::uint64_t, 32> f_{};
+  std::uint32_t pc_ = 0;
+  InterpreterStats stats_;
+  std::optional<Error> fault_;
+};
+
+}  // namespace rvss::ref

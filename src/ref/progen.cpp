@@ -1,0 +1,248 @@
+#include "ref/progen.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace rvss::ref {
+namespace {
+
+/// Register pools. Loop counters and the array base live outside the data
+/// pools so generated bodies cannot corrupt loop control or wander out of
+/// the scratch array.
+constexpr const char* kIntRegs[] = {"a0", "a1", "a2", "a3", "a4", "a5",
+                                    "s2", "s3", "s4", "s5", "t3", "t4"};
+constexpr const char* kFpRegs[] = {"fa0", "fa1", "fa2", "fa3",
+                                   "fs2", "fs3", "ft3", "ft4"};
+constexpr const char* kDoubleRegs[] = {"fa4", "fa5", "fs4", "fs5"};
+constexpr const char* kCounterRegs[] = {"t0", "t1", "t2"};
+constexpr const char* kBaseReg = "s0";
+
+constexpr std::uint32_t kArrayWords = 64;
+
+class Generator {
+ public:
+  Generator(std::uint64_t seed, const ProgenOptions& options)
+      : rng_(seed), options_(options) {}
+
+  std::string Generate() {
+    out_ += "# progen seed program\n";
+    out_ += ".data\n";
+    out_ += "scratch:\n";
+    out_ += "    .word ";
+    for (std::uint32_t i = 0; i < kArrayWords; ++i) {
+      if (i != 0) out_ += ", ";
+      out_ += std::to_string(rng_.NextInRange(-1000, 1000));
+    }
+    out_ += "\n";
+    out_ += ".text\n";
+    out_ += "main:\n";
+    Emit("la " + std::string(kBaseReg) + ", scratch");
+    // Seed data registers with small constants.
+    for (const char* reg : kIntRegs) {
+      Emit(StrFormat("li %s, %lld", reg,
+                     static_cast<long long>(rng_.NextInRange(-500, 500))));
+    }
+    if (options_.useFloat) {
+      for (std::size_t i = 0; i < std::size(kFpRegs); ++i) {
+        Emit(StrFormat("li t5, %lld",
+                       static_cast<long long>(rng_.NextInRange(-100, 100))));
+        Emit(StrFormat("fcvt.s.w %s, t5", kFpRegs[i]));
+      }
+    }
+    if (options_.useDouble) {
+      for (std::size_t i = 0; i < std::size(kDoubleRegs); ++i) {
+        Emit(StrFormat("li t5, %lld",
+                       static_cast<long long>(rng_.NextInRange(-100, 100))));
+        Emit(StrFormat("fcvt.d.w %s, t5", kDoubleRegs[i]));
+      }
+    }
+
+    EmitBlock(options_.instructionTarget, /*loopDepth=*/0);
+
+    // Fold results into a0 so a single register carries a checksum.
+    Emit("add a0, a0, a1");
+    Emit("xor a0, a0, a2");
+    Emit("add a0, a0, s2");
+    Emit("ret");
+    return out_;
+  }
+
+ private:
+  void Emit(const std::string& text) { out_ += "    " + text + "\n"; }
+
+  std::string Label() { return StrFormat(".Lp%u", labelCounter_++); }
+
+  const char* IntReg() {
+    return kIntRegs[rng_.NextBelow(std::size(kIntRegs))];
+  }
+  const char* FpReg() { return kFpRegs[rng_.NextBelow(std::size(kFpRegs))]; }
+  const char* DoubleReg() {
+    return kDoubleRegs[rng_.NextBelow(std::size(kDoubleRegs))];
+  }
+
+  void EmitBlock(std::uint32_t budget, std::uint32_t loopDepth) {
+    std::uint32_t emitted = 0;
+    while (emitted < budget) {
+      const std::uint32_t roll = static_cast<std::uint32_t>(rng_.NextBelow(100));
+      if (roll < 8 && loopDepth < options_.maxLoopDepth && budget - emitted > 12) {
+        const std::uint32_t body = 4 + static_cast<std::uint32_t>(
+                                           rng_.NextBelow((budget - emitted) / 2));
+        EmitLoop(body, loopDepth);
+        emitted += body + 3;
+      } else if (roll < 16 && options_.useForwardBranches &&
+                 budget - emitted > 6) {
+        EmitForwardBranch(loopDepth);
+        emitted += 4;
+      } else if (roll < 40 && options_.useMemory) {
+        EmitMemoryOp();
+        ++emitted;
+      } else if (roll < 55 && options_.useFloat) {
+        EmitFloatOp();
+        ++emitted;
+      } else if (roll < 62 && options_.useDouble) {
+        EmitDoubleOp();
+        ++emitted;
+      } else {
+        EmitIntOp();
+        ++emitted;
+      }
+    }
+  }
+
+  void EmitLoop(std::uint32_t bodyBudget, std::uint32_t loopDepth) {
+    const char* counter = kCounterRegs[loopDepth];
+    const std::uint64_t iterations =
+        1 + rng_.NextBelow(options_.maxLoopIterations);
+    const std::string head = Label();
+    Emit(StrFormat("li %s, %llu", counter,
+                   static_cast<unsigned long long>(iterations)));
+    out_ += head + ":\n";
+    EmitBlock(bodyBudget, loopDepth + 1);
+    Emit(StrFormat("addi %s, %s, -1", counter, counter));
+    Emit(StrFormat("bnez %s, %s", counter, head.c_str()));
+  }
+
+  void EmitForwardBranch(std::uint32_t loopDepth) {
+    static constexpr const char* kBranches[] = {"beq", "bne", "blt", "bge",
+                                                "bltu", "bgeu"};
+    const std::string skip = Label();
+    Emit(StrFormat("%s %s, %s, %s",
+                   kBranches[rng_.NextBelow(std::size(kBranches))], IntReg(),
+                   IntReg(), skip.c_str()));
+    const std::uint32_t body = 1 + static_cast<std::uint32_t>(rng_.NextBelow(3));
+    for (std::uint32_t i = 0; i < body; ++i) {
+      if (options_.useMemory && rng_.NextBool(0.3)) {
+        EmitMemoryOp();
+      } else {
+        EmitIntOp();
+      }
+    }
+    (void)loopDepth;
+    out_ += skip + ":\n";
+  }
+
+  void EmitMemoryOp() {
+    // Offsets stay word-aligned inside the scratch array.
+    const std::uint32_t offset =
+        4 * static_cast<std::uint32_t>(rng_.NextBelow(kArrayWords));
+    const std::uint32_t kind = static_cast<std::uint32_t>(rng_.NextBelow(6));
+    switch (kind) {
+      case 0:
+        Emit(StrFormat("lw %s, %u(%s)", IntReg(), offset, kBaseReg));
+        break;
+      case 1:
+        Emit(StrFormat("sw %s, %u(%s)", IntReg(), offset, kBaseReg));
+        break;
+      case 2:
+        Emit(StrFormat("lbu %s, %u(%s)", IntReg(), offset, kBaseReg));
+        break;
+      case 3:
+        Emit(StrFormat("lh %s, %u(%s)", IntReg(), offset, kBaseReg));
+        break;
+      case 4:
+        if (options_.useFloat) {
+          Emit(StrFormat("flw %s, %u(%s)", FpReg(), offset, kBaseReg));
+          break;
+        }
+        [[fallthrough]];
+      default:
+        if (options_.useFloat && rng_.NextBool(0.5)) {
+          Emit(StrFormat("fsw %s, %u(%s)", FpReg(), offset, kBaseReg));
+        } else {
+          Emit(StrFormat("sb %s, %u(%s)", IntReg(), offset, kBaseReg));
+        }
+        break;
+    }
+  }
+
+  void EmitIntOp() {
+    static constexpr const char* kTernary[] = {"add", "sub", "xor", "or",
+                                               "and", "sll", "srl", "sra",
+                                               "slt", "sltu"};
+    static constexpr const char* kMulDiv[] = {"mul", "mulh", "mulhu", "div",
+                                              "divu", "rem", "remu"};
+    const std::uint32_t roll = static_cast<std::uint32_t>(rng_.NextBelow(100));
+    if (roll < 20) {
+      Emit(StrFormat("addi %s, %s, %lld", IntReg(), IntReg(),
+                     static_cast<long long>(rng_.NextInRange(-512, 511))));
+    } else if (roll < 30) {
+      Emit(StrFormat("slli %s, %s, %llu", IntReg(), IntReg(),
+                     static_cast<unsigned long long>(rng_.NextBelow(8))));
+    } else if (roll < 40 && options_.useMulDiv) {
+      Emit(StrFormat("%s %s, %s, %s", kMulDiv[rng_.NextBelow(std::size(kMulDiv))],
+                     IntReg(), IntReg(), IntReg()));
+    } else {
+      Emit(StrFormat("%s %s, %s, %s",
+                     kTernary[rng_.NextBelow(std::size(kTernary))], IntReg(),
+                     IntReg(), IntReg()));
+    }
+  }
+
+  void EmitFloatOp() {
+    static constexpr const char* kOps[] = {"fadd.s", "fsub.s", "fmul.s",
+                                           "fmin.s", "fmax.s", "fsgnj.s"};
+    const std::uint32_t roll = static_cast<std::uint32_t>(rng_.NextBelow(100));
+    if (roll < 60) {
+      Emit(StrFormat("%s %s, %s, %s", kOps[rng_.NextBelow(std::size(kOps))],
+                     FpReg(), FpReg(), FpReg()));
+    } else if (roll < 75) {
+      Emit(StrFormat("fmadd.s %s, %s, %s, %s", FpReg(), FpReg(), FpReg(),
+                     FpReg()));
+    } else if (roll < 85) {
+      Emit(StrFormat("fcvt.w.s %s, %s, rtz", IntReg(), FpReg()));
+    } else if (roll < 95) {
+      Emit(StrFormat("fcvt.s.w %s, %s", FpReg(), IntReg()));
+    } else {
+      Emit(StrFormat("feq.s %s, %s, %s", IntReg(), FpReg(), FpReg()));
+    }
+  }
+
+  void EmitDoubleOp() {
+    static constexpr const char* kOps[] = {"fadd.d", "fsub.d", "fmul.d",
+                                           "fmin.d", "fmax.d", "fsgnjx.d"};
+    const std::uint32_t roll = static_cast<std::uint32_t>(rng_.NextBelow(100));
+    if (roll < 70) {
+      Emit(StrFormat("%s %s, %s, %s", kOps[rng_.NextBelow(std::size(kOps))],
+                     DoubleReg(), DoubleReg(), DoubleReg()));
+    } else if (roll < 85) {
+      Emit(StrFormat("fcvt.d.w %s, %s", DoubleReg(), IntReg()));
+    } else {
+      Emit(StrFormat("flt.d %s, %s, %s", IntReg(), DoubleReg(), DoubleReg()));
+    }
+  }
+
+  Rng rng_;
+  ProgenOptions options_;
+  std::string out_;
+  std::uint32_t labelCounter_ = 0;
+};
+
+}  // namespace
+
+std::string GenerateProgram(std::uint64_t seed, const ProgenOptions& options) {
+  return Generator(seed, options).Generate();
+}
+
+}  // namespace rvss::ref

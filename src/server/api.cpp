@@ -1,0 +1,225 @@
+#include "server/api.h"
+
+#include <chrono>
+
+#include "assembler/assembler.h"
+#include "cc/compiler.h"
+#include "server/slz.h"
+
+namespace rvss::server {
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+json::Json Ok() {
+  json::Json response = json::Json::MakeObject();
+  response.Set("status", "ok");
+  return response;
+}
+
+}  // namespace
+
+json::Json SimServer::ErrorResponse(const Error& error) const {
+  json::Json response = json::Json::MakeObject();
+  response.Set("status", "error");
+  response.Set("kind", ToString(error.kind));
+  response.Set("message", error.message);
+  if (error.pos.line != 0) {
+    response.Set("line", static_cast<std::int64_t>(error.pos.line));
+    response.Set("column", static_cast<std::int64_t>(error.pos.column));
+  }
+  return response;
+}
+
+Result<SimServer::Session*> SimServer::FindSession(const json::Json& request) {
+  const std::int64_t id = request.GetInt("sessionId", -1);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Error{ErrorKind::kInvalidArgument,
+                 "unknown sessionId " + std::to_string(id)};
+  }
+  return &it->second;
+}
+
+json::Json SimServer::Dispatch(const json::Json& request) {
+  const std::string command = request.GetString("command", "");
+
+  if (command == "compile") {
+    cc::CompileOptions options;
+    options.optLevel = static_cast<int>(request.GetInt("optLevel", 0));
+    auto compiled = cc::Compile(request.GetString("code", ""), options);
+    if (!compiled.ok()) return ErrorResponse(compiled.error());
+    json::Json response = Ok();
+    response.Set("assembly", compiled.value().assembly);
+    return response;
+  }
+
+  if (command == "parseAsm") {
+    assembler::Assembler asmArg;
+    auto program = asmArg.Assemble(request.GetString("code", ""));
+    if (!program.ok()) return ErrorResponse(program.error());
+    json::Json response = Ok();
+    response.Set("instructionCount",
+                 static_cast<std::int64_t>(
+                     program.value().instructions.size()));
+    return response;
+  }
+
+  if (command == "checkConfig") {
+    const json::Json* configNode = request.Find("config");
+    if (configNode == nullptr) {
+      return ErrorResponse(
+          Error{ErrorKind::kInvalidArgument, "missing 'config'"});
+    }
+    auto config = config::CpuConfigFromJson(*configNode);
+    if (!config.ok()) return ErrorResponse(config.error());
+    json::Json response = Ok();
+    json::Json problems = json::Json::MakeArray();
+    for (const Error& problem : config::Validate(config.value())) {
+      problems.Append(problem.message);
+    }
+    response.Set("problems", std::move(problems));
+    return response;
+  }
+
+  if (command == "createSession") {
+    config::CpuConfig config = config::DefaultConfig();
+    if (const json::Json* configNode = request.Find("config");
+        configNode != nullptr) {
+      auto parsed = config::CpuConfigFromJson(*configNode);
+      if (!parsed.ok()) return ErrorResponse(parsed.error());
+      config = std::move(parsed).value();
+    }
+    core::Simulation::CreateOptions options;
+    options.entryLabel = request.GetString("entry", "");
+    if (const json::Json* arrays = request.Find("arrays");
+        arrays != nullptr && arrays->IsArray()) {
+      for (const json::Json& arrayNode : arrays->AsArray()) {
+        auto def = memory::ArrayDefinitionFromJson(arrayNode);
+        if (!def.ok()) return ErrorResponse(def.error());
+        options.arrays.push_back(std::move(def).value());
+      }
+    }
+    std::string code = request.GetString("code", "");
+    if (request.GetBool("isC", false)) {
+      cc::CompileOptions ccOptions;
+      ccOptions.optLevel = static_cast<int>(request.GetInt("optLevel", 0));
+      auto compiled = cc::Compile(code, ccOptions);
+      if (!compiled.ok()) return ErrorResponse(compiled.error());
+      code = compiled.value().assembly;
+      if (options.entryLabel.empty()) options.entryLabel = "main";
+    }
+    auto sim = core::Simulation::Create(config, code, options);
+    if (!sim.ok()) return ErrorResponse(sim.error());
+    const std::int64_t id = nextSessionId_++;
+    sessions_[id] = Session{std::move(sim).value()};
+    json::Json response = Ok();
+    response.Set("sessionId", id);
+    return response;
+  }
+
+  if (command == "deleteSession") {
+    const std::int64_t id = request.GetInt("sessionId", -1);
+    if (sessions_.erase(id) == 0) {
+      return ErrorResponse(Error{ErrorKind::kInvalidArgument,
+                                 "unknown sessionId " + std::to_string(id)});
+    }
+    return Ok();
+  }
+
+  // Session-bound commands.
+  auto session = FindSession(request);
+  if (!session.ok()) return ErrorResponse(session.error());
+  core::Simulation& sim = *session.value()->sim;
+
+  if (command == "step") {
+    const std::int64_t count = request.GetInt("count", 1);
+    for (std::int64_t i = 0; i < count; ++i) sim.Step();
+    json::Json response = Ok();
+    RenderOptions options;
+    options.includeMemoryDump = request.GetBool("memory", false);
+    response.Set("state", RenderJson(sim, options));
+    return response;
+  }
+  if (command == "stepBack") {
+    Status status = sim.StepBack();
+    if (!status.ok()) return ErrorResponse(status.error());
+    json::Json response = Ok();
+    response.Set("state", RenderJson(sim));
+    return response;
+  }
+  if (command == "run") {
+    const std::int64_t maxCycles = request.GetInt("maxCycles", 10'000'000);
+    sim.Run(static_cast<std::uint64_t>(maxCycles));
+    json::Json response = Ok();
+    response.Set("statistics",
+                 sim.statistics().ToJson(sim.memorySystem().stats(),
+                                         sim.config().coreClockHz));
+    response.Set("finishReason", core::ToString(sim.finishReason()));
+    if (sim.fault().has_value()) {
+      response.Set("fault", sim.fault()->ToText());
+    }
+    return response;
+  }
+  if (command == "state") {
+    json::Json response = Ok();
+    RenderOptions options;
+    options.includeMemoryDump = request.GetBool("memory", false);
+    response.Set("state", RenderJson(sim, options));
+    return response;
+  }
+  if (command == "stats") {
+    json::Json response = Ok();
+    response.Set("statistics",
+                 sim.statistics().ToJson(sim.memorySystem().stats(),
+                                         sim.config().coreClockHz));
+    return response;
+  }
+
+  return ErrorResponse(
+      Error{ErrorKind::kInvalidArgument, "unknown command '" + command + "'"});
+}
+
+json::Json SimServer::Handle(const json::Json& request) {
+  return Dispatch(request);
+}
+
+std::string SimServer::HandleRaw(std::string_view requestBytes, bool compress,
+                                 RequestTiming* timing) {
+  RequestTiming local;
+  std::uint64_t t0 = NowNs();
+  auto request = json::Parse(requestBytes);
+  std::uint64_t t1 = NowNs();
+  local.parseNs = t1 - t0;
+
+  json::Json response;
+  if (!request.ok()) {
+    response = ErrorResponse(request.error());
+  } else {
+    response = Dispatch(request.value());
+  }
+  std::uint64_t t2 = NowNs();
+  local.handleNs = t2 - t1;
+
+  std::string serialized = response.Dump();
+  std::uint64_t t3 = NowNs();
+  local.serializeNs = t3 - t2;
+  local.responseBytes = serialized.size();
+
+  if (compress) {
+    serialized = SlzCompress(serialized);
+    std::uint64_t t4 = NowNs();
+    local.compressNs = t4 - t3;
+  }
+  local.compressedBytes = serialized.size();
+
+  if (timing != nullptr) *timing = local;
+  return serialized;
+}
+
+}  // namespace rvss::server

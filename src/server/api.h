@@ -1,0 +1,80 @@
+// The simulation server: sessions plus the JSON request router.
+//
+// Mirrors the paper's client-server split (§III): all simulation logic is
+// server-side; clients (the web GUI, the CLI) send JSON commands and
+// receive JSON state. The transport here is in-process — HandleRaw takes
+// and returns serialized bytes, so the full parse -> simulate -> serialize
+// -> compress path is exercised and measurable (experiments E1-E3).
+//
+// Commands (field "command"):
+//   compile       {code, optLevel}                 -> {assembly}
+//   parseAsm      {code}                           -> {ok} | error
+//   checkConfig   {config}                         -> {ok, problems[]}
+//   createSession {code, config?, entry?, arrays?} -> {sessionId}
+//   step          {sessionId, count?}              -> {state}
+//   stepBack      {sessionId}                      -> {state}
+//   run           {sessionId, maxCycles?}          -> {statistics}
+//   state         {sessionId, memory?}             -> {state}
+//   stats         {sessionId}                      -> {statistics}
+//   deleteSession {sessionId}                      -> {ok}
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/simulation.h"
+#include "json/json.h"
+#include "server/state_renderer.h"
+
+namespace rvss::server {
+
+/// Wall-clock split of one request, for the E2 profiling experiment.
+struct RequestTiming {
+  std::uint64_t parseNs = 0;
+  std::uint64_t handleNs = 0;     ///< simulation + session work
+  std::uint64_t serializeNs = 0;
+  std::uint64_t compressNs = 0;
+  std::size_t responseBytes = 0;
+  std::size_t compressedBytes = 0;
+
+  std::uint64_t TotalNs() const {
+    return parseNs + handleNs + serializeNs + compressNs;
+  }
+  double JsonShare() const {
+    const std::uint64_t total = TotalNs();
+    return total == 0 ? 0.0
+                      : static_cast<double>(parseNs + serializeNs) / total;
+  }
+};
+
+class SimServer {
+ public:
+  SimServer() = default;
+
+  /// Structured entry point (no serialization cost).
+  json::Json Handle(const json::Json& request);
+
+  /// Byte-level entry point: parses, dispatches, serializes, optionally
+  /// compresses; fills `timing` when provided.
+  std::string HandleRaw(std::string_view requestBytes, bool compress = false,
+                        RequestTiming* timing = nullptr);
+
+  std::size_t sessionCount() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::unique_ptr<core::Simulation> sim;
+  };
+
+  json::Json Dispatch(const json::Json& request);
+  json::Json ErrorResponse(const Error& error) const;
+  Result<Session*> FindSession(const json::Json& request);
+
+  std::map<std::int64_t, Session> sessions_;
+  std::int64_t nextSessionId_ = 1;
+};
+
+}  // namespace rvss::server

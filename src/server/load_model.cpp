@@ -1,0 +1,115 @@
+#include "server/load_model.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace rvss::server {
+namespace {
+
+struct Event {
+  double time = 0;
+  enum class Kind : std::uint8_t { kArrival, kCompletion } kind = Kind::kArrival;
+  int user = 0;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+LoadResult SimulateLoad(const LoadScenario& scenario,
+                        const std::vector<double>& serviceTimeSamples) {
+  LoadResult result;
+  if (serviceTimeSamples.empty() || scenario.users <= 0) return result;
+
+  Rng rng(scenario.seed);
+  auto drawService = [&]() {
+    double service =
+        serviceTimeSamples[rng.NextBelow(serviceTimeSamples.size())];
+    if (scenario.mode == DeploymentMode::kDocker) {
+      service = service * scenario.dockerOverheadFactor +
+                scenario.dockerFixedSeconds;
+    }
+    // Network transfer of the (possibly compressed) response.
+    if (scenario.linkBytesPerSecond > 0) {
+      service += scenario.payloadBytes /
+                 std::max(scenario.compressionRatio, 1.0) /
+                 scenario.linkBytesPerSecond;
+    }
+    return service;
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<int> remaining(static_cast<std::size_t>(scenario.users),
+                             scenario.requestsPerUser);
+  std::vector<double> submitTime(static_cast<std::size_t>(scenario.users), 0);
+
+  for (int user = 0; user < scenario.users; ++user) {
+    const double start =
+        scenario.users > 1
+            ? scenario.rampUpSeconds * user / (scenario.users - 1)
+            : 0.0;
+    events.push(Event{start, Event::Kind::kArrival, user});
+  }
+
+  // FIFO request queue in front of `serverWorkers` handlers.
+  std::queue<int> waiting;
+  int busyWorkers = 0;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(scenario.users) *
+                    scenario.requestsPerUser);
+  double lastCompletion = 0;
+
+  auto startService = [&](int user, double now) {
+    ++busyWorkers;
+    events.push(Event{now + drawService(), Event::Kind::kCompletion, user});
+  };
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    switch (event.kind) {
+      case Event::Kind::kArrival: {
+        submitTime[static_cast<std::size_t>(event.user)] = event.time;
+        if (busyWorkers < scenario.serverWorkers) {
+          startService(event.user, event.time);
+        } else {
+          waiting.push(event.user);
+        }
+        break;
+      }
+      case Event::Kind::kCompletion: {
+        --busyWorkers;
+        latencies.push_back(
+            event.time - submitTime[static_cast<std::size_t>(event.user)]);
+        lastCompletion = event.time;
+        // The user thinks, then submits the next request.
+        int& left = remaining[static_cast<std::size_t>(event.user)];
+        if (--left > 0) {
+          events.push(Event{event.time + scenario.thinkTimeSeconds,
+                            Event::Kind::kArrival, event.user});
+        }
+        // A queued request takes the freed worker immediately.
+        if (!waiting.empty()) {
+          const int next = waiting.front();
+          waiting.pop();
+          startService(next, event.time);
+        }
+        break;
+      }
+    }
+  }
+
+  if (latencies.empty()) return result;
+  std::sort(latencies.begin(), latencies.end());
+  result.completedRequests = latencies.size();
+  result.medianLatencyMs = latencies[latencies.size() / 2] * 1000.0;
+  result.p90LatencyMs = latencies[latencies.size() * 9 / 10] * 1000.0;
+  result.durationSeconds = lastCompletion;
+  result.throughputTps =
+      lastCompletion > 0 ? static_cast<double>(latencies.size()) / lastCompletion
+                         : 0.0;
+  return result;
+}
+
+}  // namespace rvss::server

@@ -1,0 +1,127 @@
+#include "server/slz.h"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace rvss::server {
+namespace {
+
+constexpr std::size_t kWindowSize = 1 << 13;   // 8 KiB, 13-bit offsets
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = kMinMatch + 7;  // 3-bit length field
+constexpr std::size_t kHashSize = 1 << 15;
+
+std::uint32_t Hash4(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 17;  // fold into kHashSize bits
+}
+
+}  // namespace
+
+std::string SlzCompress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  const auto size32 = static_cast<std::uint32_t>(input.size());
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>(size32 >> (8 * i));
+  }
+
+  // head[h] = most recent position with hash h.
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(input.size(), -1);
+
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    std::uint8_t flags = 0;
+    std::string group;
+    for (int item = 0; item < 8 && pos < input.size(); ++item) {
+      std::size_t bestLen = 0;
+      std::size_t bestOffset = 0;
+      if (pos + kMinMatch <= input.size()) {
+        const std::uint32_t hash = Hash4(input.data() + pos) % kHashSize;
+        std::int32_t candidate = head[hash];
+        int chain = 16;
+        while (candidate >= 0 && chain-- > 0 &&
+               pos - static_cast<std::size_t>(candidate) <= kWindowSize) {
+          const char* a = input.data() + candidate;
+          const char* b = input.data() + pos;
+          std::size_t len = 0;
+          const std::size_t maxLen =
+              std::min(kMaxMatch, input.size() - pos);
+          while (len < maxLen && a[len] == b[len]) ++len;
+          if (len >= kMinMatch && len > bestLen) {
+            bestLen = len;
+            bestOffset = pos - static_cast<std::size_t>(candidate);
+          }
+          candidate = prev[static_cast<std::size_t>(candidate)];
+        }
+        prev[pos] = head[hash];
+        head[hash] = static_cast<std::int32_t>(pos);
+      }
+
+      if (bestLen >= kMinMatch) {
+        flags |= static_cast<std::uint8_t>(1 << item);
+        // Layout: [len:3][offset:13] across two little-endian bytes.
+        const std::uint16_t packed = static_cast<std::uint16_t>(
+            ((bestOffset - 1) & 0x1fff) |
+            (static_cast<std::uint16_t>(bestLen - kMinMatch) << 13));
+        group += static_cast<char>(packed & 0xff);
+        group += static_cast<char>(packed >> 8);
+        // Insert skipped positions into the hash chains for better matches.
+        for (std::size_t k = 1; k < bestLen && pos + k + 4 <= input.size();
+             ++k) {
+          const std::uint32_t h = Hash4(input.data() + pos + k) % kHashSize;
+          prev[pos + k] = head[h];
+          head[h] = static_cast<std::int32_t>(pos + k);
+        }
+        pos += bestLen;
+      } else {
+        group += input[pos];
+        ++pos;
+      }
+    }
+    out += static_cast<char>(flags);
+    out += group;
+  }
+  return out;
+}
+
+std::optional<std::string> SlzDecompress(std::string_view input) {
+  if (input.size() < 4) return std::nullopt;
+  std::uint32_t expected = 0;
+  for (int i = 0; i < 4; ++i) {
+    expected |= static_cast<std::uint32_t>(
+                    static_cast<std::uint8_t>(input[static_cast<std::size_t>(i)]))
+                << (8 * i);
+  }
+  std::string out;
+  out.reserve(expected);
+  std::size_t pos = 4;
+  while (pos < input.size() && out.size() < expected) {
+    const std::uint8_t flags = static_cast<std::uint8_t>(input[pos++]);
+    for (int item = 0; item < 8 && out.size() < expected; ++item) {
+      if (flags & (1 << item)) {
+        if (pos + 2 > input.size()) return std::nullopt;
+        const std::uint16_t packed = static_cast<std::uint16_t>(
+            static_cast<std::uint8_t>(input[pos]) |
+            (static_cast<std::uint8_t>(input[pos + 1]) << 8));
+        pos += 2;
+        const std::size_t offset = (packed & 0x1fff) + 1;
+        const std::size_t length = (packed >> 13) + kMinMatch;
+        if (offset > out.size()) return std::nullopt;
+        for (std::size_t k = 0; k < length; ++k) {
+          out += out[out.size() - offset];
+        }
+      } else {
+        if (pos >= input.size()) return std::nullopt;
+        out += input[pos++];
+      }
+    }
+  }
+  if (out.size() != expected) return std::nullopt;
+  return out;
+}
+
+}  // namespace rvss::server

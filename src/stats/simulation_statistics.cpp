@@ -1,0 +1,153 @@
+#include "stats/simulation_statistics.h"
+
+#include "common/strings.h"
+#include "isa/instruction_set_json.h"
+
+namespace rvss::stats {
+namespace {
+
+json::Json MixToJson(const std::array<std::uint64_t, 7>& mix) {
+  json::Json node = json::Json::MakeObject();
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    node.Set(isa::ToString(static_cast<isa::InstructionType>(i)),
+             static_cast<std::int64_t>(mix[i]));
+  }
+  return node;
+}
+
+}  // namespace
+
+json::Json SimulationStatistics::ToJson(const memory::MemoryStats& memoryStats,
+                                        std::uint64_t coreClockHz) const {
+  json::Json root = json::Json::MakeObject();
+  root.Set("cycles", static_cast<std::int64_t>(cycles));
+  root.Set("fetchedInstructions", static_cast<std::int64_t>(fetchedInstructions));
+  root.Set("decodedInstructions", static_cast<std::int64_t>(decodedInstructions));
+  root.Set("issuedInstructions", static_cast<std::int64_t>(issuedInstructions));
+  root.Set("executedInstructions",
+           static_cast<std::int64_t>(executedInstructions));
+  root.Set("committedInstructions",
+           static_cast<std::int64_t>(committedInstructions));
+  root.Set("squashedInstructions",
+           static_cast<std::int64_t>(squashedInstructions));
+  root.Set("robFlushes", static_cast<std::int64_t>(robFlushes));
+  root.Set("ipc", Ipc());
+  root.Set("wallTimeSeconds", WallTimeSeconds(coreClockHz));
+  root.Set("flops", static_cast<std::int64_t>(flops));
+  root.Set("flopsPerSecond", FlopsPerSecond(coreClockHz));
+
+  json::Json branches = json::Json::MakeObject();
+  branches.Set("resolved", static_cast<std::int64_t>(branchesResolved));
+  branches.Set("mispredicted", static_cast<std::int64_t>(branchesMispredicted));
+  branches.Set("taken", static_cast<std::int64_t>(branchesTaken));
+  branches.Set("accuracy", BranchAccuracy());
+  branches.Set("btbHits", static_cast<std::int64_t>(btbHits));
+  branches.Set("btbLookups", static_cast<std::int64_t>(btbLookups));
+  root.Set("branchPrediction", std::move(branches));
+
+  root.Set("staticMix", MixToJson(staticMix));
+  root.Set("dynamicMix", MixToJson(dynamicMix));
+
+  json::Json units = json::Json::MakeArray();
+  for (const UnitUsage& usage : unitUsage) {
+    json::Json unit = json::Json::MakeObject();
+    unit.Set("name", usage.name);
+    unit.Set("busyCycles", static_cast<std::int64_t>(usage.busyCycles));
+    unit.Set("instructions", static_cast<std::int64_t>(usage.instructions));
+    unit.Set("utilization",
+             cycles == 0 ? 0.0
+                         : static_cast<double>(usage.busyCycles) /
+                               static_cast<double>(cycles));
+    units.Append(std::move(unit));
+  }
+  root.Set("functionalUnits", std::move(units));
+
+  json::Json cache = json::Json::MakeObject();
+  cache.Set("accesses", static_cast<std::int64_t>(memoryStats.accesses));
+  cache.Set("loads", static_cast<std::int64_t>(memoryStats.loads));
+  cache.Set("stores", static_cast<std::int64_t>(memoryStats.stores));
+  cache.Set("hits", static_cast<std::int64_t>(memoryStats.cacheHits));
+  cache.Set("misses", static_cast<std::int64_t>(memoryStats.cacheMisses));
+  cache.Set("hitRate", memoryStats.HitRate());
+  cache.Set("evictions", static_cast<std::int64_t>(memoryStats.evictions));
+  cache.Set("dirtyEvictions",
+            static_cast<std::int64_t>(memoryStats.dirtyEvictions));
+  cache.Set("bytesReadFromMemory",
+            static_cast<std::int64_t>(memoryStats.bytesReadFromMemory));
+  cache.Set("bytesWrittenToMemory",
+            static_cast<std::int64_t>(memoryStats.bytesWrittenToMemory));
+  root.Set("cache", std::move(cache));
+
+  json::Json stalls = json::Json::MakeObject();
+  stalls.Set("robFull", static_cast<std::int64_t>(stallCyclesRobFull));
+  stalls.Set("renameFull", static_cast<std::int64_t>(stallCyclesRenameFull));
+  stalls.Set("windowFull", static_cast<std::int64_t>(stallCyclesWindowFull));
+  stalls.Set("lsBufferFull",
+             static_cast<std::int64_t>(stallCyclesLsBufferFull));
+  root.Set("decodeStalls", std::move(stalls));
+  return root;
+}
+
+std::string SimulationStatistics::ToText(const memory::MemoryStats& memoryStats,
+                                         std::uint64_t coreClockHz) const {
+  std::string out;
+  out += "=== Runtime statistics ===\n";
+  out += StrFormat("cycles:                 %llu\n",
+                   static_cast<unsigned long long>(cycles));
+  out += StrFormat("committed instructions: %llu\n",
+                   static_cast<unsigned long long>(committedInstructions));
+  out += StrFormat("IPC:                    %.3f\n", Ipc());
+  out += StrFormat("wall time:              %.6f s\n",
+                   WallTimeSeconds(coreClockHz));
+  out += StrFormat("FLOPs:                  %llu (%.3g FLOP/s)\n",
+                   static_cast<unsigned long long>(flops),
+                   FlopsPerSecond(coreClockHz));
+  out += StrFormat("ROB flushes:            %llu\n",
+                   static_cast<unsigned long long>(robFlushes));
+  out += StrFormat("branch accuracy:        %.2f%% (%llu/%llu mispredicted)\n",
+                   100.0 * BranchAccuracy(),
+                   static_cast<unsigned long long>(branchesMispredicted),
+                   static_cast<unsigned long long>(branchesResolved));
+  out += StrFormat("fetched/decoded/issued: %llu / %llu / %llu\n",
+                   static_cast<unsigned long long>(fetchedInstructions),
+                   static_cast<unsigned long long>(decodedInstructions),
+                   static_cast<unsigned long long>(issuedInstructions));
+  out += StrFormat("squashed:               %llu\n",
+                   static_cast<unsigned long long>(squashedInstructions));
+
+  out += "--- dynamic instruction mix ---\n";
+  std::uint64_t total = 0;
+  for (std::uint64_t n : dynamicMix) total += n;
+  for (std::size_t i = 0; i < dynamicMix.size(); ++i) {
+    if (dynamicMix[i] == 0) continue;
+    out += StrFormat("  %-12s %10llu  (%5.1f%%)\n",
+                     isa::ToString(static_cast<isa::InstructionType>(i)),
+                     static_cast<unsigned long long>(dynamicMix[i]),
+                     total == 0 ? 0.0 : 100.0 * dynamicMix[i] / total);
+  }
+
+  out += "--- functional units ---\n";
+  for (const UnitUsage& usage : unitUsage) {
+    out += StrFormat("  %-8s busy %10llu cycles (%5.1f%%), %llu instructions\n",
+                     usage.name.c_str(),
+                     static_cast<unsigned long long>(usage.busyCycles),
+                     cycles == 0 ? 0.0 : 100.0 * usage.busyCycles / cycles,
+                     static_cast<unsigned long long>(usage.instructions));
+  }
+
+  out += "--- cache ---\n";
+  out += StrFormat("  accesses: %llu (%llu loads, %llu stores)\n",
+                   static_cast<unsigned long long>(memoryStats.accesses),
+                   static_cast<unsigned long long>(memoryStats.loads),
+                   static_cast<unsigned long long>(memoryStats.stores));
+  out += StrFormat("  hit rate: %.2f%% (%llu hits, %llu misses)\n",
+                   100.0 * memoryStats.HitRate(),
+                   static_cast<unsigned long long>(memoryStats.cacheHits),
+                   static_cast<unsigned long long>(memoryStats.cacheMisses));
+  out += StrFormat("  memory traffic: %s read, %s written\n",
+                   FormatBytes(memoryStats.bytesReadFromMemory).c_str(),
+                   FormatBytes(memoryStats.bytesWrittenToMemory).c_str());
+  return out;
+}
+
+}  // namespace rvss::stats

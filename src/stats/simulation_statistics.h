@@ -1,0 +1,91 @@
+// Runtime statistics (paper §II-D): static and dynamic instruction mix,
+// busy cycles per functional unit, cache statistics, predictor accuracy,
+// cycles, committed instructions, ROB flushes, FLOPs, IPC and wall time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa_types.h"
+#include "json/json.h"
+#include "memory/memory_system.h"
+
+namespace rvss::stats {
+
+/// Per-functional-unit usage.
+struct UnitUsage {
+  std::string name;
+  std::uint64_t busyCycles = 0;
+  std::uint64_t instructions = 0;
+};
+
+struct SimulationStatistics {
+  // --- pipeline throughput ------------------------------------------------
+  std::uint64_t cycles = 0;
+  std::uint64_t fetchedInstructions = 0;
+  std::uint64_t decodedInstructions = 0;
+  std::uint64_t issuedInstructions = 0;
+  std::uint64_t executedInstructions = 0;
+  std::uint64_t committedInstructions = 0;
+  std::uint64_t squashedInstructions = 0;
+
+  // --- speculation ---------------------------------------------------------
+  std::uint64_t robFlushes = 0;
+  std::uint64_t branchesResolved = 0;
+  std::uint64_t branchesMispredicted = 0;
+  std::uint64_t branchesTaken = 0;
+  std::uint64_t btbHits = 0;
+  std::uint64_t btbLookups = 0;
+
+  // --- work ----------------------------------------------------------------
+  std::uint64_t flops = 0;
+
+  /// Instruction mixes indexed by isa::InstructionType.
+  std::array<std::uint64_t, 7> staticMix{};
+  std::array<std::uint64_t, 7> dynamicMix{};
+
+  /// One entry per configured functional unit, in configuration order.
+  std::vector<UnitUsage> unitUsage;
+
+  /// Stall accounting (who blocked decode this cycle).
+  std::uint64_t stallCyclesRobFull = 0;
+  std::uint64_t stallCyclesRenameFull = 0;
+  std::uint64_t stallCyclesWindowFull = 0;
+  std::uint64_t stallCyclesLsBufferFull = 0;
+
+  // --- derived -------------------------------------------------------------
+  double Ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committedInstructions) / cycles;
+  }
+  double BranchAccuracy() const {
+    return branchesResolved == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(branchesMispredicted) /
+                           static_cast<double>(branchesResolved);
+  }
+  /// Simulated wall time in seconds at the configured core clock.
+  double WallTimeSeconds(std::uint64_t coreClockHz) const {
+    return coreClockHz == 0
+               ? 0.0
+               : static_cast<double>(cycles) / static_cast<double>(coreClockHz);
+  }
+  /// Simulated floating-point throughput in FLOP/s.
+  double FlopsPerSecond(std::uint64_t coreClockHz) const {
+    const double seconds = WallTimeSeconds(coreClockHz);
+    return seconds == 0.0 ? 0.0 : static_cast<double>(flops) / seconds;
+  }
+
+  /// Serializes everything (plus the memory-system counters) to the JSON
+  /// shape the CLI and the API expose.
+  json::Json ToJson(const memory::MemoryStats& memoryStats,
+                    std::uint64_t coreClockHz) const;
+
+  /// Human-readable statistics report (the CLI's text output mode).
+  std::string ToText(const memory::MemoryStats& memoryStats,
+                     std::uint64_t coreClockHz) const;
+};
+
+}  // namespace rvss::stats

@@ -1,0 +1,368 @@
+// Out-of-order core tests: termination, speculation, forwarding, stalls,
+// exceptions, determinism and backward simulation.
+#include <gtest/gtest.h>
+
+#include "server/state_renderer.h"
+#include "test_util.h"
+
+namespace rvss::core {
+namespace {
+
+using testutil::RunOnCore;
+
+const char* kCountdown = R"(
+main:
+    li t0, 20
+    li a0, 0
+loop:
+    add a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    ret
+)";
+
+TEST(Core, TerminatesOnMainReturn) {
+  auto sim = RunOnCore(kCountdown, config::DefaultConfig(), "main");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->finishReason(), FinishReason::kMainReturned);
+  EXPECT_EQ(static_cast<std::int32_t>(sim->ReadIntReg(10)), 210);
+}
+
+TEST(Core, TerminatesOnPipelineEmpty) {
+  auto sim = RunOnCore("li a0, 5\naddi a0, a0, 1\n", config::DefaultConfig());
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->finishReason(), FinishReason::kPipelineEmpty);
+  EXPECT_EQ(static_cast<std::int32_t>(sim->ReadIntReg(10)), 6);
+}
+
+TEST(Core, TerminatesOnEbreakAndEcall) {
+  for (const char* halt : {"ebreak", "ecall"}) {
+    auto sim = RunOnCore(std::string("li a0, 1\n") + halt + "\nli a0, 9\n",
+                         config::DefaultConfig());
+    ASSERT_NE(sim, nullptr);
+    EXPECT_EQ(sim->finishReason(), FinishReason::kHalted);
+    // The instruction after the halt must not commit.
+    EXPECT_EQ(static_cast<std::int32_t>(sim->ReadIntReg(10)), 1);
+  }
+}
+
+TEST(Core, OutOfBoundsLoadFaultsAtCommit) {
+  auto sim = RunOnCore("li a1, 0x7fffffff\nlw a0, 0(a1)\nret\n",
+                       config::DefaultConfig());
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->status(), SimStatus::kFault);
+  EXPECT_EQ(sim->finishReason(), FinishReason::kException);
+  ASSERT_TRUE(sim->fault().has_value());
+  EXPECT_EQ(sim->fault()->kind, ErrorKind::kRuntime);
+}
+
+TEST(Core, SpeculativeWildLoadIsHarmlessWhenSquashed) {
+  // The branch is always taken, so the wild load never commits; a paper-
+  // style commit-time exception check must not fire.
+  auto sim = RunOnCore(R"(
+main:
+    li t0, 1
+    li a1, 0x7ffffff0
+    bnez t0, safe
+    lw a0, 0(a1)
+safe:
+    li a0, 123
+    ret
+)", config::DefaultConfig(), "main");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->finishReason(), FinishReason::kMainReturned);
+  EXPECT_EQ(static_cast<std::int32_t>(sim->ReadIntReg(10)), 123);
+}
+
+TEST(Core, DivisionByZeroTrapsOnlyWhenConfigured) {
+  const char* source = "li a1, 1\nli a2, 0\ndiv a0, a1, a2\nret\n";
+  auto spec = RunOnCore(source, config::DefaultConfig());
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->finishReason(), FinishReason::kMainReturned);
+  EXPECT_EQ(static_cast<std::int32_t>(spec->ReadIntReg(10)), -1);
+
+  config::CpuConfig trapping = config::DefaultConfig();
+  trapping.trapOnDivZero = true;
+  auto trap = RunOnCore(source, trapping);
+  ASSERT_NE(trap, nullptr);
+  EXPECT_EQ(trap->finishReason(), FinishReason::kException);
+}
+
+TEST(Core, StoreToLoadForwardingExactMatch) {
+  auto sim = RunOnCore(R"(
+.data
+v: .word 1
+.text
+main:
+    la a1, v
+    li a2, 77
+    sw a2, 0(a1)
+    lw a0, 0(a1)
+    ret
+)", config::DefaultConfig(), "main");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(static_cast<std::int32_t>(sim->ReadIntReg(10)), 77);
+}
+
+TEST(Core, PartialOverlapStoreBlocksLoadCorrectly) {
+  auto sim = RunOnCore(R"(
+.data
+v: .word 0x11223344
+.text
+main:
+    la a1, v
+    li a2, 0x99
+    sb a2, 1(a1)
+    lw a0, 0(a1)
+    ret
+)", config::DefaultConfig(), "main");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->ReadIntReg(10) & 0xffffffff, 0x11229944u);
+}
+
+TEST(Core, MispredictsFlushAndRecover) {
+  // Data-dependent alternating branch: guaranteed mispredictions.
+  auto sim = RunOnCore(R"(
+main:
+    li t0, 64
+    li a0, 0
+    li t1, 0
+loop:
+    andi t2, t0, 1
+    beqz t2, even
+    addi a0, a0, 3
+    j next
+even:
+    addi a0, a0, 1
+next:
+    addi t0, t0, -1
+    bnez t0, loop
+    ret
+)", config::DefaultConfig(), "main");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(static_cast<std::int32_t>(sim->ReadIntReg(10)), 32 * 3 + 32 * 1);
+  EXPECT_GT(sim->statistics().robFlushes, 0u);
+  EXPECT_GT(sim->statistics().squashedInstructions, 0u);
+  EXPECT_LT(sim->statistics().BranchAccuracy(), 1.0);
+}
+
+TEST(Core, IndirectJumpThroughRegister) {
+  auto sim = RunOnCore(R"(
+main:
+    mv s1, ra
+    la t0, callee
+    jalr ra, t0, 0
+    addi a0, a0, 1
+    jr s1
+callee:
+    li a0, 10
+    jr ra
+)", config::DefaultConfig(), "main");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->finishReason(), FinishReason::kMainReturned);
+  EXPECT_EQ(static_cast<std::int32_t>(sim->ReadIntReg(10)), 11);
+}
+
+TEST(Core, DeterministicCycleCounts) {
+  auto a = RunOnCore(kCountdown, config::DefaultConfig(), "main");
+  auto b = RunOnCore(kCountdown, config::DefaultConfig(), "main");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->cycle(), b->cycle());
+  EXPECT_EQ(a->statistics().committedInstructions,
+            b->statistics().committedInstructions);
+  EXPECT_EQ(a->statistics().robFlushes, b->statistics().robFlushes);
+}
+
+TEST(Core, BackwardSimulationEqualsForwardReplay) {
+  // Run to cycle N, step back twice, and compare against a fresh run to
+  // N-2 (paper §III-B: backward simulation is forward re-execution).
+  auto sim = core::Simulation::Create(config::DefaultConfig(), kCountdown,
+                                      {{}, "main"});
+  ASSERT_TRUE(sim.ok());
+  core::Simulation& s = *sim.value();
+  for (int i = 0; i < 30; ++i) s.Step();
+  ASSERT_TRUE(s.StepBack().ok());
+  ASSERT_TRUE(s.StepBack().ok());
+  EXPECT_EQ(s.cycle(), 28u);
+
+  auto fresh = core::Simulation::Create(config::DefaultConfig(), kCountdown,
+                                        {{}, "main"});
+  ASSERT_TRUE(fresh.ok());
+  for (int i = 0; i < 28; ++i) fresh.value()->Step();
+
+  EXPECT_EQ(server::RenderJson(s).Dump(),
+            server::RenderJson(*fresh.value()).Dump());
+}
+
+TEST(Core, StepBackAtCycleZeroFails) {
+  auto sim = core::Simulation::Create(config::DefaultConfig(), kCountdown,
+                                      {{}, "main"});
+  ASSERT_TRUE(sim.ok());
+  EXPECT_FALSE(sim.value()->StepBack().ok());
+}
+
+TEST(Core, CommitWidthBoundsIpc) {
+  config::CpuConfig narrow = config::DefaultConfig();
+  narrow.buffers.commitWidth = 1;
+  auto sim = RunOnCore(kCountdown, narrow, "main");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_LE(sim->statistics().Ipc(), 1.0);
+}
+
+const char* kIlpKernel = R"(
+main:
+    li t0, 64
+    li a0, 0
+    li a1, 0
+    li a2, 0
+    li a3, 0
+loop:
+    addi a0, a0, 1
+    addi a1, a1, 2
+    addi a2, a2, 3
+    addi a3, a3, 4
+    xori a4, a0, 5
+    xori a5, a1, 6
+    addi t0, t0, -1
+    bnez t0, loop
+    add a0, a0, a1
+    add a0, a0, a2
+    add a0, a0, a3
+    ret
+)";
+
+TEST(Core, ScalarConfigIsSlowerThanWide) {
+  auto scalar = RunOnCore(kIlpKernel, config::ScalarConfig(), "main");
+  auto wide = RunOnCore(kIlpKernel, config::WideConfig(), "main");
+  ASSERT_NE(scalar, nullptr);
+  ASSERT_NE(wide, nullptr);
+  EXPECT_EQ(scalar->statistics().committedInstructions,
+            wide->statistics().committedInstructions);
+  EXPECT_LT(wide->cycle(), scalar->cycle());
+  EXPECT_EQ(static_cast<std::int32_t>(wide->ReadIntReg(10)),
+            64 * (1 + 2 + 3 + 4));
+}
+
+TEST(Core, CacheDisabledCostsCycles) {
+  const char* memHeavy = R"(
+.data
+arr: .zero 256
+.text
+main:
+    la a1, arr
+    li t0, 64
+loop:
+    slli t1, t0, 2
+    addi t1, t1, -4
+    add t1, t1, a1
+    lw t2, 0(t1)
+    addi t2, t2, 1
+    sw t2, 0(t1)
+    addi t0, t0, -1
+    bnez t0, loop
+    ret
+)";
+  auto cached = RunOnCore(memHeavy, config::DefaultConfig(), "main");
+  auto uncached = RunOnCore(memHeavy, config::NoCacheConfig(), "main");
+  ASSERT_NE(cached, nullptr);
+  ASSERT_NE(uncached, nullptr);
+  EXPECT_LT(cached->cycle(), uncached->cycle());
+  EXPECT_GT(cached->memorySystem().stats().HitRate(), 0.5);
+}
+
+TEST(Core, FlushPenaltyCostsCycles) {
+  config::CpuConfig fast = config::DefaultConfig();
+  fast.buffers.flushPenalty = 0;
+  config::CpuConfig slow = config::DefaultConfig();
+  slow.buffers.flushPenalty = 12;
+  // Alternating branch to force mispredicts.
+  const char* branchy = R"(
+main:
+    li t0, 100
+    li a0, 0
+loop:
+    andi t2, t0, 1
+    beqz t2, skip
+    addi a0, a0, 1
+skip:
+    addi t0, t0, -1
+    bnez t0, loop
+    ret
+)";
+  auto fastSim = RunOnCore(branchy, fast, "main");
+  auto slowSim = RunOnCore(branchy, slow, "main");
+  ASSERT_NE(fastSim, nullptr);
+  ASSERT_NE(slowSim, nullptr);
+  EXPECT_LT(fastSim->cycle(), slowSim->cycle());
+  EXPECT_EQ(fastSim->ReadIntReg(10), slowSim->ReadIntReg(10));
+}
+
+TEST(Core, RenameFileExhaustionStallsButCompletes) {
+  config::CpuConfig tiny = config::DefaultConfig();
+  tiny.buffers.fetchWidth = 4;
+  tiny.memory.renameRegisterCount = 4;
+  auto sim = RunOnCore(kIlpKernel, tiny, "main");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->finishReason(), FinishReason::kMainReturned);
+  EXPECT_GT(sim->statistics().stallCyclesRenameFull, 0u);
+}
+
+TEST(Core, InvalidConfigurationRejectedAtCreate) {
+  config::CpuConfig bad = config::DefaultConfig();
+  bad.buffers.fetchWidth = 0;
+  auto sim = core::Simulation::Create(bad, kCountdown, {{}, "main"});
+  EXPECT_FALSE(sim.ok());
+  EXPECT_EQ(sim.error().kind, ErrorKind::kConfig);
+}
+
+TEST(Core, StatisticsAreInternallyConsistent) {
+  auto sim = RunOnCore(kCountdown, config::DefaultConfig(), "main");
+  ASSERT_NE(sim, nullptr);
+  const stats::SimulationStatistics& st = sim->statistics();
+  EXPECT_GE(st.fetchedInstructions, st.decodedInstructions);
+  EXPECT_GE(st.decodedInstructions, st.committedInstructions);
+  std::uint64_t mixTotal = 0;
+  for (std::uint64_t n : st.dynamicMix) mixTotal += n;
+  EXPECT_EQ(mixTotal, st.committedInstructions);
+  EXPECT_GT(st.Ipc(), 0.0);
+}
+
+TEST(Core, CommitTraceMatchesProgramOrder) {
+  auto sim = core::Simulation::Create(config::DefaultConfig(), kCountdown,
+                                      {{}, "main"});
+  ASSERT_TRUE(sim.ok());
+  std::vector<std::uint32_t> trace;
+  sim.value()->SetCommitTraceSink(&trace);
+  sim.value()->Run(100000);
+  ASSERT_FALSE(trace.empty());
+  // First two commits are the li expansion at main.
+  EXPECT_EQ(trace[0], 0u);
+  EXPECT_EQ(trace[1], 4u);
+  EXPECT_EQ(trace.size(), sim.value()->statistics().committedInstructions);
+}
+
+TEST(Core, JumpFollowLimitThrottlesFetch) {
+  config::CpuConfig oneJump = config::DefaultConfig();
+  oneJump.buffers.fetchBranchFollowLimit = 1;
+  config::CpuConfig twoJumps = config::DefaultConfig();
+  twoJumps.buffers.fetchBranchFollowLimit = 2;
+  const char* jumpy = R"(
+main:
+    li t0, 200
+loop:
+    j a
+a:  j b
+b:  addi t0, t0, -1
+    bnez t0, loop
+    ret
+)";
+  auto one = RunOnCore(jumpy, oneJump, "main");
+  auto two = RunOnCore(jumpy, twoJumps, "main");
+  ASSERT_NE(one, nullptr);
+  ASSERT_NE(two, nullptr);
+  EXPECT_LE(two->cycle(), one->cycle());
+}
+
+}  // namespace
+}  // namespace rvss::core

@@ -1,0 +1,298 @@
+// Server-layer tests: slz compression, the JSON API, state rendering and
+// the virtual-time load model.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "server/api.h"
+#include "server/load_model.h"
+#include "server/slz.h"
+#include "server/state_renderer.h"
+#include "test_util.h"
+
+namespace rvss::server {
+namespace {
+
+TEST(Slz, RoundTripsBasicStrings) {
+  for (const std::string& input :
+       {std::string(""), std::string("a"), std::string("hello world"),
+        std::string(1000, 'x'),
+        std::string("abcabcabcabcabc"),
+        std::string("{\"key\": 1, \"key\": 2, \"key\": 3}")}) {
+    auto decompressed = SlzDecompress(SlzCompress(input));
+    ASSERT_TRUE(decompressed.has_value());
+    EXPECT_EQ(*decompressed, input);
+  }
+}
+
+TEST(Slz, RoundTripsRandomBinaries) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string input;
+    const std::size_t size = rng.NextBelow(5000);
+    for (std::size_t i = 0; i < size; ++i) {
+      // Mix of compressible runs and noise.
+      input += static_cast<char>(rng.NextBool(0.6) ? 'A' + (i % 7)
+                                                   : rng.NextBelow(256));
+    }
+    auto decompressed = SlzDecompress(SlzCompress(input));
+    ASSERT_TRUE(decompressed.has_value()) << "trial " << trial;
+    EXPECT_EQ(*decompressed, input);
+  }
+}
+
+TEST(Slz, CompressesJsonWell) {
+  // Representative state payload shape: repetitive keys.
+  std::string json = "[";
+  for (int i = 0; i < 200; ++i) {
+    json += "{\"name\": \"entry\", \"valid\": true, \"value\": " +
+            std::to_string(i) + "},";
+  }
+  json += "{}]";
+  const std::string compressed = SlzCompress(json);
+  EXPECT_LT(compressed.size(), json.size() / 2)
+      << "expected at least 2x on repetitive JSON";
+}
+
+TEST(Slz, RejectsCorruptInput) {
+  EXPECT_FALSE(SlzDecompress("").has_value());
+  EXPECT_FALSE(SlzDecompress("abc").has_value());
+  std::string valid = SlzCompress("hello hello hello hello");
+  valid.resize(valid.size() / 2);
+  EXPECT_FALSE(SlzDecompress(valid).has_value());
+}
+
+// ---- API -------------------------------------------------------------------
+
+json::Json Parse(const std::string& text) {
+  auto result = json::Parse(text);
+  EXPECT_TRUE(result.ok());
+  return result.ok() ? result.value() : json::Json();
+}
+
+TEST(Api, CompileCommand) {
+  SimServer server;
+  json::Json request = Parse(R"({"command": "compile", "optLevel": 1,
+    "code": "int main() { return 7; }"})");
+  json::Json response = server.Handle(request);
+  EXPECT_EQ(response.GetString("status", ""), "ok");
+  EXPECT_NE(response.GetString("assembly", "").find("main:"),
+            std::string::npos);
+}
+
+TEST(Api, CompileErrorsReportPosition) {
+  SimServer server;
+  json::Json response = server.Handle(
+      Parse(R"({"command": "compile", "code": "int main( { return; }"})"));
+  EXPECT_EQ(response.GetString("status", ""), "error");
+  EXPECT_GT(response.GetInt("line", 0), 0);
+}
+
+TEST(Api, ParseAsmValidatesSource) {
+  SimServer server;
+  json::Json good = server.Handle(
+      Parse(R"({"command": "parseAsm", "code": "addi a0, a0, 1\nret\n"})"));
+  EXPECT_EQ(good.GetString("status", ""), "ok");
+  EXPECT_EQ(good.GetInt("instructionCount", 0), 2);  // addi + ret(jalr)
+
+  json::Json bad = server.Handle(
+      Parse(R"({"command": "parseAsm", "code": "bogus a0\n"})"));
+  EXPECT_EQ(bad.GetString("status", ""), "error");
+}
+
+TEST(Api, SessionLifecycleAndStepping) {
+  SimServer server;
+  json::Json created = server.Handle(Parse(
+      R"({"command": "createSession",
+          "code": "main:\n li a0, 5\n addi a0, a0, 1\n ret\n",
+          "entry": "main"})"));
+  ASSERT_EQ(created.GetString("status", ""), "ok");
+  const std::int64_t id = created.GetInt("sessionId", -1);
+  ASSERT_GT(id, 0);
+  EXPECT_EQ(server.sessionCount(), 1u);
+
+  json::Json stepRequest = json::Json::MakeObject();
+  stepRequest.Set("command", "step");
+  stepRequest.Set("sessionId", id);
+  stepRequest.Set("count", 3);
+  json::Json stepped = server.Handle(stepRequest);
+  ASSERT_EQ(stepped.GetString("status", ""), "ok");
+  EXPECT_EQ(stepped.Find("state")->GetInt("cycle", -1), 3);
+
+  json::Json back = json::Json::MakeObject();
+  back.Set("command", "stepBack");
+  back.Set("sessionId", id);
+  json::Json backResponse = server.Handle(back);
+  ASSERT_EQ(backResponse.GetString("status", ""), "ok");
+  EXPECT_EQ(backResponse.Find("state")->GetInt("cycle", -1), 2);
+
+  json::Json run = json::Json::MakeObject();
+  run.Set("command", "run");
+  run.Set("sessionId", id);
+  json::Json runResponse = server.Handle(run);
+  ASSERT_EQ(runResponse.GetString("status", ""), "ok");
+  EXPECT_EQ(runResponse.GetString("finishReason", ""), "main returned");
+
+  json::Json deleted = json::Json::MakeObject();
+  deleted.Set("command", "deleteSession");
+  deleted.Set("sessionId", id);
+  EXPECT_EQ(server.Handle(deleted).GetString("status", ""), "ok");
+  EXPECT_EQ(server.sessionCount(), 0u);
+}
+
+TEST(Api, CreateSessionFromCSource) {
+  SimServer server;
+  json::Json created = server.Handle(Parse(
+      R"({"command": "createSession", "isC": true, "optLevel": 2,
+          "code": "int main() { int s = 0; for (int i = 0; i < 5; i++) s += i; return s; }"})"));
+  ASSERT_EQ(created.GetString("status", ""), "ok");
+  json::Json run = json::Json::MakeObject();
+  run.Set("command", "run");
+  run.Set("sessionId", created.GetInt("sessionId", -1));
+  json::Json response = server.Handle(run);
+  EXPECT_EQ(response.GetString("finishReason", ""), "main returned");
+}
+
+TEST(Api, CheckConfigReportsAllProblems) {
+  SimServer server;
+  json::Json request = Parse(R"({"command": "checkConfig",
+    "config": {"buffers": {"fetchWidth": 0, "robSize": 0}}})");
+  json::Json response = server.Handle(request);
+  ASSERT_EQ(response.GetString("status", ""), "ok");
+  EXPECT_GE(response.Find("problems")->AsArray().size(), 2u);
+}
+
+TEST(Api, UnknownCommandAndUnknownSession) {
+  SimServer server;
+  EXPECT_EQ(server.Handle(Parse(R"({"command": "nope"})"))
+                .GetString("status", ""),
+            "error");
+  EXPECT_EQ(server.Handle(Parse(R"({"command": "step", "sessionId": 99})"))
+                .GetString("status", ""),
+            "error");
+}
+
+TEST(Api, RawPathTimesAndCompresses) {
+  SimServer server;
+  std::string created = server.HandleRaw(
+      R"({"command": "createSession",
+          "code": "main:\n li t0, 40\nloop:\n addi t0, t0, -1\n bnez t0, loop\n ret\n",
+          "entry": "main"})");
+  auto createdJson = Parse(created);
+  const std::int64_t id = createdJson.GetInt("sessionId", -1);
+  ASSERT_GT(id, 0);
+
+  RequestTiming timing;
+  const std::string request =
+      R"({"command": "step", "sessionId": )" + std::to_string(id) +
+      R"(, "count": 10})";
+  std::string compressed = server.HandleRaw(request, true, &timing);
+  EXPECT_GT(timing.parseNs, 0u);
+  EXPECT_GT(timing.serializeNs, 0u);
+  EXPECT_GT(timing.compressNs, 0u);
+  EXPECT_LT(timing.compressedBytes, timing.responseBytes);
+  auto decompressed = SlzDecompress(compressed);
+  ASSERT_TRUE(decompressed.has_value());
+  EXPECT_EQ(Parse(*decompressed).GetString("status", ""), "ok");
+}
+
+TEST(Api, MalformedJsonIsAnError) {
+  SimServer server;
+  std::string response = server.HandleRaw("{not json", false, nullptr);
+  EXPECT_EQ(Parse(response).GetString("status", ""), "error");
+}
+
+// ---- renderer ----------------------------------------------------------------
+
+TEST(Renderer, JsonSnapshotHasAllBlocks) {
+  auto sim = testutil::RunOnCore("main:\n li a0, 3\n ret\n",
+                                 config::DefaultConfig(), "main", 2);
+  ASSERT_NE(sim, nullptr);
+  json::Json state = RenderJson(*sim);
+  for (const char* key :
+       {"cycle", "fetchQueue", "reorderBuffer", "issueWindows",
+        "functionalUnits", "registers", "cache", "statistics", "log"}) {
+    EXPECT_NE(state.Find(key), nullptr) << key;
+  }
+  EXPECT_EQ(state.Find("registers")->Find("x")->AsArray().size(), 32u);
+}
+
+TEST(Renderer, MemoryDumpOptionIncludesSymbolsAndHex) {
+  auto sim = testutil::RunOnCore(".data\nv: .word 1\n.text\nmain: ret\n",
+                                 config::DefaultConfig(), "main", 1);
+  ASSERT_NE(sim, nullptr);
+  RenderOptions options;
+  options.includeMemoryDump = true;
+  json::Json state = RenderJson(*sim, options);
+  ASSERT_NE(state.Find("memory"), nullptr);
+  EXPECT_NE(state.Find("memory")->Find("symbols")->Find("v"), nullptr);
+  EXPECT_EQ(state.Find("memory")->GetString("dumpHex", "").size(),
+            sim->memorySystem().memory().size() * 2);
+}
+
+TEST(Renderer, TextSnapshotMentionsPipelineBlocks) {
+  auto sim = testutil::RunOnCore("main:\n li a0, 3\n ret\n",
+                                 config::DefaultConfig(), "main", 3);
+  ASSERT_NE(sim, nullptr);
+  const std::string text = RenderText(*sim);
+  EXPECT_NE(text.find("cycle"), std::string::npos);
+  EXPECT_NE(text.find("[Fetch"), std::string::npos);
+  EXPECT_NE(text.find("[ROB"), std::string::npos);
+  EXPECT_NE(text.find("[Units"), std::string::npos);
+}
+
+// ---- load model ---------------------------------------------------------------
+
+TEST(LoadModel, SaturationRaisesLatencyAndThroughput) {
+  const std::vector<double> service(32, 0.050);  // 50 ms per request
+  LoadScenario base;
+  base.linkBytesPerSecond = 0;
+  base.users = 30;
+  LoadResult at30 = SimulateLoad(base, service);
+  base.users = 100;
+  LoadResult at100 = SimulateLoad(base, service);
+
+  EXPECT_EQ(at30.completedRequests, 30u * 40u);
+  EXPECT_EQ(at100.completedRequests, 100u * 40u);
+  // 100 users on 4 workers with 50ms service saturates: latency inflates
+  // far beyond the service time while throughput rises toward the cap.
+  EXPECT_GT(at100.medianLatencyMs, 2 * at30.medianLatencyMs);
+  EXPECT_GT(at100.throughputTps, at30.throughputTps);
+  EXPECT_GE(at30.medianLatencyMs, 50.0 - 1e-9);
+  EXPECT_LE(at30.p90LatencyMs, at100.p90LatencyMs);
+}
+
+TEST(LoadModel, DockerModeIsSlower) {
+  const std::vector<double> service(32, 0.030);
+  LoadScenario scenario;
+  scenario.linkBytesPerSecond = 0;
+  LoadResult direct = SimulateLoad(scenario, service);
+  scenario.mode = DeploymentMode::kDocker;
+  LoadResult docker = SimulateLoad(scenario, service);
+  EXPECT_GT(docker.medianLatencyMs, direct.medianLatencyMs);
+}
+
+TEST(LoadModel, CompressionHelpsOnSlowLinks) {
+  const std::vector<double> service(32, 0.010);
+  LoadScenario scenario;
+  scenario.users = 60;
+  scenario.linkBytesPerSecond = 2e6;   // constrained link
+  scenario.payloadBytes = 120'000;
+  scenario.compressionRatio = 1.0;
+  LoadResult plain = SimulateLoad(scenario, service);
+  scenario.compressionRatio = 4.0;
+  LoadResult compressed = SimulateLoad(scenario, service);
+  EXPECT_GT(compressed.throughputTps, plain.throughputTps);
+  EXPECT_LT(compressed.medianLatencyMs, plain.medianLatencyMs);
+}
+
+TEST(LoadModel, DeterministicForFixedSeed) {
+  const std::vector<double> service{0.010, 0.020, 0.030};
+  LoadScenario scenario;
+  LoadResult a = SimulateLoad(scenario, service);
+  LoadResult b = SimulateLoad(scenario, service);
+  EXPECT_EQ(a.medianLatencyMs, b.medianLatencyMs);
+  EXPECT_EQ(a.throughputTps, b.throughputTps);
+}
+
+}  // namespace
+}  // namespace rvss::server

@@ -1,0 +1,66 @@
+// Shared helpers for the rvss test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "assembler/loader.h"
+#include "config/cpu_config.h"
+#include "core/simulation.h"
+#include "ref/interpreter.h"
+
+namespace rvss::testutil {
+
+/// Runs a program on the golden-model ISS and returns the interpreter for
+/// state inspection. Fails the current test on any error.
+struct IssRun {
+  memory::MainMemory memory{64 * 1024};
+  assembler::LoadedProgram loaded;
+  std::unique_ptr<ref::Interpreter> interp;
+  ref::ExitReason reason = ref::ExitReason::kRunning;
+};
+
+inline IssRun RunOnIss(const std::string& source,
+                       const std::string& entry = "",
+                       bool expectClean = true) {
+  IssRun run;
+  config::CpuConfig config = config::DefaultConfig();
+  auto loaded = assembler::LoadProgram(source, {}, config, run.memory, entry);
+  EXPECT_TRUE(loaded.ok()) << (loaded.ok() ? "" : loaded.error().ToText());
+  if (!loaded.ok()) return run;
+  run.loaded = std::move(loaded).value();
+  run.interp = std::make_unique<ref::Interpreter>(run.loaded.program,
+                                                  run.memory);
+  run.interp->InitRegisters(run.loaded.initialSp);
+  run.reason = run.interp->Run(10'000'000);
+  if (expectClean) {
+    EXPECT_TRUE(run.reason == ref::ExitReason::kMainReturned ||
+                run.reason == ref::ExitReason::kRanOffCode ||
+                run.reason == ref::ExitReason::kHalted)
+        << "exit: " << ref::ToString(run.reason)
+        << (run.interp->fault() ? " " + run.interp->fault()->ToText() : "");
+  }
+  return run;
+}
+
+/// Runs a program on the out-of-order core with the given configuration.
+inline std::unique_ptr<core::Simulation> RunOnCore(
+    const std::string& source, const config::CpuConfig& config,
+    const std::string& entry = "", std::uint64_t maxCycles = 5'000'000) {
+  auto sim = core::Simulation::Create(config, source, {{}, entry});
+  EXPECT_TRUE(sim.ok()) << (sim.ok() ? "" : sim.error().ToText());
+  if (!sim.ok()) return nullptr;
+  sim.value()->Run(maxCycles);
+  return std::move(sim).value();
+}
+
+/// x-register index by ABI name for test readability.
+inline unsigned Reg(const char* name) {
+  auto id = isa::ParseRegisterName(name);
+  EXPECT_TRUE(id.has_value()) << name;
+  return id ? id->index : 0;
+}
+
+}  // namespace rvss::testutil
