@@ -38,6 +38,15 @@ class SimLog {
   const std::vector<LogEntry>& entries() const { return entries_; }
   void Clear() { entries_.clear(); }
 
+  /// Copyable snapshot of the stored entries. The capacity and minimum
+  /// level are settings, not simulation state, and are left untouched by
+  /// RestoreState.
+  struct State {
+    std::vector<LogEntry> entries;
+  };
+  State SaveState() const { return State{entries_}; }
+  void RestoreState(const State& state) { entries_ = state.entries; }
+
   /// Renders "cycle [level] block: text" lines.
   std::string ToText() const;
 

@@ -231,6 +231,13 @@ json::Json ToJson(const CpuConfig& config) {
                 static_cast<std::int64_t>(config.predictor.historyBits));
   root.Set("predictor", std::move(predictor));
 
+  json::Json checkpoint = json::Json::MakeObject();
+  checkpoint.Set("intervalCycles",
+                 static_cast<std::int64_t>(config.checkpoint.intervalCycles));
+  checkpoint.Set("maxTotalBytes",
+                 static_cast<std::int64_t>(config.checkpoint.maxTotalBytes));
+  root.Set("checkpoint", std::move(checkpoint));
+
   root.Set("trapOnDivZero", config.trapOnDivZero);
   root.Set("randomSeed", static_cast<std::int64_t>(config.randomSeed));
   return root;
@@ -339,6 +346,15 @@ Result<CpuConfig> CpuConfigFromJson(const json::Json& node) {
     p.history = *history;
     p.historyBits = static_cast<std::uint32_t>(
         predictor->GetInt("historyBits", p.historyBits));
+  }
+
+  if (const json::Json* checkpoint = node.Find("checkpoint");
+      checkpoint != nullptr) {
+    CheckpointConfig& k = config.checkpoint;
+    k.intervalCycles = static_cast<std::uint64_t>(checkpoint->GetInt(
+        "intervalCycles", static_cast<std::int64_t>(k.intervalCycles)));
+    k.maxTotalBytes = static_cast<std::uint64_t>(checkpoint->GetInt(
+        "maxTotalBytes", static_cast<std::int64_t>(k.maxTotalBytes)));
   }
 
   config.trapOnDivZero = node.GetBool("trapOnDivZero", config.trapOnDivZero);

@@ -95,6 +95,17 @@ struct MemoryConfig {
   std::uint32_t renameRegisterCount = 64;  ///< speculative register file size
 };
 
+/// Backward-simulation checkpointing (not a paper tab; powers the O(K)
+/// StepBack/scrubbing path instead of the paper's re-execution from reset).
+struct CheckpointConfig {
+  /// Cycles between automatic snapshots; 0 disables checkpointing and falls
+  /// back to the paper's full re-execution.
+  std::uint64_t intervalCycles = 1024;
+  /// Memory budget for the per-simulation checkpoint ring; the oldest
+  /// non-base checkpoints are evicted beyond this.
+  std::uint64_t maxTotalBytes = 64ull * 1024 * 1024;
+};
+
 /// Paper tab 6 ("Branch prediction").
 struct PredictorConfig {
   std::uint32_t btbSize = 64;
@@ -116,6 +127,7 @@ struct CpuConfig {
   CacheConfig cache;
   MemoryConfig memory;
   PredictorConfig predictor;
+  CheckpointConfig checkpoint;
   /// The paper raises an exception on division by zero at commit; RISC-V
   /// itself does not trap. Off by default for spec fidelity.
   bool trapOnDivZero = false;

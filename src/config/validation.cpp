@@ -116,6 +116,26 @@ std::vector<Error> Validate(const CpuConfig& config) {
   Check(errors, m.renameRegisterCount >= config.buffers.fetchWidth,
         "renameRegisterCount must be at least fetchWidth");
 
+  // Checkpoint settings are client-supplied on shared servers, so both ends
+  // are bounded: a dense interval turns every step into a snapshot copy,
+  // and an unbounded budget defeats the per-session memory cap. A budget
+  // too small for two snapshots is fine — the ring pins the cycle-0 base
+  // and the newest entry and degrades to longer replays. The upper bounds
+  // also catch negative JSON values wrapping to huge unsigned ones.
+  const CheckpointConfig& k = config.checkpoint;
+  if (k.intervalCycles > 0) {
+    Check(errors, k.intervalCycles >= 16,
+          "checkpoint intervalCycles below 16 is not supported (0 disables)");
+    Check(errors, k.intervalCycles <= (1ull << 32),
+          "checkpoint intervalCycles above 2^32 is not supported");
+    Check(errors, k.maxTotalBytes >= 1,
+          "checkpoint maxTotalBytes must be positive");
+  }
+  // The budget bound applies even with automatic checkpointing disabled:
+  // manual saveCheckpoint requests still deposit into the ring.
+  Check(errors, k.maxTotalBytes <= (1ull << 30),
+        "checkpoint maxTotalBytes above 1 GiB is not supported");
+
   const PredictorConfig& p = config.predictor;
   Check(errors, IsPowerOfTwo(p.btbSize), "btbSize must be a power of two");
   Check(errors, IsPowerOfTwo(p.phtSize), "phtSize must be a power of two");

@@ -1,0 +1,71 @@
+// Checkpoint ring: bounded store of full-simulation snapshots.
+//
+// The paper implements backward simulation (§III-B) as deterministic
+// re-execution from reset — O(n) per backward step. The ring turns that
+// into O(interval): the simulation deposits a snapshot every
+// `intervalCycles` cycles (plus any manually requested ones), and StepBack
+// restores the nearest snapshot at or before the target cycle and replays
+// the remainder. Because the simulation is fully deterministic for a fixed
+// (program, config, seed) triple, snapshots taken on a previous pass stay
+// valid after seeking backward, so forward scrubbing can reuse them too.
+//
+// Memory is bounded: entries carry their approximate byte size and the
+// oldest non-base entries are evicted once `maxTotalBytes` is exceeded.
+// The cycle-0 base snapshot (Reset's restore point) and the newest entry
+// are never evicted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rvss::core {
+
+struct SimSnapshot;  // core/simulation.h
+
+class CheckpointRing {
+ public:
+  struct Entry {
+    std::uint64_t cycle = 0;
+    std::size_t bytes = 0;
+    std::shared_ptr<const SimSnapshot> snapshot;
+  };
+
+  /// `intervalCycles == 0` disables automatic checkpointing (the simulator
+  /// falls back to the paper's re-execution-from-reset path).
+  CheckpointRing(std::uint64_t intervalCycles, std::size_t maxTotalBytes)
+      : intervalCycles_(intervalCycles), maxTotalBytes_(maxTotalBytes) {}
+
+  bool enabled() const { return intervalCycles_ > 0; }
+  std::uint64_t intervalCycles() const { return intervalCycles_; }
+
+  /// True when the simulation should deposit a snapshot at `cycle`: the
+  /// ring is enabled, `cycle` lies on the interval grid and no entry for it
+  /// exists yet (replayed cycles do not re-snapshot).
+  bool WantsCheckpoint(std::uint64_t cycle) const;
+
+  /// Inserts a snapshot, keeping entries sorted by cycle; a duplicate cycle
+  /// is a no-op. Evicts oldest non-base entries beyond the byte budget.
+  void Add(std::uint64_t cycle, std::size_t bytes,
+           std::shared_ptr<const SimSnapshot> snapshot);
+
+  /// Newest entry with entry.cycle <= cycle, or nullptr when none exists.
+  const Entry* FindAtOrBefore(std::uint64_t cycle) const;
+
+  /// The cycle-0 base entry, or nullptr before the first Add.
+  const Entry* base() const;
+
+  std::size_t checkpointCount() const { return entries_.size(); }
+  std::size_t totalBytes() const { return totalBytes_; }
+  std::size_t maxTotalBytes() const { return maxTotalBytes_; }
+
+  void Clear();
+
+ private:
+  std::uint64_t intervalCycles_;
+  std::size_t maxTotalBytes_;
+  std::vector<Entry> entries_;  ///< sorted by cycle, ascending
+  std::size_t totalBytes_ = 0;
+};
+
+}  // namespace rvss::core

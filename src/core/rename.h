@@ -38,6 +38,17 @@ class ArchRegisterFile {
     f_.fill(0);
   }
 
+  /// Copyable snapshot of both register banks.
+  struct State {
+    std::array<std::uint64_t, 32> x{};
+    std::array<std::uint64_t, 32> f{};
+  };
+  State SaveState() const { return State{x_, f_}; }
+  void RestoreState(const State& state) {
+    x_ = state.x;
+    f_ = state.f;
+  }
+
  private:
   std::array<std::uint64_t, 32> x_{};
   std::array<std::uint64_t, 32> f_{};
@@ -86,6 +97,21 @@ class RenameState {
   std::vector<int> RenamesOf(isa::RegisterId arch) const;
 
   void Reset();
+
+  /// Copyable snapshot of the speculative file, free list and rename map.
+  struct State {
+    std::vector<SpecRegister> regs;
+    std::vector<int> freeList;
+    std::uint32_t freeCount = 0;
+    std::array<int, 64> map{};
+  };
+  State SaveState() const { return State{regs_, freeList_, freeCount_, map_}; }
+  void RestoreState(const State& state) {
+    regs_ = state.regs;
+    freeList_ = state.freeList;
+    freeCount_ = state.freeCount;
+    map_ = state.map;
+  }
 
  private:
   int MapIndex(isa::RegisterId reg) const {

@@ -1,11 +1,44 @@
 #include "core/simulation.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/strings.h"
 #include "isa/abi.h"
 
 namespace rvss::core {
+namespace {
+
+/// Deep-copies InFlight graphs with aliasing preserved: each distinct
+/// source object is cloned exactly once, so containers that share an entry
+/// (ROB + issue window + load buffer + functional unit) keep sharing the
+/// clone, while the clones share nothing with the source.
+class InFlightCloner {
+ public:
+  InFlightPtr operator()(const InFlightPtr& source) {
+    if (source == nullptr) return nullptr;
+    InFlightPtr& clone = clones_[source.get()];
+    if (clone == nullptr) clone = std::make_shared<InFlight>(*source);
+    return clone;
+  }
+  std::deque<InFlightPtr> operator()(const std::deque<InFlightPtr>& source) {
+    std::deque<InFlightPtr> out;
+    for (const InFlightPtr& inst : source) out.push_back((*this)(inst));
+    return out;
+  }
+  std::vector<InFlightPtr> operator()(const std::vector<InFlightPtr>& source) {
+    std::vector<InFlightPtr> out;
+    out.reserve(source.size());
+    for (const InFlightPtr& inst : source) out.push_back((*this)(inst));
+    return out;
+  }
+
+ private:
+  std::unordered_map<const InFlight*, InFlightPtr> clones_;
+};
+
+}  // namespace
 
 const char* ToString(Phase phase) {
   switch (phase) {
@@ -64,10 +97,18 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
   std::unique_ptr<Simulation> sim(
       new Simulation(config, std::move(loaded)));
   sim->memory_ = std::move(memorySystem);
-  // Snapshot the loaded memory for Reset()/StepBack().
+  // Snapshot the loaded memory for the checkpoints-disabled ResetHard path.
   sim->initialMemoryImage_.assign(sim->memory_->memory().bytes().begin(),
                                   sim->memory_->memory().bytes().end());
-  sim->Reset();
+  sim->ResetHard();
+  if (sim->checkpoints_.enabled()) {
+    // The cycle-0 base checkpoint: Reset()'s restore point. It is pinned
+    // (never evicted), so it supersedes the raw memory image — keeping
+    // both would double the fixed per-session footprint.
+    sim->CaptureCheckpointNow();
+    sim->initialMemoryImage_.clear();
+    sim->initialMemoryImage_.shrink_to_fit();
+  }
   return sim;
 }
 
@@ -75,7 +116,9 @@ Simulation::Simulation(config::CpuConfig config, assembler::LoadedProgram loaded
     : config_(std::move(config)),
       loaded_(std::move(loaded)),
       predictor_(config_.predictor),
-      rename_(config_.memory.renameRegisterCount) {
+      rename_(config_.memory.renameRegisterCount),
+      checkpoints_(config_.checkpoint.intervalCycles,
+                   config_.checkpoint.maxTotalBytes) {
   // Instantiate functional units and their statistics slots.
   std::size_t statsIndex = 0;
   for (const config::FunctionalUnitConfig& fuConfig : config_.functionalUnits) {
@@ -91,6 +134,15 @@ Simulation::Simulation(config::CpuConfig config, assembler::LoadedProgram loaded
 }
 
 void Simulation::Reset() {
+  lastSeekReplayedCycles_ = 0;
+  if (const CheckpointRing::Entry* base = checkpoints_.base()) {
+    RestoreState(*base->snapshot);
+    return;
+  }
+  ResetHard();
+}
+
+void Simulation::ResetHard() {
   cycle_ = 0;
   nextSeq_ = 1;
   pc_ = loaded_.program.entryPc;
@@ -133,6 +185,134 @@ void Simulation::Reset() {
   for (const assembler::Instruction& inst : loaded_.program.instructions) {
     ++stats_.staticMix[static_cast<std::size_t>(inst.def->type)];
   }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit state: snapshots and the checkpoint ring
+// ---------------------------------------------------------------------------
+
+std::size_t SimSnapshot::SizeBytes() const {
+  std::size_t bytes = sizeof(SimSnapshot);
+  bytes += memory.memory.bytes.capacity();
+  if (memory.cache.has_value()) {
+    bytes += memory.cache->lines.capacity() * sizeof(memory.cache->lines[0]);
+  }
+  bytes += rename.regs.capacity() * sizeof(SpecRegister);
+  bytes += rename.freeList.capacity() * sizeof(int);
+  bytes += predictor.pht.entries.capacity() *
+           sizeof(predictor.pht.entries[0]);
+  bytes += predictor.btb.entries.capacity() *
+           sizeof(predictor.btb.entries[0]);
+  bytes += predictor.localHistories.capacity() * sizeof(std::uint32_t);
+  for (const stats::UnitUsage& usage : stats.unitUsage) {
+    bytes += sizeof(usage) + usage.name.capacity();
+  }
+  for (const LogEntry& entry : log.entries) {
+    bytes += sizeof(entry) + entry.block.capacity() + entry.text.capacity();
+  }
+  // Each distinct in-flight instruction counts once, however many
+  // containers alias it; add the per-container pointer footprint too.
+  std::unordered_set<const InFlight*> distinct;
+  std::size_t references = 0;
+  auto count = [&](const InFlightPtr& inst) {
+    if (inst == nullptr) return;
+    ++references;
+    distinct.insert(inst.get());
+  };
+  for (const InFlightPtr& inst : fetchQueue) count(inst);
+  for (const InFlightPtr& inst : rob) count(inst);
+  for (const auto& window : windows) {
+    for (const InFlightPtr& inst : window) count(inst);
+  }
+  for (const InFlightPtr& inst : loadBuffer) count(inst);
+  for (const InFlightPtr& inst : storeBuffer) count(inst);
+  for (const InFlightPtr& inst : fuCurrent) count(inst);
+  bytes += distinct.size() * sizeof(InFlight);
+  bytes += references * sizeof(InFlightPtr);
+  bytes += fuBusyUntil.capacity() * sizeof(std::uint64_t);
+  return bytes;
+}
+
+SimSnapshot Simulation::SaveState() const {
+  SimSnapshot snapshot;
+  snapshot.cycle = cycle_;
+  snapshot.nextSeq = nextSeq_;
+  snapshot.pc = pc_;
+  snapshot.fetchResumeCycle = fetchResumeCycle_;
+  snapshot.fetchStalledIndirect = fetchStalledIndirect_;
+  snapshot.status = status_;
+  snapshot.finishReason = finishReason_;
+  snapshot.fault = fault_;
+
+  InFlightCloner clone;
+  snapshot.fetchQueue = clone(fetchQueue_);
+  snapshot.rob = clone(rob_);
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    snapshot.windows[i] = clone(windows_[i]);
+  }
+  snapshot.loadBuffer = clone(loadBuffer_);
+  snapshot.storeBuffer = clone(storeBuffer_);
+  snapshot.fuCurrent.reserve(fus_.size());
+  snapshot.fuBusyUntil.reserve(fus_.size());
+  for (const FunctionalUnit& fu : fus_) {
+    snapshot.fuCurrent.push_back(clone(fu.current));
+    snapshot.fuBusyUntil.push_back(fu.busyUntil);
+  }
+
+  snapshot.arch = arch_.SaveState();
+  snapshot.rename = rename_.SaveState();
+  snapshot.predictor = predictor_.SaveState();
+  snapshot.memory = memory_->SaveState();
+  snapshot.stats = stats_.SaveState();
+  snapshot.log = log_.SaveState();
+  return snapshot;
+}
+
+void Simulation::RestoreState(const SimSnapshot& snapshot) {
+  cycle_ = snapshot.cycle;
+  nextSeq_ = snapshot.nextSeq;
+  pc_ = snapshot.pc;
+  fetchResumeCycle_ = snapshot.fetchResumeCycle;
+  fetchStalledIndirect_ = snapshot.fetchStalledIndirect;
+  status_ = snapshot.status;
+  finishReason_ = snapshot.finishReason;
+  fault_ = snapshot.fault;
+
+  // Clone again on the way in, so the live run never aliases the snapshot
+  // and one snapshot can seed any number of restores.
+  InFlightCloner clone;
+  fetchQueue_ = clone(snapshot.fetchQueue);
+  rob_ = clone(snapshot.rob);
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    windows_[i] = clone(snapshot.windows[i]);
+  }
+  loadBuffer_ = clone(snapshot.loadBuffer);
+  storeBuffer_ = clone(snapshot.storeBuffer);
+  for (std::size_t i = 0; i < fus_.size(); ++i) {
+    fus_[i].current = clone(snapshot.fuCurrent[i]);
+    fus_[i].busyUntil = snapshot.fuBusyUntil[i];
+  }
+
+  arch_.RestoreState(snapshot.arch);
+  rename_.RestoreState(snapshot.rename);
+  predictor_.RestoreState(snapshot.predictor);
+  memory_->RestoreState(snapshot.memory);
+  stats_.RestoreState(snapshot.stats);
+  log_.RestoreState(snapshot.log);
+}
+
+void Simulation::CaptureCheckpointNow() {
+  // Skip the deep copy when this cycle is already in the ring (Add would
+  // discard the duplicate anyway).
+  const CheckpointRing::Entry* existing = checkpoints_.FindAtOrBefore(cycle_);
+  if (existing != nullptr && existing->cycle == cycle_) return;
+  auto snapshot = std::make_shared<const SimSnapshot>(SaveState());
+  const std::size_t bytes = snapshot->SizeBytes();
+  checkpoints_.Add(cycle_, bytes, std::move(snapshot));
+}
+
+void Simulation::MaybeCheckpoint() {
+  if (checkpoints_.WantsCheckpoint(cycle_)) CaptureCheckpointNow();
 }
 
 // ---------------------------------------------------------------------------
@@ -984,7 +1164,10 @@ void Simulation::Step() {
   ++stats_.cycles;
 
   StageCommit();
-  if (status_ != SimStatus::kRunning) return;
+  if (status_ != SimStatus::kRunning) {
+    MaybeCheckpoint();
+    return;
+  }
   StageComplete();
   StageMemory();
   StageIssue();
@@ -1001,6 +1184,8 @@ void Simulation::Step() {
       (pc_ % 4 != 0 || pc_ / 4 >= loaded_.program.instructions.size())) {
     Finish(FinishReason::kPipelineEmpty);
   }
+
+  MaybeCheckpoint();
 }
 
 SimStatus Simulation::Run(std::uint64_t maxCycles) {
@@ -1011,16 +1196,55 @@ SimStatus Simulation::Run(std::uint64_t maxCycles) {
   return status_;
 }
 
-Status Simulation::StepBack() {
+Status Simulation::StepBack(std::uint64_t maxReplayCycles) {
   if (cycle_ == 0) {
     return Status::Fail(ErrorKind::kInvalidArgument,
                         "already at cycle 0; cannot step back");
   }
-  const std::uint64_t target = cycle_ - 1;
-  Reset();
-  while (cycle_ < target && status_ == SimStatus::kRunning) {
-    Step();
+  return SeekTo(cycle_ - 1, maxReplayCycles);
+}
+
+Status Simulation::SeekTo(std::uint64_t targetCycle,
+                          std::uint64_t maxReplayCycles) {
+  if (targetCycle == cycle_) {
+    lastSeekReplayedCycles_ = 0;
+    return Status::Ok();
   }
+
+  // Pick the replay start: for backward seeks the best checkpoint at or
+  // before the target (or a hard reset when checkpointing is disabled);
+  // for forward seeks a checkpoint is only worth restoring when it skips
+  // ahead of the current position — checkpoints from a previous forward
+  // pass stay valid after seeking backward because the simulation is
+  // deterministic.
+  const CheckpointRing::Entry* from = checkpoints_.FindAtOrBefore(targetCycle);
+  const bool restore =
+      targetCycle < cycle_ || (from != nullptr && from->cycle > cycle_);
+  const std::uint64_t replayFrom =
+      restore ? (from != nullptr ? from->cycle : 0) : cycle_;
+  if (targetCycle - replayFrom > maxReplayCycles) {
+    return Status::Fail(
+        ErrorKind::kInvalidArgument,
+        StrFormat("seek to cycle %llu requires replaying %llu cycles "
+                  "(limit %llu)",
+                  static_cast<unsigned long long>(targetCycle),
+                  static_cast<unsigned long long>(targetCycle - replayFrom),
+                  static_cast<unsigned long long>(maxReplayCycles)));
+  }
+
+  if (restore) {
+    if (from != nullptr) {
+      RestoreState(*from->snapshot);
+    } else {
+      ResetHard();
+    }
+  }
+  std::uint64_t replayed = 0;
+  while (cycle_ < targetCycle && status_ == SimStatus::kRunning) {
+    Step();
+    ++replayed;
+  }
+  lastSeekReplayedCycles_ = replayed;
   return Status::Ok();
 }
 

@@ -16,9 +16,14 @@
 // instruction and the loading of the next one within a single clock
 // cycle".
 //
-// Backward simulation (paper §III-B) is forward re-execution: the whole
-// simulation is deterministic for a fixed (program, config) pair, so
-// stepping back to cycle t-1 resets and re-runs t-1 cycles.
+// Backward simulation (paper §III-B) builds on determinism: the whole
+// simulation is fully determined by the (program, config) pair, so any
+// earlier cycle is reachable by replaying forward from a known state. The
+// paper replays from reset (O(n) per backward step); this implementation
+// snapshots the complete simulation state into a CheckpointRing every K
+// cycles, so StepBack restores the nearest checkpoint at or before the
+// target and replays at most K cycles — O(K) per backward step, with
+// re-execution from reset kept only as the checkpoints-disabled fallback.
 #pragma once
 
 #include <deque>
@@ -31,6 +36,7 @@
 #include "common/log.h"
 #include "common/status.h"
 #include "config/cpu_config.h"
+#include "core/checkpoint_ring.h"
 #include "core/inflight.h"
 #include "core/rename.h"
 #include "expr/expression_cache.h"
@@ -63,6 +69,42 @@ struct FunctionalUnit {
   std::uint64_t busyUntil = 0;    ///< cycle the current instruction finishes
 };
 
+/// Complete copyable snapshot of a Simulation's mutable state.
+///
+/// Every pipeline container holds deep copies of its InFlight entries —
+/// cloned with aliasing preserved, so an instruction sitting in both the
+/// ROB and a load buffer is one shared object inside the snapshot, but the
+/// snapshot shares nothing with the live run. Restoring clones again, so
+/// one snapshot can seed many restores (checkpoint ring, session forks).
+struct SimSnapshot {
+  std::uint64_t cycle = 0;
+  std::uint64_t nextSeq = 1;
+  std::uint32_t pc = 0;
+  std::uint64_t fetchResumeCycle = 0;
+  bool fetchStalledIndirect = false;
+  SimStatus status = SimStatus::kRunning;
+  FinishReason finishReason = FinishReason::kNone;
+  std::optional<Error> fault;
+
+  std::deque<InFlightPtr> fetchQueue;
+  std::deque<InFlightPtr> rob;
+  std::array<std::vector<InFlightPtr>, 4> windows;
+  std::deque<InFlightPtr> loadBuffer;
+  std::deque<InFlightPtr> storeBuffer;
+  std::vector<InFlightPtr> fuCurrent;      ///< per functional unit
+  std::vector<std::uint64_t> fuBusyUntil;  ///< per functional unit
+
+  ArchRegisterFile::State arch;
+  RenameState::State rename;
+  predictor::PredictorUnit::State predictor;
+  memory::MemorySystem::State memory;
+  stats::SimulationStatistics::State stats;
+  SimLog::State log;
+
+  /// Approximate heap footprint (checkpoint-ring memory accounting).
+  std::size_t SizeBytes() const;
+};
+
 class Simulation {
  public:
   struct CreateOptions {
@@ -82,12 +124,49 @@ class Simulation {
   /// Runs until completion or `maxCycles` more cycles.
   SimStatus Run(std::uint64_t maxCycles = UINT64_MAX);
 
-  /// Backward simulation: re-runs the first cycle()-1 cycles from reset
-  /// (paper §III-B). Fails at cycle 0.
-  Status StepBack();
+  /// Backward simulation (paper §III-B): equivalent to SeekTo(cycle()-1).
+  /// With checkpointing enabled this restores the nearest checkpoint and
+  /// replays at most one interval. Fails at cycle 0, or when the replay
+  /// would exceed `maxReplayCycles` (checkpoints disabled or evicted;
+  /// servers pass their per-request bound).
+  Status StepBack(std::uint64_t maxReplayCycles = UINT64_MAX);
 
-  /// Resets to the initial state (cycle 0, memory re-imaged).
+  /// Seeks to an arbitrary cycle, backward or forward. Restores the best
+  /// checkpoint at or before `targetCycle` (or hard-resets when none
+  /// exists) and replays the remainder; replay stops early if the program
+  /// finishes. `maxReplayCycles` bounds the replay distance: a seek that
+  /// would need more returns an error without touching the state (servers
+  /// use this to keep requests bounded).
+  Status SeekTo(std::uint64_t targetCycle,
+                std::uint64_t maxReplayCycles = UINT64_MAX);
+
+  /// Resets to the initial state (cycle 0): restores the base checkpoint,
+  /// or rebuilds from the initial memory image when checkpointing is off.
+  /// The checkpoint ring itself survives — determinism keeps it valid.
   void Reset();
+
+  // --- explicit state -------------------------------------------------------
+
+  /// Captures the complete mutable state. The snapshot shares nothing with
+  /// the live run (InFlight entries are deep-copied, aliasing preserved).
+  SimSnapshot SaveState() const;
+
+  /// Restores a snapshot previously captured from an identical
+  /// (program, config) pair. The snapshot itself is not consumed.
+  void RestoreState(const SimSnapshot& snapshot);
+
+  /// Deposits a checkpoint of the current state into the ring (the server's
+  /// `saveCheckpoint` command); automatic checkpoints are taken by Step()
+  /// every config().checkpoint.intervalCycles cycles.
+  void CaptureCheckpointNow();
+
+  const CheckpointRing& checkpoints() const { return checkpoints_; }
+
+  /// Cycles replayed by the most recent SeekTo/StepBack/Reset — the
+  /// O(interval) claim, observable (tests and the stepback bench).
+  std::uint64_t lastSeekReplayedCycles() const {
+    return lastSeekReplayedCycles_;
+  }
 
   // --- state inspection ----------------------------------------------------
   std::uint64_t cycle() const { return cycle_; }
@@ -134,6 +213,13 @@ class Simulation {
 
  private:
   Simulation(config::CpuConfig config, assembler::LoadedProgram loaded);
+
+  /// Rebuilds the cycle-0 state from scratch (memory re-imaged). The
+  /// checkpoints-disabled Reset path and the Create-time initializer.
+  void ResetHard();
+
+  /// Deposits an automatic checkpoint when the ring wants one.
+  void MaybeCheckpoint();
 
   // Pipeline stages, in the order Step() runs them.
   void StageCommit();
@@ -188,6 +274,9 @@ class Simulation {
   std::deque<InFlightPtr> storeBuffer_;
   std::vector<FunctionalUnit> fus_;
   std::vector<std::uint32_t>* commitTraceSink_ = nullptr;
+
+  CheckpointRing checkpoints_;
+  std::uint64_t lastSeekReplayedCycles_ = 0;
 };
 
 }  // namespace rvss::core

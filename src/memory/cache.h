@@ -37,6 +37,15 @@ struct CacheLineView {
 };
 
 class Cache {
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint32_t tag = 0;
+    std::uint64_t lastUse = 0;   ///< for LRU
+    std::uint64_t insertTime = 0;///< for FIFO
+  };
+
  public:
   /// `config` must have passed config::Validate. `loadLatency` and
   /// `storeLatency` are the main-memory latencies charged on misses and
@@ -65,15 +74,22 @@ class Cache {
   /// Snapshot of a set for visualization; `way` < ways().
   CacheLineView Inspect(std::uint32_t set, std::uint32_t way) const;
 
- private:
-  struct Line {
-    bool valid = false;
-    bool dirty = false;
-    std::uint32_t tag = 0;
-    std::uint64_t lastUse = 0;   ///< for LRU
-    std::uint64_t insertTime = 0;///< for FIFO
+  /// Copyable snapshot of the mutable cache state: resident lines, the
+  /// Random-policy generator position and the FIFO insertion clock.
+  /// Geometry and policy are configuration, not state.
+  struct State {
+    std::vector<Line> lines;
+    Rng rng;
+    std::uint64_t insertCounter = 0;
   };
+  State SaveState() const { return State{lines_, rng_, insertCounter_}; }
+  void RestoreState(const State& state) {
+    lines_ = state.lines;
+    rng_ = state.rng;
+    insertCounter_ = state.insertCounter;
+  }
 
+ private:
   Line* Lookup(std::uint32_t set, std::uint32_t tag);
   std::uint32_t VictimWay(std::uint32_t set);
 

@@ -54,6 +54,15 @@ class MainMemory {
   /// Zeroes all contents (simulation reset).
   void Clear();
 
+  /// Copyable snapshot of the full memory contents. Restoring a snapshot
+  /// taken from a memory of a different capacity also restores that
+  /// capacity (snapshots always come from the same configuration).
+  struct State {
+    std::vector<std::uint8_t> bytes;
+  };
+  State SaveState() const { return State{bytes_}; }
+  void RestoreState(const State& state) { bytes_ = state.bytes; }
+
  private:
   std::vector<std::uint8_t> bytes_;
 };

@@ -56,6 +56,22 @@ MemoryTransaction MemorySystem::Register(std::uint32_t address,
   return txn;
 }
 
+MemorySystem::State MemorySystem::SaveState() const {
+  State state;
+  state.memory = memory_.SaveState();
+  if (cache_) state.cache = cache_->SaveState();
+  state.stats = stats_;
+  state.nextTransactionId = nextTransactionId_;
+  return state;
+}
+
+void MemorySystem::RestoreState(const State& state) {
+  memory_.RestoreState(state.memory);
+  if (cache_ && state.cache.has_value()) cache_->RestoreState(*state.cache);
+  stats_ = state.stats;
+  nextTransactionId_ = state.nextTransactionId;
+}
+
 void MemorySystem::Reset() {
   memory_.Clear();
   if (cache_) cache_->Reset();

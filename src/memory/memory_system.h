@@ -57,6 +57,17 @@ class MemorySystem {
   /// Clears memory contents, cache state and statistics.
   void Reset();
 
+  /// Copyable snapshot of everything mutable behind the front door: memory
+  /// contents, cache residency, statistics and the transaction counter.
+  struct State {
+    MainMemory::State memory;
+    std::optional<Cache::State> cache;  ///< engaged iff the cache is enabled
+    MemoryStats stats;
+    std::uint64_t nextTransactionId = 1;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   config::CpuConfig config_;
   MainMemory memory_;

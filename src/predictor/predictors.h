@@ -58,6 +58,13 @@ class PatternHistoryTable {
 
   void Reset();
 
+  /// Copyable snapshot of every counter.
+  struct State {
+    std::vector<BitPredictor> entries;
+  };
+  State SaveState() const { return State{entries_}; }
+  void RestoreState(const State& state) { entries_ = state.entries; }
+
  private:
   config::PredictorConfig config_;
   std::vector<BitPredictor> entries_;
@@ -66,6 +73,13 @@ class PatternHistoryTable {
 
 /// Branch target buffer: direct-mapped PC -> target cache.
 class BranchTargetBuffer {
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint32_t pc = 0;
+    std::uint32_t target = 0;
+  };
+
  public:
   explicit BranchTargetBuffer(std::uint32_t size);
 
@@ -77,12 +91,14 @@ class BranchTargetBuffer {
 
   std::uint32_t size() const { return static_cast<std::uint32_t>(entries_.size()); }
 
- private:
-  struct Entry {
-    bool valid = false;
-    std::uint32_t pc = 0;
-    std::uint32_t target = 0;
+  /// Copyable snapshot of every entry.
+  struct State {
+    std::vector<Entry> entries;
   };
+  State SaveState() const { return State{entries_}; }
+  void RestoreState(const State& state) { entries_ = state.entries; }
+
+ private:
   std::vector<Entry> entries_;
   std::uint32_t mask_;
 };
@@ -121,6 +137,25 @@ class PredictorUnit {
   }
 
   void Reset();
+
+  /// Copyable snapshot of all trained state: PHT counters, BTB entries and
+  /// the speculative history registers.
+  struct State {
+    PatternHistoryTable::State pht;
+    BranchTargetBuffer::State btb;
+    std::uint32_t globalHistory = 0;
+    std::vector<std::uint32_t> localHistories;
+  };
+  State SaveState() const {
+    return State{pht_.SaveState(), btb_.SaveState(), globalHistory_,
+                 localHistories_};
+  }
+  void RestoreState(const State& state) {
+    pht_.RestoreState(state.pht);
+    btb_.RestoreState(state.btb);
+    globalHistory_ = state.globalHistory;
+    localHistories_ = state.localHistories;
+  }
 
   const PatternHistoryTable& pht() const { return pht_; }
   const BranchTargetBuffer& btb() const { return btb_; }

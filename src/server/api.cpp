@@ -1,5 +1,6 @@
 #include "server/api.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "assembler/assembler.h"
@@ -20,6 +21,19 @@ json::Json Ok() {
   json::Json response = json::Json::MakeObject();
   response.Set("status", "ok");
   return response;
+}
+
+/// Checkpoint-ring accounting for a session ({count, bytes, maxBytes,
+/// intervalCycles}) — the per-session memory cap made visible to clients.
+json::Json CheckpointInfo(const core::Simulation& sim) {
+  const core::CheckpointRing& ring = sim.checkpoints();
+  json::Json info = json::Json::MakeObject();
+  info.Set("count", static_cast<std::int64_t>(ring.checkpointCount()));
+  info.Set("bytes", static_cast<std::int64_t>(ring.totalBytes()));
+  info.Set("maxBytes", static_cast<std::int64_t>(ring.maxTotalBytes()));
+  info.Set("intervalCycles",
+           static_cast<std::int64_t>(ring.intervalCycles()));
+  return info;
 }
 
 }  // namespace
@@ -139,24 +153,71 @@ json::Json SimServer::Dispatch(const json::Json& request) {
 
   if (command == "step") {
     const std::int64_t count = request.GetInt("count", 1);
-    for (std::int64_t i = 0; i < count; ++i) sim.Step();
+    if (count < 0) {
+      return ErrorResponse(Error{ErrorKind::kInvalidArgument,
+                                 "'count' must be non-negative"});
+    }
+    // Clamp, and bail out as soon as the simulation stops running: a huge
+    // count on a finished session must not spin the dispatch loop.
+    const std::int64_t bounded = std::min(count, limits_.maxStepsPerRequest);
+    std::int64_t stepped = 0;
+    for (; stepped < bounded && sim.status() == core::SimStatus::kRunning;
+         ++stepped) {
+      sim.Step();
+    }
     json::Json response = Ok();
+    response.Set("stepped", stepped);
     RenderOptions options;
     options.includeMemoryDump = request.GetBool("memory", false);
     response.Set("state", RenderJson(sim, options));
     return response;
   }
   if (command == "stepBack") {
-    Status status = sim.StepBack();
+    // Same per-request bound as restoreCheckpoint: with checkpoints
+    // disabled (or evicted) a deep StepBack otherwise replays the whole
+    // prefix inside the dispatch loop.
+    Status status = sim.StepBack(
+        static_cast<std::uint64_t>(limits_.maxStepsPerRequest));
     if (!status.ok()) return ErrorResponse(status.error());
     json::Json response = Ok();
     response.Set("state", RenderJson(sim));
     return response;
   }
+  if (command == "saveCheckpoint") {
+    sim.CaptureCheckpointNow();
+    json::Json response = Ok();
+    response.Set("cycle", static_cast<std::int64_t>(sim.cycle()));
+    response.Set("checkpoints", CheckpointInfo(sim));
+    return response;
+  }
+  if (command == "restoreCheckpoint") {
+    const std::int64_t cycle = request.GetInt("cycle", -1);
+    if (cycle < 0) {
+      return ErrorResponse(Error{ErrorKind::kInvalidArgument,
+                                 "'cycle' must be a non-negative integer"});
+    }
+    Status status =
+        sim.SeekTo(static_cast<std::uint64_t>(cycle),
+                   static_cast<std::uint64_t>(limits_.maxStepsPerRequest));
+    if (!status.ok()) return ErrorResponse(status.error());
+    json::Json response = Ok();
+    response.Set("replayedCycles",
+                 static_cast<std::int64_t>(sim.lastSeekReplayedCycles()));
+    response.Set("state", RenderJson(sim));
+    return response;
+  }
   if (command == "run") {
     const std::int64_t maxCycles = request.GetInt("maxCycles", 10'000'000);
-    sim.Run(static_cast<std::uint64_t>(maxCycles));
+    if (maxCycles < 0) {
+      return ErrorResponse(Error{ErrorKind::kInvalidArgument,
+                                 "'maxCycles' must be non-negative"});
+    }
+    const std::uint64_t before = sim.cycle();
+    sim.Run(static_cast<std::uint64_t>(
+        std::min(maxCycles, limits_.maxRunCyclesPerRequest)));
     json::Json response = Ok();
+    // Like step's "stepped": makes a clamped / truncated run visible.
+    response.Set("ranCycles", static_cast<std::int64_t>(sim.cycle() - before));
     response.Set("statistics",
                  sim.statistics().ToJson(sim.memorySystem().stats(),
                                          sim.config().coreClockHz));
@@ -178,6 +239,7 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     response.Set("statistics",
                  sim.statistics().ToJson(sim.memorySystem().stats(),
                                          sim.config().coreClockHz));
+    response.Set("checkpoints", CheckpointInfo(sim));
     return response;
   }
 

@@ -7,16 +7,27 @@
 // -> compress path is exercised and measurable (experiments E1-E3).
 //
 // Commands (field "command"):
-//   compile       {code, optLevel}                 -> {assembly}
-//   parseAsm      {code}                           -> {ok} | error
-//   checkConfig   {config}                         -> {ok, problems[]}
-//   createSession {code, config?, entry?, arrays?} -> {sessionId}
-//   step          {sessionId, count?}              -> {state}
-//   stepBack      {sessionId}                      -> {state}
-//   run           {sessionId, maxCycles?}          -> {statistics}
-//   state         {sessionId, memory?}             -> {state}
-//   stats         {sessionId}                      -> {statistics}
-//   deleteSession {sessionId}                      -> {ok}
+//   compile           {code, optLevel}                 -> {assembly}
+//   parseAsm          {code}                           -> {ok} | error
+//   checkConfig       {config}                         -> {ok, problems[]}
+//   createSession     {code, config?, entry?, arrays?} -> {sessionId}
+//   step              {sessionId, count?}              -> {state, stepped}
+//   stepBack          {sessionId}                      -> {state}
+//   run               {sessionId, maxCycles?}          -> {statistics, ranCycles}
+//   state             {sessionId, memory?}             -> {state}
+//   stats             {sessionId}                      -> {statistics, checkpoints}
+//   saveCheckpoint    {sessionId}                      -> {cycle, checkpoints}
+//   restoreCheckpoint {sessionId, cycle}               -> {state, replayedCycles}
+//   deleteSession     {sessionId}                      -> {ok}
+//
+// step rejects a negative count and clamps it to Limits::maxStepsPerRequest;
+// run clamps maxCycles likewise, so no single request can spin the dispatch
+// loop unboundedly. stepBack and restoreCheckpoint ride the simulation's
+// checkpoint ring (O(interval) instead of re-execution from reset);
+// restoreCheckpoint scrubs to an arbitrary cycle, backward or forward.
+// Per-session checkpoint memory is capped by the session's
+// config.checkpoint.maxTotalBytes and reported in the "checkpoints" object
+// ({count, bytes, maxBytes, intervalCycles}).
 #pragma once
 
 #include <cstdint>
@@ -52,7 +63,17 @@ struct RequestTiming {
 
 class SimServer {
  public:
+  /// Per-request work bounds (a public server must not let one request
+  /// monopolize the dispatch loop).
+  struct Limits {
+    std::int64_t maxStepsPerRequest = 1'000'000;
+    std::int64_t maxRunCyclesPerRequest = 1'000'000'000;
+  };
+
   SimServer() = default;
+  explicit SimServer(const Limits& limits) : limits_(limits) {}
+
+  const Limits& limits() const { return limits_; }
 
   /// Structured entry point (no serialization cost).
   json::Json Handle(const json::Json& request);
@@ -73,6 +94,7 @@ class SimServer {
   json::Json ErrorResponse(const Error& error) const;
   Result<Session*> FindSession(const json::Json& request);
 
+  Limits limits_;
   std::map<std::int64_t, Session> sessions_;
   std::int64_t nextSessionId_ = 1;
 };

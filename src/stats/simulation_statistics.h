@@ -86,6 +86,13 @@ struct SimulationStatistics {
   /// Human-readable statistics report (the CLI's text output mode).
   std::string ToText(const memory::MemoryStats& memoryStats,
                      std::uint64_t coreClockHz) const;
+
+  /// The statistics struct is already a plain value; the State alias gives
+  /// it the same SaveState/RestoreState surface as every other stateful
+  /// subsystem (core/simulation.h snapshots).
+  using State = SimulationStatistics;
+  State SaveState() const { return *this; }
+  void RestoreState(const State& state) { *this = state; }
 };
 
 }  // namespace rvss::stats

@@ -139,6 +139,152 @@ TEST(Api, SessionLifecycleAndStepping) {
   EXPECT_EQ(server.sessionCount(), 0u);
 }
 
+std::int64_t CreateLoopSession(SimServer& server) {
+  json::Json created = server.Handle(Parse(
+      R"({"command": "createSession",
+          "code": "main:\n li t0, 500\nloop:\n addi t0, t0, -1\n bnez t0, loop\n ret\n",
+          "entry": "main"})"));
+  EXPECT_EQ(created.GetString("status", ""), "ok");
+  return created.GetInt("sessionId", -1);
+}
+
+TEST(Api, StepRejectsNegativeAndClampsHugeCounts) {
+  SimServer::Limits limits;
+  limits.maxStepsPerRequest = 10;
+  SimServer server(limits);
+  const std::int64_t id = CreateLoopSession(server);
+  ASSERT_GT(id, 0);
+
+  json::Json negative = json::Json::MakeObject();
+  negative.Set("command", "step");
+  negative.Set("sessionId", id);
+  negative.Set("count", -5);
+  EXPECT_EQ(server.Handle(negative).GetString("status", ""), "error");
+
+  // A count far beyond the limit (the count=10^18 denial-of-service shape)
+  // executes at most maxStepsPerRequest cycles and returns.
+  json::Json huge = json::Json::MakeObject();
+  huge.Set("command", "step");
+  huge.Set("sessionId", id);
+  huge.Set("count", std::int64_t{1'000'000'000'000'000'000});
+  json::Json response = server.Handle(huge);
+  ASSERT_EQ(response.GetString("status", ""), "ok");
+  EXPECT_EQ(response.GetInt("stepped", -1), 10);
+  EXPECT_EQ(response.Find("state")->GetInt("cycle", -1), 10);
+}
+
+TEST(Api, StepBackBoundedByLimitsWhenCheckpointsDisabled) {
+  SimServer::Limits limits;
+  limits.maxStepsPerRequest = 10;
+  SimServer server(limits);
+  json::Json created = server.Handle(Parse(
+      R"({"command": "createSession",
+          "code": "main:\n li t0, 500\nloop:\n addi t0, t0, -1\n bnez t0, loop\n ret\n",
+          "entry": "main", "config": {"checkpoint": {"intervalCycles": 0}}})"));
+  ASSERT_EQ(created.GetString("status", ""), "ok");
+  const std::int64_t id = created.GetInt("sessionId", -1);
+
+  json::Json step = json::Json::MakeObject();
+  step.Set("command", "step");
+  step.Set("sessionId", id);
+  step.Set("count", 10);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(server.Handle(step).GetString("status", ""), "ok");
+  }
+
+  // Without checkpoints, stepping back from cycle 30 means replaying 29
+  // cycles from reset — beyond this server's 10-cycle request budget, so
+  // the request is refused instead of spinning the dispatch loop.
+  json::Json back = json::Json::MakeObject();
+  back.Set("command", "stepBack");
+  back.Set("sessionId", id);
+  json::Json response = server.Handle(back);
+  EXPECT_EQ(response.GetString("status", ""), "error");
+  EXPECT_NE(response.GetString("message", "").find("replaying"),
+            std::string::npos);
+}
+
+TEST(Api, StepStopsEarlyWhenSimulationFinishes) {
+  SimServer server;
+  const std::int64_t id = CreateLoopSession(server);
+  ASSERT_GT(id, 0);
+  json::Json request = json::Json::MakeObject();
+  request.Set("command", "step");
+  request.Set("sessionId", id);
+  request.Set("count", std::int64_t{900'000});
+  json::Json response = server.Handle(request);
+  ASSERT_EQ(response.GetString("status", ""), "ok");
+  // The loop finishes long before the limit; the server must not keep
+  // spinning no-op steps until the count is exhausted.
+  EXPECT_LT(response.GetInt("stepped", -1), 10'000);
+}
+
+TEST(Api, RunRejectsNegativeMaxCycles) {
+  SimServer server;
+  const std::int64_t id = CreateLoopSession(server);
+  ASSERT_GT(id, 0);
+  json::Json request = json::Json::MakeObject();
+  request.Set("command", "run");
+  request.Set("sessionId", id);
+  request.Set("maxCycles", -1);
+  EXPECT_EQ(server.Handle(request).GetString("status", ""), "error");
+}
+
+TEST(Api, CheckpointSaveRestoreScrubsSession) {
+  SimServer server;
+  const std::int64_t id = CreateLoopSession(server);
+  ASSERT_GT(id, 0);
+
+  json::Json step = json::Json::MakeObject();
+  step.Set("command", "step");
+  step.Set("sessionId", id);
+  step.Set("count", 50);
+  ASSERT_EQ(server.Handle(step).GetString("status", ""), "ok");
+
+  json::Json save = json::Json::MakeObject();
+  save.Set("command", "saveCheckpoint");
+  save.Set("sessionId", id);
+  json::Json saved = server.Handle(save);
+  ASSERT_EQ(saved.GetString("status", ""), "ok");
+  EXPECT_EQ(saved.GetInt("cycle", -1), 50);
+  EXPECT_GT(saved.Find("checkpoints")->GetInt("count", 0), 0);
+  EXPECT_GT(saved.Find("checkpoints")->GetInt("bytes", 0), 0);
+
+  step.Set("count", 37);
+  ASSERT_EQ(server.Handle(step).GetString("status", ""), "ok");
+
+  json::Json restore = json::Json::MakeObject();
+  restore.Set("command", "restoreCheckpoint");
+  restore.Set("sessionId", id);
+  restore.Set("cycle", 50);
+  json::Json restored = server.Handle(restore);
+  ASSERT_EQ(restored.GetString("status", ""), "ok");
+  EXPECT_EQ(restored.Find("state")->GetInt("cycle", -1), 50);
+  // cycle 50 is an exact manual checkpoint: zero replay.
+  EXPECT_EQ(restored.GetInt("replayedCycles", -1), 0);
+
+  // Scrub forward again, then to an arbitrary cycle between checkpoints.
+  restore.Set("cycle", 60);
+  restored = server.Handle(restore);
+  ASSERT_EQ(restored.GetString("status", ""), "ok");
+  EXPECT_EQ(restored.Find("state")->GetInt("cycle", -1), 60);
+
+  json::Json bad = json::Json::MakeObject();
+  bad.Set("command", "restoreCheckpoint");
+  bad.Set("sessionId", id);
+  bad.Set("cycle", -3);
+  EXPECT_EQ(server.Handle(bad).GetString("status", ""), "error");
+
+  json::Json stats = json::Json::MakeObject();
+  stats.Set("command", "stats");
+  stats.Set("sessionId", id);
+  json::Json statsResponse = server.Handle(stats);
+  ASSERT_EQ(statsResponse.GetString("status", ""), "ok");
+  const json::Json* checkpoints = statsResponse.Find("checkpoints");
+  ASSERT_NE(checkpoints, nullptr);
+  EXPECT_GT(checkpoints->GetInt("maxBytes", 0), 0);
+}
+
 TEST(Api, CreateSessionFromCSource) {
   SimServer server;
   json::Json created = server.Handle(Parse(
