@@ -7,7 +7,7 @@
 // throughput gain once the link, not the CPU, is the bottleneck.
 #include "bench_common.h"
 #include "server/load_model.h"
-#include "server/slz.h"
+#include "common/slz.h"
 #include "server/state_renderer.h"
 
 using namespace rvss;

@@ -5,7 +5,7 @@
 // byte-level server path and reports the time split between JSON work
 // (parse + serialize), the simulation itself, and compression.
 #include "bench_common.h"
-#include "server/slz.h"
+#include "common/slz.h"
 #include "server/state_renderer.h"
 
 using namespace rvss;
@@ -52,7 +52,7 @@ int main() {
       std::uint64_t t3 = NowNs();
       std::string serialized = state.Dump();
       std::uint64_t t4 = NowNs();
-      std::string compressed = server::SlzCompress(serialized);
+      std::string compressed = SlzCompress(serialized);
       std::uint64_t t5 = NowNs();
       if (!parsed.ok() || compressed.empty()) return 1;
       if (round < 20) continue;

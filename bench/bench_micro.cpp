@@ -8,7 +8,7 @@
 #include "expr/expression_cache.h"
 #include "ref/interpreter.h"
 #include "ref/progen.h"
-#include "server/slz.h"
+#include "common/slz.h"
 
 using namespace rvss;
 
@@ -98,7 +98,7 @@ void BM_SlzCompress(benchmark::State& state) {
                "\", \"valid\": true},";
   }
   for (auto _ : state) {
-    std::string compressed = server::SlzCompress(payload);
+    std::string compressed = SlzCompress(payload);
     benchmark::DoNotOptimize(compressed);
   }
   state.SetBytesProcessed(

@@ -21,7 +21,7 @@
 
 #include "bench_common.h"
 #include "server/load_model.h"
-#include "server/slz.h"
+#include "common/slz.h"
 
 using namespace rvss;
 

@@ -12,6 +12,7 @@
 #include "memory/dump.h"
 #include "memory/memory_initializer.h"
 #include "server/state_renderer.h"
+#include "snapshot/session.h"
 
 namespace rvss::cli {
 namespace {
@@ -32,6 +33,13 @@ Inputs:
 
 Execution:
   --max-cycles N      cycle budget (default 100000000)
+
+Snapshots:
+  --save-snapshot F   after the run, write a portable session snapshot
+                      (config + program + complete state) to F
+  --load-snapshot F   resume a saved session instead of --asm/--c; the
+                      snapshot embeds config/memory/entry, so those flags
+                      are rejected alongside it
 
 Output:
   --format text|json  statistics format (default text)
@@ -61,9 +69,16 @@ struct Options {
   std::string format = "text";
   std::string dumpPath;
   std::string dumpCsvPath;
+  std::string saveSnapshotPath;
+  std::string loadSnapshotPath;
   bool verbose = false;
   bool trace = false;
 };
+
+int RunSimulation(const Options& options,
+                  std::unique_ptr<core::Simulation> owned,
+                  const snapshot::SessionIdentity& identity,
+                  std::ostream& out, std::ostream& err);
 
 }  // namespace
 
@@ -116,6 +131,14 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
         return 1;
       }
       options.format = *v;
+    } else if (arg == "--save-snapshot") {
+      auto v = value();
+      if (!v) { err << "--save-snapshot needs a file\n"; return 1; }
+      options.saveSnapshotPath = *v;
+    } else if (arg == "--load-snapshot") {
+      auto v = value();
+      if (!v) { err << "--load-snapshot needs a file\n"; return 1; }
+      options.loadSnapshotPath = *v;
     } else if (arg == "--dump") {
       auto v = value();
       if (!v) { err << "--dump needs a file\n"; return 1; }
@@ -132,6 +155,29 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       err << "unknown argument '" << arg << "'\n" << UsageTextInternal();
       return 1;
     }
+  }
+
+  if (!options.loadSnapshotPath.empty()) {
+    if (!options.asmPath.empty() || !options.cPath.empty() ||
+        !options.configPath.empty() || !options.memoryPath.empty() ||
+        !options.entry.empty()) {
+      err << "--load-snapshot embeds program, config and memory settings; "
+             "it cannot be combined with --asm/--c/--config/--memory/"
+             "--entry\n";
+      return 1;
+    }
+    auto blob = ReadFile(options.loadSnapshotPath);
+    if (!blob) {
+      err << "cannot read '" << options.loadSnapshotPath << "'\n";
+      return 1;
+    }
+    auto imported = snapshot::ImportSessionBlob(*blob);
+    if (!imported.ok()) {
+      err << "error: " << imported.error().ToText() << "\n";
+      return 2;
+    }
+    return RunSimulation(options, std::move(imported.value().sim),
+                         imported.value().identity, out, err);
   }
 
   if (options.asmPath.empty() == options.cPath.empty()) {
@@ -213,7 +259,30 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     err << "error: " << sim.error().ToText() << "\n";
     return 2;
   }
-  core::Simulation& simulation = *sim.value();
+
+  std::string arraysJson;
+  if (!createOptions.arrays.empty()) {
+    json::Json arraysNode = json::Json::MakeArray();
+    for (const memory::ArrayDefinition& def : createOptions.arrays) {
+      arraysNode.Append(memory::ToJson(def));
+    }
+    arraysJson = arraysNode.Dump();
+  }
+  snapshot::SessionIdentity identity = snapshot::MakeIdentity(
+      *sim.value(), std::move(source), createOptions.entryLabel,
+      std::move(arraysJson));
+  return RunSimulation(options, std::move(sim).value(), identity, out, err);
+}
+
+namespace {
+
+/// Shared back half of the CLI: runs the (fresh or resumed) simulation,
+/// prints the requested reports, writes dumps and the optional snapshot.
+int RunSimulation(const Options& options,
+                  std::unique_ptr<core::Simulation> owned,
+                  const snapshot::SessionIdentity& identity,
+                  std::ostream& out, std::ostream& err) {
+  core::Simulation& simulation = *owned;
 
   if (options.trace) {
     while (simulation.status() == core::SimStatus::kRunning &&
@@ -261,7 +330,19 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     dump << memory::ExportCsv(simulation.memorySystem().memory());
   }
 
+  if (!options.saveSnapshotPath.empty()) {
+    const std::string blob = snapshot::EncodeSessionBlob(simulation, identity);
+    std::ofstream file(options.saveSnapshotPath, std::ios::binary);
+    if (!file) {
+      err << "cannot write '" << options.saveSnapshotPath << "'\n";
+      return 1;
+    }
+    file.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+
   return simulation.status() == core::SimStatus::kFault ? 2 : 0;
 }
+
+}  // namespace
 
 }  // namespace rvss::cli

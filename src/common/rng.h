@@ -8,6 +8,7 @@
 // exact same state.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace rvss {
@@ -35,6 +36,14 @@ class Rng {
 
   /// True with probability p (clamped to [0,1]).
   bool NextBool(double p = 0.5);
+
+  /// Raw generator position, for exact serialization (snapshot codec).
+  std::array<std::uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void RestoreState(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   std::uint64_t state_[4];

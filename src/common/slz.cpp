@@ -1,10 +1,10 @@
-#include "server/slz.h"
+#include "common/slz.h"
 
 #include <array>
 #include <cstring>
 #include <vector>
 
-namespace rvss::server {
+namespace rvss {
 namespace {
 
 constexpr std::size_t kWindowSize = 1 << 13;   // 8 KiB, 13-bit offsets
@@ -88,7 +88,8 @@ std::string SlzCompress(std::string_view input) {
   return out;
 }
 
-std::optional<std::string> SlzDecompress(std::string_view input) {
+std::optional<std::string> SlzDecompress(std::string_view input,
+                                         std::size_t* consumedBytes) {
   if (input.size() < 4) return std::nullopt;
   std::uint32_t expected = 0;
   for (int i = 0; i < 4; ++i) {
@@ -96,6 +97,11 @@ std::optional<std::string> SlzDecompress(std::string_view input) {
                     static_cast<std::uint8_t>(input[static_cast<std::size_t>(i)]))
                 << (8 * i);
   }
+  // The header size is attacker-controlled on untrusted blobs; a match
+  // emits at most kMaxMatch bytes for two input bytes, so any claimed
+  // expansion beyond that is malformed. Checking before reserve() keeps a
+  // tiny hostile input from demanding a 4 GiB allocation.
+  if (expected > (input.size() - 4) * kMaxMatch) return std::nullopt;
   std::string out;
   out.reserve(expected);
   std::size_t pos = 4;
@@ -121,7 +127,8 @@ std::optional<std::string> SlzDecompress(std::string_view input) {
     }
   }
   if (out.size() != expected) return std::nullopt;
+  if (consumedBytes != nullptr) *consumedBytes = pos;
   return out;
 }
 
-}  // namespace rvss::server
+}  // namespace rvss

@@ -1,6 +1,8 @@
 // slz: a small LZSS-family compressor.
 //
-// Stand-in for the gzip content-encoding in the paper's deployment
+// Lives in common/ (not server/) so that lower layers — the snapshot
+// codec compresses encoded session blobs — can use it too. Stand-in for
+// the gzip content-encoding in the paper's deployment
 // (DESIGN.md substitution table): the E3 experiment only needs a real
 // general-purpose compressor with a realistic ratio on JSON state payloads
 // (3-6x) and a realistic CPU cost, both of which byte-pair LZSS delivers.
@@ -15,12 +17,15 @@
 #include <string>
 #include <string_view>
 
-namespace rvss::server {
+namespace rvss {
 
 /// Compresses `input`. Never fails; incompressible data grows by ~1/8.
 std::string SlzCompress(std::string_view input);
 
-/// Decompresses; returns nullopt on malformed input.
-std::optional<std::string> SlzDecompress(std::string_view input);
+/// Decompresses; returns nullopt on malformed input. `consumedBytes`
+/// (optional) receives how much of `input` the stream actually used, so
+/// callers embedding slz in a larger format can reject trailing garbage.
+std::optional<std::string> SlzDecompress(std::string_view input,
+                                         std::size_t* consumedBytes = nullptr);
 
-}  // namespace rvss::server
+}  // namespace rvss

@@ -163,4 +163,83 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+namespace {
+
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Value of a base64 character, or -1 when outside the alphabet.
+int Base64Value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string Base64Encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    const std::uint32_t group =
+        (static_cast<std::uint8_t>(bytes[i]) << 16) |
+        (static_cast<std::uint8_t>(bytes[i + 1]) << 8) |
+        static_cast<std::uint8_t>(bytes[i + 2]);
+    out += kBase64Alphabet[(group >> 18) & 63];
+    out += kBase64Alphabet[(group >> 12) & 63];
+    out += kBase64Alphabet[(group >> 6) & 63];
+    out += kBase64Alphabet[group & 63];
+  }
+  const std::size_t rest = bytes.size() - i;
+  if (rest == 1) {
+    const std::uint32_t group = static_cast<std::uint8_t>(bytes[i]) << 16;
+    out += kBase64Alphabet[(group >> 18) & 63];
+    out += kBase64Alphabet[(group >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    const std::uint32_t group =
+        (static_cast<std::uint8_t>(bytes[i]) << 16) |
+        (static_cast<std::uint8_t>(bytes[i + 1]) << 8);
+    out += kBase64Alphabet[(group >> 18) & 63];
+    out += kBase64Alphabet[(group >> 12) & 63];
+    out += kBase64Alphabet[(group >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::optional<std::string> Base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    const bool lastGroup = i + 4 == text.size();
+    int pad = 0;
+    std::uint32_t group = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + static_cast<std::size_t>(j)];
+      if (c == '=') {
+        // Padding is only legal in the last one or two positions of the
+        // final group.
+        if (!lastGroup || j < 2) return std::nullopt;
+        ++pad;
+        group <<= 6;
+        continue;
+      }
+      if (pad > 0) return std::nullopt;  // data after padding
+      const int value = Base64Value(c);
+      if (value < 0) return std::nullopt;
+      group = (group << 6) | static_cast<std::uint32_t>(value);
+    }
+    out += static_cast<char>((group >> 16) & 0xff);
+    if (pad < 2) out += static_cast<char>((group >> 8) & 0xff);
+    if (pad < 1) out += static_cast<char>(group & 0xff);
+  }
+  return out;
+}
+
 }  // namespace rvss

@@ -40,6 +40,14 @@ std::string FormatBytes(std::uint64_t bytes);
 /// Escapes a string for embedding in JSON or log output ("\n" etc.).
 std::string EscapeForDisplay(std::string_view text);
 
+/// Standard base64 (RFC 4648, with '=' padding). Binary-safe transport for
+/// snapshot blobs inside JSON responses.
+std::string Base64Encode(std::string_view bytes);
+
+/// Decodes base64; returns nullopt on any character outside the alphabet
+/// or a malformed length. Padding is required.
+std::optional<std::string> Base64Decode(std::string_view text);
+
 /// printf-style formatting into std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -1,8 +1,10 @@
 #include "core/simulation.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/strings.h"
 #include "isa/abi.h"
@@ -119,6 +121,7 @@ Simulation::Simulation(config::CpuConfig config, assembler::LoadedProgram loaded
       rename_(config_.memory.renameRegisterCount),
       checkpoints_(config_.checkpoint.intervalCycles,
                    config_.checkpoint.maxTotalBytes) {
+  checkpoints_.SetAdaptive(config_.checkpoint.adaptiveInterval);
   // Instantiate functional units and their statistics slots.
   std::size_t statsIndex = 0;
   for (const config::FunctionalUnitConfig& fuConfig : config_.functionalUnits) {
@@ -136,13 +139,14 @@ Simulation::Simulation(config::CpuConfig config, assembler::LoadedProgram loaded
 void Simulation::Reset() {
   lastSeekReplayedCycles_ = 0;
   if (const CheckpointRing::Entry* base = checkpoints_.base()) {
-    RestoreState(*base->snapshot);
+    RestoreState(*checkpoints_.Materialize(*base));
     return;
   }
   ResetHard();
 }
 
 void Simulation::ResetHard() {
+  forceFullCheckpoint_ = true;
   cycle_ = 0;
   nextSeq_ = 1;
   pc_ = loaded_.program.entryPc;
@@ -233,7 +237,7 @@ std::size_t SimSnapshot::SizeBytes() const {
   return bytes;
 }
 
-SimSnapshot Simulation::SaveState() const {
+SimSnapshot Simulation::SaveStateImpl(bool includeMemoryImage) const {
   SimSnapshot snapshot;
   snapshot.cycle = cycle_;
   snapshot.nextSeq = nextSeq_;
@@ -262,7 +266,7 @@ SimSnapshot Simulation::SaveState() const {
   snapshot.arch = arch_.SaveState();
   snapshot.rename = rename_.SaveState();
   snapshot.predictor = predictor_.SaveState();
-  snapshot.memory = memory_->SaveState();
+  snapshot.memory = memory_->SaveState(includeMemoryImage);
   snapshot.stats = stats_.SaveState();
   snapshot.log = log_.SaveState();
   return snapshot;
@@ -299,6 +303,10 @@ void Simulation::RestoreState(const SimSnapshot& snapshot) {
   memory_->RestoreState(snapshot.memory);
   stats_.RestoreState(snapshot.stats);
   log_.RestoreState(snapshot.log);
+
+  // The dirty-page accounting no longer describes this timeline; the next
+  // checkpoint must re-anchor with a full snapshot.
+  forceFullCheckpoint_ = true;
 }
 
 void Simulation::CaptureCheckpointNow() {
@@ -306,9 +314,75 @@ void Simulation::CaptureCheckpointNow() {
   // discard the duplicate anyway).
   const CheckpointRing::Entry* existing = checkpoints_.FindAtOrBefore(cycle_);
   if (existing != nullptr && existing->cycle == cycle_) return;
-  auto snapshot = std::make_shared<const SimSnapshot>(SaveState());
-  const std::size_t bytes = snapshot->SizeBytes();
-  checkpoints_.Add(cycle_, bytes, std::move(snapshot));
+
+  // Fold the pages written since the previous capture into the
+  // dirty-since-last-full set, then decide full vs delta.
+  memory::MainMemory& mem = memory_->memory();
+  if (dirtySinceFull_.size() != mem.PageCount()) {
+    dirtySinceFull_.assign(mem.PageCount(), 1);
+  }
+  mem.FoldDirtyInto(dirtySinceFull_);
+
+  // A base evicted from the ring is no longer counted against the byte
+  // budget; minting further deltas against it would keep its memory image
+  // alive off the books.
+  if (lastFullCheckpoint_ != nullptr &&
+      !checkpoints_.ContainsFull(lastFullCheckpoint_.get())) {
+    lastFullCheckpoint_.reset();
+  }
+
+  bool full = !config_.checkpoint.deltaPages || forceFullCheckpoint_ ||
+              lastFullCheckpoint_ == nullptr ||
+              deltasSinceFull_ + 1 >= config_.checkpoint.fullSnapshotEvery;
+  std::size_t dirtyBytes = 0;
+  if (!full) {
+    for (std::uint32_t page = 0; page < mem.PageCount(); ++page) {
+      if (dirtySinceFull_[page] != 0) {
+        dirtyBytes += std::min<std::size_t>(memory::MainMemory::kPageSizeBytes,
+                                            mem.size() - page * memory::MainMemory::kPageSizeBytes);
+      }
+    }
+    // A delta patching most of memory is all cost and no savings.
+    if (dirtyBytes * 2 >= mem.size()) full = true;
+  }
+
+  if (full) {
+    auto snapshot = std::make_shared<const SimSnapshot>(SaveState());
+    const std::size_t bytes = snapshot->SizeBytes();
+    lastFullCheckpoint_ = snapshot;
+    deltasSinceFull_ = 0;
+    forceFullCheckpoint_ = false;
+    std::fill(dirtySinceFull_.begin(), dirtySinceFull_.end(), 0);
+    mem.ClearDirtyFlags();
+    checkpoints_.Add(cycle_, bytes, std::move(snapshot));
+    return;
+  }
+
+  auto delta = std::make_shared<DeltaCheckpoint>();
+  delta->base = lastFullCheckpoint_;
+  SimSnapshot rest = SaveStateImpl(/*includeMemoryImage=*/false);
+  std::size_t bytes = rest.SizeBytes();
+  delta->rest = std::make_shared<const SimSnapshot>(std::move(rest));
+  const std::span<const std::uint8_t> memBytes =
+      std::as_const(mem).bytes();  // the mutable span marks all pages dirty
+  for (std::uint32_t page = 0; page < mem.PageCount(); ++page) {
+    if (dirtySinceFull_[page] == 0) continue;
+    const std::uint32_t begin = page * memory::MainMemory::kPageSizeBytes;
+    // 64-bit sum: begin + pageSize wraps uint32 when memory ends within a
+    // page of 4 GiB.
+    const std::uint32_t end = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(mem.size(),
+                                std::uint64_t{begin} +
+                                    memory::MainMemory::kPageSizeBytes));
+    DeltaPage deltaPage;
+    deltaPage.pageIndex = page;
+    deltaPage.bytes.assign(memBytes.begin() + begin, memBytes.begin() + end);
+    bytes += deltaPage.bytes.size() + sizeof(DeltaPage);
+    delta->pages.push_back(std::move(deltaPage));
+  }
+  ++deltasSinceFull_;
+  mem.ClearDirtyFlags();
+  checkpoints_.AddDelta(cycle_, bytes, std::move(delta));
 }
 
 void Simulation::MaybeCheckpoint() {
@@ -1234,7 +1308,7 @@ Status Simulation::SeekTo(std::uint64_t targetCycle,
 
   if (restore) {
     if (from != nullptr) {
-      RestoreState(*from->snapshot);
+      RestoreState(*checkpoints_.Materialize(*from));
     } else {
       ResetHard();
     }

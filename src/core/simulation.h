@@ -149,7 +149,7 @@ class Simulation {
 
   /// Captures the complete mutable state. The snapshot shares nothing with
   /// the live run (InFlight entries are deep-copied, aliasing preserved).
-  SimSnapshot SaveState() const;
+  SimSnapshot SaveState() const { return SaveStateImpl(true); }
 
   /// Restores a snapshot previously captured from an identical
   /// (program, config) pair. The snapshot itself is not consumed.
@@ -157,7 +157,9 @@ class Simulation {
 
   /// Deposits a checkpoint of the current state into the ring (the server's
   /// `saveCheckpoint` command); automatic checkpoints are taken by Step()
-  /// every config().checkpoint.intervalCycles cycles.
+  /// every config().checkpoint.intervalCycles cycles. With
+  /// config().checkpoint.deltaPages, checkpoints between full snapshots
+  /// store only the memory pages dirtied since the last full one.
   void CaptureCheckpointNow();
 
   const CheckpointRing& checkpoints() const { return checkpoints_; }
@@ -218,6 +220,11 @@ class Simulation {
   /// checkpoints-disabled Reset path and the Create-time initializer.
   void ResetHard();
 
+  /// SaveState body; `includeMemoryImage = false` leaves the memory byte
+  /// image empty (delta checkpoints carry dirty pages instead — copying a
+  /// multi-MiB image just to discard it would defeat their cost model).
+  SimSnapshot SaveStateImpl(bool includeMemoryImage) const;
+
   /// Deposits an automatic checkpoint when the ring wants one.
   void MaybeCheckpoint();
 
@@ -277,6 +284,17 @@ class Simulation {
 
   CheckpointRing checkpoints_;
   std::uint64_t lastSeekReplayedCycles_ = 0;
+
+  // --- delta-checkpoint bookkeeping ----------------------------------------
+  /// The full snapshot deltas patch against.
+  std::shared_ptr<const SimSnapshot> lastFullCheckpoint_;
+  /// Pages dirtied since lastFullCheckpoint_ (per-interval dirt folded in
+  /// at each capture).
+  std::vector<std::uint8_t> dirtySinceFull_;
+  std::uint64_t deltasSinceFull_ = 0;
+  /// Restores invalidate the dirty accounting, so the next capture must be
+  /// a full snapshot.
+  bool forceFullCheckpoint_ = true;
 };
 
 }  // namespace rvss::core

@@ -50,6 +50,13 @@ class Value {
   }
   static Value Bool(bool v) { return Value(ValueKind::kBool, v ? 1 : 0); }
 
+  /// Rebuilds a value from its serialized (kind, bits) pair exactly — the
+  /// snapshot codec must reproduce bit patterns (NaN payloads, upper
+  /// halves) that the typed factories would canonicalize away.
+  static Value FromRaw(ValueKind kind, std::uint64_t bits) {
+    return Value(kind, bits);
+  }
+
   ValueKind kind() const { return kind_; }
   std::uint64_t bits() const { return bits_; }
 

@@ -24,6 +24,7 @@ std::uint64_t MainMemory::Read64(std::uint32_t address) const {
 void MainMemory::Write16(std::uint32_t address, std::uint16_t value) {
   bytes_[address] = static_cast<std::uint8_t>(value);
   bytes_[address + 1] = static_cast<std::uint8_t>(value >> 8);
+  MarkDirtyRange(address, 2);
 }
 
 void MainMemory::Write32(std::uint32_t address, std::uint32_t value) {
@@ -56,6 +57,24 @@ void MainMemory::WriteBytes(std::uint32_t address, std::uint32_t accessSize,
   }
 }
 
-void MainMemory::Clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+void MainMemory::Clear() {
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+  MarkAllDirty();
+}
+
+void MainMemory::FoldDirtyInto(std::vector<std::uint8_t>& accumulator) const {
+  accumulator.resize(dirtyPages_.size(), 1);
+  for (std::size_t page = 0; page < dirtyPages_.size(); ++page) {
+    accumulator[page] |= dirtyPages_[page];
+  }
+}
+
+void MainMemory::ClearDirtyFlags() {
+  std::fill(dirtyPages_.begin(), dirtyPages_.end(), 0);
+}
+
+void MainMemory::MarkAllDirty() {
+  std::fill(dirtyPages_.begin(), dirtyPages_.end(), 1);
+}
 
 }  // namespace rvss::memory

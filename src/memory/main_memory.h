@@ -6,6 +6,13 @@
 // is produced by MemorySystem (cache + latency model) through transaction
 // objects. Stores are only performed at commit, in program order, so the
 // immediate-write model is architecturally exact.
+//
+// The array also tracks which 4 KiB pages have been written since the last
+// ClearDirtyFlags() call. The checkpoint system uses this to store *delta*
+// checkpoints (only the pages touched since the last full snapshot) instead
+// of whole memory images. Tracking is conservative: anything that mutates
+// bytes outside the typed Write* accessors (the mutable bytes() span, Clear,
+// RestoreState) marks every page dirty.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +25,12 @@ namespace rvss::memory {
 
 class MainMemory {
  public:
-  explicit MainMemory(std::uint32_t sizeBytes) : bytes_(sizeBytes, 0) {}
+  /// Dirty-tracking granularity. 4 KiB balances bitmap cost against delta
+  /// precision for the 64 KiB..64 MiB memories the simulator configures.
+  static constexpr std::uint32_t kPageSizeBytes = 4096;
+
+  explicit MainMemory(std::uint32_t sizeBytes)
+      : bytes_(sizeBytes, 0), dirtyPages_(PageCountFor(sizeBytes), 1) {}
 
   std::uint32_t size() const { return static_cast<std::uint32_t>(bytes_.size()); }
 
@@ -37,6 +49,7 @@ class MainMemory {
 
   void Write8(std::uint32_t address, std::uint8_t value) {
     bytes_[address] = value;
+    dirtyPages_[address / kPageSizeBytes] = 1;
   }
   void Write16(std::uint32_t address, std::uint16_t value);
   void Write32(std::uint32_t address, std::uint32_t value);
@@ -48,11 +61,31 @@ class MainMemory {
                   std::uint64_t value);
 
   /// Whole-memory views for dump import/export and the GUI memory pop-up.
+  /// The mutable view can bypass dirty tracking, so handing it out marks
+  /// everything dirty (conservative, correct).
   std::span<const std::uint8_t> bytes() const { return bytes_; }
-  std::span<std::uint8_t> bytes() { return bytes_; }
+  std::span<std::uint8_t> bytes() {
+    MarkAllDirty();
+    return bytes_;
+  }
 
   /// Zeroes all contents (simulation reset).
   void Clear();
+
+  // --- page-level dirty tracking -------------------------------------------
+
+  std::uint32_t PageCount() const {
+    return static_cast<std::uint32_t>(dirtyPages_.size());
+  }
+  bool PageDirty(std::uint32_t page) const { return dirtyPages_[page] != 0; }
+
+  /// ORs this memory's dirty flags into `accumulator` (one flag per page).
+  /// The checkpoint system folds per-interval dirt into a dirty-since-full
+  /// set this way.
+  void FoldDirtyInto(std::vector<std::uint8_t>& accumulator) const;
+
+  void ClearDirtyFlags();
+  void MarkAllDirty();
 
   /// Copyable snapshot of the full memory contents. Restoring a snapshot
   /// taken from a memory of a different capacity also restores that
@@ -61,10 +94,23 @@ class MainMemory {
     std::vector<std::uint8_t> bytes;
   };
   State SaveState() const { return State{bytes_}; }
-  void RestoreState(const State& state) { bytes_ = state.bytes; }
+  void RestoreState(const State& state) {
+    bytes_ = state.bytes;
+    dirtyPages_.assign(PageCountFor(static_cast<std::uint32_t>(bytes_.size())),
+                       1);
+  }
 
  private:
+  static std::uint32_t PageCountFor(std::uint32_t sizeBytes) {
+    return (sizeBytes + kPageSizeBytes - 1) / kPageSizeBytes;
+  }
+  void MarkDirtyRange(std::uint32_t address, std::uint32_t accessSize) {
+    dirtyPages_[address / kPageSizeBytes] = 1;
+    dirtyPages_[(address + accessSize - 1) / kPageSizeBytes] = 1;
+  }
+
   std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint8_t> dirtyPages_;  ///< one flag per page
 };
 
 }  // namespace rvss::memory

@@ -65,7 +65,9 @@ class MemorySystem {
     MemoryStats stats;
     std::uint64_t nextTransactionId = 1;
   };
-  State SaveState() const;
+  /// `includeMemoryBytes = false` skips the (potentially multi-MiB) byte
+  /// image — for delta checkpoints, which store dirty pages separately.
+  State SaveState(bool includeMemoryBytes = true) const;
   void RestoreState(const State& state);
 
  private:

@@ -5,7 +5,9 @@
 
 #include "assembler/assembler.h"
 #include "cc/compiler.h"
-#include "server/slz.h"
+#include "common/slz.h"
+#include "common/strings.h"
+#include "memory/memory_initializer.h"
 
 namespace rvss::server {
 namespace {
@@ -109,13 +111,22 @@ json::Json SimServer::Dispatch(const json::Json& request) {
       if (!parsed.ok()) return ErrorResponse(parsed.error());
       config = std::move(parsed).value();
     }
+    // Session configs are client-supplied; the server's own checkpoint
+    // byte ceiling wins over whatever budget the session asked for.
+    if (limits_.maxCheckpointBytesPerSession > 0) {
+      config.checkpoint.maxTotalBytes = std::min(
+          config.checkpoint.maxTotalBytes,
+          static_cast<std::uint64_t>(limits_.maxCheckpointBytesPerSession));
+    }
     core::Simulation::CreateOptions options;
     options.entryLabel = request.GetString("entry", "");
+    json::Json arraysJson = json::Json::MakeArray();
     if (const json::Json* arrays = request.Find("arrays");
         arrays != nullptr && arrays->IsArray()) {
       for (const json::Json& arrayNode : arrays->AsArray()) {
         auto def = memory::ArrayDefinitionFromJson(arrayNode);
         if (!def.ok()) return ErrorResponse(def.error());
+        arraysJson.Append(memory::ToJson(def.value()));
         options.arrays.push_back(std::move(def).value());
       }
     }
@@ -131,9 +142,37 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     auto sim = core::Simulation::Create(config, code, options);
     if (!sim.ok()) return ErrorResponse(sim.error());
     const std::int64_t id = nextSessionId_++;
-    sessions_[id] = Session{std::move(sim).value()};
+    Session session;
+    session.identity = snapshot::MakeIdentity(
+        *sim.value(), std::move(code), options.entryLabel,
+        options.arrays.empty() ? std::string() : arraysJson.Dump());
+    session.sim = std::move(sim).value();
+    sessions_[id] = std::move(session);
     json::Json response = Ok();
     response.Set("sessionId", id);
+    return response;
+  }
+
+  if (command == "importSession") {
+    auto blob = Base64Decode(request.GetString("blob", ""));
+    if (!blob.has_value()) {
+      return ErrorResponse(Error{ErrorKind::kInvalidArgument,
+                                 "'blob' is not valid base64"});
+    }
+    auto imported = snapshot::ImportSessionBlob(
+        *blob, limits_.maxCheckpointBytesPerSession > 0
+                   ? static_cast<std::uint64_t>(
+                         limits_.maxCheckpointBytesPerSession)
+                   : 0);
+    if (!imported.ok()) return ErrorResponse(imported.error());
+    const std::int64_t id = nextSessionId_++;
+    Session session;
+    session.sim = std::move(imported.value().sim);
+    session.identity = std::move(imported.value().identity);
+    json::Json response = Ok();
+    response.Set("sessionId", id);
+    response.Set("cycle", static_cast<std::int64_t>(session.sim->cycle()));
+    sessions_[id] = std::move(session);
     return response;
   }
 
@@ -181,6 +220,13 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     if (!status.ok()) return ErrorResponse(status.error());
     json::Json response = Ok();
     response.Set("state", RenderJson(sim));
+    return response;
+  }
+  if (command == "exportSession") {
+    json::Json response = Ok();
+    response.Set("blob", Base64Encode(snapshot::EncodeSessionBlob(
+                             sim, session.value()->identity)));
+    response.Set("cycle", static_cast<std::int64_t>(sim.cycle()));
     return response;
   }
   if (command == "saveCheckpoint") {

@@ -18,7 +18,16 @@
 //   stats             {sessionId}                      -> {statistics, checkpoints}
 //   saveCheckpoint    {sessionId}                      -> {cycle, checkpoints}
 //   restoreCheckpoint {sessionId, cycle}               -> {state, replayedCycles}
+//   exportSession     {sessionId}                      -> {blob, cycle}
+//   importSession     {blob}                           -> {sessionId, cycle}
 //   deleteSession     {sessionId}                      -> {ok}
+//
+// exportSession serializes the session (configuration, source, arrays and
+// the complete simulation state) into a base64 blob via the snapshot
+// codec; importSession re-creates it — in this process or any other — and
+// execution continues byte-identically. Together they are the session
+// migration primitive: a load balancer can drain a server by exporting
+// its sessions and importing them elsewhere.
 //
 // step rejects a negative count and clamps it to Limits::maxStepsPerRequest;
 // run clamps maxCycles likewise, so no single request can spin the dispatch
@@ -39,6 +48,7 @@
 #include "core/simulation.h"
 #include "json/json.h"
 #include "server/state_renderer.h"
+#include "snapshot/session.h"
 
 namespace rvss::server {
 
@@ -68,6 +78,10 @@ class SimServer {
   struct Limits {
     std::int64_t maxStepsPerRequest = 1'000'000;
     std::int64_t maxRunCyclesPerRequest = 1'000'000'000;
+    /// Per-session checkpoint-ring byte budget ceiling. Session configs are
+    /// client-supplied, so a shared server clamps them here instead of
+    /// trusting them; 0 leaves session budgets untouched.
+    std::int64_t maxCheckpointBytesPerSession = 0;
   };
 
   SimServer() = default;
@@ -88,6 +102,9 @@ class SimServer {
  private:
   struct Session {
     std::unique_ptr<core::Simulation> sim;
+    /// Creation inputs retained for exportSession (the simulation itself
+    /// does not keep its source text or array definitions).
+    snapshot::SessionIdentity identity;
   };
 
   json::Json Dispatch(const json::Json& request);

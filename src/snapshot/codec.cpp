@@ -1,0 +1,766 @@
+#include "snapshot/codec.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+#include "snapshot/wire.h"
+
+namespace rvss::snapshot {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'V', 'S', 'P'};
+/// magic + version + configHash + programHash + payloadHash + payloadSize.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8 + 8;
+constexpr std::uint32_t kNullIndex = 0xffffffffu;
+
+std::uint64_t Fnv1a(std::string_view bytes,
+                    std::uint64_t hash = 14695981039346656037ull) {
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t Fnv1aU64(std::uint64_t value, std::uint64_t hash) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+Error CodecError(std::string message) {
+  return Error{ErrorKind::kInvalidArgument,
+               "snapshot decode: " + std::move(message)};
+}
+
+// --- shared field helpers ---------------------------------------------------
+
+void EncodeError(Writer& w, const Error& error) {
+  w.U8(static_cast<std::uint8_t>(error.kind));
+  w.Str(error.message);
+  w.U32(error.pos.line);
+  w.U32(error.pos.column);
+}
+
+bool DecodeError(Reader& r, Error& error) {
+  const std::uint8_t kind = r.U8();
+  if (kind > static_cast<std::uint8_t>(ErrorKind::kInternal)) return false;
+  error.kind = static_cast<ErrorKind>(kind);
+  error.message = r.Str();
+  error.pos.line = r.U32();
+  error.pos.column = r.U32();
+  return r.ok();
+}
+
+void EncodeOptionalError(Writer& w, const std::optional<Error>& error) {
+  w.Bool(error.has_value());
+  if (error.has_value()) EncodeError(w, *error);
+}
+
+bool DecodeOptionalError(Reader& r, std::optional<Error>& error) {
+  if (!r.Bool()) {
+    error.reset();
+    return r.ok();
+  }
+  Error decoded;
+  if (!DecodeError(r, decoded)) return false;
+  error = std::move(decoded);
+  return true;
+}
+
+// --- in-flight instruction table --------------------------------------------
+
+/// Deduplicated first-seen-order table of every InFlight reachable from the
+/// snapshot's containers; containers then serialize as index lists, which
+/// preserves aliasing across decode.
+class InFlightTable {
+ public:
+  explicit InFlightTable(const core::SimSnapshot& snapshot) {
+    auto visit = [this](const core::InFlightPtr& inst) {
+      if (inst == nullptr) return;
+      if (indexOf_.emplace(inst.get(), entries_.size()).second) {
+        entries_.push_back(inst.get());
+      }
+    };
+    for (const auto& inst : snapshot.fetchQueue) visit(inst);
+    for (const auto& inst : snapshot.rob) visit(inst);
+    for (const auto& window : snapshot.windows) {
+      for (const auto& inst : window) visit(inst);
+    }
+    for (const auto& inst : snapshot.loadBuffer) visit(inst);
+    for (const auto& inst : snapshot.storeBuffer) visit(inst);
+    for (const auto& inst : snapshot.fuCurrent) visit(inst);
+  }
+
+  std::uint32_t IndexOf(const core::InFlightPtr& inst) const {
+    if (inst == nullptr) return kNullIndex;
+    return static_cast<std::uint32_t>(indexOf_.at(inst.get()));
+  }
+
+  const std::vector<const core::InFlight*>& entries() const { return entries_; }
+
+ private:
+  std::vector<const core::InFlight*> entries_;
+  std::unordered_map<const core::InFlight*, std::size_t> indexOf_;
+};
+
+void EncodeInFlight(Writer& w, const core::InFlight& inst,
+                    const assembler::Program& program) {
+  w.U64(inst.seq);
+  w.U32(static_cast<std::uint32_t>(inst.inst - program.instructions.data()));
+  w.U32(inst.pc);
+  w.U8(static_cast<std::uint8_t>(inst.phase));
+
+  std::uint16_t flags = 0;
+  const bool bits[] = {inst.isControl,     inst.predictedTaken,
+                       inst.btbHit,        inst.branchTaken,
+                       inst.mispredicted,  inst.isExit,
+                       inst.addressReady,  inst.memoryStarted,
+                       inst.memoryDone,    inst.cacheHit,
+                       inst.forwarded,     inst.drainPending,
+                       inst.drainStarted,  inst.stalledFetch,
+                       inst.resultsReady};
+  for (std::size_t i = 0; i < std::size(bits); ++i) {
+    if (bits[i]) flags |= static_cast<std::uint16_t>(1u << i);
+  }
+  w.U16(flags);
+
+  w.U32(inst.predictedNextPc);
+  w.U32(inst.historyCheckpoint);
+  w.U32(inst.branchTarget);
+  w.U32(inst.effectiveAddress);
+  w.U64(inst.forwardedRaw);
+  EncodeOptionalError(w, inst.exception);
+  w.U64(inst.fetchCycle);
+  w.U64(inst.decodeCycle);
+  w.U64(inst.issueCycle);
+  w.U64(inst.executeDoneCycle);
+  w.U64(inst.commitCycle);
+
+  w.U8(inst.operandCount);
+  for (std::size_t i = 0; i < inst.operandCount; ++i) {
+    const core::OperandRuntime& operand = inst.operands[i];
+    std::uint8_t opFlags = 0;
+    if (operand.isSource) opFlags |= 1;
+    if (operand.isDest) opFlags |= 2;
+    if (operand.ready) opFlags |= 4;
+    w.U8(opFlags);
+    w.U8(static_cast<std::uint8_t>(operand.value.kind()));
+    w.U64(operand.value.bits());
+    w.I32(operand.waitTag);
+    w.I32(operand.destTag);
+    w.I32(operand.prevTag);
+  }
+}
+
+/// Decodes one InFlight; `renameCount` bounds the rename tags so a hostile
+/// blob cannot plant tags that index out of the speculative register file.
+Result<core::InFlightPtr> DecodeInFlight(Reader& r,
+                                         const assembler::Program& program,
+                                         std::uint32_t renameCount) {
+  auto inst = std::make_shared<core::InFlight>();
+  inst->seq = r.U64();
+  const std::uint32_t instIndex = r.U32();
+  if (r.ok() && instIndex >= program.instructions.size()) {
+    return CodecError("in-flight instruction index out of range");
+  }
+  inst->inst = r.ok() ? &program.instructions[instIndex] : nullptr;
+  inst->pc = r.U32();
+  const std::uint8_t phase = r.U8();
+  if (phase > static_cast<std::uint8_t>(core::Phase::kSquashed)) {
+    return CodecError("in-flight phase out of range");
+  }
+  inst->phase = static_cast<core::Phase>(phase);
+
+  const std::uint16_t flags = r.U16();
+  bool* bits[] = {&inst->isControl,     &inst->predictedTaken,
+                  &inst->btbHit,        &inst->branchTaken,
+                  &inst->mispredicted,  &inst->isExit,
+                  &inst->addressReady,  &inst->memoryStarted,
+                  &inst->memoryDone,    &inst->cacheHit,
+                  &inst->forwarded,     &inst->drainPending,
+                  &inst->drainStarted,  &inst->stalledFetch,
+                  &inst->resultsReady};
+  for (std::size_t i = 0; i < std::size(bits); ++i) {
+    *bits[i] = (flags & (1u << i)) != 0;
+  }
+
+  inst->predictedNextPc = r.U32();
+  inst->historyCheckpoint = r.U32();
+  inst->branchTarget = r.U32();
+  inst->effectiveAddress = r.U32();
+  inst->forwardedRaw = r.U64();
+  if (!DecodeOptionalError(r, inst->exception)) {
+    return CodecError("malformed in-flight exception");
+  }
+  inst->fetchCycle = r.U64();
+  inst->decodeCycle = r.U64();
+  inst->issueCycle = r.U64();
+  inst->executeDoneCycle = r.U64();
+  inst->commitCycle = r.U64();
+
+  inst->operandCount = r.U8();
+  if (inst->operandCount > inst->operands.size()) {
+    return CodecError("in-flight operand count out of range");
+  }
+  const auto validTag = [renameCount](std::int32_t tag, std::int32_t minimum) {
+    return tag >= minimum && tag < static_cast<std::int32_t>(renameCount);
+  };
+  for (std::size_t i = 0; i < inst->operandCount; ++i) {
+    core::OperandRuntime& operand = inst->operands[i];
+    const std::uint8_t opFlags = r.U8();
+    operand.isSource = (opFlags & 1) != 0;
+    operand.isDest = (opFlags & 2) != 0;
+    operand.ready = (opFlags & 4) != 0;
+    const std::uint8_t kind = r.U8();
+    if (kind > static_cast<std::uint8_t>(expr::ValueKind::kBool)) {
+      return CodecError("operand value kind out of range");
+    }
+    operand.value =
+        expr::Value::FromRaw(static_cast<expr::ValueKind>(kind), r.U64());
+    operand.waitTag = r.I32();
+    operand.destTag = r.I32();
+    operand.prevTag = r.I32();
+    if (r.ok() && (!validTag(operand.waitTag, -1) ||
+                   !validTag(operand.destTag, -1) ||
+                   !validTag(operand.prevTag, core::kPrevWasArchitectural))) {
+      return CodecError("operand rename tag out of range");
+    }
+  }
+  if (!r.ok()) return CodecError(r.failReason());
+  return inst;
+}
+
+// --- container index lists --------------------------------------------------
+
+template <typename Container>
+void EncodeIndexList(Writer& w, const Container& container,
+                     const InFlightTable& table) {
+  w.U32(static_cast<std::uint32_t>(container.size()));
+  for (const core::InFlightPtr& inst : container) w.U32(table.IndexOf(inst));
+}
+
+/// Decodes an index list into `out` (deque or vector of InFlightPtr).
+/// `allowNull` admits the null sentinel (functional-unit slots only).
+/// `maxSize` caps the list at the live container's configured capacity,
+/// and duplicates within one list are rejected (a pipeline container
+/// never holds the same instruction twice — aliasing is only legitimate
+/// *across* containers), so a checksum-correct but hostile blob cannot
+/// oversize a buffer or double-commit an instruction.
+template <typename Container>
+Status DecodeIndexList(Reader& r,
+                       const std::vector<core::InFlightPtr>& table,
+                       bool allowNull, std::size_t maxSize, Container& out) {
+  const std::uint32_t count = r.Count(4);
+  if (r.ok() && count > maxSize) {
+    return CodecError("container larger than its configured capacity");
+  }
+  std::vector<bool> seen(table.size(), false);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t index = r.U32();
+    if (!r.ok()) break;
+    if (index == kNullIndex) {
+      if (!allowNull) return CodecError("unexpected null in-flight reference");
+      out.push_back(nullptr);
+      continue;
+    }
+    if (index >= table.size()) {
+      return CodecError("in-flight table index out of range");
+    }
+    if (seen[index]) {
+      return CodecError("duplicate in-flight reference within one container");
+    }
+    seen[index] = true;
+    out.push_back(table[index]);
+  }
+  if (!r.ok()) return CodecError(r.failReason());
+  return Status::Ok();
+}
+
+}  // namespace
+
+// --- hashes -----------------------------------------------------------------
+
+std::uint64_t ConfigHash(const config::CpuConfig& config) {
+  // Checkpoint settings and the display name tune ring behaviour and UI
+  // labels, not simulation state, so they are normalized out: a server may
+  // clamp a session's checkpoint budget on import without breaking blobs.
+  config::CpuConfig normalized = config;
+  normalized.checkpoint = config::CheckpointConfig{};
+  normalized.name.clear();
+  return Fnv1a(config::ToJson(normalized).Dump());
+}
+
+std::uint64_t ProgramHash(const assembler::Program& program) {
+  std::uint64_t hash = Fnv1aU64(program.instructions.size(),
+                                14695981039346656037ull);
+  for (const assembler::Instruction& inst : program.instructions) {
+    hash = Fnv1a(inst.text, hash);
+    hash = Fnv1aU64(inst.pc, hash);
+  }
+  hash = Fnv1aU64(program.entryPc, hash);
+  hash = Fnv1aU64(program.dataBase, hash);
+  if (!program.dataImage.empty()) {
+    hash = Fnv1a(std::string_view(
+                     reinterpret_cast<const char*>(program.dataImage.data()),
+                     program.dataImage.size()),
+                 hash);
+  }
+  return hash;
+}
+
+// --- encode -----------------------------------------------------------------
+
+std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
+                           const CodecContext& context) {
+  const assembler::Program& program = *context.program;
+  Writer w;
+
+  // Scalars.
+  w.U64(snapshot.cycle);
+  w.U64(snapshot.nextSeq);
+  w.U32(snapshot.pc);
+  w.U64(snapshot.fetchResumeCycle);
+  w.Bool(snapshot.fetchStalledIndirect);
+  w.U8(static_cast<std::uint8_t>(snapshot.status));
+  w.U8(static_cast<std::uint8_t>(snapshot.finishReason));
+  EncodeOptionalError(w, snapshot.fault);
+
+  // In-flight table + containers as index lists.
+  InFlightTable table(snapshot);
+  w.U32(static_cast<std::uint32_t>(table.entries().size()));
+  for (const core::InFlight* inst : table.entries()) {
+    EncodeInFlight(w, *inst, program);
+  }
+  EncodeIndexList(w, snapshot.fetchQueue, table);
+  EncodeIndexList(w, snapshot.rob, table);
+  for (const auto& window : snapshot.windows) {
+    EncodeIndexList(w, window, table);
+  }
+  EncodeIndexList(w, snapshot.loadBuffer, table);
+  EncodeIndexList(w, snapshot.storeBuffer, table);
+  EncodeIndexList(w, snapshot.fuCurrent, table);
+  w.U32(static_cast<std::uint32_t>(snapshot.fuBusyUntil.size()));
+  for (const std::uint64_t busy : snapshot.fuBusyUntil) w.U64(busy);
+
+  // Architectural registers.
+  for (const std::uint64_t cell : snapshot.arch.x) w.U64(cell);
+  for (const std::uint64_t cell : snapshot.arch.f) w.U64(cell);
+
+  // Rename state.
+  w.U32(static_cast<std::uint32_t>(snapshot.rename.regs.size()));
+  for (const core::SpecRegister& reg : snapshot.rename.regs) {
+    w.Bool(reg.inUse);
+    w.Bool(reg.valid);
+    w.U64(reg.cell);
+    w.U8(static_cast<std::uint8_t>(reg.arch.kind));
+    w.U8(reg.arch.index);
+    w.U32(reg.references);
+  }
+  w.U32(static_cast<std::uint32_t>(snapshot.rename.freeList.size()));
+  for (const int tag : snapshot.rename.freeList) w.I32(tag);
+  w.U32(snapshot.rename.freeCount);
+  for (const int tag : snapshot.rename.map) w.I32(tag);
+
+  // Predictor.
+  w.U32(static_cast<std::uint32_t>(snapshot.predictor.pht.entries.size()));
+  for (const auto& entry : snapshot.predictor.pht.entries) {
+    w.U32(entry.state());
+  }
+  w.U32(static_cast<std::uint32_t>(snapshot.predictor.btb.entries.size()));
+  for (const auto& entry : snapshot.predictor.btb.entries) {
+    w.Bool(entry.valid);
+    w.U32(entry.pc);
+    w.U32(entry.target);
+  }
+  w.U32(snapshot.predictor.globalHistory);
+  w.U32(static_cast<std::uint32_t>(snapshot.predictor.localHistories.size()));
+  for (const std::uint32_t history : snapshot.predictor.localHistories) {
+    w.U32(history);
+  }
+
+  // Memory system: raw image, cache residency, statistics.
+  const auto& memoryBytes = snapshot.memory.memory.bytes;
+  w.U32(static_cast<std::uint32_t>(memoryBytes.size()));
+  w.Bytes(memoryBytes.data(), memoryBytes.size());
+  w.Bool(snapshot.memory.cache.has_value());
+  if (snapshot.memory.cache.has_value()) {
+    const auto& cache = *snapshot.memory.cache;
+    w.U32(static_cast<std::uint32_t>(cache.lines.size()));
+    for (const auto& line : cache.lines) {
+      w.Bool(line.valid);
+      w.Bool(line.dirty);
+      w.U32(line.tag);
+      w.U64(line.lastUse);
+      w.U64(line.insertTime);
+    }
+    for (const std::uint64_t word : cache.rng.SaveState()) w.U64(word);
+    w.U64(cache.insertCounter);
+  }
+  const memory::MemoryStats& memStats = snapshot.memory.stats;
+  w.U64(memStats.accesses);
+  w.U64(memStats.loads);
+  w.U64(memStats.stores);
+  w.U64(memStats.cacheHits);
+  w.U64(memStats.cacheMisses);
+  w.U64(memStats.evictions);
+  w.U64(memStats.dirtyEvictions);
+  w.U64(memStats.bytesReadFromMemory);
+  w.U64(memStats.bytesWrittenToMemory);
+  w.U64(snapshot.memory.nextTransactionId);
+
+  // Simulation statistics.
+  const stats::SimulationStatistics& s = snapshot.stats;
+  w.U64(s.cycles);
+  w.U64(s.fetchedInstructions);
+  w.U64(s.decodedInstructions);
+  w.U64(s.issuedInstructions);
+  w.U64(s.executedInstructions);
+  w.U64(s.committedInstructions);
+  w.U64(s.squashedInstructions);
+  w.U64(s.robFlushes);
+  w.U64(s.branchesResolved);
+  w.U64(s.branchesMispredicted);
+  w.U64(s.branchesTaken);
+  w.U64(s.btbHits);
+  w.U64(s.btbLookups);
+  w.U64(s.flops);
+  for (const std::uint64_t count : s.staticMix) w.U64(count);
+  for (const std::uint64_t count : s.dynamicMix) w.U64(count);
+  w.U32(static_cast<std::uint32_t>(s.unitUsage.size()));
+  for (const stats::UnitUsage& usage : s.unitUsage) {
+    w.Str(usage.name);
+    w.U64(usage.busyCycles);
+    w.U64(usage.instructions);
+  }
+  w.U64(s.stallCyclesRobFull);
+  w.U64(s.stallCyclesRenameFull);
+  w.U64(s.stallCyclesWindowFull);
+  w.U64(s.stallCyclesLsBufferFull);
+
+  // Log.
+  w.U32(static_cast<std::uint32_t>(snapshot.log.entries.size()));
+  for (const LogEntry& entry : snapshot.log.entries) {
+    w.U64(entry.cycle);
+    w.U8(static_cast<std::uint8_t>(entry.level));
+    w.Str(entry.block);
+    w.Str(entry.text);
+  }
+
+  // Header + payload.
+  const std::string payload = w.Take();
+  Writer header;
+  header.Bytes(kMagic, sizeof(kMagic));
+  header.U32(kFormatVersion);
+  header.U64(ConfigHash(*context.config));
+  header.U64(ProgramHash(program));
+  header.U64(Fnv1a(payload));
+  header.U64(payload.size());
+  std::string out = header.Take();
+  out += payload;
+  return out;
+}
+
+// --- decode -----------------------------------------------------------------
+
+Result<core::SimSnapshot> DecodeSnapshot(std::string_view blob,
+                                         const CodecContext& context) {
+  const config::CpuConfig& config = *context.config;
+  const assembler::Program& program = *context.program;
+
+  if (blob.size() < kHeaderBytes) {
+    return CodecError("blob shorter than the snapshot header");
+  }
+  Reader r(blob);
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(r.U8());
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return CodecError("bad magic (not a snapshot blob)");
+  }
+  const std::uint32_t version = r.U32();
+  if (version != kFormatVersion) {
+    return CodecError(
+        StrFormat("unsupported format version %u (this build reads %u)",
+                  version, kFormatVersion));
+  }
+  if (r.U64() != ConfigHash(config)) {
+    return CodecError(
+        "configuration hash mismatch (snapshot taken with a different "
+        "architecture configuration)");
+  }
+  if (r.U64() != ProgramHash(program)) {
+    return CodecError(
+        "program hash mismatch (snapshot taken with a different program)");
+  }
+  const std::uint64_t payloadHash = r.U64();
+  const std::uint64_t payloadSize = r.U64();
+  if (payloadSize != blob.size() - kHeaderBytes) {
+    return CodecError("payload size mismatch (truncated or padded blob)");
+  }
+  if (Fnv1a(blob.substr(kHeaderBytes)) != payloadHash) {
+    return CodecError("payload checksum mismatch (corrupted blob)");
+  }
+
+  core::SimSnapshot snapshot;
+  snapshot.cycle = r.U64();
+  snapshot.nextSeq = r.U64();
+  snapshot.pc = r.U32();
+  snapshot.fetchResumeCycle = r.U64();
+  snapshot.fetchStalledIndirect = r.Bool();
+  const std::uint8_t status = r.U8();
+  if (status > static_cast<std::uint8_t>(core::SimStatus::kFault)) {
+    return CodecError("simulation status out of range");
+  }
+  snapshot.status = static_cast<core::SimStatus>(status);
+  const std::uint8_t finishReason = r.U8();
+  if (finishReason > static_cast<std::uint8_t>(core::FinishReason::kException)) {
+    return CodecError("finish reason out of range");
+  }
+  snapshot.finishReason = static_cast<core::FinishReason>(finishReason);
+  if (!DecodeOptionalError(r, snapshot.fault)) {
+    return CodecError("malformed fault record");
+  }
+
+  // In-flight table.
+  const std::uint32_t renameCount = config.memory.renameRegisterCount;
+  const std::uint32_t tableCount = r.Count(40);
+  std::vector<core::InFlightPtr> table;
+  table.reserve(tableCount);
+  for (std::uint32_t i = 0; i < tableCount; ++i) {
+    RVSS_ASSIGN_OR_RETURN(core::InFlightPtr inst,
+                          DecodeInFlight(r, program, renameCount));
+    table.push_back(std::move(inst));
+  }
+  // StageFetch tops the queue up by one fetch group past the width check,
+  // so the live fetch queue can briefly hold up to 2*fetchWidth - 1.
+  RVSS_RETURN_IF_ERROR(DecodeIndexList(
+      r, table, false, std::size_t{2} * config.buffers.fetchWidth,
+      snapshot.fetchQueue));
+  RVSS_RETURN_IF_ERROR(DecodeIndexList(r, table, false,
+                                       config.buffers.robSize, snapshot.rob));
+  for (auto& window : snapshot.windows) {
+    RVSS_RETURN_IF_ERROR(DecodeIndexList(
+        r, table, false, config.buffers.issueWindowSize, window));
+  }
+  RVSS_RETURN_IF_ERROR(DecodeIndexList(
+      r, table, false, config.memory.loadBufferSize, snapshot.loadBuffer));
+  RVSS_RETURN_IF_ERROR(DecodeIndexList(
+      r, table, false, config.memory.storeBufferSize, snapshot.storeBuffer));
+  RVSS_RETURN_IF_ERROR(DecodeIndexList(r, table, true,
+                                       config.functionalUnits.size(),
+                                       snapshot.fuCurrent));
+  const std::uint32_t fuCount = r.Count(8);
+  if (r.ok() && (snapshot.fuCurrent.size() != config.functionalUnits.size() ||
+                 fuCount != config.functionalUnits.size())) {
+    return CodecError("functional-unit count does not match configuration");
+  }
+  snapshot.fuBusyUntil.reserve(fuCount);
+  for (std::uint32_t i = 0; i < fuCount; ++i) {
+    snapshot.fuBusyUntil.push_back(r.U64());
+  }
+
+  // Architectural registers.
+  for (std::uint64_t& cell : snapshot.arch.x) cell = r.U64();
+  for (std::uint64_t& cell : snapshot.arch.f) cell = r.U64();
+
+  // Rename state. Sizes must match the configuration: RestoreState swaps
+  // these vectors in wholesale, and the pipeline indexes them by tag.
+  const std::uint32_t regCount = r.Count(16);
+  if (r.ok() && regCount != renameCount) {
+    return CodecError("rename register count does not match configuration");
+  }
+  snapshot.rename.regs.resize(regCount);
+  for (core::SpecRegister& reg : snapshot.rename.regs) {
+    reg.inUse = r.Bool();
+    reg.valid = r.Bool();
+    reg.cell = r.U64();
+    const std::uint8_t kind = r.U8();
+    if (kind > static_cast<std::uint8_t>(isa::RegisterKind::kFp)) {
+      return CodecError("speculative register kind out of range");
+    }
+    reg.arch.kind = static_cast<isa::RegisterKind>(kind);
+    reg.arch.index = r.U8();
+    if (r.ok() && reg.arch.index >= 32) {
+      return CodecError("speculative register target out of range");
+    }
+    reg.references = r.U32();
+  }
+  const std::uint32_t freeCount = r.Count(4);
+  if (r.ok() && freeCount > renameCount) {
+    return CodecError("rename free list longer than the register file");
+  }
+  snapshot.rename.freeList.reserve(freeCount);
+  std::vector<bool> freeSeen(renameCount, false);
+  for (std::uint32_t i = 0; i < freeCount; ++i) {
+    const std::int32_t tag = r.I32();
+    if (r.ok() && (tag < 0 || tag >= static_cast<std::int32_t>(renameCount))) {
+      return CodecError("rename free-list tag out of range");
+    }
+    if (r.ok()) {
+      // A tag listed twice (or free while marked in use) would hand one
+      // speculative register to two instructions after a few allocations.
+      const auto index = static_cast<std::size_t>(tag);
+      if (freeSeen[index]) {
+        return CodecError("duplicate rename free-list tag");
+      }
+      if (snapshot.rename.regs[index].inUse) {
+        return CodecError("rename free-list tag marked in use");
+      }
+      freeSeen[index] = true;
+    }
+    snapshot.rename.freeList.push_back(tag);
+  }
+  snapshot.rename.freeCount = r.U32();
+  if (r.ok() && snapshot.rename.freeCount > renameCount) {
+    return CodecError("rename free count out of range");
+  }
+  for (int& tag : snapshot.rename.map) {
+    tag = r.I32();
+    if (r.ok() && (tag < -1 || tag >= static_cast<std::int32_t>(renameCount))) {
+      return CodecError("rename map tag out of range");
+    }
+  }
+
+  // Predictor. Sizes are fixed by the configuration; the index masks in
+  // the predictor assume them.
+  const std::uint32_t phtCount = r.Count(4);
+  if (r.ok() && phtCount != config.predictor.phtSize) {
+    return CodecError("PHT size does not match configuration");
+  }
+  snapshot.predictor.pht.entries.reserve(phtCount);
+  for (std::uint32_t i = 0; i < phtCount; ++i) {
+    // The BitPredictor constructor clamps out-of-range counters.
+    snapshot.predictor.pht.entries.emplace_back(config.predictor.type,
+                                                r.U32());
+  }
+  const std::uint32_t btbCount = r.Count(9);
+  if (r.ok() && btbCount != config.predictor.btbSize) {
+    return CodecError("BTB size does not match configuration");
+  }
+  snapshot.predictor.btb.entries.resize(btbCount);
+  for (auto& entry : snapshot.predictor.btb.entries) {
+    entry.valid = r.Bool();
+    entry.pc = r.U32();
+    entry.target = r.U32();
+  }
+  snapshot.predictor.globalHistory = r.U32();
+  const std::uint32_t localCount = r.Count(4);
+  const std::uint32_t expectedLocal =
+      (config.predictor.history == config::HistoryKind::kLocal &&
+       config.predictor.historyBits > 0)
+          ? config.predictor.phtSize
+          : 0;
+  if (r.ok() && localCount != expectedLocal) {
+    return CodecError("local history size does not match configuration");
+  }
+  snapshot.predictor.localHistories.reserve(localCount);
+  for (std::uint32_t i = 0; i < localCount; ++i) {
+    snapshot.predictor.localHistories.push_back(r.U32());
+  }
+
+  // Memory system.
+  const std::uint32_t memorySize = r.Count(1);
+  if (r.ok() && memorySize != config.memory.sizeBytes) {
+    return CodecError("memory size does not match configuration");
+  }
+  snapshot.memory.memory.bytes.resize(memorySize);
+  r.BytesInto(snapshot.memory.memory.bytes.data(), memorySize);
+  const bool hasCache = r.Bool();
+  if (r.ok() && hasCache != config.cache.enabled) {
+    return CodecError("cache presence does not match configuration");
+  }
+  if (hasCache) {
+    memory::Cache::State cache;
+    const std::uint32_t lineCount = r.Count(22);
+    const std::uint32_t expectedLines =
+        config.cache.associativity == 0
+            ? 0
+            : (config.cache.lineCount / config.cache.associativity) *
+                  config.cache.associativity;
+    if (r.ok() && lineCount != expectedLines) {
+      return CodecError("cache line count does not match configuration");
+    }
+    cache.lines.resize(lineCount);
+    for (auto& line : cache.lines) {
+      line.valid = r.Bool();
+      line.dirty = r.Bool();
+      line.tag = r.U32();
+      line.lastUse = r.U64();
+      line.insertTime = r.U64();
+    }
+    std::array<std::uint64_t, 4> rngState;
+    for (std::uint64_t& word : rngState) word = r.U64();
+    cache.rng.RestoreState(rngState);
+    cache.insertCounter = r.U64();
+    snapshot.memory.cache = std::move(cache);
+  }
+  memory::MemoryStats& memStats = snapshot.memory.stats;
+  memStats.accesses = r.U64();
+  memStats.loads = r.U64();
+  memStats.stores = r.U64();
+  memStats.cacheHits = r.U64();
+  memStats.cacheMisses = r.U64();
+  memStats.evictions = r.U64();
+  memStats.dirtyEvictions = r.U64();
+  memStats.bytesReadFromMemory = r.U64();
+  memStats.bytesWrittenToMemory = r.U64();
+  snapshot.memory.nextTransactionId = r.U64();
+
+  // Simulation statistics.
+  stats::SimulationStatistics& s = snapshot.stats;
+  s.cycles = r.U64();
+  s.fetchedInstructions = r.U64();
+  s.decodedInstructions = r.U64();
+  s.issuedInstructions = r.U64();
+  s.executedInstructions = r.U64();
+  s.committedInstructions = r.U64();
+  s.squashedInstructions = r.U64();
+  s.robFlushes = r.U64();
+  s.branchesResolved = r.U64();
+  s.branchesMispredicted = r.U64();
+  s.branchesTaken = r.U64();
+  s.btbHits = r.U64();
+  s.btbLookups = r.U64();
+  s.flops = r.U64();
+  for (std::uint64_t& count : s.staticMix) count = r.U64();
+  for (std::uint64_t& count : s.dynamicMix) count = r.U64();
+  const std::uint32_t usageCount = r.Count(20);
+  if (r.ok() && usageCount != config.functionalUnits.size()) {
+    return CodecError("unit usage count does not match configuration");
+  }
+  s.unitUsage.resize(usageCount);
+  for (stats::UnitUsage& usage : s.unitUsage) {
+    usage.name = r.Str();
+    usage.busyCycles = r.U64();
+    usage.instructions = r.U64();
+  }
+  s.stallCyclesRobFull = r.U64();
+  s.stallCyclesRenameFull = r.U64();
+  s.stallCyclesWindowFull = r.U64();
+  s.stallCyclesLsBufferFull = r.U64();
+
+  // Log.
+  const std::uint32_t logCount = r.Count(17);
+  snapshot.log.entries.resize(logCount);
+  for (LogEntry& entry : snapshot.log.entries) {
+    entry.cycle = r.U64();
+    const std::uint8_t level = r.U8();
+    if (level > static_cast<std::uint8_t>(LogLevel::kError)) {
+      return CodecError("log level out of range");
+    }
+    entry.level = static_cast<LogLevel>(level);
+    entry.block = r.Str();
+    entry.text = r.Str();
+  }
+
+  if (!r.ok()) return CodecError(r.failReason());
+  if (r.remaining() != 0) {
+    return CodecError("trailing bytes after the snapshot payload");
+  }
+  return snapshot;
+}
+
+}  // namespace rvss::snapshot

@@ -1,0 +1,71 @@
+// Versioned, endian-stable binary codec for core::SimSnapshot.
+//
+// PR 1 made the full simulation snapshottable, but snapshots were
+// in-memory deep copies restorable only into the simulation that produced
+// them. This codec turns a SimSnapshot into a self-describing byte blob
+// that can be persisted, shipped to another process and decoded into any
+// simulation built from the same (program, config) pair — the primitive
+// behind session export/import and migration.
+//
+// Safety model (decode never trusts the blob):
+//   - a fixed header carries magic, format version, a config hash, a
+//     program hash and an FNV-1a payload checksum; stale versions,
+//     mismatched configurations/programs, truncation and corruption all
+//     fail with a Status before any state is built;
+//   - every variable-length field validates its length prefix against the
+//     bytes actually remaining, and every index (instruction, rename tag,
+//     in-flight table slot) is range-checked against the live
+//     configuration, so even a blob crafted to pass the checksum cannot
+//     produce out-of-bounds state.
+//
+// In-flight instructions are encoded as a deduplicated table plus index
+// lists per pipeline container, preserving the aliasing RestoreState
+// relies on (one instruction sitting in the ROB and a load buffer decodes
+// back into one shared object).
+//
+// The config hash covers the state-shaping configuration only: checkpoint
+// settings and the display name are normalized away, so a server may
+// clamp a session's checkpoint budget on import without invalidating the
+// blob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "assembler/program.h"
+#include "common/status.h"
+#include "config/cpu_config.h"
+#include "core/simulation.h"
+
+namespace rvss::snapshot {
+
+/// Bumped on any incompatible layout change; decode rejects other versions.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// What a blob must match to be restorable.
+struct CodecContext {
+  const config::CpuConfig* config = nullptr;
+  const assembler::Program* program = nullptr;
+};
+
+/// FNV-1a over the canonical JSON dump of `config` with checkpoint
+/// settings and the display name normalized to defaults (they do not shape
+/// simulation state).
+std::uint64_t ConfigHash(const config::CpuConfig& config);
+
+/// FNV-1a over the program's instructions, entry point and data image.
+std::uint64_t ProgramHash(const assembler::Program& program);
+
+/// Serializes a snapshot. The context must describe the simulation the
+/// snapshot came from.
+std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
+                           const CodecContext& context);
+
+/// Parses and validates a blob against `context`. Returns a snapshot ready
+/// for Simulation::RestoreState, or an error for any version, hash, size
+/// or structural mismatch. Never crashes on malformed input.
+Result<core::SimSnapshot> DecodeSnapshot(std::string_view blob,
+                                         const CodecContext& context);
+
+}  // namespace rvss::snapshot

@@ -5,7 +5,7 @@
 #include "common/rng.h"
 #include "server/api.h"
 #include "server/load_model.h"
-#include "server/slz.h"
+#include "common/slz.h"
 #include "server/state_renderer.h"
 #include "test_util.h"
 

@@ -1,0 +1,623 @@
+// Snapshot subsystem tests: the versioned binary codec (round trips,
+// aliasing preservation, hostile-input rejection), portable session blobs
+// (export -> import -> continue-execution differential), page-delta
+// checkpoints (ring byte reduction with byte-identical StepBack), the
+// server's exportSession/importSession commands including the
+// SimServer::Limits checkpoint-budget override, and the CLI
+// --save-snapshot/--load-snapshot flags.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.h"
+#include "common/slz.h"
+#include "common/strings.h"
+#include "core/simulation.h"
+#include "server/api.h"
+#include "server/state_renderer.h"
+#include "snapshot/codec.h"
+#include "snapshot/session.h"
+#include "test_util.h"
+
+namespace rvss::snapshot {
+namespace {
+
+/// Branchy loads/stores: mispredicts, flushes and memory traffic keep the
+/// pipeline full of aliased in-flight state — the hard case for the codec.
+const char* kBranchyMemory = R"(
+main:
+    li s0, 0
+    li s1, 24
+outer:
+    li t0, 16
+    addi t1, sp, -256
+fill:
+    mul t2, t0, s1
+    sw t2, 0(t1)
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, fill
+    li t0, 16
+    addi t1, sp, -256
+scan:
+    lw t2, 0(t1)
+    andi t3, t2, 1
+    beqz t3, even
+    add s0, s0, t2
+    j next
+even:
+    sub s0, s0, t2
+next:
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, scan
+    addi s1, s1, -1
+    bnez s1, outer
+    mv a0, s0
+    ret
+)";
+
+config::CpuConfig TestConfig(std::uint64_t intervalCycles = 32) {
+  config::CpuConfig config = config::DefaultConfig();
+  config.checkpoint.intervalCycles = intervalCycles;
+  return config;
+}
+
+std::unique_ptr<core::Simulation> MustCreate(
+    const std::string& source, const config::CpuConfig& config) {
+  auto sim = core::Simulation::Create(config, source, {{}, "main"});
+  EXPECT_TRUE(sim.ok()) << (sim.ok() ? "" : sim.error().ToText());
+  return sim.ok() ? std::move(sim).value() : nullptr;
+}
+
+void StepN(core::Simulation& sim, std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) sim.Step();
+}
+
+std::string RenderDump(const core::Simulation& sim) {
+  server::RenderOptions options;
+  options.logTail = 1u << 20;
+  options.includeMemoryDump = true;
+  return server::RenderJson(sim, options).Dump();
+}
+
+/// Registers, memory, statistics and the fully rendered state must match.
+void ExpectIdenticalState(const core::Simulation& a,
+                          const core::Simulation& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.cycle(), b.cycle()) << label;
+  for (unsigned reg = 0; reg < 32; ++reg) {
+    EXPECT_EQ(a.ReadIntReg(reg), b.ReadIntReg(reg)) << label << " x" << reg;
+    EXPECT_EQ(a.ReadFpReg(reg), b.ReadFpReg(reg)) << label << " f" << reg;
+  }
+  const auto aBytes = a.memorySystem().memory().bytes();
+  const auto bBytes = b.memorySystem().memory().bytes();
+  ASSERT_EQ(aBytes.size(), bBytes.size()) << label;
+  EXPECT_EQ(std::memcmp(aBytes.data(), bBytes.data(), aBytes.size()), 0)
+      << label << ": memory images differ";
+  EXPECT_EQ(RenderDump(a), RenderDump(b)) << label;
+}
+
+// ---- base64 ----------------------------------------------------------------
+
+TEST(Base64, RoundTripsAllLengths) {
+  std::string bytes;
+  for (int i = 0; i < 300; ++i) {
+    auto decoded = Base64Decode(Base64Encode(bytes));
+    ASSERT_TRUE(decoded.has_value()) << "length " << i;
+    EXPECT_EQ(*decoded, bytes) << "length " << i;
+    bytes += static_cast<char>((i * 37) & 0xff);
+  }
+}
+
+TEST(Base64, RejectsMalformedInput) {
+  EXPECT_FALSE(Base64Decode("abc").has_value()) << "bad length";
+  EXPECT_FALSE(Base64Decode("ab!?").has_value()) << "bad alphabet";
+  EXPECT_FALSE(Base64Decode("=abc").has_value()) << "leading padding";
+  EXPECT_FALSE(Base64Decode("a=bc").has_value()) << "data after padding";
+  EXPECT_TRUE(Base64Decode("").has_value());
+  EXPECT_EQ(*Base64Decode("aGk="), "hi");
+}
+
+// ---- codec round trips ------------------------------------------------------
+
+TEST(SnapshotCodec, RoundTripsMidFlightState) {
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 137);  // mid-flight, off the checkpoint grid
+
+  const CodecContext context{&sim->config(), &sim->program()};
+  const core::SimSnapshot original = sim->SaveState();
+  const std::string blob = EncodeSnapshot(original, context);
+  EXPECT_GT(blob.size(), 64u);
+
+  // Decode into a *fresh* simulation built from the same inputs.
+  auto restored = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(restored, nullptr);
+  const CodecContext restoredContext{&restored->config(),
+                                     &restored->program()};
+  auto decoded = DecodeSnapshot(blob, restoredContext);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().ToText();
+  restored->RestoreState(decoded.value());
+  ExpectIdenticalState(*sim, *restored, "after decode");
+
+  // The restored run must continue byte-identically: same commit trace,
+  // same final state.
+  std::vector<std::uint32_t> simTrace;
+  std::vector<std::uint32_t> restoredTrace;
+  sim->SetCommitTraceSink(&simTrace);
+  restored->SetCommitTraceSink(&restoredTrace);
+  sim->Run(5'000'000);
+  restored->Run(5'000'000);
+  EXPECT_EQ(simTrace, restoredTrace) << "commit traces diverge";
+  ExpectIdenticalState(*sim, *restored, "run to completion");
+}
+
+TEST(SnapshotCodec, EncodeIsDeterministic) {
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 100);
+  const CodecContext context{&sim->config(), &sim->program()};
+  const core::SimSnapshot snapshot = sim->SaveState();
+  EXPECT_EQ(EncodeSnapshot(snapshot, context),
+            EncodeSnapshot(snapshot, context));
+}
+
+TEST(SnapshotCodec, PreservesInFlightAliasing) {
+  // A load sits in the ROB and the load buffer simultaneously; after a
+  // decode round trip both containers must reference one object, so a
+  // mutation through one is visible through the other (RestoreState's
+  // cloning depends on this to keep the pipeline consistent).
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  for (int step = 0; step < 2000 && sim->loadBuffer().empty(); ++step) {
+    sim->Step();
+  }
+  ASSERT_FALSE(sim->loadBuffer().empty()) << "no load in flight";
+
+  const CodecContext context{&sim->config(), &sim->program()};
+  auto decoded = DecodeSnapshot(EncodeSnapshot(sim->SaveState(), context),
+                                context);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().ToText();
+  const core::SimSnapshot& snapshot = decoded.value();
+  ASSERT_FALSE(snapshot.loadBuffer.empty());
+  const core::InFlightPtr& load = snapshot.loadBuffer.front();
+  bool aliased = false;
+  for (const core::InFlightPtr& inst : snapshot.rob) {
+    if (inst.get() == load.get()) aliased = true;
+  }
+  EXPECT_TRUE(aliased)
+      << "load-buffer entry is not the same object as its ROB entry";
+}
+
+// ---- hostile input ----------------------------------------------------------
+
+TEST(SnapshotCodec, RejectsVersionBumpAndForeignConfigs) {
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 50);
+  const CodecContext context{&sim->config(), &sim->program()};
+  std::string blob = EncodeSnapshot(sim->SaveState(), context);
+
+  // Version bump: byte 4 holds the low byte of the format version.
+  std::string bumped = blob;
+  bumped[4] = static_cast<char>(kFormatVersion + 1);
+  auto versioned = DecodeSnapshot(bumped, context);
+  ASSERT_FALSE(versioned.ok());
+  EXPECT_NE(versioned.error().message.find("version"), std::string::npos);
+
+  // Mismatched configuration: a different predictor geometry.
+  config::CpuConfig other = TestConfig();
+  other.predictor.phtSize = 128;
+  auto otherSim = MustCreate(kBranchyMemory, other);
+  ASSERT_NE(otherSim, nullptr);
+  const CodecContext otherContext{&otherSim->config(), &otherSim->program()};
+  auto mismatch = DecodeSnapshot(blob, otherContext);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.error().message.find("configuration"),
+            std::string::npos);
+
+  // Mismatched program.
+  auto otherProgram = MustCreate("main:\n    li a0, 7\n    ret\n",
+                                 TestConfig());
+  ASSERT_NE(otherProgram, nullptr);
+  const CodecContext programContext{&otherProgram->config(),
+                                    &otherProgram->program()};
+  auto wrongProgram = DecodeSnapshot(blob, programContext);
+  ASSERT_FALSE(wrongProgram.ok());
+  EXPECT_NE(wrongProgram.error().message.find("program"), std::string::npos);
+
+  // A checkpoint-budget difference must NOT invalidate the blob: servers
+  // clamp budgets on import.
+  config::CpuConfig clamped = TestConfig();
+  clamped.checkpoint.maxTotalBytes = 1 << 20;
+  clamped.name = "renamed";
+  auto clampedSim = MustCreate(kBranchyMemory, clamped);
+  ASSERT_NE(clampedSim, nullptr);
+  const CodecContext clampedContext{&clampedSim->config(),
+                                    &clampedSim->program()};
+  EXPECT_TRUE(DecodeSnapshot(blob, clampedContext).ok());
+}
+
+TEST(SnapshotCodec, TruncatedBlobsAlwaysError) {
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 80);
+  const CodecContext context{&sim->config(), &sim->program()};
+  const std::string blob = EncodeSnapshot(sim->SaveState(), context);
+
+  for (std::size_t length = 0; length < blob.size();
+       length += 1 + length / 7) {
+    auto decoded = DecodeSnapshot(std::string_view(blob).substr(0, length),
+                                  context);
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << length;
+  }
+}
+
+TEST(SnapshotCodec, CorruptedBlobsAlwaysError) {
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 80);
+  const CodecContext context{&sim->config(), &sim->program()};
+  const std::string blob = EncodeSnapshot(sim->SaveState(), context);
+
+  // Flip a byte at a stride of positions across the whole blob (header
+  // and payload): every mutant must fail decode, none may crash. The
+  // payload checksum catches body corruption; explicit checks catch the
+  // header fields.
+  for (std::size_t pos = 0; pos < blob.size(); pos += 1 + pos / 11) {
+    std::string mutant = blob;
+    mutant[pos] = static_cast<char>(mutant[pos] ^ 0x5a);
+    auto decoded = DecodeSnapshot(mutant, context);
+    EXPECT_FALSE(decoded.ok()) << "corruption at " << pos;
+  }
+}
+
+TEST(SnapshotCodec, RejectsDuplicateAndOversizedContainers) {
+  // A checksum-correct blob can still describe impossible pipeline state;
+  // the structural checks must catch it. Encoding a doctored snapshot
+  // produces exactly such a blob.
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  for (int step = 0; step < 2000 && sim->rob().empty(); ++step) sim->Step();
+  ASSERT_FALSE(sim->rob().empty());
+  const CodecContext context{&sim->config(), &sim->program()};
+
+  // The same instruction twice in one container (would double-commit).
+  core::SimSnapshot duplicated = sim->SaveState();
+  duplicated.rob.push_back(duplicated.rob.front());
+  auto dupDecoded = DecodeSnapshot(EncodeSnapshot(duplicated, context),
+                                   context);
+  ASSERT_FALSE(dupDecoded.ok());
+  EXPECT_NE(dupDecoded.error().message.find("duplicate"), std::string::npos);
+
+  // A ROB beyond its configured capacity.
+  core::SimSnapshot oversized = sim->SaveState();
+  while (oversized.rob.size() <= sim->config().buffers.robSize) {
+    oversized.rob.push_back(
+        std::make_shared<core::InFlight>(*oversized.rob.front()));
+  }
+  auto bigDecoded = DecodeSnapshot(EncodeSnapshot(oversized, context),
+                                   context);
+  ASSERT_FALSE(bigDecoded.ok());
+  EXPECT_NE(bigDecoded.error().message.find("capacity"), std::string::npos);
+}
+
+TEST(SnapshotCodec, RejectsDuplicateFreeListTags) {
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 60);
+  const CodecContext context{&sim->config(), &sim->program()};
+  core::SimSnapshot doctored = sim->SaveState();
+  ASSERT_GE(doctored.rename.freeList.size(), 2u);
+  doctored.rename.freeList[1] = doctored.rename.freeList[0];
+  auto decoded = DecodeSnapshot(EncodeSnapshot(doctored, context), context);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().message.find("free-list"), std::string::npos);
+}
+
+// ---- session blobs ----------------------------------------------------------
+
+TEST(SessionBlob, ExportImportContinuesByteIdentically) {
+  auto original = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(original, nullptr);
+  StepN(*original, 433);
+
+  const SessionIdentity identity =
+      MakeIdentity(*original, kBranchyMemory, "main", "");
+  const std::string blob = EncodeSessionBlob(*original, identity);
+
+  auto imported = ImportSessionBlob(blob);
+  ASSERT_TRUE(imported.ok()) << imported.error().ToText();
+  core::Simulation& resumed = *imported.value().sim;
+  ExpectIdenticalState(*original, resumed, "after import");
+
+  std::vector<std::uint32_t> originalTrace;
+  std::vector<std::uint32_t> resumedTrace;
+  original->SetCommitTraceSink(&originalTrace);
+  resumed.SetCommitTraceSink(&resumedTrace);
+  original->Run(5'000'000);
+  resumed.Run(5'000'000);
+  EXPECT_EQ(originalTrace, resumedTrace);
+  ExpectIdenticalState(*original, resumed, "run to completion");
+
+  // The imported session anchors a checkpoint at the restored cycle, so
+  // backward stepping does not replay the whole prefix.
+  auto anchored = ImportSessionBlob(blob);
+  ASSERT_TRUE(anchored.ok());
+  ASSERT_TRUE(anchored.value().sim->StepBack().ok());
+  EXPECT_EQ(anchored.value().sim->cycle(), 432u);
+}
+
+TEST(SessionBlob, RejectsGarbageAndTruncation) {
+  EXPECT_FALSE(ImportSessionBlob("").ok());
+  EXPECT_FALSE(ImportSessionBlob("not a blob").ok());
+
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 100);
+  const std::string blob = EncodeSessionBlob(
+      *sim, MakeIdentity(*sim, kBranchyMemory, "main", ""));
+  for (std::size_t length = 0; length < blob.size();
+       length += 1 + length / 5) {
+    EXPECT_FALSE(
+        ImportSessionBlob(std::string_view(blob).substr(0, length)).ok())
+        << "truncation at " << length;
+  }
+
+  // Trailing garbage after the compressed stream fails closed.
+  std::string padded = blob;
+  padded += "excess";
+  EXPECT_FALSE(ImportSessionBlob(padded).ok());
+
+  // ... and so does garbage smuggled *inside* the compression, after the
+  // container's last field.
+  auto container = SlzDecompress(std::string_view(blob).substr(5));
+  ASSERT_TRUE(container.has_value());
+  std::string inner = blob.substr(0, 5) + SlzCompress(*container + "excess");
+  auto rejected = ImportSessionBlob(inner);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error().message.find("trailing"), std::string::npos);
+}
+
+// ---- delta checkpoints ------------------------------------------------------
+
+/// 1 MiB memory with a working set of a few pages: the configuration where
+/// page deltas pay off.
+config::CpuConfig DeltaConfig(bool deltaPages) {
+  config::CpuConfig config = TestConfig(64);
+  config.memory.sizeBytes = 1 << 20;
+  config.checkpoint.deltaPages = deltaPages;
+  config.checkpoint.fullSnapshotEvery = 16;
+  return config;
+}
+
+TEST(DeltaCheckpoints, ShrinkRingBytesAtLeast5x) {
+  auto fullMode = MustCreate(kBranchyMemory, DeltaConfig(false));
+  auto deltaMode = MustCreate(kBranchyMemory, DeltaConfig(true));
+  ASSERT_NE(fullMode, nullptr);
+  ASSERT_NE(deltaMode, nullptr);
+  StepN(*fullMode, 2000);
+  StepN(*deltaMode, 2000);
+
+  ASSERT_EQ(fullMode->checkpoints().checkpointCount(),
+            deltaMode->checkpoints().checkpointCount());
+  EXPECT_GT(deltaMode->checkpoints().deltaCheckpointCount(), 20u);
+  const std::size_t fullBytes = fullMode->checkpoints().totalBytes();
+  const std::size_t deltaBytes = deltaMode->checkpoints().totalBytes();
+  EXPECT_GE(fullBytes, deltaBytes * 5)
+      << "delta ring " << deltaBytes << " bytes vs full ring " << fullBytes;
+}
+
+TEST(DeltaCheckpoints, StepBackMatchesFullSnapshotMode) {
+  // Every seek target must land in a state byte-identical to full-snapshot
+  // mode — materialized deltas are real restore points, not approximations.
+  auto fullMode = MustCreate(kBranchyMemory, DeltaConfig(false));
+  auto deltaMode = MustCreate(kBranchyMemory, DeltaConfig(true));
+  ASSERT_NE(fullMode, nullptr);
+  ASSERT_NE(deltaMode, nullptr);
+  StepN(*fullMode, 1500);
+  StepN(*deltaMode, 1500);
+
+  for (std::uint64_t target : {1499ull, 1217ull, 640ull, 641ull, 639ull,
+                               64ull, 65ull, 1ull, 1300ull}) {
+    ASSERT_TRUE(deltaMode->SeekTo(target).ok()) << "target " << target;
+    ASSERT_TRUE(fullMode->SeekTo(target).ok()) << "target " << target;
+    ExpectIdenticalState(*deltaMode, *fullMode,
+                         "seek " + std::to_string(target));
+  }
+}
+
+TEST(DeltaCheckpoints, RoundTripThroughCodec) {
+  // Delta-mode checkpoints must not interfere with export/import.
+  auto sim = MustCreate(kBranchyMemory, DeltaConfig(true));
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 700);
+  const std::string blob = EncodeSessionBlob(
+      *sim, MakeIdentity(*sim, kBranchyMemory, "main", ""));
+  auto imported = ImportSessionBlob(blob);
+  ASSERT_TRUE(imported.ok()) << imported.error().ToText();
+  ExpectIdenticalState(*sim, *imported.value().sim, "delta-mode import");
+}
+
+TEST(AdaptiveInterval, GrowsUnderBudgetPressure) {
+  config::CpuConfig config = TestConfig(16);
+  config.memory.sizeBytes = 64 * 1024;
+  config.checkpoint.deltaPages = false;
+  config.checkpoint.adaptiveInterval = true;
+  config.checkpoint.maxTotalBytes = 4 * config.memory.sizeBytes;
+  auto sim = MustCreate(kBranchyMemory, config);
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 2000);
+  // The budget fits a handful of 64 KiB snapshots; a fixed 16-cycle grid
+  // would deposit 125 of them. Adaptive sizing must have stretched the
+  // interval instead of thrashing evictions.
+  EXPECT_GT(sim->checkpoints().effectiveIntervalCycles(), 16u);
+  // Backward stepping still works and still lands exactly.
+  ASSERT_TRUE(sim->StepBack().ok());
+  auto reference = MustCreate(kBranchyMemory, config);
+  ASSERT_NE(reference, nullptr);
+  StepN(*reference, 1999);
+  ExpectIdenticalState(*sim, *reference, "adaptive ring");
+}
+
+// ---- server commands --------------------------------------------------------
+
+json::Json Cmd(server::SimServer& srv, std::string_view command,
+               std::initializer_list<std::pair<const char*, json::Json>>
+                   fields = {}) {
+  json::Json request = json::Json::MakeObject();
+  request.Set("command", std::string(command));
+  for (const auto& [key, value] : fields) request.Set(key, value);
+  return srv.Handle(request);
+}
+
+TEST(ServerSession, ExportImportIntoFreshServer) {
+  server::SimServer source;
+  json::Json created =
+      Cmd(source, "createSession", {{"code", json::Json(kBranchyMemory)},
+                                    {"entry", json::Json("main")}});
+  ASSERT_EQ(created.GetString("status", ""), "ok") << created.Dump();
+  const std::int64_t id = created.GetInt("sessionId", -1);
+
+  json::Json stepped = Cmd(source, "step", {{"sessionId", json::Json(id)},
+                                            {"count", json::Json(500)}});
+  ASSERT_EQ(stepped.GetString("status", ""), "ok");
+
+  json::Json exported =
+      Cmd(source, "exportSession", {{"sessionId", json::Json(id)}});
+  ASSERT_EQ(exported.GetString("status", ""), "ok") << exported.Dump();
+  EXPECT_EQ(exported.GetInt("cycle", -1), 500);
+  const std::string blob = exported.GetString("blob", "");
+  ASSERT_FALSE(blob.empty());
+
+  // A completely fresh server process stands in for the migration target.
+  server::SimServer target;
+  json::Json imported =
+      Cmd(target, "importSession", {{"blob", json::Json(blob)}});
+  ASSERT_EQ(imported.GetString("status", ""), "ok") << imported.Dump();
+  EXPECT_EQ(imported.GetInt("cycle", -1), 500);
+  const std::int64_t importedId = imported.GetInt("sessionId", -1);
+
+  // Both sessions run another 400 cycles; states and statistics must stay
+  // byte-identical (the JSON renders include registers, pipeline contents,
+  // rename tags, cache lines and the log).
+  for (int batch = 0; batch < 4; ++batch) {
+    json::Json a = Cmd(source, "step", {{"sessionId", json::Json(id)},
+                                        {"count", json::Json(100)}});
+    json::Json b =
+        Cmd(target, "step", {{"sessionId", json::Json(importedId)},
+                             {"count", json::Json(100)}});
+    ASSERT_EQ(a.GetString("status", ""), "ok");
+    ASSERT_EQ(b.GetString("status", ""), "ok");
+    EXPECT_EQ(a.Find("state")->Dump(), b.Find("state")->Dump())
+        << "batch " << batch;
+  }
+  json::Json statsA = Cmd(source, "stats", {{"sessionId", json::Json(id)}});
+  json::Json statsB =
+      Cmd(target, "stats", {{"sessionId", json::Json(importedId)}});
+  EXPECT_EQ(statsA.Find("statistics")->Dump(),
+            statsB.Find("statistics")->Dump());
+}
+
+TEST(ServerSession, ImportRejectsGarbage) {
+  server::SimServer srv;
+  json::Json bad = Cmd(srv, "importSession", {{"blob", json::Json("@@@")}});
+  EXPECT_EQ(bad.GetString("status", ""), "error");
+  json::Json empty = Cmd(srv, "importSession", {{"blob", json::Json("")}});
+  EXPECT_EQ(empty.GetString("status", ""), "error");
+  // Valid base64, invalid contents.
+  json::Json garbage = Cmd(srv, "importSession",
+                           {{"blob", json::Json(Base64Encode("hello"))}});
+  EXPECT_EQ(garbage.GetString("status", ""), "error");
+  EXPECT_EQ(srv.sessionCount(), 0u);
+}
+
+TEST(ServerSession, LimitsOverrideCheckpointBudget) {
+  server::SimServer::Limits limits;
+  limits.maxCheckpointBytesPerSession = 1 << 20;
+  server::SimServer srv(limits);
+
+  // The session asks for a 64 MiB ring; the server's ceiling must win.
+  config::CpuConfig config = TestConfig();
+  config.checkpoint.maxTotalBytes = 64ull << 20;
+  json::Json created = Cmd(
+      srv, "createSession",
+      {{"code", json::Json(kBranchyMemory)}, {"entry", json::Json("main")},
+       {"config", config::ToJson(config)}});
+  ASSERT_EQ(created.GetString("status", ""), "ok") << created.Dump();
+  const std::int64_t id = created.GetInt("sessionId", -1);
+  json::Json stats = Cmd(srv, "stats", {{"sessionId", json::Json(id)}});
+  EXPECT_EQ(stats.Find("checkpoints")->GetInt("maxBytes", -1), 1 << 20);
+
+  // The override also applies to imported sessions: export from an
+  // unrestricted server, import into the limited one.
+  server::SimServer unrestricted;
+  json::Json other = Cmd(
+      unrestricted, "createSession",
+      {{"code", json::Json(kBranchyMemory)}, {"entry", json::Json("main")},
+       {"config", config::ToJson(config)}});
+  ASSERT_EQ(other.GetString("status", ""), "ok");
+  json::Json exported =
+      Cmd(unrestricted, "exportSession",
+          {{"sessionId", json::Json(other.GetInt("sessionId", -1))}});
+  ASSERT_EQ(exported.GetString("status", ""), "ok");
+  json::Json imported =
+      Cmd(srv, "importSession",
+          {{"blob", json::Json(exported.GetString("blob", ""))}});
+  ASSERT_EQ(imported.GetString("status", ""), "ok") << imported.Dump();
+  json::Json importedStats =
+      Cmd(srv, "stats",
+          {{"sessionId", json::Json(imported.GetInt("sessionId", -1))}});
+  EXPECT_EQ(importedStats.Find("checkpoints")->GetInt("maxBytes", -1),
+            1 << 20);
+}
+
+// ---- CLI flags --------------------------------------------------------------
+
+TEST(CliSnapshot, SaveLoadRoundTripMatchesUninterruptedRun) {
+  const std::string dir = ::testing::TempDir();
+  const std::string programPath = dir + "/snap_prog.s";
+  const std::string snapshotPath = dir + "/session.rvse";
+  {
+    std::ofstream file(programPath);
+    file << kBranchyMemory;
+  }
+
+  auto run = [&](const std::vector<std::string>& args, std::string& out) {
+    std::ostringstream outStream;
+    std::ostringstream errStream;
+    const int code = cli::RunCli(args, outStream, errStream);
+    out = outStream.str();
+    EXPECT_EQ(code, 0) << errStream.str();
+    return code;
+  };
+
+  // Interrupted: run 300 cycles, save, resume from the snapshot.
+  std::string ignored;
+  run({"rvss", "--asm", programPath, "--max-cycles", "300",
+       "--save-snapshot", snapshotPath, "--format", "json"},
+      ignored);
+  std::string resumed;
+  run({"rvss", "--load-snapshot", snapshotPath, "--format", "json"}, resumed);
+
+  // Uninterrupted reference.
+  std::string reference;
+  run({"rvss", "--asm", programPath, "--format", "json"}, reference);
+  EXPECT_EQ(resumed, reference);
+
+  // Conflicting flags are rejected.
+  std::ostringstream outStream;
+  std::ostringstream errStream;
+  EXPECT_EQ(cli::RunCli({"rvss", "--load-snapshot", snapshotPath, "--asm",
+                         programPath},
+                        outStream, errStream),
+            1);
+  EXPECT_NE(errStream.str().find("cannot be combined"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rvss::snapshot
