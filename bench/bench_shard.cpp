@@ -1,0 +1,157 @@
+// Shard router benchmarks: drain throughput (how fast a worker's sessions
+// evacuate to its peers) and the steady-state routing overhead a session
+// pays for living behind the router instead of a bare SimServer.
+//
+// Drain is the operation that gates fleet maintenance (deploys, scale-in):
+// its throughput in sessions/s and MiB/s bounds how quickly a worker can
+// be taken out of rotation without dropping interactive sessions. The
+// routing overhead measures the per-request tax of the extra id-rewrite
+// hop — it should be noise against the simulation work itself.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "json/json.h"
+#include "server/api.h"
+#include "shard/router.h"
+
+namespace rvss {
+namespace {
+
+/// Long-running branchy loop with a real working set: sessions stay live
+/// through the whole bench and their snapshots are not trivially empty.
+const char* kWorkload = R"(
+main:
+    li s1, 1000000
+outer:
+    li t0, 16
+    addi t1, sp, -256
+fill:
+    mul t2, t0, s1
+    sw t2, 0(t1)
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, fill
+    addi s1, s1, -1
+    bnez s1, outer
+    ret
+)";
+
+json::Json Cmd(const char* command,
+               std::initializer_list<std::pair<const char*, json::Json>>
+                   fields = {}) {
+  json::Json request = json::Json::MakeObject();
+  request.Set("command", command);
+  for (const auto& [key, value] : fields) request.Set(key, value);
+  return request;
+}
+
+bool Ok(const json::Json& response, const char* what) {
+  if (response.GetString("status", "") == "ok") return true;
+  std::fprintf(stderr, "%s failed: %s\n", what,
+               response.GetString("message", "?").c_str());
+  return false;
+}
+
+}  // namespace
+}  // namespace rvss
+
+int main() {
+  using namespace rvss;
+
+  // --- drain throughput -------------------------------------------------------
+  // 3 workers, 24 sessions stepped to distinct mid-points; drain whichever
+  // worker holds the most sessions.
+  shard::ShardRouter::Options options;
+  options.workerCount = 3;
+  shard::ShardRouter router(options);
+
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 24; ++i) {
+    json::Json created = router.Handle(
+        Cmd("createSession", {{"code", json::Json(kWorkload)},
+                              {"entry", json::Json("main")}}));
+    if (!Ok(created, "createSession")) return 1;
+    ids.push_back(created.GetInt("sessionId", -1));
+    json::Json stepped = router.Handle(
+        Cmd("step", {{"sessionId", json::Json(ids.back())},
+                     {"count", json::Json(500 + 100 * i)}}));
+    if (!Ok(stepped, "step")) return 1;
+  }
+
+  std::int64_t victim = 0;
+  std::int64_t victimSessions = 0;
+  json::Json stats = router.Handle(Cmd("workerStats"));
+  for (const json::Json& worker : stats.Find("workers")->AsArray()) {
+    if (worker.GetInt("sessions", 0) > victimSessions) {
+      victim = worker.GetInt("worker", -1);
+      victimSessions = worker.GetInt("sessions", 0);
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  json::Json drained =
+      router.Handle(Cmd("drainWorker", {{"worker", json::Json(victim)}}));
+  const double drainSeconds = bench::SecondsSince(start);
+  if (!Ok(drained, "drainWorker")) return 1;
+  const double moved = static_cast<double>(drained.GetInt("moved", 0));
+  const double movedMiB =
+      static_cast<double>(drained.GetInt("movedBytes", 0)) / (1024.0 * 1024.0);
+  std::printf("# drain throughput (%d sessions total, worker %lld held %.0f)\n",
+              static_cast<int>(ids.size()),
+              static_cast<long long>(victim), moved);
+  std::printf("%-22s %10.2f ms\n", "drain wall time", drainSeconds * 1e3);
+  std::printf("%-22s %10.1f sessions/s\n", "drain rate",
+              moved / drainSeconds);
+  std::printf("%-22s %10.1f MiB/s (%.2f MiB wire)\n", "drain bandwidth",
+              movedMiB / drainSeconds, movedMiB);
+
+  // --- steady-state routing overhead ------------------------------------------
+  // The same step request stream against a routed session and a bare
+  // SimServer session; the delta is the router's id-rewrite + forwarding.
+  server::SimServer bare;
+  json::Json bareCreated = bare.Handle(
+      Cmd("createSession", {{"code", json::Json(kWorkload)},
+                            {"entry", json::Json("main")}}));
+  if (!Ok(bareCreated, "bare createSession")) return 1;
+  const std::int64_t bareId = bareCreated.GetInt("sessionId", -1);
+  const std::int64_t routedId = ids.front();
+
+  constexpr int kRequests = 2000;
+  const std::string routedRequest =
+      Cmd("step", {{"sessionId", json::Json(routedId)},
+                   {"count", json::Json(1)}})
+          .Dump();
+  const std::string bareRequest =
+      Cmd("step", {{"sessionId", json::Json(bareId)},
+                   {"count", json::Json(1)}})
+          .Dump();
+
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRequests; ++i) {
+    router.HandleRaw(routedRequest);
+  }
+  const double routedSeconds = bench::SecondsSince(start) / kRequests;
+
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRequests; ++i) {
+    bare.HandleRaw(bareRequest);
+  }
+  const double bareSeconds = bench::SecondsSince(start) / kRequests;
+
+  std::printf("\n# steady-state routing overhead (%d single-step requests)\n",
+              kRequests);
+  std::printf("%-22s %10.2f us/request\n", "bare SimServer",
+              bareSeconds * 1e6);
+  std::printf("%-22s %10.2f us/request\n", "via ShardRouter",
+              routedSeconds * 1e6);
+  std::printf("%-22s %10.2f us (%.1f%%)\n", "router tax",
+              (routedSeconds - bareSeconds) * 1e6,
+              bareSeconds > 0
+                  ? (routedSeconds / bareSeconds - 1.0) * 100.0
+                  : 0.0);
+  return 0;
+}

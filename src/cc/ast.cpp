@@ -3,64 +3,65 @@
 namespace rvss::cc {
 namespace {
 
-TypePtr MakeScalar(TypeKind kind, std::uint32_t size, std::uint32_t align) {
-  auto type = std::make_shared<Type>();
-  type->kind = kind;
-  type->size = size;
-  type->align = align;
+Type MakeScalar(TypeKind kind, std::uint32_t size, std::uint32_t align) {
+  Type type;
+  type.kind = kind;
+  type.size = size;
+  type.align = align;
   return type;
 }
 
 }  // namespace
 
 TypePtr VoidType() {
-  static const TypePtr kType = MakeScalar(TypeKind::kVoid, 0, 1);
-  return kType;
+  static Type kType = MakeScalar(TypeKind::kVoid, 0, 1);
+  return &kType;
 }
 TypePtr CharType() {
-  static const TypePtr kType = MakeScalar(TypeKind::kChar, 1, 1);
-  return kType;
+  static Type kType = MakeScalar(TypeKind::kChar, 1, 1);
+  return &kType;
 }
 TypePtr IntType() {
-  static const TypePtr kType = MakeScalar(TypeKind::kInt, 4, 4);
-  return kType;
+  static Type kType = MakeScalar(TypeKind::kInt, 4, 4);
+  return &kType;
 }
 TypePtr UIntType() {
-  static const TypePtr kType = MakeScalar(TypeKind::kUInt, 4, 4);
-  return kType;
+  static Type kType = MakeScalar(TypeKind::kUInt, 4, 4);
+  return &kType;
 }
 TypePtr FloatType() {
-  static const TypePtr kType = MakeScalar(TypeKind::kFloat, 4, 4);
-  return kType;
+  static Type kType = MakeScalar(TypeKind::kFloat, 4, 4);
+  return &kType;
 }
 TypePtr DoubleType() {
-  static const TypePtr kType = MakeScalar(TypeKind::kDouble, 8, 8);
-  return kType;
+  static Type kType = MakeScalar(TypeKind::kDouble, 8, 8);
+  return &kType;
 }
 
-TypePtr PointerTo(TypePtr base) {
-  auto type = std::make_shared<Type>();
+TypePtr PointerTo(TypeArena& arena, TypePtr base) {
+  Type* type = arena.New();
   type->kind = TypeKind::kPointer;
-  type->base = std::move(base);
+  type->base = base;
   type->size = 4;
   type->align = 4;
   return type;
 }
 
-TypePtr ArrayOf(TypePtr element, std::uint32_t length) {
-  auto type = std::make_shared<Type>();
+TypePtr ArrayOf(TypeArena& arena, TypePtr element, std::uint32_t length) {
+  Type* type = arena.New();
   type->kind = TypeKind::kArray;
   type->size = element->size * length;
   type->align = element->align;
-  type->base = std::move(element);
+  type->base = element;
   type->arrayLength = length;
   return type;
 }
 
-TypePtr FunctionType(TypePtr returnType, std::vector<TypePtr> params) {
-  auto type = std::make_shared<Type>();
+TypePtr FunctionType(TypeArena& arena, TypePtr returnType,
+                     std::vector<TypePtr> params) {
+  Type* type = arena.New();
   type->kind = TypeKind::kFunction;
-  type->base = std::move(returnType);
+  type->base = returnType;
   type->params = std::move(params);
   type->size = 4;  // as a value: a code address
   type->align = 4;

@@ -21,17 +21,22 @@ enum class TypeKind : std::uint8_t {
 };
 
 struct Type;
-using TypePtr = std::shared_ptr<Type>;
+/// Types are plain non-owning pointers into a TypeArena (or to the immortal
+/// built-in scalar singletons). The arena lives in the TranslationUnit that
+/// produced the types, so the type graph may be freely cyclic — a
+/// self-referential `struct Node { struct Node* next; }` is a cycle by
+/// construction, which is exactly what shared_ptr ownership leaked.
+using TypePtr = Type*;
 
 struct StructMember {
   std::string name;
-  TypePtr type;
+  TypePtr type = nullptr;
   std::uint32_t offset = 0;
 };
 
 struct Type {
   TypeKind kind = TypeKind::kInt;
-  TypePtr base;                      ///< pointee / element / return type
+  TypePtr base = nullptr;            ///< pointee / element / return type
   std::uint32_t arrayLength = 0;     ///< kArray
   std::string structName;            ///< kStruct (may be empty)
   std::vector<StructMember> members; ///< kStruct
@@ -57,15 +62,33 @@ struct Type {
   std::string ToText() const;
 };
 
+/// Owns every Type built while parsing one translation unit. Plain bump
+/// ownership: types are never freed individually, the arena releases them
+/// all at once, and reference cycles inside the graph are harmless.
+class TypeArena {
+ public:
+  Type* New() {
+    pool_.push_back(std::make_unique<Type>());
+    return pool_.back().get();
+  }
+  std::size_t size() const { return pool_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Type>> pool_;
+};
+
+// Built-in scalar types are process-lifetime singletons (no arena needed).
 TypePtr VoidType();
 TypePtr CharType();
 TypePtr IntType();
 TypePtr UIntType();
 TypePtr FloatType();
 TypePtr DoubleType();
-TypePtr PointerTo(TypePtr base);
-TypePtr ArrayOf(TypePtr element, std::uint32_t length);
-TypePtr FunctionType(TypePtr returnType, std::vector<TypePtr> params);
+// Composite types are allocated from the arena of the unit being parsed.
+TypePtr PointerTo(TypeArena& arena, TypePtr base);
+TypePtr ArrayOf(TypeArena& arena, TypePtr element, std::uint32_t length);
+TypePtr FunctionType(TypeArena& arena, TypePtr returnType,
+                     std::vector<TypePtr> params);
 
 /// Structural compatibility (used for assignment/call checks).
 bool SameType(const Type& a, const Type& b);
@@ -88,7 +111,7 @@ using NodePtr = std::unique_ptr<Node>;
 /// A local or global variable.
 struct Variable {
   std::string name;
-  TypePtr type;
+  TypePtr type = nullptr;
   bool isGlobal = false;
   bool isExtern = false;           ///< resolved against memory-settings arrays
   std::int32_t frameOffset = 0;    ///< locals: offset from the frame pointer
@@ -100,7 +123,7 @@ struct Variable {
 struct Node {
   NodeKind kind;
   SourcePos pos;
-  TypePtr type;  ///< expression result type (set during parsing)
+  TypePtr type = nullptr;  ///< expression result type (set during parsing)
 
   // generic children
   NodePtr lhs;
@@ -127,7 +150,7 @@ struct Node {
 /// A parsed function definition.
 struct Function {
   std::string name;
-  TypePtr type;  ///< kFunction
+  TypePtr type = nullptr;  ///< kFunction
   std::vector<Variable*> params;  ///< non-owning views into `locals`
   std::vector<std::unique_ptr<Variable>> locals;  ///< includes params
   NodePtr body;
@@ -135,8 +158,10 @@ struct Function {
   SourcePos pos;
 };
 
-/// A whole translation unit.
+/// A whole translation unit. Owns the type arena every TypePtr inside the
+/// AST points into, so the unit stays self-contained when moved around.
 struct TranslationUnit {
+  TypeArena types;
   std::vector<std::unique_ptr<Function>> functions;
   std::vector<std::unique_ptr<Variable>> globals;
 };

@@ -115,6 +115,21 @@ class Parser {
     return raw;
   }
 
+  // ---- types --------------------------------------------------------------
+
+  // Arena-bound shadows of the ast.h composite-type builders: every type
+  // built while parsing is owned by the unit's arena, so the (cyclic) type
+  // graph cannot leak.
+  TypePtr PointerTo(TypePtr base) {
+    return cc::PointerTo(unit_.types, base);
+  }
+  TypePtr ArrayOf(TypePtr element, std::uint32_t length) {
+    return cc::ArrayOf(unit_.types, element, length);
+  }
+  TypePtr FunctionType(TypePtr returnType, std::vector<TypePtr> params) {
+    return cc::FunctionType(unit_.types, returnType, std::move(params));
+  }
+
   // ---- declarations -------------------------------------------------------
 
   bool AtTypeStart() const {
@@ -151,7 +166,7 @@ class Parser {
     if (AtPunct("{")) {
       // Definition.
       ++pos_;
-      auto type = std::make_shared<Type>();
+      TypePtr type = unit_.types.New();
       type->kind = TypeKind::kStruct;
       type->structName = tag;
       structTags_[tag] = type;  // visible inside (self-referential pointers)

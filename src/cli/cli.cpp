@@ -12,6 +12,7 @@
 #include "memory/dump.h"
 #include "memory/memory_initializer.h"
 #include "server/state_renderer.h"
+#include "shard/router.h"
 #include "snapshot/session.h"
 
 namespace rvss::cli {
@@ -33,6 +34,12 @@ Inputs:
 
 Execution:
   --max-cycles N      cycle budget (default 100000000)
+  --workers N         route the run through an in-process shard router of
+                      N SimServer workers; with N > 1 the session is
+                      live-migrated to another worker mid-run (the
+                      statistics are identical either way — migration is
+                      invisible). Incompatible with --trace/--verbose/
+                      --dump/--dump-csv/--load-snapshot.
 
 Snapshots:
   --save-snapshot F   after the run, write a portable session snapshot
@@ -66,6 +73,7 @@ struct Options {
   std::string memoryPath;
   std::string entry;
   std::uint64_t maxCycles = 100'000'000;
+  std::int64_t workers = 0;  ///< 0 = run in-process without a router
   std::string format = "text";
   std::string dumpPath;
   std::string dumpCsvPath;
@@ -79,6 +87,11 @@ int RunSimulation(const Options& options,
                   std::unique_ptr<core::Simulation> owned,
                   const snapshot::SessionIdentity& identity,
                   std::ostream& out, std::ostream& err);
+
+int RunSharded(const Options& options, const std::string& source,
+               const config::CpuConfig& config,
+               const std::vector<memory::ArrayDefinition>& arrays,
+               std::ostream& out, std::ostream& err);
 
 }  // namespace
 
@@ -124,6 +137,16 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       auto v = value();
       if (!v) { err << "--max-cycles needs a number\n"; return 1; }
       options.maxCycles = static_cast<std::uint64_t>(ParseInt(*v).value_or(0));
+    } else if (arg == "--workers") {
+      auto v = value();
+      const std::int64_t workers = v ? ParseInt(*v).value_or(0) : 0;
+      // Workers are eagerly constructed; an absurd count would exhaust
+      // memory before the first session exists.
+      if (workers <= 0 || workers > 256) {
+        err << "--workers needs a count between 1 and 256\n";
+        return 1;
+      }
+      options.workers = workers;
     } else if (arg == "--format") {
       auto v = value();
       if (!v || (*v != "text" && *v != "json")) {
@@ -158,6 +181,11 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
 
   if (!options.loadSnapshotPath.empty()) {
+    if (options.workers > 0) {
+      err << "--load-snapshot resumes a single in-process simulation; it "
+             "cannot be combined with --workers\n";
+      return 1;
+    }
     if (!options.asmPath.empty() || !options.cPath.empty() ||
         !options.configPath.empty() || !options.memoryPath.empty() ||
         !options.entry.empty()) {
@@ -254,6 +282,17 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     }
   }
 
+  if (options.workers > 0) {
+    if (options.trace || options.verbose || !options.dumpPath.empty() ||
+        !options.dumpCsvPath.empty()) {
+      err << "--workers runs through the shard router's JSON API; it cannot "
+             "be combined with --trace/--verbose/--dump/--dump-csv\n";
+      return 1;
+    }
+    return RunSharded(options, source, config, createOptions.arrays, out,
+                      err);
+  }
+
   auto sim = core::Simulation::Create(config, source, createOptions);
   if (!sim.ok()) {
     err << "error: " << sim.error().ToText() << "\n";
@@ -341,6 +380,152 @@ int RunSimulation(const Options& options,
   }
 
   return simulation.status() == core::SimStatus::kFault ? 2 : 0;
+}
+
+/// The --workers path: the same batch run, but served by a shard router —
+/// and, with more than one worker, deliberately live-migrated mid-run. The
+/// statistics must be identical to the single-process run (determinism +
+/// byte-identical migration), so this doubles as an end-to-end smoke test
+/// of the drain loop from the command line.
+int RunSharded(const Options& options, const std::string& source,
+               const config::CpuConfig& config,
+               const std::vector<memory::ArrayDefinition>& arrays,
+               std::ostream& out, std::ostream& err) {
+  shard::ShardRouter::Options routerOptions;
+  routerOptions.workerCount = static_cast<std::size_t>(options.workers);
+  shard::ShardRouter router(routerOptions);
+
+  json::Json create = json::Json::MakeObject();
+  create.Set("command", "createSession");
+  create.Set("code", source);
+  create.Set("entry", options.entry);
+  create.Set("config", config::ToJson(config));
+  if (!arrays.empty()) {
+    json::Json arraysNode = json::Json::MakeArray();
+    for (const memory::ArrayDefinition& def : arrays) {
+      arraysNode.Append(memory::ToJson(def));
+    }
+    create.Set("arrays", std::move(arraysNode));
+  }
+  json::Json created = router.Handle(create);
+  if (created.GetString("status", "") != "ok") {
+    err << "error: " << created.GetString("message", "createSession failed")
+        << "\n";
+    return 2;
+  }
+  const std::int64_t sessionId = created.GetInt("sessionId", -1);
+  const std::int64_t firstWorker = created.GetInt("worker", -1);
+
+  auto runSlice = [&](std::uint64_t maxCycles) {
+    json::Json run = json::Json::MakeObject();
+    run.Set("command", "run");
+    run.Set("sessionId", sessionId);
+    run.Set("maxCycles", static_cast<std::int64_t>(maxCycles));
+    return router.Handle(run);
+  };
+
+  // One logical run phase may need several `run` requests: the server
+  // clamps each request to Limits::maxRunCyclesPerRequest, while the
+  // single-process path has no per-request bound — loop until the phase
+  // budget is consumed so both paths cover the same cycles.
+  std::uint64_t ranCycles = 0;
+  auto runUntil = [&](std::uint64_t targetTotal) -> json::Json {
+    json::Json report;
+    while (true) {
+      report = runSlice(targetTotal - ranCycles);
+      if (report.GetString("status", "") != "ok") return report;
+      const std::uint64_t sliceCycles =
+          static_cast<std::uint64_t>(report.GetInt("ranCycles", 0));
+      ranCycles += sliceCycles;
+      if (report.GetString("finishReason", "") != "none" ||
+          ranCycles >= targetTotal || sliceCycles == 0) {
+        return report;
+      }
+    }
+  };
+
+  // First phase: half the budget, then migrate, then the remainder.
+  std::int64_t migratedTo = -1;
+  json::Json report = runUntil(options.workers > 1 ? options.maxCycles / 2
+                                                   : options.maxCycles);
+  if (report.GetString("status", "") != "ok") {
+    err << "error: " << report.GetString("message", "run failed") << "\n";
+    return 2;
+  }
+  if (options.workers > 1 &&
+      report.GetString("finishReason", "") == "none") {
+    json::Json drain = json::Json::MakeObject();
+    drain.Set("command", "drainWorker");
+    drain.Set("worker", firstWorker);
+    json::Json drained = router.Handle(drain);
+    if (drained.GetString("status", "") != "ok") {
+      err << "error: mid-run migration failed: "
+          << drained.GetString("message", "") << "\n";
+      return 2;
+    }
+    json::Json sessions = json::Json::MakeObject();
+    sessions.Set("command", "listSessions");
+    json::Json listed = router.Handle(sessions);
+    for (const json::Json& session : listed.Find("sessions")->AsArray()) {
+      if (session.GetInt("sessionId", -1) == sessionId) {
+        migratedTo = session.GetInt("worker", -1);
+      }
+    }
+    report = runUntil(options.maxCycles);
+    if (report.GetString("status", "") != "ok") {
+      err << "error: " << report.GetString("message", "run failed") << "\n";
+      return 2;
+    }
+  }
+
+  const std::string finishReason = report.GetString("finishReason", "");
+  const json::Json* statistics = report.Find("statistics");
+  if (options.format == "json") {
+    json::Json output = json::Json::MakeObject();
+    output.Set("finishReason", finishReason);
+    if (const json::Json* fault = report.Find("fault"); fault != nullptr) {
+      output.Set("fault", *fault);
+    }
+    if (statistics != nullptr) output.Set("statistics", *statistics);
+    json::Json shardInfo = json::Json::MakeObject();
+    shardInfo.Set("workers", options.workers);
+    shardInfo.Set("firstWorker", firstWorker);
+    shardInfo.Set("migratedTo", migratedTo);
+    output.Set("shard", std::move(shardInfo));
+    out << output.DumpPretty() << "\n";
+  } else {
+    out << "workers: " << options.workers << "\n";
+    if (migratedTo >= 0) {
+      out << "migrated: worker " << firstWorker << " -> worker "
+          << migratedTo << " mid-run\n";
+    }
+    out << "finish reason: " << finishReason << "\n";
+    if (const json::Json* fault = report.Find("fault"); fault != nullptr) {
+      out << "fault: " << (fault->IsString() ? fault->AsString() : fault->Dump())
+          << "\n";
+    }
+    if (statistics != nullptr) out << statistics->DumpPretty() << "\n";
+  }
+
+  if (!options.saveSnapshotPath.empty()) {
+    json::Json exportRequest = json::Json::MakeObject();
+    exportRequest.Set("command", "exportSession");
+    exportRequest.Set("sessionId", sessionId);
+    json::Json exported = router.Handle(exportRequest);
+    auto blob = Base64Decode(exported.GetString("blob", ""));
+    if (exported.GetString("status", "") != "ok" || !blob.has_value()) {
+      err << "error: exportSession failed\n";
+      return 2;
+    }
+    std::ofstream file(options.saveSnapshotPath, std::ios::binary);
+    if (!file) {
+      err << "cannot write '" << options.saveSnapshotPath << "'\n";
+      return 1;
+    }
+    file.write(blob->data(), static_cast<std::streamsize>(blob->size()));
+  }
+
+  return finishReason == "exception" ? 2 : 0;
 }
 
 }  // namespace

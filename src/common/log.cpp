@@ -15,10 +15,29 @@ const char* ToString(LogLevel level) {
 void SimLog::Add(std::uint64_t cycle, LogLevel level, std::string block,
                  std::string text) {
   if (static_cast<int>(level) < static_cast<int>(minLevel_)) return;
-  if (entries_.size() >= capacity_ && capacity_ > 0) {
-    entries_.erase(entries_.begin());
-  }
   entries_.push_back(LogEntry{cycle, level, std::move(block), std::move(text)});
+  bytes_ += EntryBytes(entries_.back());
+  EvictToBounds();
+}
+
+void SimLog::SetByteBudget(std::size_t maxBytes) {
+  maxBytes_ = maxBytes;
+  EvictToBounds();
+}
+
+void SimLog::EvictToBounds() {
+  while (entries_.size() > 1 &&
+         ((capacity_ > 0 && entries_.size() > capacity_) ||
+          (maxBytes_ > 0 && bytes_ > maxBytes_))) {
+    bytes_ -= EntryBytes(entries_.front());
+    entries_.pop_front();
+  }
+}
+
+void SimLog::RestoreState(const State& state) {
+  entries_ = state.entries;
+  bytes_ = 0;
+  for (const LogEntry& entry : entries_) bytes_ += EntryBytes(entry);
 }
 
 std::string SimLog::ToText() const {

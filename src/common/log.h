@@ -4,9 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
-#include <vector>
 
 namespace rvss {
 
@@ -23,11 +23,23 @@ struct LogEntry {
 };
 
 /// Bounded in-memory log. Deterministic: no timestamps, only cycles.
+///
+/// The bound is two-dimensional: an entry-count capacity and a byte budget.
+/// The byte budget is what keeps snapshot blobs small — on chatty runs the
+/// log otherwise dominates the non-memory bytes of an encoded snapshot
+/// (free-form text entries grow without limit while every other subsystem
+/// is fixed-size). Oldest entries are evicted first; the newest entry is
+/// always kept even if it alone exceeds the budget.
 class SimLog {
  public:
-  explicit SimLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+  static constexpr std::size_t kDefaultMaxBytes = 256 * 1024;
 
-  /// Appends a message; evicts the oldest entry beyond capacity.
+  explicit SimLog(std::size_t capacity = 4096,
+                  std::size_t maxBytes = kDefaultMaxBytes)
+      : capacity_(capacity), maxBytes_(maxBytes) {}
+
+  /// Appends a message; evicts the oldest entries beyond the entry
+  /// capacity or the byte budget.
   void Add(std::uint64_t cycle, LogLevel level, std::string block,
            std::string text);
 
@@ -35,25 +47,47 @@ class SimLog {
   void SetMinLevel(LogLevel level) { minLevel_ = level; }
   LogLevel minLevel() const { return minLevel_; }
 
-  const std::vector<LogEntry>& entries() const { return entries_; }
-  void Clear() { entries_.clear(); }
+  /// Byte budget for the stored entries (0 = unlimited). A setting, not
+  /// simulation state: snapshots do not carry it.
+  void SetByteBudget(std::size_t maxBytes);
+  std::size_t byteBudget() const { return maxBytes_; }
 
-  /// Copyable snapshot of the stored entries. The capacity and minimum
-  /// level are settings, not simulation state, and are left untouched by
-  /// RestoreState.
+  /// Approximate heap footprint of the stored entries — the quantity the
+  /// byte budget bounds and checkpoint accounting charges.
+  std::size_t approxBytes() const { return bytes_; }
+
+  /// Cost one entry contributes to approxBytes().
+  static std::size_t EntryBytes(const LogEntry& entry) {
+    return sizeof(LogEntry) + entry.block.size() + entry.text.size();
+  }
+
+  const std::deque<LogEntry>& entries() const { return entries_; }
+  void Clear() {
+    entries_.clear();
+    bytes_ = 0;
+  }
+
+  /// Copyable snapshot of the stored entries. The capacity, byte budget
+  /// and minimum level are settings, not simulation state, and are left
+  /// untouched by RestoreState.
   struct State {
-    std::vector<LogEntry> entries;
+    std::deque<LogEntry> entries;
   };
   State SaveState() const { return State{entries_}; }
-  void RestoreState(const State& state) { entries_ = state.entries; }
+  void RestoreState(const State& state);
 
   /// Renders "cycle [level] block: text" lines.
   std::string ToText() const;
 
  private:
+  /// Drops oldest entries until both bounds hold (keeping >= 1 entry).
+  void EvictToBounds();
+
   std::size_t capacity_;
+  std::size_t maxBytes_;
+  std::size_t bytes_ = 0;
   LogLevel minLevel_ = LogLevel::kInfo;
-  std::vector<LogEntry> entries_;
+  std::deque<LogEntry> entries_;
 };
 
 }  // namespace rvss

@@ -40,7 +40,7 @@ json::Json CheckpointInfo(const core::Simulation& sim) {
 
 }  // namespace
 
-json::Json SimServer::ErrorResponse(const Error& error) const {
+json::Json MakeErrorResponse(const Error& error) {
   json::Json response = json::Json::MakeObject();
   response.Set("status", "error");
   response.Set("kind", ToString(error.kind));
@@ -50,6 +50,10 @@ json::Json SimServer::ErrorResponse(const Error& error) const {
     response.Set("column", static_cast<std::int64_t>(error.pos.column));
   }
   return response;
+}
+
+json::Json SimServer::ErrorResponse(const Error& error) const {
+  return MakeErrorResponse(error);
 }
 
 Result<SimServer::Session*> SimServer::FindSession(const json::Json& request) {
@@ -159,6 +163,15 @@ json::Json SimServer::Dispatch(const json::Json& request) {
       return ErrorResponse(Error{ErrorKind::kInvalidArgument,
                                  "'blob' is not valid base64"});
     }
+    if (limits_.maxSessionBlobBytes > 0 &&
+        blob->size() >
+            static_cast<std::size_t>(limits_.maxSessionBlobBytes)) {
+      return ErrorResponse(Error{
+          ErrorKind::kInvalidArgument,
+          "session blob of " + std::to_string(blob->size()) +
+              " bytes exceeds this server's budget of " +
+              std::to_string(limits_.maxSessionBlobBytes) + " bytes"});
+    }
     auto imported = snapshot::ImportSessionBlob(
         *blob, limits_.maxCheckpointBytesPerSession > 0
                    ? static_cast<std::uint64_t>(
@@ -173,6 +186,26 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     response.Set("sessionId", id);
     response.Set("cycle", static_cast<std::int64_t>(session.sim->cycle()));
     sessions_[id] = std::move(session);
+    return response;
+  }
+
+  if (command == "listSessions") {
+    json::Json response = Ok();
+    json::Json list = json::Json::MakeArray();
+    std::int64_t totalBytes = 0;
+    for (const auto& [id, session] : sessions_) {
+      const std::size_t bytes = snapshot::EstimateSessionBlobBytes(
+          *session.sim, session.identity);
+      totalBytes += static_cast<std::int64_t>(bytes);
+      json::Json entry = json::Json::MakeObject();
+      entry.Set("sessionId", id);
+      entry.Set("cycle", static_cast<std::int64_t>(session.sim->cycle()));
+      entry.Set("status", core::ToString(session.sim->status()));
+      entry.Set("approxBytes", static_cast<std::int64_t>(bytes));
+      list.Append(std::move(entry));
+    }
+    response.Set("sessions", std::move(list));
+    response.Set("totalApproxBytes", totalBytes);
     return response;
   }
 
@@ -293,12 +326,20 @@ json::Json SimServer::Dispatch(const json::Json& request) {
       Error{ErrorKind::kInvalidArgument, "unknown command '" + command + "'"});
 }
 
+std::vector<std::int64_t> SimServer::sessionIds() const {
+  std::vector<std::int64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
 json::Json SimServer::Handle(const json::Json& request) {
   return Dispatch(request);
 }
 
-std::string SimServer::HandleRaw(std::string_view requestBytes, bool compress,
-                                 RequestTiming* timing) {
+std::string HandleRawVia(
+    const std::function<json::Json(const json::Json&)>& handler,
+    std::string_view requestBytes, bool compress, RequestTiming* timing) {
   RequestTiming local;
   std::uint64_t t0 = NowNs();
   auto request = json::Parse(requestBytes);
@@ -307,9 +348,9 @@ std::string SimServer::HandleRaw(std::string_view requestBytes, bool compress,
 
   json::Json response;
   if (!request.ok()) {
-    response = ErrorResponse(request.error());
+    response = MakeErrorResponse(request.error());
   } else {
-    response = Dispatch(request.value());
+    response = handler(request.value());
   }
   std::uint64_t t2 = NowNs();
   local.handleNs = t2 - t1;
@@ -328,6 +369,13 @@ std::string SimServer::HandleRaw(std::string_view requestBytes, bool compress,
 
   if (timing != nullptr) *timing = local;
   return serialized;
+}
+
+std::string SimServer::HandleRaw(std::string_view requestBytes, bool compress,
+                                 RequestTiming* timing) {
+  return HandleRawVia(
+      [this](const json::Json& request) { return Dispatch(request); },
+      requestBytes, compress, timing);
 }
 
 }  // namespace rvss::server

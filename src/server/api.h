@@ -21,6 +21,7 @@
 //   exportSession     {sessionId}                      -> {blob, cycle}
 //   importSession     {blob}                           -> {sessionId, cycle}
 //   deleteSession     {sessionId}                      -> {ok}
+//   listSessions      {}                               -> {sessions[], totalApproxBytes}
 //
 // exportSession serializes the session (configuration, source, arrays and
 // the complete simulation state) into a base64 blob via the snapshot
@@ -40,10 +41,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/simulation.h"
 #include "json/json.h"
@@ -71,6 +74,17 @@ struct RequestTiming {
   }
 };
 
+/// The standard "status: error" JSON response for an Error.
+json::Json MakeErrorResponse(const Error& error);
+
+/// Byte-level request pipeline shared by SimServer and the shard router:
+/// parses `requestBytes`, dispatches through `handler`, serializes and
+/// optionally compresses the response, filling `timing` when provided.
+std::string HandleRawVia(
+    const std::function<json::Json(const json::Json&)>& handler,
+    std::string_view requestBytes, bool compress = false,
+    RequestTiming* timing = nullptr);
+
 class SimServer {
  public:
   /// Per-request work bounds (a public server must not let one request
@@ -82,6 +96,11 @@ class SimServer {
     /// client-supplied, so a shared server clamps them here instead of
     /// trusting them; 0 leaves session budgets untouched.
     std::int64_t maxCheckpointBytesPerSession = 0;
+    /// Hard ceiling on an importSession blob (decoded bytes). Unlike the
+    /// checkpoint clamp this *rejects* rather than shrinks: a migration
+    /// destination refuses sessions it has no budget for, and the router
+    /// must keep them where they are. 0 = unlimited.
+    std::int64_t maxSessionBlobBytes = 0;
   };
 
   SimServer() = default;
@@ -98,6 +117,10 @@ class SimServer {
                         RequestTiming* timing = nullptr);
 
   std::size_t sessionCount() const { return sessions_.size(); }
+
+  /// Ids of all live sessions, ascending. A direct accessor for embedders
+  /// and tests; the JSON surface for the same data is `listSessions`.
+  std::vector<std::int64_t> sessionIds() const;
 
  private:
   struct Session {

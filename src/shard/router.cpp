@@ -1,0 +1,462 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace rvss::shard {
+namespace {
+
+json::Json Ok() {
+  json::Json response = json::Json::MakeObject();
+  response.Set("status", "ok");
+  return response;
+}
+
+bool IsOk(const json::Json& response) {
+  return response.GetString("status", "") == "ok";
+}
+
+json::Json RouterError(ErrorKind kind, std::string message) {
+  return server::MakeErrorResponse(Error{kind, std::move(message)});
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(const Options& options)
+    : options_(options),
+      ring_(std::max<std::size_t>(options.workerCount, 1),
+            std::max<std::size_t>(options.virtualNodesPerWorker, 1)) {
+  const std::size_t count = std::max<std::size_t>(options.workerCount, 1);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const server::SimServer::Limits& limits =
+        options_.perWorkerLimits.size() == count ? options_.perWorkerLimits[i]
+                                                 : options_.workerLimits;
+    workers_.push_back(std::make_unique<server::SimServer>(limits));
+  }
+  drained_.assign(count, false);
+}
+
+json::Json ShardRouter::Handle(const json::Json& request) {
+  return Dispatch(request);
+}
+
+std::string ShardRouter::HandleRaw(std::string_view requestBytes,
+                                   bool compress,
+                                   server::RequestTiming* timing) {
+  return server::HandleRawVia(
+      [this](const json::Json& request) { return Dispatch(request); },
+      requestBytes, compress, timing);
+}
+
+json::Json ShardRouter::Dispatch(const json::Json& request) {
+  const std::string command = request.GetString("command", "");
+  if (command == "createSession" || command == "importSession") {
+    return AdmitSession(request);
+  }
+  if (command == "listSessions") return ListSessions();
+  if (command == "workerStats") return WorkerStats();
+  if (command == "drainWorker") return DrainWorker(request);
+  if (command == "openWorker") return OpenWorker(request);
+  if (command == "rebalance") return Rebalance();
+  if (request.Find("sessionId") != nullptr) {
+    return RouteSessionCommand(request);
+  }
+  // Stateless commands (compile, parseAsm, checkConfig) and unknown
+  // commands need no placement; any worker gives the right answer.
+  return workers_[0]->Handle(request);
+}
+
+std::vector<bool> ShardRouter::Eligible() const {
+  std::vector<bool> eligible(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    eligible[i] = !drained_[i];
+  }
+  return eligible;
+}
+
+Result<std::size_t> ShardRouter::PlaceNew(std::int64_t globalId) {
+  auto worker = ring_.Pick(static_cast<std::uint64_t>(globalId), Eligible());
+  if (!worker.has_value()) {
+    return Error{ErrorKind::kInvalidArgument,
+                 "all workers are drained; no worker accepts new sessions"};
+  }
+  return *worker;
+}
+
+json::Json ShardRouter::AdmitSession(const json::Json& request) {
+  // createSession and importSession admit identically: allocate a global
+  // id, place it on the ring, forward, and record where it landed.
+  const std::int64_t globalId = nextGlobalId_++;
+  auto worker = PlaceNew(globalId);
+  if (!worker.ok()) return server::MakeErrorResponse(worker.error());
+  json::Json response = workers_[worker.value()]->Handle(request);
+  if (!IsOk(response)) return response;
+  const std::int64_t localId = response.GetInt("sessionId", -1);
+  placements_[globalId] = Placement{worker.value(), localId};
+  response.Set("sessionId", globalId);
+  response.Set("worker", static_cast<std::int64_t>(worker.value()));
+  return response;
+}
+
+json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
+  const std::int64_t globalId = request.GetInt("sessionId", -1);
+  auto it = placements_.find(globalId);
+  if (it == placements_.end()) {
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "unknown sessionId " + std::to_string(globalId));
+  }
+  json::Json forwarded = request;
+  forwarded.Set("sessionId", it->second.localId);
+  json::Json response = workers_[it->second.worker]->Handle(forwarded);
+  if (request.GetString("command", "") == "deleteSession" && IsOk(response)) {
+    placements_.erase(it);
+  }
+  return response;
+}
+
+/// localId -> session node, for O(log n) joins against the placement map.
+std::map<std::int64_t, const json::Json*> ShardRouter::IndexSessions(
+    const json::Json& listResponse) {
+  std::map<std::int64_t, const json::Json*> index;
+  const json::Json* sessions = listResponse.Find("sessions");
+  if (sessions == nullptr || !sessions->IsArray()) return index;
+  for (const json::Json& session : sessions->AsArray()) {
+    index[session.GetInt("sessionId", -1)] = &session;
+  }
+  return index;
+}
+
+json::Json ShardRouter::ListSessions() {
+  // Join each worker's listSessions with the global id map, reporting in
+  // global-id order so the output is stable across placements.
+  json::Json response = Ok();
+  json::Json list = json::Json::MakeArray();
+  std::int64_t totalBytes = 0;
+  std::vector<json::Json> perWorker;
+  std::vector<std::map<std::int64_t, const json::Json*>> perWorkerIndex;
+  perWorker.reserve(workers_.size());
+  json::Json listRequest = json::Json::MakeObject();
+  listRequest.Set("command", "listSessions");
+  for (auto& worker : workers_) {
+    perWorker.push_back(worker->Handle(listRequest));
+  }
+  perWorkerIndex.reserve(perWorker.size());
+  for (const json::Json& listed : perWorker) {
+    perWorkerIndex.push_back(IndexSessions(listed));
+  }
+  for (const auto& [globalId, placement] : placements_) {
+    const auto& index = perWorkerIndex[placement.worker];
+    auto found = index.find(placement.localId);
+    if (found == index.end()) continue;
+    json::Json entry = *found->second;
+    entry.Set("sessionId", globalId);
+    entry.Set("worker", static_cast<std::int64_t>(placement.worker));
+    totalBytes += entry.GetInt("approxBytes", 0);
+    list.Append(std::move(entry));
+  }
+  response.Set("sessions", std::move(list));
+  response.Set("totalApproxBytes", totalBytes);
+  return response;
+}
+
+ShardRouter::WorkerLoad ShardRouter::LoadOf(std::size_t worker) {
+  json::Json listRequest = json::Json::MakeObject();
+  listRequest.Set("command", "listSessions");
+  json::Json response = workers_[worker]->Handle(listRequest);
+  WorkerLoad load;
+  load.sessions = workers_[worker]->sessionCount();
+  load.approxBytes =
+      static_cast<std::uint64_t>(response.GetInt("totalApproxBytes", 0));
+  return load;
+}
+
+std::vector<std::uint64_t> ShardRouter::ByteLoads() {
+  std::vector<std::uint64_t> loads(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    loads[i] = LoadOf(i).approxBytes;
+  }
+  return loads;
+}
+
+json::Json ShardRouter::WorkerStats() {
+  json::Json response = Ok();
+  json::Json list = json::Json::MakeArray();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerLoad load = LoadOf(i);
+    json::Json entry = json::Json::MakeObject();
+    entry.Set("worker", static_cast<std::int64_t>(i));
+    entry.Set("sessions", static_cast<std::int64_t>(load.sessions));
+    entry.Set("approxBytes", static_cast<std::int64_t>(load.approxBytes));
+    entry.Set("drained", static_cast<bool>(drained_[i]));
+    list.Append(std::move(entry));
+  }
+  response.Set("workers", std::move(list));
+  return response;
+}
+
+Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
+                                std::uint64_t* movedBytes) {
+  auto it = placements_.find(globalId);
+  if (it == placements_.end()) {
+    return Status::Fail(ErrorKind::kInvalidArgument,
+                        "unknown sessionId " + std::to_string(globalId));
+  }
+  const Placement source = it->second;
+
+  json::Json exportRequest = json::Json::MakeObject();
+  exportRequest.Set("command", "exportSession");
+  exportRequest.Set("sessionId", source.localId);
+  json::Json exported = workers_[source.worker]->Handle(exportRequest);
+  if (!IsOk(exported)) {
+    // The session vanished from its worker (deleted behind the router's
+    // back, or export failed). Nothing moved; surface the worker's error.
+    return Status::Fail(
+        ErrorKind::kInternal,
+        "export of session " + std::to_string(globalId) + " from worker " +
+            std::to_string(source.worker) + " failed: " +
+            exported.GetString("message", "unknown error"));
+  }
+
+  // Session blobs can be tens of MiB of base64; read by reference and
+  // copy exactly once (into the import request).
+  static const std::string kNoBlob;
+  const json::Json* blob = exported.Find("blob");
+  const std::string& blobBytes =
+      blob != nullptr && blob->IsString() ? blob->AsString() : kNoBlob;
+  json::Json importRequest = json::Json::MakeObject();
+  importRequest.Set("command", "importSession");
+  importRequest.Set("blob", blobBytes);
+  json::Json imported = workers_[destination]->Handle(importRequest);
+  if (!IsOk(imported)) {
+    // Destination refused (blob budget, decode failure). The source copy
+    // was never deleted, so the session is still live where it was.
+    return Status::Fail(
+        ErrorKind::kInternal,
+        "worker " + std::to_string(destination) + " rejected session " +
+            std::to_string(globalId) + ": " +
+            imported.GetString("message", "unknown error"));
+  }
+
+  // Only now is it safe to drop the source copy.
+  json::Json deleteRequest = json::Json::MakeObject();
+  deleteRequest.Set("command", "deleteSession");
+  deleteRequest.Set("sessionId", source.localId);
+  json::Json deleted = workers_[source.worker]->Handle(deleteRequest);
+  if (!IsOk(deleted)) {
+    // Failing to delete would leave two live copies; roll the import back
+    // so the mapping stays unambiguous.
+    json::Json rollback = json::Json::MakeObject();
+    rollback.Set("command", "deleteSession");
+    rollback.Set("sessionId", imported.GetInt("sessionId", -1));
+    workers_[destination]->Handle(rollback);
+    return Status::Fail(
+        ErrorKind::kInternal,
+        "could not delete session " + std::to_string(globalId) +
+            " from worker " + std::to_string(source.worker) +
+            " after migration: " + deleted.GetString("message", ""));
+  }
+
+  it->second = Placement{destination, imported.GetInt("sessionId", -1)};
+  if (movedBytes != nullptr) *movedBytes += blobBytes.size();
+  return Status::Ok();
+}
+
+json::Json ShardRouter::DrainWorker(const json::Json& request) {
+  const std::int64_t worker = request.GetInt("worker", -1);
+  if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size())) {
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "unknown worker " + std::to_string(worker));
+  }
+  const std::size_t index = static_cast<std::size_t>(worker);
+  // Close the worker to new placements before touching its sessions, so
+  // the drain cannot race its own imports back onto the source. Draining
+  // an already-drained (empty) worker is a no-op success.
+  drained_[index] = true;
+
+  std::vector<std::int64_t> toMove;
+  for (const auto& [globalId, placement] : placements_) {
+    if (placement.worker == index) toMove.push_back(globalId);
+  }
+
+  // Per-session byte estimates for the drained worker, and one fleet-wide
+  // load snapshot, both taken once: the loop below keeps the destination
+  // loads current incrementally instead of re-walking every worker's
+  // session table per move.
+  std::map<std::int64_t, std::uint64_t> sessionBytes;
+  {
+    json::Json listRequest = json::Json::MakeObject();
+    listRequest.Set("command", "listSessions");
+    const json::Json listed = workers_[index]->Handle(listRequest);
+    const auto localIndex = IndexSessions(listed);
+    for (const std::int64_t globalId : toMove) {
+      auto found = localIndex.find(placements_[globalId].localId);
+      if (found != localIndex.end()) {
+        sessionBytes[globalId] = static_cast<std::uint64_t>(
+            found->second->GetInt("approxBytes", 0));
+      }
+    }
+  }
+  std::vector<std::uint64_t> loads = ByteLoads();
+  std::vector<bool> eligible = Eligible();
+  eligible[index] = false;
+
+  std::int64_t moved = 0;
+  std::uint64_t movedBytes = 0;
+  json::Json failed = json::Json::MakeArray();
+  for (const std::int64_t globalId : toMove) {
+    auto destination = LeastLoaded(loads, eligible);
+    Status status =
+        destination.has_value()
+            ? MoveSession(globalId, *destination, &movedBytes)
+            : Status::Fail(ErrorKind::kInvalidArgument,
+                           "no eligible destination worker for session " +
+                               std::to_string(globalId));
+    if (status.ok()) {
+      ++moved;
+      loads[*destination] += sessionBytes[globalId];
+    } else {
+      json::Json failure = json::Json::MakeObject();
+      failure.Set("sessionId", globalId);
+      failure.Set("message", status.error().message);
+      failed.Append(std::move(failure));
+    }
+  }
+
+  json::Json response;
+  if (failed.AsArray().empty()) {
+    response = Ok();
+  } else {
+    response = RouterError(
+        ErrorKind::kInternal,
+        "drain of worker " + std::to_string(worker) + " left " +
+            std::to_string(failed.AsArray().size()) +
+            " session(s) on the worker (each is still live and retryable)");
+  }
+  response.Set("moved", moved);
+  response.Set("movedBytes", static_cast<std::int64_t>(movedBytes));
+  response.Set("failed", std::move(failed));
+  return response;
+}
+
+json::Json ShardRouter::OpenWorker(const json::Json& request) {
+  const std::int64_t worker = request.GetInt("worker", -1);
+  if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size())) {
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "unknown worker " + std::to_string(worker));
+  }
+  drained_[static_cast<std::size_t>(worker)] = false;
+  return Ok();
+}
+
+json::Json ShardRouter::Rebalance() {
+  const std::vector<bool> eligible = Eligible();
+  const std::size_t eligibleCount =
+      static_cast<std::size_t>(
+          std::count(eligible.begin(), eligible.end(), true));
+  if (eligibleCount == 0) {
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "all workers are drained; nothing to rebalance");
+  }
+
+  auto skewOf = [&](const std::vector<std::uint64_t>& loads) {
+    std::uint64_t total = 0;
+    std::uint64_t maxLoad = 0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      if (!eligible[i]) continue;
+      total += loads[i];
+      maxLoad = std::max(maxLoad, loads[i]);
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(eligibleCount);
+    return mean > 0 ? static_cast<double>(maxLoad) / mean : 1.0;
+  };
+
+  const double skewBefore = skewOf(ByteLoads());
+  std::int64_t moved = 0;
+  std::uint64_t movedBytes = 0;
+  json::Json failed = json::Json::MakeArray();
+
+  // Move the smallest session off the most loaded worker onto the least
+  // loaded one until the skew is within threshold. Bounded by the session
+  // count so a pathological load shape cannot loop forever. Loads are
+  // snapshotted once and maintained incrementally — a fleet-wide
+  // re-estimate per move would walk every worker's session table each
+  // iteration.
+  std::vector<std::uint64_t> loads = ByteLoads();
+  const std::size_t maxMoves = placements_.size();
+  for (std::size_t iteration = 0; iteration < maxMoves; ++iteration) {
+    if (skewOf(loads) <= options_.rebalanceSkewThreshold) break;
+    std::size_t most = 0;
+    std::uint64_t mostLoad = 0;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      if (eligible[i] && loads[i] > mostLoad) {
+        most = i;
+        mostLoad = loads[i];
+      }
+    }
+    std::vector<bool> destinationEligible = eligible;
+    destinationEligible[most] = false;
+    auto least = LeastLoaded(loads, destinationEligible);
+    if (!least.has_value()) break;  // single eligible worker: nothing to do
+
+    // Smallest session on the most loaded worker (ties -> lowest global
+    // id): smallest first avoids overshooting the mean.
+    json::Json listRequest = json::Json::MakeObject();
+    listRequest.Set("command", "listSessions");
+    const json::Json sessions = workers_[most]->Handle(listRequest);
+    const auto localIndex = IndexSessions(sessions);
+    std::int64_t candidate = -1;
+    std::int64_t candidateBytes = std::numeric_limits<std::int64_t>::max();
+    for (const auto& [globalId, placement] : placements_) {
+      if (placement.worker != most) continue;
+      auto found = localIndex.find(placement.localId);
+      if (found == localIndex.end()) continue;
+      const std::int64_t bytes = found->second->GetInt("approxBytes", 0);
+      if (bytes < candidateBytes) {
+        candidate = globalId;
+        candidateBytes = bytes;
+      }
+    }
+    if (candidate < 0) break;
+
+    // Converge, don't churn: the move must strictly lower the peak. When
+    // the skew is carried by one session bigger than the gap between the
+    // heaviest and lightest worker, relocating it only moves the peak —
+    // stop and report the honest skewAfter instead of shuffling blobs.
+    if (loads[*least] + static_cast<std::uint64_t>(candidateBytes) >=
+        mostLoad) {
+      break;
+    }
+
+    Status status = MoveSession(candidate, *least, &movedBytes);
+    if (!status.ok()) {
+      json::Json failure = json::Json::MakeObject();
+      failure.Set("sessionId", candidate);
+      failure.Set("message", status.error().message);
+      failed.Append(std::move(failure));
+      break;  // a stuck session would repeat forever; report and stop
+    }
+    ++moved;
+    const std::uint64_t bytes = static_cast<std::uint64_t>(candidateBytes);
+    loads[most] -= std::min(loads[most], bytes);
+    loads[*least] += bytes;
+  }
+
+  json::Json response;
+  if (failed.AsArray().empty()) {
+    response = Ok();
+  } else {
+    response = RouterError(ErrorKind::kInternal,
+                           "rebalance stopped on a failed migration");
+  }
+  response.Set("moved", moved);
+  response.Set("movedBytes", static_cast<std::int64_t>(movedBytes));
+  response.Set("skewBefore", skewBefore);
+  response.Set("skewAfter", skewOf(ByteLoads()));
+  response.Set("failed", std::move(failed));
+  return response;
+}
+
+}  // namespace rvss::shard

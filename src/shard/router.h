@@ -1,0 +1,126 @@
+// The shard router: one process, many SimServer workers, one session
+// namespace — the policy/transport loop over PR 2's migration primitive.
+//
+// The router speaks the exact same JSON command API as a single SimServer
+// (clients cannot tell the difference): it assigns globally unique session
+// ids, places each new session on a worker via a consistent-hash ring,
+// rewrites sessionId fields on the way in and out, and forwards everything
+// else verbatim. On top of the route-through it adds fleet operations:
+//
+//   workerStats  {}          -> {workers: [{worker, sessions, approxBytes,
+//                                           drained}]}
+//   drainWorker  {worker}    -> {moved, movedBytes, failed[]}
+//   openWorker   {worker}    -> {ok}        (re-admit a drained worker)
+//   rebalance    {}          -> {moved, movedBytes, skewBefore, skewAfter}
+//
+// drainWorker exports every session on the worker and imports each onto
+// the least-loaded non-drained peer, then deletes the source copy — the
+// delete happens only after the destination import succeeded, so a failure
+// at any point leaves the session live on its source worker; a migration
+// can be retried but never loses state. A drained worker receives no new
+// placements until openWorker re-admits it; draining an already-drained
+// empty worker is a no-op success (idempotent). rebalance runs the same
+// move loop whenever the byte-load skew (max worker load over the mean)
+// exceeds Options::rebalanceSkewThreshold.
+//
+// Safety against sessions mid-`run`: the router is synchronous — a request
+// is dispatched to exactly one worker and runs to completion before the
+// next request is looked at, so an export always observes a session
+// between requests, never inside one. Because session blobs are
+// byte-identical across export/import (snapshot_test, shard_test), a
+// migrated client simply continues; the move is invisible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.h"
+#include "server/api.h"
+#include "shard/placement.h"
+
+namespace rvss::shard {
+
+class ShardRouter {
+ public:
+  struct Options {
+    std::size_t workerCount = 4;
+    /// Limits applied to every worker.
+    server::SimServer::Limits workerLimits;
+    /// Per-worker override for heterogeneous fleets (and the failure-path
+    /// tests); when non-empty its size must equal workerCount.
+    std::vector<server::SimServer::Limits> perWorkerLimits;
+    /// rebalance moves sessions while max-load / mean-load > threshold.
+    double rebalanceSkewThreshold = 1.5;
+    std::size_t virtualNodesPerWorker = 64;
+  };
+
+  explicit ShardRouter(const Options& options);
+
+  /// Structured entry point, same contract as SimServer::Handle.
+  json::Json Handle(const json::Json& request);
+
+  /// Byte-level entry point, same contract as SimServer::HandleRaw.
+  std::string HandleRaw(std::string_view requestBytes, bool compress = false,
+                        server::RequestTiming* timing = nullptr);
+
+  std::size_t workerCount() const { return workers_.size(); }
+  std::size_t sessionCount() const { return placements_.size(); }
+
+  /// Direct worker access for tests and embedders. The router does not
+  /// defend against sessions created or deleted behind its back — drain
+  /// treats a vanished session as a failed export and reports it.
+  server::SimServer& worker(std::size_t index) { return *workers_[index]; }
+
+ private:
+  /// Where one global session lives.
+  struct Placement {
+    std::size_t worker = 0;
+    std::int64_t localId = 0;
+  };
+
+  /// Per-worker load snapshot used by placement and stats.
+  struct WorkerLoad {
+    std::uint64_t sessions = 0;
+    std::uint64_t approxBytes = 0;
+  };
+
+  json::Json Dispatch(const json::Json& request);
+  json::Json RouteSessionCommand(const json::Json& request);
+  /// createSession / importSession: place on the ring and forward.
+  json::Json AdmitSession(const json::Json& request);
+  json::Json ListSessions();
+  json::Json WorkerStats();
+  json::Json DrainWorker(const json::Json& request);
+  json::Json OpenWorker(const json::Json& request);
+  json::Json Rebalance();
+
+  /// Moves one session to `destination` (export -> import -> delete
+  /// source). On failure the session remains on its source worker.
+  Status MoveSession(std::int64_t globalId, std::size_t destination,
+                     std::uint64_t* movedBytes);
+
+  /// localId -> session node of a worker's listSessions response; the
+  /// pointers borrow from the response, which must outlive the index.
+  static std::map<std::int64_t, const json::Json*> IndexSessions(
+      const json::Json& listResponse);
+
+  WorkerLoad LoadOf(std::size_t worker);
+  std::vector<std::uint64_t> ByteLoads();
+  /// Workers admitting new sessions (not drained).
+  std::vector<bool> Eligible() const;
+  /// Placement for a new session id; error when every worker is drained.
+  Result<std::size_t> PlaceNew(std::int64_t globalId);
+
+  Options options_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<server::SimServer>> workers_;
+  std::vector<bool> drained_;
+  std::map<std::int64_t, Placement> placements_;
+  std::int64_t nextGlobalId_ = 1;
+};
+
+}  // namespace rvss::shard

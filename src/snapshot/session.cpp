@@ -50,6 +50,18 @@ std::string EncodeSessionBlob(const core::Simulation& sim,
   return out;
 }
 
+std::size_t EstimateSessionBlobBytes(const core::Simulation& sim,
+                                     const SessionIdentity& identity) {
+  // Upper bound on the uncompressed container; compression only shrinks
+  // it, and placement needs relative load, not exact wire bytes.
+  std::size_t bytes = identity.configJson.size() + identity.source.size() +
+                      identity.entryLabel.size() + identity.arraysJson.size();
+  bytes += sim.memorySystem().memory().size();
+  bytes += sim.log().approxBytes();
+  bytes += 64 * 1024;  // pipeline, predictor, rename, stats, headers
+  return bytes;
+}
+
 Result<ImportedSession> ImportSessionBlob(
     std::string_view blob, std::uint64_t maxCheckpointBytesOverride) {
   if (blob.size() < sizeof(kSessionMagic) + 1 ||

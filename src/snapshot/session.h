@@ -42,6 +42,14 @@ SessionIdentity MakeIdentity(const core::Simulation& sim,
 std::string EncodeSessionBlob(const core::Simulation& sim,
                               const SessionIdentity& identity);
 
+/// Cheap upper-bound estimate of EncodeSessionBlob's output for `sim`,
+/// for shard placement and per-worker byte accounting: the dominant terms
+/// (memory image, log text, identity strings) are measured directly, the
+/// fixed-size pipeline/predictor payload is covered by a constant. No deep
+/// state copy, no compression pass — callable per request.
+std::size_t EstimateSessionBlobBytes(const core::Simulation& sim,
+                                     const SessionIdentity& identity);
+
 struct ImportedSession {
   std::unique_ptr<core::Simulation> sim;
   SessionIdentity identity;

@@ -1,6 +1,16 @@
 // Differential property tests: the OoO core must produce exactly the
 // architectural state of the golden-model ISS on arbitrary generated
 // programs under arbitrary configurations (DESIGN.md §6).
+//
+// The MigrationSeamFuzz suite extends the property across every state
+// seam the serving stack introduces: export -> import into a fresh worker
+// at an arbitrary mid-point, and StepBack across a (delta) checkpoint
+// boundary. Both must be invisible — the run still ends in exactly the
+// ISS's architectural state.
+//
+// RVSS_DIFF_SEEDS widens the seed set (default 12); the nightly CI job
+// runs with >= 200 seeds.
+#include <cstdlib>
 #include <cstring>
 
 #include <gtest/gtest.h>
@@ -8,6 +18,7 @@
 #include "core/simulation.h"
 #include "ref/interpreter.h"
 #include "ref/progen.h"
+#include "snapshot/session.h"
 #include "test_util.h"
 
 namespace rvss {
@@ -78,9 +89,19 @@ TEST_P(DifferentialFuzz, CoreMatchesIss) {
                            issMemory.size()));
 }
 
+/// Seed count, overridable for the nightly wide-fuzz profile.
+std::uint64_t SeedCount() {
+  const char* env = std::getenv("RVSS_DIFF_SEEDS");
+  if (env == nullptr) return 12;
+  const long long parsed = std::atoll(env);
+  if (parsed < 1) return 1;
+  if (parsed > 100'000) return 100'000;
+  return static_cast<std::uint64_t>(parsed);
+}
+
 std::vector<DiffCase> MakeCases() {
   std::vector<DiffCase> cases;
-  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+  for (std::uint64_t seed = 1; seed <= SeedCount(); ++seed) {
     for (const char* config :
          {"default", "scalar", "wide", "tiny", "random_cache"}) {
       cases.push_back(DiffCase{seed, config});
@@ -90,6 +111,92 @@ std::vector<DiffCase> MakeCases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<DiffCase>& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "_" + info.param.configName;
+                         });
+
+// ---- cross-seam differential: migration and rewind --------------------------
+
+/// The ISS's final architectural state for (source, config).
+struct GoldenRun {
+  memory::MainMemory memory;
+  std::unique_ptr<ref::Interpreter> iss;
+  std::unique_ptr<assembler::LoadedProgram> loaded;
+};
+
+void ExpectMatchesIss(const core::Simulation& sim, const ref::Interpreter& iss,
+                      const memory::MainMemory& issMemory,
+                      const std::string& label) {
+  ASSERT_EQ(sim.status(), core::SimStatus::kFinished)
+      << label << ": " << (sim.fault() ? sim.fault()->ToText() : "running");
+  EXPECT_EQ(sim.statistics().committedInstructions,
+            iss.stats().executedInstructions)
+      << label;
+  for (unsigned i = 0; i < 32; ++i) {
+    EXPECT_EQ(sim.ReadIntReg(i), iss.ReadIntReg(i)) << label << " x" << i;
+    EXPECT_EQ(sim.ReadFpReg(i), iss.ReadFpReg(i)) << label << " f" << i;
+  }
+  EXPECT_EQ(0, std::memcmp(issMemory.bytes().data(),
+                           sim.memorySystem().memory().bytes().data(),
+                           issMemory.size()))
+      << label << ": memory images differ";
+}
+
+class MigrationSeamFuzz : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(MigrationSeamFuzz, MigrationAndRewindAreInvisible) {
+  const DiffCase& param = GetParam();
+  const std::string source = ref::GenerateProgram(param.seed);
+  config::CpuConfig config = ConfigByName(param.configName);
+  // Small interval (delta pages stay on by default): the replayed span
+  // crosses checkpoint seams on every seed, not just long-running ones.
+  config.checkpoint.intervalCycles = 64;
+
+  // Golden model.
+  memory::MainMemory issMemory(config.memory.sizeBytes);
+  auto loaded = assembler::LoadProgram(source, {}, config, issMemory, "main");
+  ASSERT_TRUE(loaded.ok()) << loaded.error().ToText();
+  ref::Interpreter iss(loaded.value().program, issMemory);
+  iss.InitRegisters(loaded.value().initialSp);
+  ASSERT_EQ(iss.Run(20'000'000), ref::ExitReason::kMainReturned);
+
+  // Total cycle count, to place the seam at a seed-dependent mid-point.
+  auto reference = core::Simulation::Create(config, source, {{}, "main"});
+  ASSERT_TRUE(reference.ok()) << reference.error().ToText();
+  reference.value()->Run(20'000'000);
+  ASSERT_EQ(reference.value()->status(), core::SimStatus::kFinished);
+  const std::uint64_t totalCycles = reference.value()->cycle();
+  ASSERT_GT(totalCycles, 2u);
+  const std::uint64_t midpoint =
+      1 + (param.seed * 0x9e3779b97f4a7c15ull >> 33) % (totalCycles - 2);
+
+  // Seam 1: run to the mid-point, export, import into a fresh simulation
+  // (what a migration destination worker does), continue to completion.
+  auto sim = core::Simulation::Create(config, source, {{}, "main"});
+  ASSERT_TRUE(sim.ok()) << sim.error().ToText();
+  core::Simulation& s = *sim.value();
+  for (std::uint64_t i = 0; i < midpoint; ++i) s.Step();
+  const snapshot::SessionIdentity identity =
+      snapshot::MakeIdentity(s, source, "main", "");
+  auto imported =
+      snapshot::ImportSessionBlob(snapshot::EncodeSessionBlob(s, identity));
+  ASSERT_TRUE(imported.ok()) << imported.error().ToText();
+  imported.value().sim->Run(20'000'000);
+  ExpectMatchesIss(*imported.value().sim, iss, issMemory,
+                   "migrated at cycle " + std::to_string(midpoint));
+
+  // Seam 2: rewind across a checkpoint boundary from the same mid-point,
+  // then continue to completion.
+  ASSERT_TRUE(s.StepBack().ok()) << "StepBack at " << midpoint;
+  ASSERT_EQ(s.cycle(), midpoint - 1);
+  s.Run(20'000'000);
+  ExpectMatchesIss(s, iss, issMemory,
+                   "rewound at cycle " + std::to_string(midpoint));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationSeamFuzz,
                          ::testing::ValuesIn(MakeCases()),
                          [](const ::testing::TestParamInfo<DiffCase>& info) {
                            return "seed" + std::to_string(info.param.seed) +

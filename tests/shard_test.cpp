@@ -1,0 +1,422 @@
+// Shard router tests: consistent-hash placement, route-through parity with
+// a bare SimServer, drain (byte-identical migration, failure paths,
+// idempotence) and skew-triggered rebalance. The failure-path tests pin the
+// router's core invariant: a migration that fails at any step leaves the
+// session live on its source worker — errors are reported, sessions are
+// never lost.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/api.h"
+#include "shard/placement.h"
+#include "shard/router.h"
+#include "test_util.h"
+
+namespace rvss::shard {
+namespace {
+
+/// Long-running countdown: sessions stay kRunning through every test step.
+const char* kSpinLoop = R"(
+main:
+    li t0, 1000000
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    ret
+)";
+
+/// Finishes in a few hundred cycles: the "session already finished" case.
+const char* kShortProgram = R"(
+main:
+    li t0, 50
+tick:
+    addi t0, t0, -1
+    bnez t0, tick
+    ret
+)";
+
+template <typename Target>
+json::Json Cmd(Target& target, std::string_view command,
+               std::initializer_list<std::pair<const char*, json::Json>>
+                   fields = {}) {
+  json::Json request = json::Json::MakeObject();
+  request.Set("command", std::string(command));
+  for (const auto& [key, value] : fields) request.Set(key, value);
+  return target.Handle(request);
+}
+
+template <typename Target>
+std::int64_t MustCreateSession(Target& target,
+                               const char* source = kSpinLoop) {
+  json::Json created = Cmd(target, "createSession",
+                           {{"code", json::Json(source)},
+                            {"entry", json::Json("main")}});
+  EXPECT_EQ(created.GetString("status", ""), "ok") << created.Dump();
+  return created.GetInt("sessionId", -1);
+}
+
+std::string ExportBlob(ShardRouter& router, std::int64_t sessionId) {
+  json::Json exported =
+      Cmd(router, "exportSession", {{"sessionId", json::Json(sessionId)}});
+  EXPECT_EQ(exported.GetString("status", ""), "ok") << exported.Dump();
+  return exported.GetString("blob", "");
+}
+
+/// worker index -> session count, from workerStats.
+std::map<std::int64_t, std::int64_t> SessionsPerWorker(ShardRouter& router) {
+  json::Json stats = Cmd(router, "workerStats");
+  EXPECT_EQ(stats.GetString("status", ""), "ok");
+  std::map<std::int64_t, std::int64_t> out;
+  for (const json::Json& worker : stats.Find("workers")->AsArray()) {
+    out[worker.GetInt("worker", -1)] = worker.GetInt("sessions", -1);
+  }
+  return out;
+}
+
+// ---- placement --------------------------------------------------------------
+
+TEST(Placement, RingIsDeterministicAndCoversAllWorkers) {
+  HashRing ring(4);
+  const std::vector<bool> all(4, true);
+  std::map<std::size_t, int> hits;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    auto a = ring.Pick(key, all);
+    auto b = ring.Pick(key, all);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, *b) << "placement must be deterministic, key " << key;
+    ++hits[*a];
+  }
+  ASSERT_EQ(hits.size(), 4u) << "every worker owns part of the keyspace";
+  for (const auto& [worker, count] : hits) {
+    EXPECT_GT(count, 50) << "worker " << worker
+                         << " owns an implausibly small arc";
+  }
+}
+
+TEST(Placement, PickSkipsIneligibleWorkersStably) {
+  HashRing ring(3);
+  std::vector<bool> eligible{true, false, true};
+  std::map<std::size_t, int> hits;
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    auto picked = ring.Pick(key, eligible);
+    ASSERT_TRUE(picked.has_value());
+    EXPECT_NE(*picked, 1u);
+    ++hits[*picked];
+    // Keys owned by an eligible worker keep their owner when another
+    // worker is drained — only the drained worker's arc moves.
+    auto unrestricted = ring.Pick(key, {true, true, true});
+    if (*unrestricted != 1u) {
+      EXPECT_EQ(*picked, *unrestricted);
+    }
+  }
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_FALSE(ring.Pick(7, {false, false, false}).has_value());
+}
+
+TEST(Placement, LeastLoadedBreaksTiesLow) {
+  EXPECT_EQ(LeastLoaded({5, 3, 3, 9}, {true, true, true, true}), 1u);
+  EXPECT_EQ(LeastLoaded({5, 3, 3, 9}, {true, false, true, true}), 2u);
+  EXPECT_EQ(LeastLoaded({1, 2}, {false, false}), std::nullopt);
+}
+
+// ---- route-through ----------------------------------------------------------
+
+TEST(RouteThrough, MatchesBareServerStepByStep) {
+  ShardRouter::Options options;
+  options.workerCount = 4;
+  ShardRouter router(options);
+  server::SimServer bare;
+
+  const std::int64_t routedId = MustCreateSession(router);
+  const std::int64_t bareId = MustCreateSession(bare);
+
+  for (int batch = 0; batch < 5; ++batch) {
+    json::Json a = Cmd(router, "step", {{"sessionId", json::Json(routedId)},
+                                        {"count", json::Json(77)}});
+    json::Json b = Cmd(bare, "step", {{"sessionId", json::Json(bareId)},
+                                      {"count", json::Json(77)}});
+    ASSERT_EQ(a.GetString("status", ""), "ok");
+    ASSERT_EQ(b.GetString("status", ""), "ok");
+    EXPECT_EQ(a.Find("state")->Dump(), b.Find("state")->Dump())
+        << "batch " << batch;
+  }
+  json::Json statsA = Cmd(router, "stats",
+                          {{"sessionId", json::Json(routedId)}});
+  json::Json statsB = Cmd(bare, "stats", {{"sessionId", json::Json(bareId)}});
+  EXPECT_EQ(statsA.Find("statistics")->Dump(),
+            statsB.Find("statistics")->Dump());
+
+  // Stateless commands route through too.
+  json::Json parsed = Cmd(router, "parseAsm", {{"code", json::Json(kSpinLoop)}});
+  EXPECT_EQ(parsed.GetString("status", ""), "ok");
+
+  // Errors mirror the single-server shape.
+  json::Json missing = Cmd(router, "step", {{"sessionId", json::Json(999)}});
+  EXPECT_EQ(missing.GetString("status", ""), "error");
+  EXPECT_NE(missing.GetString("message", "").find("unknown sessionId"),
+            std::string::npos);
+
+  json::Json deleted = Cmd(router, "deleteSession",
+                           {{"sessionId", json::Json(routedId)}});
+  EXPECT_EQ(deleted.GetString("status", ""), "ok");
+  EXPECT_EQ(router.sessionCount(), 0u);
+}
+
+TEST(RouteThrough, RawBytePipeline) {
+  ShardRouter::Options options;
+  options.workerCount = 2;
+  ShardRouter router(options);
+  server::RequestTiming timing;
+  const std::string response = router.HandleRaw(
+      R"({"command":"createSession","code":"main:\n    ret\n"})", false,
+      &timing);
+  EXPECT_NE(response.find("\"status\":"), std::string::npos);
+  EXPECT_NE(response.find("ok"), std::string::npos);
+  EXPECT_GT(timing.responseBytes, 0u);
+}
+
+TEST(RouteThrough, SessionsSpreadAcrossWorkers) {
+  ShardRouter::Options options;
+  options.workerCount = 4;
+  ShardRouter router(options);
+  for (int i = 0; i < 24; ++i) MustCreateSession(router);
+  int populated = 0;
+  for (const auto& [worker, sessions] : SessionsPerWorker(router)) {
+    if (sessions > 0) ++populated;
+  }
+  EXPECT_GE(populated, 2) << "consistent hashing left the fleet unbalanced";
+  EXPECT_EQ(router.sessionCount(), 24u);
+}
+
+// ---- drain ------------------------------------------------------------------
+
+TEST(Drain, MigratesByteIdenticallyWithEightActiveSessions) {
+  ShardRouter::Options options;
+  options.workerCount = 3;
+  ShardRouter router(options);
+
+  // >= 8 live sessions, advanced by different amounts so each blob is
+  // unique; one of them has already finished (drain must move those too).
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(MustCreateSession(router, i == 0 ? kShortProgram
+                                                   : kSpinLoop));
+    json::Json stepped =
+        Cmd(router, "step", {{"sessionId", json::Json(ids.back())},
+                             {"count", json::Json(100 + 40 * i)}});
+    ASSERT_EQ(stepped.GetString("status", ""), "ok");
+  }
+
+  // Concentrate all 12 sessions on worker 0 (drain the peers, then
+  // re-admit them) so the drain under test evacuates a worker with >= 8
+  // active sessions, the acceptance bar for this PR.
+  ASSERT_EQ(Cmd(router, "drainWorker", {{"worker", json::Json(1)}})
+                .GetString("status", ""),
+            "ok");
+  ASSERT_EQ(Cmd(router, "drainWorker", {{"worker", json::Json(2)}})
+                .GetString("status", ""),
+            "ok");
+  ASSERT_EQ(Cmd(router, "openWorker", {{"worker", json::Json(1)}})
+                .GetString("status", ""),
+            "ok");
+  ASSERT_EQ(Cmd(router, "openWorker", {{"worker", json::Json(2)}})
+                .GetString("status", ""),
+            "ok");
+  const std::int64_t victim = 0;
+  const std::int64_t victimSessions = SessionsPerWorker(router)[victim];
+  ASSERT_GE(victimSessions, 8);
+
+  std::map<std::int64_t, std::string> before;
+  for (const std::int64_t id : ids) before[id] = ExportBlob(router, id);
+
+  json::Json drained =
+      Cmd(router, "drainWorker", {{"worker", json::Json(victim)}});
+  ASSERT_EQ(drained.GetString("status", ""), "ok") << drained.Dump();
+  EXPECT_EQ(drained.GetInt("moved", -1), victimSessions);
+  EXPECT_GT(drained.GetInt("movedBytes", 0), 0);
+
+  // Every session (moved or not) must export byte-identically afterwards:
+  // the migration is invisible at the blob level.
+  for (const std::int64_t id : ids) {
+    EXPECT_EQ(before[id], ExportBlob(router, id)) << "session " << id;
+  }
+
+  const auto after = SessionsPerWorker(router);
+  EXPECT_EQ(after.at(victim), 0);
+  EXPECT_EQ(router.sessionCount(), ids.size());
+
+  // Moved sessions keep running through the router.
+  for (const std::int64_t id : ids) {
+    json::Json stepped = Cmd(router, "step", {{"sessionId", json::Json(id)},
+                                              {"count", json::Json(50)}});
+    EXPECT_EQ(stepped.GetString("status", ""), "ok") << "session " << id;
+  }
+}
+
+TEST(Drain, DestinationBudgetRejectionKeepsSessionOnSource) {
+  // Worker 1's import budget is far below any real session blob, so every
+  // migration to it must be refused — and the session must stay live on
+  // worker 0.
+  ShardRouter::Options options;
+  options.workerCount = 2;
+  options.perWorkerLimits.resize(2);
+  options.perWorkerLimits[1].maxSessionBlobBytes = 64;
+  ShardRouter router(options);
+
+  std::vector<std::int64_t> ids;
+  while (SessionsPerWorker(router)[0] < 2) {
+    ids.push_back(MustCreateSession(router));
+  }
+
+  json::Json drained = Cmd(router, "drainWorker", {{"worker", json::Json(0)}});
+  EXPECT_EQ(drained.GetString("status", ""), "error") << drained.Dump();
+  EXPECT_EQ(drained.GetInt("moved", -1), 0);
+  ASSERT_FALSE(drained.Find("failed")->AsArray().empty());
+  EXPECT_NE(drained.Find("failed")->AsArray()[0].GetString("message", "")
+                .find("exceeds this server's budget"),
+            std::string::npos)
+      << drained.Dump();
+
+  // Nothing was lost: every session still steps through the router, still
+  // on worker 0.
+  EXPECT_EQ(router.sessionCount(), ids.size());
+  EXPECT_EQ(SessionsPerWorker(router)[0],
+            static_cast<std::int64_t>(ids.size()));
+  for (const std::int64_t id : ids) {
+    json::Json stepped = Cmd(router, "step", {{"sessionId", json::Json(id)},
+                                              {"count", json::Json(10)}});
+    EXPECT_EQ(stepped.GetString("status", ""), "ok");
+  }
+}
+
+TEST(Drain, SessionVanishingMidDrainFailsThatSessionOnly) {
+  ShardRouter::Options options;
+  options.workerCount = 2;
+  ShardRouter router(options);
+
+  std::vector<std::int64_t> ids;
+  while (SessionsPerWorker(router)[0] < 3) {
+    ids.push_back(MustCreateSession(router));
+  }
+  const std::int64_t onWorker0Before = SessionsPerWorker(router)[0];
+
+  // Delete one of worker 0's sessions *behind the router's back* — the
+  // in-process stand-in for a worker losing a session mid-export.
+  const std::vector<std::int64_t> localIds = router.worker(0).sessionIds();
+  ASSERT_FALSE(localIds.empty());
+  json::Json vanish = json::Json::MakeObject();
+  vanish.Set("command", "deleteSession");
+  vanish.Set("sessionId", localIds.front());
+  ASSERT_EQ(router.worker(0).Handle(vanish).GetString("status", ""), "ok");
+
+  json::Json drained = Cmd(router, "drainWorker", {{"worker", json::Json(0)}});
+  EXPECT_EQ(drained.GetString("status", ""), "error") << drained.Dump();
+  EXPECT_EQ(drained.GetInt("moved", -1), onWorker0Before - 1)
+      << "the surviving sessions must still migrate";
+  ASSERT_EQ(drained.Find("failed")->AsArray().size(), 1u);
+  EXPECT_NE(drained.Find("failed")->AsArray()[0].GetString("message", "")
+                .find("export"),
+            std::string::npos);
+
+  // The survivors are intact on the destination.
+  std::size_t stepping = 0;
+  for (const std::int64_t id : ids) {
+    json::Json stepped = Cmd(router, "step", {{"sessionId", json::Json(id)},
+                                              {"count", json::Json(10)}});
+    if (stepped.GetString("status", "") == "ok") ++stepping;
+  }
+  EXPECT_EQ(stepping, ids.size() - 1);
+}
+
+TEST(Drain, DoubleDrainIsIdempotentAndOpenWorkerReadmits) {
+  ShardRouter::Options options;
+  options.workerCount = 2;
+  ShardRouter router(options);
+  while (SessionsPerWorker(router)[0] < 1) MustCreateSession(router);
+  const std::size_t total = router.sessionCount();
+
+  json::Json first = Cmd(router, "drainWorker", {{"worker", json::Json(0)}});
+  ASSERT_EQ(first.GetString("status", ""), "ok") << first.Dump();
+
+  json::Json second = Cmd(router, "drainWorker", {{"worker", json::Json(0)}});
+  EXPECT_EQ(second.GetString("status", ""), "ok") << second.Dump();
+  EXPECT_EQ(second.GetInt("moved", -1), 0);
+  EXPECT_TRUE(second.Find("failed")->AsArray().empty());
+  EXPECT_EQ(router.sessionCount(), total);
+
+  // Drained workers take no new sessions.
+  for (int i = 0; i < 16; ++i) MustCreateSession(router);
+  EXPECT_EQ(SessionsPerWorker(router)[0], 0);
+
+  // Draining the last eligible worker strands its sessions with an error
+  // (no destination), but loses nothing.
+  json::Json strand = Cmd(router, "drainWorker", {{"worker", json::Json(1)}});
+  EXPECT_EQ(strand.GetString("status", ""), "error");
+  EXPECT_FALSE(strand.Find("failed")->AsArray().empty());
+  json::Json refused = Cmd(router, "createSession",
+                           {{"code", json::Json(kSpinLoop)},
+                            {"entry", json::Json("main")}});
+  EXPECT_EQ(refused.GetString("status", ""), "error");
+
+  // Reopening brings the fleet back.
+  ASSERT_EQ(Cmd(router, "openWorker", {{"worker", json::Json(0)}})
+                .GetString("status", ""),
+            "ok");
+  ASSERT_EQ(Cmd(router, "openWorker", {{"worker", json::Json(1)}})
+                .GetString("status", ""),
+            "ok");
+  EXPECT_EQ(Cmd(router, "createSession",
+                {{"code", json::Json(kSpinLoop)},
+                 {"entry", json::Json("main")}})
+                .GetString("status", ""),
+            "ok");
+
+  json::Json bogus = Cmd(router, "drainWorker", {{"worker", json::Json(9)}});
+  EXPECT_EQ(bogus.GetString("status", ""), "error");
+}
+
+// ---- rebalance --------------------------------------------------------------
+
+TEST(Rebalance, MovesSessionsOffTheLoadedWorkerUntilSkewIsBounded) {
+  ShardRouter::Options options;
+  options.workerCount = 3;
+  options.rebalanceSkewThreshold = 1.5;
+  ShardRouter router(options);
+  for (int i = 0; i < 12; ++i) MustCreateSession(router);
+
+  // Force the worst case: everything on worker 0.
+  ASSERT_EQ(Cmd(router, "drainWorker", {{"worker", json::Json(1)}})
+                .GetString("status", ""),
+            "ok");
+  ASSERT_EQ(Cmd(router, "drainWorker", {{"worker", json::Json(2)}})
+                .GetString("status", ""),
+            "ok");
+  ASSERT_EQ(SessionsPerWorker(router)[0], 12);
+  ASSERT_EQ(Cmd(router, "openWorker", {{"worker", json::Json(1)}})
+                .GetString("status", ""),
+            "ok");
+  ASSERT_EQ(Cmd(router, "openWorker", {{"worker", json::Json(2)}})
+                .GetString("status", ""),
+            "ok");
+
+  json::Json rebalanced = Cmd(router, "rebalance");
+  ASSERT_EQ(rebalanced.GetString("status", ""), "ok") << rebalanced.Dump();
+  EXPECT_GT(rebalanced.GetInt("moved", 0), 0);
+  EXPECT_LE(rebalanced.Find("skewAfter")->AsDouble(),
+            rebalanced.Find("skewBefore")->AsDouble());
+  EXPECT_LE(rebalanced.Find("skewAfter")->AsDouble(),
+            options.rebalanceSkewThreshold + 1e-9);
+  EXPECT_EQ(router.sessionCount(), 12u);
+
+  // Already balanced: a second rebalance is a no-op.
+  json::Json again = Cmd(router, "rebalance");
+  ASSERT_EQ(again.GetString("status", ""), "ok");
+  EXPECT_EQ(again.GetInt("moved", -1), 0);
+}
+
+}  // namespace
+}  // namespace rvss::shard

@@ -383,6 +383,69 @@ TEST(SessionBlob, RejectsGarbageAndTruncation) {
   EXPECT_NE(rejected.error().message.find("trailing"), std::string::npos);
 }
 
+// ---- log byte budget --------------------------------------------------------
+
+/// One committed instruction per cycle forever: at debug level the ROB logs
+/// every commit, so the log grows with cycles unless the byte budget caps it.
+const char* kChattyLoop = R"(
+main:
+    li t0, 500000
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    ret
+)";
+
+TEST(LogBudget, EncodedBlobStaysBoundedOnChattyRuns) {
+  auto shortRun = MustCreate(kChattyLoop, TestConfig());
+  auto longRun = MustCreate(kChattyLoop, TestConfig());
+  ASSERT_NE(shortRun, nullptr);
+  ASSERT_NE(longRun, nullptr);
+  const std::size_t budget = 16 * 1024;
+  for (core::Simulation* sim : {shortRun.get(), longRun.get()}) {
+    sim->log().SetByteBudget(budget);
+    sim->log().SetMinLevel(LogLevel::kDebug);
+  }
+  StepN(*shortRun, 2'000);
+  StepN(*longRun, 20'000);
+  ASSERT_EQ(longRun->status(), core::SimStatus::kRunning);
+
+  EXPECT_FALSE(longRun->log().entries().empty());
+  EXPECT_LE(shortRun->log().approxBytes(), budget);
+  EXPECT_LE(longRun->log().approxBytes(), budget);
+
+  // 10x the cycles must not grow the encoded session blob: the log is the
+  // only cycle-proportional payload and the ring caps it.
+  const std::string shortBlob = EncodeSessionBlob(
+      *shortRun, MakeIdentity(*shortRun, kChattyLoop, "main", ""));
+  const std::string longBlob = EncodeSessionBlob(
+      *longRun, MakeIdentity(*longRun, kChattyLoop, "main", ""));
+  EXPECT_LE(longBlob.size(), shortBlob.size() + budget);
+
+  // The capped log still round-trips byte-identically.
+  auto imported = ImportSessionBlob(longBlob);
+  ASSERT_TRUE(imported.ok()) << imported.error().ToText();
+  EXPECT_EQ(imported.value().sim->log().approxBytes(),
+            longRun->log().approxBytes());
+}
+
+TEST(LogBudget, EvictsOldestAndKeepsNewest) {
+  SimLog log(/*capacity=*/0, /*maxBytes=*/512);
+  for (int i = 0; i < 1000; ++i) {
+    log.Add(static_cast<std::uint64_t>(i), LogLevel::kInfo, "Block",
+            "message " + std::to_string(i));
+  }
+  EXPECT_LE(log.approxBytes(), 512u);
+  ASSERT_FALSE(log.entries().empty());
+  EXPECT_EQ(log.entries().back().cycle, 999u);  // newest kept
+  EXPECT_GT(log.entries().front().cycle, 0u);   // oldest evicted
+
+  // An entry bigger than the whole budget still lands (newest survives).
+  log.Add(1000, LogLevel::kError, "Huge", std::string(4096, 'x'));
+  ASSERT_EQ(log.entries().size(), 1u);
+  EXPECT_EQ(log.entries().back().cycle, 1000u);
+}
+
 // ---- delta checkpoints ------------------------------------------------------
 
 /// 1 MiB memory with a working set of a few pages: the configuration where
