@@ -3,15 +3,55 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cc/compiler.h"
 #include "config/cpu_config.h"
 #include "core/simulation.h"
+#include "json/json.h"
 #include "server/api.h"
 
 namespace rvss::bench {
+
+/// Machine-readable bench results. Every bench binary accepts --json;
+/// when passed, the metrics recorded with Set() are written to
+/// BENCH_<name>.json in the working directory on destruction — the
+/// artifact the CI bench-regression job uploads and checks against the
+/// numbers pinned in bench/baselines.json (ci/check_bench.py).
+class JsonReport {
+ public:
+  JsonReport(std::string name, int argc, char** argv)
+      : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") enabled_ = true;
+    }
+  }
+
+  void Set(const char* metric, double value) { metrics_.Set(metric, value); }
+
+  ~JsonReport() {
+    if (!enabled_) return;
+    json::Json document = json::Json::MakeObject();
+    document.Set("bench", name_);
+    document.Set("metrics", std::move(metrics_));
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream file(path);
+    file << document.DumpPretty() << "\n";
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+  json::Json metrics_ = json::Json::MakeObject();
+};
 
 /// The two interactive programs used by the paper's load test: one
 /// branchy integer sort, one floating-point kernel.

@@ -1,15 +1,20 @@
 // Shard router benchmarks: drain throughput (how fast a worker's sessions
-// evacuate to its peers) and the steady-state routing overhead a session
-// pays for living behind the router instead of a bare SimServer.
+// evacuate to its peers) — over in-process workers and over real forked
+// worker processes behind the socket transport — and the steady-state
+// routing overhead a session pays for living behind the router instead of
+// a bare SimServer.
 //
 // Drain is the operation that gates fleet maintenance (deploys, scale-in):
 // its throughput in sessions/s and MiB/s bounds how quickly a worker can
 // be taken out of rotation without dropping interactive sessions. The
-// routing overhead measures the per-request tax of the extra id-rewrite
-// hop — it should be noise against the simulation work itself.
+// in-process number is the ceiling; the socket number adds the frame
+// encode + syscall + process-switch cost of the real deployment shape.
+// The routing overhead measures the per-request tax of the extra
+// id-rewrite hop — it should be noise against the simulation work itself.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +22,8 @@
 #include "json/json.h"
 #include "server/api.h"
 #include "shard/router.h"
+#include "shard/transport.h"
+#include "shard/worker.h"
 
 namespace rvss {
 namespace {
@@ -56,30 +63,27 @@ bool Ok(const json::Json& response, const char* what) {
   return false;
 }
 
-}  // namespace
-}  // namespace rvss
+struct DrainResult {
+  double sessionsPerSecond = 0.0;
+  double mibPerSecond = 0.0;
+  bool ok = false;
+};
 
-int main() {
-  using namespace rvss;
-
-  // --- drain throughput -------------------------------------------------------
-  // 3 workers, 24 sessions stepped to distinct mid-points; drain whichever
-  // worker holds the most sessions.
-  shard::ShardRouter::Options options;
-  options.workerCount = 3;
-  shard::ShardRouter router(options);
-
+/// 24 sessions stepped to distinct mid-points across 3 workers; drains
+/// whichever worker holds the most sessions and reports the throughput.
+DrainResult RunDrainBench(shard::ShardRouter& router, const char* label) {
+  DrainResult result;
   std::vector<std::int64_t> ids;
   for (int i = 0; i < 24; ++i) {
     json::Json created = router.Handle(
         Cmd("createSession", {{"code", json::Json(kWorkload)},
                               {"entry", json::Json("main")}}));
-    if (!Ok(created, "createSession")) return 1;
+    if (!Ok(created, "createSession")) return result;
     ids.push_back(created.GetInt("sessionId", -1));
     json::Json stepped = router.Handle(
         Cmd("step", {{"sessionId", json::Json(ids.back())},
                      {"count", json::Json(500 + 100 * i)}}));
-    if (!Ok(stepped, "step")) return 1;
+    if (!Ok(stepped, "step")) return result;
   }
 
   std::int64_t victim = 0;
@@ -96,18 +100,56 @@ int main() {
   json::Json drained =
       router.Handle(Cmd("drainWorker", {{"worker", json::Json(victim)}}));
   const double drainSeconds = bench::SecondsSince(start);
-  if (!Ok(drained, "drainWorker")) return 1;
+  if (!Ok(drained, "drainWorker")) return result;
   const double moved = static_cast<double>(drained.GetInt("moved", 0));
   const double movedMiB =
       static_cast<double>(drained.GetInt("movedBytes", 0)) / (1024.0 * 1024.0);
-  std::printf("# drain throughput (%d sessions total, worker %lld held %.0f)\n",
-              static_cast<int>(ids.size()),
+  result.sessionsPerSecond = moved / drainSeconds;
+  result.mibPerSecond = movedMiB / drainSeconds;
+  result.ok = true;
+  std::printf("# drain throughput [%s] (%d sessions total, worker %lld held %.0f)\n",
+              label, static_cast<int>(ids.size()),
               static_cast<long long>(victim), moved);
   std::printf("%-22s %10.2f ms\n", "drain wall time", drainSeconds * 1e3);
   std::printf("%-22s %10.1f sessions/s\n", "drain rate",
-              moved / drainSeconds);
+              result.sessionsPerSecond);
   std::printf("%-22s %10.1f MiB/s (%.2f MiB wire)\n", "drain bandwidth",
-              movedMiB / drainSeconds, movedMiB);
+              result.mibPerSecond, movedMiB);
+  return result;
+}
+
+}  // namespace
+}  // namespace rvss
+
+int main(int argc, char** argv) {
+  using namespace rvss;
+  bench::JsonReport report("shard", argc, argv);
+
+  // --- drain throughput, in-process workers (the PR 3 baseline) --------------
+  shard::ShardRouter::Options options;
+  options.workerCount = 3;
+  shard::ShardRouter router(options);
+  const DrainResult inProcess = RunDrainBench(router, "in-process");
+  if (!inProcess.ok) return 1;
+  report.Set("drain_sessions_per_s", inProcess.sessionsPerSecond);
+  report.Set("drain_mib_s", inProcess.mibPerSecond);
+
+  // --- drain throughput, forked processes over the socket transport ----------
+  {
+    shard::SpawnedFleet fleet;
+    shard::ShardRouter::Options socketOptions;
+    socketOptions.workerCount = 3;
+    socketOptions.transportFactory =
+        shard::MakeSpawningTransportFactory(&fleet, "bench");
+    shard::ShardRouter socketRouter(socketOptions);
+    std::printf("\n");
+    const DrainResult socket = RunDrainBench(socketRouter, "socket");
+    if (!socket.ok) return 1;  // same contract as the in-process leg
+    report.Set("socket_drain_sessions_per_s", socket.sessionsPerSecond);
+    report.Set("socket_drain_mib_s", socket.mibPerSecond);
+    std::printf("%-22s %10.2fx of in-process\n", "socket drain ratio",
+                socket.mibPerSecond / inProcess.mibPerSecond);
+  }
 
   // --- steady-state routing overhead ------------------------------------------
   // The same step request stream against a routed session and a bare
@@ -118,7 +160,11 @@ int main() {
                             {"entry", json::Json("main")}}));
   if (!Ok(bareCreated, "bare createSession")) return 1;
   const std::int64_t bareId = bareCreated.GetInt("sessionId", -1);
-  const std::int64_t routedId = ids.front();
+  json::Json routedCreated = router.Handle(
+      Cmd("createSession", {{"code", json::Json(kWorkload)},
+                            {"entry", json::Json("main")}}));
+  if (!Ok(routedCreated, "routed createSession")) return 1;
+  const std::int64_t routedId = routedCreated.GetInt("sessionId", -1);
 
   constexpr int kRequests = 2000;
   const std::string routedRequest =
@@ -130,7 +176,7 @@ int main() {
                    {"count", json::Json(1)}})
           .Dump();
 
-  start = std::chrono::steady_clock::now();
+  auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < kRequests; ++i) {
     router.HandleRaw(routedRequest);
   }
@@ -153,5 +199,6 @@ int main() {
               bareSeconds > 0
                   ? (routedSeconds / bareSeconds - 1.0) * 100.0
                   : 0.0);
+  report.Set("router_tax_us", (routedSeconds - bareSeconds) * 1e6);
   return 0;
 }

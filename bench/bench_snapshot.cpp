@@ -64,8 +64,9 @@ config::CpuConfig BenchConfig(bool deltaPages) {
 }  // namespace
 }  // namespace rvss
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rvss;
+  bench::JsonReport report("snapshot", argc, argv);
 
   // --- encode / decode throughput -------------------------------------------
   auto sim = core::Simulation::Create(BenchConfig(true), kWorkload, {{}, "main"});
@@ -106,6 +107,8 @@ int main() {
               mib / encodeSeconds, encodeSeconds * 1e3);
   std::printf("%-22s %10.1f MiB/s (%.2f ms)\n", "decode throughput",
               mib / decodeSeconds, decodeSeconds * 1e3);
+  report.Set("encode_mib_s", mib / encodeSeconds);
+  report.Set("decode_mib_s", mib / decodeSeconds);
 
   const snapshot::SessionIdentity identity =
       snapshot::MakeIdentity(simulation, kWorkload, "main", "");
@@ -139,9 +142,10 @@ int main() {
                                          : ring.checkpointCount()));
   }
   if (deltaBytes > 0) {
-    std::printf("\nring-bytes reduction: %.1fx\n",
-                static_cast<double>(fullBytes) /
-                    static_cast<double>(deltaBytes));
+    const double reduction = static_cast<double>(fullBytes) /
+                             static_cast<double>(deltaBytes);
+    std::printf("\nring-bytes reduction: %.1fx\n", reduction);
+    report.Set("ring_reduction_x", reduction);
   }
   return 0;
 }

@@ -53,8 +53,9 @@ Sample MeasureAtDepth(core::Simulation& sim, std::uint64_t depth, int reps) {
 }  // namespace
 }  // namespace rvss
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rvss;
+  bench::JsonReport report("stepback", argc, argv);
 
   const std::uint64_t kDepths[] = {1024, 4096, 16384, 65536, 131072};
   const int kReps = 5;
@@ -72,11 +73,16 @@ int main() {
       return 1;
     }
     const char* mode = interval == 0 ? "replay-O(n)" : "ckpt-O(K)";
+    const char* metricMode = interval == 0 ? "replay" : "ckpt";
     for (const std::uint64_t depth : kDepths) {
       const Sample sample = MeasureAtDepth(*sim.value(), depth, kReps);
       std::printf("%-10llu %-12s %16.1f %16llu\n",
                   static_cast<unsigned long long>(depth), mode, sample.meanUs,
                   static_cast<unsigned long long>(sample.replayedCycles));
+      report.Set((std::string(metricMode) + "_stepback_us_" +
+                  std::to_string(depth))
+                     .c_str(),
+                 sample.meanUs);
     }
   }
 

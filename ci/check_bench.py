@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare BENCH_<name>.json artifacts against the
+floors pinned in bench/baselines.json.
+
+Usage: ci/check_bench.py [--dir DIR]
+
+Reads every bench named in the baselines' "gates" object from
+DIR/BENCH_<name>.json (default: current directory; the bench binaries
+write these when run with --json). A gated metric fails when
+
+    value < pinned * (1 - tolerance)
+
+i.e. a >30% regression against the pinned number with the default
+tolerance of 0.30. A missing artifact or missing gated metric is also a
+failure — the gate must not rot silently when a bench stops reporting.
+
+Exit code 0 = all gates pass, 1 = regression or missing data.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINES = REPO_ROOT / "bench" / "baselines.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory containing the BENCH_<name>.json artifacts",
+    )
+    args = parser.parse_args()
+    artifact_dir = pathlib.Path(args.dir)
+
+    baselines = json.loads(BASELINES.read_text())
+    tolerance = float(baselines.get("tolerance", 0.30))
+    failures = []
+    checked = 0
+
+    for bench, gates in baselines["gates"].items():
+        artifact = artifact_dir / f"BENCH_{bench}.json"
+        if not artifact.exists():
+            failures.append(f"{artifact}: missing (did the bench run with --json?)")
+            continue
+        metrics = json.loads(artifact.read_text()).get("metrics", {})
+        for metric, pinned in gates.items():
+            floor = pinned * (1.0 - tolerance)
+            value = metrics.get(metric)
+            if value is None:
+                failures.append(f"{bench}.{metric}: not reported by the bench")
+                continue
+            checked += 1
+            verdict = "ok" if value >= floor else "REGRESSED"
+            print(
+                f"{verdict:>9}  {bench}.{metric}: {value:.1f} "
+                f"(pinned {pinned:.1f}, floor {floor:.1f})"
+            )
+            if value < floor:
+                failures.append(
+                    f"{bench}.{metric}: {value:.1f} < floor {floor:.1f} "
+                    f"(pinned {pinned:.1f}, tolerance {tolerance:.0%})"
+                )
+
+    print(f"\n{checked} gated metric(s) checked.")
+    if failures:
+        print("\nbench-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench-regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

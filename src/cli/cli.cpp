@@ -13,6 +13,8 @@
 #include "memory/memory_initializer.h"
 #include "server/state_renderer.h"
 #include "shard/router.h"
+#include "shard/transport.h"
+#include "shard/worker.h"
 #include "snapshot/session.h"
 
 namespace rvss::cli {
@@ -40,6 +42,19 @@ Execution:
                       statistics are identical either way — migration is
                       invisible). Incompatible with --trace/--verbose/
                       --dump/--dump-csv/--load-snapshot.
+  --spawn-workers N   like --workers, but each worker is a real forked
+                      process reached over a unix-domain socket
+                      (length-prefixed JSON+blob frames); with N > 1 the
+                      run additionally survives an addWorker/removeWorker
+                      cycle mid-run (a new process joins the fleet, the
+                      session's original worker is drained and removed).
+
+Worker mode:
+  --worker ADDR       run as a fleet worker: serve the JSON command API
+                      as frames on ADDR (unix:/path or tcp:HOST:PORT)
+                      until a shutdownWorker command arrives. Used by
+                      orchestrators; --spawn-workers forks these
+                      automatically.
 
 Snapshots:
   --save-snapshot F   after the run, write a portable session snapshot
@@ -74,6 +89,8 @@ struct Options {
   std::string entry;
   std::uint64_t maxCycles = 100'000'000;
   std::int64_t workers = 0;  ///< 0 = run in-process without a router
+  bool spawnWorkers = false; ///< workers are forked socket processes
+  std::string workerListen;  ///< non-empty: run as a worker process
   std::string format = "text";
   std::string dumpPath;
   std::string dumpCsvPath;
@@ -137,16 +154,21 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       auto v = value();
       if (!v) { err << "--max-cycles needs a number\n"; return 1; }
       options.maxCycles = static_cast<std::uint64_t>(ParseInt(*v).value_or(0));
-    } else if (arg == "--workers") {
+    } else if (arg == "--workers" || arg == "--spawn-workers") {
       auto v = value();
       const std::int64_t workers = v ? ParseInt(*v).value_or(0) : 0;
       // Workers are eagerly constructed; an absurd count would exhaust
-      // memory before the first session exists.
+      // memory (or fork-bomb the host) before the first session exists.
       if (workers <= 0 || workers > 256) {
-        err << "--workers needs a count between 1 and 256\n";
+        err << arg << " needs a count between 1 and 256\n";
         return 1;
       }
       options.workers = workers;
+      options.spawnWorkers = arg == "--spawn-workers";
+    } else if (arg == "--worker") {
+      auto v = value();
+      if (!v) { err << "--worker needs an address (unix:... or tcp:...)\n"; return 1; }
+      options.workerListen = *v;
     } else if (arg == "--format") {
       auto v = value();
       if (!v || (*v != "text" && *v != "json")) {
@@ -178,6 +200,22 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       err << "unknown argument '" << arg << "'\n" << UsageTextInternal();
       return 1;
     }
+  }
+
+  if (!options.workerListen.empty()) {
+    if (!options.asmPath.empty() || !options.cPath.empty() ||
+        options.workers > 0 || !options.loadSnapshotPath.empty()) {
+      err << "--worker serves a fleet router; it takes no program or "
+             "router flags\n";
+      return 1;
+    }
+    server::SimServer::Limits limits;
+    Status served = shard::RunWorkerLoop(options.workerListen, limits);
+    if (!served.ok()) {
+      err << "worker error: " << served.error().ToText() << "\n";
+      return 2;
+    }
+    return 0;
   }
 
   if (!options.loadSnapshotPath.empty()) {
@@ -391,8 +429,15 @@ int RunSharded(const Options& options, const std::string& source,
                const config::CpuConfig& config,
                const std::vector<memory::ArrayDefinition>& arrays,
                std::ostream& out, std::ostream& err) {
+  // Spawned worker processes outlive the router object (it only holds
+  // connections); the fleet kills and reaps them on every exit path.
+  shard::SpawnedFleet fleet;
   shard::ShardRouter::Options routerOptions;
   routerOptions.workerCount = static_cast<std::size_t>(options.workers);
+  if (options.spawnWorkers) {
+    routerOptions.transportFactory =
+        shard::MakeSpawningTransportFactory(&fleet, "cli");
+  }
   shard::ShardRouter router(routerOptions);
 
   json::Json create = json::Json::MakeObject();
@@ -454,8 +499,26 @@ int RunSharded(const Options& options, const std::string& source,
   }
   if (options.workers > 1 &&
       report.GetString("finishReason", "") == "none") {
+    if (options.spawnWorkers) {
+      // Elastic cycle: grow the fleet by one fresh process, then shrink
+      // it by removing (drain + ring removal + process shutdown) the
+      // worker that held the session — the scale-out/scale-in round trip
+      // a deploy performs, exercised mid-run.
+      json::Json grown = router.Handle(
+          [] {
+            json::Json request = json::Json::MakeObject();
+            request.Set("command", "addWorker");
+            return request;
+          }());
+      if (grown.GetString("status", "") != "ok") {
+        err << "error: mid-run addWorker failed: "
+            << grown.GetString("message", "") << "\n";
+        return 2;
+      }
+    }
     json::Json drain = json::Json::MakeObject();
-    drain.Set("command", "drainWorker");
+    drain.Set("command", options.spawnWorkers ? "removeWorker"
+                                              : "drainWorker");
     drain.Set("worker", firstWorker);
     json::Json drained = router.Handle(drain);
     if (drained.GetString("status", "") != "ok") {

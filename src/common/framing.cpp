@@ -1,0 +1,67 @@
+#include "common/framing.h"
+
+namespace rvss::net {
+namespace {
+
+void PutU32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::uint32_t GetU32(std::string_view bytes, std::size_t offset) {
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint8_t>(bytes[offset]) |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[offset + 1]))
+          << 8 |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[offset + 2]))
+          << 16 |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[offset + 3]))
+          << 24);
+}
+
+}  // namespace
+
+std::string EncodeFrameHeader(std::size_t jsonBytes, std::size_t blobBytes) {
+  std::string header;
+  header.reserve(kFrameHeaderBytes);
+  PutU32(header, kFrameMagic);
+  PutU32(header, kFrameVersion);
+  PutU32(header, static_cast<std::uint32_t>(jsonBytes));
+  PutU32(header, static_cast<std::uint32_t>(blobBytes));
+  return header;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view header,
+                                      std::size_t maxFrameBytes) {
+  if (header.size() != kFrameHeaderBytes) {
+    return Error{ErrorKind::kInvalidArgument,
+                 "frame header must be " + std::to_string(kFrameHeaderBytes) +
+                     " bytes, got " + std::to_string(header.size())};
+  }
+  if (GetU32(header, 0) != kFrameMagic) {
+    return Error{ErrorKind::kInvalidArgument,
+                 "bad frame magic (peer is not speaking the rvss shard "
+                 "protocol)"};
+  }
+  const std::uint32_t version = GetU32(header, 4);
+  if (version != kFrameVersion) {
+    return Error{ErrorKind::kUnsupported,
+                 "unsupported frame version " + std::to_string(version) +
+                     " (this build speaks version " +
+                     std::to_string(kFrameVersion) + ")"};
+  }
+  FrameHeader parsed;
+  parsed.jsonBytes = GetU32(header, 8);
+  parsed.blobBytes = GetU32(header, 12);
+  if (parsed.payloadBytes() > maxFrameBytes) {
+    return Error{ErrorKind::kInvalidArgument,
+                 "frame of " + std::to_string(parsed.payloadBytes()) +
+                     " bytes exceeds the " + std::to_string(maxFrameBytes) +
+                     "-byte frame cap"};
+  }
+  return parsed;
+}
+
+}  // namespace rvss::net

@@ -1,0 +1,57 @@
+// Length-prefixed wire frames for the cross-process shard transport.
+//
+// A frame is a fixed 16-byte little-endian header followed by two payload
+// sections:
+//
+//   u32 magic    "RVSF" (0x46535652)
+//   u32 version  kFrameVersion
+//   u32 jsonBytes
+//   u32 blobBytes
+//   [jsonBytes]  UTF-8 JSON text (the request or response document)
+//   [blobBytes]  opaque session-blob bytes (the detached top-level "blob"
+//                field — see server/wire.h), possibly empty
+//
+// The header is validated before any payload is read: a wrong magic or
+// version fails immediately, and each section length is checked against a
+// cap so a hostile or corrupted peer cannot make the reader allocate
+// gigabytes from four bytes of input. Everything here is pure byte
+// manipulation — no sockets, no JSON — so the codec is unit-testable and
+// shared verbatim by both ends of the connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rvss::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x46535652u;  // "RVSF" LE
+inline constexpr std::uint32_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// Default cap on jsonBytes + blobBytes. Session blobs are the largest
+/// legitimate payload (tens of MiB for big memory images); 256 MiB leaves
+/// headroom while still rejecting absurd lengths outright.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 256u << 20;
+
+struct FrameHeader {
+  std::uint32_t jsonBytes = 0;
+  std::uint32_t blobBytes = 0;
+
+  std::size_t payloadBytes() const {
+    return std::size_t{jsonBytes} + std::size_t{blobBytes};
+  }
+};
+
+/// The 16-byte header for a frame with the given section sizes.
+std::string EncodeFrameHeader(std::size_t jsonBytes, std::size_t blobBytes);
+
+/// Parses and validates a header. `header` must be exactly
+/// kFrameHeaderBytes; magic/version mismatches and section lengths whose
+/// sum exceeds `maxFrameBytes` are errors.
+Result<FrameHeader> DecodeFrameHeader(std::string_view header,
+                                      std::size_t maxFrameBytes);
+
+}  // namespace rvss::net

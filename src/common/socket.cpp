@@ -1,0 +1,304 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/strings.h"
+
+namespace rvss::net {
+namespace {
+
+Error SysError(const std::string& what) {
+  return Error{ErrorKind::kInternal, what + ": " + std::strerror(errno)};
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return SysError("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+/// Waits for `events` on `fd` within the deadline. Returns false on
+/// timeout, an error on poll failure.
+Result<bool> WaitFor(int fd, short events, const Deadline& deadline) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  while (true) {
+    const int ready = ::poll(&pfd, 1, deadline.RemainingMs());
+    if (ready > 0) return true;
+    if (ready == 0) return false;  // timeout
+    if (errno == EINTR) continue;
+    return SysError("poll");
+  }
+}
+
+struct ParsedAddress {
+  bool isUnix = false;
+  std::string path;  ///< unix socket path
+  std::string host;  ///< tcp literal address
+  int port = 0;
+};
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress parsed;
+  if (address.rfind("unix:", 0) == 0) {
+    parsed.isUnix = true;
+    parsed.path = address.substr(5);
+    if (parsed.path.empty()) {
+      return Error{ErrorKind::kInvalidArgument,
+                   "unix socket address needs a path: " + address};
+    }
+    if (parsed.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return Error{ErrorKind::kInvalidArgument,
+                   "unix socket path too long: " + parsed.path};
+    }
+    return parsed;
+  }
+  if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      return Error{ErrorKind::kInvalidArgument,
+                   "tcp address must be tcp:HOST:PORT, got " + address};
+    }
+    parsed.host = rest.substr(0, colon);
+    const auto port = ParseInt(rest.substr(colon + 1));
+    if (!port.has_value() || *port < 0 || *port > 65535) {
+      return Error{ErrorKind::kInvalidArgument,
+                   "bad tcp port in " + address};
+    }
+    parsed.port = static_cast<int>(*port);
+    return parsed;
+  }
+  return Error{ErrorKind::kInvalidArgument,
+               "address must start with unix: or tcp:, got '" + address +
+                   "'"};
+}
+
+/// Fills a sockaddr for `parsed`; returns its size.
+Result<socklen_t> FillSockaddr(const ParsedAddress& parsed,
+                               sockaddr_storage& storage) {
+  std::memset(&storage, 0, sizeof(storage));
+  if (parsed.isUnix) {
+    auto* addr = reinterpret_cast<sockaddr_un*>(&storage);
+    addr->sun_family = AF_UNIX;
+    std::memcpy(addr->sun_path, parsed.path.c_str(), parsed.path.size() + 1);
+    return static_cast<socklen_t>(sizeof(sockaddr_un));
+  }
+  auto* addr = reinterpret_cast<sockaddr_in*>(&storage);
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<std::uint16_t>(parsed.port));
+  if (::inet_pton(AF_INET, parsed.host.c_str(), &addr->sin_addr) != 1) {
+    return Error{ErrorKind::kInvalidArgument,
+                 "tcp host must be a literal IPv4 address, got '" +
+                     parsed.host + "'"};
+  }
+  return static_cast<socklen_t>(sizeof(sockaddr_in));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> ListenOn(const std::string& address, int backlog) {
+  RVSS_ASSIGN_OR_RETURN(const ParsedAddress parsed, ParseAddress(address));
+  if (parsed.isUnix) {
+    // Only a *stale* socket file (dead owner -> connect refused) may be
+    // unlinked; silently hijacking a live worker's endpoint would strand
+    // every session placed on it with no error at bind time.
+    sockaddr_storage probeAddr;
+    auto probeLength = FillSockaddr(parsed, probeAddr);
+    Socket probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (probeLength.ok() && probe.valid() &&
+        ::connect(probe.fd(), reinterpret_cast<sockaddr*>(&probeAddr),
+                  probeLength.value()) == 0) {
+      return Error{ErrorKind::kInvalidArgument,
+                   address + " is already served by a live process"};
+    }
+    ::unlink(parsed.path.c_str());
+  }
+
+  Socket socket(::socket(parsed.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return SysError("socket");
+  if (!parsed.isUnix) {
+    const int enable = 1;
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof(enable));
+  }
+  sockaddr_storage storage;
+  RVSS_ASSIGN_OR_RETURN(const socklen_t length,
+                        FillSockaddr(parsed, storage));
+  if (::bind(socket.fd(), reinterpret_cast<sockaddr*>(&storage), length) <
+      0) {
+    return SysError("bind " + address);
+  }
+  if (::listen(socket.fd(), backlog) < 0) {
+    return SysError("listen " + address);
+  }
+  RVSS_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
+  return socket;
+}
+
+Result<int> BoundPort(const Socket& listener) {
+  sockaddr_in addr;
+  socklen_t length = sizeof(addr);
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr),
+                    &length) < 0) {
+    return SysError("getsockname");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Result<Socket> AcceptOn(Socket& listener, int timeoutMs) {
+  const Deadline deadline(timeoutMs);
+  while (true) {
+    RVSS_ASSIGN_OR_RETURN(const bool ready,
+                          WaitFor(listener.fd(), POLLIN, deadline));
+    if (!ready) {
+      return Error{ErrorKind::kInternal, "accept timed out"};
+    }
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket accepted(fd);
+      RVSS_RETURN_IF_ERROR(SetNonBlocking(accepted.fd()));
+      return accepted;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return SysError("accept");
+  }
+}
+
+Result<Socket> ConnectTo(const std::string& address, int timeoutMs) {
+  RVSS_ASSIGN_OR_RETURN(const ParsedAddress parsed, ParseAddress(address));
+  sockaddr_storage storage;
+  RVSS_ASSIGN_OR_RETURN(const socklen_t length,
+                        FillSockaddr(parsed, storage));
+  const Deadline deadline(timeoutMs);
+
+  // A freshly forked worker may not have bound its socket yet, so a
+  // refused/missing endpoint is retried until the deadline instead of
+  // failing the first Call of every spawn.
+  while (true) {
+    Socket socket(::socket(parsed.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+    if (!socket.valid()) return SysError("socket");
+    RVSS_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
+
+    if (::connect(socket.fd(), reinterpret_cast<sockaddr*>(&storage),
+                  length) == 0) {
+      return socket;
+    }
+    if (errno == EINPROGRESS) {
+      RVSS_ASSIGN_OR_RETURN(const bool ready,
+                            WaitFor(socket.fd(), POLLOUT, deadline));
+      if (ready) {
+        int error = 0;
+        socklen_t errorLength = sizeof(error);
+        if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &error,
+                         &errorLength) == 0 &&
+            error == 0) {
+          return socket;
+        }
+        errno = error;
+      } else {
+        errno = ETIMEDOUT;
+      }
+    }
+    const bool retryable =
+        errno == ECONNREFUSED || errno == ENOENT || errno == ETIMEDOUT;
+    if (!retryable || deadline.Expired()) {
+      return SysError("connect " + address);
+    }
+    socket.Close();
+    struct timespec pause = {0, 10'000'000};  // 10ms between attempts
+    ::nanosleep(&pause, nullptr);
+  }
+}
+
+Result<bool> WaitReadable(Socket& socket, int timeoutMs) {
+  return WaitFor(socket.fd(), POLLIN, Deadline(timeoutMs));
+}
+
+Status SendAll(Socket& socket, std::string_view data, int timeoutMs) {
+  const Deadline deadline(timeoutMs);
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a worker dying mid-write must surface as EPIPE, not
+    // kill the router process with SIGPIPE.
+    const ssize_t wrote = ::send(socket.fd(), data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+    if (wrote > 0) {
+      sent += static_cast<std::size_t>(wrote);
+      continue;
+    }
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      RVSS_ASSIGN_OR_RETURN(const bool ready,
+                            WaitFor(socket.fd(), POLLOUT, deadline));
+      if (!ready) {
+        return Status::Fail(ErrorKind::kInternal, "send timed out");
+      }
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    return SysError("send");
+  }
+  return Status::Ok();
+}
+
+Status RecvAll(Socket& socket, char* buffer, std::size_t size,
+               int timeoutMs) {
+  const Deadline deadline(timeoutMs);
+  std::size_t received = 0;
+  while (received < size) {
+    const ssize_t got =
+        ::recv(socket.fd(), buffer + received, size - received, 0);
+    if (got > 0) {
+      received += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      return Status::Fail(ErrorKind::kInternal,
+                          "peer closed the connection mid-frame (" +
+                              std::to_string(received) + " of " +
+                              std::to_string(size) + " bytes)");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      RVSS_ASSIGN_OR_RETURN(const bool ready,
+                            WaitFor(socket.fd(), POLLIN, deadline));
+      if (!ready) {
+        return Status::Fail(ErrorKind::kInternal, "recv timed out");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return SysError("recv");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rvss::net

@@ -54,7 +54,11 @@ std::optional<RegisterId> ParseRegisterName(std::string_view name) {
 }
 
 std::string RegisterName(RegisterId id) {
-  return (id.kind == RegisterKind::kInt ? "x" : "f") + std::to_string(id.index);
+  // Built char-by-char: `"x" + std::to_string(...)` trips GCC 12's
+  // -Wrestrict false positive (PR105651) under -Werror.
+  std::string name(1, id.kind == RegisterKind::kInt ? 'x' : 'f');
+  name += std::to_string(id.index);
+  return name;
 }
 
 std::string RegisterAbiName(RegisterId id) {

@@ -87,6 +87,9 @@ class Json {
     return 0.0;
   }
   const std::string& AsString() const { return string_; }
+  /// Mutable access for callers that move large strings (session blobs)
+  /// in or out of a document without copying.
+  std::string& AsString() { return string_; }
   const Array& AsArray() const { return array_; }
   Array& AsArray() { return array_; }
   const Object& AsObject() const { return object_; }

@@ -1,0 +1,62 @@
+#include "server/frame_loop.h"
+
+#include <utility>
+
+namespace rvss::server {
+namespace {
+
+/// Serves one connection. Returns true when the loop should stop
+/// entirely (shutdownWorker), false to go back to accept.
+bool ServeConnection(SimServer& server, net::Socket& connection,
+                     const WireOptions& options) {
+  while (true) {
+    // Idle indefinitely between requests; options.ioTimeoutMs bounds the
+    // message read only once its first bytes arrive.
+    auto readable = net::WaitReadable(connection, net::kNoTimeout);
+    if (!readable.ok() || !readable.value()) return false;
+    auto request = ReadMessage(connection, options);
+    if (!request.ok()) {
+      if (request.error().kind == ErrorKind::kParse) {
+        // The frame was intact, only its JSON was malformed: the stream
+        // is still at a frame boundary, so answer with an error.
+        if (WriteMessage(connection, MakeErrorResponse(request.error()),
+                         options)
+                .ok()) {
+          continue;
+        }
+      }
+      // Framing/stream-level failure: we may be mid-frame, so the byte
+      // stream can no longer be trusted — drop the connection.
+      return false;
+    }
+    const bool shutdown =
+        request.value().GetString("command", "") == "shutdownWorker";
+    json::Json response;
+    if (shutdown) {
+      response = json::Json::MakeObject();
+      response.Set("status", "ok");
+      response.Set("shutdown", true);
+    } else {
+      response = server.Handle(request.value());
+    }
+    if (!WriteMessage(connection, std::move(response), options).ok()) {
+      return shutdown;  // peer vanished; nothing left to tell it
+    }
+    if (shutdown) return true;
+  }
+}
+
+}  // namespace
+
+Status ServeFrames(SimServer& server, net::Socket& listener,
+                   const WireOptions& options) {
+  while (true) {
+    auto connection = net::AcceptOn(listener, net::kNoTimeout);
+    if (!connection.ok()) return connection.status();
+    if (ServeConnection(server, connection.value(), options)) {
+      return Status::Ok();
+    }
+  }
+}
+
+}  // namespace rvss::server

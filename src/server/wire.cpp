@@ -1,0 +1,95 @@
+#include "server/wire.h"
+
+#include <utility>
+
+namespace rvss::server {
+namespace {
+
+/// Moves a non-empty top-level "blob" string out of `message`. An empty
+/// or absent blob stays in the JSON (blobBytes == 0 on the wire means
+/// "nothing detached", so empty-but-present must not take this path).
+std::string DetachBlob(json::Json& message) {
+  if (!message.IsObject()) return {};
+  json::Object& object = message.AsObject();
+  for (auto it = object.begin(); it != object.end(); ++it) {
+    if (it->first == "blob" && it->second.IsString() &&
+        !it->second.AsString().empty()) {
+      std::string blob = std::move(it->second.AsString());
+      object.erase(it);
+      return blob;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Status WriteFrame(net::Socket& socket, std::string_view jsonText,
+                  std::string_view blob, const WireOptions& options) {
+  // The header's section lengths are u32: even a deployment that raises
+  // maxFrameBytes past 4 GiB must not emit a truncated length, which
+  // would desync every frame after it.
+  constexpr std::size_t kMaxSectionBytes = 0xffffffffu;
+  if (jsonText.size() > kMaxSectionBytes || blob.size() > kMaxSectionBytes) {
+    return Status::Fail(ErrorKind::kInvalidArgument,
+                        "frame section exceeds the u32 length field");
+  }
+  if (jsonText.size() + blob.size() > options.maxFrameBytes) {
+    return Status::Fail(
+        ErrorKind::kInvalidArgument,
+        "message of " + std::to_string(jsonText.size() + blob.size()) +
+            " bytes exceeds the " + std::to_string(options.maxFrameBytes) +
+            "-byte frame cap");
+  }
+  const net::Deadline deadline(options.ioTimeoutMs);
+  const std::string header =
+      net::EncodeFrameHeader(jsonText.size(), blob.size());
+  RVSS_RETURN_IF_ERROR(net::SendAll(socket, header, deadline.RemainingMs()));
+  RVSS_RETURN_IF_ERROR(net::SendAll(socket, jsonText,
+                                    deadline.RemainingMs()));
+  if (!blob.empty()) {
+    RVSS_RETURN_IF_ERROR(net::SendAll(socket, blob, deadline.RemainingMs()));
+  }
+  return Status::Ok();
+}
+
+Status WriteMessage(net::Socket& socket, json::Json message,
+                    const WireOptions& options) {
+  const std::string blob = DetachBlob(message);
+  return WriteFrame(socket, message.Dump(), blob, options);
+}
+
+Result<json::Json> ReadMessage(net::Socket& socket,
+                               const WireOptions& options) {
+  const net::Deadline deadline(options.ioTimeoutMs);
+  char headerBytes[net::kFrameHeaderBytes];
+  RVSS_RETURN_IF_ERROR(net::RecvAll(socket, headerBytes,
+                                    net::kFrameHeaderBytes,
+                                    deadline.RemainingMs()));
+  RVSS_ASSIGN_OR_RETURN(
+      const net::FrameHeader header,
+      net::DecodeFrameHeader(
+          std::string_view(headerBytes, net::kFrameHeaderBytes),
+          options.maxFrameBytes));
+
+  // Consume the whole declared frame before parsing: a JSON error must
+  // leave the stream positioned at the next frame boundary, so the
+  // connection stays usable for an error response.
+  std::string text(header.jsonBytes, '\0');
+  if (header.jsonBytes > 0) {
+    RVSS_RETURN_IF_ERROR(net::RecvAll(socket, text.data(), text.size(),
+                                      deadline.RemainingMs()));
+  }
+  std::string blob(header.blobBytes, '\0');
+  if (header.blobBytes > 0) {
+    RVSS_RETURN_IF_ERROR(net::RecvAll(socket, blob.data(), blob.size(),
+                                      deadline.RemainingMs()));
+  }
+  RVSS_ASSIGN_OR_RETURN(json::Json message, json::Parse(text));
+  if (!blob.empty()) {
+    message.Set("blob", std::move(blob));
+  }
+  return message;
+}
+
+}  // namespace rvss::server

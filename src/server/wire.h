@@ -1,0 +1,54 @@
+// JSON messages over length-prefixed frames: the worker wire protocol.
+//
+// A message is one JSON document (a request or a response of the SimServer
+// command API). On the wire it becomes a common/framing.h frame whose two
+// sections split the document: a top-level string field named "blob" — the
+// base64 session payload of exportSession/importSession, by far the
+// largest thing the protocol carries — is detached and shipped in the
+// frame's binary section, everything else is serialized as JSON text. The
+// receiver reattaches the blob, so both ends observe identical documents
+// and the split is invisible above this layer. Detaching keeps multi-MiB
+// blobs out of the JSON writer and parser (no escape scanning, no string
+// re-copying) and gives a future binary codec a ready channel.
+//
+// Read/write are synchronous with millisecond deadlines; every failure
+// (timeout, truncated frame, over-cap length, version mismatch) is a
+// Status the transport layer reports — the connection is then unusable
+// and must be re-established.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/framing.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "json/json.h"
+
+namespace rvss::server {
+
+struct WireOptions {
+  /// Deadline for one whole message: header and both payload sections
+  /// share a single budget, so a peer dribbling bytes section-by-section
+  /// cannot stretch one call past it.
+  int ioTimeoutMs = 30'000;
+  std::size_t maxFrameBytes = net::kDefaultMaxFrameBytes;
+};
+
+/// Writes one frame from pre-split sections. The zero-copy primitive:
+/// both sections are borrowed views, nothing is re-serialized — callers
+/// that resend (the transport's write retry) pay the serialization once.
+Status WriteFrame(net::Socket& socket, std::string_view jsonText,
+                  std::string_view blob, const WireOptions& options);
+
+/// Serializes `message` into one frame and writes it. The message is
+/// taken by value so a non-empty top-level "blob" string can be moved
+/// into the binary section instead of copied.
+Status WriteMessage(net::Socket& socket, json::Json message,
+                    const WireOptions& options);
+
+/// Reads one frame and reassembles the message (reattaching the blob).
+Result<json::Json> ReadMessage(net::Socket& socket,
+                               const WireOptions& options);
+
+}  // namespace rvss::server

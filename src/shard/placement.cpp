@@ -12,27 +12,45 @@ std::uint64_t HashKey(std::uint64_t key) {
 }
 
 HashRing::HashRing(std::size_t workerCount, std::size_t virtualNodesPerWorker)
-    : workerCount_(workerCount) {
+    : workerCount_(0), virtualNodesPerWorker_(virtualNodesPerWorker) {
   points_.reserve(workerCount * virtualNodesPerWorker);
   for (std::size_t worker = 0; worker < workerCount; ++worker) {
-    for (std::size_t replica = 0; replica < virtualNodesPerWorker;
-         ++replica) {
-      // Each virtual node hashes a salted (worker, replica) pair. The salt
-      // domain-separates ring points from session keys: without it,
-      // HashKey(smallKey) coincides exactly with worker 0's replica
-      // points, pinning every small session id onto worker 0.
-      constexpr std::uint64_t kRingSalt = 0xc5a1cc5a1cc5a1ccull;
-      const std::uint64_t seed =
-          HashKey(kRingSalt ^ (static_cast<std::uint64_t>(worker) << 32 |
-                               static_cast<std::uint64_t>(replica)));
-      points_.push_back(Point{seed, static_cast<std::uint32_t>(worker)});
-    }
+    AddWorker();
+  }
+}
+
+void HashRing::InsertPointsFor(std::size_t worker) {
+  for (std::size_t replica = 0; replica < virtualNodesPerWorker_;
+       ++replica) {
+    // Each virtual node hashes a salted (worker, replica) pair. The salt
+    // domain-separates ring points from session keys: without it,
+    // HashKey(smallKey) coincides exactly with worker 0's replica
+    // points, pinning every small session id onto worker 0.
+    constexpr std::uint64_t kRingSalt = 0xc5a1cc5a1cc5a1ccull;
+    const std::uint64_t seed =
+        HashKey(kRingSalt ^ (static_cast<std::uint64_t>(worker) << 32 |
+                             static_cast<std::uint64_t>(replica)));
+    points_.push_back(Point{seed, static_cast<std::uint32_t>(worker)});
   }
   std::sort(points_.begin(), points_.end(),
             [](const Point& a, const Point& b) {
               return a.hash != b.hash ? a.hash < b.hash
                                       : a.worker < b.worker;
             });
+}
+
+std::size_t HashRing::AddWorker() {
+  const std::size_t worker = workerCount_++;
+  InsertPointsFor(worker);
+  return worker;
+}
+
+void HashRing::RemoveWorker(std::size_t worker) {
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [worker](const Point& point) {
+                                 return point.worker == worker;
+                               }),
+                points_.end());
 }
 
 std::optional<std::size_t> HashRing::Pick(

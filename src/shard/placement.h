@@ -33,6 +33,19 @@ class HashRing {
   std::optional<std::size_t> Pick(std::uint64_t key,
                                   const std::vector<bool>& eligible) const;
 
+  /// Grows the ring by one worker slot (index = previous workerCount),
+  /// inserting its virtual nodes with the same salted hash as the
+  /// constructor — a ring grown to N points identically to one built at
+  /// N, so placement stays deterministic across elastic histories.
+  /// Returns the new worker's index.
+  std::size_t AddWorker();
+
+  /// Removes `worker`'s virtual nodes; its arcs fall to the clockwise
+  /// successors. Slot indices are stable — workerCount() still counts
+  /// the removed slot, it just owns no keyspace (and Pick never returns
+  /// it).
+  void RemoveWorker(std::size_t worker);
+
   std::size_t workerCount() const { return workerCount_; }
 
  private:
@@ -40,8 +53,11 @@ class HashRing {
     std::uint64_t hash;
     std::uint32_t worker;
   };
+  void InsertPointsFor(std::size_t worker);
+
   std::vector<Point> points_;  ///< sorted by hash
   std::size_t workerCount_;
+  std::size_t virtualNodesPerWorker_;
 };
 
 /// Index of the eligible worker with the smallest load (ties break to the

@@ -23,6 +23,15 @@ json::Json RouterError(ErrorKind kind, std::string message) {
 
 }  // namespace
 
+Result<std::shared_ptr<WorkerTransport>> ShardRouter::MakeTransport(
+    std::size_t worker, const server::SimServer::Limits& limits) {
+  if (options_.transportFactory) {
+    return options_.transportFactory(worker, limits);
+  }
+  return std::shared_ptr<WorkerTransport>(
+      std::make_shared<InProcessTransport>(limits));
+}
+
 ShardRouter::ShardRouter(const Options& options)
     : options_(options),
       ring_(std::max<std::size_t>(options.workerCount, 1),
@@ -33,7 +42,16 @@ ShardRouter::ShardRouter(const Options& options)
     const server::SimServer::Limits& limits =
         options_.perWorkerLimits.size() == count ? options_.perWorkerLimits[i]
                                                  : options_.workerLimits;
-    workers_.push_back(std::make_unique<server::SimServer>(limits));
+    auto transport = MakeTransport(i, limits);
+    if (transport.ok()) {
+      workers_.push_back(std::move(transport).value());
+    } else {
+      // A slot whose transport could not be built is born removed: the
+      // fleet still comes up, the hole is visible in workerStats, and
+      // nothing ever routes there.
+      workers_.push_back(nullptr);
+      slotErrors_[i] = transport.error().message;
+    }
   }
   drained_.assign(count, false);
 }
@@ -50,6 +68,19 @@ std::string ShardRouter::HandleRaw(std::string_view requestBytes,
       requestBytes, compress, timing);
 }
 
+json::Json ShardRouter::CallWorker(std::size_t worker,
+                                   const json::Json& request) {
+  if (!IsLive(worker)) {
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "worker " + std::to_string(worker) + " was removed");
+  }
+  auto response = workers_[worker]->Call(request);
+  if (!response.ok()) {
+    return server::MakeErrorResponse(response.error());
+  }
+  return std::move(response).value();
+}
+
 json::Json ShardRouter::Dispatch(const json::Json& request) {
   const std::string command = request.GetString("command", "");
   if (command == "createSession" || command == "importSession") {
@@ -59,19 +90,39 @@ json::Json ShardRouter::Dispatch(const json::Json& request) {
   if (command == "workerStats") return WorkerStats();
   if (command == "drainWorker") return DrainWorker(request);
   if (command == "openWorker") return OpenWorker(request);
+  if (command == "addWorker") return AddWorker(request);
+  if (command == "removeWorker") return RemoveWorker(request);
   if (command == "rebalance") return Rebalance();
+  if (command == "shutdownWorker") {
+    // Out-of-band worker-level command: forwarding it would let any API
+    // client kill a fleet process. Only the router's own removeWorker
+    // path may send it, directly over the transport.
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "shutdownWorker is not a router command; use "
+                       "removeWorker {worker}");
+  }
   if (request.Find("sessionId") != nullptr) {
     return RouteSessionCommand(request);
   }
   // Stateless commands (compile, parseAsm, checkConfig) and unknown
-  // commands need no placement; any worker gives the right answer.
-  return workers_[0]->Handle(request);
+  // commands need no placement; any live worker gives the right answer —
+  // and they are side-effect-free, so a worker whose process is dead is
+  // simply skipped for the next one instead of failing the request.
+  json::Json lastError = RouterError(ErrorKind::kInvalidArgument,
+                                     "every worker has been removed");
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!IsLive(i)) continue;
+    auto response = workers_[i]->Call(request);
+    if (response.ok()) return std::move(response).value();
+    lastError = server::MakeErrorResponse(response.error());
+  }
+  return lastError;
 }
 
 std::vector<bool> ShardRouter::Eligible() const {
   std::vector<bool> eligible(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    eligible[i] = !drained_[i];
+    eligible[i] = IsLive(i) && !drained_[i];
   }
   return eligible;
 }
@@ -91,7 +142,7 @@ json::Json ShardRouter::AdmitSession(const json::Json& request) {
   const std::int64_t globalId = nextGlobalId_++;
   auto worker = PlaceNew(globalId);
   if (!worker.ok()) return server::MakeErrorResponse(worker.error());
-  json::Json response = workers_[worker.value()]->Handle(request);
+  json::Json response = CallWorker(worker.value(), request);
   if (!IsOk(response)) return response;
   const std::int64_t localId = response.GetInt("sessionId", -1);
   placements_[globalId] = Placement{worker.value(), localId};
@@ -109,7 +160,7 @@ json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
   }
   json::Json forwarded = request;
   forwarded.Set("sessionId", it->second.localId);
-  json::Json response = workers_[it->second.worker]->Handle(forwarded);
+  json::Json response = CallWorker(it->second.worker, forwarded);
   if (request.GetString("command", "") == "deleteSession" && IsOk(response)) {
     placements_.erase(it);
   }
@@ -133,14 +184,22 @@ json::Json ShardRouter::ListSessions() {
   // global-id order so the output is stable across placements.
   json::Json response = Ok();
   json::Json list = json::Json::MakeArray();
+  json::Json unreachable = json::Json::MakeArray();
   std::int64_t totalBytes = 0;
   std::vector<json::Json> perWorker;
   std::vector<std::map<std::int64_t, const json::Json*>> perWorkerIndex;
   perWorker.reserve(workers_.size());
   json::Json listRequest = json::Json::MakeObject();
   listRequest.Set("command", "listSessions");
-  for (auto& worker : workers_) {
-    perWorker.push_back(worker->Handle(listRequest));
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    perWorker.push_back(IsLive(i) ? CallWorker(i, listRequest)
+                                  : json::Json::MakeObject());
+    // A live slot whose process is dead cannot enumerate its sessions;
+    // flag it so the omissions below read as "unreachable", not
+    // "deleted" — the sessions still exist and still route (to errors).
+    if (IsLive(i) && !IsOk(perWorker.back())) {
+      unreachable.Append(json::Json(static_cast<std::int64_t>(i)));
+    }
   }
   perWorkerIndex.reserve(perWorker.size());
   for (const json::Json& listed : perWorker) {
@@ -158,24 +217,43 @@ json::Json ShardRouter::ListSessions() {
   }
   response.Set("sessions", std::move(list));
   response.Set("totalApproxBytes", totalBytes);
+  response.Set("unreachableWorkers", std::move(unreachable));
   return response;
 }
 
-ShardRouter::WorkerLoad ShardRouter::LoadOf(std::size_t worker) {
+Result<ShardRouter::WorkerLoad> ShardRouter::LoadOf(std::size_t worker) {
+  if (!IsLive(worker)) {
+    return Error{ErrorKind::kInvalidArgument,
+                 "worker " + std::to_string(worker) + " was removed"};
+  }
   json::Json listRequest = json::Json::MakeObject();
   listRequest.Set("command", "listSessions");
-  json::Json response = workers_[worker]->Handle(listRequest);
+  auto response = workers_[worker]->Call(listRequest);
+  if (!response.ok()) return response.error();
+  if (!IsOk(response.value())) {
+    return Error{ErrorKind::kInternal,
+                 response.value().GetString("message", "listSessions failed")};
+  }
   WorkerLoad load;
-  load.sessions = workers_[worker]->sessionCount();
-  load.approxBytes =
-      static_cast<std::uint64_t>(response.GetInt("totalApproxBytes", 0));
+  const json::Json* sessions = response.value().Find("sessions");
+  if (sessions != nullptr && sessions->IsArray()) {
+    load.sessions = sessions->AsArray().size();
+  }
+  load.approxBytes = static_cast<std::uint64_t>(
+      response.value().GetInt("totalApproxBytes", 0));
   return load;
 }
 
-std::vector<std::uint64_t> ShardRouter::ByteLoads() {
-  std::vector<std::uint64_t> loads(workers_.size());
+ShardRouter::FleetLoads ShardRouter::ProbeLoads() {
+  FleetLoads loads;
+  loads.bytes.assign(workers_.size(), 0);
+  loads.reachable.assign(workers_.size(), false);
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    loads[i] = LoadOf(i).approxBytes;
+    if (!IsLive(i)) continue;
+    auto load = LoadOf(i);
+    if (!load.ok()) continue;
+    loads.bytes[i] = load.value().approxBytes;
+    loads.reachable[i] = true;
   }
   return loads;
 }
@@ -184,12 +262,31 @@ json::Json ShardRouter::WorkerStats() {
   json::Json response = Ok();
   json::Json list = json::Json::MakeArray();
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    const WorkerLoad load = LoadOf(i);
     json::Json entry = json::Json::MakeObject();
     entry.Set("worker", static_cast<std::int64_t>(i));
-    entry.Set("sessions", static_cast<std::int64_t>(load.sessions));
-    entry.Set("approxBytes", static_cast<std::int64_t>(load.approxBytes));
+    if (!IsLive(i)) {
+      entry.Set("removed", true);
+      auto slotError = slotErrors_.find(i);
+      if (slotError != slotErrors_.end()) {
+        entry.Set("error", slotError->second);
+      }
+      list.Append(std::move(entry));
+      continue;
+    }
+    entry.Set("transport", workers_[i]->Describe());
     entry.Set("drained", static_cast<bool>(drained_[i]));
+    entry.Set("removed", false);
+    auto load = LoadOf(i);
+    if (load.ok()) {
+      entry.Set("sessions", static_cast<std::int64_t>(load.value().sessions));
+      entry.Set("approxBytes",
+                static_cast<std::int64_t>(load.value().approxBytes));
+    } else {
+      // A dead worker process: the slot exists, the sessions placed there
+      // are unreachable until it restarts — report, don't hide.
+      entry.Set("unreachable", true);
+      entry.Set("error", load.error().message);
+    }
     list.Append(std::move(entry));
   }
   response.Set("workers", std::move(list));
@@ -208,10 +305,11 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
   json::Json exportRequest = json::Json::MakeObject();
   exportRequest.Set("command", "exportSession");
   exportRequest.Set("sessionId", source.localId);
-  json::Json exported = workers_[source.worker]->Handle(exportRequest);
+  json::Json exported = CallWorker(source.worker, exportRequest);
   if (!IsOk(exported)) {
     // The session vanished from its worker (deleted behind the router's
-    // back, or export failed). Nothing moved; surface the worker's error.
+    // back, export failed, or the worker process is dead). Nothing
+    // moved; surface the worker's error.
     return Status::Fail(
         ErrorKind::kInternal,
         "export of session " + std::to_string(globalId) + " from worker " +
@@ -228,10 +326,11 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
   json::Json importRequest = json::Json::MakeObject();
   importRequest.Set("command", "importSession");
   importRequest.Set("blob", blobBytes);
-  json::Json imported = workers_[destination]->Handle(importRequest);
+  json::Json imported = CallWorker(destination, importRequest);
   if (!IsOk(imported)) {
-    // Destination refused (blob budget, decode failure). The source copy
-    // was never deleted, so the session is still live where it was.
+    // Destination refused (blob budget, decode failure) or is
+    // unreachable. The source copy was never deleted, so the session is
+    // still live where it was — the move aborts, nothing is lost.
     return Status::Fail(
         ErrorKind::kInternal,
         "worker " + std::to_string(destination) + " rejected session " +
@@ -243,14 +342,14 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
   json::Json deleteRequest = json::Json::MakeObject();
   deleteRequest.Set("command", "deleteSession");
   deleteRequest.Set("sessionId", source.localId);
-  json::Json deleted = workers_[source.worker]->Handle(deleteRequest);
+  json::Json deleted = CallWorker(source.worker, deleteRequest);
   if (!IsOk(deleted)) {
     // Failing to delete would leave two live copies; roll the import back
     // so the mapping stays unambiguous.
     json::Json rollback = json::Json::MakeObject();
     rollback.Set("command", "deleteSession");
     rollback.Set("sessionId", imported.GetInt("sessionId", -1));
-    workers_[destination]->Handle(rollback);
+    CallWorker(destination, rollback);
     return Status::Fail(
         ErrorKind::kInternal,
         "could not delete session " + std::to_string(globalId) +
@@ -263,18 +362,9 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
   return Status::Ok();
 }
 
-json::Json ShardRouter::DrainWorker(const json::Json& request) {
-  const std::int64_t worker = request.GetInt("worker", -1);
-  if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size())) {
-    return RouterError(ErrorKind::kInvalidArgument,
-                       "unknown worker " + std::to_string(worker));
-  }
-  const std::size_t index = static_cast<std::size_t>(worker);
-  // Close the worker to new placements before touching its sessions, so
-  // the drain cannot race its own imports back onto the source. Draining
-  // an already-drained (empty) worker is a no-op success.
-  drained_[index] = true;
-
+std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
+                                                     json::Json& response,
+                                                     bool* sourceReachable) {
   std::vector<std::int64_t> toMove;
   for (const auto& [globalId, placement] : placements_) {
     if (placement.worker == index) toMove.push_back(globalId);
@@ -288,7 +378,8 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
   {
     json::Json listRequest = json::Json::MakeObject();
     listRequest.Set("command", "listSessions");
-    const json::Json listed = workers_[index]->Handle(listRequest);
+    const json::Json listed = CallWorker(index, listRequest);
+    if (sourceReachable != nullptr) *sourceReachable = IsOk(listed);
     const auto localIndex = IndexSessions(listed);
     for (const std::int64_t globalId : toMove) {
       auto found = localIndex.find(placements_[globalId].localId);
@@ -298,15 +389,21 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
       }
     }
   }
-  std::vector<std::uint64_t> loads = ByteLoads();
+  FleetLoads fleet = ProbeLoads();
   std::vector<bool> eligible = Eligible();
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    // Never pick an unreachable destination: the import would fail and
+    // burn an export round-trip per session.
+    eligible[i] = eligible[i] && fleet.reachable[i];
+  }
   eligible[index] = false;
 
   std::int64_t moved = 0;
   std::uint64_t movedBytes = 0;
+  std::vector<std::int64_t> failedIds;
   json::Json failed = json::Json::MakeArray();
   for (const std::int64_t globalId : toMove) {
-    auto destination = LeastLoaded(loads, eligible);
+    auto destination = LeastLoaded(fleet.bytes, eligible);
     Status status =
         destination.has_value()
             ? MoveSession(globalId, *destination, &movedBytes)
@@ -315,8 +412,9 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
                                std::to_string(globalId));
     if (status.ok()) {
       ++moved;
-      loads[*destination] += sessionBytes[globalId];
+      fleet.bytes[*destination] += sessionBytes[globalId];
     } else {
+      failedIds.push_back(globalId);
       json::Json failure = json::Json::MakeObject();
       failure.Set("sessionId", globalId);
       failure.Set("message", status.error().message);
@@ -324,25 +422,45 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
     }
   }
 
-  json::Json response;
-  if (failed.AsArray().empty()) {
-    response = Ok();
-  } else {
-    response = RouterError(
-        ErrorKind::kInternal,
-        "drain of worker " + std::to_string(worker) + " left " +
-            std::to_string(failed.AsArray().size()) +
-            " session(s) on the worker (each is still live and retryable)");
-  }
   response.Set("moved", moved);
   response.Set("movedBytes", static_cast<std::int64_t>(movedBytes));
   response.Set("failed", std::move(failed));
+  return failedIds;
+}
+
+json::Json ShardRouter::DrainWorker(const json::Json& request) {
+  const std::int64_t worker = request.GetInt("worker", -1);
+  if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
+      !IsLive(static_cast<std::size_t>(worker))) {
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "unknown worker " + std::to_string(worker));
+  }
+  const std::size_t index = static_cast<std::size_t>(worker);
+  // Close the worker to new placements before touching its sessions, so
+  // the drain cannot race its own imports back onto the source. Draining
+  // an already-drained (empty) worker is a no-op success.
+  drained_[index] = true;
+
+  json::Json response = json::Json::MakeObject();
+  const std::vector<std::int64_t> failedIds = DrainSessions(index, response);
+  if (failedIds.empty()) {
+    response.Set("status", "ok");
+  } else {
+    response.Set("status", "error");
+    response.Set("kind", ToString(ErrorKind::kInternal));
+    response.Set(
+        "message",
+        "drain of worker " + std::to_string(worker) + " left " +
+            std::to_string(failedIds.size()) +
+            " session(s) on the worker (each is still live and retryable)");
+  }
   return response;
 }
 
 json::Json ShardRouter::OpenWorker(const json::Json& request) {
   const std::int64_t worker = request.GetInt("worker", -1);
-  if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size())) {
+  if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
+      !IsLive(static_cast<std::size_t>(worker))) {
     return RouterError(ErrorKind::kInvalidArgument,
                        "unknown worker " + std::to_string(worker));
   }
@@ -350,8 +468,106 @@ json::Json ShardRouter::OpenWorker(const json::Json& request) {
   return Ok();
 }
 
+json::Json ShardRouter::AddWorker(const json::Json& request) {
+  const std::size_t index = workers_.size();
+  Result<std::shared_ptr<WorkerTransport>> transport = [&]()
+      -> Result<std::shared_ptr<WorkerTransport>> {
+    const std::string address = request.GetString("address", "");
+    if (!address.empty()) {
+      return std::shared_ptr<WorkerTransport>(
+          std::make_shared<SocketTransport>(address,
+                                            options_.socketOptions));
+    }
+    return MakeTransport(index, options_.workerLimits);
+  }();
+  if (!transport.ok()) {
+    return server::MakeErrorResponse(transport.error());
+  }
+
+  // Probe before committing the slot: a bogus address or a worker that
+  // died during spawn must not claim an arc of the ring.
+  json::Json probe = json::Json::MakeObject();
+  probe.Set("command", "listSessions");
+  auto probed = transport.value()->Call(probe);
+  if (!probed.ok()) {
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "new worker " + transport.value()->Describe() +
+                           " failed its probe: " + probed.error().message);
+  }
+
+  workers_.push_back(std::move(transport).value());
+  drained_.push_back(false);
+  ring_.AddWorker();
+
+  json::Json response = Ok();
+  response.Set("worker", static_cast<std::int64_t>(index));
+  response.Set("transport", workers_[index]->Describe());
+  return response;
+}
+
+json::Json ShardRouter::RemoveWorker(const json::Json& request) {
+  const std::int64_t worker = request.GetInt("worker", -1);
+  if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
+      !IsLive(static_cast<std::size_t>(worker))) {
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "unknown worker " + std::to_string(worker));
+  }
+  const std::size_t index = static_cast<std::size_t>(worker);
+  const bool force = request.GetBool("force", false);
+  drained_[index] = true;
+
+  json::Json response = json::Json::MakeObject();
+  bool sourceReachable = true;
+  const std::vector<std::int64_t> failedIds =
+      DrainSessions(index, response, &sourceReachable);
+
+  json::Json lost = json::Json::MakeArray();
+  if (!failedIds.empty() && !force) {
+    // Fail closed: the worker stays (drained), every stranded session is
+    // still addressed, and the caller can retry or force.
+    response.Set("status", "error");
+    response.Set("kind", ToString(ErrorKind::kInternal));
+    response.Set("message",
+                 "removeWorker " + std::to_string(worker) + " would strand " +
+                     std::to_string(failedIds.size()) +
+                     " session(s); they remain on the (drained) worker — "
+                     "retry, or pass force to discard them");
+    response.Set("removed", false);
+    response.Set("lost", std::move(lost));
+    return response;
+  }
+  for (const std::int64_t globalId : failedIds) {
+    // force: the operator accepted the loss (dead process, corrupt
+    // session). Drop the placement so the id stops routing to a ghost,
+    // and say so explicitly — lost-with-error, never silently.
+    placements_.erase(globalId);
+    lost.Append(json::Json(globalId));
+  }
+
+  // Graceful stop for process workers; in-process workers just go away
+  // with their transport. A worker the drain already proved dead gets no
+  // shutdown round trip — it could only burn the connect timeout while
+  // the whole (synchronous) fleet waits behind it.
+  if (workers_[index]->LocalServer() == nullptr && sourceReachable) {
+    json::Json shutdown = json::Json::MakeObject();
+    shutdown.Set("command", "shutdownWorker");
+    (void)workers_[index]->Call(shutdown);
+  }
+  ring_.RemoveWorker(index);
+  workers_[index] = nullptr;
+
+  response.Set("status", "ok");
+  response.Set("removed", true);
+  response.Set("lost", std::move(lost));
+  return response;
+}
+
 json::Json ShardRouter::Rebalance() {
-  const std::vector<bool> eligible = Eligible();
+  FleetLoads fleet = ProbeLoads();
+  std::vector<bool> eligible = Eligible();
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    eligible[i] = eligible[i] && fleet.reachable[i];
+  }
   const std::size_t eligibleCount =
       static_cast<std::size_t>(
           std::count(eligible.begin(), eligible.end(), true));
@@ -373,7 +589,7 @@ json::Json ShardRouter::Rebalance() {
     return mean > 0 ? static_cast<double>(maxLoad) / mean : 1.0;
   };
 
-  const double skewBefore = skewOf(ByteLoads());
+  const double skewBefore = skewOf(fleet.bytes);
   std::int64_t moved = 0;
   std::uint64_t movedBytes = 0;
   json::Json failed = json::Json::MakeArray();
@@ -384,7 +600,7 @@ json::Json ShardRouter::Rebalance() {
   // snapshotted once and maintained incrementally — a fleet-wide
   // re-estimate per move would walk every worker's session table each
   // iteration.
-  std::vector<std::uint64_t> loads = ByteLoads();
+  std::vector<std::uint64_t> loads = fleet.bytes;
   const std::size_t maxMoves = placements_.size();
   for (std::size_t iteration = 0; iteration < maxMoves; ++iteration) {
     if (skewOf(loads) <= options_.rebalanceSkewThreshold) break;
@@ -405,7 +621,7 @@ json::Json ShardRouter::Rebalance() {
     // id): smallest first avoids overshooting the mean.
     json::Json listRequest = json::Json::MakeObject();
     listRequest.Set("command", "listSessions");
-    const json::Json sessions = workers_[most]->Handle(listRequest);
+    const json::Json sessions = CallWorker(most, listRequest);
     const auto localIndex = IndexSessions(sessions);
     std::int64_t candidate = -1;
     std::int64_t candidateBytes = std::numeric_limits<std::int64_t>::max();
@@ -454,7 +670,7 @@ json::Json ShardRouter::Rebalance() {
   response.Set("moved", moved);
   response.Set("movedBytes", static_cast<std::int64_t>(movedBytes));
   response.Set("skewBefore", skewBefore);
-  response.Set("skewAfter", skewOf(ByteLoads()));
+  response.Set("skewAfter", skewOf(ProbeLoads().bytes));
   response.Set("failed", std::move(failed));
   return response;
 }

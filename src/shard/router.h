@@ -1,5 +1,6 @@
-// The shard router: one process, many SimServer workers, one session
-// namespace — the policy/transport loop over PR 2's migration primitive.
+// The shard router: one session namespace over many workers — in this
+// process or behind sockets — the policy loop over PR 2's migration
+// primitive and PR 4's worker transports.
 //
 // The router speaks the exact same JSON command API as a single SimServer
 // (clients cannot tell the difference): it assigns globally unique session
@@ -8,20 +9,37 @@
 // else verbatim. On top of the route-through it adds fleet operations:
 //
 //   workerStats  {}          -> {workers: [{worker, sessions, approxBytes,
-//                                           drained}]}
+//                                           drained, removed, transport}]}
 //   drainWorker  {worker}    -> {moved, movedBytes, failed[]}
 //   openWorker   {worker}    -> {ok}        (re-admit a drained worker)
 //   rebalance    {}          -> {moved, movedBytes, skewBefore, skewAfter}
+//   addWorker    {address?}  -> {worker}    (grow the fleet; an address
+//                                attaches a running socket worker, no
+//                                address asks Options::transportFactory)
+//   removeWorker {worker, force?} -> {moved, movedBytes, failed[], lost[]}
+//                                (drain, then shrink the ring; see below)
+//
+// Workers are reached through WorkerTransport (shard/transport.h): the
+// in-process default behaves exactly like PR 3; SocketTransport talks to
+// real worker processes. Transport failures are fail-closed: a request
+// that got no response is reported as an error on that request — the
+// router never guesses, never retries a maybe-executed command, and
+// never silently drops a session.
 //
 // drainWorker exports every session on the worker and imports each onto
-// the least-loaded non-drained peer, then deletes the source copy — the
-// delete happens only after the destination import succeeded, so a failure
-// at any point leaves the session live on its source worker; a migration
-// can be retried but never loses state. A drained worker receives no new
-// placements until openWorker re-admits it; draining an already-drained
-// empty worker is a no-op success (idempotent). rebalance runs the same
-// move loop whenever the byte-load skew (max worker load over the mean)
-// exceeds Options::rebalanceSkewThreshold.
+// the least-loaded *reachable* non-drained peer, then deletes the source
+// copy — the delete happens only after the destination import succeeded,
+// so a failure at any point leaves the session live on its source worker;
+// an unreachable destination aborts the move with the source intact, and
+// a dead source worker makes every one of its sessions a reported
+// failure (lost-with-error), never a silent drop.
+//
+// removeWorker completes elastic scale-in: mark drained, run the drain
+// loop, and only if every session moved off (or `force` accepts the
+// loss, each lost session listed in `lost[]`) remove the worker's arc
+// from the ring and shut the transport down. addWorker is the matching
+// scale-out: the ring grows by one arc — consistent hashing moves only
+// the keys that hash into it — and new placements start landing there.
 //
 // Safety against sessions mid-`run`: the router is synchronous — a request
 // is dispatched to exactly one worker and runs to completion before the
@@ -32,6 +50,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -41,11 +60,18 @@
 #include "json/json.h"
 #include "server/api.h"
 #include "shard/placement.h"
+#include "shard/transport.h"
 
 namespace rvss::shard {
 
 class ShardRouter {
  public:
+  /// Builds the transport for one worker slot. Used for every initial
+  /// slot and for `addWorker` requests without an address.
+  using TransportFactory =
+      std::function<Result<std::shared_ptr<WorkerTransport>>(
+          std::size_t worker, const server::SimServer::Limits& limits)>;
+
   struct Options {
     std::size_t workerCount = 4;
     /// Limits applied to every worker.
@@ -56,6 +82,14 @@ class ShardRouter {
     /// rebalance moves sessions while max-load / mean-load > threshold.
     double rebalanceSkewThreshold = 1.5;
     std::size_t virtualNodesPerWorker = 64;
+    /// Transport constructor; default builds InProcessTransport. A
+    /// factory that spawns worker processes turns the router into a real
+    /// multi-process fleet (see cli --spawn-workers). A slot whose
+    /// factory fails is born removed and reported in workerStats.
+    TransportFactory transportFactory;
+    /// Socket options for transports the router creates itself
+    /// (`addWorker {address}`).
+    SocketTransportOptions socketOptions;
   };
 
   explicit ShardRouter(const Options& options);
@@ -67,13 +101,20 @@ class ShardRouter {
   std::string HandleRaw(std::string_view requestBytes, bool compress = false,
                         server::RequestTiming* timing = nullptr);
 
+  /// Fleet slots ever created (including removed ones; their entries stay
+  /// so worker indices are stable).
   std::size_t workerCount() const { return workers_.size(); }
   std::size_t sessionCount() const { return placements_.size(); }
 
-  /// Direct worker access for tests and embedders. The router does not
-  /// defend against sessions created or deleted behind its back — drain
-  /// treats a vanished session as a failed export and reports it.
-  server::SimServer& worker(std::size_t index) { return *workers_[index]; }
+  /// The in-process SimServer behind worker `index`, or nullptr when the
+  /// slot is removed or lives behind a socket. For tests and embedders;
+  /// the router does not defend against sessions created or deleted
+  /// behind its back — drain treats a vanished session as a failed
+  /// export and reports it.
+  server::SimServer* workerServer(std::size_t index) {
+    return workers_[index] == nullptr ? nullptr
+                                      : workers_[index]->LocalServer();
+  }
 
  private:
   /// Where one global session lives.
@@ -88,7 +129,16 @@ class ShardRouter {
     std::uint64_t approxBytes = 0;
   };
 
+  /// One probe pass over the fleet: byte loads plus reachability, so
+  /// drain/rebalance never pick a dead destination.
+  struct FleetLoads {
+    std::vector<std::uint64_t> bytes;  ///< 0 for removed/unreachable
+    std::vector<bool> reachable;      ///< false for removed/unreachable
+  };
+
   json::Json Dispatch(const json::Json& request);
+  /// One request to one worker; transport failures become error JSON.
+  json::Json CallWorker(std::size_t worker, const json::Json& request);
   json::Json RouteSessionCommand(const json::Json& request);
   /// createSession / importSession: place on the ring and forward.
   json::Json AdmitSession(const json::Json& request);
@@ -96,7 +146,19 @@ class ShardRouter {
   json::Json WorkerStats();
   json::Json DrainWorker(const json::Json& request);
   json::Json OpenWorker(const json::Json& request);
+  json::Json AddWorker(const json::Json& request);
+  json::Json RemoveWorker(const json::Json& request);
   json::Json Rebalance();
+
+  /// The drain loop shared by drainWorker and removeWorker: moves every
+  /// session off `index`, filling the response fields. Returns the ids
+  /// of sessions that could not be moved. `sourceReachable` (optional)
+  /// reports whether the drained worker itself answered — false means a
+  /// dead process, so callers skip graceful-shutdown round trips that
+  /// could only time out.
+  std::vector<std::int64_t> DrainSessions(std::size_t index,
+                                          json::Json& response,
+                                          bool* sourceReachable = nullptr);
 
   /// Moves one session to `destination` (export -> import -> delete
   /// source). On failure the session remains on its source worker.
@@ -108,17 +170,25 @@ class ShardRouter {
   static std::map<std::int64_t, const json::Json*> IndexSessions(
       const json::Json& listResponse);
 
-  WorkerLoad LoadOf(std::size_t worker);
-  std::vector<std::uint64_t> ByteLoads();
-  /// Workers admitting new sessions (not drained).
+  Result<WorkerLoad> LoadOf(std::size_t worker);
+  FleetLoads ProbeLoads();
+  /// Workers admitting new sessions (live and not drained).
   std::vector<bool> Eligible() const;
+  bool IsLive(std::size_t worker) const {
+    return worker < workers_.size() && workers_[worker] != nullptr;
+  }
   /// Placement for a new session id; error when every worker is drained.
   Result<std::size_t> PlaceNew(std::int64_t globalId);
+  /// Builds the transport for slot `worker` from the factory/default.
+  Result<std::shared_ptr<WorkerTransport>> MakeTransport(
+      std::size_t worker, const server::SimServer::Limits& limits);
 
   Options options_;
   HashRing ring_;
-  std::vector<std::unique_ptr<server::SimServer>> workers_;
+  std::vector<std::shared_ptr<WorkerTransport>> workers_;
   std::vector<bool> drained_;
+  /// Construction errors of slots whose factory failed, by worker index.
+  std::map<std::size_t, std::string> slotErrors_;
   std::map<std::int64_t, Placement> placements_;
   std::int64_t nextGlobalId_ = 1;
 };

@@ -1,0 +1,78 @@
+#include "shard/transport.h"
+
+#include <utility>
+
+namespace rvss::shard {
+
+SocketTransport::SocketTransport(std::string address,
+                                 SocketTransportOptions options)
+    : address_(std::move(address)), options_(options) {}
+
+Status SocketTransport::EnsureConnected() {
+  if (connection_.valid()) return Status::Ok();
+  auto connected = net::ConnectTo(address_, options_.connectTimeoutMs);
+  if (!connected.ok()) {
+    return Status::Fail(ErrorKind::kInternal,
+                        "worker " + address_ +
+                            " unreachable: " + connected.error().message);
+  }
+  connection_ = std::move(connected).value();
+  return Status::Ok();
+}
+
+Result<json::Json> SocketTransport::Call(const json::Json& request) {
+  server::WireOptions wire;
+  wire.ioTimeoutMs = options_.ioTimeoutMs;
+  wire.maxFrameBytes = options_.maxFrameBytes;
+
+  // Split the request for the wire exactly once, before the retry loop:
+  // the non-blob fields (small) are copied into the serialized text, and
+  // the blob — multi-MiB of base64 on every drain import — stays a
+  // borrowed view on the caller's document, never copied or re-dumped.
+  std::string_view blob;
+  std::string text;
+  if (request.IsObject() && request.Find("blob") != nullptr) {
+    json::Json trimmed = json::Json::MakeObject();
+    for (const auto& [key, value] : request.AsObject()) {
+      if (key == "blob" && value.IsString() && !value.AsString().empty()) {
+        blob = value.AsString();
+      } else {
+        trimmed.Set(key, value);
+      }
+    }
+    text = trimmed.Dump();
+  } else {
+    text = request.Dump();
+  }
+
+  // One reconnect-and-resend attempt when the *write* fails: the worker
+  // drops incomplete frames, so a request whose write failed was never
+  // executed and is safe to resend. Once the write succeeded, a failed
+  // read is final — the worker may have executed the request, so
+  // resending could run it twice; fail closed instead. A failed connect
+  // is also final: ConnectTo already retried until its deadline.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Status connected = EnsureConnected();
+    if (!connected.ok()) return connected.error();
+    Status written = server::WriteFrame(connection_, text, blob, wire);
+    if (!written.ok()) {
+      connection_.Close();
+      if (attempt == 0) continue;
+      return Error{ErrorKind::kInternal,
+                   "send to worker " + address_ +
+                       " failed: " + written.error().message};
+    }
+    auto response = server::ReadMessage(connection_, wire);
+    if (!response.ok()) {
+      connection_.Close();
+      return Error{ErrorKind::kInternal,
+                   "no response from worker " + address_ + ": " +
+                       response.error().message +
+                       " (request may or may not have executed)"};
+    }
+    return std::move(response).value();
+  }
+  return Error{ErrorKind::kInternal, "unreachable"};
+}
+
+}  // namespace rvss::shard

@@ -1,0 +1,125 @@
+#include "shard/worker.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <csignal>
+#include <dirent.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "common/socket.h"
+#include "server/frame_loop.h"
+
+namespace rvss::shard {
+namespace {
+
+std::atomic<int> workerCounter{0};
+
+/// Closes every descriptor above stderr in a freshly forked worker. The
+/// child inherits the parent's open sockets — including the router's
+/// live connections to sibling workers. Holding one of those keeps the
+/// sibling from ever seeing EOF when the router drops its end, wedging
+/// that worker's one-connection serve loop; a forked worker must start
+/// with nothing but stdio.
+void CloseInheritedDescriptors() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    for (int fd = 3; fd < 1024; ++fd) ::close(fd);
+    return;
+  }
+  const int dirFd = ::dirfd(dir);
+  std::vector<int> fds;
+  while (const dirent* entry = ::readdir(dir)) {
+    const int fd = std::atoi(entry->d_name);
+    if (fd > 2 && fd != dirFd) fds.push_back(fd);
+  }
+  ::closedir(dir);
+  for (const int fd : fds) ::close(fd);
+}
+
+}  // namespace
+
+std::string MakeWorkerAddress(std::string_view tag) {
+  const int counter = workerCounter.fetch_add(1);
+  return "unix:/tmp/rvss-" + std::string(tag) + "-" +
+         std::to_string(static_cast<long long>(::getpid())) + "-" +
+         std::to_string(counter) + ".sock";
+}
+
+Status RunWorkerLoop(const std::string& address,
+                     const server::SimServer::Limits& limits) {
+  auto listener = net::ListenOn(address);
+  if (!listener.ok()) return listener.status();
+  server::SimServer server(limits);
+  Status served = server::ServeFrames(server, listener.value());
+  // Graceful exits tidy their unix socket file; a killed worker leaves
+  // it behind, and the next ListenOn on the address unlinks it.
+  if (address.rfind("unix:", 0) == 0) {
+    ::unlink(address.substr(5).c_str());
+  }
+  return served;
+}
+
+Result<SpawnedWorker> SpawnWorkerProcess(
+    const std::string& address, const server::SimServer::Limits& limits) {
+  // Flush stdio before forking so buffered output is not emitted twice.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Error{ErrorKind::kInternal, "fork failed for worker " + address};
+  }
+  if (pid == 0) {
+    // Child: serve until shutdown, then leave without running atexit or
+    // test-framework teardown inherited from the parent image.
+    CloseInheritedDescriptors();
+    Status served = RunWorkerLoop(address, limits);
+    if (!served.ok()) {
+      std::fprintf(stderr, "rvss worker %s: %s\n", address.c_str(),
+                   served.error().message.c_str());
+      std::fflush(stderr);
+    }
+    ::_exit(served.ok() ? 0 : 1);
+  }
+  return SpawnedWorker{static_cast<int>(pid), address};
+}
+
+void KillWorker(const SpawnedWorker& worker) {
+  if (worker.pid > 0) ::kill(worker.pid, SIGKILL);
+}
+
+void ReapWorker(const SpawnedWorker& worker) {
+  if (worker.pid > 0) {
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+  }
+}
+
+SpawnedFleet::~SpawnedFleet() {
+  for (const SpawnedWorker& worker : workers) {
+    KillWorker(worker);
+    ReapWorker(worker);
+  }
+}
+
+std::function<Result<std::shared_ptr<WorkerTransport>>(
+    std::size_t, const server::SimServer::Limits&)>
+MakeSpawningTransportFactory(SpawnedFleet* fleet, std::string tag,
+                             SocketTransportOptions socketOptions) {
+  return [fleet, tag = std::move(tag), socketOptions](
+             std::size_t, const server::SimServer::Limits& limits)
+             -> Result<std::shared_ptr<WorkerTransport>> {
+    auto worker = SpawnWorkerProcess(MakeWorkerAddress(tag), limits);
+    if (!worker.ok()) return worker.error();
+    fleet->workers.push_back(worker.value());
+    return std::shared_ptr<WorkerTransport>(
+        std::make_shared<SocketTransport>(worker.value().address,
+                                          socketOptions));
+  };
+}
+
+}  // namespace rvss::shard

@@ -1,0 +1,86 @@
+// Worker processes: spawning and managing rvss workers for the shard
+// router's socket transport.
+//
+// A worker is a process running server::ServeFrames over its own
+// SimServer. Two ways to get one:
+//
+//   * SpawnWorkerProcess forks the current process; the child builds a
+//     fresh SimServer, listens on the given address and serves frames
+//     until shutdownWorker (or a signal) ends it. No exec, no binary
+//     path discovery — the simulator is a library, the child just calls
+//     into it. This is what the CLI's --spawn-workers and the tests use.
+//   * `rvss --worker ADDR` runs the same loop as a standalone process,
+//     for deployments where an orchestrator (systemd, k8s) owns the
+//     process tree and the router attaches via `addWorker {address}`.
+//
+// The parent keeps a SpawnedWorker handle for teardown: KillWorker sends
+// SIGKILL, ReapWorker waits for the exit. Graceful stops go through the
+// router's `removeWorker`, which sends shutdownWorker over the existing
+// transport connection. Leaked children are still reaped by the kernel
+// when the parent dies (tests kill hard anyway).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "server/api.h"
+#include "shard/transport.h"
+
+namespace rvss::shard {
+
+struct SpawnedWorker {
+  int pid = -1;
+  std::string address;
+};
+
+/// RAII ownership of spawned worker processes: every handle is
+/// SIGKILLed and reaped on destruction (already-exited children are
+/// just reaped; entries with pid <= 0 are skipped). Must outlive any
+/// router whose transports point at these workers.
+struct SpawnedFleet {
+  std::vector<SpawnedWorker> workers;
+
+  SpawnedFleet() = default;
+  SpawnedFleet(const SpawnedFleet&) = delete;
+  SpawnedFleet& operator=(const SpawnedFleet&) = delete;
+  ~SpawnedFleet();
+};
+
+/// A ShardRouter::Options::transportFactory that forks one worker
+/// process per slot — socket addresses tagged `tag` — records the
+/// handle in `fleet`, and connects a SocketTransport to it. The one
+/// spawning-fleet recipe shared by the CLI's --spawn-workers, the
+/// bench, and the socket test suites.
+std::function<Result<std::shared_ptr<WorkerTransport>>(
+    std::size_t, const server::SimServer::Limits&)>
+MakeSpawningTransportFactory(SpawnedFleet* fleet, std::string tag,
+                             SocketTransportOptions socketOptions = {});
+
+/// Unique unix-socket address for a local worker. Addresses embed the
+/// parent pid and a counter, so concurrently running test binaries and
+/// CLI runs never collide.
+std::string MakeWorkerAddress(std::string_view tag);
+
+/// Forks a worker process serving frames on `address` with the given
+/// per-worker limits. Returns once the child is forked; the child binds
+/// asynchronously (SocketTransport's connect retry absorbs the race).
+Result<SpawnedWorker> SpawnWorkerProcess(
+    const std::string& address,
+    const server::SimServer::Limits& limits = {});
+
+/// Runs the worker loop in this process (the CLI --worker mode). Blocks
+/// until shutdownWorker; returns the loop's final status.
+Status RunWorkerLoop(const std::string& address,
+                     const server::SimServer::Limits& limits = {});
+
+/// SIGKILLs the worker process (the "worker died" failure injection).
+void KillWorker(const SpawnedWorker& worker);
+
+/// waitpid()s the child so no zombie outlives the caller.
+void ReapWorker(const SpawnedWorker& worker);
+
+}  // namespace rvss::shard

@@ -10,14 +10,26 @@
 //
 // RVSS_DIFF_SEEDS widens the seed set (default 12); the nightly CI job
 // runs with >= 200 seeds.
+//
+// RVSS_SHARD_TRANSPORT reroutes the migration seam through a ShardRouter:
+// "inproc" uses in-process workers, "socket" forks real worker processes
+// and drives the export/import over the length-prefixed frame protocol —
+// the nightly socket leg proves the wire transport preserves the same
+// bit-exactness the direct path does.
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
 #include "core/simulation.h"
 #include "ref/interpreter.h"
 #include "ref/progen.h"
+#include "shard/router.h"
+#include "shard/transport.h"
+#include "shard/worker.h"
 #include "snapshot/session.h"
 #include "test_util.h"
 
@@ -144,6 +156,92 @@ void ExpectMatchesIss(const core::Simulation& sim, const ref::Interpreter& iss,
       << label << ": memory images differ";
 }
 
+/// "" = direct blob calls (the tier-1 default), "inproc"/"socket" = the
+/// same seam driven through a 2-worker ShardRouter.
+std::string TransportMode() {
+  const char* env = std::getenv("RVSS_SHARD_TRANSPORT");
+  return env == nullptr ? "" : env;
+}
+
+/// Seam 1 via the router: create the session behind a 2-worker fleet,
+/// step to the seed's midpoint, drain the worker that holds it (a real
+/// export -> import migration, over sockets when mode == "socket"), run
+/// to completion, then pull the final state out through exportSession and
+/// compare it against the ISS.
+void RunMigrationThroughRouter(const std::string& mode,
+                               const std::string& source,
+                               const config::CpuConfig& config,
+                               std::uint64_t midpoint,
+                               const ref::Interpreter& iss,
+                               const memory::MainMemory& issMemory) {
+  shard::SpawnedFleet fleet;
+  {
+    shard::ShardRouter::Options options;
+    options.workerCount = 2;
+    if (mode == "socket") {
+      options.transportFactory =
+          shard::MakeSpawningTransportFactory(&fleet, "fuzz");
+    }
+    shard::ShardRouter router(options);
+    auto command = [&router](const char* name) {
+      json::Json request = json::Json::MakeObject();
+      request.Set("command", name);
+      return request;
+    };
+
+    json::Json create = command("createSession");
+    create.Set("code", source);
+    create.Set("entry", "main");
+    create.Set("config", config::ToJson(config));
+    json::Json created = router.Handle(create);
+    ASSERT_EQ(created.GetString("status", ""), "ok") << created.Dump();
+    const std::int64_t sessionId = created.GetInt("sessionId", -1);
+    const std::int64_t worker = created.GetInt("worker", -1);
+
+    std::uint64_t remaining = midpoint;
+    while (remaining > 0) {
+      json::Json step = command("step");
+      step.Set("sessionId", sessionId);
+      step.Set("count", static_cast<std::int64_t>(remaining));
+      json::Json stepped = router.Handle(step);
+      ASSERT_EQ(stepped.GetString("status", ""), "ok") << stepped.Dump();
+      const std::uint64_t took =
+          static_cast<std::uint64_t>(stepped.GetInt("stepped", 0));
+      if (took == 0) break;
+      remaining -= took;
+    }
+
+    json::Json drain = command("drainWorker");
+    drain.Set("worker", worker);
+    json::Json drained = router.Handle(drain);
+    ASSERT_EQ(drained.GetString("status", ""), "ok") << drained.Dump();
+
+    while (true) {
+      json::Json run = command("run");
+      run.Set("sessionId", sessionId);
+      run.Set("maxCycles", std::int64_t{20'000'000});
+      json::Json report = router.Handle(run);
+      ASSERT_EQ(report.GetString("status", ""), "ok") << report.Dump();
+      if (report.GetString("finishReason", "") != "none" ||
+          report.GetInt("ranCycles", 0) == 0) {
+        break;
+      }
+    }
+
+    json::Json exportRequest = command("exportSession");
+    exportRequest.Set("sessionId", sessionId);
+    json::Json exported = router.Handle(exportRequest);
+    ASSERT_EQ(exported.GetString("status", ""), "ok") << exported.Dump();
+    auto blob = Base64Decode(exported.GetString("blob", ""));
+    ASSERT_TRUE(blob.has_value());
+    auto imported = snapshot::ImportSessionBlob(*blob);
+    ASSERT_TRUE(imported.ok()) << imported.error().ToText();
+    ExpectMatchesIss(*imported.value().sim, iss, issMemory,
+                     mode + "-routed migration at cycle " +
+                         std::to_string(midpoint));
+  }
+}
+
 class MigrationSeamFuzz : public ::testing::TestWithParam<DiffCase> {};
 
 TEST_P(MigrationSeamFuzz, MigrationAndRewindAreInvisible) {
@@ -174,18 +272,26 @@ TEST_P(MigrationSeamFuzz, MigrationAndRewindAreInvisible) {
 
   // Seam 1: run to the mid-point, export, import into a fresh simulation
   // (what a migration destination worker does), continue to completion.
+  // With RVSS_SHARD_TRANSPORT set, the same seam runs through a shard
+  // router instead — over real worker processes in "socket" mode.
   auto sim = core::Simulation::Create(config, source, {{}, "main"});
   ASSERT_TRUE(sim.ok()) << sim.error().ToText();
   core::Simulation& s = *sim.value();
   for (std::uint64_t i = 0; i < midpoint; ++i) s.Step();
-  const snapshot::SessionIdentity identity =
-      snapshot::MakeIdentity(s, source, "main", "");
-  auto imported =
-      snapshot::ImportSessionBlob(snapshot::EncodeSessionBlob(s, identity));
-  ASSERT_TRUE(imported.ok()) << imported.error().ToText();
-  imported.value().sim->Run(20'000'000);
-  ExpectMatchesIss(*imported.value().sim, iss, issMemory,
-                   "migrated at cycle " + std::to_string(midpoint));
+  const std::string transportMode = TransportMode();
+  if (transportMode.empty()) {
+    const snapshot::SessionIdentity identity =
+        snapshot::MakeIdentity(s, source, "main", "");
+    auto imported =
+        snapshot::ImportSessionBlob(snapshot::EncodeSessionBlob(s, identity));
+    ASSERT_TRUE(imported.ok()) << imported.error().ToText();
+    imported.value().sim->Run(20'000'000);
+    ExpectMatchesIss(*imported.value().sim, iss, issMemory,
+                     "migrated at cycle " + std::to_string(midpoint));
+  } else {
+    RunMigrationThroughRouter(transportMode, source, config, midpoint, iss,
+                              issMemory);
+  }
 
   // Seam 2: rewind across a checkpoint boundary from the same mid-point,
   // then continue to completion.

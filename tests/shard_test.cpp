@@ -306,12 +306,14 @@ TEST(Drain, SessionVanishingMidDrainFailsThatSessionOnly) {
 
   // Delete one of worker 0's sessions *behind the router's back* — the
   // in-process stand-in for a worker losing a session mid-export.
-  const std::vector<std::int64_t> localIds = router.worker(0).sessionIds();
+  server::SimServer* worker0 = router.workerServer(0);
+  ASSERT_NE(worker0, nullptr);
+  const std::vector<std::int64_t> localIds = worker0->sessionIds();
   ASSERT_FALSE(localIds.empty());
   json::Json vanish = json::Json::MakeObject();
   vanish.Set("command", "deleteSession");
   vanish.Set("sessionId", localIds.front());
-  ASSERT_EQ(router.worker(0).Handle(vanish).GetString("status", ""), "ok");
+  ASSERT_EQ(worker0->Handle(vanish).GetString("status", ""), "ok");
 
   json::Json drained = Cmd(router, "drainWorker", {{"worker", json::Json(0)}});
   EXPECT_EQ(drained.GetString("status", ""), "error") << drained.Dump();
@@ -377,6 +379,120 @@ TEST(Drain, DoubleDrainIsIdempotentAndOpenWorkerReadmits) {
 
   json::Json bogus = Cmd(router, "drainWorker", {{"worker", json::Json(9)}});
   EXPECT_EQ(bogus.GetString("status", ""), "error");
+}
+
+// ---- elastic scaling (in-process) ------------------------------------------
+
+TEST(Elastic, AddWorkerGrowsTheRingAndTakesPlacements) {
+  ShardRouter::Options options;
+  options.workerCount = 2;
+  ShardRouter router(options);
+  for (int i = 0; i < 8; ++i) MustCreateSession(router);
+
+  json::Json added = Cmd(router, "addWorker");
+  ASSERT_EQ(added.GetString("status", ""), "ok") << added.Dump();
+  EXPECT_EQ(added.GetInt("worker", -1), 2);
+  EXPECT_EQ(router.workerCount(), 3u);
+
+  // Consistent hashing: existing sessions stay put (no placements_
+  // churn), and the new arc eventually receives new sessions.
+  EXPECT_EQ(router.sessionCount(), 8u);
+  for (int i = 0; i < 40; ++i) MustCreateSession(router);
+  EXPECT_GT(SessionsPerWorker(router)[2], 0)
+      << "the new worker owns no keyspace";
+
+  // The new worker is a first-class citizen: drain it back out.
+  json::Json drained = Cmd(router, "drainWorker", {{"worker", json::Json(2)}});
+  EXPECT_EQ(drained.GetString("status", ""), "ok") << drained.Dump();
+  EXPECT_EQ(SessionsPerWorker(router)[2], 0);
+}
+
+TEST(Elastic, RemoveWorkerDrainsThenShrinksTheRing) {
+  ShardRouter::Options options;
+  options.workerCount = 3;
+  ShardRouter router(options);
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 12; ++i) {
+    ids.push_back(MustCreateSession(router));
+    json::Json stepped =
+        Cmd(router, "step", {{"sessionId", json::Json(ids.back())},
+                             {"count", json::Json(50 + 10 * i)}});
+    ASSERT_EQ(stepped.GetString("status", ""), "ok");
+  }
+  std::map<std::int64_t, std::string> before;
+  for (const std::int64_t id : ids) before[id] = ExportBlob(router, id);
+
+  json::Json removed = Cmd(router, "removeWorker", {{"worker", json::Json(0)}});
+  ASSERT_EQ(removed.GetString("status", ""), "ok") << removed.Dump();
+  EXPECT_TRUE(removed.Find("removed")->AsBool());
+  EXPECT_TRUE(removed.Find("lost")->AsArray().empty());
+  EXPECT_EQ(router.workerServer(0), nullptr);
+  EXPECT_EQ(router.workerCount(), 3u) << "slot indices must stay stable";
+  EXPECT_EQ(router.sessionCount(), ids.size());
+
+  // Every session survived byte-identically and keeps stepping.
+  for (const std::int64_t id : ids) {
+    EXPECT_EQ(before[id], ExportBlob(router, id)) << "session " << id;
+    json::Json stepped = Cmd(router, "step", {{"sessionId", json::Json(id)},
+                                              {"count", json::Json(10)}});
+    EXPECT_EQ(stepped.GetString("status", ""), "ok");
+  }
+
+  // The removed slot is gone for good: no routing, no re-admission, no
+  // double removal.
+  EXPECT_EQ(Cmd(router, "drainWorker", {{"worker", json::Json(0)}})
+                .GetString("status", ""),
+            "error");
+  EXPECT_EQ(Cmd(router, "openWorker", {{"worker", json::Json(0)}})
+                .GetString("status", ""),
+            "error");
+  EXPECT_EQ(Cmd(router, "removeWorker", {{"worker", json::Json(0)}})
+                .GetString("status", ""),
+            "error");
+
+  // workerStats reports the hole.
+  json::Json stats = Cmd(router, "workerStats");
+  bool sawRemoved = false;
+  for (const json::Json& worker : stats.Find("workers")->AsArray()) {
+    if (worker.GetInt("worker", -1) == 0) {
+      sawRemoved = worker.GetBool("removed", false);
+    }
+  }
+  EXPECT_TRUE(sawRemoved);
+
+  // New sessions land on the survivors only (the removed slot reports no
+  // session count at all, so the helper returns its -1 default).
+  for (int i = 0; i < 8; ++i) MustCreateSession(router);
+  EXPECT_EQ(SessionsPerWorker(router)[0], -1);
+  EXPECT_EQ(router.sessionCount(), ids.size() + 8);
+}
+
+TEST(Elastic, RemoveWorkerWithNoDestinationFailsClosed) {
+  ShardRouter::Options options;
+  options.workerCount = 1;
+  ShardRouter router(options);
+  const std::int64_t id = MustCreateSession(router);
+
+  // No destination exists: removal must refuse (the session would be
+  // stranded) and the session must keep working.
+  json::Json removed = Cmd(router, "removeWorker", {{"worker", json::Json(0)}});
+  EXPECT_EQ(removed.GetString("status", ""), "error") << removed.Dump();
+  EXPECT_FALSE(removed.Find("removed")->AsBool());
+  json::Json stepped = Cmd(router, "step", {{"sessionId", json::Json(id)},
+                                            {"count", json::Json(10)}});
+  EXPECT_EQ(stepped.GetString("status", ""), "ok");
+
+  // force accepts the loss — and says so per session, never silently.
+  json::Json forced = Cmd(router, "removeWorker",
+                          {{"worker", json::Json(0)},
+                           {"force", json::Json(true)}});
+  ASSERT_EQ(forced.GetString("status", ""), "ok") << forced.Dump();
+  ASSERT_EQ(forced.Find("lost")->AsArray().size(), 1u);
+  EXPECT_EQ(forced.Find("lost")->AsArray()[0].AsInt(), id);
+  EXPECT_EQ(router.sessionCount(), 0u);
+  EXPECT_EQ(Cmd(router, "step", {{"sessionId", json::Json(id)}})
+                .GetString("status", ""),
+            "error");
 }
 
 // ---- rebalance --------------------------------------------------------------

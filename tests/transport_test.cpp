@@ -1,0 +1,552 @@
+// Cross-process transport tests: the frame codec, the socket transport
+// against real forked worker processes, and — the point of the suite —
+// the failure paths. Every transport-level failure must surface as a
+// Status/JSON error with no session loss on the source worker: a worker
+// process killed mid-drain, a truncated frame, an oversized frame
+// rejected by the length-prefix cap, and a reconnect after a worker
+// restart are all exercised against live processes, not mocks.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.h"
+#include "common/framing.h"
+#include "common/socket.h"
+#include "json/json.h"
+#include "server/api.h"
+#include "server/wire.h"
+#include "shard/router.h"
+#include "shard/transport.h"
+#include "shard/worker.h"
+#include "test_util.h"
+
+namespace rvss::shard {
+namespace {
+
+const char* kSpinLoop = R"(
+main:
+    li t0, 1000000
+spin:
+    addi t0, t0, -1
+    bnez t0, spin
+    ret
+)";
+
+json::Json Cmd(const char* command,
+               std::initializer_list<std::pair<const char*, json::Json>>
+                   fields = {}) {
+  json::Json request = json::Json::MakeObject();
+  request.Set("command", command);
+  for (const auto& [key, value] : fields) request.Set(key, value);
+  return request;
+}
+
+/// RAII worker process: SIGKILL + reap on scope exit. On spawn failure
+/// `worker` stays pid=-1 (teardown is a no-op) and the test records a
+/// failure — no dereference of an errored Result.
+struct ScopedWorker {
+  explicit ScopedWorker(const server::SimServer::Limits& limits = {}) {
+    auto spawnResult = SpawnWorkerProcess(MakeWorkerAddress("test"), limits);
+    if (!spawnResult.ok()) {
+      ADD_FAILURE() << "spawn failed: " << spawnResult.error().ToText();
+      return;
+    }
+    worker = spawnResult.value();
+  }
+  ~ScopedWorker() {
+    KillWorker(worker);
+    ReapWorker(worker);
+  }
+  SpawnedWorker worker;
+};
+
+// ---- frame codec ------------------------------------------------------------
+
+TEST(Framing, HeaderRoundTrip) {
+  const std::string header = net::EncodeFrameHeader(123, 4567);
+  ASSERT_EQ(header.size(), net::kFrameHeaderBytes);
+  auto decoded = net::DecodeFrameHeader(header, net::kDefaultMaxFrameBytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().ToText();
+  EXPECT_EQ(decoded.value().jsonBytes, 123u);
+  EXPECT_EQ(decoded.value().blobBytes, 4567u);
+}
+
+TEST(Framing, RejectsBadMagicShortHeaderAndWrongVersion) {
+  std::string header = net::EncodeFrameHeader(1, 0);
+  header[0] = 'X';
+  EXPECT_FALSE(net::DecodeFrameHeader(header, net::kDefaultMaxFrameBytes).ok());
+
+  EXPECT_FALSE(net::DecodeFrameHeader("short", net::kDefaultMaxFrameBytes)
+                   .ok());
+
+  std::string versioned = net::EncodeFrameHeader(1, 0);
+  versioned[4] = 99;  // future version
+  auto decoded =
+      net::DecodeFrameHeader(versioned, net::kDefaultMaxFrameBytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().message.find("version"), std::string::npos);
+}
+
+TEST(Framing, OversizedFrameRejectedByTheCap) {
+  const std::string header = net::EncodeFrameHeader(100, 1000);
+  auto decoded = net::DecodeFrameHeader(header, /*maxFrameBytes=*/512);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().message.find("frame cap"), std::string::npos);
+}
+
+// ---- wire messages over a live worker ---------------------------------------
+
+TEST(SocketTransport, MatchesInProcessStepByStep) {
+  ScopedWorker spawned;
+  SocketTransport remote(spawned.worker.address);
+  server::SimServer local;
+
+  auto created = remote.Call(Cmd("createSession",
+                                 {{"code", json::Json(kSpinLoop)},
+                                  {"entry", json::Json("main")}}));
+  ASSERT_TRUE(created.ok()) << created.error().ToText();
+  ASSERT_EQ(created.value().GetString("status", ""), "ok")
+      << created.value().Dump();
+  const std::int64_t remoteId = created.value().GetInt("sessionId", -1);
+  json::Json localCreated = local.Handle(
+      Cmd("createSession", {{"code", json::Json(kSpinLoop)},
+                            {"entry", json::Json("main")}}));
+  const std::int64_t localId = localCreated.GetInt("sessionId", -1);
+
+  for (int batch = 0; batch < 3; ++batch) {
+    auto a = remote.Call(Cmd("step", {{"sessionId", json::Json(remoteId)},
+                                      {"count", json::Json(123)}}));
+    json::Json b = local.Handle(Cmd("step", {{"sessionId", json::Json(localId)},
+                                             {"count", json::Json(123)}}));
+    ASSERT_TRUE(a.ok()) << a.error().ToText();
+    EXPECT_EQ(a.value().Find("state")->Dump(), b.Find("state")->Dump())
+        << "batch " << batch;
+  }
+
+  // The blob section round-trips: export over the wire equals a local
+  // export of the identically-stepped session.
+  auto exported =
+      remote.Call(Cmd("exportSession", {{"sessionId", json::Json(remoteId)}}));
+  ASSERT_TRUE(exported.ok());
+  json::Json localExported =
+      local.Handle(Cmd("exportSession", {{"sessionId", json::Json(localId)}}));
+  EXPECT_EQ(exported.value().GetString("blob", "+"),
+            localExported.GetString("blob", "-"));
+}
+
+TEST(SocketTransport, ParseErrorKeepsTheConnectionUsable) {
+  ScopedWorker spawned;
+  auto connection = net::ConnectTo(spawned.worker.address, 5'000);
+  ASSERT_TRUE(connection.ok()) << connection.error().ToText();
+  server::WireOptions wire;
+  wire.ioTimeoutMs = 5'000;
+
+  // A well-framed message whose JSON is garbage: the worker must answer
+  // with a parse error, not drop the connection...
+  const std::string garbage = "this is not json";
+  const std::string header = net::EncodeFrameHeader(garbage.size(), 0);
+  ASSERT_TRUE(net::SendAll(connection.value(), header + garbage, 5'000).ok());
+  auto response = server::ReadMessage(connection.value(), wire);
+  ASSERT_TRUE(response.ok()) << response.error().ToText();
+  EXPECT_EQ(response.value().GetString("status", ""), "error");
+  EXPECT_EQ(response.value().GetString("kind", ""), "parse");
+
+  // ...and the next (valid) request on the same connection still works.
+  ASSERT_TRUE(server::WriteMessage(connection.value(),
+                                   Cmd("parseAsm",
+                                       {{"code", json::Json(kSpinLoop)}}),
+                                   wire)
+                  .ok());
+  auto parsed = server::ReadMessage(connection.value(), wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().ToText();
+  EXPECT_EQ(parsed.value().GetString("status", ""), "ok");
+}
+
+TEST(SocketTransport, TruncatedFrameFromPeerIsAStatusError) {
+  // An "evil worker" that accepts one connection, declares a 100-byte
+  // JSON section, sends 10 bytes and vanishes: the client must get a
+  // mid-frame error, not hang or crash.
+  const std::string address = MakeWorkerAddress("evil");
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto listener = net::ListenOn(address);
+    if (listener.ok()) {
+      auto connection = net::AcceptOn(listener.value(), 10'000);
+      if (connection.ok()) {
+        // Consume the request first so closing later yields a clean EOF
+        // (unread inbound data would turn the close into a reset).
+        server::WireOptions wire;
+        wire.ioTimeoutMs = 2'000;
+        (void)server::ReadMessage(connection.value(), wire);
+        const std::string header = net::EncodeFrameHeader(100, 0);
+        (void)net::SendAll(connection.value(), header + "0123456789", 2'000);
+      }
+    }
+    ::_exit(0);
+  }
+
+  SocketTransportOptions options;
+  options.ioTimeoutMs = 3'000;
+  SocketTransport transport(address, options);
+  auto response = transport.Call(Cmd("parseAsm", {{"code", json::Json("x")}}));
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.error().message.find("mid-frame"), std::string::npos)
+      << response.error().message;
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+TEST(SocketTransport, OversizedRequestAndResponseAreRejectedByTheCap) {
+  ScopedWorker spawned;
+
+  // Outbound: a request bigger than the cap is refused before any bytes
+  // hit the wire.
+  SocketTransportOptions tiny;
+  tiny.maxFrameBytes = 256;
+  SocketTransport capped(spawned.worker.address, tiny);
+  const std::string bigCode(4096, 'x');
+  auto refused =
+      capped.Call(Cmd("parseAsm", {{"code", json::Json(bigCode)}}));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.error().message.find("frame cap"), std::string::npos);
+
+  // Inbound: a peer declaring an over-cap frame is cut off at the
+  // header — the four length bytes never turn into an allocation.
+  const std::string address = MakeWorkerAddress("evil-big");
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto listener = net::ListenOn(address);
+    if (listener.ok()) {
+      auto connection = net::AcceptOn(listener.value(), 10'000);
+      if (connection.ok()) {
+        server::WireOptions wire;
+        wire.ioTimeoutMs = 2'000;
+        // Read the request, then answer with a frame header declaring
+        // ~4 GiB of JSON.
+        (void)server::ReadMessage(connection.value(), wire);
+        const std::string header =
+            net::EncodeFrameHeader(0xf0000000u, 0);
+        (void)net::SendAll(connection.value(), header, 2'000);
+      }
+    }
+    ::_exit(0);
+  }
+  SocketTransportOptions options;
+  options.ioTimeoutMs = 3'000;
+  SocketTransport transport(address, options);
+  auto response = transport.Call(Cmd("parseAsm", {{"code", json::Json("x")}}));
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.error().message.find("frame cap"), std::string::npos)
+      << response.error().message;
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+TEST(SocketTransport, ReconnectsAfterWorkerRestart) {
+  auto first = SpawnWorkerProcess(MakeWorkerAddress("restart"));
+  ASSERT_TRUE(first.ok());
+  SocketTransport transport(first.value().address);
+
+  auto before = transport.Call(Cmd("parseAsm", {{"code", json::Json(kSpinLoop)}}));
+  ASSERT_TRUE(before.ok()) << before.error().ToText();
+  EXPECT_EQ(before.value().GetString("status", ""), "ok");
+
+  KillWorker(first.value());
+  ReapWorker(first.value());
+  SocketTransportOptions brief;
+  brief.connectTimeoutMs = 300;
+  SocketTransport probe(first.value().address, brief);
+  auto during = probe.Call(Cmd("parseAsm", {{"code", json::Json("x")}}));
+  EXPECT_FALSE(during.ok()) << "a dead worker must be an error, not a hang";
+
+  // Restart on the same address (the listener unlinks the stale socket
+  // file); the original transport heals on its next Call.
+  auto second = SpawnWorkerProcess(first.value().address);
+  ASSERT_TRUE(second.ok());
+  auto after = transport.Call(Cmd("parseAsm", {{"code", json::Json(kSpinLoop)}}));
+  ASSERT_TRUE(after.ok()) << after.error().ToText();
+  EXPECT_EQ(after.value().GetString("status", ""), "ok");
+  KillWorker(second.value());
+  ReapWorker(second.value());
+}
+
+// ---- the router over socket workers -----------------------------------------
+
+/// Router options whose every worker is a freshly spawned process;
+/// `fleet` receives the handles for teardown.
+ShardRouter::Options SpawningOptions(std::size_t workerCount,
+                                     SpawnedFleet* fleet) {
+  ShardRouter::Options options;
+  options.workerCount = workerCount;
+  // Short connect budget: the failure-path tests talk to deliberately
+  // dead workers, and each unreachable Call burns the whole budget.
+  SocketTransportOptions socketOptions;
+  socketOptions.connectTimeoutMs = 500;
+  options.transportFactory =
+      MakeSpawningTransportFactory(fleet, "router", socketOptions);
+  return options;
+}
+
+std::int64_t MustCreate(ShardRouter& router) {
+  json::Json created = router.Handle(
+      Cmd("createSession", {{"code", json::Json(kSpinLoop)},
+                            {"entry", json::Json("main")}}));
+  EXPECT_EQ(created.GetString("status", ""), "ok") << created.Dump();
+  return created.GetInt("sessionId", -1);
+}
+
+TEST(SocketRouter, DrainMovesSessionsBetweenProcessesByteIdentically) {
+  SpawnedFleet fleet;
+  ShardRouter router(SpawningOptions(2, &fleet));
+
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(MustCreate(router));
+    json::Json stepped =
+        router.Handle(Cmd("step", {{"sessionId", json::Json(ids.back())},
+                                   {"count", json::Json(100 + 30 * i)}}));
+    ASSERT_EQ(stepped.GetString("status", ""), "ok") << stepped.Dump();
+  }
+  std::map<std::int64_t, std::string> before;
+  for (const std::int64_t id : ids) {
+    json::Json exported =
+        router.Handle(Cmd("exportSession", {{"sessionId", json::Json(id)}}));
+    ASSERT_EQ(exported.GetString("status", ""), "ok");
+    before[id] = exported.GetString("blob", "");
+  }
+
+  json::Json drained = router.Handle(Cmd("drainWorker",
+                                         {{"worker", json::Json(0)}}));
+  ASSERT_EQ(drained.GetString("status", ""), "ok") << drained.Dump();
+
+  for (const std::int64_t id : ids) {
+    json::Json exported =
+        router.Handle(Cmd("exportSession", {{"sessionId", json::Json(id)}}));
+    EXPECT_EQ(before[id], exported.GetString("blob", "")) << "session " << id;
+    json::Json stepped =
+        router.Handle(Cmd("step", {{"sessionId", json::Json(id)},
+                                   {"count", json::Json(25)}}));
+    EXPECT_EQ(stepped.GetString("status", ""), "ok");
+  }
+}
+
+TEST(SocketRouter, DestinationKilledMidDrainLeavesSourceIntact) {
+  SpawnedFleet fleet;
+  ShardRouter router(SpawningOptions(2, &fleet));
+
+  // Pin enough sessions onto worker 0 that the drain has real work.
+  std::vector<std::int64_t> onZero;
+  json::Json stats = router.Handle(Cmd("workerStats"));
+  for (int i = 0; static_cast<int>(onZero.size()) < 3 && i < 64; ++i) {
+    const std::int64_t id = MustCreate(router);
+    json::Json listed = router.Handle(Cmd("listSessions"));
+    for (const json::Json& session : listed.Find("sessions")->AsArray()) {
+      if (session.GetInt("sessionId", -1) == id &&
+          session.GetInt("worker", -1) == 0) {
+        onZero.push_back(id);
+      }
+    }
+  }
+  ASSERT_GE(onZero.size(), 1u);
+
+  // Kill the only possible destination, then drain: every move must fail
+  // with a transport error and every session must stay live on worker 0.
+  KillWorker(fleet.workers[1]);
+  ReapWorker(fleet.workers[1]);
+  json::Json drained = router.Handle(Cmd("drainWorker",
+                                         {{"worker", json::Json(0)}}));
+  EXPECT_EQ(drained.GetString("status", ""), "error") << drained.Dump();
+  EXPECT_EQ(drained.GetInt("moved", -1), 0);
+  EXPECT_FALSE(drained.Find("failed")->AsArray().empty());
+
+  for (const std::int64_t id : onZero) {
+    json::Json stepped =
+        router.Handle(Cmd("step", {{"sessionId", json::Json(id)},
+                                   {"count", json::Json(10)}}));
+    EXPECT_EQ(stepped.GetString("status", ""), "ok")
+        << "session " << id << " was lost: " << stepped.Dump();
+  }
+}
+
+TEST(SocketRouter, DeadSourceWorkerReportsEverySessionLostWithError) {
+  SpawnedFleet fleet;
+  ShardRouter router(SpawningOptions(2, &fleet));
+
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(MustCreate(router));
+
+  // Kill worker 0 outright. Its sessions are unreachable; the router
+  // must say so per request and per drain attempt — loudly, never by
+  // dropping them from the namespace.
+  KillWorker(fleet.workers[0]);
+  ReapWorker(fleet.workers[0]);
+
+  std::size_t reachable = 0;
+  std::size_t erroredLoudly = 0;
+  for (const std::int64_t id : ids) {
+    json::Json stepped = router.Handle(
+        Cmd("step", {{"sessionId", json::Json(id)}, {"count", json::Json(5)}}));
+    if (stepped.GetString("status", "") == "ok") {
+      ++reachable;
+    } else if (!stepped.GetString("message", "").empty()) {
+      ++erroredLoudly;
+    }
+  }
+  EXPECT_EQ(reachable + erroredLoudly, ids.size());
+
+  json::Json drained = router.Handle(Cmd("drainWorker",
+                                         {{"worker", json::Json(0)}}));
+  EXPECT_EQ(drained.GetString("status", ""), "error");
+  for (const json::Json& failure : drained.Find("failed")->AsArray()) {
+    EXPECT_NE(failure.GetString("message", "").find("export"),
+              std::string::npos);
+  }
+
+  // workerStats flags the dead process instead of hiding it.
+  json::Json stats = router.Handle(Cmd("workerStats"));
+  bool sawUnreachable = false;
+  for (const json::Json& worker : stats.Find("workers")->AsArray()) {
+    if (worker.GetInt("worker", -1) == 0) {
+      sawUnreachable = worker.GetBool("unreachable", false);
+    }
+  }
+  EXPECT_TRUE(sawUnreachable) << stats.Dump();
+
+  // listSessions cannot enumerate the dead worker's sessions, but it
+  // must say so rather than let the omissions read as deletions.
+  json::Json listed = router.Handle(Cmd("listSessions"));
+  ASSERT_NE(listed.Find("unreachableWorkers"), nullptr) << listed.Dump();
+  ASSERT_EQ(listed.Find("unreachableWorkers")->AsArray().size(), 1u);
+  EXPECT_EQ(listed.Find("unreachableWorkers")->AsArray()[0].AsInt(), 0);
+}
+
+TEST(SocketRouter, ShutdownWorkerIsNotReachableThroughTheRouter) {
+  SpawnedFleet fleet;
+  ShardRouter router(SpawningOptions(2, &fleet));
+
+  // The out-of-band worker stop must not be forwardable by API clients —
+  // a rogue request would kill a fleet process and orphan its sessions.
+  json::Json refused = router.Handle(Cmd("shutdownWorker"));
+  EXPECT_EQ(refused.GetString("status", ""), "error") << refused.Dump();
+
+  // Both worker processes are still alive and serving.
+  const std::int64_t id = MustCreate(router);
+  json::Json stepped = router.Handle(
+      Cmd("step", {{"sessionId", json::Json(id)}, {"count", json::Json(5)}}));
+  EXPECT_EQ(stepped.GetString("status", ""), "ok");
+  for (const SpawnedWorker& worker : fleet.workers) {
+    EXPECT_EQ(::kill(worker.pid, 0), 0) << "worker " << worker.address
+                                        << " should still be running";
+  }
+}
+
+TEST(SocketRouter, ElasticAddAndRemoveAcrossProcesses) {
+  SpawnedFleet fleet;
+  ShardRouter router(SpawningOptions(2, &fleet));
+
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(MustCreate(router));
+    json::Json stepped =
+        router.Handle(Cmd("step", {{"sessionId", json::Json(ids.back())},
+                                   {"count", json::Json(40 + 15 * i)}}));
+    ASSERT_EQ(stepped.GetString("status", ""), "ok");
+  }
+
+  // Grow by one process (the factory forks it), then remove worker 0:
+  // its sessions must drain to the survivors and its process must exit.
+  json::Json added = router.Handle(Cmd("addWorker"));
+  ASSERT_EQ(added.GetString("status", ""), "ok") << added.Dump();
+  ASSERT_EQ(fleet.workers.size(), 3u);
+
+  json::Json removed = router.Handle(Cmd("removeWorker",
+                                         {{"worker", json::Json(0)}}));
+  ASSERT_EQ(removed.GetString("status", ""), "ok") << removed.Dump();
+  EXPECT_TRUE(removed.Find("lost")->AsArray().empty());
+
+  // The removed process received shutdownWorker and actually exited.
+  int status = 0;
+  const pid_t reaped = ::waitpid(fleet.workers[0].pid, &status, 0);
+  EXPECT_EQ(reaped, fleet.workers[0].pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "worker should exit gracefully";
+  fleet.workers[0].pid = -1;  // already reaped
+
+  for (const std::int64_t id : ids) {
+    json::Json stepped = router.Handle(
+        Cmd("step", {{"sessionId", json::Json(id)}, {"count", json::Json(10)}}));
+    EXPECT_EQ(stepped.GetString("status", ""), "ok") << stepped.Dump();
+  }
+}
+
+// ---- CLI: real processes over sockets ---------------------------------------
+
+TEST(SpawnWorkersCli, StatisticsAreByteIdenticalToSingleProcess) {
+  // ~18k-cycle program under a 24k budget: phase one (half the budget)
+  // cannot finish it, so the mid-run addWorker/removeWorker elastic
+  // cycle is forced to happen — and asserted below, so this test can
+  // never pass by skipping the migration.
+  const std::string program = R"(
+main:
+    li t0, 12000
+loop:
+    addi t1, t1, 3
+    xori t2, t1, 7
+    addi t0, t0, -1
+    bnez t0, loop
+    ret
+)";
+  const std::string path =
+      "/tmp/rvss-clitest-" + std::to_string(::getpid()) + ".s";
+  {
+    std::ofstream file(path);
+    file << program;
+  }
+
+  auto runCli = [&](std::vector<std::string> extra) {
+    std::vector<std::string> args = {"rvss",   "--asm",        path,
+                                     "--entry", "main",        "--format",
+                                     "json",    "--max-cycles", "24000"};
+    for (std::string& arg : extra) args.push_back(std::move(arg));
+    std::ostringstream out;
+    std::ostringstream err;
+    const int exitCode = cli::RunCli(args, out, err);
+    EXPECT_EQ(exitCode, 0) << err.str();
+    auto parsed = json::Parse(out.str());
+    EXPECT_TRUE(parsed.ok()) << out.str();
+    return parsed.ok() ? std::move(parsed).value() : json::Json();
+  };
+
+  const json::Json single = runCli({});
+  const json::Json sharded = runCli({"--spawn-workers", "3"});
+
+  ASSERT_NE(single.Find("statistics"), nullptr);
+  ASSERT_NE(sharded.Find("statistics"), nullptr);
+  EXPECT_EQ(single.GetString("finishReason", "+"), "main returned")
+      << "budget must cover the whole program";
+  const json::Json* shardInfo = sharded.Find("shard");
+  ASSERT_NE(shardInfo, nullptr);
+  EXPECT_GE(shardInfo->GetInt("migratedTo", -1), 0)
+      << "the elastic cycle must actually run mid-run: " << sharded.Dump();
+  EXPECT_EQ(single.Find("statistics")->Dump(),
+            sharded.Find("statistics")->Dump())
+      << "migration across real processes must be invisible";
+  EXPECT_EQ(single.GetString("finishReason", "+"),
+            sharded.GetString("finishReason", "-"));
+}
+
+}  // namespace
+}  // namespace rvss::shard
