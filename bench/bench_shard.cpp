@@ -11,11 +11,13 @@
 // encode + syscall + process-switch cost of the real deployment shape.
 // The routing overhead measures the per-request tax of the extra
 // id-rewrite hop — it should be noise against the simulation work itself.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -118,6 +120,124 @@ DrainResult RunDrainBench(shard::ShardRouter& router, const char* label) {
   return result;
 }
 
+struct ParallelRunResult {
+  double serializedCyclesPerSecond = 0.0;
+  double parallelCyclesPerSecond = 0.0;
+  double speedup = 0.0;
+  bool ok = false;
+};
+
+/// Aggregate simulated cycles/s across 4 socket-worker processes, driven
+/// two ways over the *same* fleet: one client thread issuing `run`
+/// requests session-by-session (the PR 4 serialized dispatch shape) and
+/// 4 client threads driving one session each concurrently (the dispatch
+/// lanes). The ratio is the fleet's parallel scaling; on a machine with
+/// >= 4 cores it should approach 4x, and it is what the CI gate pins.
+ParallelRunResult RunParallelBench(shard::ShardRouter& router) {
+  ParallelRunResult result;
+  constexpr int kWorkers = 4;
+  constexpr std::int64_t kSliceCycles = 100'000;
+  constexpr int kRounds = 6;
+
+  // One driven session per worker. Placement is consistent-hash, so
+  // create until every worker holds one (the response names the worker)
+  // and delete the overflow — the fleet must be evenly busy, not
+  // hash-lucky.
+  std::vector<std::int64_t> perWorkerSession(kWorkers, -1);
+  int covered = 0;
+  for (int attempt = 0; attempt < 512 && covered < kWorkers; ++attempt) {
+    json::Json created = router.Handle(
+        Cmd("createSession", {{"code", json::Json(kWorkload)},
+                              {"entry", json::Json("main")}}));
+    if (!Ok(created, "parallel createSession")) return result;
+    const std::int64_t worker = created.GetInt("worker", -1);
+    const std::int64_t id = created.GetInt("sessionId", -1);
+    if (worker >= 0 && worker < kWorkers && perWorkerSession[worker] < 0) {
+      perWorkerSession[worker] = id;
+      ++covered;
+    } else {
+      router.Handle(Cmd("deleteSession", {{"sessionId", json::Json(id)}}));
+    }
+  }
+  if (covered < kWorkers) {
+    std::fprintf(stderr, "parallel bench: only %d/%d workers covered\n",
+                 covered, kWorkers);
+    return result;
+  }
+
+  // A failed run must fail the bench loudly: a silently short leg would
+  // report a bogus speedup and send CI debugging a phantom scaling
+  // regression instead of the actual transport error.
+  std::atomic<bool> driveFailed{false};
+  auto driveSession = [&router, &driveFailed](std::int64_t id, int rounds,
+                                              std::int64_t* cycles) {
+    for (int round = 0; round < rounds; ++round) {
+      json::Json report = router.Handle(
+          Cmd("run", {{"sessionId", json::Json(id)},
+                      {"maxCycles", json::Json(kSliceCycles)}}));
+      if (!Ok(report, "parallel run")) {
+        driveFailed.store(true);
+        return;
+      }
+      *cycles += report.GetInt("ranCycles", 0);
+    }
+  };
+
+  // Serialized shape: one thread, session after session.
+  std::int64_t serializedCycles = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (const std::int64_t id : perWorkerSession) {
+    driveSession(id, kRounds, &serializedCycles);
+  }
+  const double serializedSeconds = bench::SecondsSince(start);
+
+  // Parallel shape: one driver thread per worker, same total work.
+  std::vector<std::int64_t> parallelCycles(kWorkers, 0);
+  std::vector<std::thread> drivers;
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kWorkers; ++i) {
+    drivers.emplace_back(driveSession, perWorkerSession[i], kRounds,
+                         &parallelCycles[i]);
+  }
+  for (std::thread& driver : drivers) driver.join();
+  const double parallelSeconds = bench::SecondsSince(start);
+  std::int64_t parallelTotal = 0;
+  for (const std::int64_t cycles : parallelCycles) parallelTotal += cycles;
+
+  if (driveFailed.load()) {
+    std::fprintf(stderr, "parallel bench: a run request failed (see above)\n");
+    return result;
+  }
+  if (serializedCycles <= 0 || parallelTotal <= 0 || serializedSeconds <= 0 ||
+      parallelSeconds <= 0) {
+    std::fprintf(stderr, "parallel bench: a run leg reported no cycles\n");
+    return result;
+  }
+  result.serializedCyclesPerSecond =
+      static_cast<double>(serializedCycles) / serializedSeconds;
+  result.parallelCyclesPerSecond =
+      static_cast<double>(parallelTotal) / parallelSeconds;
+  result.speedup =
+      result.parallelCyclesPerSecond / result.serializedCyclesPerSecond;
+  result.ok = true;
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("\n# parallel run scaling (%d socket workers, %d x %lld-cycle"
+              " slices, %u core(s))\n",
+              kWorkers, kRounds, static_cast<long long>(kSliceCycles), cores);
+  std::printf("%-22s %10.2f Mcycles/s\n", "serialized dispatch",
+              result.serializedCyclesPerSecond / 1e6);
+  std::printf("%-22s %10.2f Mcycles/s\n", "parallel lanes",
+              result.parallelCyclesPerSecond / 1e6);
+  std::printf("%-22s %10.2fx\n", "speedup", result.speedup);
+  if (cores < static_cast<unsigned>(kWorkers)) {
+    std::printf("(speedup is core-bound: %u core(s) cannot run %d workers "
+                "concurrently — expect ~%ux here, ~%dx on a wide machine)\n",
+                cores, kWorkers, cores > 0 ? cores : 1, kWorkers);
+  }
+  return result;
+}
+
 }  // namespace
 }  // namespace rvss
 
@@ -149,6 +269,27 @@ int main(int argc, char** argv) {
     report.Set("socket_drain_mib_s", socket.mibPerSecond);
     std::printf("%-22s %10.2fx of in-process\n", "socket drain ratio",
                 socket.mibPerSecond / inProcess.mibPerSecond);
+  }
+
+  // --- parallel run scaling over the dispatch lanes ---------------------------
+  {
+    shard::SpawnedFleet parallelFleet;
+    shard::ShardRouter::Options parallelOptions;
+    parallelOptions.workerCount = 4;
+    parallelOptions.transportFactory =
+        shard::MakeSpawningTransportFactory(&parallelFleet, "bench-par");
+    shard::ShardRouter parallelRouter(parallelOptions);
+    const ParallelRunResult parallel = RunParallelBench(parallelRouter);
+    if (!parallel.ok) return 1;
+    report.Set("parallel_run_cycles_per_s", parallel.parallelCyclesPerSecond);
+    report.Set("serialized_run_cycles_per_s",
+               parallel.serializedCyclesPerSecond);
+    report.Set("parallel_run_speedup", parallel.speedup);
+    // The speedup gate is meaningless on a machine that cannot run the
+    // workers concurrently; ci/check_bench.py reads this to skip it
+    // (gates with "requires_cores" in bench/baselines.json).
+    report.Set("hardware_cores",
+               static_cast<double>(std::thread::hardware_concurrency()));
   }
 
   // --- steady-state routing overhead ------------------------------------------

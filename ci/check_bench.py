@@ -47,7 +47,22 @@ def main() -> int:
             failures.append(f"{artifact}: missing (did the bench run with --json?)")
             continue
         metrics = json.loads(artifact.read_text()).get("metrics", {})
-        for metric, pinned in gates.items():
+        for metric, gate in gates.items():
+            # A gate is a pinned number, or {pin, requires_cores} for
+            # metrics that only mean something on a wide-enough machine
+            # (the parallel-run speedup is core-bound by physics).
+            if isinstance(gate, dict):
+                pinned = float(gate["pin"])
+                required_cores = float(gate.get("requires_cores", 0))
+                cores = float(metrics.get("hardware_cores", 0))
+                if cores < required_cores:
+                    print(
+                        f"  skipped  {bench}.{metric}: needs >= "
+                        f"{required_cores:.0f} cores, machine has {cores:.0f}"
+                    )
+                    continue
+            else:
+                pinned = float(gate)
             floor = pinned * (1.0 - tolerance)
             value = metrics.get(metric)
             if value is None:

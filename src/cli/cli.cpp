@@ -4,6 +4,7 @@
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "cc/compiler.h"
 #include "common/strings.h"
@@ -48,6 +49,13 @@ Execution:
                       run additionally survives an addWorker/removeWorker
                       cycle mid-run (a new process joins the fleet, the
                       session's original worker is drained and removed).
+  --sessions M        with --workers/--spawn-workers: run M identical
+                      copies of the program as M sessions, driven in
+                      parallel from M client threads — sessions on
+                      different workers simulate concurrently. Every
+                      session must produce byte-identical statistics
+                      (determinism + concurrent dispatch must be
+                      invisible); the run fails loudly if they diverge.
 
 Worker mode:
   --worker ADDR       run as a fleet worker: serve the JSON command API
@@ -89,6 +97,7 @@ struct Options {
   std::string entry;
   std::uint64_t maxCycles = 100'000'000;
   std::int64_t workers = 0;  ///< 0 = run in-process without a router
+  std::int64_t sessions = 1; ///< parallel copies of the batch run
   bool spawnWorkers = false; ///< workers are forked socket processes
   std::string workerListen;  ///< non-empty: run as a worker process
   std::string format = "text";
@@ -165,6 +174,15 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       }
       options.workers = workers;
       options.spawnWorkers = arg == "--spawn-workers";
+    } else if (arg == "--sessions") {
+      auto v = value();
+      const std::int64_t sessions = v ? ParseInt(*v).value_or(0) : 0;
+      // One client thread per session; bounded like the worker count.
+      if (sessions <= 0 || sessions > 256) {
+        err << "--sessions needs a count between 1 and 256\n";
+        return 1;
+      }
+      options.sessions = sessions;
     } else if (arg == "--worker") {
       auto v = value();
       if (!v) { err << "--worker needs an address (unix:... or tcp:...)\n"; return 1; }
@@ -320,6 +338,11 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     }
   }
 
+  if (options.sessions > 1 && options.workers == 0) {
+    err << "--sessions drives parallel copies through a shard router; it "
+           "needs --workers or --spawn-workers\n";
+    return 1;
+  }
   if (options.workers > 0) {
     if (options.trace || options.verbose || !options.dumpPath.empty() ||
         !options.dumpCsvPath.empty()) {
@@ -425,18 +448,28 @@ int RunSimulation(const Options& options,
 /// statistics must be identical to the single-process run (determinism +
 /// byte-identical migration), so this doubles as an end-to-end smoke test
 /// of the drain loop from the command line.
+///
+/// With --sessions M > 1 the program runs as M identical sessions driven
+/// by M client threads in parallel: sessions placed on different workers
+/// simulate concurrently through the router's dispatch lanes, and every
+/// session must still finish with byte-identical statistics — the
+/// command-line proof that concurrent dispatch (and the mid-run
+/// migration happening under it) is invisible to results.
 int RunSharded(const Options& options, const std::string& source,
                const config::CpuConfig& config,
                const std::vector<memory::ArrayDefinition>& arrays,
                std::ostream& out, std::ostream& err) {
   // Spawned worker processes outlive the router object (it only holds
   // connections); the fleet kills and reaps them on every exit path.
+  // Workers the router removes mid-run are reaped promptly through the
+  // shutdown hook — an elastic cycle must not leave zombies behind.
   shard::SpawnedFleet fleet;
   shard::ShardRouter::Options routerOptions;
   routerOptions.workerCount = static_cast<std::size_t>(options.workers);
   if (options.spawnWorkers) {
     routerOptions.transportFactory =
         shard::MakeSpawningTransportFactory(&fleet, "cli");
+    routerOptions.onWorkerShutdown = shard::MakeFleetReaper(&fleet);
   }
   shard::ShardRouter router(routerOptions);
 
@@ -452,19 +485,35 @@ int RunSharded(const Options& options, const std::string& source,
     }
     create.Set("arrays", std::move(arraysNode));
   }
-  json::Json created = router.Handle(create);
-  if (created.GetString("status", "") != "ok") {
-    err << "error: " << created.GetString("message", "createSession failed")
-        << "\n";
-    return 2;
-  }
-  const std::int64_t sessionId = created.GetInt("sessionId", -1);
-  const std::int64_t firstWorker = created.GetInt("worker", -1);
 
-  auto runSlice = [&](std::uint64_t maxCycles) {
+  const std::size_t sessionCount =
+      static_cast<std::size_t>(options.sessions);
+  std::vector<std::int64_t> sessionIds;
+  sessionIds.reserve(sessionCount);
+  std::int64_t firstWorker = -1;  // session 0 anchors the mid-run migration
+  for (std::size_t i = 0; i < sessionCount; ++i) {
+    json::Json created = router.Handle(create);
+    if (created.GetString("status", "") != "ok") {
+      err << "error: " << created.GetString("message", "createSession failed")
+          << "\n";
+      return 2;
+    }
+    sessionIds.push_back(created.GetInt("sessionId", -1));
+    if (i == 0) firstWorker = created.GetInt("worker", -1);
+  }
+
+  // Per-session run state, written only by that session's driver thread.
+  struct SessionRun {
+    std::uint64_t ranCycles = 0;
+    json::Json report;
+    std::string error;
+  };
+  std::vector<SessionRun> runs(sessionCount);
+
+  auto runSlice = [&](std::size_t session, std::uint64_t maxCycles) {
     json::Json run = json::Json::MakeObject();
     run.Set("command", "run");
-    run.Set("sessionId", sessionId);
+    run.Set("sessionId", sessionIds[session]);
     run.Set("maxCycles", static_cast<std::int64_t>(maxCycles));
     return router.Handle(run);
   };
@@ -473,30 +522,58 @@ int RunSharded(const Options& options, const std::string& source,
   // clamps each request to Limits::maxRunCyclesPerRequest, while the
   // single-process path has no per-request bound — loop until the phase
   // budget is consumed so both paths cover the same cycles.
-  std::uint64_t ranCycles = 0;
-  auto runUntil = [&](std::uint64_t targetTotal) -> json::Json {
-    json::Json report;
+  auto runUntil = [&](std::size_t session, std::uint64_t targetTotal) {
+    SessionRun& state = runs[session];
     while (true) {
-      report = runSlice(targetTotal - ranCycles);
-      if (report.GetString("status", "") != "ok") return report;
+      json::Json report = runSlice(session, targetTotal - state.ranCycles);
+      if (report.GetString("status", "") != "ok") {
+        state.error = report.GetString("message", "run failed");
+        state.report = std::move(report);
+        return;
+      }
       const std::uint64_t sliceCycles =
           static_cast<std::uint64_t>(report.GetInt("ranCycles", 0));
-      ranCycles += sliceCycles;
-      if (report.GetString("finishReason", "") != "none" ||
-          ranCycles >= targetTotal || sliceCycles == 0) {
-        return report;
+      state.ranCycles += sliceCycles;
+      const bool done = report.GetString("finishReason", "") != "none" ||
+                        state.ranCycles >= targetTotal || sliceCycles == 0;
+      state.report = std::move(report);
+      if (done) return;
+    }
+  };
+
+  // One phase across every session. M == 1 stays on the calling thread;
+  // otherwise one driver thread per session issues its run requests
+  // concurrently — the router's Handle is thread-safe and sessions on
+  // different workers execute in parallel.
+  auto runPhase = [&](std::uint64_t targetTotal) -> bool {
+    if (sessionCount == 1) {
+      runUntil(0, targetTotal);
+    } else {
+      std::vector<std::thread> drivers;
+      drivers.reserve(sessionCount);
+      for (std::size_t i = 0; i < sessionCount; ++i) {
+        drivers.emplace_back([&runUntil, i, targetTotal] {
+          runUntil(i, targetTotal);
+        });
+      }
+      for (std::thread& driver : drivers) driver.join();
+    }
+    for (const SessionRun& state : runs) {
+      if (!state.error.empty()) {
+        err << "error: " << state.error << "\n";
+        return false;
       }
     }
+    return true;
   };
 
   // First phase: half the budget, then migrate, then the remainder.
   std::int64_t migratedTo = -1;
-  json::Json report = runUntil(options.workers > 1 ? options.maxCycles / 2
-                                                   : options.maxCycles);
-  if (report.GetString("status", "") != "ok") {
-    err << "error: " << report.GetString("message", "run failed") << "\n";
+  if (!runPhase(options.workers > 1 ? options.maxCycles / 2
+                                    : options.maxCycles)) {
     return 2;
   }
+  json::Json report = runs[0].report;
   if (options.workers > 1 &&
       report.GetString("finishReason", "") == "none") {
     if (options.spawnWorkers) {
@@ -530,13 +607,30 @@ int RunSharded(const Options& options, const std::string& source,
     sessions.Set("command", "listSessions");
     json::Json listed = router.Handle(sessions);
     for (const json::Json& session : listed.Find("sessions")->AsArray()) {
-      if (session.GetInt("sessionId", -1) == sessionId) {
+      if (session.GetInt("sessionId", -1) == sessionIds[0]) {
         migratedTo = session.GetInt("worker", -1);
       }
     }
-    report = runUntil(options.maxCycles);
-    if (report.GetString("status", "") != "ok") {
-      err << "error: " << report.GetString("message", "run failed") << "\n";
+    if (!runPhase(options.maxCycles)) return 2;
+    report = runs[0].report;
+  }
+
+  // Parallel sessions ran the same program under the same budget from
+  // concurrent threads; determinism demands byte-identical results. A
+  // divergence would mean concurrent dispatch leaked into simulation
+  // state — fail loudly, never average it away.
+  for (std::size_t i = 1; i < sessionCount; ++i) {
+    const json::Json* reference = report.Find("statistics");
+    const json::Json* other = runs[i].report.Find("statistics");
+    const bool statsMatch =
+        reference != nullptr && other != nullptr &&
+        reference->Dump() == other->Dump();
+    if (!statsMatch ||
+        runs[i].report.GetString("finishReason", "") !=
+            report.GetString("finishReason", "")) {
+      err << "error: parallel session " << i
+          << " diverged from session 0 — concurrent dispatch must be "
+             "invisible\n";
       return 2;
     }
   }
@@ -552,12 +646,17 @@ int RunSharded(const Options& options, const std::string& source,
     if (statistics != nullptr) output.Set("statistics", *statistics);
     json::Json shardInfo = json::Json::MakeObject();
     shardInfo.Set("workers", options.workers);
+    shardInfo.Set("sessions", options.sessions);
     shardInfo.Set("firstWorker", firstWorker);
     shardInfo.Set("migratedTo", migratedTo);
     output.Set("shard", std::move(shardInfo));
     out << output.DumpPretty() << "\n";
   } else {
     out << "workers: " << options.workers << "\n";
+    if (options.sessions > 1) {
+      out << "sessions: " << options.sessions
+          << " (parallel, statistics verified identical)\n";
+    }
     if (migratedTo >= 0) {
       out << "migrated: worker " << firstWorker << " -> worker "
           << migratedTo << " mid-run\n";
@@ -573,7 +672,7 @@ int RunSharded(const Options& options, const std::string& source,
   if (!options.saveSnapshotPath.empty()) {
     json::Json exportRequest = json::Json::MakeObject();
     exportRequest.Set("command", "exportSession");
-    exportRequest.Set("sessionId", sessionId);
+    exportRequest.Set("sessionId", sessionIds[0]);
     json::Json exported = router.Handle(exportRequest);
     auto blob = Base64Decode(exported.GetString("blob", ""));
     if (exported.GetString("status", "") != "ok" || !blob.has_value()) {

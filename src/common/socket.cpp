@@ -1,15 +1,19 @@
 #include "common/socket.h"
 
 #include <arpa/inet.h>
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <vector>
 
 #include "common/strings.h"
 
@@ -47,8 +51,8 @@ Result<bool> WaitFor(int fd, short events, const Deadline& deadline) {
 struct ParsedAddress {
   bool isUnix = false;
   std::string path;  ///< unix socket path
-  std::string host;  ///< tcp literal address
-  int port = 0;
+  std::string host;  ///< tcp hostname, IPv4 literal or [IPv6] literal
+  std::string port;  ///< tcp port, validated decimal
 };
 
 Result<ParsedAddress> ParseAddress(const std::string& address) {
@@ -68,18 +72,42 @@ Result<ParsedAddress> ParseAddress(const std::string& address) {
   }
   if (address.rfind("tcp:", 0) == 0) {
     const std::string rest = address.substr(4);
-    const std::size_t colon = rest.rfind(':');
-    if (colon == std::string::npos) {
-      return Error{ErrorKind::kInvalidArgument,
-                   "tcp address must be tcp:HOST:PORT, got " + address};
+    std::string host;
+    std::string portText;
+    if (!rest.empty() && rest.front() == '[') {
+      // Bracketed IPv6 literal: tcp:[::1]:8080. The brackets make the
+      // host:port split unambiguous — bare IPv6 literals are rejected
+      // below because every colon would be a plausible separator.
+      const std::size_t closing = rest.find(']');
+      if (closing == std::string::npos || closing + 1 >= rest.size() ||
+          rest[closing + 1] != ':') {
+        return Error{ErrorKind::kInvalidArgument,
+                     "bracketed tcp address must be tcp:[HOST]:PORT, got " +
+                         address};
+      }
+      host = rest.substr(1, closing - 1);
+      portText = rest.substr(closing + 2);
+    } else {
+      const std::size_t colon = rest.rfind(':');
+      if (colon == std::string::npos) {
+        return Error{ErrorKind::kInvalidArgument,
+                     "tcp address must be tcp:HOST:PORT, got " + address};
+      }
+      host = rest.substr(0, colon);
+      portText = rest.substr(colon + 1);
+      if (host.find(':') != std::string::npos) {
+        return Error{ErrorKind::kInvalidArgument,
+                     "IPv6 literals need brackets: tcp:[" + host + "]:" +
+                         portText};
+      }
     }
-    parsed.host = rest.substr(0, colon);
-    const auto port = ParseInt(rest.substr(colon + 1));
+    const auto port = ParseInt(portText);
     if (!port.has_value() || *port < 0 || *port > 65535) {
       return Error{ErrorKind::kInvalidArgument,
                    "bad tcp port in " + address};
     }
-    parsed.port = static_cast<int>(*port);
+    parsed.host = std::move(host);
+    parsed.port = std::to_string(*port);
     return parsed;
   }
   return Error{ErrorKind::kInvalidArgument,
@@ -87,25 +115,61 @@ Result<ParsedAddress> ParseAddress(const std::string& address) {
                    "'"};
 }
 
-/// Fills a sockaddr for `parsed`; returns its size.
-Result<socklen_t> FillSockaddr(const ParsedAddress& parsed,
-                               sockaddr_storage& storage) {
-  std::memset(&storage, 0, sizeof(storage));
+/// One concrete endpoint a parsed address resolved to.
+struct ResolvedAddress {
+  int family = AF_UNSPEC;
+  sockaddr_storage storage = {};
+  socklen_t length = 0;
+};
+
+/// Resolves `parsed` to one or more endpoints. Unix paths resolve to
+/// themselves; tcp hosts go through getaddrinfo, so hostnames and IPv6
+/// literals work, and a dual-stack name yields every candidate in the
+/// resolver's preference order. `forListen` requests passive (wildcard)
+/// resolution of an empty host; an empty host on the connect side means
+/// loopback. Note getaddrinfo may block on DNS — callers' deadlines
+/// cover the socket operations that follow, not the lookup.
+Result<std::vector<ResolvedAddress>> ResolveAddress(
+    const ParsedAddress& parsed, bool forListen) {
+  std::vector<ResolvedAddress> resolved;
   if (parsed.isUnix) {
-    auto* addr = reinterpret_cast<sockaddr_un*>(&storage);
+    ResolvedAddress entry;
+    entry.family = AF_UNIX;
+    auto* addr = reinterpret_cast<sockaddr_un*>(&entry.storage);
     addr->sun_family = AF_UNIX;
     std::memcpy(addr->sun_path, parsed.path.c_str(), parsed.path.size() + 1);
-    return static_cast<socklen_t>(sizeof(sockaddr_un));
+    entry.length = static_cast<socklen_t>(sizeof(sockaddr_un));
+    resolved.push_back(entry);
+    return resolved;
   }
-  auto* addr = reinterpret_cast<sockaddr_in*>(&storage);
-  addr->sin_family = AF_INET;
-  addr->sin_port = htons(static_cast<std::uint16_t>(parsed.port));
-  if (::inet_pton(AF_INET, parsed.host.c_str(), &addr->sin_addr) != 1) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (forListen ? AI_PASSIVE : 0);
+  struct addrinfo* results = nullptr;
+  const int status =
+      ::getaddrinfo(parsed.host.empty() ? nullptr : parsed.host.c_str(),
+                    parsed.port.c_str(), &hints, &results);
+  if (status != 0) {
     return Error{ErrorKind::kInvalidArgument,
-                 "tcp host must be a literal IPv4 address, got '" +
-                     parsed.host + "'"};
+                 "cannot resolve tcp host '" + parsed.host +
+                     "': " + ::gai_strerror(status)};
   }
-  return static_cast<socklen_t>(sizeof(sockaddr_in));
+  for (const addrinfo* info = results; info != nullptr;
+       info = info->ai_next) {
+    if (info->ai_addrlen > sizeof(sockaddr_storage)) continue;
+    ResolvedAddress entry;
+    entry.family = info->ai_family;
+    std::memcpy(&entry.storage, info->ai_addr, info->ai_addrlen);
+    entry.length = static_cast<socklen_t>(info->ai_addrlen);
+    resolved.push_back(entry);
+  }
+  ::freeaddrinfo(results);
+  if (resolved.empty()) {
+    return Error{ErrorKind::kInvalidArgument,
+                 "tcp host '" + parsed.host + "' resolved to no addresses"};
+  }
+  return resolved;
 }
 
 }  // namespace
@@ -128,51 +192,76 @@ void Socket::Close() {
 
 Result<Socket> ListenOn(const std::string& address, int backlog) {
   RVSS_ASSIGN_OR_RETURN(const ParsedAddress parsed, ParseAddress(address));
+  RVSS_ASSIGN_OR_RETURN(const std::vector<ResolvedAddress> candidates,
+                        ResolveAddress(parsed, /*forListen=*/true));
   if (parsed.isUnix) {
     // Only a *stale* socket file (dead owner -> connect refused) may be
     // unlinked; silently hijacking a live worker's endpoint would strand
     // every session placed on it with no error at bind time.
-    sockaddr_storage probeAddr;
-    auto probeLength = FillSockaddr(parsed, probeAddr);
     Socket probe(::socket(AF_UNIX, SOCK_STREAM, 0));
-    if (probeLength.ok() && probe.valid() &&
-        ::connect(probe.fd(), reinterpret_cast<sockaddr*>(&probeAddr),
-                  probeLength.value()) == 0) {
+    if (probe.valid() &&
+        ::connect(probe.fd(),
+                  reinterpret_cast<const sockaddr*>(&candidates[0].storage),
+                  candidates[0].length) == 0) {
       return Error{ErrorKind::kInvalidArgument,
                    address + " is already served by a live process"};
     }
     ::unlink(parsed.path.c_str());
   }
 
-  Socket socket(::socket(parsed.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
-  if (!socket.valid()) return SysError("socket");
-  if (!parsed.isUnix) {
-    const int enable = 1;
-    ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &enable,
-                 sizeof(enable));
+  // Try each resolved endpoint in resolver order (a dual-stack hostname
+  // yields both families); the first one that binds and listens wins.
+  Error lastError{ErrorKind::kInternal, "no endpoint to bind"};
+  for (const ResolvedAddress& candidate : candidates) {
+    Socket socket(::socket(candidate.family, SOCK_STREAM, 0));
+    if (!socket.valid()) {
+      lastError = SysError("socket");
+      continue;
+    }
+    if (!parsed.isUnix) {
+      const int enable = 1;
+      ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &enable,
+                   sizeof(enable));
+    }
+    if (::bind(socket.fd(),
+               reinterpret_cast<const sockaddr*>(&candidate.storage),
+               candidate.length) < 0) {
+      lastError = SysError("bind " + address);
+      continue;
+    }
+    if (::listen(socket.fd(), backlog) < 0) {
+      lastError = SysError("listen " + address);
+      continue;
+    }
+    RVSS_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
+    return socket;
   }
-  sockaddr_storage storage;
-  RVSS_ASSIGN_OR_RETURN(const socklen_t length,
-                        FillSockaddr(parsed, storage));
-  if (::bind(socket.fd(), reinterpret_cast<sockaddr*>(&storage), length) <
-      0) {
-    return SysError("bind " + address);
-  }
-  if (::listen(socket.fd(), backlog) < 0) {
-    return SysError("listen " + address);
-  }
-  RVSS_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
-  return socket;
+  return lastError;
 }
 
 Result<int> BoundPort(const Socket& listener) {
-  sockaddr_in addr;
-  socklen_t length = sizeof(addr);
-  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr),
+  // The listener may be AF_INET or AF_INET6: read into a storage big
+  // enough for either and pull the port out of the right member (the
+  // old sockaddr_in-only read returned garbage — flowinfo bytes — for
+  // an IPv6 listener).
+  sockaddr_storage storage = {};
+  socklen_t length = sizeof(storage);
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&storage),
                     &length) < 0) {
     return SysError("getsockname");
   }
-  return static_cast<int>(ntohs(addr.sin_port));
+  switch (storage.ss_family) {
+    case AF_INET:
+      return static_cast<int>(
+          ntohs(reinterpret_cast<const sockaddr_in*>(&storage)->sin_port));
+    case AF_INET6:
+      return static_cast<int>(
+          ntohs(reinterpret_cast<const sockaddr_in6*>(&storage)->sin6_port));
+    default:
+      return Error{ErrorKind::kInvalidArgument,
+                   "listener is not a TCP socket (family " +
+                       std::to_string(storage.ss_family) + ")"};
+  }
 }
 
 Result<Socket> AcceptOn(Socket& listener, int timeoutMs) {
@@ -194,47 +283,91 @@ Result<Socket> AcceptOn(Socket& listener, int timeoutMs) {
   }
 }
 
+namespace {
+
+/// One non-blocking connect attempt to a single endpoint, bounded by the
+/// shared deadline. On failure errno describes the reason.
+Result<Socket> TryConnect(const ResolvedAddress& endpoint,
+                          const Deadline& deadline) {
+  Socket socket(::socket(endpoint.family, SOCK_STREAM, 0));
+  if (!socket.valid()) return SysError("socket");
+  RVSS_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
+
+  if (::connect(socket.fd(),
+                reinterpret_cast<const sockaddr*>(&endpoint.storage),
+                endpoint.length) == 0) {
+    return socket;
+  }
+  if (errno == EINPROGRESS) {
+    RVSS_ASSIGN_OR_RETURN(const bool ready,
+                          WaitFor(socket.fd(), POLLOUT, deadline));
+    if (ready) {
+      int error = 0;
+      socklen_t errorLength = sizeof(error);
+      if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &error,
+                       &errorLength) == 0 &&
+          error == 0) {
+        return socket;
+      }
+      errno = error;
+    } else {
+      errno = ETIMEDOUT;
+    }
+  }
+  const int connectErrno = errno;
+  Error failure = SysError("connect");
+  errno = connectErrno;  // callers classify retryability by errno
+  return failure;
+}
+
+}  // namespace
+
 Result<Socket> ConnectTo(const std::string& address, int timeoutMs) {
   RVSS_ASSIGN_OR_RETURN(const ParsedAddress parsed, ParseAddress(address));
-  sockaddr_storage storage;
-  RVSS_ASSIGN_OR_RETURN(const socklen_t length,
-                        FillSockaddr(parsed, storage));
+  // Resolve once, outside the retry loop: the spawn race this loop
+  // absorbs is about the peer binding late, not about DNS flapping.
+  RVSS_ASSIGN_OR_RETURN(const std::vector<ResolvedAddress> candidates,
+                        ResolveAddress(parsed, /*forListen=*/false));
   const Deadline deadline(timeoutMs);
 
   // A freshly forked worker may not have bound its socket yet, so a
   // refused/missing endpoint is retried until the deadline instead of
-  // failing the first Call of every spawn.
+  // failing the first Call of every spawn. Each round tries every
+  // resolved endpoint (v6 and v4 of a dual-stack name) before pausing:
+  // a candidate failing hard (say, EAFNOSUPPORT for ::1 in an
+  // IPv6-less container) must not stop the v4 candidate behind it from
+  // being tried — the whole connect fails only when no candidate is
+  // worth retrying.
   while (true) {
-    Socket socket(::socket(parsed.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
-    if (!socket.valid()) return SysError("socket");
-    RVSS_RETURN_IF_ERROR(SetNonBlocking(socket.fd()));
-
-    if (::connect(socket.fd(), reinterpret_cast<sockaddr*>(&storage),
-                  length) == 0) {
-      return socket;
-    }
-    if (errno == EINPROGRESS) {
-      RVSS_ASSIGN_OR_RETURN(const bool ready,
-                            WaitFor(socket.fd(), POLLOUT, deadline));
-      if (ready) {
-        int error = 0;
-        socklen_t errorLength = sizeof(error);
-        if (::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &error,
-                         &errorLength) == 0 &&
-            error == 0) {
-          return socket;
-        }
-        errno = error;
-      } else {
-        errno = ETIMEDOUT;
+    int lastErrno = ECONNREFUSED;
+    bool anyRetryable = false;
+    for (const ResolvedAddress& candidate : candidates) {
+      // Slice the remaining budget across the candidate list: a
+      // blackholed endpoint (SYN silently dropped — EINPROGRESS that
+      // never resolves) must time out on its share, not consume the
+      // whole deadline and starve the candidates behind it. With an
+      // unbounded deadline each candidate still gets a finite slice —
+      // the outer loop retries the whole list forever, so "wait
+      // forever" holds overall without any one endpoint hogging it.
+      int slice = deadline.RemainingMs();
+      if (candidates.size() > 1) {
+        slice = slice < 0 ? 10'000
+                          : std::max(slice / static_cast<int>(
+                                                 candidates.size()),
+                                     std::min(slice, 50));
       }
+      const Deadline candidateDeadline(slice);
+      auto connected = TryConnect(candidate, candidateDeadline);
+      if (connected.ok()) return connected;
+      lastErrno = errno;
+      anyRetryable = anyRetryable || lastErrno == ECONNREFUSED ||
+                     lastErrno == ENOENT || lastErrno == ETIMEDOUT ||
+                     lastErrno == ENETUNREACH || lastErrno == EADDRNOTAVAIL;
     }
-    const bool retryable =
-        errno == ECONNREFUSED || errno == ENOENT || errno == ETIMEDOUT;
-    if (!retryable || deadline.Expired()) {
+    if (!anyRetryable || deadline.Expired()) {
+      errno = lastErrno;
       return SysError("connect " + address);
     }
-    socket.Close();
     struct timespec pause = {0, 10'000'000};  // 10ms between attempts
     ::nanosleep(&pause, nullptr);
   }

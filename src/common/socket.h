@@ -4,7 +4,11 @@
 // flags unchanged:
 //
 //   unix:/path/to/worker.sock    Unix-domain stream socket
-//   tcp:HOST:PORT                TCP (HOST is a literal IPv4 address)
+//   tcp:HOST:PORT                TCP — HOST is a hostname (resolved via
+//                                getaddrinfo), an IPv4 literal, or a
+//                                bracketed IPv6 literal (tcp:[::1]:80).
+//                                An empty HOST listens on the wildcard
+//                                address and connects to loopback.
 //
 // Every operation that can block takes a millisecond deadline and returns
 // a Status/Result instead of hanging: sockets run non-blocking internally
@@ -79,6 +83,7 @@ class Socket {
 Result<Socket> ListenOn(const std::string& address, int backlog = 8);
 
 /// The locally bound port of a TCP listener (for tcp:...:0 binds).
+/// Works for both IPv4 and IPv6 listeners; an error for unix sockets.
 Result<int> BoundPort(const Socket& listener);
 
 /// Accepts one connection, waiting up to `timeoutMs` (kNoTimeout blocks).

@@ -29,13 +29,20 @@ bool ServeConnection(SimServer& server, net::Socket& connection,
       // stream can no longer be trusted — drop the connection.
       return false;
     }
-    const bool shutdown =
-        request.value().GetString("command", "") == "shutdownWorker";
+    const std::string command = request.value().GetString("command", "");
+    const bool shutdown = command == "shutdownWorker";
     json::Json response;
     if (shutdown) {
       response = json::Json::MakeObject();
       response.Set("status", "ok");
       response.Set("shutdown", true);
+    } else if (command == "hello") {
+      // Connect-time handshake, answered out-of-band like shutdownWorker:
+      // the router compares this fingerprint (frame version, snapshot
+      // format version, config hash) against its own build and drops the
+      // connection on mismatch — version skew surfaces here, not as a
+      // decode error mid-migration.
+      response = MakeHelloResponse();
     } else {
       response = server.Handle(request.value());
     }

@@ -1,6 +1,11 @@
 #include "server/wire.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
+
+#include "config/cpu_config.h"
+#include "snapshot/codec.h"
 
 namespace rvss::server {
 namespace {
@@ -90,6 +95,80 @@ Result<json::Json> ReadMessage(net::Socket& socket,
     message.Set("blob", std::move(blob));
   }
   return message;
+}
+
+namespace {
+
+/// Hex of the default-config hash: the "same simulator build" stand-in.
+/// Computed once — DefaultConfig() is deterministic.
+const std::string& LocalConfigHashHex() {
+  static const std::string hex = [] {
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016" PRIx64,
+                  snapshot::ConfigHash(config::DefaultConfig()));
+    return std::string(buffer);
+  }();
+  return hex;
+}
+
+void FillHelloFields(json::Json& message) {
+  message.Set("hello", true);
+  message.Set("frameVersion", static_cast<std::int64_t>(net::kFrameVersion));
+  message.Set("snapshotFormatVersion",
+              static_cast<std::int64_t>(snapshot::kFormatVersion));
+  message.Set("configHash", LocalConfigHashHex());
+}
+
+}  // namespace
+
+json::Json MakeHelloResponse() {
+  json::Json response = json::Json::MakeObject();
+  response.Set("status", "ok");
+  FillHelloFields(response);
+  return response;
+}
+
+json::Json MakeHelloRequest() {
+  json::Json request = json::Json::MakeObject();
+  request.Set("command", "hello");
+  FillHelloFields(request);
+  return request;
+}
+
+Status CheckHelloResponse(const json::Json& response,
+                          const std::string& peer) {
+  const auto refuse = [&peer](const std::string& why) {
+    return Status::Fail(ErrorKind::kInvalidArgument,
+                        "worker " + peer + " failed the hello handshake: " +
+                            why);
+  };
+  if (response.GetString("status", "") != "ok" ||
+      !response.GetBool("hello", false)) {
+    // A pre-handshake worker answers hello with an unknown-command error;
+    // a hostile or confused peer answers with anything else. Both are
+    // refusals — skew must be discovered here, not mid-migration.
+    return refuse("peer did not answer the handshake (" +
+                  response.GetString("message", "no hello in response") +
+                  ")");
+  }
+  const std::int64_t frameVersion = response.GetInt("frameVersion", -1);
+  if (frameVersion != static_cast<std::int64_t>(net::kFrameVersion)) {
+    return refuse("frame version " + std::to_string(frameVersion) +
+                  " != local " + std::to_string(net::kFrameVersion));
+  }
+  const std::int64_t snapshotVersion =
+      response.GetInt("snapshotFormatVersion", -1);
+  if (snapshotVersion != static_cast<std::int64_t>(snapshot::kFormatVersion)) {
+    return refuse("snapshot format version " +
+                  std::to_string(snapshotVersion) + " != local " +
+                  std::to_string(snapshot::kFormatVersion));
+  }
+  const std::string configHash = response.GetString("configHash", "");
+  if (configHash != LocalConfigHashHex()) {
+    return refuse("config hash " + configHash + " != local " +
+                  LocalConfigHashHex());
+  }
+  return Status::Ok();
 }
 
 }  // namespace rvss::server

@@ -51,4 +51,37 @@ Status WriteMessage(net::Socket& socket, json::Json message,
 Result<json::Json> ReadMessage(net::Socket& socket,
                                const WireOptions& options);
 
+// ---- the hello handshake ----------------------------------------------------
+//
+// Before a router trusts a worker connection it sends {"command":"hello"}
+// (carrying its own fingerprint, for the worker's logs) and checks the
+// reply against its local build. The fingerprint pins everything the two
+// processes must agree on to move sessions safely:
+//
+//   frameVersion           net::kFrameVersion — the wire framing
+//   snapshotFormatVersion  snapshot::kFormatVersion — session blobs
+//   configHash             snapshot::ConfigHash(config::DefaultConfig()),
+//                          hex — a stand-in for "same simulator build":
+//                          any change to the config schema or defaults
+//                          changes it, so a stale worker binary is caught
+//                          at connect time instead of surfacing as a
+//                          per-message decode error mid-migration.
+//
+// The worker side answers from the frame loop (out-of-band, like
+// shutdownWorker); a pre-handshake worker answers with an unknown-command
+// error, which the router also treats as a refusal.
+
+/// This build's fingerprint as a hello response:
+/// {status:"ok", hello:true, frameVersion, snapshotFormatVersion,
+///  configHash}.
+json::Json MakeHelloResponse();
+
+/// The hello request a connecting router sends (same fields, command
+/// "hello").
+json::Json MakeHelloRequest();
+
+/// Verifies a peer's hello response against the local fingerprint.
+/// `peer` names the endpoint in the error message.
+Status CheckHelloResponse(const json::Json& response, const std::string& peer);
+
 }  // namespace rvss::server

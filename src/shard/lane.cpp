@@ -1,0 +1,77 @@
+#include "shard/lane.h"
+
+#include <utility>
+
+namespace rvss::shard {
+namespace {
+
+Error StoppedError() {
+  return Error{ErrorKind::kInvalidArgument,
+               "worker was removed while the request was pending"};
+}
+
+}  // namespace
+
+WorkerLane::WorkerLane(std::shared_ptr<WorkerTransport> transport)
+    : transport_(std::move(transport)), thread_([this] { Run(); }) {}
+
+WorkerLane::~WorkerLane() { Stop(); }
+
+std::future<Result<json::Json>> WorkerLane::Submit(json::Json request) {
+  Job job;
+  job.request = std::move(request);
+  std::future<Result<json::Json>> result = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+      job.promise.set_value(StoppedError());
+      return result;
+    }
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+  return result;
+}
+
+void WorkerLane::Quiesce() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void WorkerLane::Stop() {
+  std::deque<Job> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+    orphaned.swap(queue_);
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  for (Job& job : orphaned) {
+    job.promise.set_value(StoppedError());
+  }
+}
+
+void WorkerLane::Run() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+      if (stopped_) return;  // Stop() answers whatever is still queued
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    // Resolve the future before clearing busy_: a Quiesce() waiter that
+    // wakes on idle then observes a completed call, never a pending one.
+    job.promise.set_value(transport_->Call(job.request));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+      if (queue_.empty()) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace rvss::shard

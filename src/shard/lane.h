@@ -1,0 +1,97 @@
+// Dispatch lanes: one request queue + executor thread per worker.
+//
+// PR 4 left the router synchronous — one request at a time across the
+// whole fleet, so N worker *processes* simulated serially and a single
+// slow `run` stalled every other session. A WorkerLane gives each worker
+// its own dispatch thread: the router enqueues a request and receives a
+// future, the lane thread executes requests strictly in FIFO order over
+// the worker's one WorkerTransport connection. Concurrency therefore
+// lives *between* lanes (N workers simulate in parallel) while ordering
+// is preserved *within* a lane — exactly the per-session ordering the
+// session→worker affinity requires, since a session's requests all land
+// on its worker's lane.
+//
+// The quiesce barrier: fleet operations that move sessions (drain,
+// rebalance, removeWorker) must never observe a request in flight on the
+// worker they are reorganizing. Quiesce() blocks until the lane's queue
+// is empty and its thread idle. The caller is expected to hold the
+// router's fleet mutex across Quiesce() *and* the session moves that
+// follow: every submission path also takes that mutex, so no new work
+// can slip into the lane while the barrier holds — the lane stays idle
+// until the fleet mutex is released, and the fleet operation may use the
+// worker's transport directly in the meantime. Quiesce is thus a wait,
+// not a mode switch; there is nothing to resume.
+//
+// Stop() ends the lane for good (removeWorker): the thread drains
+// nothing further, and every request still queued — plus any submitted
+// later — is answered with an error response, never dropped silently.
+// Callers that need pending work to complete quiesce first.
+//
+// Lane threads touch only the transport and their own queue. They never
+// take the router's fleet mutex — that invariant is what makes it safe
+// for the router to block on a future (or on Quiesce) while holding it.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "json/json.h"
+#include "shard/transport.h"
+
+namespace rvss::shard {
+
+class WorkerLane {
+ public:
+  /// Starts the executor thread. The lane shares ownership of the
+  /// transport; nothing else may use it while the lane is live except a
+  /// fleet operation holding the quiesce barrier (see above).
+  explicit WorkerLane(std::shared_ptr<WorkerTransport> transport);
+  ~WorkerLane();
+
+  WorkerLane(const WorkerLane&) = delete;
+  WorkerLane& operator=(const WorkerLane&) = delete;
+
+  /// Enqueues one request. The future resolves to exactly what the
+  /// transport's Call would have returned: a response document, or an
+  /// Error for a transport-level failure (the distinction matters — a
+  /// worker's own {status: "error"} answer is a successful call). On a
+  /// stopped lane the future is immediately ready with an Error.
+  std::future<Result<json::Json>> Submit(json::Json request);
+
+  /// Blocks until the queue is empty and the executor is idle. Only
+  /// meaningful while the caller prevents new submissions (by holding
+  /// the router's fleet mutex); see the file comment.
+  void Quiesce();
+
+  /// Terminates the executor. Requests still queued are answered with an
+  /// error response. Idempotent.
+  void Stop();
+
+  /// The lane's transport, for fleet operations acting under the quiesce
+  /// barrier (and for Describe()/LocalServer() introspection, which is
+  /// safe concurrently — both are immutable after construction).
+  WorkerTransport* transport() { return transport_.get(); }
+
+ private:
+  struct Job {
+    json::Json request;
+    std::promise<Result<json::Json>> promise;
+  };
+
+  void Run();
+
+  std::shared_ptr<WorkerTransport> transport_;
+  std::mutex mutex_;
+  std::condition_variable wake_;  ///< signals the executor thread
+  std::condition_variable idle_;  ///< signals Quiesce() waiters
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rvss::shard

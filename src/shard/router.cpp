@@ -1,8 +1,11 @@
 #include "shard/router.h"
 
 #include <algorithm>
+#include <future>
 #include <limits>
 #include <utility>
+
+#include "server/wire.h"
 
 namespace rvss::shard {
 namespace {
@@ -38,6 +41,7 @@ ShardRouter::ShardRouter(const Options& options)
             std::max<std::size_t>(options.virtualNodesPerWorker, 1)) {
   const std::size_t count = std::max<std::size_t>(options.workerCount, 1);
   workers_.reserve(count);
+  lanes_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const server::SimServer::Limits& limits =
         options_.perWorkerLimits.size() == count ? options_.perWorkerLimits[i]
@@ -45,15 +49,33 @@ ShardRouter::ShardRouter(const Options& options)
     auto transport = MakeTransport(i, limits);
     if (transport.ok()) {
       workers_.push_back(std::move(transport).value());
+      lanes_.push_back(std::make_unique<WorkerLane>(workers_.back()));
     } else {
       // A slot whose transport could not be built is born removed: the
       // fleet still comes up, the hole is visible in workerStats, and
       // nothing ever routes there.
       workers_.push_back(nullptr);
+      lanes_.push_back(nullptr);
       slotErrors_[i] = transport.error().message;
     }
   }
   drained_.assign(count, false);
+}
+
+std::size_t ShardRouter::workerCount() const {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
+  return workers_.size();
+}
+
+std::size_t ShardRouter::sessionCount() const {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
+  return placements_.size();
+}
+
+server::SimServer* ShardRouter::workerServer(std::size_t index) {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
+  if (index >= workers_.size() || workers_[index] == nullptr) return nullptr;
+  return workers_[index]->LocalServer();
 }
 
 json::Json ShardRouter::Handle(const json::Json& request) {
@@ -68,8 +90,21 @@ std::string ShardRouter::HandleRaw(std::string_view requestBytes,
       requestBytes, compress, timing);
 }
 
-json::Json ShardRouter::CallWorker(std::size_t worker,
-                                   const json::Json& request) {
+json::Json ShardRouter::CallViaLane(std::size_t worker,
+                                    const json::Json& request) {
+  if (!IsLive(worker)) {
+    return RouterError(ErrorKind::kInvalidArgument,
+                       "worker " + std::to_string(worker) + " was removed");
+  }
+  auto response = lanes_[worker]->Submit(request).get();
+  if (!response.ok()) {
+    return server::MakeErrorResponse(response.error());
+  }
+  return std::move(response).value();
+}
+
+json::Json ShardRouter::CallWorkerDirect(std::size_t worker,
+                                         const json::Json& request) {
   if (!IsLive(worker)) {
     return RouterError(ErrorKind::kInvalidArgument,
                        "worker " + std::to_string(worker) + " was removed");
@@ -83,6 +118,11 @@ json::Json ShardRouter::CallWorker(std::size_t worker,
 
 json::Json ShardRouter::Dispatch(const json::Json& request) {
   const std::string command = request.GetString("command", "");
+  if (command == "hello") {
+    // The router's own fingerprint: lets a client (or an operator's curl)
+    // verify build compatibility without reaching into the fleet.
+    return server::MakeHelloResponse();
+  }
   if (command == "createSession" || command == "importSession") {
     return AdmitSession(request);
   }
@@ -104,15 +144,31 @@ json::Json ShardRouter::Dispatch(const json::Json& request) {
   if (request.Find("sessionId") != nullptr) {
     return RouteSessionCommand(request);
   }
+  return StatelessCommand(request);
+}
+
+json::Json ShardRouter::StatelessCommand(const json::Json& request) {
   // Stateless commands (compile, parseAsm, checkConfig) and unknown
   // commands need no placement; any live worker gives the right answer —
   // and they are side-effect-free, so a worker whose process is dead is
-  // simply skipped for the next one instead of failing the request.
+  // simply skipped for the next one instead of failing the request. The
+  // request rides each candidate's lane (the fleet mutex is held only to
+  // pick the lane), so a stateless command never races the worker's
+  // session traffic.
   json::Json lastError = RouterError(ErrorKind::kInvalidArgument,
                                      "every worker has been removed");
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (!IsLive(i)) continue;
-    auto response = workers_[i]->Call(request);
+  for (std::size_t i = 0;; ++i) {
+    std::future<Result<json::Json>> pending;
+    {
+      std::lock_guard<std::mutex> lock(fleetMutex_);
+      if (i >= workers_.size()) break;
+      if (!IsLive(i)) continue;
+      // Submit *under* the mutex — the quiesce barrier's contract is
+      // that no submission can race a fleet operation; only the wait
+      // happens unlocked.
+      pending = lanes_[i]->Submit(request);
+    }
+    auto response = pending.get();
     if (response.ok()) return std::move(response).value();
     lastError = server::MakeErrorResponse(response.error());
   }
@@ -138,11 +194,22 @@ Result<std::size_t> ShardRouter::PlaceNew(std::int64_t globalId) {
 
 json::Json ShardRouter::AdmitSession(const json::Json& request) {
   // createSession and importSession admit identically: allocate a global
-  // id, place it on the ring, forward, and record where it landed.
+  // id, place it on the ring, forward, and record where it landed. The
+  // fleet mutex is held across the worker round trip so the placement
+  // map never lags the fleet — a drain that starts after this admission
+  // sees the session; one that started before cannot still be running
+  // (it holds the same mutex). Admissions therefore serialize against
+  // each other; session *execution* does not. Known cost, accepted for
+  // now: an admission placed on a lane busy with a long `run` waits
+  // behind it with the mutex held, stalling routing fleet-wide for the
+  // duration of that slice (same for deleteSession). Lifting it needs a
+  // placement "intent" table so the round trip can go unlocked without
+  // drains missing in-flight admissions — see ROADMAP PR 5 follow-ups.
+  std::lock_guard<std::mutex> lock(fleetMutex_);
   const std::int64_t globalId = nextGlobalId_++;
   auto worker = PlaceNew(globalId);
   if (!worker.ok()) return server::MakeErrorResponse(worker.error());
-  json::Json response = CallWorker(worker.value(), request);
+  json::Json response = CallViaLane(worker.value(), request);
   if (!IsOk(response)) return response;
   const std::int64_t localId = response.GetInt("sessionId", -1);
   placements_[globalId] = Placement{worker.value(), localId};
@@ -153,18 +220,42 @@ json::Json ShardRouter::AdmitSession(const json::Json& request) {
 
 json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
   const std::int64_t globalId = request.GetInt("sessionId", -1);
-  auto it = placements_.find(globalId);
-  if (it == placements_.end()) {
-    return RouterError(ErrorKind::kInvalidArgument,
-                       "unknown sessionId " + std::to_string(globalId));
+  std::future<Result<json::Json>> pending;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    auto it = placements_.find(globalId);
+    if (it == placements_.end()) {
+      return RouterError(ErrorKind::kInvalidArgument,
+                         "unknown sessionId " + std::to_string(globalId));
+    }
+    const Placement placement = it->second;
+    if (!IsLive(placement.worker)) {
+      return RouterError(ErrorKind::kInvalidArgument,
+                         "worker " + std::to_string(placement.worker) +
+                             " was removed");
+    }
+    json::Json forwarded = request;
+    forwarded.Set("sessionId", placement.localId);
+    if (request.GetString("command", "") == "deleteSession") {
+      // Deletes mutate the placement map, so — like admissions — they
+      // hold the mutex across the round trip; a concurrent drain can
+      // never try to move a session that is mid-delete.
+      json::Json response = CallViaLane(placement.worker, forwarded);
+      if (IsOk(response)) placements_.erase(it);
+      return response;
+    }
+    // Pure session commands (step, run, stepBack, exportSession, ...)
+    // release the mutex and wait on the lane: this is where the fleet's
+    // parallelism comes from. Per-session ordering holds because a
+    // session's requests all enter the same FIFO lane, in the order
+    // their dispatching threads held the mutex.
+    pending = lanes_[placement.worker]->Submit(std::move(forwarded));
   }
-  json::Json forwarded = request;
-  forwarded.Set("sessionId", it->second.localId);
-  json::Json response = CallWorker(it->second.worker, forwarded);
-  if (request.GetString("command", "") == "deleteSession" && IsOk(response)) {
-    placements_.erase(it);
+  auto response = pending.get();
+  if (!response.ok()) {
+    return server::MakeErrorResponse(response.error());
   }
-  return response;
+  return std::move(response).value();
 }
 
 /// localId -> session node, for O(log n) joins against the placement map.
@@ -181,26 +272,36 @@ std::map<std::int64_t, const json::Json*> ShardRouter::IndexSessions(
 
 json::Json ShardRouter::ListSessions() {
   // Join each worker's listSessions with the global id map, reporting in
-  // global-id order so the output is stable across placements.
+  // global-id order so the output is stable across placements. Holds the
+  // fleet mutex throughout: the listing is a consistent snapshot (no
+  // admission, deletion or migration can interleave), at the cost of
+  // briefly pausing routing. Worker queries fan out to every lane before
+  // any response is awaited, so the fleet enumerates in parallel.
+  std::lock_guard<std::mutex> lock(fleetMutex_);
   json::Json response = Ok();
   json::Json list = json::Json::MakeArray();
   json::Json unreachable = json::Json::MakeArray();
   std::int64_t totalBytes = 0;
+  auto pending = FanOutListSessions();
   std::vector<json::Json> perWorker;
-  std::vector<std::map<std::int64_t, const json::Json*>> perWorkerIndex;
   perWorker.reserve(workers_.size());
-  json::Json listRequest = json::Json::MakeObject();
-  listRequest.Set("command", "listSessions");
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    perWorker.push_back(IsLive(i) ? CallWorker(i, listRequest)
-                                  : json::Json::MakeObject());
+    if (!pending[i].valid()) {
+      perWorker.push_back(json::Json::MakeObject());
+      continue;
+    }
+    auto result = pending[i].get();
+    perWorker.push_back(result.ok()
+                            ? std::move(result).value()
+                            : server::MakeErrorResponse(result.error()));
     // A live slot whose process is dead cannot enumerate its sessions;
     // flag it so the omissions below read as "unreachable", not
     // "deleted" — the sessions still exist and still route (to errors).
-    if (IsLive(i) && !IsOk(perWorker.back())) {
+    if (!IsOk(perWorker.back())) {
       unreachable.Append(json::Json(static_cast<std::int64_t>(i)));
     }
   }
+  std::vector<std::map<std::int64_t, const json::Json*>> perWorkerIndex;
   perWorkerIndex.reserve(perWorker.size());
   for (const json::Json& listed : perWorker) {
     perWorkerIndex.push_back(IndexSessions(listed));
@@ -221,14 +322,8 @@ json::Json ShardRouter::ListSessions() {
   return response;
 }
 
-Result<ShardRouter::WorkerLoad> ShardRouter::LoadOf(std::size_t worker) {
-  if (!IsLive(worker)) {
-    return Error{ErrorKind::kInvalidArgument,
-                 "worker " + std::to_string(worker) + " was removed"};
-  }
-  json::Json listRequest = json::Json::MakeObject();
-  listRequest.Set("command", "listSessions");
-  auto response = workers_[worker]->Call(listRequest);
+Result<ShardRouter::WorkerLoad> ShardRouter::ParseLoad(
+    Result<json::Json> response) {
   if (!response.ok()) return response.error();
   if (!IsOk(response.value())) {
     return Error{ErrorKind::kInternal,
@@ -244,13 +339,26 @@ Result<ShardRouter::WorkerLoad> ShardRouter::LoadOf(std::size_t worker) {
   return load;
 }
 
-ShardRouter::FleetLoads ShardRouter::ProbeLoads() {
+std::vector<std::future<Result<json::Json>>> ShardRouter::FanOutListSessions(
+    std::size_t skip) {
+  json::Json listRequest = json::Json::MakeObject();
+  listRequest.Set("command", "listSessions");
+  std::vector<std::future<Result<json::Json>>> pending(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (i == skip || !IsLive(i)) continue;
+    pending[i] = lanes_[i]->Submit(listRequest);
+  }
+  return pending;
+}
+
+ShardRouter::FleetLoads ShardRouter::ProbeLoads(std::size_t skip) {
   FleetLoads loads;
   loads.bytes.assign(workers_.size(), 0);
   loads.reachable.assign(workers_.size(), false);
+  auto pending = FanOutListSessions(skip);
   for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (!IsLive(i)) continue;
-    auto load = LoadOf(i);
+    if (!pending[i].valid()) continue;
+    auto load = ParseLoad(pending[i].get());
     if (!load.ok()) continue;
     loads.bytes[i] = load.value().approxBytes;
     loads.reachable[i] = true;
@@ -259,8 +367,10 @@ ShardRouter::FleetLoads ShardRouter::ProbeLoads() {
 }
 
 json::Json ShardRouter::WorkerStats() {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
   json::Json response = Ok();
   json::Json list = json::Json::MakeArray();
+  auto pending = FanOutListSessions();
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     json::Json entry = json::Json::MakeObject();
     entry.Set("worker", static_cast<std::int64_t>(i));
@@ -276,7 +386,7 @@ json::Json ShardRouter::WorkerStats() {
     entry.Set("transport", workers_[i]->Describe());
     entry.Set("drained", static_cast<bool>(drained_[i]));
     entry.Set("removed", false);
-    auto load = LoadOf(i);
+    auto load = ParseLoad(pending[i].get());
     if (load.ok()) {
       entry.Set("sessions", static_cast<std::int64_t>(load.value().sessions));
       entry.Set("approxBytes",
@@ -302,10 +412,13 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
   }
   const Placement source = it->second;
 
+  // Source-side calls go straight down the transport: the caller holds
+  // the quiesce barrier on the source worker, so its lane is idle and
+  // stays idle (every submission path needs the fleet mutex we hold).
   json::Json exportRequest = json::Json::MakeObject();
   exportRequest.Set("command", "exportSession");
   exportRequest.Set("sessionId", source.localId);
-  json::Json exported = CallWorker(source.worker, exportRequest);
+  json::Json exported = CallWorkerDirect(source.worker, exportRequest);
   if (!IsOk(exported)) {
     // The session vanished from its worker (deleted behind the router's
     // back, export failed, or the worker process is dead). Nothing
@@ -326,7 +439,10 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
   json::Json importRequest = json::Json::MakeObject();
   importRequest.Set("command", "importSession");
   importRequest.Set("blob", blobBytes);
-  json::Json imported = CallWorker(destination, importRequest);
+  // The import rides the destination's lane so it cannot interleave with
+  // a response already executing there — ordering on the destination is
+  // preserved exactly as for client traffic.
+  json::Json imported = CallViaLane(destination, importRequest);
   if (!IsOk(imported)) {
     // Destination refused (blob budget, decode failure) or is
     // unreachable. The source copy was never deleted, so the session is
@@ -342,14 +458,14 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
   json::Json deleteRequest = json::Json::MakeObject();
   deleteRequest.Set("command", "deleteSession");
   deleteRequest.Set("sessionId", source.localId);
-  json::Json deleted = CallWorker(source.worker, deleteRequest);
+  json::Json deleted = CallWorkerDirect(source.worker, deleteRequest);
   if (!IsOk(deleted)) {
     // Failing to delete would leave two live copies; roll the import back
     // so the mapping stays unambiguous.
     json::Json rollback = json::Json::MakeObject();
     rollback.Set("command", "deleteSession");
     rollback.Set("sessionId", imported.GetInt("sessionId", -1));
-    CallWorker(destination, rollback);
+    CallViaLane(destination, rollback);
     return Status::Fail(
         ErrorKind::kInternal,
         "could not delete session " + std::to_string(globalId) +
@@ -373,12 +489,13 @@ std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
   // Per-session byte estimates for the drained worker, and one fleet-wide
   // load snapshot, both taken once: the loop below keeps the destination
   // loads current incrementally instead of re-walking every worker's
-  // session table per move.
+  // session table per move. The source is listed directly (its lane is
+  // quiesced); the peers are probed through their lanes.
   std::map<std::int64_t, std::uint64_t> sessionBytes;
   {
     json::Json listRequest = json::Json::MakeObject();
     listRequest.Set("command", "listSessions");
-    const json::Json listed = CallWorker(index, listRequest);
+    const json::Json listed = CallWorkerDirect(index, listRequest);
     if (sourceReachable != nullptr) *sourceReachable = IsOk(listed);
     const auto localIndex = IndexSessions(listed);
     for (const std::int64_t globalId : toMove) {
@@ -389,7 +506,7 @@ std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
       }
     }
   }
-  FleetLoads fleet = ProbeLoads();
+  FleetLoads fleet = ProbeLoads(/*skip=*/index);
   std::vector<bool> eligible = Eligible();
   for (std::size_t i = 0; i < eligible.size(); ++i) {
     // Never pick an unreachable destination: the import would fail and
@@ -429,6 +546,7 @@ std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
 }
 
 json::Json ShardRouter::DrainWorker(const json::Json& request) {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
   const std::int64_t worker = request.GetInt("worker", -1);
   if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
       !IsLive(static_cast<std::size_t>(worker))) {
@@ -440,6 +558,12 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
   // the drain cannot race its own imports back onto the source. Draining
   // an already-drained (empty) worker is a no-op success.
   drained_[index] = true;
+  // The quiesce barrier: wait out any request already in the worker's
+  // lane (an in-flight `run` completes; its client gets a normal
+  // response). New requests for the worker's sessions queue behind the
+  // fleet mutex and execute after the drain, against the sessions' new
+  // homes.
+  lanes_[index]->Quiesce();
 
   json::Json response = json::Json::MakeObject();
   const std::vector<std::int64_t> failedIds = DrainSessions(index, response);
@@ -458,6 +582,7 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::OpenWorker(const json::Json& request) {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
   const std::int64_t worker = request.GetInt("worker", -1);
   if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
       !IsLive(static_cast<std::size_t>(worker))) {
@@ -469,6 +594,7 @@ json::Json ShardRouter::OpenWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::AddWorker(const json::Json& request) {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
   const std::size_t index = workers_.size();
   Result<std::shared_ptr<WorkerTransport>> transport = [&]()
       -> Result<std::shared_ptr<WorkerTransport>> {
@@ -485,7 +611,8 @@ json::Json ShardRouter::AddWorker(const json::Json& request) {
   }
 
   // Probe before committing the slot: a bogus address or a worker that
-  // died during spawn must not claim an arc of the ring.
+  // died during spawn must not claim an arc of the ring. The transport
+  // has no lane yet, so the call is direct.
   json::Json probe = json::Json::MakeObject();
   probe.Set("command", "listSessions");
   auto probed = transport.value()->Call(probe);
@@ -496,6 +623,7 @@ json::Json ShardRouter::AddWorker(const json::Json& request) {
   }
 
   workers_.push_back(std::move(transport).value());
+  lanes_.push_back(std::make_unique<WorkerLane>(workers_.back()));
   drained_.push_back(false);
   ring_.AddWorker();
 
@@ -506,6 +634,7 @@ json::Json ShardRouter::AddWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::RemoveWorker(const json::Json& request) {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
   const std::int64_t worker = request.GetInt("worker", -1);
   if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
       !IsLive(static_cast<std::size_t>(worker))) {
@@ -515,6 +644,7 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
   const std::size_t index = static_cast<std::size_t>(worker);
   const bool force = request.GetBool("force", false);
   drained_[index] = true;
+  lanes_[index]->Quiesce();
 
   json::Json response = json::Json::MakeObject();
   bool sourceReachable = true;
@@ -546,15 +676,28 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
 
   // Graceful stop for process workers; in-process workers just go away
   // with their transport. A worker the drain already proved dead gets no
-  // shutdown round trip — it could only burn the connect timeout while
-  // the whole (synchronous) fleet waits behind it.
-  if (workers_[index]->LocalServer() == nullptr && sourceReachable) {
+  // shutdown round trip — it could only burn the connect timeout. The
+  // lane is quiesced, so the shutdown goes straight down the transport.
+  const bool processWorker = workers_[index]->LocalServer() == nullptr;
+  const std::string address = workers_[index]->Describe();
+  if (processWorker && sourceReachable) {
     json::Json shutdown = json::Json::MakeObject();
     shutdown.Set("command", "shutdownWorker");
     (void)workers_[index]->Call(shutdown);
   }
   ring_.RemoveWorker(index);
+  // The lane was quiesced above and no submission can have raced in (the
+  // fleet mutex is held), so Stop() finds an empty queue — nothing to
+  // orphan.
+  lanes_[index]->Stop();
+  lanes_[index] = nullptr;
   workers_[index] = nullptr;
+  if (processWorker && options_.onWorkerShutdown) {
+    // Let the process owner reap the worker now — whether it exited
+    // gracefully just above or was already dead — instead of leaving a
+    // zombie until fleet teardown.
+    options_.onWorkerShutdown(address);
+  }
 
   response.Set("status", "ok");
   response.Set("removed", true);
@@ -563,6 +706,7 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::Rebalance() {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
   FleetLoads fleet = ProbeLoads();
   std::vector<bool> eligible = Eligible();
   for (std::size_t i = 0; i < eligible.size(); ++i) {
@@ -617,11 +761,16 @@ json::Json ShardRouter::Rebalance() {
     auto least = LeastLoaded(loads, destinationEligible);
     if (!least.has_value()) break;  // single eligible worker: nothing to do
 
+    // The source of this move must be quiet before its sessions are
+    // exported — the same barrier drain takes, per iteration because
+    // `most` changes as loads even out. Idle lanes make this free.
+    lanes_[most]->Quiesce();
+
     // Smallest session on the most loaded worker (ties -> lowest global
     // id): smallest first avoids overshooting the mean.
     json::Json listRequest = json::Json::MakeObject();
     listRequest.Set("command", "listSessions");
-    const json::Json sessions = CallWorker(most, listRequest);
+    const json::Json sessions = CallWorkerDirect(most, listRequest);
     const auto localIndex = IndexSessions(sessions);
     std::int64_t candidate = -1;
     std::int64_t candidateBytes = std::numeric_limits<std::int64_t>::max();

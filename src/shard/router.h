@@ -18,6 +18,10 @@
 //                                address asks Options::transportFactory)
 //   removeWorker {worker, force?} -> {moved, movedBytes, failed[], lost[]}
 //                                (drain, then shrink the ring; see below)
+//   hello        {}          -> the router's build fingerprint (frame +
+//                                snapshot versions, config hash), answered
+//                                locally — the same document a worker
+//                                returns on its connect handshake.
 //
 // Workers are reached through WorkerTransport (shard/transport.h): the
 // in-process default behaves exactly like PR 3; SocketTransport talks to
@@ -26,39 +30,63 @@
 // router never guesses, never retries a maybe-executed command, and
 // never silently drops a session.
 //
-// drainWorker exports every session on the worker and imports each onto
-// the least-loaded *reachable* non-drained peer, then deletes the source
-// copy — the delete happens only after the destination import succeeded,
-// so a failure at any point leaves the session live on its source worker;
-// an unreachable destination aborts the move with the source intact, and
-// a dead source worker makes every one of its sessions a reported
-// failure (lost-with-error), never a silent drop.
+// Concurrency model (see shard/lane.h and docs/sharding.md):
 //
-// removeWorker completes elastic scale-in: mark drained, run the drain
-// loop, and only if every session moved off (or `force` accepts the
-// loss, each lost session listed in `lost[]`) remove the worker's arc
-// from the ring and shut the transport down. addWorker is the matching
-// scale-out: the ring grows by one arc — consistent hashing moves only
-// the keys that hash into it — and new placements start landing there.
+//   * Every worker has a dispatch lane — a FIFO queue plus executor
+//     thread over its one transport connection. Handle()/HandleRaw() are
+//     thread-safe: session-bound commands are enqueued on the owning
+//     worker's lane and executed concurrently *across* lanes, strictly
+//     in order *within* one. Per-session ordering follows from
+//     session→worker affinity; N workers simulate in parallel.
+//   * Router state (placements_, ring_, workers_, drained_) is protected
+//     by one fleet mutex, held only for routing decisions — never while
+//     a session command executes — except for the control-plane cases
+//     below.
+//   * createSession / importSession / deleteSession hold the fleet mutex
+//     across their worker round trip so the placement map never lags the
+//     fleet: a concurrent drain can neither miss a just-admitted session
+//     nor try to move a just-deleted one.
+//   * Fleet operations (drain/rebalance/add/remove/stats/list) hold the
+//     fleet mutex for their whole duration and *quiesce* the lane of any
+//     worker whose sessions they move: the barrier waits until the lane
+//     is idle, and because every submission path needs the fleet mutex,
+//     the lane stays idle until the operation completes. An export
+//     therefore always observes a session between requests, never inside
+//     one — the PR 4 safety argument, re-established under concurrency.
 //
-// Safety against sessions mid-`run`: the router is synchronous — a request
-// is dispatched to exactly one worker and runs to completion before the
-// next request is looked at, so an export always observes a session
-// between requests, never inside one. Because session blobs are
-// byte-identical across export/import (snapshot_test, shard_test), a
-// migrated client simply continues; the move is invisible.
+// drainWorker exports every session on the (quiesced) worker and imports
+// each onto the least-loaded *reachable* non-drained peer, then deletes
+// the source copy — the delete happens only after the destination import
+// succeeded, so a failure at any point leaves the session live on its
+// source worker; an unreachable destination aborts the move with the
+// source intact, and a dead source worker makes every one of its
+// sessions a reported failure (lost-with-error), never a silent drop.
+//
+// removeWorker completes elastic scale-in: mark drained, quiesce, run
+// the drain loop, and only if every session moved off (or `force`
+// accepts the loss, each lost session listed in `lost[]`) remove the
+// worker's arc from the ring, shut the transport down and stop the lane
+// (pending requests are answered with errors, never dropped). The
+// Options::onWorkerShutdown hook then lets the process owner reap the
+// worker promptly (see shard/worker.h) instead of leaving a zombie.
+// addWorker is the matching scale-out: the ring grows by one arc —
+// consistent hashing moves only the keys that hash into it — and new
+// placements start landing there.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "json/json.h"
 #include "server/api.h"
+#include "shard/lane.h"
 #include "shard/placement.h"
 #include "shard/transport.h"
 
@@ -90,31 +118,36 @@ class ShardRouter {
     /// Socket options for transports the router creates itself
     /// (`addWorker {address}`).
     SocketTransportOptions socketOptions;
+    /// Called (with the transport's address) after removeWorker shut a
+    /// socket worker down, so the process owner can reap it promptly —
+    /// see shard::MakeFleetReaper. Invoked under the fleet mutex.
+    std::function<void(const std::string& address)> onWorkerShutdown;
   };
 
   explicit ShardRouter(const Options& options);
 
   /// Structured entry point, same contract as SimServer::Handle.
+  /// Thread-safe; see the concurrency model above.
   json::Json Handle(const json::Json& request);
 
   /// Byte-level entry point, same contract as SimServer::HandleRaw.
+  /// Thread-safe.
   std::string HandleRaw(std::string_view requestBytes, bool compress = false,
                         server::RequestTiming* timing = nullptr);
 
   /// Fleet slots ever created (including removed ones; their entries stay
   /// so worker indices are stable).
-  std::size_t workerCount() const { return workers_.size(); }
-  std::size_t sessionCount() const { return placements_.size(); }
+  std::size_t workerCount() const;
+  std::size_t sessionCount() const;
 
   /// The in-process SimServer behind worker `index`, or nullptr when the
   /// slot is removed or lives behind a socket. For tests and embedders;
   /// the router does not defend against sessions created or deleted
   /// behind its back — drain treats a vanished session as a failed
-  /// export and reports it.
-  server::SimServer* workerServer(std::size_t index) {
-    return workers_[index] == nullptr ? nullptr
-                                      : workers_[index]->LocalServer();
-  }
+  /// export and reports it. Calling into the returned server while other
+  /// threads route requests to it is a data race; single-threaded tests
+  /// only.
+  server::SimServer* workerServer(std::size_t index);
 
  private:
   /// Where one global session lives.
@@ -137,31 +170,45 @@ class ShardRouter {
   };
 
   json::Json Dispatch(const json::Json& request);
-  /// One request to one worker; transport failures become error JSON.
-  json::Json CallWorker(std::size_t worker, const json::Json& request);
-  json::Json RouteSessionCommand(const json::Json& request);
+
+  // Every private method below the line expects fleetMutex_ held unless
+  // noted; none of them may be called from a lane thread.
+
+  /// One request through worker's lane, waited inline (the fleet mutex
+  /// stays held, which is safe: lane threads never take it). Transport
+  /// failures become error JSON.
+  json::Json CallViaLane(std::size_t worker, const json::Json& request);
+  /// One request straight down the transport, bypassing the lane. Only
+  /// for workers whose lane is quiesced (fleet ops) or not yet built
+  /// (addWorker's probe).
+  json::Json CallWorkerDirect(std::size_t worker, const json::Json& request);
+
+  json::Json RouteSessionCommand(const json::Json& request);  // locks itself
+  json::Json StatelessCommand(const json::Json& request);     // locks itself
   /// createSession / importSession: place on the ring and forward.
-  json::Json AdmitSession(const json::Json& request);
-  json::Json ListSessions();
-  json::Json WorkerStats();
-  json::Json DrainWorker(const json::Json& request);
-  json::Json OpenWorker(const json::Json& request);
-  json::Json AddWorker(const json::Json& request);
-  json::Json RemoveWorker(const json::Json& request);
-  json::Json Rebalance();
+  json::Json AdmitSession(const json::Json& request);         // locks itself
+  json::Json ListSessions();                                  // locks itself
+  json::Json WorkerStats();                                   // locks itself
+  json::Json DrainWorker(const json::Json& request);          // locks itself
+  json::Json OpenWorker(const json::Json& request);           // locks itself
+  json::Json AddWorker(const json::Json& request);            // locks itself
+  json::Json RemoveWorker(const json::Json& request);         // locks itself
+  json::Json Rebalance();                                     // locks itself
 
   /// The drain loop shared by drainWorker and removeWorker: moves every
-  /// session off `index`, filling the response fields. Returns the ids
-  /// of sessions that could not be moved. `sourceReachable` (optional)
-  /// reports whether the drained worker itself answered — false means a
-  /// dead process, so callers skip graceful-shutdown round trips that
-  /// could only time out.
+  /// session off `index` — whose lane the caller has quiesced — filling
+  /// the response fields. Returns the ids of sessions that could not be
+  /// moved. `sourceReachable` (optional) reports whether the drained
+  /// worker itself answered — false means a dead process, so callers
+  /// skip graceful-shutdown round trips that could only time out.
   std::vector<std::int64_t> DrainSessions(std::size_t index,
                                           json::Json& response,
                                           bool* sourceReachable = nullptr);
 
   /// Moves one session to `destination` (export -> import -> delete
-  /// source). On failure the session remains on its source worker.
+  /// source). The source worker's lane must be quiesced by the caller;
+  /// the import rides the destination's lane. On failure the session
+  /// remains on its source worker.
   Status MoveSession(std::int64_t globalId, std::size_t destination,
                      std::uint64_t* movedBytes);
 
@@ -170,8 +217,20 @@ class ShardRouter {
   static std::map<std::int64_t, const json::Json*> IndexSessions(
       const json::Json& listResponse);
 
-  Result<WorkerLoad> LoadOf(std::size_t worker);
-  FleetLoads ProbeLoads();
+  /// Parses one worker's listSessions response into a load summary —
+  /// the single place that knows the response shape (ProbeLoads and
+  /// WorkerStats both feed through it).
+  static Result<WorkerLoad> ParseLoad(Result<json::Json> response);
+  /// Submits a listSessions probe to every live lane except `skip`,
+  /// before any response is awaited — sequential probing would stack
+  /// dead workers' transport timeouts end to end under the fleet mutex.
+  /// Returns one future per slot (invalid where nothing was submitted).
+  std::vector<std::future<Result<json::Json>>> FanOutListSessions(
+      std::size_t skip = static_cast<std::size_t>(-1));
+  /// `skip` (if valid) is reported unreachable without being probed —
+  /// drain uses it for the quiesced source worker, which must not be
+  /// handed new lane work while the barrier holds.
+  FleetLoads ProbeLoads(std::size_t skip = static_cast<std::size_t>(-1));
   /// Workers admitting new sessions (live and not drained).
   std::vector<bool> Eligible() const;
   bool IsLive(std::size_t worker) const {
@@ -180,12 +239,22 @@ class ShardRouter {
   /// Placement for a new session id; error when every worker is drained.
   Result<std::size_t> PlaceNew(std::int64_t globalId);
   /// Builds the transport for slot `worker` from the factory/default.
+  /// (No lock needed; touches only options_.)
   Result<std::shared_ptr<WorkerTransport>> MakeTransport(
       std::size_t worker, const server::SimServer::Limits& limits);
 
   Options options_;
+  /// Guards every mutable member below. Lane threads never take it.
+  mutable std::mutex fleetMutex_;
   HashRing ring_;
   std::vector<std::shared_ptr<WorkerTransport>> workers_;
+  /// Dispatch lane per slot, parallel to workers_ (nullptr when removed).
+  /// Dispatchers block on a Submit()'s future after releasing the fleet
+  /// mutex without keeping the lane alive — that is safe because a
+  /// promise's shared state outlives the lane, and RemoveWorker resolves
+  /// every job before destroying one (quiesce under the held mutex, then
+  /// Stop answers any straggler): no future is ever abandoned.
+  std::vector<std::unique_ptr<WorkerLane>> lanes_;
   std::vector<bool> drained_;
   /// Construction errors of slots whose factory failed, by worker index.
   std::map<std::size_t, std::string> slotErrors_;

@@ -17,6 +17,38 @@ Status SocketTransport::EnsureConnected() {
                             " unreachable: " + connected.error().message);
   }
   connection_ = std::move(connected).value();
+
+  // The hello handshake: before any command travels on this connection,
+  // exchange build fingerprints and refuse a worker whose frame version,
+  // snapshot format version or config hash differs from ours. Catching
+  // skew here — once per connection — beats discovering it per message
+  // mid-migration, when a half-moved session would be on the line. A
+  // handshake failure is final for the call (like a failed connect); the
+  // next Call reconnects and retries the handshake, so a worker that is
+  // upgraded in place heals the slot.
+  server::WireOptions wire;
+  wire.ioTimeoutMs = options_.ioTimeoutMs;
+  wire.maxFrameBytes = options_.maxFrameBytes;
+  Status sent =
+      server::WriteMessage(connection_, server::MakeHelloRequest(), wire);
+  if (!sent.ok()) {
+    connection_.Close();
+    return Status::Fail(ErrorKind::kInternal,
+                        "worker " + address_ + " failed the hello handshake: " +
+                            sent.error().message);
+  }
+  auto answer = server::ReadMessage(connection_, wire);
+  if (!answer.ok()) {
+    connection_.Close();
+    return Status::Fail(ErrorKind::kInternal,
+                        "worker " + address_ + " failed the hello handshake: " +
+                            answer.error().message);
+  }
+  Status compatible = server::CheckHelloResponse(answer.value(), address_);
+  if (!compatible.ok()) {
+    connection_.Close();
+    return compatible;
+  }
   return Status::Ok();
 }
 

@@ -14,11 +14,15 @@
 //                       default and the baseline bench_shard measures.
 //   SocketTransport     speaks server/wire.h frames over a unix-domain or
 //                       TCP socket to an rvss worker process. Connects
-//                       lazily, reconnects after a failure on the next
-//                       Call (so a restarted worker heals the slot), and
-//                       fails closed: a request whose response never
-//                       arrived is reported as an error, never retried
-//                       blindly (it may have executed).
+//                       lazily, performs the hello handshake on every
+//                       fresh connection (refusing workers whose frame
+//                       version, snapshot format version or config hash
+//                       differ — see server/wire.h), reconnects after a
+//                       failure on the next Call (so a restarted worker
+//                       heals the slot), and fails closed: a request
+//                       whose response never arrived is reported as an
+//                       error, never retried blindly (it may have
+//                       executed).
 #pragma once
 
 #include <cstddef>

@@ -1,6 +1,8 @@
 #include "shard/worker.h"
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <csignal>
@@ -93,10 +95,36 @@ void KillWorker(const SpawnedWorker& worker) {
 }
 
 void ReapWorker(const SpawnedWorker& worker) {
-  if (worker.pid > 0) {
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
+  if (worker.pid <= 0) return;
+  int status = 0;
+  // A signal delivered mid-wait must not abandon the child as a zombie.
+  while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
   }
+}
+
+bool ReapWorkerWithin(const SpawnedWorker& worker, int graceMs) {
+  if (worker.pid <= 0) return true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(graceMs < 0 ? 0 : graceMs);
+  while (true) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+    if (reaped == worker.pid) return true;
+    if (reaped < 0 && errno != EINTR) {
+      // ECHILD: someone else (a test's ReapWorker) already collected it —
+      // there is no zombie left either way.
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    struct timespec pause = {0, 10'000'000};  // 10ms between polls
+    ::nanosleep(&pause, nullptr);
+  }
+  // The grace period ran out: a shutdownWorker that never lands (wedged
+  // worker, lost response) must not leave the process running *and*
+  // unreaped — kill hard and collect the corpse.
+  KillWorker(worker);
+  ReapWorker(worker);
+  return false;
 }
 
 SpawnedFleet::~SpawnedFleet() {
@@ -104,6 +132,21 @@ SpawnedFleet::~SpawnedFleet() {
     KillWorker(worker);
     ReapWorker(worker);
   }
+}
+
+std::function<void(const std::string& address)> MakeFleetReaper(
+    SpawnedFleet* fleet, int graceMs) {
+  return [fleet, graceMs](const std::string& address) {
+    for (auto it = fleet->workers.begin(); it != fleet->workers.end(); ++it) {
+      if (it->address != address) continue;
+      ReapWorkerWithin(*it, graceMs);
+      // Reaped for real: drop the handle so fleet teardown neither
+      // SIGKILLs a pid the kernel may have recycled by then nor blocks
+      // in a second waitpid.
+      fleet->workers.erase(it);
+      return;
+    }
+  };
 }
 
 std::function<Result<std::shared_ptr<WorkerTransport>>(

@@ -16,8 +16,12 @@
 // The parent keeps a SpawnedWorker handle for teardown: KillWorker sends
 // SIGKILL, ReapWorker waits for the exit. Graceful stops go through the
 // router's `removeWorker`, which sends shutdownWorker over the existing
-// transport connection. Leaked children are still reaped by the kernel
-// when the parent dies (tests kill hard anyway).
+// transport connection — and then calls Options::onWorkerShutdown, which
+// MakeFleetReaper turns into a prompt reap: without it, every elastic
+// add/remove cycle leaves a zombie child until the SpawnedFleet is
+// destroyed, and teardown then SIGKILLs pids whose processes exited long
+// ago. Leaked children are still reaped by the kernel when the parent
+// dies (tests kill hard anyway).
 #pragma once
 
 #include <functional>
@@ -80,7 +84,23 @@ Status RunWorkerLoop(const std::string& address,
 /// SIGKILLs the worker process (the "worker died" failure injection).
 void KillWorker(const SpawnedWorker& worker);
 
-/// waitpid()s the child so no zombie outlives the caller.
+/// waitpid()s the child (blocking, EINTR-retried) so no zombie outlives
+/// the caller.
 void ReapWorker(const SpawnedWorker& worker);
+
+/// Reaps a worker that was just told to shut down: polls waitpid with
+/// WNOHANG for up to `graceMs` (a graceful exit flushes its response
+/// first), then SIGKILLs and reaps for real. Returns true when the child
+/// exited within the grace period, false when it had to be killed.
+/// Entries with pid <= 0 are a no-op (returns true).
+bool ReapWorkerWithin(const SpawnedWorker& worker, int graceMs);
+
+/// An Options::onWorkerShutdown hook for ShardRouter: looks the address
+/// up in `fleet`, reaps the process promptly (ReapWorkerWithin) and
+/// drops the entry from the fleet list — so an elastic add/remove cycle
+/// leaves neither a zombie nor a stale handle for teardown to SIGKILL.
+/// Unknown addresses are ignored (the worker was attached, not spawned).
+std::function<void(const std::string& address)> MakeFleetReaper(
+    SpawnedFleet* fleet, int graceMs = 5'000);
 
 }  // namespace rvss::shard

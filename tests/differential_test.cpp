@@ -16,9 +16,11 @@
 // and drives the export/import over the length-prefixed frame protocol —
 // the nightly socket leg proves the wire transport preserves the same
 // bit-exactness the direct path does.
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -198,6 +200,44 @@ void RunMigrationThroughRouter(const std::string& mode,
     const std::int64_t sessionId = created.GetInt("sessionId", -1);
     const std::int64_t worker = created.GetInt("worker", -1);
 
+    // A decoy session stepped from a second thread for the whole seam:
+    // the router now dispatches concurrently, so the drain below runs
+    // while another session is live on the fleet — the quiesce barrier
+    // must stop only the drained worker's lane, and the decoy's state
+    // must be exactly what the same number of steps produces on a bare
+    // server (concurrent dispatch leaks into nothing).
+    json::Json decoyCreated = router.Handle(create);
+    ASSERT_EQ(decoyCreated.GetString("status", ""), "ok");
+    const std::int64_t decoyId = decoyCreated.GetInt("sessionId", -1);
+    std::atomic<bool> stopDecoy{false};
+    std::atomic<std::int64_t> decoySteps{0};
+    std::atomic<bool> decoyFailed{false};
+    // Joins the decoy on every exit path — a failed ASSERT between here
+    // and the explicit join must not destroy a joinable thread.
+    struct DecoyJoiner {
+      std::atomic<bool>& stop;
+      std::thread& thread;
+      ~DecoyJoiner() {
+        stop.store(true);
+        if (thread.joinable()) thread.join();
+      }
+    };
+    std::thread decoy([&] {
+      while (!stopDecoy.load()) {
+        json::Json step = command("step");
+        step.Set("sessionId", decoyId);
+        step.Set("count", 16);
+        json::Json stepped = router.Handle(step);
+        if (stepped.GetString("status", "") != "ok") {
+          decoyFailed.store(true);
+          return;
+        }
+        decoySteps.fetch_add(stepped.GetInt("stepped", 0));
+        if (stepped.GetInt("stepped", 0) == 0) return;  // finished
+      }
+    });
+    DecoyJoiner decoyJoiner{stopDecoy, decoy};
+
     std::uint64_t remaining = midpoint;
     while (remaining > 0) {
       json::Json step = command("step");
@@ -239,6 +279,30 @@ void RunMigrationThroughRouter(const std::string& mode,
     ExpectMatchesIss(*imported.value().sim, iss, issMemory,
                      mode + "-routed migration at cycle " +
                          std::to_string(midpoint));
+
+    // Wind the decoy down and differentiate it: its blob must equal a
+    // bare server's after the identical step count.
+    stopDecoy.store(true);
+    if (decoy.joinable()) decoy.join();
+    ASSERT_FALSE(decoyFailed.load()) << "decoy session errored mid-run";
+    json::Json decoyExport = command("exportSession");
+    decoyExport.Set("sessionId", decoyId);
+    json::Json decoyExported = router.Handle(decoyExport);
+    ASSERT_EQ(decoyExported.GetString("status", ""), "ok");
+    server::SimServer bare;
+    json::Json bareCreated = bare.Handle(create);
+    ASSERT_EQ(bareCreated.GetString("status", ""), "ok");
+    json::Json bareStep = command("step");
+    bareStep.Set("sessionId", bareCreated.GetInt("sessionId", -1));
+    bareStep.Set("count", decoySteps.load());
+    ASSERT_EQ(bare.Handle(bareStep).GetString("status", ""), "ok");
+    json::Json bareExport = command("exportSession");
+    bareExport.Set("sessionId", bareCreated.GetInt("sessionId", -1));
+    json::Json bareExported = bare.Handle(bareExport);
+    EXPECT_EQ(decoyExported.GetString("blob", "+"),
+              bareExported.GetString("blob", "-"))
+        << "decoy stepped " << decoySteps.load()
+        << " cycles concurrently; its state must match a bare server's";
   }
 }
 

@@ -4,9 +4,12 @@
 // router's core invariant: a migration that fails at any step leaves the
 // session live on its source worker — errors are reported, sessions are
 // never lost.
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -493,6 +496,196 @@ TEST(Elastic, RemoveWorkerWithNoDestinationFailsClosed) {
   EXPECT_EQ(Cmd(router, "step", {{"sessionId", json::Json(id)}})
                 .GetString("status", ""),
             "error");
+}
+
+// ---- concurrency: dispatch lanes and the quiesce barrier --------------------
+
+/// Runs the same deterministic mixed-command script against any target
+/// (bare SimServer or router): checkpointed steps, a rewind, bounded
+/// runs — the commands the concurrent dispatch path must serialize
+/// per-session. Returns the final stats document (or the first error).
+template <typename Target>
+json::Json RunMixedScript(Target& target, std::int64_t sessionId, int salt) {
+  for (int round = 0; round < 3; ++round) {
+    json::Json stepped =
+        Cmd(target, "step", {{"sessionId", json::Json(sessionId)},
+                             {"count", json::Json(40 + 13 * salt + round)}});
+    if (stepped.GetString("status", "") != "ok") return stepped;
+    json::Json saved = Cmd(target, "saveCheckpoint",
+                           {{"sessionId", json::Json(sessionId)}});
+    if (saved.GetString("status", "") != "ok") return saved;
+    json::Json more = Cmd(target, "step", {{"sessionId", json::Json(sessionId)},
+                                           {"count", json::Json(25)}});
+    if (more.GetString("status", "") != "ok") return more;
+    json::Json rewound =
+        Cmd(target, "stepBack", {{"sessionId", json::Json(sessionId)}});
+    if (rewound.GetString("status", "") != "ok") return rewound;
+    json::Json ran = Cmd(target, "run", {{"sessionId", json::Json(sessionId)},
+                                         {"maxCycles", json::Json(300)}});
+    if (ran.GetString("status", "") != "ok") return ran;
+  }
+  // Run to completion (the programs below finish in well under 1M).
+  while (true) {
+    json::Json report =
+        Cmd(target, "run", {{"sessionId", json::Json(sessionId)},
+                            {"maxCycles", json::Json(1'000'000)}});
+    if (report.GetString("status", "") != "ok") return report;
+    if (report.GetString("finishReason", "") != "none" ||
+        report.GetInt("ranCycles", -1) == 0) {
+      break;
+    }
+  }
+  return Cmd(target, "stats", {{"sessionId", json::Json(sessionId)}});
+}
+
+/// A finishing countdown whose length depends on `salt`, so concurrent
+/// sessions do genuinely different work.
+std::string SaltedProgram(int salt) {
+  return "main:\n    li t0, " + std::to_string(1500 + 211 * salt) +
+         "\nspin:\n    addi t1, t1, 5\n    xori t2, t1, 3\n"
+         "    addi t0, t0, -1\n    bnez t0, spin\n    ret\n";
+}
+
+TEST(Concurrency, ParallelMixedWorkloadMatchesBareServer) {
+  // 8 sessions × (step/saveCheckpoint/stepBack/run) scripts, driven by 8
+  // client threads against a 4-worker router while a chaos thread drains
+  // and reopens workers (live-migrating sessions under the drivers'
+  // feet). Every session's final statistics must equal the same script
+  // executed sequentially on a bare SimServer: concurrency and migration
+  // may reorder work between sessions, never within one, and must not
+  // leak into simulation state.
+  constexpr int kSessions = 8;
+
+  std::vector<std::string> expected(kSessions);
+  {
+    server::SimServer reference;
+    for (int i = 0; i < kSessions; ++i) {
+      const std::int64_t id =
+          MustCreateSession(reference, SaltedProgram(i).c_str());
+      json::Json stats = RunMixedScript(reference, id, i);
+      ASSERT_EQ(stats.GetString("status", ""), "ok") << stats.Dump();
+      expected[i] = stats.Find("statistics")->Dump();
+    }
+  }
+
+  ShardRouter::Options options;
+  options.workerCount = 4;
+  ShardRouter router(options);
+  std::vector<std::int64_t> ids(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    ids[i] = MustCreateSession(router, SaltedProgram(i).c_str());
+  }
+
+  std::atomic<bool> stopChaos{false};
+  std::thread chaos([&router, &stopChaos] {
+    // Forever: drain a worker (quiesce + migrate its sessions), reopen
+    // it, next worker. Every operation must succeed or report a clean
+    // error; the drivers below must never notice.
+    for (std::size_t worker = 0; !stopChaos.load(); worker = (worker + 1) % 4) {
+      json::Json drained = Cmd(router, "drainWorker",
+                               {{"worker", json::Json(
+                                     static_cast<std::int64_t>(worker))}});
+      EXPECT_EQ(drained.GetString("status", ""), "ok") << drained.Dump();
+      json::Json opened = Cmd(router, "openWorker",
+                              {{"worker", json::Json(
+                                    static_cast<std::int64_t>(worker))}});
+      EXPECT_EQ(opened.GetString("status", ""), "ok") << opened.Dump();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::string> actual(kSessions);
+  std::vector<std::string> errors(kSessions);
+  std::vector<std::thread> drivers;
+  drivers.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    drivers.emplace_back([&router, &ids, &actual, &errors, i] {
+      json::Json stats = RunMixedScript(router, ids[i], i);
+      if (stats.GetString("status", "") != "ok") {
+        errors[i] = stats.Dump();
+        return;
+      }
+      actual[i] = stats.Find("statistics")->Dump();
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  stopChaos.store(true);
+  chaos.join();
+
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(errors[i].empty()) << "session " << i << ": " << errors[i];
+    EXPECT_EQ(actual[i], expected[i])
+        << "session " << i << " diverged under concurrent dispatch";
+  }
+  EXPECT_EQ(router.sessionCount(), static_cast<std::size_t>(kSessions));
+}
+
+TEST(Concurrency, DrainDuringInflightRunQuiescesThenMigrates) {
+  // A drain issued while a `run` is executing on the drained worker must
+  // wait for the request (the quiesce barrier), then migrate the session
+  // — the run completes normally, the session lands elsewhere, and the
+  // final state matches an undisturbed reference run.
+  ShardRouter::Options options;
+  options.workerCount = 2;
+  ShardRouter router(options);
+
+  // A session on worker 0 (create until placement cooperates).
+  std::int64_t id = -1;
+  for (int attempt = 0; attempt < 64 && id < 0; ++attempt) {
+    json::Json created = Cmd(router, "createSession",
+                             {{"code", json::Json(kSpinLoop)},
+                              {"entry", json::Json("main")}});
+    ASSERT_EQ(created.GetString("status", ""), "ok");
+    if (created.GetInt("worker", -1) == 0) {
+      id = created.GetInt("sessionId", -1);
+    }
+  }
+  ASSERT_GE(id, 0) << "no session landed on worker 0";
+
+  constexpr std::int64_t kInflightCycles = 120'000;
+  json::Json runReport;
+  std::thread runner([&router, &runReport, id] {
+    runReport = Cmd(router, "run", {{"sessionId", json::Json(id)},
+                                    {"maxCycles",
+                                     json::Json(kInflightCycles)}});
+  });
+  // Give the run a head start so the drain really does arrive mid-flight
+  // (if scheduling denies us, the test still verifies the ordering).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  json::Json drained = Cmd(router, "drainWorker", {{"worker", json::Json(0)}});
+  runner.join();
+
+  ASSERT_EQ(drained.GetString("status", ""), "ok") << drained.Dump();
+  ASSERT_EQ(runReport.GetString("status", ""), "ok") << runReport.Dump();
+  EXPECT_EQ(runReport.GetInt("ranCycles", -1), kInflightCycles)
+      << "the in-flight run must complete untouched, not be cut short";
+
+  // The session moved off the drained worker...
+  EXPECT_EQ(SessionsPerWorker(router)[0], 0);
+  json::Json listed = Cmd(router, "listSessions");
+  std::int64_t home = -1;
+  for (const json::Json& session : listed.Find("sessions")->AsArray()) {
+    if (session.GetInt("sessionId", -1) == id) {
+      home = session.GetInt("worker", -1);
+    }
+  }
+  EXPECT_EQ(home, 1);
+
+  // ...and its state is exactly what an undisturbed run produces.
+  server::SimServer reference;
+  const std::int64_t referenceId = MustCreateSession(reference);
+  json::Json referenceRun =
+      Cmd(reference, "run", {{"sessionId", json::Json(referenceId)},
+                             {"maxCycles", json::Json(kInflightCycles)}});
+  ASSERT_EQ(referenceRun.GetString("status", ""), "ok");
+  json::Json referenceState =
+      Cmd(reference, "state", {{"sessionId", json::Json(referenceId)}});
+  json::Json migratedState = Cmd(router, "state",
+                                 {{"sessionId", json::Json(id)}});
+  ASSERT_EQ(migratedState.GetString("status", ""), "ok");
+  EXPECT_EQ(referenceState.Find("state")->Dump(),
+            migratedState.Find("state")->Dump())
+      << "quiesced migration must be invisible to simulation state";
 }
 
 // ---- rebalance --------------------------------------------------------------

@@ -8,11 +8,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <csignal>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -22,6 +24,7 @@
 #include "common/socket.h"
 #include "json/json.h"
 #include "server/api.h"
+#include "server/frame_loop.h"
 #include "server/wire.h"
 #include "shard/router.h"
 #include "shard/transport.h"
@@ -284,10 +287,177 @@ TEST(SocketTransport, ReconnectsAfterWorkerRestart) {
   ReapWorker(second.value());
 }
 
+// ---- the hello handshake ----------------------------------------------------
+
+TEST(Hello, WorkerAnswersWithACompatibleFingerprint) {
+  ScopedWorker spawned;
+  auto connection = net::ConnectTo(spawned.worker.address, 5'000);
+  ASSERT_TRUE(connection.ok()) << connection.error().ToText();
+  server::WireOptions wire;
+  wire.ioTimeoutMs = 5'000;
+
+  ASSERT_TRUE(server::WriteMessage(connection.value(),
+                                   server::MakeHelloRequest(), wire)
+                  .ok());
+  auto answer = server::ReadMessage(connection.value(), wire);
+  ASSERT_TRUE(answer.ok()) << answer.error().ToText();
+  EXPECT_TRUE(answer.value().GetBool("hello", false)) << answer.value().Dump();
+  Status compatible =
+      server::CheckHelloResponse(answer.value(), spawned.worker.address);
+  EXPECT_TRUE(compatible.ok()) << compatible.error().ToText();
+}
+
+TEST(Hello, TransportRefusesAVersionSkewedWorker) {
+  // A fake worker that answers the handshake with a future frame
+  // version: the transport must refuse the connection at hello time —
+  // never let a skewed worker into the fleet to fail mid-migration.
+  const std::string address = MakeWorkerAddress("skewed");
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto listener = net::ListenOn(address);
+    if (listener.ok()) {
+      auto connection = net::AcceptOn(listener.value(), 10'000);
+      if (connection.ok()) {
+        server::WireOptions wire;
+        wire.ioTimeoutMs = 2'000;
+        (void)server::ReadMessage(connection.value(), wire);  // the hello
+        json::Json skewed = server::MakeHelloResponse();
+        skewed.Set("frameVersion", std::int64_t{999});
+        (void)server::WriteMessage(connection.value(), std::move(skewed),
+                                   wire);
+      }
+    }
+    ::_exit(0);
+  }
+
+  SocketTransportOptions options;
+  options.ioTimeoutMs = 3'000;
+  SocketTransport transport(address, options);
+  auto response = transport.Call(Cmd("parseAsm", {{"code", json::Json("x")}}));
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.error().message.find("hello handshake"),
+            std::string::npos)
+      << response.error().message;
+  EXPECT_NE(response.error().message.find("frame version 999"),
+            std::string::npos)
+      << response.error().message;
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+TEST(Hello, RouterAnswersItsOwnFingerprint) {
+  ShardRouter::Options options;
+  options.workerCount = 1;
+  ShardRouter router(options);
+  json::Json hello = router.Handle(Cmd("hello"));
+  EXPECT_EQ(hello.GetString("status", ""), "ok") << hello.Dump();
+  Status compatible = server::CheckHelloResponse(hello, "router");
+  EXPECT_TRUE(compatible.ok()) << compatible.error().ToText();
+}
+
+// ---- TCP: hostnames and IPv6 ------------------------------------------------
+
+/// Serves `server` over `listener` on a background thread until a
+/// shutdownWorker command lands. The destructor sends a best-effort
+/// shutdown of its own before joining, so a test that failed before
+/// stopping the loop still terminates instead of hanging on join.
+struct ScopedFrameService {
+  ScopedFrameService(server::SimServer& server, net::Socket& listener,
+                     std::string connectAddress)
+      : address(std::move(connectAddress)),
+        thread([&server, &listener] {
+          (void)server::ServeFrames(server, listener);
+        }) {}
+  ~ScopedFrameService() {
+    if (!stopped) {
+      auto connection = net::ConnectTo(address, 1'000);
+      if (connection.ok()) {
+        server::WireOptions wire;
+        wire.ioTimeoutMs = 1'000;
+        (void)server::WriteMessage(connection.value(), Cmd("shutdownWorker"),
+                                   wire);
+        (void)server::ReadMessage(connection.value(), wire);
+      }
+    }
+    thread.join();
+  }
+  std::string address;
+  /// Set by the test once it has shut the loop down itself, so the
+  /// destructor skips a fallback round trip that could only time out.
+  bool stopped = false;
+  std::thread thread;
+};
+
+void ExpectTcpTransportWorks(const std::string& listenAddress,
+                             const std::string& hostForConnect) {
+  auto listener = net::ListenOn(listenAddress);
+  if (!listener.ok()) {
+    GTEST_SKIP() << listenAddress
+                 << " not available: " << listener.error().ToText();
+  }
+  auto port = net::BoundPort(listener.value());
+  ASSERT_TRUE(port.ok()) << port.error().ToText();
+  ASSERT_GT(port.value(), 0) << "BoundPort must report the ephemeral port";
+  ASSERT_LE(port.value(), 65535);
+
+  server::SimServer sim;
+  const std::string address =
+      "tcp:" + hostForConnect + ":" + std::to_string(port.value());
+  ScopedFrameService service(sim, listener.value(), address);
+  SocketTransportOptions options;
+  options.connectTimeoutMs = 5'000;
+  options.ioTimeoutMs = 5'000;
+  SocketTransport transport(address, options);
+  auto response =
+      transport.Call(Cmd("parseAsm", {{"code", json::Json(kSpinLoop)}}));
+  // Stop the serve loop before any assertion so the service thread joins
+  // even on failure (a hung test is worse than a failed one).
+  auto shutdown = transport.Call(Cmd("shutdownWorker"));
+  service.stopped = shutdown.ok();
+  ASSERT_TRUE(response.ok()) << response.error().ToText();
+  EXPECT_EQ(response.value().GetString("status", ""), "ok");
+  EXPECT_TRUE(shutdown.ok());
+}
+
+TEST(TcpTransport, HostnameResolvesViaGetaddrinfo) {
+  // "localhost" is a name, not a literal — the pre-getaddrinfo parser
+  // rejected it outright.
+  ExpectTcpTransportWorks("tcp:localhost:0", "localhost");
+}
+
+TEST(TcpTransport, BracketedIpv6LiteralAndBoundPort) {
+  // tcp:[::1]:0 listens on the IPv6 loopback; BoundPort used to read the
+  // sockaddr_in port field from a sockaddr_in6 (garbage — flowinfo
+  // bytes), so connecting back to the reported port is the regression
+  // check. Skips on machines without ::1.
+  ExpectTcpTransportWorks("tcp:[::1]:0", "[::1]");
+}
+
+TEST(TcpTransport, UnbracketedIpv6LiteralIsRejectedWithGuidance) {
+  auto listener = net::ListenOn("tcp:::1:0");
+  ASSERT_FALSE(listener.ok());
+  EXPECT_NE(listener.error().message.find("brackets"), std::string::npos)
+      << listener.error().message;
+}
+
+TEST(TcpTransport, BoundPortRejectsUnixListeners) {
+  const std::string address = MakeWorkerAddress("boundport");
+  auto listener = net::ListenOn(address);
+  ASSERT_TRUE(listener.ok()) << listener.error().ToText();
+  auto port = net::BoundPort(listener.value());
+  ASSERT_FALSE(port.ok());
+  EXPECT_NE(port.error().message.find("not a TCP socket"), std::string::npos);
+  ::unlink(address.substr(5).c_str());
+}
+
 // ---- the router over socket workers -----------------------------------------
 
 /// Router options whose every worker is a freshly spawned process;
-/// `fleet` receives the handles for teardown.
+/// `fleet` receives the handles for teardown, and removed workers are
+/// reaped promptly through the shutdown hook — the production shape.
 ShardRouter::Options SpawningOptions(std::size_t workerCount,
                                      SpawnedFleet* fleet) {
   ShardRouter::Options options;
@@ -298,6 +468,7 @@ ShardRouter::Options SpawningOptions(std::size_t workerCount,
   socketOptions.connectTimeoutMs = 500;
   options.transportFactory =
       MakeSpawningTransportFactory(fleet, "router", socketOptions);
+  options.onWorkerShutdown = MakeFleetReaper(fleet);
   return options;
 }
 
@@ -473,23 +644,59 @@ TEST(SocketRouter, ElasticAddAndRemoveAcrossProcesses) {
   ASSERT_EQ(added.GetString("status", ""), "ok") << added.Dump();
   ASSERT_EQ(fleet.workers.size(), 3u);
 
+  const int removedPid = fleet.workers[0].pid;
   json::Json removed = router.Handle(Cmd("removeWorker",
                                          {{"worker", json::Json(0)}}));
   ASSERT_EQ(removed.GetString("status", ""), "ok") << removed.Dump();
   EXPECT_TRUE(removed.Find("lost")->AsArray().empty());
 
-  // The removed process received shutdownWorker and actually exited.
+  // The removed process received shutdownWorker, exited, and the shutdown
+  // hook reaped it promptly: the pid is no longer our child (ECHILD, not
+  // a zombie waiting for fleet teardown) and its handle left the fleet.
   int status = 0;
-  const pid_t reaped = ::waitpid(fleet.workers[0].pid, &status, 0);
-  EXPECT_EQ(reaped, fleet.workers[0].pid);
-  EXPECT_TRUE(WIFEXITED(status)) << "worker should exit gracefully";
-  fleet.workers[0].pid = -1;  // already reaped
+  EXPECT_EQ(::waitpid(removedPid, &status, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD) << "removed worker must already be reaped";
+  EXPECT_EQ(fleet.workers.size(), 2u);
+  for (const SpawnedWorker& worker : fleet.workers) {
+    EXPECT_NE(worker.pid, removedPid);
+  }
 
   for (const std::int64_t id : ids) {
     json::Json stepped = router.Handle(
         Cmd("step", {{"sessionId", json::Json(id)}, {"count", json::Json(10)}}));
     EXPECT_EQ(stepped.GetString("status", ""), "ok") << stepped.Dump();
   }
+}
+
+TEST(SocketRouter, ElasticCyclesLeaveZeroZombieChildren) {
+  SpawnedFleet fleet;
+  ShardRouter router(SpawningOptions(2, &fleet));
+  const std::int64_t id = MustCreate(router);
+
+  // A long-lived router doing repeated scale-out/scale-in must not
+  // accumulate zombie children: each removed worker is waitpid()'d by
+  // the shutdown hook as soon as it exits. Three full cycles, and after
+  // each one waitpid(-1, WNOHANG) must find no exited-but-unreaped
+  // child (0 = children exist, none zombie).
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    json::Json added = router.Handle(Cmd("addWorker"));
+    ASSERT_EQ(added.GetString("status", ""), "ok") << added.Dump();
+    const std::int64_t newest = added.GetInt("worker", -1);
+    json::Json removed = router.Handle(
+        Cmd("removeWorker", {{"worker", json::Json(newest)}}));
+    ASSERT_EQ(removed.GetString("status", ""), "ok") << removed.Dump();
+
+    int status = 0;
+    EXPECT_EQ(::waitpid(-1, &status, WNOHANG), 0)
+        << "cycle " << cycle << " left a zombie child";
+    EXPECT_EQ(fleet.workers.size(), 2u)
+        << "cycle " << cycle << " leaked a fleet handle";
+  }
+
+  // The fleet still works after the churn.
+  json::Json stepped = router.Handle(
+      Cmd("step", {{"sessionId", json::Json(id)}, {"count", json::Json(10)}}));
+  EXPECT_EQ(stepped.GetString("status", ""), "ok") << stepped.Dump();
 }
 
 // ---- CLI: real processes over sockets ---------------------------------------
@@ -546,6 +753,21 @@ loop:
       << "migration across real processes must be invisible";
   EXPECT_EQ(single.GetString("finishReason", "+"),
             sharded.GetString("finishReason", "-"));
+
+  // Parallel batch: 4 sessions driven by 4 client threads across 4
+  // forked workers, with the elastic cycle still happening mid-run. The
+  // CLI itself verifies the sessions against each other; here session
+  // 0's reported statistics must additionally match the single-process
+  // run byte-for-byte — concurrency changes throughput, never results.
+  const json::Json parallel =
+      runCli({"--spawn-workers", "4", "--sessions", "4"});
+  ASSERT_NE(parallel.Find("statistics"), nullptr) << parallel.Dump();
+  EXPECT_EQ(parallel.Find("shard")->GetInt("sessions", -1), 4);
+  EXPECT_EQ(single.Find("statistics")->Dump(),
+            parallel.Find("statistics")->Dump())
+      << "parallel dispatch across real processes must be invisible";
+  EXPECT_EQ(single.GetString("finishReason", "+"),
+            parallel.GetString("finishReason", "-"));
 }
 
 }  // namespace
