@@ -1,0 +1,120 @@
+// Raw simulation throughput: detailed out-of-order stepping vs the
+// reference-ISS fast-forward path (Simulation::FastForwardTo).
+//
+// Two numbers matter. detailed_cycles_per_s is the hot-loop budget of the
+// whole detailed model — predecode, issue, rename, commit — and is what
+// the predecoded-pipeline work optimizes. fast_forward_mips is the ISS
+// prefix-skip rate; its ratio to detailed_mips (ff_speedup) is the whole
+// point of fast-forwarding and is pinned in bench/baselines.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/simulation.h"
+
+namespace rvss {
+namespace {
+
+// Dependency-light integer loop, ~1.6M dynamic instructions: long enough
+// that session setup and the final drain are noise, small enough that the
+// detailed run finishes in a couple of seconds on a laptop.
+const char* kLoop = R"(
+main:
+    li t0, 400000
+loop:
+    addi t1, t1, 1
+    xori t2, t1, 3
+    addi t0, t0, -1
+    bnez t0, loop
+    ret
+)";
+
+struct RunResult {
+  bool ok = false;
+  double seconds = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+};
+
+RunResult RunDetailed() {
+  RunResult result;
+  auto sim = core::Simulation::Create(config::DefaultConfig(), kLoop,
+                                      {{}, "main"});
+  if (!sim.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", sim.error().ToText().c_str());
+    return result;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  sim.value()->Run(100'000'000);
+  result.seconds = bench::SecondsSince(start);
+  result.cycles = sim.value()->cycle();
+  result.instructions = sim.value()->statistics().committedInstructions;
+  result.ok = sim.value()->status() == core::SimStatus::kFinished;
+  return result;
+}
+
+RunResult RunFastForward(std::uint64_t instructionBudget) {
+  RunResult result;
+  auto sim = core::Simulation::Create(config::DefaultConfig(), kLoop,
+                                      {{}, "main"});
+  if (!sim.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", sim.error().ToText().c_str());
+    return result;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Status ff = sim.value()->FastForwardTo(instructionBudget);
+  result.seconds = bench::SecondsSince(start);
+  if (!ff.ok()) {
+    std::fprintf(stderr, "fast-forward failed: %s\n",
+                 ff.error().ToText().c_str());
+    return result;
+  }
+  result.instructions = sim.value()->statistics().fastForwardedInstructions;
+  result.ok = result.instructions > 0;
+  return result;
+}
+
+}  // namespace
+}  // namespace rvss
+
+int main(int argc, char** argv) {
+  using namespace rvss;
+  bench::JsonReport report("sim", argc, argv);
+
+  // Warm-up run primes the allocator and the expression compiler caches so
+  // the measured runs see steady state.
+  (void)RunDetailed();
+
+  const RunResult detailed = RunDetailed();
+  if (!detailed.ok) return 1;
+  const double detailedCyclesPerS =
+      static_cast<double>(detailed.cycles) / detailed.seconds;
+  const double detailedMips = static_cast<double>(detailed.instructions) /
+                              detailed.seconds / 1e6;
+
+  // Fast-forward the same dynamic instruction count the detailed run
+  // committed (stop just short of `ret` so the ISS never runs off the end).
+  const RunResult ff = RunFastForward(detailed.instructions - 2);
+  if (!ff.ok) return 1;
+  const double ffMips =
+      static_cast<double>(ff.instructions) / ff.seconds / 1e6;
+  const double speedup = detailedMips == 0.0 ? 0.0 : ffMips / detailedMips;
+
+  std::printf("# Simulation throughput (loop of %llu dynamic instructions)\n",
+              static_cast<unsigned long long>(detailed.instructions));
+  std::printf("%-22s %12.3f s  %12.0f cycles/s  %8.3f MIPS\n", "detailed",
+              detailed.seconds, detailedCyclesPerS, detailedMips);
+  std::printf("%-22s %12.3f s  %25s  %8.3f MIPS\n", "fast-forward (ISS)",
+              ff.seconds, "-", ffMips);
+  std::printf("%-22s %12.1fx\n", "ff speedup", speedup);
+
+  report.Set("detailed_cycles_per_s", detailedCyclesPerS);
+  report.Set("detailed_mips", detailedMips);
+  report.Set("fast_forward_mips", ffMips);
+  report.Set("ff_speedup", speedup);
+  report.Set("hardware_cores",
+             static_cast<double>(std::thread::hardware_concurrency()));
+  return 0;
+}

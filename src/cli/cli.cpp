@@ -37,6 +37,11 @@ Inputs:
 
 Execution:
   --max-cycles N      cycle budget (default 100000000)
+  --fast-forward-to N execute the first N instructions on the reference
+                      ISS (no pipeline modelling), then hand the
+                      architectural state to the detailed model; the
+                      detailed window starts at cycle 0. Incompatible
+                      with --workers/--load-snapshot.
   --workers N         route the run through an in-process shard router of
                       N SimServer workers; with N > 1 the session is
                       live-migrated to another worker mid-run (the
@@ -96,6 +101,7 @@ struct Options {
   std::string memoryPath;
   std::string entry;
   std::uint64_t maxCycles = 100'000'000;
+  std::uint64_t fastForwardTo = 0;  ///< ISS-executed prefix, 0 = none
   std::int64_t workers = 0;  ///< 0 = run in-process without a router
   std::int64_t sessions = 1; ///< parallel copies of the batch run
   bool spawnWorkers = false; ///< workers are forked socket processes
@@ -163,6 +169,14 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       auto v = value();
       if (!v) { err << "--max-cycles needs a number\n"; return 1; }
       options.maxCycles = static_cast<std::uint64_t>(ParseInt(*v).value_or(0));
+    } else if (arg == "--fast-forward-to") {
+      auto v = value();
+      const std::int64_t count = v ? ParseInt(*v).value_or(-1) : -1;
+      if (count < 0) {
+        err << "--fast-forward-to needs a non-negative instruction count\n";
+        return 1;
+      }
+      options.fastForwardTo = static_cast<std::uint64_t>(count);
     } else if (arg == "--workers" || arg == "--spawn-workers") {
       auto v = value();
       const std::int64_t workers = v ? ParseInt(*v).value_or(0) : 0;
@@ -240,6 +254,11 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     if (options.workers > 0) {
       err << "--load-snapshot resumes a single in-process simulation; it "
              "cannot be combined with --workers\n";
+      return 1;
+    }
+    if (options.fastForwardTo > 0) {
+      err << "--fast-forward-to seeds a fresh simulation; it cannot be "
+             "combined with --load-snapshot\n";
       return 1;
     }
     if (!options.asmPath.empty() || !options.cPath.empty() ||
@@ -350,6 +369,11 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
              "be combined with --trace/--verbose/--dump/--dump-csv\n";
       return 1;
     }
+    if (options.fastForwardTo > 0) {
+      err << "--fast-forward-to runs a single in-process simulation; it "
+             "cannot be combined with --workers\n";
+      return 1;
+    }
     return RunSharded(options, source, config, createOptions.arrays, out,
                       err);
   }
@@ -383,6 +407,14 @@ int RunSimulation(const Options& options,
                   const snapshot::SessionIdentity& identity,
                   std::ostream& out, std::ostream& err) {
   core::Simulation& simulation = *owned;
+
+  if (options.fastForwardTo > 0) {
+    Status ff = simulation.FastForwardTo(options.fastForwardTo);
+    if (!ff.ok()) {
+      err << "fast-forward error: " << ff.error().ToText() << "\n";
+      return 2;
+    }
+  }
 
   if (options.trace) {
     while (simulation.status() == core::SimStatus::kRunning &&

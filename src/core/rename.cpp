@@ -21,12 +21,6 @@ void RenameState::Reset() {
   map_.fill(-1);
 }
 
-std::optional<int> RenameState::Lookup(isa::RegisterId reg) const {
-  const int tag = map_[static_cast<std::size_t>(MapIndex(reg))];
-  if (tag < 0) return std::nullopt;
-  return tag;
-}
-
 std::optional<std::pair<int, int>> RenameState::AllocateAndMap(
     isa::RegisterId arch) {
   if (freeList_.empty()) return std::nullopt;

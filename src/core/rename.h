@@ -69,8 +69,13 @@ class RenameState {
   explicit RenameState(std::uint32_t renameRegisterCount);
 
   /// Current mapping of an architectural register: a speculative tag, or
-  /// nullopt when the architectural value is current.
-  std::optional<int> Lookup(isa::RegisterId reg) const;
+  /// nullopt when the architectural value is current. Inline: decode calls
+  /// this for every register source operand.
+  std::optional<int> Lookup(isa::RegisterId reg) const {
+    const int tag = map_[static_cast<std::size_t>(MapIndex(reg))];
+    if (tag < 0) return std::nullopt;
+    return tag;
+  }
 
   /// Allocates a speculative register for `arch` and points the map at it.
   /// Returns nullopt when the rename file is exhausted (decode stalls).

@@ -8,6 +8,7 @@
 
 #include "common/strings.h"
 #include "isa/abi.h"
+#include "ref/interpreter.h"
 
 namespace rvss::core {
 namespace {
@@ -99,6 +100,7 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
   std::unique_ptr<Simulation> sim(
       new Simulation(config, std::move(loaded)));
   sim->memory_ = std::move(memorySystem);
+  sim->BuildPredecode();
   // Snapshot the loaded memory for the checkpoints-disabled ResetHard path.
   sim->initialMemoryImage_.assign(sim->memory_->memory().bytes().begin(),
                                   sim->memory_->memory().bytes().end());
@@ -132,12 +134,33 @@ Simulation::Simulation(config::CpuConfig config, assembler::LoadedProgram loaded
                        std::to_string(statsIndex);
     }
     fu.statsIndex = statsIndex++;
+    for (std::size_t c = 0; c < FunctionalUnit::kOpClassCount; ++c) {
+      fu.latencyByClass[c] =
+          fu.config.LatencyFor(static_cast<isa::OpClass>(c));
+    }
     fus_.push_back(std::move(fu));
+  }
+  // Group unit indices by the window that feeds them, so issue scans only
+  // the units a window can actually use.
+  for (std::size_t w = 0; w < fusByWindow_.size(); ++w) {
+    const auto kind = FuKindFor(static_cast<WindowKind>(w));
+    for (std::size_t i = 0; i < fus_.size(); ++i) {
+      if (fus_[i].config.kind == kind) {
+        fusByWindow_[w].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
   }
 }
 
 void Simulation::Reset() {
   lastSeekReplayedCycles_ = 0;
+  if (earliestReachableCycle_ > 0) {
+    // Imported fast-forwarded session: cycle 0 of this timeline cannot be
+    // rebuilt here (the pre-import prefix lives in another process), so
+    // "reset" means the oldest state we can reconstruct.
+    (void)SeekTo(earliestReachableCycle_);
+    return;
+  }
   if (const CheckpointRing::Entry* base = checkpoints_.base()) {
     RestoreState(*checkpoints_.Materialize(*base));
     return;
@@ -189,6 +212,98 @@ void Simulation::ResetHard() {
   for (const assembler::Instruction& inst : loaded_.program.instructions) {
     ++stats_.staticMix[static_cast<std::size_t>(inst.def->type)];
   }
+
+  // A fast-forwarded timeline's cycle 0 is the post-skip state: the seed's
+  // registers/PC on top of the (re-imaged) post-skip memory.
+  if (ffSeed_.has_value()) ApplyFastForwardSeed(*ffSeed_);
+}
+
+void Simulation::ApplyFastForwardSeed(const FastForwardSeed& seed) {
+  for (unsigned i = 0; i < 32; ++i) {
+    arch_.Write(isa::RegisterId{isa::RegisterKind::kInt,
+                                static_cast<std::uint8_t>(i)},
+                seed.x[i]);
+    arch_.Write(isa::RegisterId{isa::RegisterKind::kFp,
+                                static_cast<std::uint8_t>(i)},
+                seed.f[i]);
+  }
+  pc_ = seed.pc;
+  stats_.fastForwardedInstructions = seed.instructions;
+}
+
+Status Simulation::FastForwardTo(std::uint64_t instructionCount) {
+  if (cycle_ != 0 || status_ != SimStatus::kRunning) {
+    return Status::Fail(ErrorKind::kInvalidArgument,
+                        "fast-forward is only valid on a freshly created or "
+                        "Reset simulation (cycle 0, running)");
+  }
+  if (ffSeed_.has_value()) {
+    return Status::Fail(ErrorKind::kInvalidArgument,
+                        "simulation was already fast-forwarded");
+  }
+  if (instructionCount == 0) return Status::Ok();
+
+  // The ISS executes directly on this simulation's memory (functional
+  // stores land in place) and starts from the detailed model's reset
+  // register state.
+  ref::Interpreter iss(loaded_.program, memory_->memory(),
+                       config_.trapOnDivZero);
+  ref::Interpreter::ArchState start;
+  for (unsigned i = 0; i < 32; ++i) {
+    start.x[i] = ReadIntReg(i);
+    start.f[i] = ReadFpReg(i);
+  }
+  start.pc = pc_;
+  iss.RestoreArchState(start);
+
+  const ref::ExitReason reason = iss.Run(instructionCount);
+
+  // Hand the architectural state back to the detailed model.
+  const ref::Interpreter::ArchState end = iss.SaveArchState();
+  FastForwardSeed seed;
+  seed.x = end.x;
+  seed.f = end.f;
+  seed.pc = end.pc;
+  seed.instructions = iss.stats().executedInstructions;
+  ffSeed_ = seed;
+  ApplyFastForwardSeed(seed);
+
+  log_.Add(cycle_, LogLevel::kInfo, "Sim",
+           StrFormat("fast-forwarded %llu instructions on the ISS (%s)",
+                     static_cast<unsigned long long>(seed.instructions),
+                     ref::ToString(reason)));
+
+  switch (reason) {
+    case ref::ExitReason::kRunning:
+      break;  // detailed execution resumes from here
+    case ref::ExitReason::kMainReturned:
+      Finish(FinishReason::kMainReturned);
+      break;
+    case ref::ExitReason::kHalted:
+      Finish(FinishReason::kHalted);
+      break;
+    case ref::ExitReason::kRanOffCode:
+      Finish(FinishReason::kPipelineEmpty);
+      break;
+    case ref::ExitReason::kFault:
+      fault_ = iss.fault();
+      Finish(FinishReason::kException);
+      break;
+  }
+
+  // Rebase the cycle-0 restore points onto the post-fast-forward state:
+  // the skipped prefix is not part of this timeline, so Reset/SeekTo must
+  // never rebuild the pre-skip state.
+  if (checkpoints_.enabled()) {
+    checkpoints_.Clear();
+    forceFullCheckpoint_ = true;
+    CaptureCheckpointNow();
+  } else {
+    const std::span<const std::uint8_t> bytes =
+        std::as_const(memory_->memory()).bytes();
+    initialMemoryImage_.assign(bytes.begin(), bytes.end());
+  }
+  return Status::Ok();
 }
 
 // ---------------------------------------------------------------------------
@@ -269,10 +384,22 @@ SimSnapshot Simulation::SaveStateImpl(bool includeMemoryImage) const {
   snapshot.memory = memory_->SaveState(includeMemoryImage);
   snapshot.stats = stats_.SaveState();
   snapshot.log = log_.SaveState();
+  snapshot.ffSeed = ffSeed_;
   return snapshot;
 }
 
 void Simulation::RestoreState(const SimSnapshot& snapshot) {
+  if (snapshot.ffSeed != ffSeed_) {
+    // The snapshot belongs to a differently-seeded timeline (an imported
+    // fast-forwarded session). Every restore point this process built so
+    // far — the Create-time base checkpoint, the pre-import ring, the
+    // initial memory image — describes the *pre*-fast-forward timeline and
+    // must never be replayed from again; the snapshot itself becomes the
+    // oldest reachable state.
+    ffSeed_ = snapshot.ffSeed;
+    checkpoints_.Clear();
+    earliestReachableCycle_ = snapshot.ffSeed.has_value() ? snapshot.cycle : 0;
+  }
   cycle_ = snapshot.cycle;
   nextSeq_ = snapshot.nextSeq;
   pc_ = snapshot.pc;
@@ -439,12 +566,86 @@ std::uint64_t Simulation::StoreRawData(const InFlight& inst) const {
   return cell;
 }
 
-std::vector<expr::Value> Simulation::GatherArgs(const InFlight& inst) const {
-  std::vector<expr::Value> args(inst.operandCount);
+std::span<const expr::Value> Simulation::GatherArgs(
+    const InFlight& inst, std::array<expr::Value, 4>& scratch) const {
   for (std::size_t i = 0; i < inst.operandCount; ++i) {
-    args[i] = inst.operands[i].value;
+    scratch[i] = inst.operands[i].value;
   }
-  return args;
+  return {scratch.data(), inst.operandCount};
+}
+
+namespace {
+
+/// Resolves one FastForm leaf exactly as the stack machine would push it.
+inline expr::Value FastOperand(const expr::Expression::FastForm::Operand& op,
+                               const InFlight& inst) {
+  switch (op.src) {
+    case expr::Expression::FastForm::Operand::Src::kArg:
+      return inst.operands[op.arg].value;
+    case expr::Expression::FastForm::Operand::Src::kLiteral:
+      return expr::Value::Int(op.literal);
+    case expr::Expression::FastForm::Operand::Src::kPc:
+      return expr::Value::Int(static_cast<std::int32_t>(inst.pc));
+  }
+  return expr::Value();
+}
+
+}  // namespace
+
+void Simulation::BuildPredecode() {
+  predecoded_.clear();
+  predecoded_.reserve(loaded_.program.instructions.size());
+  for (const assembler::Instruction& inst : loaded_.program.instructions) {
+    const isa::InstructionDescription& def = *inst.def;
+    PredecodedOp op;
+    op.def = &def;
+    auto compiled = expressions_.Get(def);
+    if (compiled.ok()) {
+      op.expr = compiled.value();
+      op.fast = compiled.value()->fastForm();
+    } else {
+      op.exprError = compiled.error();
+    }
+    op.window = WindowFor(def.opClass);
+    op.operandCount = static_cast<std::uint8_t>(def.args.size());
+    op.isControl = def.IsControlFlow();
+    if (def.branch == isa::BranchKind::kConditional ||
+        def.branch == isa::BranchKind::kUnconditionalDirect) {
+      const int immIndex = def.ArgIndex("imm");
+      if (immIndex >= 0) {
+        op.branchImm = inst.operands[static_cast<std::size_t>(immIndex)].imm;
+      }
+    }
+    for (std::size_t i = 0; i < def.args.size() && i < op.operands.size();
+         ++i) {
+      const isa::ArgumentDescription& arg = def.args[i];
+      const assembler::Operand& operand = inst.operands[i];
+      PredecodedOperand& slot = op.operands[i];
+      slot.type = arg.type;
+      const bool isX0 = operand.isRegister &&
+                        operand.reg.kind == isa::RegisterKind::kInt &&
+                        operand.reg.index == 0;
+      if (arg.writeBack) {
+        if (operand.isRegister && !isX0) {
+          slot.kind = PredecodedOperand::Kind::kDest;
+          slot.reg = operand.reg;
+          ++op.destsNeeded;
+        } else {
+          slot.kind = PredecodedOperand::Kind::kDestX0;
+        }
+      } else if (!operand.isRegister) {
+        slot.kind = PredecodedOperand::Kind::kImmediate;
+        slot.fixed = expr::ImmediateToValue(operand.imm, arg.type);
+      } else if (isX0) {
+        slot.kind = PredecodedOperand::Kind::kZeroSource;
+        slot.fixed = expr::CellToValue(0, arg.type);
+      } else {
+        slot.kind = PredecodedOperand::Kind::kRegSource;
+        slot.reg = operand.reg;
+      }
+    }
+    predecoded_.push_back(std::move(op));
+  }
 }
 
 void Simulation::Finish(FinishReason reason) {
@@ -460,6 +661,10 @@ void Simulation::Finish(FinishReason reason) {
 // ---------------------------------------------------------------------------
 
 void Simulation::WakeUp(int tag, std::uint64_t cell) {
+  // The rename register counts its waiting consumers; most writes have
+  // none, and the scan can stop as soon as the last waiter is satisfied.
+  SpecRegister& reg = rename_.reg(tag);
+  if (reg.references == 0) return;
   auto wake = [&](const InFlightPtr& inst) {
     for (std::size_t i = 0; i < inst->operandCount; ++i) {
       OperandRuntime& operand = inst->operands[i];
@@ -468,32 +673,41 @@ void Simulation::WakeUp(int tag, std::uint64_t cell) {
             expr::CellToValue(cell, inst->inst->def->args[i].type);
         operand.ready = true;
         operand.waitTag = -1;
-        SpecRegister& reg = rename_.reg(tag);
         if (reg.references > 0) --reg.references;
       }
     }
   };
   for (const auto& window : windows_) {
-    for (const InFlightPtr& inst : window) wake(inst);
+    for (const InFlightPtr& inst : window) {
+      wake(inst);
+      if (reg.references == 0) return;
+    }
   }
   // Stores waiting for data have already left the LS window.
-  for (const InFlightPtr& inst : storeBuffer_) wake(inst);
+  for (const InFlightPtr& inst : storeBuffer_) {
+    wake(inst);
+    if (reg.references == 0) return;
+  }
 }
 
 void Simulation::WriteDestinations(const InFlightPtr& inst,
                                    const expr::EvalResult& result) {
   for (const expr::WriteEffect& write : result.writes) {
-    OperandRuntime& operand =
-        inst->operands[static_cast<std::size_t>(write.argIndex)];
-    operand.value = write.value;
-    if (operand.destTag < 0) continue;  // x0: discard
-    const isa::ArgumentDescription& arg =
-        inst->inst->def->args[static_cast<std::size_t>(write.argIndex)];
-    SpecRegister& reg = rename_.reg(operand.destTag);
-    reg.cell = expr::ValueToCell(write.value, arg.type);
-    reg.valid = true;
-    WakeUp(operand.destTag, reg.cell);
+    WriteDest(inst, write.argIndex, write.value);
   }
+}
+
+void Simulation::WriteDest(const InFlightPtr& inst, int argIndex,
+                           const expr::Value& value) {
+  OperandRuntime& operand = inst->operands[static_cast<std::size_t>(argIndex)];
+  operand.value = value;
+  if (operand.destTag < 0) return;  // x0: discard
+  const isa::ArgumentDescription& arg =
+      inst->inst->def->args[static_cast<std::size_t>(argIndex)];
+  SpecRegister& reg = rename_.reg(operand.destTag);
+  reg.cell = expr::ValueToCell(value, arg.type);
+  reg.valid = true;
+  WakeUp(operand.destTag, reg.cell);
 }
 
 // ---------------------------------------------------------------------------
@@ -501,20 +715,41 @@ void Simulation::WriteDestinations(const InFlightPtr& inst,
 // ---------------------------------------------------------------------------
 
 void Simulation::FinalizeAlu(const InFlightPtr& inst) {
-  auto compiled = expressions_.Get(*inst->inst->def);
-  if (!compiled.ok()) {
-    inst->exception = compiled.error();
+  const PredecodedOp& pre = Predecoded(*inst);
+  if (pre.expr == nullptr) {
+    inst->exception = pre.exprError;
     inst->resultsReady = true;
     inst->phase = Phase::kDone;
     return;
   }
-  const std::vector<expr::Value> args = GatherArgs(*inst);
-  expr::EvalResult result = compiled.value()->Evaluate(args, inst->pc);
-  if (config_.trapOnDivZero && result.flags.divByZero) {
-    inst->exception = Error{ErrorKind::kRuntime,
-                            StrFormat("division by zero at pc 0x%08x", inst->pc)};
+  using FastKind = expr::Expression::FastForm::Kind;
+  if (pre.fast.kind == FastKind::kBinaryAssign) {
+    // `a OP b -> rd` recognized at compile time: apply the operator and the
+    // `=` conversion directly, skipping the stack machine.
+    expr::EvalFlags flags;
+    const expr::Value value =
+        expr::Expression::ApplyBinary(pre.fast.op,
+                                      FastOperand(pre.fast.a, *inst),
+                                      FastOperand(pre.fast.b, *inst), flags)
+            .ConvertTo(pre.fast.dstKind);
+    if (config_.trapOnDivZero && flags.divByZero) {
+      inst->exception = Error{
+          ErrorKind::kRuntime,
+          StrFormat("division by zero at pc 0x%08x", inst->pc)};
+    }
+    WriteDest(inst, pre.fast.dstArg, value);
+  } else {
+    std::array<expr::Value, 4> argScratch;
+    pre.expr->EvaluateInto(GatherArgs(*inst, argScratch), inst->pc,
+                           evalScratch_);
+    const expr::EvalResult& result = evalScratch_;
+    if (config_.trapOnDivZero && result.flags.divByZero) {
+      inst->exception = Error{
+          ErrorKind::kRuntime,
+          StrFormat("division by zero at pc 0x%08x", inst->pc)};
+    }
+    WriteDestinations(inst, result);
   }
-  WriteDestinations(inst, result);
   inst->resultsReady = true;
   inst->executeDoneCycle = cycle_;
   inst->phase = Phase::kDone;
@@ -522,17 +757,30 @@ void Simulation::FinalizeAlu(const InFlightPtr& inst) {
 }
 
 void Simulation::FinalizeAddressGen(const InFlightPtr& inst) {
-  auto compiled = expressions_.Get(*inst->inst->def);
-  if (!compiled.ok()) {
-    inst->exception = compiled.error();
+  const PredecodedOp& pre = Predecoded(*inst);
+  if (pre.expr == nullptr) {
+    inst->exception = pre.exprError;
     inst->resultsReady = true;
     inst->phase = Phase::kDone;
     return;
   }
-  const std::vector<expr::Value> args = GatherArgs(*inst);
-  expr::EvalResult result = compiled.value()->Evaluate(args, inst->pc);
-  inst->effectiveAddress =
-      result.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32();
+  using FastKind = expr::Expression::FastForm::Kind;
+  if (pre.fast.kind == FastKind::kBinaryValue) {
+    // `\rs1 \imm +` — every RV32 load/store address: add directly.
+    expr::EvalFlags flags;
+    inst->effectiveAddress =
+        expr::Expression::ApplyBinary(pre.fast.op,
+                                      FastOperand(pre.fast.a, *inst),
+                                      FastOperand(pre.fast.b, *inst), flags)
+            .ConvertTo(expr::ValueKind::kUInt)
+            .AsUInt32();
+  } else {
+    std::array<expr::Value, 4> argScratch;
+    pre.expr->EvaluateInto(GatherArgs(*inst, argScratch), inst->pc,
+                           evalScratch_);
+    inst->effectiveAddress =
+        evalScratch_.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32();
+  }
   inst->addressReady = true;
   inst->executeDoneCycle = cycle_;
   ++stats_.executedInstructions;
@@ -571,46 +819,62 @@ void Simulation::FinalizeAddressGen(const InFlightPtr& inst) {
 
 void Simulation::ResolveBranch(const InFlightPtr& inst,
                                std::vector<InFlightPtr>& mispredicts) {
-  auto compiled = expressions_.Get(*inst->inst->def);
-  if (!compiled.ok()) {
-    inst->exception = compiled.error();
+  const PredecodedOp& pre = Predecoded(*inst);
+  if (pre.expr == nullptr) {
+    inst->exception = pre.exprError;
     inst->resultsReady = true;
     inst->phase = Phase::kDone;
     return;
   }
-  const std::vector<expr::Value> args = GatherArgs(*inst);
-  expr::EvalResult result = compiled.value()->Evaluate(args, inst->pc);
-
-  const isa::InstructionDescription& def = *inst->inst->def;
+  const isa::InstructionDescription& def = *pre.def;
+  using FastKind = expr::Expression::FastForm::Kind;
   std::uint32_t actualNext = inst->pc + 4;
-  if (def.branch == isa::BranchKind::kConditional) {
-    inst->branchTaken = result.stackTop->AsBool();
-    const int immIndex = def.ArgIndex("imm");
-    inst->branchTarget =
-        inst->pc + static_cast<std::uint32_t>(
-                       inst->inst->operands[static_cast<std::size_t>(immIndex)].imm);
+  if (def.branch == isa::BranchKind::kConditional &&
+      pre.fast.kind == FastKind::kBinaryValue) {
+    // `\rs1 \rs2 CMP` — every conditional branch: compare directly. The
+    // 3-token form has no `=`, so there are no write effects to apply.
+    expr::EvalFlags flags;
+    inst->branchTaken =
+        expr::Expression::ApplyBinary(pre.fast.op,
+                                      FastOperand(pre.fast.a, *inst),
+                                      FastOperand(pre.fast.b, *inst), flags)
+            .AsBool();
+    inst->branchTarget = inst->pc + static_cast<std::uint32_t>(pre.branchImm);
     if (inst->branchTaken) actualNext = inst->branchTarget;
     ++stats_.branchesResolved;
     if (inst->branchTaken) ++stats_.branchesTaken;
   } else {
-    // jal / jalr: the expression leaves the absolute target on the stack
-    // and link-register writes ride along as write effects.
-    inst->branchTaken = true;
-    inst->branchTarget =
-        result.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32();
-    actualNext = inst->branchTarget;
-    if (inst->branchTarget == isa::kExitAddress) {
-      inst->isExit = true;
-    } else if (inst->branchTarget % 4 != 0 ||
-               inst->branchTarget / 4 > loaded_.program.instructions.size()) {
-      inst->exception =
-          Error{ErrorKind::kRuntime,
-                StrFormat("jump to invalid address 0x%08x at pc 0x%08x",
-                          inst->branchTarget, inst->pc)};
+    std::array<expr::Value, 4> argScratch;
+    pre.expr->EvaluateInto(GatherArgs(*inst, argScratch), inst->pc,
+                           evalScratch_);
+    const expr::EvalResult& result = evalScratch_;
+    if (def.branch == isa::BranchKind::kConditional) {
+      inst->branchTaken = result.stackTop->AsBool();
+      inst->branchTarget =
+          inst->pc + static_cast<std::uint32_t>(pre.branchImm);
+      if (inst->branchTaken) actualNext = inst->branchTarget;
+      ++stats_.branchesResolved;
+      if (inst->branchTaken) ++stats_.branchesTaken;
+    } else {
+      // jal / jalr: the expression leaves the absolute target on the stack
+      // and link-register writes ride along as write effects.
+      inst->branchTaken = true;
+      inst->branchTarget =
+          result.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32();
+      actualNext = inst->branchTarget;
+      if (inst->branchTarget == isa::kExitAddress) {
+        inst->isExit = true;
+      } else if (inst->branchTarget % 4 != 0 ||
+                 inst->branchTarget / 4 >
+                     loaded_.program.instructions.size()) {
+        inst->exception =
+            Error{ErrorKind::kRuntime,
+                  StrFormat("jump to invalid address 0x%08x at pc 0x%08x",
+                            inst->branchTarget, inst->pc)};
+      }
     }
+    WriteDestinations(inst, result);
   }
-
-  WriteDestinations(inst, result);
   inst->resultsReady = true;
   inst->executeDoneCycle = cycle_;
   inst->phase = Phase::kDone;
@@ -703,17 +967,13 @@ void Simulation::FlushYoungerThan(std::uint64_t seq, std::uint32_t newPc) {
   squashFromDeque(loadBuffer_);
   squashFromDeque(storeBuffer_);
 
-  // Issue windows: release waiting-reference counts.
+  // Issue windows. Waiting-consumer reference counts are NOT released
+  // here: every window entry also sits in the ROB, and the youngest-first
+  // ROB walk below is the single place that undoes them — decrementing in
+  // both passes would strand a live waiter once WakeUp trusts the count.
   for (auto& window : windows_) {
     for (auto it = window.begin(); it != window.end();) {
       if ((*it)->seq > seq) {
-        for (std::size_t i = 0; i < (*it)->operandCount; ++i) {
-          OperandRuntime& operand = (*it)->operands[i];
-          if (operand.isSource && !operand.ready && operand.waitTag >= 0) {
-            SpecRegister& reg = rename_.reg(operand.waitTag);
-            if (reg.references > 0) --reg.references;
-          }
-        }
         (*it)->phase = Phase::kSquashed;
         it = window.erase(it);
       } else {
@@ -767,7 +1027,9 @@ void Simulation::FlushYoungerThan(std::uint64_t seq, std::uint32_t newPc) {
 void Simulation::StageCommit() {
   for (std::uint32_t slot = 0; slot < config_.buffers.commitWidth; ++slot) {
     if (rob_.empty()) return;
-    const InFlightPtr inst = rob_.front();
+    // Borrow the ROB head; it is only moved out once commit is certain
+    // (every early return below must leave the ROB untouched).
+    const InFlightPtr& inst = rob_.front();
     if (!inst->resultsReady) return;
 
     if (inst->exception.has_value()) {
@@ -796,15 +1058,21 @@ void Simulation::StageCommit() {
         // The freed tag may be recycled immediately. Any younger in-flight
         // instruction whose rename-undo checkpoint (prevTag) references it
         // must now restore to "architectural" instead — the committed value
-        // lives in the architectural file from this point on.
-        for (const InFlightPtr& younger : rob_) {
-          for (std::size_t j = 0; j < younger->operandCount; ++j) {
-            OperandRuntime& other = younger->operands[j];
-            if (other.isDest && other.prevTag == tag) {
-              other.prevTag = kPrevWasArchitectural;
+        // lives in the architectural file from this point on. At most one
+        // such instruction exists (the tag mapped one architectural
+        // register, and only that register's next writer recorded it), so
+        // the scan stops at the first hit instead of walking the whole ROB.
+        [&] {
+          for (const InFlightPtr& younger : rob_) {
+            for (std::size_t j = 0; j < younger->operandCount; ++j) {
+              OperandRuntime& other = younger->operands[j];
+              if (other.isDest && other.prevTag == tag) {
+                other.prevTag = kPrevWasArchitectural;
+                return;
+              }
             }
           }
-        }
+        }();
       }
     }
 
@@ -815,18 +1083,19 @@ void Simulation::StageCommit() {
     ++stats_.dynamicMix[static_cast<std::size_t>(inst->inst->def->type)];
     stats_.flops += inst->inst->def->flops;
 
+    const InFlightPtr committed = std::move(rob_.front());
     rob_.pop_front();
-    if (inst->IsLoad()) {
+    if (committed->IsLoad()) {
       // Loads leave their buffer at commit.
-      auto it = std::find(loadBuffer_.begin(), loadBuffer_.end(), inst);
+      auto it = std::find(loadBuffer_.begin(), loadBuffer_.end(), committed);
       if (it != loadBuffer_.end()) loadBuffer_.erase(it);
     }
 
-    if (inst->isExit) {
+    if (committed->isExit) {
       Finish(FinishReason::kMainReturned);
       return;
     }
-    if (inst->inst->def->isHalt) {
+    if (committed->inst->def->isHalt) {
       Finish(FinishReason::kHalted);
       return;
     }
@@ -840,7 +1109,7 @@ void Simulation::StageComplete() {
   std::vector<InFlightPtr> mispredicts;
   for (FunctionalUnit& fu : fus_) {
     if (!fu.current || cycle_ < fu.busyUntil) continue;
-    const InFlightPtr inst = fu.current;
+    const InFlightPtr inst = std::move(fu.current);
     fu.current.reset();
 
     switch (fu.config.kind) {
@@ -977,34 +1246,46 @@ void Simulation::StageIssue() {
   for (std::size_t windowIndex = 0; windowIndex < windows_.size();
        ++windowIndex) {
     auto& window = windows_[windowIndex];
+    if (window.empty()) continue;
     const auto fuKind = FuKindFor(static_cast<WindowKind>(windowIndex));
+    const std::vector<std::uint32_t>& kindFus = fusByWindow_[windowIndex];
 
-    for (auto it = window.begin(); it != window.end();) {
-      const InFlightPtr& inst = *it;
+    // Count the free units of this kind up front: when they run out, no
+    // further instruction in this window can issue this cycle, so the
+    // readiness scan stops instead of walking every waiting entry.
+    int freeUnits = 0;
+    for (const std::uint32_t fuIndex : kindFus) {
+      if (!fus_[fuIndex].current) ++freeUnits;
+    }
+    if (freeUnits == 0) continue;
+
+    std::size_t issued = 0;
+    for (const InFlightPtr& inst : window) {
+      if (freeUnits == 0) break;
       // Readiness: all source operands captured. Stores only need their
       // address inputs here; the data operand (index 0) may arrive later.
       bool ready = true;
+      const bool isStore = inst->IsStore();
       for (std::size_t i = 0; i < inst->operandCount; ++i) {
-        if (inst->IsStore() && i == 0) continue;
+        if (isStore && i == 0) continue;
         if (inst->operands[i].isSource && !inst->operands[i].ready) {
           ready = false;
           break;
         }
       }
-      if (!ready) {
-        ++it;
-        continue;
-      }
+      if (!ready) continue;
 
       // Find a free functional unit able to execute this op class.
       FunctionalUnit* chosen = nullptr;
       std::uint32_t latency = 0;
-      for (FunctionalUnit& fu : fus_) {
-        if (fu.config.kind != fuKind || fu.current) continue;
+      for (const std::uint32_t fuIndex : kindFus) {
+        FunctionalUnit& fu = fus_[fuIndex];
+        if (fu.current) continue;
         if (fuKind == config::FunctionalUnitConfig::Kind::kFx ||
             fuKind == config::FunctionalUnitConfig::Kind::kFp) {
           const std::uint32_t opLatency =
-              fu.config.LatencyFor(inst->inst->def->opClass);
+              fu.latencyByClass[static_cast<std::size_t>(
+                  inst->inst->def->opClass)];
           if (opLatency == 0) continue;  // unit does not support the op
           chosen = &fu;
           latency = opLatency;
@@ -1014,10 +1295,7 @@ void Simulation::StageIssue() {
         }
         break;
       }
-      if (chosen == nullptr) {
-        ++it;
-        continue;
-      }
+      if (chosen == nullptr) continue;
 
       chosen->current = inst;
       chosen->busyUntil = cycle_ + latency;
@@ -1025,7 +1303,16 @@ void Simulation::StageIssue() {
       inst->issueCycle = cycle_;
       ++stats_.issuedInstructions;
       ++stats_.unitUsage[chosen->statsIndex].instructions;
-      it = window.erase(it);
+      --freeUnits;
+      ++issued;
+    }
+    if (issued > 0) {
+      // One compaction pass instead of an O(n) vector erase per issue.
+      window.erase(std::remove_if(window.begin(), window.end(),
+                                  [](const InFlightPtr& inst) {
+                                    return inst->phase == Phase::kExecuting;
+                                  }),
+                   window.end());
     }
   }
 }
@@ -1033,15 +1320,18 @@ void Simulation::StageIssue() {
 void Simulation::StageDecode() {
   for (std::uint32_t slot = 0; slot < config_.buffers.fetchWidth; ++slot) {
     if (fetchQueue_.empty()) return;
-    const InFlightPtr inst = fetchQueue_.front();
-    const isa::InstructionDescription& def = *inst->inst->def;
+    // Borrow the queue head; it is moved into the ROB at dispatch (every
+    // early return below must leave the queue untouched).
+    const InFlightPtr& inst = fetchQueue_.front();
+    const PredecodedOp& pre = Predecoded(*inst);
+    const isa::InstructionDescription& def = *pre.def;
 
     // ---- resource checks (all-or-nothing, then mutate) ----
     if (rob_.size() >= config_.buffers.robSize) {
       ++stats_.stallCyclesRobFull;
       return;
     }
-    auto& window = windows_[static_cast<std::size_t>(WindowFor(def.opClass))];
+    auto& window = windows_[static_cast<std::size_t>(pre.window)];
     if (window.size() >= config_.buffers.issueWindowSize) {
       ++stats_.stallCyclesWindowFull;
       return;
@@ -1055,86 +1345,67 @@ void Simulation::StageDecode() {
       ++stats_.stallCyclesLsBufferFull;
       return;
     }
-    std::uint32_t destsNeeded = 0;
-    for (std::size_t i = 0; i < def.args.size(); ++i) {
-      const isa::ArgumentDescription& arg = def.args[i];
-      const assembler::Operand& operand = inst->inst->operands[i];
-      if (arg.writeBack && operand.isRegister &&
-          !(operand.reg.kind == isa::RegisterKind::kInt &&
-            operand.reg.index == 0)) {
-        ++destsNeeded;
-      }
-    }
-    if (rename_.FreeCount() < destsNeeded) {
+    if (rename_.FreeCount() < pre.destsNeeded) {
       ++stats_.stallCyclesRenameFull;
       return;
     }
 
     // ---- rename ----
-    inst->operandCount = static_cast<std::uint8_t>(def.args.size());
+    inst->operandCount = pre.operandCount;
     // Sources first: an instruction reading and writing the same register
     // must see the *previous* mapping for its source.
-    for (std::size_t i = 0; i < def.args.size(); ++i) {
-      const isa::ArgumentDescription& arg = def.args[i];
-      const assembler::Operand& operand = inst->inst->operands[i];
+    for (std::size_t i = 0; i < pre.operandCount; ++i) {
+      const PredecodedOperand& arg = pre.operands[i];
       OperandRuntime& runtime = inst->operands[i];
       runtime = OperandRuntime{};
-      if (arg.writeBack) {
-        runtime.isDest = true;
-        continue;  // allocated below
-      }
-      if (!operand.isRegister) {
-        runtime.value = expr::ImmediateToValue(operand.imm, arg.type);
-        runtime.ready = true;
-        continue;
-      }
-      runtime.isSource = true;
-      if (operand.reg.kind == isa::RegisterKind::kInt &&
-          operand.reg.index == 0) {
-        runtime.value = expr::CellToValue(0, arg.type);
-        runtime.ready = true;
-        continue;
-      }
-      if (auto tag = rename_.Lookup(operand.reg); tag.has_value()) {
-        SpecRegister& reg = rename_.reg(*tag);
-        if (reg.valid) {
-          runtime.value = expr::CellToValue(reg.cell, arg.type);
-          runtime.ready = true;
-        } else {
-          runtime.ready = false;
-          runtime.waitTag = *tag;
-          ++reg.references;
+      switch (arg.kind) {
+        case PredecodedOperand::Kind::kDest:
+        case PredecodedOperand::Kind::kDestX0:
+          runtime.isDest = true;
+          break;  // allocated below
+        case PredecodedOperand::Kind::kImmediate:
+          runtime.value = arg.fixed;
+          break;
+        case PredecodedOperand::Kind::kZeroSource:
+          runtime.isSource = true;
+          runtime.value = arg.fixed;
+          break;
+        case PredecodedOperand::Kind::kRegSource: {
+          runtime.isSource = true;
+          if (auto tag = rename_.Lookup(arg.reg); tag.has_value()) {
+            SpecRegister& reg = rename_.reg(*tag);
+            if (reg.valid) {
+              runtime.value = expr::CellToValue(reg.cell, arg.type);
+            } else {
+              runtime.ready = false;
+              runtime.waitTag = *tag;
+              ++reg.references;
+            }
+          } else {
+            runtime.value = expr::CellToValue(arch_.Read(arg.reg), arg.type);
+          }
+          break;
         }
-      } else {
-        runtime.value = expr::CellToValue(arch_.Read(operand.reg), arg.type);
-        runtime.ready = true;
       }
     }
-    // Destinations.
-    for (std::size_t i = 0; i < def.args.size(); ++i) {
-      const isa::ArgumentDescription& arg = def.args[i];
-      const assembler::Operand& operand = inst->inst->operands[i];
-      OperandRuntime& runtime = inst->operands[i];
-      if (!arg.writeBack) continue;
-      if (operand.reg.kind == isa::RegisterKind::kInt &&
-          operand.reg.index == 0) {
-        runtime.destTag = -1;  // writes to x0 are discarded
-        continue;
-      }
-      auto allocation = rename_.AllocateAndMap(operand.reg);
+    // Destinations. kDestX0 keeps the default destTag = -1 (discarded).
+    for (std::size_t i = 0; i < pre.operandCount; ++i) {
+      if (pre.operands[i].kind != PredecodedOperand::Kind::kDest) continue;
+      auto allocation = rename_.AllocateAndMap(pre.operands[i].reg);
       // FreeCount was checked above; allocation cannot fail here.
-      runtime.destTag = allocation->first;
-      runtime.prevTag = allocation->second;
+      inst->operands[i].destTag = allocation->first;
+      inst->operands[i].prevTag = allocation->second;
     }
 
     // ---- dispatch ----
     inst->phase = Phase::kDecoded;
     inst->decodeCycle = cycle_;
-    rob_.push_back(inst);
     window.push_back(inst);
     if (def.mem.isLoad) loadBuffer_.push_back(inst);
     if (def.mem.isStore) storeBuffer_.push_back(inst);
     ++stats_.decodedInstructions;
+    // Last use of `inst` (it aliases the queue head): move it into the ROB.
+    rob_.push_back(std::move(fetchQueue_.front()));
     fetchQueue_.pop_front();
   }
 }
@@ -1151,18 +1422,19 @@ void Simulation::StageFetch() {
     if (index >= loaded_.program.instructions.size()) return;
 
     const assembler::Instruction& decoded = loaded_.program.instructions[index];
+    const PredecodedOp& pre = predecoded_[index];
     auto inst = std::make_shared<InFlight>();
     inst->seq = nextSeq_++;
     inst->inst = &decoded;
     inst->pc = pc_;
     inst->phase = Phase::kFetched;
     inst->fetchCycle = cycle_;
-    inst->isControl = decoded.def->IsControlFlow();
+    inst->isControl = pre.isControl;
 
     std::uint32_t nextPc = pc_ + 4;
     bool stopAfter = false;
 
-    switch (decoded.def->branch) {
+    switch (pre.def->branch) {
       case isa::BranchKind::kNone:
         break;
       case isa::BranchKind::kConditional: {
@@ -1175,10 +1447,7 @@ void Simulation::StageFetch() {
         inst->btbHit = prediction.target.has_value();
         predictor_.SpeculateOutcome(pc_, prediction.predictTaken);
         if (prediction.predictTaken) {
-          const int immIndex = decoded.def->ArgIndex("imm");
-          nextPc = pc_ + static_cast<std::uint32_t>(
-                             decoded.operands[static_cast<std::size_t>(immIndex)]
-                                 .imm);
+          nextPc = pc_ + static_cast<std::uint32_t>(pre.branchImm);
           if (++jumpsFollowed >= config_.buffers.fetchBranchFollowLimit) {
             stopAfter = true;
           }
@@ -1188,10 +1457,7 @@ void Simulation::StageFetch() {
       case isa::BranchKind::kUnconditionalDirect: {
         // jal: the fetch unit decodes the target directly.
         inst->predictedTaken = true;
-        const int immIndex = decoded.def->ArgIndex("imm");
-        nextPc = pc_ + static_cast<std::uint32_t>(
-                           decoded.operands[static_cast<std::size_t>(immIndex)]
-                               .imm);
+        nextPc = pc_ + static_cast<std::uint32_t>(pre.branchImm);
         if (++jumpsFollowed >= config_.buffers.fetchBranchFollowLimit) {
           stopAfter = true;
         }
@@ -1221,7 +1487,7 @@ void Simulation::StageFetch() {
     }
 
     inst->predictedNextPc = nextPc;
-    fetchQueue_.push_back(inst);
+    fetchQueue_.push_back(std::move(inst));
     ++stats_.fetchedInstructions;
     pc_ = nextPc;
     if (stopAfter) return;
@@ -1284,6 +1550,14 @@ Status Simulation::SeekTo(std::uint64_t targetCycle,
     lastSeekReplayedCycles_ = 0;
     return Status::Ok();
   }
+  if (targetCycle < earliestReachableCycle_) {
+    return Status::Fail(
+        ErrorKind::kInvalidArgument,
+        StrFormat("cycle %llu predates this session's detailed window "
+                  "(earliest reachable cycle is %llu)",
+                  static_cast<unsigned long long>(targetCycle),
+                  static_cast<unsigned long long>(earliestReachableCycle_)));
+  }
 
   // Pick the replay start: for backward seeks the best checkpoint at or
   // before the target (or a hard reset when checkpointing is disabled);
@@ -1309,6 +1583,13 @@ Status Simulation::SeekTo(std::uint64_t targetCycle,
   if (restore) {
     if (from != nullptr) {
       RestoreState(*checkpoints_.Materialize(*from));
+    } else if (earliestReachableCycle_ > 0) {
+      // ResetHard would rebuild the pre-import timeline; without the
+      // import anchor (evicted from the ring) the target is unreachable.
+      return Status::Fail(
+          ErrorKind::kInvalidArgument,
+          "no checkpoint covers the target cycle and the session's origin "
+          "predates this process (fast-forwarded import)");
     } else {
       ResetHard();
     }

@@ -26,9 +26,11 @@
 // re-execution from reset kept only as the checkpoints-disabled fallback.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -61,12 +63,75 @@ const char* ToString(FinishReason reason);
 /// Issue-window identity (one per functional-unit class).
 enum class WindowKind : std::uint8_t { kFx, kFp, kLs, kBranch };
 
+/// Static routing of one operand slot, computed once at program load: the
+/// slot's classification plus any value that does not depend on runtime
+/// state (converted immediates, x0 reads).
+struct PredecodedOperand {
+  enum class Kind : std::uint8_t {
+    kImmediate,   ///< non-register operand; `fixed` holds the converted value
+    kZeroSource,  ///< x0 source; `fixed` holds the typed zero
+    kRegSource,   ///< register source, renamed at decode
+    kDestX0,      ///< write-back to x0 (or malformed dest): discarded
+    kDest,        ///< write-back register, allocated at decode
+  };
+  Kind kind = Kind::kImmediate;
+  isa::RegisterId reg;   ///< for kRegSource / kDest
+  isa::ArgType type{};   ///< declared argument type
+  expr::Value fixed;     ///< for kImmediate / kZeroSource
+};
+
+/// One fully predecoded static instruction — everything the per-cycle
+/// stages would otherwise recompute for every dynamic instance: the
+/// resolved definition, the compiled semantics expression, operand routing,
+/// and the pc-relative branch offset (kills the ArgIndex("imm") string
+/// lookups in fetch and branch resolution).
+///
+/// Derived entirely from the immutable (program, ISA) pair, so the table is
+/// built once in Create and never snapshotted: checkpoint/session restores
+/// rebuild nothing, and ring/snapshot byte accounting counts it as zero.
+struct PredecodedOp {
+  const isa::InstructionDescription* def = nullptr;
+  const expr::Expression* expr = nullptr;  ///< null when compilation failed
+  std::optional<Error> exprError;          ///< surfaced at execute time
+  WindowKind window = WindowKind::kFx;
+  std::uint8_t operandCount = 0;
+  std::uint8_t destsNeeded = 0;  ///< rename registers required at decode
+  bool isControl = false;
+  std::int32_t branchImm = 0;  ///< pc-relative offset (conditional / jal)
+  /// Compile-time shape of the semantics expression; when recognized the
+  /// finalizers apply the operator directly instead of running the stack
+  /// machine (copied from expr so the hot path has one indirection fewer).
+  expr::Expression::FastForm fast;
+  std::array<PredecodedOperand, 4> operands{};
+};
+
 /// Runtime state of one functional unit.
 struct FunctionalUnit {
+  /// Dense cache of config.LatencyFor over every isa::OpClass value, so
+  /// the issue stage's unit scan is an array read, not a list search.
+  static constexpr std::size_t kOpClassCount =
+      static_cast<std::size_t>(isa::OpClass::kMemAddr) + 1;
+
   config::FunctionalUnitConfig config;
+  std::array<std::uint32_t, kOpClassCount> latencyByClass{};
   std::size_t statsIndex = 0;     ///< index into statistics().unitUsage
   InFlightPtr current;            ///< instruction in execution, if any
   std::uint64_t busyUntil = 0;    ///< cycle the current instruction finishes
+};
+
+/// Architectural state a fast-forward deposited at the start of the
+/// detailed window: the ISS-computed registers and PC the detailed model
+/// was (re-)seeded with, plus the number of instructions skipped. Carried
+/// by snapshots so an exported fast-forwarded session stays coherent when
+/// imported into a fresh process (whose cycle-0 state is pre-fast-forward).
+struct FastForwardSeed {
+  std::array<std::uint64_t, 32> x{};
+  std::array<std::uint64_t, 32> f{};
+  std::uint32_t pc = 0;
+  std::uint64_t instructions = 0;  ///< instructions executed on the ISS
+
+  friend bool operator==(const FastForwardSeed&,
+                         const FastForwardSeed&) = default;
 };
 
 /// Complete copyable snapshot of a Simulation's mutable state.
@@ -100,6 +165,10 @@ struct SimSnapshot {
   memory::MemorySystem::State memory;
   stats::SimulationStatistics::State stats;
   SimLog::State log;
+
+  /// Set when the timeline this snapshot belongs to began with a
+  /// fast-forward (see Simulation::FastForwardTo).
+  std::optional<FastForwardSeed> ffSeed;
 
   /// Approximate heap footprint (checkpoint-ring memory accounting).
   std::size_t SizeBytes() const;
@@ -143,7 +212,35 @@ class Simulation {
   /// Resets to the initial state (cycle 0): restores the base checkpoint,
   /// or rebuilds from the initial memory image when checkpointing is off.
   /// The checkpoint ring itself survives — determinism keeps it valid.
+  /// In an imported fast-forwarded session whose pre-import cycles are
+  /// unreachable, this seeks to the earliest reachable cycle instead.
   void Reset();
+
+  /// Skips the program's warm-up phase on the reference ISS: executes up
+  /// to `instructionCount` instructions one at a time on the golden model
+  /// (sharing this simulation's memory), then re-seeds the detailed model
+  /// from the resulting architectural state. Cycle stays 0 — the detailed
+  /// window starts *after* the skipped prefix, and all backward/forward
+  /// seeking operates within it. Valid only on a freshly created or Reset
+  /// simulation (cycle 0, running, not already fast-forwarded).
+  ///
+  /// If the program completes on the ISS (exit / halt / run-off / fault),
+  /// the simulation finishes with the matching reason instead of resuming.
+  /// Statistics record the skipped instructions separately
+  /// (fastForwardedInstructions); they do not count as fetched/committed.
+  Status FastForwardTo(std::uint64_t instructionCount);
+
+  /// The fast-forward seed this timeline began with, if any.
+  const std::optional<FastForwardSeed>& fastForwardSeed() const {
+    return ffSeed_;
+  }
+
+  /// Cycles below this are not reachable by SeekTo/StepBack: non-zero only
+  /// in sessions imported from a fast-forwarded export, where the blob's
+  /// snapshot is the oldest state this process can reconstruct.
+  std::uint64_t earliestReachableCycle() const {
+    return earliestReachableCycle_;
+  }
 
   // --- explicit state -------------------------------------------------------
 
@@ -244,18 +341,43 @@ class Simulation {
   void CompleteLoad(const InFlightPtr& inst);
   void WriteDestinations(const InFlightPtr& inst,
                          const expr::EvalResult& result);
+  /// Single-destination write-back used by the FastForm ALU path.
+  void WriteDest(const InFlightPtr& inst, int argIndex,
+                 const expr::Value& value);
   void WakeUp(int tag, std::uint64_t cell);
   void FlushYoungerThan(std::uint64_t seq, std::uint32_t newPc);
   void Finish(FinishReason reason);
   bool StoreDataReady(const InFlight& inst) const;
   std::uint64_t StoreRawData(const InFlight& inst) const;
-  std::vector<expr::Value> GatherArgs(const InFlight& inst) const;
+  /// Copies the captured operand values into `scratch` and returns the
+  /// populated prefix — the hot-path replacement for the old
+  /// vector-returning GatherArgs (no allocation).
+  std::span<const expr::Value> GatherArgs(
+      const InFlight& inst, std::array<expr::Value, 4>& scratch) const;
   WindowKind WindowFor(isa::OpClass opClass) const;
   config::FunctionalUnitConfig::Kind FuKindFor(WindowKind kind) const;
+
+  /// Installs a fast-forward seed's registers, PC and stats annotation
+  /// into the current (freshly reset) state.
+  void ApplyFastForwardSeed(const FastForwardSeed& seed);
+
+  /// Builds predecoded_ from the loaded program (Create-time only).
+  void BuildPredecode();
+  const PredecodedOp& Predecoded(const InFlight& inst) const {
+    return predecoded_[static_cast<std::size_t>(
+        inst.inst - loaded_.program.instructions.data())];
+  }
 
   config::CpuConfig config_;
   assembler::LoadedProgram loaded_;
   std::vector<std::uint8_t> initialMemoryImage_;
+  /// Predecode cache, parallel to loaded_.program.instructions (pc = 4*i).
+  /// Derived state: never snapshotted, never invalidated (program is
+  /// immutable for the simulation's lifetime).
+  std::vector<PredecodedOp> predecoded_;
+  /// Reusable evaluation scratch for the execution finalizers; its writes
+  /// vector keeps its capacity across cycles (see expr::EvaluateInto).
+  expr::EvalResult evalScratch_;
 
   std::unique_ptr<memory::MemorySystem> memory_;
   predictor::PredictorUnit predictor_;
@@ -280,10 +402,20 @@ class Simulation {
   std::deque<InFlightPtr> loadBuffer_;
   std::deque<InFlightPtr> storeBuffer_;
   std::vector<FunctionalUnit> fus_;
+  /// Indices into fus_ of the units each issue window can dispatch to,
+  /// grouped once at construction (issue never scans foreign-kind units).
+  std::array<std::vector<std::uint32_t>, 4> fusByWindow_;
   std::vector<std::uint32_t>* commitTraceSink_ = nullptr;
 
   CheckpointRing checkpoints_;
   std::uint64_t lastSeekReplayedCycles_ = 0;
+
+  // --- fast-forward bookkeeping --------------------------------------------
+  /// Seed the detailed window started from (see FastForwardTo); applied by
+  /// ResetHard so cycle 0 rebuilds the post-fast-forward state.
+  std::optional<FastForwardSeed> ffSeed_;
+  /// See earliestReachableCycle().
+  std::uint64_t earliestReachableCycle_ = 0;
 
   // --- delta-checkpoint bookkeeping ----------------------------------------
   /// The full snapshot deltas patch against.

@@ -114,11 +114,113 @@ Result<Expression> Expression::Compile(std::string_view text,
                      std::to_string(depth) + " values on the stack"};
   }
   compiled.maxStackDepth_ = static_cast<std::size_t>(maxDepth);
+  compiled.AnalyzeFastForm();
   return compiled;
+}
+
+namespace {
+
+/// Binary operators that are pure value -> value (no reference slots, no
+/// write effects): the subset FastForm may bind.
+bool IsFastBinary(Expression::Op op) {
+  switch (op) {
+    case Expression::Op::kAdd: case Expression::Op::kSub:
+    case Expression::Op::kMul: case Expression::Op::kDiv:
+    case Expression::Op::kRem: case Expression::Op::kAnd:
+    case Expression::Op::kOr: case Expression::Op::kXor:
+    case Expression::Op::kShl: case Expression::Op::kShr:
+    case Expression::Op::kEq: case Expression::Op::kNe:
+    case Expression::Op::kLt: case Expression::Op::kLe:
+    case Expression::Op::kGt: case Expression::Op::kGe:
+    case Expression::Op::kMin: case Expression::Op::kMax:
+    case Expression::Op::kSgnj: case Expression::Op::kSgnjn:
+    case Expression::Op::kSgnjx:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Value Expression::ApplyBinary(Op op, const Value& a, const Value& b,
+                              EvalFlags& flags) {
+  switch (op) {
+    case Op::kAdd: return Add(a, b);
+    case Op::kSub: return Sub(a, b);
+    case Op::kMul: return Mul(a, b);
+    case Op::kDiv: return Div(a, b, flags);
+    case Op::kRem: return Rem(a, b, flags);
+    case Op::kAnd: return BitAnd(a, b);
+    case Op::kOr: return BitOr(a, b);
+    case Op::kXor: return BitXor(a, b);
+    case Op::kShl: return Shl(a, b);
+    case Op::kShr: return Shr(a, b);
+    case Op::kEq: return CmpEq(a, b);
+    case Op::kNe: return CmpNe(a, b);
+    case Op::kLt: return CmpLt(a, b);
+    case Op::kLe: return CmpLe(a, b);
+    case Op::kGt: return CmpGt(a, b);
+    case Op::kGe: return CmpGe(a, b);
+    case Op::kMin: return Min(a, b);
+    case Op::kMax: return Max(a, b);
+    case Op::kSgnj: return SignInject(a, b);
+    case Op::kSgnjn: return SignInjectNeg(a, b);
+    case Op::kSgnjx: return SignInjectXor(a, b);
+    default: return Value();  // not a FastForm operator; unreachable
+  }
+}
+
+void Expression::AnalyzeFastForm() {
+  fastForm_ = FastForm{};
+  auto leaf = [](const Token& token, FastForm::Operand& out) {
+    switch (token.op) {
+      case Op::kPushArg:
+        out = {FastForm::Operand::Src::kArg,
+               static_cast<std::uint8_t>(token.arg), 0};
+        return true;
+      case Op::kPushLiteral:
+        out = {FastForm::Operand::Src::kLiteral, 0, token.literal};
+        return true;
+      case Op::kPushPc:
+        out = {FastForm::Operand::Src::kPc, 0, 0};
+        return true;
+      default:
+        return false;
+    }
+  };
+  // [a, b, binop, ref, =] — ALU write-back (addi, add, slt, fadd.s, ...).
+  if (tokens_.size() == 5 && IsFastBinary(tokens_[2].op) &&
+      tokens_[3].op == Op::kPushRef && tokens_[4].op == Op::kAssign &&
+      leaf(tokens_[0], fastForm_.a) && leaf(tokens_[1], fastForm_.b)) {
+    fastForm_.kind = FastForm::Kind::kBinaryAssign;
+    fastForm_.op = tokens_[2].op;
+    fastForm_.dstArg = static_cast<std::uint8_t>(tokens_[3].arg);
+    fastForm_.dstKind = argKinds_[static_cast<std::size_t>(tokens_[3].arg)];
+    return;
+  }
+  // [a, b, binop] — branch condition or load/store effective address.
+  if (tokens_.size() == 3 && IsFastBinary(tokens_[2].op) &&
+      leaf(tokens_[0], fastForm_.a) && leaf(tokens_[1], fastForm_.b)) {
+    fastForm_.kind = FastForm::Kind::kBinaryValue;
+    fastForm_.op = tokens_[2].op;
+    return;
+  }
 }
 
 EvalResult Expression::Evaluate(std::span<const Value> argValues,
                                 std::uint32_t pc) const {
+  EvalResult result;
+  EvaluateInto(argValues, pc, result);
+  return result;
+}
+
+void Expression::EvaluateInto(std::span<const Value> argValues,
+                              std::uint32_t pc, EvalResult& result) const {
+  result.stackTop.reset();
+  result.writes.clear();  // keeps capacity: repeat callers allocate nothing
+  result.flags = EvalFlags{};
+
   // Slots hold either a value or a write-back reference (argument index).
   struct Slot {
     Value value;
@@ -127,8 +229,6 @@ EvalResult Expression::Evaluate(std::span<const Value> argValues,
   // Compile enforces depth <= 16, so evaluation is allocation-free.
   Slot stack[16];
   std::size_t top = 0;
-
-  EvalResult result;
 
   auto push = [&](Value v) { stack[top++] = Slot{v, -1}; };
   auto pop = [&]() -> Value { return stack[--top].value; };
@@ -207,7 +307,6 @@ EvalResult Expression::Evaluate(std::span<const Value> argValues,
   }
 
   if (top > 0) result.stackTop = stack[top - 1].value;
-  return result;
 }
 
 }  // namespace rvss::expr

@@ -154,6 +154,11 @@ struct Promoted {
 };
 
 Promoted Promote(Value a, Value b) {
+  // Same-kind operands (the overwhelmingly common case) skip the lattice
+  // walk; Bool still promotes to Int.
+  if (a.kind() == b.kind() && a.kind() != ValueKind::kBool) {
+    return Promoted{a.kind(), a, b};
+  }
   ValueKind kind = CommonKind(a.kind(), b.kind());
   return Promoted{kind, a.ConvertTo(kind), b.ConvertTo(kind)};
 }

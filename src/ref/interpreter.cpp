@@ -19,6 +19,91 @@ Interpreter::Interpreter(const assembler::Program& program,
                          memory::MainMemory& memory, bool trapOnDivZero)
     : program_(program), memory_(memory), trapOnDivZero_(trapOnDivZero) {
   pc_ = program.entryPc;
+
+  // Predecode: compile every static instruction once and resolve its
+  // fast-form operand routing, so the execute loop touches no hash maps
+  // and allocates nothing for fast-formable instructions.
+  using FastForm = expr::Expression::FastForm;
+  pre_.resize(program.instructions.size());
+  for (std::size_t i = 0; i < program.instructions.size(); ++i) {
+    const assembler::Instruction& inst = program.instructions[i];
+    const isa::InstructionDescription& def = *inst.def;
+    Predecoded& pre = pre_[i];
+    pre.typeIndex = static_cast<std::uint8_t>(def.type);
+    pre.flops = def.flops;
+    if (def.isHalt) {
+      pre.path = FastPath::kHalt;
+      continue;
+    }
+    auto compiled = expressions_.Get(def);
+    if (!compiled.ok()) continue;  // StepOne faults on first execution
+    pre.expr = compiled.value();
+    pre.fast = pre.expr->fastForm();
+    if (pre.fast.kind == FastForm::Kind::kBinaryAssign && !def.IsMemory() &&
+        def.branch == isa::BranchKind::kNone) {
+      pre.path = FastPath::kAlu;
+    } else if (pre.fast.kind == FastForm::Kind::kBinaryValue) {
+      if (def.IsMemory()) {
+        pre.path = FastPath::kMemAddress;
+      } else if (def.branch == isa::BranchKind::kConditional) {
+        pre.path = FastPath::kCondBranch;
+      }
+    }
+    const auto resolve = [&](const FastForm::Operand& op) {
+      FastOperand out;
+      switch (op.src) {
+        case FastForm::Operand::Src::kLiteral:
+          out.constant = expr::Value::Int(op.literal);
+          break;
+        case FastForm::Operand::Src::kPc:
+          out.src = FastOperand::Src::kPc;
+          break;
+        case FastForm::Operand::Src::kArg: {
+          const isa::ArgumentDescription& arg = def.args[op.arg];
+          const assembler::Operand& operand = inst.operands[op.arg];
+          if (operand.isRegister) {
+            out.src = FastOperand::Src::kReg;
+            out.isInt = operand.reg.kind == isa::RegisterKind::kInt;
+            out.index = operand.reg.index;
+            out.type = arg.type;
+          } else {
+            out.constant = expr::ImmediateToValue(operand.imm, arg.type);
+          }
+          break;
+        }
+      }
+      return out;
+    };
+    if (pre.fast.kind != FastForm::Kind::kNone) {
+      pre.fastA = resolve(pre.fast.a);
+      pre.fastB = resolve(pre.fast.b);
+    }
+    if (pre.fast.kind == FastForm::Kind::kBinaryAssign) {
+      const assembler::Operand& dst = inst.operands[pre.fast.dstArg];
+      pre.dstIsInt = dst.reg.kind == isa::RegisterKind::kInt;
+      pre.dstIndex = dst.reg.index;
+      pre.dstType = def.args[pre.fast.dstArg].type;
+    }
+    if (def.branch == isa::BranchKind::kConditional) {
+      const int immIndex = def.ArgIndex("imm");
+      if (immIndex >= 0) {
+        pre.branchImm = inst.operands[static_cast<std::size_t>(immIndex)].imm;
+      }
+    }
+  }
+}
+
+expr::Value Interpreter::FastOperandValue(const FastOperand& op) const {
+  switch (op.src) {
+    case FastOperand::Src::kConst:
+      break;
+    case FastOperand::Src::kPc:
+      return expr::Value::Int(static_cast<std::int32_t>(pc_));
+    case FastOperand::Src::kReg:
+      return expr::CellToValue(op.isInt ? x_[op.index] : f_[op.index],
+                               op.type);
+  }
+  return op.constant;
 }
 
 void Interpreter::InitRegisters(std::uint32_t initialSp) {
@@ -42,14 +127,75 @@ ExitReason Interpreter::StepOne() {
   if (index >= program_.instructions.size()) {
     return ExitReason::kRanOffCode;
   }
+  // Fast paths: predecoded binary forms skip the gather / stack-machine /
+  // write-effect plumbing, and the one-byte dispatch tag avoids touching
+  // the instruction description at all on the common paths.
+  const Predecoded& pre = pre_[index];
+  switch (pre.path) {
+    case FastPath::kHalt:
+      ++stats_.executedInstructions;
+      ++stats_.mixByType[pre.typeIndex];
+      return ExitReason::kHalted;
+    case FastPath::kAlu: {
+      expr::EvalFlags flags;
+      const expr::Value value =
+          expr::Expression::ApplyBinary(pre.fast.op,
+                                        FastOperandValue(pre.fastA),
+                                        FastOperandValue(pre.fastB), flags)
+              .ConvertTo(pre.fast.dstKind);
+      if (trapOnDivZero_ && flags.divByZero) {
+        return Fault(StrFormat("division by zero at pc 0x%08x", pc_));
+      }
+      const std::uint64_t cell = expr::ValueToCell(value, pre.dstType);
+      if (pre.dstIsInt) {
+        if (pre.dstIndex != 0) x_[pre.dstIndex] = cell;
+      } else {
+        f_[pre.dstIndex] = cell;
+      }
+      ++stats_.executedInstructions;
+      ++stats_.mixByType[pre.typeIndex];
+      stats_.flops += pre.flops;
+      pc_ += 4;
+      return ExitReason::kRunning;
+    }
+    case FastPath::kCondBranch: {
+      expr::EvalFlags flags;
+      const bool taken =
+          expr::Expression::ApplyBinary(pre.fast.op,
+                                        FastOperandValue(pre.fastA),
+                                        FastOperandValue(pre.fastB), flags)
+              .AsBool();
+      ++stats_.executedInstructions;
+      ++stats_.mixByType[pre.typeIndex];
+      if (taken) {
+        ++stats_.takenBranches;
+        pc_ += static_cast<std::uint32_t>(pre.branchImm);
+      } else {
+        ++stats_.notTakenBranches;
+        pc_ += 4;
+      }
+      return ExitReason::kRunning;
+    }
+    case FastPath::kMemAddress: {
+      expr::EvalFlags flags;
+      const std::uint32_t address =
+          expr::Expression::ApplyBinary(pre.fast.op,
+                                        FastOperandValue(pre.fastA),
+                                        FastOperandValue(pre.fastB), flags)
+              .ConvertTo(expr::ValueKind::kUInt)
+              .AsUInt32();
+      ++stats_.executedInstructions;
+      ++stats_.mixByType[pre.typeIndex];
+      stats_.flops += pre.flops;
+      const assembler::Instruction& inst = program_.instructions[index];
+      return FinishMemory(inst, *inst.def, address);
+    }
+    case FastPath::kSlow:
+      break;
+  }
+
   const assembler::Instruction& inst = program_.instructions[index];
   const isa::InstructionDescription& def = *inst.def;
-
-  if (def.isHalt) {
-    ++stats_.executedInstructions;
-    ++stats_.mixByType[static_cast<std::size_t>(def.type)];
-    return ExitReason::kHalted;
-  }
 
   // Gather argument values.
   expr::Value args[4];
@@ -67,13 +213,15 @@ ExitReason Interpreter::StepOne() {
     }
   }
 
-  auto compiled = expressions_.Get(def);
-  if (!compiled.ok()) {
+  if (pre.expr == nullptr) {
+    // Predecode failed; recompile only to surface the original message.
+    auto compiled = expressions_.Get(def);
     return Fault("bad semantics for '" + def.name + "': " +
                  compiled.error().message);
   }
-  expr::EvalResult result = compiled.value()->Evaluate(
-      std::span<const expr::Value>(args, def.args.size()), pc_);
+  expr::EvalResult& result = evalScratch_;
+  pre.expr->EvaluateInto(std::span<const expr::Value>(args, def.args.size()),
+                         pc_, result);
 
   if (trapOnDivZero_ && result.flags.divByZero) {
     return Fault(StrFormat("division by zero at pc 0x%08x", pc_));
@@ -102,45 +250,9 @@ ExitReason Interpreter::StepOne() {
 
   // Memory operations.
   if (def.IsMemory()) {
-    const std::uint32_t address =
-        result.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32();
-    if (!memory_.InBounds(address, def.mem.sizeBytes)) {
-      return Fault(StrFormat("memory access out of bounds: 0x%08x (size %u)",
-                             address, def.mem.sizeBytes));
-    }
-    if (def.mem.isLoad) {
-      std::uint64_t raw = memory_.ReadBytes(address, def.mem.sizeBytes);
-      std::uint64_t cell;
-      if (def.mem.isFloat) {
-        cell = def.mem.sizeBytes == 4
-                   ? NanBoxFloat(static_cast<std::uint32_t>(raw))
-                   : raw;
-        f_[inst.operands[0].reg.index] = cell;
-      } else {
-        if (def.mem.isSigned) {
-          cell = static_cast<std::uint64_t>(
-              SignExtend(raw, def.mem.sizeBytes * 8));
-        } else {
-          cell = raw;
-        }
-        if (inst.operands[0].reg.index != 0) {
-          x_[inst.operands[0].reg.index] = cell;
-        }
-      }
-    } else {
-      // Store: operand 0 is rs2 (the data register).
-      const assembler::Operand& data = inst.operands[0];
-      std::uint64_t cell = data.reg.kind == isa::RegisterKind::kInt
-                               ? x_[data.reg.index]
-                               : f_[data.reg.index];
-      std::uint64_t raw = cell;
-      if (def.mem.isFloat && def.mem.sizeBytes == 4) {
-        raw = UnboxFloat(cell);
-      }
-      memory_.WriteBytes(address, def.mem.sizeBytes, raw);
-    }
-    pc_ += 4;
-    return ExitReason::kRunning;
+    return FinishMemory(
+        inst, def,
+        result.stackTop->ConvertTo(expr::ValueKind::kUInt).AsUInt32());
   }
 
   // Control flow.
@@ -175,6 +287,48 @@ ExitReason Interpreter::StepOne() {
       return ExitReason::kRunning;
     }
   }
+  return ExitReason::kRunning;
+}
+
+ExitReason Interpreter::FinishMemory(const assembler::Instruction& inst,
+                                     const isa::InstructionDescription& def,
+                                     std::uint32_t address) {
+  if (!memory_.InBounds(address, def.mem.sizeBytes)) {
+    return Fault(StrFormat("memory access out of bounds: 0x%08x (size %u)",
+                           address, def.mem.sizeBytes));
+  }
+  if (def.mem.isLoad) {
+    std::uint64_t raw = memory_.ReadBytes(address, def.mem.sizeBytes);
+    std::uint64_t cell;
+    if (def.mem.isFloat) {
+      cell = def.mem.sizeBytes == 4
+                 ? NanBoxFloat(static_cast<std::uint32_t>(raw))
+                 : raw;
+      f_[inst.operands[0].reg.index] = cell;
+    } else {
+      if (def.mem.isSigned) {
+        cell = static_cast<std::uint64_t>(
+            SignExtend(raw, def.mem.sizeBytes * 8));
+      } else {
+        cell = raw;
+      }
+      if (inst.operands[0].reg.index != 0) {
+        x_[inst.operands[0].reg.index] = cell;
+      }
+    }
+  } else {
+    // Store: operand 0 is rs2 (the data register).
+    const assembler::Operand& data = inst.operands[0];
+    std::uint64_t cell = data.reg.kind == isa::RegisterKind::kInt
+                             ? x_[data.reg.index]
+                             : f_[data.reg.index];
+    std::uint64_t raw = cell;
+    if (def.mem.isFloat && def.mem.sizeBytes == 4) {
+      raw = UnboxFloat(cell);
+    }
+    memory_.WriteBytes(address, def.mem.sizeBytes, raw);
+  }
+  pc_ += 4;
   return ExitReason::kRunning;
 }
 

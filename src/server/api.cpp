@@ -244,6 +244,22 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     response.Set("state", RenderJson(sim, options));
     return response;
   }
+  if (command == "fastForward") {
+    const std::int64_t instructions = request.GetInt("instructions", -1);
+    if (instructions < 0) {
+      return ErrorResponse(Error{ErrorKind::kInvalidArgument,
+                                 "'instructions' must be non-negative"});
+    }
+    Status status =
+        sim.FastForwardTo(static_cast<std::uint64_t>(instructions));
+    if (!status.ok()) return ErrorResponse(status.error());
+    json::Json response = Ok();
+    response.Set("fastForwardedInstructions",
+                 static_cast<std::int64_t>(
+                     sim.statistics().fastForwardedInstructions));
+    response.Set("state", RenderJson(sim));
+    return response;
+  }
   if (command == "stepBack") {
     // Same per-request bound as restoreCheckpoint: with checkpoints
     // disabled (or evicted) a deep StepBack otherwise replays the whole

@@ -329,6 +329,16 @@ std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
   w.U8(static_cast<std::uint8_t>(snapshot.finishReason));
   EncodeOptionalError(w, snapshot.fault);
 
+  // Fast-forward seed (v2): the ISS architectural state the detailed
+  // window was seeded from, when this session used FastForwardTo.
+  w.Bool(snapshot.ffSeed.has_value());
+  if (snapshot.ffSeed.has_value()) {
+    for (const std::uint64_t cell : snapshot.ffSeed->x) w.U64(cell);
+    for (const std::uint64_t cell : snapshot.ffSeed->f) w.U64(cell);
+    w.U32(snapshot.ffSeed->pc);
+    w.U64(snapshot.ffSeed->instructions);
+  }
+
   // In-flight table + containers as index lists.
   InFlightTable table(snapshot);
   w.U32(static_cast<std::uint32_t>(table.entries().size()));
@@ -421,6 +431,7 @@ std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
   w.U64(s.executedInstructions);
   w.U64(s.committedInstructions);
   w.U64(s.squashedInstructions);
+  w.U64(s.fastForwardedInstructions);
   w.U64(s.robFlushes);
   w.U64(s.branchesResolved);
   w.U64(s.branchesMispredicted);
@@ -522,6 +533,16 @@ Result<core::SimSnapshot> DecodeSnapshot(std::string_view blob,
   snapshot.finishReason = static_cast<core::FinishReason>(finishReason);
   if (!DecodeOptionalError(r, snapshot.fault)) {
     return CodecError("malformed fault record");
+  }
+
+  // Fast-forward seed (v2).
+  if (r.Bool()) {
+    core::FastForwardSeed seed;
+    for (std::uint64_t& cell : seed.x) cell = r.U64();
+    for (std::uint64_t& cell : seed.f) cell = r.U64();
+    seed.pc = r.U32();
+    seed.instructions = r.U64();
+    snapshot.ffSeed = seed;
   }
 
   // In-flight table.
@@ -718,6 +739,7 @@ Result<core::SimSnapshot> DecodeSnapshot(std::string_view blob,
   s.executedInstructions = r.U64();
   s.committedInstructions = r.U64();
   s.squashedInstructions = r.U64();
+  s.fastForwardedInstructions = r.U64();
   s.robFlushes = r.U64();
   s.branchesResolved = r.U64();
   s.branchesMispredicted = r.U64();

@@ -41,7 +41,9 @@
 namespace rvss::snapshot {
 
 /// Bumped on any incompatible layout change; decode rejects other versions.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: fast-forward seed (core::FastForwardSeed) and the
+/// fastForwardedInstructions statistic.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// What a blob must match to be restorable.
 struct CodecContext {

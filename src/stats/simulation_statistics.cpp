@@ -30,6 +30,8 @@ json::Json SimulationStatistics::ToJson(const memory::MemoryStats& memoryStats,
            static_cast<std::int64_t>(committedInstructions));
   root.Set("squashedInstructions",
            static_cast<std::int64_t>(squashedInstructions));
+  root.Set("fastForwardedInstructions",
+           static_cast<std::int64_t>(fastForwardedInstructions));
   root.Set("robFlushes", static_cast<std::int64_t>(robFlushes));
   root.Set("ipc", Ipc());
   root.Set("wallTimeSeconds", WallTimeSeconds(coreClockHz));
@@ -114,6 +116,10 @@ std::string SimulationStatistics::ToText(const memory::MemoryStats& memoryStats,
                    static_cast<unsigned long long>(issuedInstructions));
   out += StrFormat("squashed:               %llu\n",
                    static_cast<unsigned long long>(squashedInstructions));
+  if (fastForwardedInstructions > 0) {
+    out += StrFormat("fast-forwarded:         %llu instructions (ISS)\n",
+                     static_cast<unsigned long long>(fastForwardedInstructions));
+  }
 
   out += "--- dynamic instruction mix ---\n";
   std::uint64_t total = 0;

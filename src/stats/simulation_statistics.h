@@ -42,6 +42,11 @@ struct SimulationStatistics {
   // --- work ----------------------------------------------------------------
   std::uint64_t flops = 0;
 
+  /// Instructions skipped on the reference ISS before the detailed window
+  /// began (Simulation::FastForwardTo). Not included in the pipeline
+  /// counters above — those describe detailed execution only.
+  std::uint64_t fastForwardedInstructions = 0;
+
   /// Instruction mixes indexed by isa::InstructionType.
   std::array<std::uint64_t, 7> staticMix{};
   std::array<std::uint64_t, 7> dynamicMix{};

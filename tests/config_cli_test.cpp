@@ -140,6 +140,29 @@ TEST_F(CliTest, CustomConfigFile) {
             0);
 }
 
+TEST_F(CliTest, FastForwardSkipsThePrefixOnTheIss) {
+  std::string path = WriteTemp(
+      "ff.s",
+      "main:\n li t0, 500\nloop:\n addi t1, t1, 1\n addi t0, t0, -1\n"
+      " bnez t0, loop\n ret\n");
+  EXPECT_EQ(Run({"--asm", path, "--entry", "main", "--fast-forward-to",
+                 "1000", "--format", "json"}),
+            0);
+  auto parsed = json::Parse(out_.str());
+  ASSERT_TRUE(parsed.ok()) << out_.str();
+  EXPECT_EQ(parsed.value()
+                .Find("statistics")
+                ->GetInt("fastForwardedInstructions", 0),
+            1000);
+  EXPECT_EQ(parsed.value().GetString("finishReason", ""), "main returned");
+
+  // The flag is parse-checked and refuses the sharded path.
+  EXPECT_EQ(Run({"--asm", path, "--fast-forward-to", "-5"}), 1);
+  EXPECT_EQ(Run({"--asm", path, "--fast-forward-to"}), 1);
+  EXPECT_EQ(Run({"--asm", path, "--fast-forward-to", "10", "--workers", "2"}),
+            1);
+}
+
 TEST_F(CliTest, UsageErrors) {
   EXPECT_EQ(Run({}), 1);                          // no input
   EXPECT_EQ(Run({"--asm", "a", "--c", "b"}), 1);  // both inputs
