@@ -6,13 +6,20 @@ Usage: ci/check_bench.py [--dir DIR]
 
 Reads every bench named in the baselines' "gates" object from
 DIR/BENCH_<name>.json (default: current directory; the bench binaries
-write these when run with --json). A gated metric fails when
+write these when run with --json). A floor-gated metric fails when
 
     value < pinned * (1 - tolerance)
 
 i.e. a >30% regression against the pinned number with the default
-tolerance of 0.30. A missing artifact or missing gated metric is also a
-failure — the gate must not rot silently when a bench stops reporting.
+tolerance of 0.30. A gate written as {"max": X} is a *ceiling* instead
+(lower is better — overhead percentages): it fails when value > X, with
+no tolerance inflation, because the ceiling is the contract itself.
+
+A missing artifact or missing gated metric is also a failure — the gate
+must not rot silently when a bench stops reporting. Likewise a
+{pin, requires_cores} gate fails (rather than skips) when the bench did
+not report hardware_cores at all: only a real low-core reading may skip
+the gate, never an absent one.
 
 Exit code 0 = all gates pass, 1 = regression or missing data.
 """
@@ -48,12 +55,44 @@ def main() -> int:
             continue
         metrics = json.loads(artifact.read_text()).get("metrics", {})
         for metric, gate in gates.items():
-            # A gate is a pinned number, or {pin, requires_cores} for
-            # metrics that only mean something on a wide-enough machine
-            # (the parallel-run speedup is core-bound by physics).
+            value = metrics.get(metric)
+            if value is None:
+                reported = ", ".join(sorted(metrics)) or "none"
+                failures.append(
+                    f"{bench}.{metric}: not reported by the bench "
+                    f"(metrics reported: {reported})"
+                )
+                continue
+            # A gate is a pinned floor, {pin, requires_cores} for metrics
+            # that only mean something on a wide-enough machine (the
+            # parallel-run speedup is core-bound by physics), or {max} for
+            # lower-is-better metrics (instrumentation overhead) gated by
+            # a strict ceiling.
+            if isinstance(gate, dict) and "max" in gate:
+                ceiling = float(gate["max"])
+                checked += 1
+                verdict = "ok" if value <= ceiling else "REGRESSED"
+                print(
+                    f"{verdict:>9}  {bench}.{metric}: {value:.2f} "
+                    f"(ceiling {ceiling:.2f})"
+                )
+                if value > ceiling:
+                    failures.append(
+                        f"{bench}.{metric}: {value:.2f} > ceiling "
+                        f"{ceiling:.2f} (ceilings carry no tolerance)"
+                    )
+                continue
             if isinstance(gate, dict):
                 pinned = float(gate["pin"])
                 required_cores = float(gate.get("requires_cores", 0))
+                if required_cores > 0 and "hardware_cores" not in metrics:
+                    # An absent reading must fail loudly: defaulting it to
+                    # 0 would skip the gate forever and read as a pass.
+                    failures.append(
+                        f"{bench}.{metric}: gate requires hardware_cores "
+                        f"but the bench did not report it"
+                    )
+                    continue
                 cores = float(metrics.get("hardware_cores", 0))
                 if cores < required_cores:
                     print(
@@ -64,10 +103,6 @@ def main() -> int:
             else:
                 pinned = float(gate)
             floor = pinned * (1.0 - tolerance)
-            value = metrics.get(metric)
-            if value is None:
-                failures.append(f"{bench}.{metric}: not reported by the bench")
-                continue
             checked += 1
             verdict = "ok" if value >= floor else "REGRESSED"
             print(

@@ -12,6 +12,7 @@
 #include "core/simulation.h"
 #include "memory/dump.h"
 #include "memory/memory_initializer.h"
+#include "obs/registry.h"
 #include "server/state_renderer.h"
 #include "shard/router.h"
 #include "shard/transport.h"
@@ -82,6 +83,10 @@ Output:
   --dump-csv FILE     write a CSV memory dump after the run
   --verbose           also print the final pipeline state
   --trace             print the pipeline state every cycle (small runs)
+  --metrics-dump      after the run, write the process metrics registry
+                      (Prometheus-style text) to stderr; with --workers/
+                      --spawn-workers, the router's aggregated fleet view
+                      (JSON, with per-worker breakdown) instead
 )";
 }
 
@@ -113,6 +118,7 @@ struct Options {
   std::string loadSnapshotPath;
   bool verbose = false;
   bool trace = false;
+  bool metricsDump = false;
 };
 
 int RunSimulation(const Options& options,
@@ -228,6 +234,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       options.verbose = true;
     } else if (arg == "--trace") {
       options.trace = true;
+    } else if (arg == "--metrics-dump") {
+      options.metricsDump = true;
     } else {
       err << "unknown argument '" << arg << "'\n" << UsageTextInternal();
       return 1;
@@ -470,6 +478,11 @@ int RunSimulation(const Options& options,
       return 1;
     }
     file.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+
+  if (options.metricsDump) {
+    // Stderr keeps `--format json` stdout parseable by pipelines.
+    err << obs::MetricsToPrometheusText(obs::MetricsToJson());
   }
 
   return simulation.status() == core::SimStatus::kFault ? 2 : 0;
@@ -717,6 +730,14 @@ int RunSharded(const Options& options, const std::string& source,
       return 1;
     }
     file.write(blob->data(), static_cast<std::streamsize>(blob->size()));
+  }
+
+  if (options.metricsDump) {
+    json::Json metricsRequest = json::Json::MakeObject();
+    metricsRequest.Set("command", "metrics");
+    json::Json metrics = router.Handle(metricsRequest);
+    // Stderr keeps `--format json` stdout parseable by pipelines.
+    err << metrics.DumpPretty() << "\n";
   }
 
   return finishReason == "exception" ? 2 : 0;

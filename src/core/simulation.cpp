@@ -8,6 +8,8 @@
 
 #include "common/strings.h"
 #include "isa/abi.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "ref/interpreter.h"
 
 namespace rvss::core {
@@ -243,6 +245,10 @@ Status Simulation::FastForwardTo(std::uint64_t instructionCount) {
   }
   if (instructionCount == 0) return Status::Ok();
 
+  obs::ScopedSpan span("sim", "fastForward");
+  span.SetDetail(StrFormat(
+      "requested=%llu", static_cast<unsigned long long>(instructionCount)));
+
   // The ISS executes directly on this simulation's memory (functional
   // stores land in place) and starts from the detailed model's reset
   // register state.
@@ -267,6 +273,10 @@ Status Simulation::FastForwardTo(std::uint64_t instructionCount) {
   seed.instructions = iss.stats().executedInstructions;
   ffSeed_ = seed;
   ApplyFastForwardSeed(seed);
+  span.SetDetail(StrFormat(
+      "requested=%llu executed=%llu",
+      static_cast<unsigned long long>(instructionCount),
+      static_cast<unsigned long long>(seed.instructions)));
 
   log_.Add(cycle_, LogLevel::kInfo, "Sim",
            StrFormat("fast-forwarded %llu instructions on the ISS (%s)",
@@ -482,6 +492,14 @@ void Simulation::CaptureCheckpointNow() {
     std::fill(dirtySinceFull_.begin(), dirtySinceFull_.end(), 0);
     mem.ClearDirtyFlags();
     checkpoints_.Add(cycle_, bytes, std::move(snapshot));
+    if (obs::Enabled()) {
+      static obs::Counter& fulls =
+          obs::Registry::Instance().GetCounter("sim.checkpoints_full");
+      static obs::Gauge& ringBytes =
+          obs::Registry::Instance().GetGauge("sim.checkpoint_ring_bytes");
+      fulls.Increment();
+      ringBytes.Set(static_cast<double>(checkpoints_.totalBytes()));
+    }
     return;
   }
 
@@ -510,6 +528,14 @@ void Simulation::CaptureCheckpointNow() {
   ++deltasSinceFull_;
   mem.ClearDirtyFlags();
   checkpoints_.AddDelta(cycle_, bytes, std::move(delta));
+  if (obs::Enabled()) {
+    static obs::Counter& deltas =
+        obs::Registry::Instance().GetCounter("sim.checkpoints_delta");
+    static obs::Gauge& ringBytes =
+        obs::Registry::Instance().GetGauge("sim.checkpoint_ring_bytes");
+    deltas.Increment();
+    ringBytes.Set(static_cast<double>(checkpoints_.totalBytes()));
+  }
 }
 
 void Simulation::MaybeCheckpoint() {
@@ -1529,9 +1555,32 @@ void Simulation::Step() {
 }
 
 SimStatus Simulation::Run(std::uint64_t maxCycles) {
+  // Metrics are batched at Run() granularity: one clock read and a couple
+  // of relaxed adds per slice, never per Step() — the predecoded inner
+  // loop stays untouched.
+  const std::uint64_t startCycle = cycle_;
+  const std::uint64_t startCommitted = statistics().committedInstructions;
+  const std::uint64_t startNs = obs::MonotonicNowNs();
   for (std::uint64_t i = 0; i < maxCycles && status_ == SimStatus::kRunning;
        ++i) {
     Step();
+  }
+  if (obs::Enabled()) {
+    static obs::Counter& cycles =
+        obs::Registry::Instance().GetCounter("sim.cycles");
+    static obs::Counter& committed =
+        obs::Registry::Instance().GetCounter("sim.committed_instructions");
+    cycles.Add(cycle_ - startCycle);
+    committed.Add(statistics().committedInstructions - startCommitted);
+    const std::uint64_t elapsedNs = obs::MonotonicNowNs() - startNs;
+    // The throughput gauge only trusts slices long enough to average out
+    // scheduler noise; short interactive slices would thrash it.
+    if (elapsedNs >= 10'000'000 && cycle_ > startCycle) {
+      static obs::Gauge& cyclesPerS =
+          obs::Registry::Instance().GetGauge("sim.cycles_per_s");
+      cyclesPerS.Set(static_cast<double>(cycle_ - startCycle) * 1e9 /
+                     static_cast<double>(elapsedNs));
+    }
   }
   return status_;
 }

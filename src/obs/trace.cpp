@@ -1,0 +1,70 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "obs/registry.h"
+
+namespace rvss::obs {
+
+TraceRing& TraceRing::Instance() {
+  static TraceRing* instance = new TraceRing();  // never destroyed, like
+  return *instance;                              // Registry::Instance()
+}
+
+void TraceRing::Record(std::string category, std::string name,
+                       std::uint64_t startNs, std::uint64_t durationNs,
+                       std::string detail) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanEvent event;
+  event.seq = nextSeq_++;
+  event.category = std::move(category);
+  event.name = std::move(name);
+  event.startNs = startNs;
+  event.durationNs = durationNs;
+  event.detail = std::move(detail);
+  events_.push_back(std::move(event));
+  while (events_.size() > kCapacity) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+json::Json TraceRing::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Json root = json::Json::MakeObject();
+  json::Json spans = json::Json::MakeArray();
+  for (const SpanEvent& event : events_) {
+    json::Json node = json::Json::MakeObject();
+    node.Set("seq", static_cast<std::int64_t>(event.seq));
+    node.Set("category", event.category);
+    node.Set("name", event.name);
+    node.Set("startNs", static_cast<std::int64_t>(event.startNs));
+    node.Set("durationNs", static_cast<std::int64_t>(event.durationNs));
+    if (!event.detail.empty()) node.Set("detail", event.detail);
+    spans.Append(std::move(node));
+  }
+  root.Set("spans", std::move(spans));
+  root.Set("dropped", static_cast<std::int64_t>(dropped_));
+  root.Set("capacity", static_cast<std::int64_t>(kCapacity));
+  return root;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+ScopedSpan::ScopedSpan(std::string category, std::string name)
+    : category_(std::move(category)),
+      name_(std::move(name)),
+      startNs_(MonotonicNowNs()) {}
+
+ScopedSpan::~ScopedSpan() {
+  TraceRing::Instance().Record(std::move(category_), std::move(name_),
+                               startNs_, MonotonicNowNs() - startNs_,
+                               std::move(detail_));
+}
+
+}  // namespace rvss::obs

@@ -1,0 +1,86 @@
+// Span events for the rare-but-expensive fleet operations.
+//
+// Histograms (obs/registry.h) answer "how slow is this operation usually";
+// spans answer "why was *that* drain slow last Tuesday". Each span is one
+// begin/end pair with a monotonic start timestamp, a duration, a category
+// (fleet, session, sim) and a free-form detail string. The ring is
+// bounded: the newest kCapacity spans survive, older ones are dropped and
+// counted, so a long-lived worker cannot grow without bound and the
+// `traceDump` command always returns quickly.
+//
+// Recording takes a mutex — deliberately. Spans cover operations measured
+// in milliseconds-to-seconds (drain, rebalance, quiesce, export/import,
+// fast-forward, checkpoint restore) and happen a few times a minute at
+// most; a lock-free ring would buy nothing and cost ordering. Never put a
+// span on a per-request or per-cycle path — that is what histograms are
+// for.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "json/json.h"
+
+namespace rvss::obs {
+
+struct SpanEvent {
+  std::uint64_t seq = 0;       ///< process-wide ordering, 1-based
+  std::string category;        ///< "fleet", "session", "sim"
+  std::string name;            ///< "drainWorker", "fastForward", ...
+  std::uint64_t startNs = 0;   ///< MonotonicNowNs() at begin
+  std::uint64_t durationNs = 0;
+  std::string detail;          ///< free-form ("worker=2 moved=8"), may be empty
+};
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kCapacity = 256;
+
+  static TraceRing& Instance();
+
+  /// Appends one completed span, evicting the oldest beyond kCapacity.
+  /// No-op while obs is disabled (obs::SetEnabled).
+  void Record(std::string category, std::string name, std::uint64_t startNs,
+              std::uint64_t durationNs, std::string detail);
+
+  /// {spans: [{seq, category, name, startNs, durationNs, detail}...],
+  ///  dropped, capacity} — spans oldest-first.
+  json::Json ToJson() const;
+
+  /// Drops everything (tests; also resets the dropped count, not seq).
+  void Clear();
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+ private:
+  TraceRing() = default;
+
+  mutable std::mutex mutex_;
+  std::deque<SpanEvent> events_;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Records a span over its own lifetime. Detail can be filled in as the
+/// operation learns its outcome; it is captured at destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string category, std::string name);
+  ~ScopedSpan();
+
+  void SetDetail(std::string detail) { detail_ = std::move(detail); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::string category_;
+  std::string name_;
+  std::string detail_;
+  std::uint64_t startNs_;
+};
+
+}  // namespace rvss::obs

@@ -8,6 +8,8 @@
 #include "common/slz.h"
 #include "common/strings.h"
 #include "memory/memory_initializer.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace rvss::server {
 namespace {
@@ -36,6 +38,32 @@ json::Json CheckpointInfo(const core::Simulation& sim) {
   info.Set("intervalCycles",
            static_cast<std::int64_t>(ring.intervalCycles()));
   return info;
+}
+
+/// The full statistics document a session reports — the one serialization
+/// of SimulationStatistics, shared by the `run` and `stats` responses so
+/// the two can never drift apart field-by-field again.
+json::Json StatisticsJson(const core::Simulation& sim) {
+  return sim.statistics().ToJson(sim.memorySystem().stats(),
+                                 sim.config().coreClockHz);
+}
+
+/// Per-command request counters and handle-latency histograms. The name
+/// set is bounded by SanitizedCommandName, so a hostile client cannot
+/// grow the registry; the per-command lookup is a map find, amortized to
+/// noise by the simulation work behind any command worth counting.
+void RecordCommandMetrics(std::string_view command, std::uint64_t startNs) {
+  if (!obs::Enabled()) return;
+  obs::Registry& registry = obs::Registry::Instance();
+  static obs::Counter& requests = registry.GetCounter("server.requests");
+  static obs::Histogram& handleUs =
+      registry.GetHistogram("server.handle_us");
+  requests.Increment();
+  const std::uint64_t elapsedUs = (obs::MonotonicNowNs() - startNs) / 1000;
+  handleUs.Record(elapsedUs);
+  const std::string suffix(obs::SanitizedCommandName(command));
+  registry.GetCounter("server.cmd." + suffix).Increment();
+  registry.GetHistogram("server.handle_us." + suffix).Record(elapsedUs);
 }
 
 }  // namespace
@@ -158,7 +186,14 @@ json::Json SimServer::Dispatch(const json::Json& request) {
   }
 
   if (command == "importSession") {
-    auto blob = Base64Decode(request.GetString("blob", ""));
+    obs::ScopedSpan span("session", "importSession");
+    const json::Json* blobNode = request.Find("blob");
+    static const std::string kNoBlob;
+    const std::string& encoded = blobNode != nullptr && blobNode->IsString()
+                                     ? blobNode->AsString()
+                                     : kNoBlob;
+    span.SetDetail(StrFormat("blobBytes=%zu", encoded.size()));
+    auto blob = Base64Decode(encoded);
     if (!blob.has_value()) {
       return ErrorResponse(Error{ErrorKind::kInvalidArgument,
                                  "'blob' is not valid base64"});
@@ -186,6 +221,25 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     response.Set("sessionId", id);
     response.Set("cycle", static_cast<std::int64_t>(session.sim->cycle()));
     sessions_[id] = std::move(session);
+    return response;
+  }
+
+  if (command == "metrics") {
+    // This process's observability registry. Behind the shard router the
+    // same command returns the *fleet* view (the router fans it out to
+    // every worker and merges); a bare server answers for itself.
+    json::Json response = Ok();
+    if (request.GetString("format", "json") == "text") {
+      response.Set("text", obs::MetricsToPrometheusText(obs::MetricsToJson()));
+    } else {
+      response.Set("metrics", obs::MetricsToJson());
+    }
+    return response;
+  }
+
+  if (command == "traceDump") {
+    json::Json response = Ok();
+    response.Set("trace", obs::TraceRing::Instance().ToJson());
     return response;
   }
 
@@ -272,14 +326,24 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     return response;
   }
   if (command == "exportSession") {
+    obs::ScopedSpan span("session", "exportSession");
     json::Json response = Ok();
-    response.Set("blob", Base64Encode(snapshot::EncodeSessionBlob(
-                             sim, session.value()->identity)));
+    std::string blob = Base64Encode(
+        snapshot::EncodeSessionBlob(sim, session.value()->identity));
+    span.SetDetail(StrFormat("cycle=%llu blobBytes=%zu",
+                             static_cast<unsigned long long>(sim.cycle()),
+                             blob.size()));
+    response.Set("blob", std::move(blob));
     response.Set("cycle", static_cast<std::int64_t>(sim.cycle()));
     return response;
   }
   if (command == "saveCheckpoint") {
+    obs::ScopedSpan span("session", "saveCheckpoint");
     sim.CaptureCheckpointNow();
+    span.SetDetail(StrFormat(
+        "cycle=%llu ringBytes=%zu",
+        static_cast<unsigned long long>(sim.cycle()),
+        static_cast<std::size_t>(sim.checkpoints().totalBytes())));
     json::Json response = Ok();
     response.Set("cycle", static_cast<std::int64_t>(sim.cycle()));
     response.Set("checkpoints", CheckpointInfo(sim));
@@ -291,10 +355,14 @@ json::Json SimServer::Dispatch(const json::Json& request) {
       return ErrorResponse(Error{ErrorKind::kInvalidArgument,
                                  "'cycle' must be a non-negative integer"});
     }
+    obs::ScopedSpan span("session", "restoreCheckpoint");
     Status status =
         sim.SeekTo(static_cast<std::uint64_t>(cycle),
                    static_cast<std::uint64_t>(limits_.maxStepsPerRequest));
     if (!status.ok()) return ErrorResponse(status.error());
+    span.SetDetail(StrFormat(
+        "cycle=%lld replayed=%llu", static_cast<long long>(cycle),
+        static_cast<unsigned long long>(sim.lastSeekReplayedCycles())));
     json::Json response = Ok();
     response.Set("replayedCycles",
                  static_cast<std::int64_t>(sim.lastSeekReplayedCycles()));
@@ -313,9 +381,7 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     json::Json response = Ok();
     // Like step's "stepped": makes a clamped / truncated run visible.
     response.Set("ranCycles", static_cast<std::int64_t>(sim.cycle() - before));
-    response.Set("statistics",
-                 sim.statistics().ToJson(sim.memorySystem().stats(),
-                                         sim.config().coreClockHz));
+    response.Set("statistics", StatisticsJson(sim));
     response.Set("finishReason", core::ToString(sim.finishReason()));
     if (sim.fault().has_value()) {
       response.Set("fault", sim.fault()->ToText());
@@ -331,9 +397,7 @@ json::Json SimServer::Dispatch(const json::Json& request) {
   }
   if (command == "stats") {
     json::Json response = Ok();
-    response.Set("statistics",
-                 sim.statistics().ToJson(sim.memorySystem().stats(),
-                                         sim.config().coreClockHz));
+    response.Set("statistics", StatisticsJson(sim));
     response.Set("checkpoints", CheckpointInfo(sim));
     return response;
   }
@@ -350,7 +414,10 @@ std::vector<std::int64_t> SimServer::sessionIds() const {
 }
 
 json::Json SimServer::Handle(const json::Json& request) {
-  return Dispatch(request);
+  const std::uint64_t startNs = obs::MonotonicNowNs();
+  json::Json response = Dispatch(request);
+  RecordCommandMetrics(request.GetString("command", ""), startNs);
+  return response;
 }
 
 std::string HandleRawVia(

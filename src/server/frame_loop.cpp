@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/registry.h"
+
 namespace rvss::server {
 namespace {
 
@@ -9,6 +11,10 @@ namespace {
 /// entirely (shutdownWorker), false to go back to accept.
 bool ServeConnection(SimServer& server, net::Socket& connection,
                      const WireOptions& options) {
+  obs::Registry& registry = obs::Registry::Instance();
+  obs::Counter& framesServed =
+      registry.GetCounter("server.frames_served");
+  obs::Counter& frameErrors = registry.GetCounter("server.frame_errors");
   while (true) {
     // Idle indefinitely between requests; options.ioTimeoutMs bounds the
     // message read only once its first bytes arrive.
@@ -16,6 +22,7 @@ bool ServeConnection(SimServer& server, net::Socket& connection,
     if (!readable.ok() || !readable.value()) return false;
     auto request = ReadMessage(connection, options);
     if (!request.ok()) {
+      frameErrors.Increment();
       if (request.error().kind == ErrorKind::kParse) {
         // The frame was intact, only its JSON was malformed: the stream
         // is still at a frame boundary, so answer with an error.
@@ -49,6 +56,7 @@ bool ServeConnection(SimServer& server, net::Socket& connection,
     if (!WriteMessage(connection, std::move(response), options).ok()) {
       return shutdown;  // peer vanished; nothing left to tell it
     }
+    framesServed.Increment();
     if (shutdown) return true;
   }
 }

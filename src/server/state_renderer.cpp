@@ -171,6 +171,11 @@ json::Json RenderJson(const core::Simulation& sim,
   json::Json sidebar = json::Json::MakeObject();
   sidebar.Set("cycles", static_cast<std::int64_t>(st.cycles));
   sidebar.Set("committed", static_cast<std::int64_t>(st.committedInstructions));
+  // Present whenever the session's timeline began with an ISS skip — the
+  // `stats` statistics document reports the same field, and a GUI must be
+  // able to tell a fresh session from a fast-forwarded one in either view.
+  sidebar.Set("fastForwardedInstructions",
+              static_cast<std::int64_t>(st.fastForwardedInstructions));
   sidebar.Set("ipc", st.Ipc());
   sidebar.Set("branchAccuracy", st.BranchAccuracy());
   sidebar.Set("flops", static_cast<std::int64_t>(st.flops));

@@ -20,6 +20,7 @@ WorkerLane::~WorkerLane() { Stop(); }
 std::future<Result<json::Json>> WorkerLane::Submit(json::Json request) {
   Job job;
   job.request = std::move(request);
+  job.enqueuedNs = obs::MonotonicNowNs();
   std::future<Result<json::Json>> result = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -28,6 +29,7 @@ std::future<Result<json::Json>> WorkerLane::Submit(json::Json request) {
       return result;
     }
     queue_.push_back(std::move(job));
+    queueDepth_.fetch_add(1, std::memory_order_relaxed);
   }
   wake_.notify_one();
   return result;
@@ -44,6 +46,7 @@ void WorkerLane::Stop() {
     std::lock_guard<std::mutex> lock(mutex_);
     stopped_ = true;
     orphaned.swap(queue_);
+    queueDepth_.store(0, std::memory_order_relaxed);
   }
   wake_.notify_all();
   if (thread_.joinable()) thread_.join();
@@ -52,7 +55,27 @@ void WorkerLane::Stop() {
   }
 }
 
+WorkerLane::Stats WorkerLane::stats() const {
+  Stats stats;
+  stats.queueDepth = queueDepth_.load(std::memory_order_relaxed);
+  stats.inFlight = inFlight_.load(std::memory_order_relaxed);
+  stats.lastDispatchMs =
+      static_cast<double>(lastDispatchNs_.load(std::memory_order_relaxed)) /
+      1e6;
+  stats.dispatched = dispatched_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 void WorkerLane::Run() {
+  // One registration per metric name for the whole process; every lane
+  // shares the objects, so these histograms aggregate across the fleet's
+  // lanes (the per-worker split lives in workerStats' lane Stats).
+  obs::Registry& registry = obs::Registry::Instance();
+  obs::Histogram& queueWaitUs =
+      registry.GetHistogram("shard.lane.queue_wait_us");
+  obs::Histogram& dispatchUs = registry.GetHistogram("shard.lane.dispatch_us");
+  obs::Counter& requests = registry.GetCounter("shard.lane.requests");
+
   while (true) {
     Job job;
     {
@@ -61,11 +84,21 @@ void WorkerLane::Run() {
       if (stopped_) return;  // Stop() answers whatever is still queued
       job = std::move(queue_.front());
       queue_.pop_front();
+      queueDepth_.fetch_sub(1, std::memory_order_relaxed);
       busy_ = true;
+      inFlight_.store(true, std::memory_order_relaxed);
     }
+    const std::uint64_t startNs = obs::MonotonicNowNs();
+    queueWaitUs.Record((startNs - job.enqueuedNs) / 1000);
     // Resolve the future before clearing busy_: a Quiesce() waiter that
     // wakes on idle then observes a completed call, never a pending one.
     job.promise.set_value(transport_->Call(job.request));
+    const std::uint64_t elapsedNs = obs::MonotonicNowNs() - startNs;
+    dispatchUs.Record(elapsedNs / 1000);
+    requests.Increment();
+    lastDispatchNs_.store(elapsedNs, std::memory_order_relaxed);
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    inFlight_.store(false, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       busy_ = false;

@@ -32,7 +32,9 @@
 // for the router to block on a future (or on Quiesce) while holding it.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -40,6 +42,7 @@
 #include <thread>
 
 #include "json/json.h"
+#include "obs/registry.h"
 #include "shard/transport.h"
 
 namespace rvss::shard {
@@ -76,10 +79,22 @@ class WorkerLane {
   /// safe concurrently — both are immutable after construction).
   WorkerTransport* transport() { return transport_.get(); }
 
+  /// Live lane load, surfaced per worker by the router's workerStats.
+  /// Always-on (independent of obs::SetEnabled): these are functional
+  /// fleet stats, and the cost is a handful of relaxed atomics per job.
+  struct Stats {
+    std::uint64_t queueDepth = 0;   ///< jobs waiting (excludes in-flight)
+    bool inFlight = false;          ///< a job is executing right now
+    double lastDispatchMs = 0.0;    ///< wall time of the last completed job
+    std::uint64_t dispatched = 0;   ///< jobs completed since construction
+  };
+  Stats stats() const;
+
  private:
   struct Job {
     json::Json request;
     std::promise<Result<json::Json>> promise;
+    std::uint64_t enqueuedNs = 0;
   };
 
   void Run();
@@ -91,6 +106,14 @@ class WorkerLane {
   std::deque<Job> queue_;
   bool busy_ = false;
   bool stopped_ = false;
+
+  // Lane load, readable without the lane mutex (workerStats must not
+  // block behind a minute-long `run` holding the executor busy).
+  std::atomic<std::uint64_t> queueDepth_{0};
+  std::atomic<bool> inFlight_{false};
+  std::atomic<std::uint64_t> lastDispatchNs_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+
   std::thread thread_;
 };
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "common/strings.h"
+#include "obs/trace.h"
 #include "server/wire.h"
 
 namespace rvss::shard {
@@ -118,6 +120,20 @@ json::Json ShardRouter::CallWorkerDirect(std::size_t worker,
 
 json::Json ShardRouter::Dispatch(const json::Json& request) {
   const std::string command = request.GetString("command", "");
+  obs::Registry& registry = obs::Registry::Instance();
+  static obs::Counter& requests =
+      registry.GetCounter("shard.router.requests");
+  static obs::Histogram& handleUs =
+      registry.GetHistogram("shard.router.handle_us");
+  requests.Increment();
+  if (obs::Enabled()) {
+    registry
+        .GetCounter("shard.router.cmd." +
+                    std::string(obs::SanitizedCommandName(command)))
+        .Increment();
+  }
+  obs::ScopedLatency timer(handleUs);
+
   if (command == "hello") {
     // The router's own fingerprint: lets a client (or an operator's curl)
     // verify build compatibility without reaching into the fleet.
@@ -133,6 +149,8 @@ json::Json ShardRouter::Dispatch(const json::Json& request) {
   if (command == "addWorker") return AddWorker(request);
   if (command == "removeWorker") return RemoveWorker(request);
   if (command == "rebalance") return Rebalance();
+  if (command == "metrics") return Metrics(request);
+  if (command == "traceDump") return TraceDump();
   if (command == "shutdownWorker") {
     // Out-of-band worker-level command: forwarding it would let any API
     // client kill a fleet process. Only the router's own removeWorker
@@ -211,6 +229,9 @@ json::Json ShardRouter::AdmitSession(const json::Json& request) {
   if (!worker.ok()) return server::MakeErrorResponse(worker.error());
   json::Json response = CallViaLane(worker.value(), request);
   if (!IsOk(response)) return response;
+  static obs::Counter& admissions =
+      obs::Registry::Instance().GetCounter("shard.router.admissions");
+  admissions.Increment();
   const std::int64_t localId = response.GetInt("sessionId", -1);
   placements_[globalId] = Placement{worker.value(), localId};
   response.Set("sessionId", globalId);
@@ -370,6 +391,13 @@ json::Json ShardRouter::WorkerStats() {
   std::lock_guard<std::mutex> lock(fleetMutex_);
   json::Json response = Ok();
   json::Json list = json::Json::MakeArray();
+  // Snapshot lane load *before* fanning out the listSessions probes: the
+  // probes ride the very lanes being measured, so sampling afterwards
+  // would report every queue one deep and the probe itself in flight.
+  std::vector<WorkerLane::Stats> laneStats(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (IsLive(i)) laneStats[i] = lanes_[i]->stats();
+  }
   auto pending = FanOutListSessions();
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     json::Json entry = json::Json::MakeObject();
@@ -386,6 +414,13 @@ json::Json ShardRouter::WorkerStats() {
     entry.Set("transport", workers_[i]->Describe());
     entry.Set("drained", static_cast<bool>(drained_[i]));
     entry.Set("removed", false);
+    // Live lane load (the hot-shard tell): how many requests are queued
+    // behind this worker, whether one is executing, and how long the last
+    // one took — without the cost of a full metrics pull.
+    entry.Set("queueDepth",
+              static_cast<std::int64_t>(laneStats[i].queueDepth));
+    entry.Set("inFlight", laneStats[i].inFlight);
+    entry.Set("lastDispatchMs", laneStats[i].lastDispatchMs);
     auto load = ParseLoad(pending[i].get());
     if (load.ok()) {
       entry.Set("sessions", static_cast<std::int64_t>(load.value().sessions));
@@ -400,6 +435,106 @@ json::Json ShardRouter::WorkerStats() {
     list.Append(std::move(entry));
   }
   response.Set("workers", std::move(list));
+  return response;
+}
+
+json::Json ShardRouter::Metrics(const json::Json& request) {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
+  // Start from this process's registry: router counters, lane and
+  // transport histograms — and every in-process worker's server metrics,
+  // which land in the same registry (the whole point of a process-wide
+  // singleton). That is also why in-process workers are *not* fanned out
+  // below: merging their `metrics` response would count this registry
+  // twice.
+  json::Json fleet = obs::MetricsToJson();
+
+  json::Json metricsRequest = json::Json::MakeObject();
+  metricsRequest.Set("command", "metrics");
+  // Fan out to every socket worker before awaiting any response — the
+  // same submit-then-wait shape as FanOutListSessions, so dead workers'
+  // timeouts overlap instead of stacking under the fleet mutex.
+  std::vector<std::future<Result<json::Json>>> pending(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!IsLive(i) || workers_[i]->LocalServer() != nullptr) continue;
+    pending[i] = lanes_[i]->Submit(metricsRequest);
+  }
+
+  json::Json workerList = json::Json::MakeArray();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    json::Json entry = json::Json::MakeObject();
+    entry.Set("worker", static_cast<std::int64_t>(i));
+    if (!IsLive(i)) {
+      entry.Set("removed", true);
+      workerList.Append(std::move(entry));
+      continue;
+    }
+    entry.Set("transport", workers_[i]->Describe());
+    if (!pending[i].valid()) {
+      // In-process worker: its numbers are already part of `fleet`.
+      entry.Set("sharedProcess", true);
+      workerList.Append(std::move(entry));
+      continue;
+    }
+    auto result = pending[i].get();
+    json::Json answer = result.ok() ? std::move(result).value()
+                                    : server::MakeErrorResponse(result.error());
+    json::Json* metrics = answer.Find("metrics");
+    if (!IsOk(answer) || metrics == nullptr) {
+      entry.Set("unreachable", true);
+      entry.Set("error",
+                answer.GetString("message", "response carried no metrics"));
+    } else {
+      obs::MergeMetricsJson(fleet, *metrics);
+      entry.Set("metrics", std::move(*metrics));
+    }
+    workerList.Append(std::move(entry));
+  }
+
+  json::Json response = Ok();
+  if (request.GetString("format", "json") == "text") {
+    response.Set("text", obs::MetricsToPrometheusText(fleet));
+  } else {
+    response.Set("fleet", std::move(fleet));
+  }
+  response.Set("workers", std::move(workerList));
+  return response;
+}
+
+json::Json ShardRouter::TraceDump() {
+  std::lock_guard<std::mutex> lock(fleetMutex_);
+  json::Json traceRequest = json::Json::MakeObject();
+  traceRequest.Set("command", "traceDump");
+  std::vector<std::future<Result<json::Json>>> pending(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!IsLive(i) || workers_[i]->LocalServer() != nullptr) continue;
+    pending[i] = lanes_[i]->Submit(traceRequest);
+  }
+
+  json::Json workerList = json::Json::MakeArray();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!pending[i].valid()) continue;  // removed or shares this ring
+    json::Json entry = json::Json::MakeObject();
+    entry.Set("worker", static_cast<std::int64_t>(i));
+    entry.Set("transport", workers_[i]->Describe());
+    auto result = pending[i].get();
+    json::Json answer = result.ok() ? std::move(result).value()
+                                    : server::MakeErrorResponse(result.error());
+    json::Json* trace = answer.Find("trace");
+    if (!IsOk(answer) || trace == nullptr) {
+      entry.Set("unreachable", true);
+      entry.Set("error",
+                answer.GetString("message", "response carried no trace"));
+    } else {
+      entry.Set("trace", std::move(*trace));
+    }
+    workerList.Append(std::move(entry));
+  }
+
+  json::Json response = Ok();
+  // The router's own ring holds the fleet-operation spans (drain,
+  // rebalance, quiesce) plus anything in-process workers recorded.
+  response.Set("trace", obs::TraceRing::Instance().ToJson());
+  response.Set("workers", std::move(workerList));
   return response;
 }
 
@@ -475,6 +610,12 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
 
   it->second = Placement{destination, imported.GetInt("sessionId", -1)};
   if (movedBytes != nullptr) *movedBytes += blobBytes.size();
+  static obs::Counter& migrations =
+      obs::Registry::Instance().GetCounter("shard.router.migrations");
+  static obs::Counter& migrationBytes =
+      obs::Registry::Instance().GetCounter("shard.router.migration_bytes");
+  migrations.Increment();
+  migrationBytes.Add(blobBytes.size());
   return Status::Ok();
 }
 
@@ -554,19 +695,27 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
                        "unknown worker " + std::to_string(worker));
   }
   const std::size_t index = static_cast<std::size_t>(worker);
+  obs::ScopedSpan span("fleet", "drainWorker");
   // Close the worker to new placements before touching its sessions, so
   // the drain cannot race its own imports back onto the source. Draining
   // an already-drained (empty) worker is a no-op success.
   drained_[index] = true;
-  // The quiesce barrier: wait out any request already in the worker's
-  // lane (an in-flight `run` completes; its client gets a normal
-  // response). New requests for the worker's sessions queue behind the
-  // fleet mutex and execute after the drain, against the sessions' new
-  // homes.
-  lanes_[index]->Quiesce();
+  {
+    // The quiesce barrier: wait out any request already in the worker's
+    // lane (an in-flight `run` completes; its client gets a normal
+    // response). New requests for the worker's sessions queue behind the
+    // fleet mutex and execute after the drain, against the sessions' new
+    // homes.
+    obs::ScopedSpan quiesceSpan("fleet", "quiesce");
+    quiesceSpan.SetDetail(StrFormat("worker=%zu", index));
+    lanes_[index]->Quiesce();
+  }
 
   json::Json response = json::Json::MakeObject();
   const std::vector<std::int64_t> failedIds = DrainSessions(index, response);
+  span.SetDetail(StrFormat("worker=%zu moved=%lld failed=%zu", index,
+                           static_cast<long long>(response.GetInt("moved", 0)),
+                           failedIds.size()));
   if (failedIds.empty()) {
     response.Set("status", "ok");
   } else {
@@ -595,6 +744,7 @@ json::Json ShardRouter::OpenWorker(const json::Json& request) {
 
 json::Json ShardRouter::AddWorker(const json::Json& request) {
   std::lock_guard<std::mutex> lock(fleetMutex_);
+  obs::ScopedSpan span("fleet", "addWorker");
   const std::size_t index = workers_.size();
   Result<std::shared_ptr<WorkerTransport>> transport = [&]()
       -> Result<std::shared_ptr<WorkerTransport>> {
@@ -626,6 +776,8 @@ json::Json ShardRouter::AddWorker(const json::Json& request) {
   lanes_.push_back(std::make_unique<WorkerLane>(workers_.back()));
   drained_.push_back(false);
   ring_.AddWorker();
+  span.SetDetail(StrFormat("worker=%zu transport=%s", index,
+                           workers_[index]->Describe().c_str()));
 
   json::Json response = Ok();
   response.Set("worker", static_cast<std::int64_t>(index));
@@ -643,13 +795,21 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
   }
   const std::size_t index = static_cast<std::size_t>(worker);
   const bool force = request.GetBool("force", false);
+  obs::ScopedSpan span("fleet", "removeWorker");
   drained_[index] = true;
-  lanes_[index]->Quiesce();
+  {
+    obs::ScopedSpan quiesceSpan("fleet", "quiesce");
+    quiesceSpan.SetDetail(StrFormat("worker=%zu", index));
+    lanes_[index]->Quiesce();
+  }
 
   json::Json response = json::Json::MakeObject();
   bool sourceReachable = true;
   const std::vector<std::int64_t> failedIds =
       DrainSessions(index, response, &sourceReachable);
+  span.SetDetail(StrFormat("worker=%zu moved=%lld lost=%zu", index,
+                           static_cast<long long>(response.GetInt("moved", 0)),
+                           failedIds.size()));
 
   json::Json lost = json::Json::MakeArray();
   if (!failedIds.empty() && !force) {
@@ -707,6 +867,7 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
 
 json::Json ShardRouter::Rebalance() {
   std::lock_guard<std::mutex> lock(fleetMutex_);
+  obs::ScopedSpan span("fleet", "rebalance");
   FleetLoads fleet = ProbeLoads();
   std::vector<bool> eligible = Eligible();
   for (std::size_t i = 0; i < eligible.size(); ++i) {
@@ -819,8 +980,12 @@ json::Json ShardRouter::Rebalance() {
   response.Set("moved", moved);
   response.Set("movedBytes", static_cast<std::int64_t>(movedBytes));
   response.Set("skewBefore", skewBefore);
-  response.Set("skewAfter", skewOf(ProbeLoads().bytes));
+  const double skewAfter = skewOf(ProbeLoads().bytes);
+  response.Set("skewAfter", skewAfter);
   response.Set("failed", std::move(failed));
+  span.SetDetail(StrFormat("moved=%lld skewBefore=%.3f skewAfter=%.3f",
+                           static_cast<long long>(moved), skewBefore,
+                           skewAfter));
   return response;
 }
 

@@ -22,6 +22,15 @@
 //                                snapshot versions, config hash), answered
 //                                locally — the same document a worker
 //                                returns on its connect handshake.
+//   metrics      {format?}   -> {fleet, workers[]}: the merged fleet
+//                                observability view (sum counters, merge
+//                                histogram buckets, max gauges — see
+//                                src/obs/registry.h) with a per-worker
+//                                breakdown; format "text" returns the
+//                                Prometheus exposition instead.
+//   traceDump    {}          -> {trace, workers[]}: the router's span
+//                                ring (drain/rebalance/quiesce timings)
+//                                plus each socket worker's.
 //
 // Workers are reached through WorkerTransport (shard/transport.h): the
 // in-process default behaves exactly like PR 3; SocketTransport talks to
@@ -185,6 +194,14 @@ class ShardRouter {
 
   json::Json RouteSessionCommand(const json::Json& request);  // locks itself
   json::Json StatelessCommand(const json::Json& request);     // locks itself
+  /// The fleet metrics view: this process's obs registry (router, lanes,
+  /// transports and any in-process workers) merged with every socket
+  /// worker's `metrics` response — sum counters, merge histogram buckets,
+  /// max gauges — plus a per-worker breakdown.
+  json::Json Metrics(const json::Json& request);              // locks itself
+  /// The router's span ring plus each socket worker's, for post-hoc "why
+  /// was that drain slow" forensics.
+  json::Json TraceDump();                                     // locks itself
   /// createSession / importSession: place on the ring and forward.
   json::Json AdmitSession(const json::Json& request);         // locks itself
   json::Json ListSessions();                                  // locks itself

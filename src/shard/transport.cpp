@@ -3,6 +3,30 @@
 #include <utility>
 
 namespace rvss::shard {
+namespace {
+
+/// Socket-transport metrics, shared by every SocketTransport in the
+/// process (the per-worker split is visible in the router's workerStats;
+/// these answer "what does the wire cost the fleet overall").
+struct SocketMetrics {
+  obs::Counter& calls =
+      obs::Registry::Instance().GetCounter("shard.transport.socket.calls");
+  obs::Counter& connects = obs::Registry::Instance().GetCounter(
+      "shard.transport.socket.connects");
+  obs::Counter& requestBytes = obs::Registry::Instance().GetCounter(
+      "shard.transport.socket.request_bytes");
+  obs::Counter& blobBytes = obs::Registry::Instance().GetCounter(
+      "shard.transport.socket.blob_bytes");
+  obs::Histogram& rttUs =
+      obs::Registry::Instance().GetHistogram("shard.transport.socket.rtt_us");
+
+  static SocketMetrics& Get() {
+    static SocketMetrics* metrics = new SocketMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 SocketTransport::SocketTransport(std::string address,
                                  SocketTransportOptions options)
@@ -10,6 +34,7 @@ SocketTransport::SocketTransport(std::string address,
 
 Status SocketTransport::EnsureConnected() {
   if (connection_.valid()) return Status::Ok();
+  SocketMetrics::Get().connects.Increment();
   auto connected = net::ConnectTo(address_, options_.connectTimeoutMs);
   if (!connected.ok()) {
     return Status::Fail(ErrorKind::kInternal,
@@ -83,6 +108,11 @@ Result<json::Json> SocketTransport::Call(const json::Json& request) {
   // read is final — the worker may have executed the request, so
   // resending could run it twice; fail closed instead. A failed connect
   // is also final: ConnectTo already retried until its deadline.
+  SocketMetrics& metrics = SocketMetrics::Get();
+  metrics.calls.Increment();
+  metrics.requestBytes.Add(text.size());
+  metrics.blobBytes.Add(blob.size());
+  const std::uint64_t startNs = obs::MonotonicNowNs();
   for (int attempt = 0; attempt < 2; ++attempt) {
     Status connected = EnsureConnected();
     if (!connected.ok()) return connected.error();
@@ -102,6 +132,9 @@ Result<json::Json> SocketTransport::Call(const json::Json& request) {
                        response.error().message +
                        " (request may or may not have executed)"};
     }
+    // Only completed round trips reach the histogram: a timed-out read
+    // would record the timeout budget, not a latency.
+    metrics.rttUs.Record((obs::MonotonicNowNs() - startNs) / 1000);
     return std::move(response).value();
   }
   return Error{ErrorKind::kInternal, "unreachable"};

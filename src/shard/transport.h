@@ -32,6 +32,7 @@
 #include "common/socket.h"
 #include "common/status.h"
 #include "json/json.h"
+#include "obs/registry.h"
 #include "server/api.h"
 #include "server/wire.h"
 
@@ -62,6 +63,13 @@ class InProcessTransport : public WorkerTransport {
       : server_(std::make_unique<server::SimServer>(limits)) {}
 
   Result<json::Json> Call(const json::Json& request) override {
+    static obs::Counter& calls =
+        obs::Registry::Instance().GetCounter("shard.transport.inproc.calls");
+    static obs::Histogram& callUs =
+        obs::Registry::Instance().GetHistogram(
+            "shard.transport.inproc.call_us");
+    calls.Increment();
+    obs::ScopedLatency timer(callUs);
     return server_->Handle(request);
   }
   std::string Describe() const override { return "in-process"; }

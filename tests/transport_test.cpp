@@ -8,6 +8,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <csignal>
 #include <fstream>
@@ -768,6 +769,146 @@ loop:
       << "parallel dispatch across real processes must be invisible";
   EXPECT_EQ(single.GetString("finishReason", "+"),
             parallel.GetString("finishReason", "-"));
+}
+
+// ---- fleet metrics merge ----------------------------------------------------
+
+std::int64_t CounterOf(const json::Json* metrics, const char* name) {
+  if (metrics == nullptr) return 0;
+  const json::Json* counters = metrics->Find("counters");
+  return counters == nullptr ? 0 : counters->GetInt(name, 0);
+}
+
+std::int64_t HistogramCountOf(const json::Json* metrics, const char* name) {
+  if (metrics == nullptr) return 0;
+  const json::Json* histograms = metrics->Find("histograms");
+  const json::Json* histogram =
+      histograms == nullptr ? nullptr : histograms->Find(name);
+  return histogram == nullptr ? 0 : histogram->GetInt("count", 0);
+}
+
+std::int64_t HistogramBucketTotalOf(const json::Json* metrics,
+                                    const char* name) {
+  if (metrics == nullptr) return 0;
+  const json::Json* histograms = metrics->Find("histograms");
+  const json::Json* histogram =
+      histograms == nullptr ? nullptr : histograms->Find(name);
+  const json::Json* buckets =
+      histogram == nullptr ? nullptr : histogram->Find("buckets");
+  if (buckets == nullptr || !buckets->IsArray()) return 0;
+  std::int64_t total = 0;
+  for (const json::Json& bucket : buckets->AsArray()) total += bucket.AsInt();
+  return total;
+}
+
+const json::Json* WorkerMetricsOf(const json::Json& response,
+                                  std::int64_t worker) {
+  const json::Json* workers = response.Find("workers");
+  if (workers == nullptr) return nullptr;
+  for (const json::Json& entry : workers->AsArray()) {
+    if (entry.GetInt("worker", -1) == worker) return entry.Find("metrics");
+  }
+  return nullptr;
+}
+
+TEST(SocketRouter, MetricsMergeFleetCountersEqualSumOfWorkers) {
+  SpawnedFleet fleet;
+  ShardRouter router(SpawningOptions(2, &fleet));
+
+  // One session pinned on each worker. Placement is consistent-hash, so
+  // create until both are covered and delete the overflow.
+  std::array<std::int64_t, 2> perWorkerSession{-1, -1};
+  int covered = 0;
+  for (int attempt = 0; attempt < 256 && covered < 2; ++attempt) {
+    json::Json created = router.Handle(
+        Cmd("createSession", {{"code", json::Json(kSpinLoop)},
+                              {"entry", json::Json("main")}}));
+    ASSERT_EQ(created.GetString("status", ""), "ok") << created.Dump();
+    const std::int64_t worker = created.GetInt("worker", -1);
+    const std::int64_t id = created.GetInt("sessionId", -1);
+    if (worker >= 0 && worker < 2 && perWorkerSession[worker] < 0) {
+      perWorkerSession[worker] = id;
+      ++covered;
+    } else {
+      router.Handle(Cmd("deleteSession", {{"sessionId", json::Json(id)}}));
+    }
+  }
+  ASSERT_EQ(covered, 2);
+
+  // Baseline snapshot. The forked workers inherited this test binary's
+  // registry at fork time, and earlier tests in this binary already
+  // recorded into it — every assertion below is on deltas between two
+  // `metrics` calls, never on absolute values.
+  const json::Json before = router.Handle(Cmd("metrics"));
+  ASSERT_EQ(before.GetString("status", ""), "ok") << before.Dump();
+
+  // Mixed workload with known per-worker request counts: the step and
+  // run command counters must reproduce these numbers exactly.
+  const std::array<int, 2> kSteps = {7, 11};
+  const std::array<int, 2> kRuns = {3, 2};
+  for (int worker = 0; worker < 2; ++worker) {
+    for (int i = 0; i < kSteps[worker]; ++i) {
+      json::Json stepped = router.Handle(
+          Cmd("step", {{"sessionId", json::Json(perWorkerSession[worker])},
+                       {"count", json::Json(5)}}));
+      ASSERT_EQ(stepped.GetString("status", ""), "ok") << stepped.Dump();
+    }
+    for (int i = 0; i < kRuns[worker]; ++i) {
+      json::Json ran = router.Handle(
+          Cmd("run", {{"sessionId", json::Json(perWorkerSession[worker])},
+                      {"maxCycles", json::Json(200)}}));
+      ASSERT_EQ(ran.GetString("status", ""), "ok") << ran.Dump();
+    }
+  }
+
+  const json::Json after = router.Handle(Cmd("metrics"));
+  ASSERT_EQ(after.GetString("status", ""), "ok") << after.Dump();
+  const json::Json* beforeFleet = before.Find("fleet");
+  const json::Json* afterFleet = after.Find("fleet");
+  ASSERT_NE(beforeFleet, nullptr);
+  ASSERT_NE(afterFleet, nullptr);
+
+  // Per-worker counters reproduce the issued workload exactly, and the
+  // fleet view is exactly their sum (the router process itself issued no
+  // server commands: socket workers are the only SimServers involved).
+  const std::array<const char*, 2> kCommandCounters = {"server.cmd.step",
+                                                       "server.cmd.run"};
+  const std::array<std::array<int, 2>, 2> kExpected = {kSteps, kRuns};
+  for (std::size_t c = 0; c < kCommandCounters.size(); ++c) {
+    const char* name = kCommandCounters[c];
+    std::int64_t workerSum = 0;
+    for (std::int64_t worker = 0; worker < 2; ++worker) {
+      const json::Json* beforeWorker = WorkerMetricsOf(before, worker);
+      const json::Json* afterWorker = WorkerMetricsOf(after, worker);
+      ASSERT_NE(afterWorker, nullptr) << after.Dump();
+      const std::int64_t delta =
+          CounterOf(afterWorker, name) - CounterOf(beforeWorker, name);
+      EXPECT_EQ(delta, kExpected[c][static_cast<std::size_t>(worker)])
+          << name << " on worker " << worker;
+      workerSum += delta;
+    }
+    const std::int64_t fleetDelta =
+        CounterOf(afterFleet, name) - CounterOf(beforeFleet, name);
+    EXPECT_EQ(fleetDelta, workerSum) << name << ": fleet merge must sum";
+  }
+
+  // Histograms merge bucket-wise: the per-command latency histogram's
+  // count delta and its bucket-total delta both equal the number of
+  // commands issued — buckets are neither lost nor double-counted by the
+  // trailing-zero trim + pad on merge.
+  const std::int64_t totalSteps = kSteps[0] + kSteps[1];
+  EXPECT_EQ(HistogramCountOf(afterFleet, "server.handle_us.step") -
+                HistogramCountOf(beforeFleet, "server.handle_us.step"),
+            totalSteps);
+  EXPECT_EQ(HistogramBucketTotalOf(afterFleet, "server.handle_us.step") -
+                HistogramBucketTotalOf(beforeFleet, "server.handle_us.step"),
+            totalSteps);
+
+  // The lane request histogram rode every routed command, so it must
+  // have grown by at least the workload (fan-out probes also cross it).
+  EXPECT_GE(HistogramCountOf(afterFleet, "shard.lane.dispatch_us") -
+                HistogramCountOf(beforeFleet, "shard.lane.dispatch_us"),
+            totalSteps + kRuns[0] + kRuns[1]);
 }
 
 }  // namespace
