@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "config/cpu_config.h"
 #include "core/simulation.h"
+#include "gateway/gateway.h"
 #include "memory/dump.h"
 #include "memory/memory_initializer.h"
 #include "obs/registry.h"
@@ -70,6 +71,16 @@ Worker mode:
                       orchestrators; --spawn-workers forks these
                       automatically.
 
+Gateway mode:
+  --gateway ADDR      serve the fleet to many concurrent clients: listen
+                      on ADDR (unix:/path or tcp:HOST:PORT; tcp port 0
+                      picks a free port, printed on stdout) with an
+                      epoll front door multiplexing every connection
+                      onto the shard router. Requires --workers N or
+                      --spawn-workers N for the fleet behind it; takes
+                      no program flags. Serves until a shutdownGateway
+                      command arrives.
+
 Snapshots:
   --save-snapshot F   after the run, write a portable session snapshot
                       (config + program + complete state) to F
@@ -111,6 +122,7 @@ struct Options {
   std::int64_t sessions = 1; ///< parallel copies of the batch run
   bool spawnWorkers = false; ///< workers are forked socket processes
   std::string workerListen;  ///< non-empty: run as a worker process
+  std::string gatewayListen; ///< non-empty: serve the fleet via a gateway
   std::string format = "text";
   std::string dumpPath;
   std::string dumpCsvPath;
@@ -130,6 +142,8 @@ int RunSharded(const Options& options, const std::string& source,
                const config::CpuConfig& config,
                const std::vector<memory::ArrayDefinition>& arrays,
                std::ostream& out, std::ostream& err);
+
+int RunGateway(const Options& options, std::ostream& out, std::ostream& err);
 
 }  // namespace
 
@@ -207,6 +221,10 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       auto v = value();
       if (!v) { err << "--worker needs an address (unix:... or tcp:...)\n"; return 1; }
       options.workerListen = *v;
+    } else if (arg == "--gateway") {
+      auto v = value();
+      if (!v) { err << "--gateway needs an address (unix:... or tcp:...)\n"; return 1; }
+      options.gatewayListen = *v;
     } else if (arg == "--format") {
       auto v = value();
       if (!v || (*v != "text" && *v != "json")) {
@@ -244,7 +262,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
 
   if (!options.workerListen.empty()) {
     if (!options.asmPath.empty() || !options.cPath.empty() ||
-        options.workers > 0 || !options.loadSnapshotPath.empty()) {
+        options.workers > 0 || !options.gatewayListen.empty() ||
+        !options.loadSnapshotPath.empty()) {
       err << "--worker serves a fleet router; it takes no program or "
              "router flags\n";
       return 1;
@@ -256,6 +275,24 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       return 2;
     }
     return 0;
+  }
+
+  if (!options.gatewayListen.empty()) {
+    if (options.workers <= 0) {
+      err << "--gateway fronts a shard fleet; it needs --workers N or "
+             "--spawn-workers N\n";
+      return 1;
+    }
+    if (!options.asmPath.empty() || !options.cPath.empty() ||
+        !options.loadSnapshotPath.empty() || options.sessions > 1 ||
+        options.trace || options.verbose || !options.dumpPath.empty() ||
+        !options.dumpCsvPath.empty() || !options.saveSnapshotPath.empty() ||
+        options.fastForwardTo > 0) {
+      err << "--gateway serves clients over sockets; it takes no program, "
+             "session or output flags\n";
+      return 1;
+    }
+    return RunGateway(options, out, err);
   }
 
   if (!options.loadSnapshotPath.empty()) {
@@ -486,6 +523,50 @@ int RunSimulation(const Options& options,
   }
 
   return simulation.status() == core::SimStatus::kFault ? 2 : 0;
+}
+
+/// The --gateway path: stand up the fleet and serve it to many concurrent
+/// socket clients through the epoll front door until a shutdownGateway
+/// command (or a fatal listener error) stops it. The bound address is
+/// printed first — with tcp port 0 that line is how callers learn the
+/// real port.
+int RunGateway(const Options& options, std::ostream& out, std::ostream& err) {
+  shard::SpawnedFleet fleet;
+  shard::ShardRouter::Options routerOptions;
+  routerOptions.workerCount = static_cast<std::size_t>(options.workers);
+  // A multi-client front door needs backpressure behind it too: bound
+  // every worker lane so a stalled worker sheds (retryable kUnavailable)
+  // instead of queueing without limit.
+  routerOptions.maxLaneQueueDepth = 128;
+  if (options.spawnWorkers) {
+    routerOptions.transportFactory =
+        shard::MakeSpawningTransportFactory(&fleet, "gw");
+    routerOptions.onWorkerShutdown = shard::MakeFleetReaper(&fleet);
+  }
+  shard::ShardRouter router(routerOptions);
+
+  gateway::GatewayOptions gatewayOptions;
+  gatewayOptions.address = options.gatewayListen;
+  auto gateway = gateway::Gateway::Start(
+      [&router](const json::Json& request) { return router.Handle(request); },
+      gatewayOptions);
+  if (!gateway.ok()) {
+    err << "gateway error: " << gateway.error().ToText() << "\n";
+    return 2;
+  }
+  out << "gateway listening on " << gateway.value()->address() << "\n";
+  out.flush();
+  Status served = gateway.value()->Wait();
+  if (!served.ok()) {
+    err << "gateway error: " << served.error().ToText() << "\n";
+    return 2;
+  }
+  if (options.metricsDump) {
+    json::Json metricsRequest = json::Json::MakeObject();
+    metricsRequest.Set("command", "metrics");
+    err << router.Handle(metricsRequest).DumpPretty() << "\n";
+  }
+  return 0;
 }
 
 /// The --workers path: the same batch run, but served by a shard router —

@@ -264,7 +264,8 @@ Result<int> BoundPort(const Socket& listener) {
   }
 }
 
-Result<Socket> AcceptOn(Socket& listener, int timeoutMs) {
+Result<Socket> AcceptOn(Socket& listener, int timeoutMs, int* acceptErrno) {
+  if (acceptErrno != nullptr) *acceptErrno = 0;
   const Deadline deadline(timeoutMs);
   while (true) {
     RVSS_ASSIGN_OR_RETURN(const bool ready,
@@ -279,7 +280,25 @@ Result<Socket> AcceptOn(Socket& listener, int timeoutMs) {
       return accepted;
     }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    // Everything else is reported, with errno preserved for the caller:
+    // strerror text alone cannot be classified portably, and accept
+    // loops must treat EMFILE very differently from EBADF.
+    if (acceptErrno != nullptr) *acceptErrno = errno;
     return SysError("accept");
+  }
+}
+
+bool IsTransientAcceptError(int acceptErrno) {
+  switch (acceptErrno) {
+    case ECONNABORTED:  // peer gave up during the handshake
+    case EPROTO:        // protocol error on the aborted connection
+    case EMFILE:        // this process is out of descriptors
+    case ENFILE:        // the system is out of descriptors
+    case ENOBUFS:
+    case ENOMEM:
+      return true;
+    default:
+      return false;
   }
 }
 

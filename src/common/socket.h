@@ -87,7 +87,20 @@ Result<Socket> ListenOn(const std::string& address, int backlog = 8);
 Result<int> BoundPort(const Socket& listener);
 
 /// Accepts one connection, waiting up to `timeoutMs` (kNoTimeout blocks).
-Result<Socket> AcceptOn(Socket& listener, int timeoutMs);
+/// EINTR/EAGAIN are absorbed internally. On failure, `acceptErrno` (when
+/// non-null) receives the errno of the failed accept(2) — 0 for a
+/// timeout — so callers can tell transient exhaustion (ECONNABORTED,
+/// EMFILE, ENFILE, ENOBUFS) apart from a dead listener (EBADF, EINVAL)
+/// without parsing the error message.
+Result<Socket> AcceptOn(Socket& listener, int timeoutMs,
+                        int* acceptErrno = nullptr);
+
+/// True when `acceptErrno` (from AcceptOn) names a transient condition —
+/// the connection that failed is gone, but the listener is healthy and
+/// the next accept may succeed: aborted handshakes (ECONNABORTED,
+/// EPROTO) and resource exhaustion (EMFILE, ENFILE, ENOBUFS, ENOMEM).
+/// False for listener-is-broken errors, where retrying would spin.
+bool IsTransientAcceptError(int acceptErrno);
 
 /// Connects to `address` within `timeoutMs`. Retries refused connections
 /// until the deadline, covering the race where a freshly spawned worker

@@ -11,6 +11,7 @@ const char* ToString(ErrorKind kind) {
     case ErrorKind::kRuntime: return "runtime";
     case ErrorKind::kUnsupported: return "unsupported";
     case ErrorKind::kInternal: return "internal";
+    case ErrorKind::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

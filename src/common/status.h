@@ -33,6 +33,8 @@ enum class ErrorKind : std::uint8_t {
   kRuntime,          ///< simulation-time fault (bad memory access, div fault)
   kUnsupported,      ///< feature intentionally outside the supported subset
   kInternal,         ///< invariant violation inside the simulator itself
+  kUnavailable,      ///< transient capacity/transport failure — retryable:
+                     ///< the same request may succeed later or elsewhere
 };
 
 /// Returns a stable lower-case identifier for the kind ("parse", ...).

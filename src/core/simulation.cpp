@@ -1593,6 +1593,18 @@ Status Simulation::StepBack(std::uint64_t maxReplayCycles) {
   return SeekTo(cycle_ - 1, maxReplayCycles);
 }
 
+std::uint64_t Simulation::SeekReplayCost(std::uint64_t targetCycle) const {
+  if (targetCycle == cycle_) return 0;
+  // Mirror SeekTo's choice of replay start exactly — this function is
+  // the planning half of the same decision.
+  const CheckpointRing::Entry* from = checkpoints_.FindAtOrBefore(targetCycle);
+  const bool restore =
+      targetCycle < cycle_ || (from != nullptr && from->cycle > cycle_);
+  const std::uint64_t replayFrom =
+      restore ? (from != nullptr ? from->cycle : 0) : cycle_;
+  return targetCycle - replayFrom;
+}
+
 Status Simulation::SeekTo(std::uint64_t targetCycle,
                           std::uint64_t maxReplayCycles) {
   if (targetCycle == cycle_) {

@@ -209,6 +209,16 @@ class Simulation {
   Status SeekTo(std::uint64_t targetCycle,
                 std::uint64_t maxReplayCycles = UINT64_MAX);
 
+  /// How many cycles SeekTo(targetCycle) would replay right now, from
+  /// the same start SeekTo would pick (best checkpoint at or before the
+  /// target, or the current position for a plain forward seek). Lets a
+  /// server split one deep seek into several bounded SeekTo hops instead
+  /// of rejecting it: seek to an intermediate cycle, let the checkpoint
+  /// ring capture along the way, re-ask, repeat. Pure query — no state
+  /// is touched, and a target SeekTo would reject (below the reachable
+  /// window) still reports its nominal distance.
+  std::uint64_t SeekReplayCost(std::uint64_t targetCycle) const;
+
   /// Resets to the initial state (cycle 0): restores the base checkpoint,
   /// or rebuilds from the initial memory image when checkpointing is off.
   /// The checkpoint ring itself survives — determinism keeps it valid.

@@ -66,6 +66,30 @@ void RecordCommandMetrics(std::string_view command, std::uint64_t startNs) {
   registry.GetHistogram("server.handle_us." + suffix).Record(elapsedUs);
 }
 
+/// One deep seek as a server-side loop of bounded SeekTo hops, instead of
+/// rejecting (or silently clamping) anything deeper than `chunk`: each
+/// hop replays at most `chunk` cycles, the checkpoint ring captures as
+/// the replay advances, and the next hop starts from what it captured.
+/// Honors the request's semantics — the loop ends at the target, when the
+/// program finishes short of it (exactly what a single unbounded SeekTo
+/// would do), or on the first real error. `chunk == 0` degenerates to the
+/// single-shot SeekTo error, preserving a zero maxStepsPerRequest limit.
+/// `*replayed` accumulates the cycles actually re-simulated.
+Status ChunkedSeek(core::Simulation& sim, std::uint64_t target,
+                   std::uint64_t chunk, std::uint64_t* replayed) {
+  *replayed = 0;
+  while (true) {
+    const std::uint64_t cost = sim.SeekReplayCost(target);
+    const std::uint64_t hop =
+        chunk > 0 && cost > chunk ? target - (cost - chunk) : target;
+    RVSS_RETURN_IF_ERROR(sim.SeekTo(hop, chunk));
+    *replayed += sim.lastSeekReplayedCycles();
+    // Short of the hop: the program finished mid-replay. Done — a
+    // single-shot seek stops at the same cycle.
+    if (sim.cycle() != hop || hop == target) return Status::Ok();
+  }
+}
+
 }  // namespace
 
 json::Json MakeErrorResponse(const Error& error) {
@@ -315,13 +339,23 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     return response;
   }
   if (command == "stepBack") {
-    // Same per-request bound as restoreCheckpoint: with checkpoints
-    // disabled (or evicted) a deep StepBack otherwise replays the whole
-    // prefix inside the dispatch loop.
-    Status status = sim.StepBack(
-        static_cast<std::uint64_t>(limits_.maxStepsPerRequest));
+    if (sim.cycle() == 0) {
+      return ErrorResponse(Error{ErrorKind::kInvalidArgument,
+                                 "already at cycle 0; cannot step back"});
+    }
+    // With checkpoints disabled (or evicted) a deep StepBack replays the
+    // whole prefix; maxStepsPerRequest used to clamp that by *failing*
+    // the request. Loop the replay server-side in bounded chunks instead
+    // — the request means "one cycle back", however much replay that
+    // costs, and each chunk keeps the dispatch loop's unit of work
+    // bounded.
+    std::uint64_t replayed = 0;
+    Status status = ChunkedSeek(
+        sim, sim.cycle() - 1,
+        static_cast<std::uint64_t>(limits_.maxStepsPerRequest), &replayed);
     if (!status.ok()) return ErrorResponse(status.error());
     json::Json response = Ok();
+    response.Set("replayedSteps", static_cast<std::int64_t>(replayed));
     response.Set("state", RenderJson(sim));
     return response;
   }
@@ -356,16 +390,19 @@ json::Json SimServer::Dispatch(const json::Json& request) {
                                  "'cycle' must be a non-negative integer"});
     }
     obs::ScopedSpan span("session", "restoreCheckpoint");
-    Status status =
-        sim.SeekTo(static_cast<std::uint64_t>(cycle),
-                   static_cast<std::uint64_t>(limits_.maxStepsPerRequest));
+    // Deep restores loop server-side in maxStepsPerRequest-sized hops
+    // (see ChunkedSeek) rather than failing past the per-request bound.
+    std::uint64_t replayed = 0;
+    Status status = ChunkedSeek(
+        sim, static_cast<std::uint64_t>(cycle),
+        static_cast<std::uint64_t>(limits_.maxStepsPerRequest), &replayed);
     if (!status.ok()) return ErrorResponse(status.error());
-    span.SetDetail(StrFormat(
-        "cycle=%lld replayed=%llu", static_cast<long long>(cycle),
-        static_cast<unsigned long long>(sim.lastSeekReplayedCycles())));
+    span.SetDetail(StrFormat("cycle=%lld replayed=%llu",
+                             static_cast<long long>(cycle),
+                             static_cast<unsigned long long>(replayed)));
     json::Json response = Ok();
-    response.Set("replayedCycles",
-                 static_cast<std::int64_t>(sim.lastSeekReplayedCycles()));
+    response.Set("replayedCycles", static_cast<std::int64_t>(replayed));
+    response.Set("replayedSteps", static_cast<std::int64_t>(replayed));
     response.Set("state", RenderJson(sim));
     return response;
   }

@@ -34,7 +34,11 @@
 // run clamps maxCycles likewise, so no single request can spin the dispatch
 // loop unboundedly. stepBack and restoreCheckpoint ride the simulation's
 // checkpoint ring (O(interval) instead of re-execution from reset);
-// restoreCheckpoint scrubs to an arbitrary cycle, backward or forward.
+// restoreCheckpoint scrubs to an arbitrary cycle, backward or forward. A
+// scrub deeper than maxStepsPerRequest (checkpoints disabled or evicted)
+// is replayed server-side in bounded hops rather than rejected; both
+// commands report the cycles actually re-simulated as "replayedSteps"
+// (restoreCheckpoint keeps the older "replayedCycles" alias too).
 // Per-session checkpoint memory is capped by the session's
 // config.checkpoint.maxTotalBytes and reported in the "checkpoints" object
 // ({count, bytes, maxBytes, intervalCycles}).

@@ -1,5 +1,8 @@
 #include "server/frame_loop.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <ctime>
 #include <utility>
 
 #include "obs/registry.h"
@@ -65,9 +68,33 @@ bool ServeConnection(SimServer& server, net::Socket& connection,
 
 Status ServeFrames(SimServer& server, net::Socket& listener,
                    const WireOptions& options) {
+  obs::Counter& acceptErrors =
+      obs::Registry::Instance().GetCounter("server.accept_errors");
   while (true) {
-    auto connection = net::AcceptOn(listener, net::kNoTimeout);
-    if (!connection.ok()) return connection.status();
+    int acceptErrno = 0;
+    auto connection = net::AcceptOn(listener, net::kNoTimeout, &acceptErrno);
+    if (!connection.ok()) {
+      // A transient accept failure loses one connection attempt, never
+      // the worker: an aborted handshake (ECONNABORTED) or descriptor
+      // exhaustion (EMFILE under a client flood) used to kill the serve
+      // loop here — and with it every session the worker held. Count it,
+      // say so, and go back to accept; only a broken listener (EBADF,
+      // EINVAL: nothing a retry could fix) still ends the loop.
+      if (net::IsTransientAcceptError(acceptErrno)) {
+        acceptErrors.Increment();
+        std::fprintf(stderr, "rvss worker: transient accept failure: %s\n",
+                     connection.error().message.c_str());
+        if (acceptErrno != ECONNABORTED && acceptErrno != EPROTO) {
+          // Exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) needs descriptors
+          // to free up; an immediate retry would spin at 100% CPU on the
+          // still-readable listener. Back off briefly instead.
+          struct timespec pause = {0, 10'000'000};  // 10ms
+          ::nanosleep(&pause, nullptr);
+        }
+        continue;
+      }
+      return connection.status();
+    }
     if (ServeConnection(server, connection.value(), options)) {
       return Status::Ok();
     }

@@ -12,6 +12,13 @@
 //     reconnect with a clean stream.
 //   * A dropped connection (router restart, transport reconnect) simply
 //     returns to accept, so the worker survives its clients.
+//   * A transient accept failure — an aborted handshake (ECONNABORTED)
+//     or descriptor exhaustion (EMFILE/ENFILE) — is counted in the
+//     `server.accept_errors` metric, logged, and retried (with a brief
+//     pause for exhaustion, which an immediate retry would only spin
+//     on). Only an unrecoverable listener error (EBADF, EINVAL) ends
+//     the loop with its error: losing one connection attempt must never
+//     cost the worker — and every session it holds — its life.
 //   * The out-of-band command {"command": "shutdownWorker"} is handled by
 //     the loop itself, not the SimServer: it acknowledges with
 //     {"status": "ok"} and returns, giving removeWorker and CLI teardown

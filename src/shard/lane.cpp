@@ -5,15 +5,27 @@
 namespace rvss::shard {
 namespace {
 
+// Both lane-refusal errors are kUnavailable, not kInvalidArgument: the
+// request itself was fine — the fleet's capacity or topology failed it,
+// and a retry (later, or after re-routing) may well succeed.
 Error StoppedError() {
-  return Error{ErrorKind::kInvalidArgument,
+  return Error{ErrorKind::kUnavailable,
                "worker was removed while the request was pending"};
+}
+
+Error ShedError(std::size_t depth) {
+  return Error{ErrorKind::kUnavailable,
+               "worker lane queue is full (" + std::to_string(depth) +
+                   " requests queued); load shed, retry later"};
 }
 
 }  // namespace
 
-WorkerLane::WorkerLane(std::shared_ptr<WorkerTransport> transport)
-    : transport_(std::move(transport)), thread_([this] { Run(); }) {}
+WorkerLane::WorkerLane(std::shared_ptr<WorkerTransport> transport,
+                       std::size_t maxQueueDepth)
+    : transport_(std::move(transport)),
+      maxQueueDepth_(maxQueueDepth),
+      thread_([this] { Run(); }) {}
 
 WorkerLane::~WorkerLane() { Stop(); }
 
@@ -26,6 +38,11 @@ std::future<Result<json::Json>> WorkerLane::Submit(json::Json request) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopped_) {
       job.promise.set_value(StoppedError());
+      return result;
+    }
+    if (maxQueueDepth_ != 0 && queue_.size() >= maxQueueDepth_) {
+      obs::Registry::Instance().GetCounter("shard.lane.shed").Increment();
+      job.promise.set_value(ShedError(queue_.size()));
       return result;
     }
     queue_.push_back(std::move(job));

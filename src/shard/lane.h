@@ -14,13 +14,14 @@
 // The quiesce barrier: fleet operations that move sessions (drain,
 // rebalance, removeWorker) must never observe a request in flight on the
 // worker they are reorganizing. Quiesce() blocks until the lane's queue
-// is empty and its thread idle. The caller is expected to hold the
-// router's fleet mutex across Quiesce() *and* the session moves that
-// follow: every submission path also takes that mutex, so no new work
-// can slip into the lane while the barrier holds — the lane stays idle
-// until the fleet mutex is released, and the fleet operation may use the
-// worker's transport directly in the meantime. Quiesce is thus a wait,
-// not a mode switch; there is nothing to resume.
+// is empty and its thread idle. The caller is expected to have closed
+// the router's per-worker placement gate for this worker *before*
+// quiescing and to keep it closed across the session moves that follow:
+// every submission path checks the gate (under the router's fleet
+// mutex), so no new work can slip into the lane while the barrier holds
+// — the lane stays idle until the gate reopens, and the fleet operation
+// may use the worker's transport directly in the meantime. Quiesce is
+// thus a wait, not a mode switch; there is nothing to resume.
 //
 // Stop() ends the lane for good (removeWorker): the thread drains
 // nothing further, and every request still queued — plus any submitted
@@ -52,7 +53,10 @@ class WorkerLane {
   /// Starts the executor thread. The lane shares ownership of the
   /// transport; nothing else may use it while the lane is live except a
   /// fleet operation holding the quiesce barrier (see above).
-  explicit WorkerLane(std::shared_ptr<WorkerTransport> transport);
+  /// maxQueueDepth bounds the number of *waiting* jobs (the in-flight
+  /// one excluded): beyond it, Submit load-sheds. 0 = unbounded.
+  explicit WorkerLane(std::shared_ptr<WorkerTransport> transport,
+                      std::size_t maxQueueDepth = 0);
   ~WorkerLane();
 
   WorkerLane(const WorkerLane&) = delete;
@@ -62,12 +66,14 @@ class WorkerLane {
   /// transport's Call would have returned: a response document, or an
   /// Error for a transport-level failure (the distinction matters — a
   /// worker's own {status: "error"} answer is a successful call). On a
-  /// stopped lane the future is immediately ready with an Error.
+  /// stopped lane — or when the queue is at its depth cap — the future
+  /// is immediately ready with a retryable kUnavailable Error (the
+  /// latter is a load shed: nothing was enqueued, try again later).
   std::future<Result<json::Json>> Submit(json::Json request);
 
   /// Blocks until the queue is empty and the executor is idle. Only
-  /// meaningful while the caller prevents new submissions (by holding
-  /// the router's fleet mutex); see the file comment.
+  /// meaningful while the caller prevents new submissions (by closing
+  /// the router's placement gate for this worker); see the file comment.
   void Quiesce();
 
   /// Terminates the executor. Requests still queued are answered with an
@@ -104,6 +110,7 @@ class WorkerLane {
   std::condition_variable wake_;  ///< signals the executor thread
   std::condition_variable idle_;  ///< signals Quiesce() waiters
   std::deque<Job> queue_;
+  const std::size_t maxQueueDepth_;
   bool busy_ = false;
   bool stopped_ = false;
 

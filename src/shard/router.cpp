@@ -51,7 +51,8 @@ ShardRouter::ShardRouter(const Options& options)
     auto transport = MakeTransport(i, limits);
     if (transport.ok()) {
       workers_.push_back(std::move(transport).value());
-      lanes_.push_back(std::make_unique<WorkerLane>(workers_.back()));
+      lanes_.push_back(std::make_unique<WorkerLane>(
+          workers_.back(), options_.maxLaneQueueDepth));
     } else {
       // A slot whose transport could not be built is born removed: the
       // fleet still comes up, the hole is visible in workerStats, and
@@ -62,6 +63,7 @@ ShardRouter::ShardRouter(const Options& options)
     }
   }
   drained_.assign(count, false);
+  gated_.assign(count, false);
 }
 
 std::size_t ShardRouter::workerCount() const {
@@ -94,11 +96,16 @@ std::string ShardRouter::HandleRaw(std::string_view requestBytes,
 
 json::Json ShardRouter::CallViaLane(std::size_t worker,
                                     const json::Json& request) {
-  if (!IsLive(worker)) {
-    return RouterError(ErrorKind::kInvalidArgument,
-                       "worker " + std::to_string(worker) + " was removed");
+  std::future<Result<json::Json>> pending;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    if (!IsLive(worker)) {
+      return RouterError(ErrorKind::kUnavailable,
+                         "worker " + std::to_string(worker) + " was removed");
+    }
+    pending = lanes_[worker]->Submit(request);
   }
-  auto response = lanes_[worker]->Submit(request).get();
+  auto response = pending.get();
   if (!response.ok()) {
     return server::MakeErrorResponse(response.error());
   }
@@ -107,15 +114,40 @@ json::Json ShardRouter::CallViaLane(std::size_t worker,
 
 json::Json ShardRouter::CallWorkerDirect(std::size_t worker,
                                          const json::Json& request) {
-  if (!IsLive(worker)) {
-    return RouterError(ErrorKind::kInvalidArgument,
-                       "worker " + std::to_string(worker) + " was removed");
+  std::shared_ptr<WorkerTransport> transport;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    if (!IsLive(worker)) {
+      return RouterError(ErrorKind::kUnavailable,
+                         "worker " + std::to_string(worker) + " was removed");
+    }
+    transport = workers_[worker];
   }
-  auto response = workers_[worker]->Call(request);
+  auto response = transport->Call(request);
   if (!response.ok()) {
     return server::MakeErrorResponse(response.error());
   }
   return std::move(response).value();
+}
+
+void ShardRouter::CloseGate(std::size_t index) {
+  std::unique_lock<std::mutex> lock(fleetMutex_);
+  gated_[index] = true;
+  // An admission already submitted to this worker's lane finishes its
+  // round trip and records its placement from the admitting thread;
+  // wait it out so the drain below starts from a placement map that
+  // includes every session the (about to be quiesced) lane produced.
+  intentsClear_.wait(lock, [&] {
+    return admissionIntents_.find(index) == admissionIntents_.end();
+  });
+}
+
+void ShardRouter::OpenGate(std::size_t index) {
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    gated_[index] = false;
+  }
+  gateOpen_.notify_all();
 }
 
 json::Json ShardRouter::Dispatch(const json::Json& request) {
@@ -169,21 +201,22 @@ json::Json ShardRouter::StatelessCommand(const json::Json& request) {
   // Stateless commands (compile, parseAsm, checkConfig) and unknown
   // commands need no placement; any live worker gives the right answer —
   // and they are side-effect-free, so a worker whose process is dead is
-  // simply skipped for the next one instead of failing the request. The
-  // request rides each candidate's lane (the fleet mutex is held only to
-  // pick the lane), so a stateless command never races the worker's
-  // session traffic.
-  json::Json lastError = RouterError(ErrorKind::kInvalidArgument,
+  // simply skipped for the next one instead of failing the request. A
+  // gated worker (a fleet operation owns it) is skipped the same way
+  // rather than waited for. The request rides each candidate's lane
+  // (the fleet mutex is held only to pick the lane), so a stateless
+  // command never races the worker's session traffic.
+  json::Json lastError = RouterError(ErrorKind::kUnavailable,
                                      "every worker has been removed");
   for (std::size_t i = 0;; ++i) {
     std::future<Result<json::Json>> pending;
     {
       std::lock_guard<std::mutex> lock(fleetMutex_);
       if (i >= workers_.size()) break;
-      if (!IsLive(i)) continue;
+      if (!IsLive(i) || gated_[i]) continue;
       // Submit *under* the mutex — the quiesce barrier's contract is
-      // that no submission can race a fleet operation; only the wait
-      // happens unlocked.
+      // that no submission can race a fleet operation's closed gate;
+      // only the wait happens unlocked.
       pending = lanes_[i]->Submit(request);
     }
     auto response = pending.get();
@@ -204,7 +237,7 @@ std::vector<bool> ShardRouter::Eligible() const {
 Result<std::size_t> ShardRouter::PlaceNew(std::int64_t globalId) {
   auto worker = ring_.Pick(static_cast<std::uint64_t>(globalId), Eligible());
   if (!worker.has_value()) {
-    return Error{ErrorKind::kInvalidArgument,
+    return Error{ErrorKind::kUnavailable,
                  "all workers are drained; no worker accepts new sessions"};
   }
   return *worker;
@@ -213,70 +246,115 @@ Result<std::size_t> ShardRouter::PlaceNew(std::int64_t globalId) {
 json::Json ShardRouter::AdmitSession(const json::Json& request) {
   // createSession and importSession admit identically: allocate a global
   // id, place it on the ring, forward, and record where it landed. The
-  // fleet mutex is held across the worker round trip so the placement
-  // map never lags the fleet — a drain that starts after this admission
-  // sees the session; one that started before cannot still be running
-  // (it holds the same mutex). Admissions therefore serialize against
-  // each other; session *execution* does not. Known cost, accepted for
-  // now: an admission placed on a lane busy with a long `run` waits
-  // behind it with the mutex held, stalling routing fleet-wide for the
-  // duration of that slice (same for deleteSession). Lifting it needs a
-  // placement "intent" table so the round trip can go unlocked without
-  // drains missing in-flight admissions — see ROADMAP PR 5 follow-ups.
-  std::lock_guard<std::mutex> lock(fleetMutex_);
-  const std::int64_t globalId = nextGlobalId_++;
-  auto worker = PlaceNew(globalId);
-  if (!worker.ok()) return server::MakeErrorResponse(worker.error());
-  json::Json response = CallViaLane(worker.value(), request);
-  if (!IsOk(response)) return response;
+  // worker round trip runs *unlocked* — what keeps drains honest is the
+  // placement intent recorded under the mutex before the submit: a drain
+  // of the target worker closes the gate and waits for the worker's
+  // intents to clear, so by the time it reads the placement map, this
+  // admission has either finalized its entry or failed. Admissions
+  // therefore overlap with traffic, with each other, and with drains of
+  // *other* workers — a createSession burst no longer serializes behind
+  // an in-progress drain it is not placed on.
+  std::int64_t globalId = 0;
+  std::size_t worker = 0;
+  std::future<Result<json::Json>> pending;
+  {
+    std::unique_lock<std::mutex> lock(fleetMutex_);
+    globalId = nextGlobalId_++;
+    while (true) {
+      auto placed = PlaceNew(globalId);
+      if (!placed.ok()) return server::MakeErrorResponse(placed.error());
+      worker = placed.value();
+      if (!gated_[worker]) break;
+      // The ring picked a worker a fleet operation currently owns; wait
+      // for the gate and re-place (eligibility may have changed).
+      gateOpen_.wait(lock);
+    }
+    ++admissionIntents_[worker];
+    pending = lanes_[worker]->Submit(request);
+  }
+
+  auto result = pending.get();
+  json::Json response = result.ok()
+                            ? std::move(result).value()
+                            : server::MakeErrorResponse(result.error());
+  const bool admitted = IsOk(response);
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    auto intent = admissionIntents_.find(worker);
+    if (intent != admissionIntents_.end() && --intent->second == 0) {
+      admissionIntents_.erase(intent);
+    }
+    if (admitted) {
+      placements_[globalId] =
+          Placement{worker, response.GetInt("sessionId", -1)};
+    }
+  }
+  intentsClear_.notify_all();
+  if (!admitted) return response;
   static obs::Counter& admissions =
       obs::Registry::Instance().GetCounter("shard.router.admissions");
   admissions.Increment();
-  const std::int64_t localId = response.GetInt("sessionId", -1);
-  placements_[globalId] = Placement{worker.value(), localId};
   response.Set("sessionId", globalId);
-  response.Set("worker", static_cast<std::int64_t>(worker.value()));
+  response.Set("worker", static_cast<std::int64_t>(worker));
   return response;
 }
 
 json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
   const std::int64_t globalId = request.GetInt("sessionId", -1);
+  const bool isDelete = request.GetString("command", "") == "deleteSession";
+  std::size_t worker = 0;
   std::future<Result<json::Json>> pending;
   {
+    std::unique_lock<std::mutex> lock(fleetMutex_);
+    while (true) {
+      auto it = placements_.find(globalId);
+      if (it == placements_.end()) {
+        return RouterError(ErrorKind::kInvalidArgument,
+                           "unknown sessionId " + std::to_string(globalId));
+      }
+      const Placement placement = it->second;
+      if (!IsLive(placement.worker)) {
+        return RouterError(ErrorKind::kUnavailable,
+                           "worker " + std::to_string(placement.worker) +
+                               " was removed");
+      }
+      if (!gated_[placement.worker]) {
+        // Session commands (step, run, stepBack, exportSession, ...)
+        // release the mutex and wait on the lane: this is where the
+        // fleet's parallelism comes from. Per-session ordering holds
+        // because a session's requests all enter the same FIFO lane, in
+        // the order their dispatching threads held the mutex.
+        worker = placement.worker;
+        json::Json forwarded = request;
+        forwarded.Set("sessionId", placement.localId);
+        pending = lanes_[worker]->Submit(std::move(forwarded));
+        break;
+      }
+      // A fleet operation owns this session's worker (drain, rebalance,
+      // removal in progress): wait for the gate and re-resolve — the
+      // session may have moved to a different worker meanwhile. Only
+      // traffic aimed at the gated worker blocks here.
+      gateOpen_.wait(lock);
+    }
+  }
+  auto result = pending.get();
+  if (!result.ok()) {
+    return server::MakeErrorResponse(result.error());
+  }
+  json::Json response = std::move(result).value();
+  if (isDelete && IsOk(response)) {
+    // Deletes finalize like admissions: the map mutation happens after
+    // the unlocked round trip. A fleet operation that snapshots the map
+    // between our worker-side delete and this erase sees a placement for
+    // a session that no longer exists — its export fails and MoveSession
+    // re-checks the map, reporting the session skipped, not lost.
     std::lock_guard<std::mutex> lock(fleetMutex_);
     auto it = placements_.find(globalId);
-    if (it == placements_.end()) {
-      return RouterError(ErrorKind::kInvalidArgument,
-                         "unknown sessionId " + std::to_string(globalId));
+    if (it != placements_.end() && it->second.worker == worker) {
+      placements_.erase(it);
     }
-    const Placement placement = it->second;
-    if (!IsLive(placement.worker)) {
-      return RouterError(ErrorKind::kInvalidArgument,
-                         "worker " + std::to_string(placement.worker) +
-                             " was removed");
-    }
-    json::Json forwarded = request;
-    forwarded.Set("sessionId", placement.localId);
-    if (request.GetString("command", "") == "deleteSession") {
-      // Deletes mutate the placement map, so — like admissions — they
-      // hold the mutex across the round trip; a concurrent drain can
-      // never try to move a session that is mid-delete.
-      json::Json response = CallViaLane(placement.worker, forwarded);
-      if (IsOk(response)) placements_.erase(it);
-      return response;
-    }
-    // Pure session commands (step, run, stepBack, exportSession, ...)
-    // release the mutex and wait on the lane: this is where the fleet's
-    // parallelism comes from. Per-session ordering holds because a
-    // session's requests all enter the same FIFO lane, in the order
-    // their dispatching threads held the mutex.
-    pending = lanes_[placement.worker]->Submit(std::move(forwarded));
   }
-  auto response = pending.get();
-  if (!response.ok()) {
-    return server::MakeErrorResponse(response.error());
-  }
-  return std::move(response).value();
+  return response;
 }
 
 /// localId -> session node, for O(log n) joins against the placement map.
@@ -294,19 +372,29 @@ std::map<std::int64_t, const json::Json*> ShardRouter::IndexSessions(
 json::Json ShardRouter::ListSessions() {
   // Join each worker's listSessions with the global id map, reporting in
   // global-id order so the output is stable across placements. Holds the
-  // fleet mutex throughout: the listing is a consistent snapshot (no
-  // admission, deletion or migration can interleave), at the cost of
-  // briefly pausing routing. Worker queries fan out to every lane before
-  // any response is awaited, so the fleet enumerates in parallel.
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  // fleet-op mutex throughout: no drain or rebalance can interleave, so
+  // the listing is a consistent fleet-topology snapshot — while routing
+  // continues, so a concurrent admission or delete may or may not appear
+  // (it would not have been part of any serial order either). Worker
+  // queries fan out to every lane before any response is awaited, so the
+  // fleet enumerates in parallel.
+  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  std::size_t slots = 0;
+  std::map<std::int64_t, Placement> placements;
+  std::vector<std::future<Result<json::Json>>> pending;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    slots = workers_.size();
+    placements = placements_;
+    pending = FanOutListSessions();
+  }
   json::Json response = Ok();
   json::Json list = json::Json::MakeArray();
   json::Json unreachable = json::Json::MakeArray();
   std::int64_t totalBytes = 0;
-  auto pending = FanOutListSessions();
   std::vector<json::Json> perWorker;
-  perWorker.reserve(workers_.size());
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
+  perWorker.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
     if (!pending[i].valid()) {
       perWorker.push_back(json::Json::MakeObject());
       continue;
@@ -327,7 +415,7 @@ json::Json ShardRouter::ListSessions() {
   for (const json::Json& listed : perWorker) {
     perWorkerIndex.push_back(IndexSessions(listed));
   }
-  for (const auto& [globalId, placement] : placements_) {
+  for (const auto& [globalId, placement] : placements) {
     const auto& index = perWorkerIndex[placement.worker];
     auto found = index.find(placement.localId);
     if (found == index.end()) continue;
@@ -374,10 +462,14 @@ std::vector<std::future<Result<json::Json>>> ShardRouter::FanOutListSessions(
 
 ShardRouter::FleetLoads ShardRouter::ProbeLoads(std::size_t skip) {
   FleetLoads loads;
-  loads.bytes.assign(workers_.size(), 0);
-  loads.reachable.assign(workers_.size(), false);
-  auto pending = FanOutListSessions(skip);
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
+  std::vector<std::future<Result<json::Json>>> pending;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    loads.bytes.assign(workers_.size(), 0);
+    loads.reachable.assign(workers_.size(), false);
+    pending = FanOutListSessions(skip);
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
     if (!pending[i].valid()) continue;
     auto load = ParseLoad(pending[i].get());
     if (!load.ok()) continue;
@@ -388,39 +480,62 @@ ShardRouter::FleetLoads ShardRouter::ProbeLoads(std::size_t skip) {
 }
 
 json::Json ShardRouter::WorkerStats() {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  // Everything a worker entry needs, snapshotted under the fleet mutex
+  // so the probe responses can be awaited without it: stats must not
+  // block routing behind a minute-long `run` occupying some lane.
+  struct Slot {
+    bool live = false;
+    bool drained = false;
+    std::string transport;
+    std::string slotError;
+    WorkerLane::Stats lane;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::future<Result<json::Json>>> pending;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    slots.resize(workers_.size());
+    // Snapshot lane load *before* fanning out the listSessions probes:
+    // the probes ride the very lanes being measured, so sampling
+    // afterwards would report every queue one deep and the probe itself
+    // in flight.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      slots[i].live = IsLive(i);
+      if (!slots[i].live) {
+        auto slotError = slotErrors_.find(i);
+        if (slotError != slotErrors_.end()) {
+          slots[i].slotError = slotError->second;
+        }
+        continue;
+      }
+      slots[i].drained = drained_[i];
+      slots[i].transport = workers_[i]->Describe();
+      slots[i].lane = lanes_[i]->stats();
+    }
+    pending = FanOutListSessions();
+  }
   json::Json response = Ok();
   json::Json list = json::Json::MakeArray();
-  // Snapshot lane load *before* fanning out the listSessions probes: the
-  // probes ride the very lanes being measured, so sampling afterwards
-  // would report every queue one deep and the probe itself in flight.
-  std::vector<WorkerLane::Stats> laneStats(workers_.size());
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (IsLive(i)) laneStats[i] = lanes_[i]->stats();
-  }
-  auto pending = FanOutListSessions();
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
     json::Json entry = json::Json::MakeObject();
     entry.Set("worker", static_cast<std::int64_t>(i));
-    if (!IsLive(i)) {
+    if (!slots[i].live) {
       entry.Set("removed", true);
-      auto slotError = slotErrors_.find(i);
-      if (slotError != slotErrors_.end()) {
-        entry.Set("error", slotError->second);
-      }
+      if (!slots[i].slotError.empty()) entry.Set("error", slots[i].slotError);
       list.Append(std::move(entry));
       continue;
     }
-    entry.Set("transport", workers_[i]->Describe());
-    entry.Set("drained", static_cast<bool>(drained_[i]));
+    entry.Set("transport", slots[i].transport);
+    entry.Set("drained", slots[i].drained);
     entry.Set("removed", false);
     // Live lane load (the hot-shard tell): how many requests are queued
     // behind this worker, whether one is executing, and how long the last
     // one took — without the cost of a full metrics pull.
     entry.Set("queueDepth",
-              static_cast<std::int64_t>(laneStats[i].queueDepth));
-    entry.Set("inFlight", laneStats[i].inFlight);
-    entry.Set("lastDispatchMs", laneStats[i].lastDispatchMs);
+              static_cast<std::int64_t>(slots[i].lane.queueDepth));
+    entry.Set("inFlight", slots[i].lane.inFlight);
+    entry.Set("lastDispatchMs", slots[i].lane.lastDispatchMs);
     auto load = ParseLoad(pending[i].get());
     if (load.ok()) {
       entry.Set("sessions", static_cast<std::int64_t>(load.value().sessions));
@@ -439,7 +554,7 @@ json::Json ShardRouter::WorkerStats() {
 }
 
 json::Json ShardRouter::Metrics(const json::Json& request) {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
   // Start from this process's registry: router counters, lane and
   // transport histograms — and every in-process worker's server metrics,
   // which land in the same registry (the whole point of a process-wide
@@ -450,25 +565,39 @@ json::Json ShardRouter::Metrics(const json::Json& request) {
 
   json::Json metricsRequest = json::Json::MakeObject();
   metricsRequest.Set("command", "metrics");
-  // Fan out to every socket worker before awaiting any response — the
-  // same submit-then-wait shape as FanOutListSessions, so dead workers'
-  // timeouts overlap instead of stacking under the fleet mutex.
-  std::vector<std::future<Result<json::Json>>> pending(workers_.size());
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (!IsLive(i) || workers_[i]->LocalServer() != nullptr) continue;
-    pending[i] = lanes_[i]->Submit(metricsRequest);
+  struct Slot {
+    bool live = false;
+    bool shared = false;  ///< in-process: its numbers are already in fleet
+    std::string transport;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::future<Result<json::Json>>> pending;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    slots.resize(workers_.size());
+    pending.resize(workers_.size());
+    // Fan out to every socket worker before awaiting any response — the
+    // same submit-then-wait shape as FanOutListSessions, so dead workers'
+    // timeouts overlap instead of stacking.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      slots[i].live = IsLive(i);
+      if (!slots[i].live) continue;
+      slots[i].transport = workers_[i]->Describe();
+      slots[i].shared = workers_[i]->LocalServer() != nullptr;
+      if (!slots[i].shared) pending[i] = lanes_[i]->Submit(metricsRequest);
+    }
   }
 
   json::Json workerList = json::Json::MakeArray();
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
     json::Json entry = json::Json::MakeObject();
     entry.Set("worker", static_cast<std::int64_t>(i));
-    if (!IsLive(i)) {
+    if (!slots[i].live) {
       entry.Set("removed", true);
       workerList.Append(std::move(entry));
       continue;
     }
-    entry.Set("transport", workers_[i]->Describe());
+    entry.Set("transport", slots[i].transport);
     if (!pending[i].valid()) {
       // In-process worker: its numbers are already part of `fleet`.
       entry.Set("sharedProcess", true);
@@ -501,21 +630,28 @@ json::Json ShardRouter::Metrics(const json::Json& request) {
 }
 
 json::Json ShardRouter::TraceDump() {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
   json::Json traceRequest = json::Json::MakeObject();
   traceRequest.Set("command", "traceDump");
-  std::vector<std::future<Result<json::Json>>> pending(workers_.size());
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (!IsLive(i) || workers_[i]->LocalServer() != nullptr) continue;
-    pending[i] = lanes_[i]->Submit(traceRequest);
+  std::vector<std::string> transports;
+  std::vector<std::future<Result<json::Json>>> pending;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    transports.resize(workers_.size());
+    pending.resize(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!IsLive(i) || workers_[i]->LocalServer() != nullptr) continue;
+      transports[i] = workers_[i]->Describe();
+      pending[i] = lanes_[i]->Submit(traceRequest);
+    }
   }
 
   json::Json workerList = json::Json::MakeArray();
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
+  for (std::size_t i = 0; i < pending.size(); ++i) {
     if (!pending[i].valid()) continue;  // removed or shares this ring
     json::Json entry = json::Json::MakeObject();
     entry.Set("worker", static_cast<std::int64_t>(i));
-    entry.Set("transport", workers_[i]->Describe());
+    entry.Set("transport", transports[i]);
     auto result = pending[i].get();
     json::Json answer = result.ok() ? std::move(result).value()
                                     : server::MakeErrorResponse(result.error());
@@ -539,22 +675,41 @@ json::Json ShardRouter::TraceDump() {
 }
 
 Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
-                                std::uint64_t* movedBytes) {
-  auto it = placements_.find(globalId);
-  if (it == placements_.end()) {
-    return Status::Fail(ErrorKind::kInvalidArgument,
-                        "unknown sessionId " + std::to_string(globalId));
+                                std::uint64_t* movedBytes, bool* skipped) {
+  Placement source;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    auto it = placements_.find(globalId);
+    if (it == placements_.end()) {
+      // Deleted by a client whose request was already queued when the
+      // gate closed: executed during the quiesce, finalized since.
+      // Nothing to move, nothing lost.
+      if (skipped != nullptr) *skipped = true;
+      return Status::Ok();
+    }
+    source = it->second;
   }
-  const Placement source = it->second;
 
-  // Source-side calls go straight down the transport: the caller holds
-  // the quiesce barrier on the source worker, so its lane is idle and
-  // stays idle (every submission path needs the fleet mutex we hold).
+  // Source-side calls go straight down the transport: the caller closed
+  // the source worker's gate and quiesced its lane, so the lane is idle
+  // and stays idle (every submission path checks the gate) — the
+  // transport is ours until the gate reopens.
   json::Json exportRequest = json::Json::MakeObject();
   exportRequest.Set("command", "exportSession");
   exportRequest.Set("sessionId", source.localId);
   json::Json exported = CallWorkerDirect(source.worker, exportRequest);
   if (!IsOk(exported)) {
+    {
+      // A delete that executed during the quiesce may finalize (erase
+      // its placement) at any point after our snapshot above; if the
+      // placement is gone now, the failed export was that delete, not a
+      // lost session.
+      std::lock_guard<std::mutex> lock(fleetMutex_);
+      if (placements_.find(globalId) == placements_.end()) {
+        if (skipped != nullptr) *skipped = true;
+        return Status::Ok();
+      }
+    }
     // The session vanished from its worker (deleted behind the router's
     // back, export failed, or the worker process is dead). Nothing
     // moved; surface the worker's error.
@@ -608,7 +763,11 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
             " after migration: " + deleted.GetString("message", ""));
   }
 
-  it->second = Placement{destination, imported.GetInt("sessionId", -1)};
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    placements_[globalId] =
+        Placement{destination, imported.GetInt("sessionId", -1)};
+  }
   if (movedBytes != nullptr) *movedBytes += blobBytes.size();
   static obs::Counter& migrations =
       obs::Registry::Instance().GetCounter("shard.router.migrations");
@@ -622,16 +781,28 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
 std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
                                                      json::Json& response,
                                                      bool* sourceReachable) {
-  std::vector<std::int64_t> toMove;
-  for (const auto& [globalId, placement] : placements_) {
-    if (placement.worker == index) toMove.push_back(globalId);
+  struct Victim {
+    std::int64_t globalId = 0;
+    std::int64_t localId = 0;
+  };
+  std::vector<Victim> toMove;
+  std::vector<bool> eligible;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    for (const auto& [globalId, placement] : placements_) {
+      if (placement.worker == index) {
+        toMove.push_back(Victim{globalId, placement.localId});
+      }
+    }
+    eligible = Eligible();
   }
 
   // Per-session byte estimates for the drained worker, and one fleet-wide
   // load snapshot, both taken once: the loop below keeps the destination
   // loads current incrementally instead of re-walking every worker's
   // session table per move. The source is listed directly (its lane is
-  // quiesced); the peers are probed through their lanes.
+  // quiesced behind the closed gate); the peers are probed through their
+  // lanes.
   std::map<std::int64_t, std::uint64_t> sessionBytes;
   {
     json::Json listRequest = json::Json::MakeObject();
@@ -639,16 +810,15 @@ std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
     const json::Json listed = CallWorkerDirect(index, listRequest);
     if (sourceReachable != nullptr) *sourceReachable = IsOk(listed);
     const auto localIndex = IndexSessions(listed);
-    for (const std::int64_t globalId : toMove) {
-      auto found = localIndex.find(placements_[globalId].localId);
+    for (const Victim& victim : toMove) {
+      auto found = localIndex.find(victim.localId);
       if (found != localIndex.end()) {
-        sessionBytes[globalId] = static_cast<std::uint64_t>(
+        sessionBytes[victim.globalId] = static_cast<std::uint64_t>(
             found->second->GetInt("approxBytes", 0));
       }
     }
   }
   FleetLoads fleet = ProbeLoads(/*skip=*/index);
-  std::vector<bool> eligible = Eligible();
   for (std::size_t i = 0; i < eligible.size(); ++i) {
     // Never pick an unreachable destination: the import would fail and
     // burn an export round-trip per session.
@@ -660,21 +830,23 @@ std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
   std::uint64_t movedBytes = 0;
   std::vector<std::int64_t> failedIds;
   json::Json failed = json::Json::MakeArray();
-  for (const std::int64_t globalId : toMove) {
+  for (const Victim& victim : toMove) {
     auto destination = LeastLoaded(fleet.bytes, eligible);
+    bool skipped = false;
     Status status =
         destination.has_value()
-            ? MoveSession(globalId, *destination, &movedBytes)
-            : Status::Fail(ErrorKind::kInvalidArgument,
+            ? MoveSession(victim.globalId, *destination, &movedBytes, &skipped)
+            : Status::Fail(ErrorKind::kUnavailable,
                            "no eligible destination worker for session " +
-                               std::to_string(globalId));
+                               std::to_string(victim.globalId));
+    if (skipped) continue;  // concurrently deleted: neither moved nor failed
     if (status.ok()) {
       ++moved;
-      fleet.bytes[*destination] += sessionBytes[globalId];
+      fleet.bytes[*destination] += sessionBytes[victim.globalId];
     } else {
-      failedIds.push_back(globalId);
+      failedIds.push_back(victim.globalId);
       json::Json failure = json::Json::MakeObject();
-      failure.Set("sessionId", globalId);
+      failure.Set("sessionId", victim.globalId);
       failure.Set("message", status.error().message);
       failed.Append(std::move(failure));
     }
@@ -687,25 +859,30 @@ std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
 }
 
 json::Json ShardRouter::DrainWorker(const json::Json& request) {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
   const std::int64_t worker = request.GetInt("worker", -1);
-  if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
-      !IsLive(static_cast<std::size_t>(worker))) {
-    return RouterError(ErrorKind::kInvalidArgument,
-                       "unknown worker " + std::to_string(worker));
+  std::size_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
+        !IsLive(static_cast<std::size_t>(worker))) {
+      return RouterError(ErrorKind::kInvalidArgument,
+                         "unknown worker " + std::to_string(worker));
+    }
+    index = static_cast<std::size_t>(worker);
+    // Close the worker to new placements before touching its sessions, so
+    // the drain cannot race its own imports back onto the source.
+    // Draining an already-drained (empty) worker is a no-op success.
+    drained_[index] = true;
   }
-  const std::size_t index = static_cast<std::size_t>(worker);
   obs::ScopedSpan span("fleet", "drainWorker");
-  // Close the worker to new placements before touching its sessions, so
-  // the drain cannot race its own imports back onto the source. Draining
-  // an already-drained (empty) worker is a no-op success.
-  drained_[index] = true;
+  CloseGate(index);
   {
     // The quiesce barrier: wait out any request already in the worker's
     // lane (an in-flight `run` completes; its client gets a normal
-    // response). New requests for the worker's sessions queue behind the
-    // fleet mutex and execute after the drain, against the sessions' new
-    // homes.
+    // response). New requests for the worker's sessions block on the
+    // gate and execute after the drain, against the sessions' new homes
+    // — traffic for every other worker flows the whole time.
     obs::ScopedSpan quiesceSpan("fleet", "quiesce");
     quiesceSpan.SetDetail(StrFormat("worker=%zu", index));
     lanes_[index]->Quiesce();
@@ -713,6 +890,7 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
 
   json::Json response = json::Json::MakeObject();
   const std::vector<std::int64_t> failedIds = DrainSessions(index, response);
+  OpenGate(index);
   span.SetDetail(StrFormat("worker=%zu moved=%lld failed=%zu", index,
                            static_cast<long long>(response.GetInt("moved", 0)),
                            failedIds.size()));
@@ -731,6 +909,7 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::OpenWorker(const json::Json& request) {
+  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
   std::lock_guard<std::mutex> lock(fleetMutex_);
   const std::int64_t worker = request.GetInt("worker", -1);
   if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
@@ -743,8 +922,10 @@ json::Json ShardRouter::OpenWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::AddWorker(const json::Json& request) {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
   obs::ScopedSpan span("fleet", "addWorker");
+  // The slot index is stable without the fleet mutex: only fleet
+  // operations grow the vectors, and they serialize on fleetOpMutex_.
   const std::size_t index = workers_.size();
   Result<std::shared_ptr<WorkerTransport>> transport = [&]()
       -> Result<std::shared_ptr<WorkerTransport>> {
@@ -767,36 +948,48 @@ json::Json ShardRouter::AddWorker(const json::Json& request) {
   probe.Set("command", "listSessions");
   auto probed = transport.value()->Call(probe);
   if (!probed.ok()) {
-    return RouterError(ErrorKind::kInvalidArgument,
+    return RouterError(ErrorKind::kUnavailable,
                        "new worker " + transport.value()->Describe() +
                            " failed its probe: " + probed.error().message);
   }
 
-  workers_.push_back(std::move(transport).value());
-  lanes_.push_back(std::make_unique<WorkerLane>(workers_.back()));
-  drained_.push_back(false);
-  ring_.AddWorker();
+  std::string describe;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    workers_.push_back(std::move(transport).value());
+    lanes_.push_back(std::make_unique<WorkerLane>(
+        workers_.back(), options_.maxLaneQueueDepth));
+    drained_.push_back(false);
+    gated_.push_back(false);
+    ring_.AddWorker();
+    describe = workers_[index]->Describe();
+  }
   span.SetDetail(StrFormat("worker=%zu transport=%s", index,
-                           workers_[index]->Describe().c_str()));
+                           describe.c_str()));
 
   json::Json response = Ok();
   response.Set("worker", static_cast<std::int64_t>(index));
-  response.Set("transport", workers_[index]->Describe());
+  response.Set("transport", describe);
   return response;
 }
 
 json::Json ShardRouter::RemoveWorker(const json::Json& request) {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
   const std::int64_t worker = request.GetInt("worker", -1);
-  if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
-      !IsLive(static_cast<std::size_t>(worker))) {
-    return RouterError(ErrorKind::kInvalidArgument,
-                       "unknown worker " + std::to_string(worker));
-  }
-  const std::size_t index = static_cast<std::size_t>(worker);
   const bool force = request.GetBool("force", false);
+  std::size_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
+        !IsLive(static_cast<std::size_t>(worker))) {
+      return RouterError(ErrorKind::kInvalidArgument,
+                         "unknown worker " + std::to_string(worker));
+    }
+    index = static_cast<std::size_t>(worker);
+    drained_[index] = true;
+  }
   obs::ScopedSpan span("fleet", "removeWorker");
-  drained_[index] = true;
+  CloseGate(index);
   {
     obs::ScopedSpan quiesceSpan("fleet", "quiesce");
     quiesceSpan.SetDetail(StrFormat("worker=%zu", index));
@@ -815,6 +1008,7 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
   if (!failedIds.empty() && !force) {
     // Fail closed: the worker stays (drained), every stranded session is
     // still addressed, and the caller can retry or force.
+    OpenGate(index);
     response.Set("status", "error");
     response.Set("kind", ToString(ErrorKind::kInternal));
     response.Set("message",
@@ -826,18 +1020,12 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
     response.Set("lost", std::move(lost));
     return response;
   }
-  for (const std::int64_t globalId : failedIds) {
-    // force: the operator accepted the loss (dead process, corrupt
-    // session). Drop the placement so the id stops routing to a ghost,
-    // and say so explicitly — lost-with-error, never silently.
-    placements_.erase(globalId);
-    lost.Append(json::Json(globalId));
-  }
 
   // Graceful stop for process workers; in-process workers just go away
   // with their transport. A worker the drain already proved dead gets no
   // shutdown round trip — it could only burn the connect timeout. The
-  // lane is quiesced, so the shutdown goes straight down the transport.
+  // lane is quiesced behind the closed gate, so the shutdown goes
+  // straight down the transport, unlocked.
   const bool processWorker = workers_[index]->LocalServer() == nullptr;
   const std::string address = workers_[index]->Describe();
   if (processWorker && sourceReachable) {
@@ -845,19 +1033,33 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
     shutdown.Set("command", "shutdownWorker");
     (void)workers_[index]->Call(shutdown);
   }
-  ring_.RemoveWorker(index);
-  // The lane was quiesced above and no submission can have raced in (the
-  // fleet mutex is held), so Stop() finds an empty queue — nothing to
-  // orphan.
-  lanes_[index]->Stop();
-  lanes_[index] = nullptr;
-  workers_[index] = nullptr;
-  if (processWorker && options_.onWorkerShutdown) {
-    // Let the process owner reap the worker now — whether it exited
-    // gracefully just above or was already dead — instead of leaving a
-    // zombie until fleet teardown.
-    options_.onWorkerShutdown(address);
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    for (const std::int64_t globalId : failedIds) {
+      // force: the operator accepted the loss (dead process, corrupt
+      // session). Drop the placement so the id stops routing to a ghost,
+      // and say so explicitly — lost-with-error, never silently.
+      placements_.erase(globalId);
+      lost.Append(json::Json(globalId));
+    }
+    ring_.RemoveWorker(index);
+    // The lane was quiesced above and no submission can have raced past
+    // the closed gate, so Stop() finds an empty queue — nothing to
+    // orphan, and the (idle) thread joins without blocking this mutex.
+    lanes_[index]->Stop();
+    lanes_[index] = nullptr;
+    workers_[index] = nullptr;
+    gated_[index] = false;
+    if (processWorker && options_.onWorkerShutdown) {
+      // Let the process owner reap the worker now — whether it exited
+      // gracefully just above or was already dead — instead of leaving a
+      // zombie until fleet teardown.
+      options_.onWorkerShutdown(address);
+    }
   }
+  // Waiters blocked on this worker's gate re-resolve: moved sessions
+  // route to their new homes, stragglers get "worker was removed".
+  gateOpen_.notify_all();
 
   response.Set("status", "ok");
   response.Set("removed", true);
@@ -866,10 +1068,16 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::Rebalance() {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
   obs::ScopedSpan span("fleet", "rebalance");
   FleetLoads fleet = ProbeLoads();
-  std::vector<bool> eligible = Eligible();
+  std::vector<bool> eligible;
+  std::size_t maxMoves = 0;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    eligible = Eligible();
+    maxMoves = placements_.size();
+  }
   for (std::size_t i = 0; i < eligible.size(); ++i) {
     eligible[i] = eligible[i] && fleet.reachable[i];
   }
@@ -877,7 +1085,7 @@ json::Json ShardRouter::Rebalance() {
       static_cast<std::size_t>(
           std::count(eligible.begin(), eligible.end(), true));
   if (eligibleCount == 0) {
-    return RouterError(ErrorKind::kInvalidArgument,
+    return RouterError(ErrorKind::kUnavailable,
                        "all workers are drained; nothing to rebalance");
   }
 
@@ -906,7 +1114,6 @@ json::Json ShardRouter::Rebalance() {
   // re-estimate per move would walk every worker's session table each
   // iteration.
   std::vector<std::uint64_t> loads = fleet.bytes;
-  const std::size_t maxMoves = placements_.size();
   for (std::size_t iteration = 0; iteration < maxMoves; ++iteration) {
     if (skewOf(loads) <= options_.rebalanceSkewThreshold) break;
     std::size_t most = 0;
@@ -923,8 +1130,10 @@ json::Json ShardRouter::Rebalance() {
     if (!least.has_value()) break;  // single eligible worker: nothing to do
 
     // The source of this move must be quiet before its sessions are
-    // exported — the same barrier drain takes, per iteration because
-    // `most` changes as loads even out. Idle lanes make this free.
+    // exported — the same gate-and-quiesce barrier drain takes, per
+    // iteration because `most` changes as loads even out. Only traffic
+    // for `most` waits; idle lanes make the quiesce itself free.
+    CloseGate(most);
     lanes_[most]->Quiesce();
 
     // Smallest session on the most loaded worker (ties -> lowest global
@@ -935,17 +1144,23 @@ json::Json ShardRouter::Rebalance() {
     const auto localIndex = IndexSessions(sessions);
     std::int64_t candidate = -1;
     std::int64_t candidateBytes = std::numeric_limits<std::int64_t>::max();
-    for (const auto& [globalId, placement] : placements_) {
-      if (placement.worker != most) continue;
-      auto found = localIndex.find(placement.localId);
-      if (found == localIndex.end()) continue;
-      const std::int64_t bytes = found->second->GetInt("approxBytes", 0);
-      if (bytes < candidateBytes) {
-        candidate = globalId;
-        candidateBytes = bytes;
+    {
+      std::lock_guard<std::mutex> lock(fleetMutex_);
+      for (const auto& [globalId, placement] : placements_) {
+        if (placement.worker != most) continue;
+        auto found = localIndex.find(placement.localId);
+        if (found == localIndex.end()) continue;
+        const std::int64_t bytes = found->second->GetInt("approxBytes", 0);
+        if (bytes < candidateBytes) {
+          candidate = globalId;
+          candidateBytes = bytes;
+        }
       }
     }
-    if (candidate < 0) break;
+    if (candidate < 0) {
+      OpenGate(most);
+      break;
+    }
 
     // Converge, don't churn: the move must strictly lower the peak. When
     // the skew is carried by one session bigger than the gap between the
@@ -953,10 +1168,14 @@ json::Json ShardRouter::Rebalance() {
     // stop and report the honest skewAfter instead of shuffling blobs.
     if (loads[*least] + static_cast<std::uint64_t>(candidateBytes) >=
         mostLoad) {
+      OpenGate(most);
       break;
     }
 
-    Status status = MoveSession(candidate, *least, &movedBytes);
+    bool skipped = false;
+    Status status = MoveSession(candidate, *least, &movedBytes, &skipped);
+    OpenGate(most);
+    if (skipped) continue;  // deleted mid-rebalance: pick again
     if (!status.ok()) {
       json::Json failure = json::Json::MakeObject();
       failure.Set("sessionId", candidate);

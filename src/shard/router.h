@@ -47,21 +47,38 @@
 //     worker's lane and executed concurrently *across* lanes, strictly
 //     in order *within* one. Per-session ordering follows from
 //     session→worker affinity; N workers simulate in parallel.
-//   * Router state (placements_, ring_, workers_, drained_) is protected
-//     by one fleet mutex, held only for routing decisions — never while
-//     a session command executes — except for the control-plane cases
-//     below.
-//   * createSession / importSession / deleteSession hold the fleet mutex
-//     across their worker round trip so the placement map never lags the
-//     fleet: a concurrent drain can neither miss a just-admitted session
-//     nor try to move a just-deleted one.
-//   * Fleet operations (drain/rebalance/add/remove/stats/list) hold the
-//     fleet mutex for their whole duration and *quiesce* the lane of any
-//     worker whose sessions they move: the barrier waits until the lane
-//     is idle, and because every submission path needs the fleet mutex,
-//     the lane stays idle until the operation completes. An export
-//     therefore always observes a session between requests, never inside
-//     one — the PR 4 safety argument, re-established under concurrency.
+//   * Router state (placements_, ring_, workers_, drained_, gated_) is
+//     protected by one fleet mutex, held only for routing decisions and
+//     bookkeeping — never while a worker round trip is in flight.
+//   * createSession / importSession record a placement *intent* (a
+//     per-worker in-flight admission count) under the fleet mutex, run
+//     the worker round trip unlocked, then finalize the placement and
+//     clear the intent. Admissions therefore overlap with traffic and
+//     with each other; a drain of the target worker waits for its
+//     intents to clear first, so the placement map it reads never lags
+//     an admission already in that worker's lane. deleteSession likewise
+//     releases the mutex for the round trip and erases the placement
+//     afterwards.
+//   * Fleet operations (drain/rebalance/add/remove/stats/list/metrics)
+//     serialize on a separate fleet-op mutex — never held by any routing
+//     path, so a slow drain stalls only other fleet operations. An
+//     operation that moves a worker's sessions closes that worker's
+//     *placement gate* (gated_) under the fleet mutex, waits for the
+//     worker's admission intents to clear, then *quiesces* its lane:
+//     the barrier waits until the lane is idle, and because every
+//     submission path checks the gate under the fleet mutex, the lane
+//     stays idle until the gate reopens. Commands for the gated worker's
+//     sessions block on the gate and re-resolve their placement when it
+//     opens (their sessions may have moved); everything aimed at other
+//     workers flows freely. An export therefore still always observes a
+//     session between requests, never inside one — the PR 4 safety
+//     argument, re-established with the stall confined to the worker
+//     being reorganized.
+//   * Lock order: fleet-op mutex before fleet mutex; the fleet mutex is
+//     never held while acquiring the fleet-op mutex, a future is awaited,
+//     or a transport is called (the one exception: RemoveWorker stops a
+//     quiesced — hence empty — lane under the fleet mutex, which cannot
+//     block).
 //
 // drainWorker exports every session on the (quiesced) worker and imports
 // each onto the least-loaded *reachable* non-drained peer, then deletes
@@ -83,6 +100,7 @@
 // placements start landing there.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -118,6 +136,13 @@ class ShardRouter {
     std::vector<server::SimServer::Limits> perWorkerLimits;
     /// rebalance moves sessions while max-load / mean-load > threshold.
     double rebalanceSkewThreshold = 1.5;
+    /// Per-worker lane queue depth cap: submissions beyond it are
+    /// answered immediately with a retryable kUnavailable load-shed
+    /// error instead of queueing without bound (see shard/lane.h).
+    /// 0 = unbounded, the pre-gateway behavior. The cap applies to
+    /// everything riding the lane — including fleet-operation probes, so
+    /// a saturated fleet sheds drains too rather than deadlocking them.
+    std::size_t maxLaneQueueDepth = 0;
     std::size_t virtualNodesPerWorker = 64;
     /// Transport constructor; default builds InProcessTransport. A
     /// factory that spawns worker processes turns the router into a real
@@ -180,17 +205,24 @@ class ShardRouter {
 
   json::Json Dispatch(const json::Json& request);
 
-  // Every private method below the line expects fleetMutex_ held unless
-  // noted; none of them may be called from a lane thread.
+  // None of the private methods below may be called from a lane thread.
+  // Unless a comment says otherwise they take their own (brief) fleet
+  // mutex sections and must be called *without* fleetMutex_ held.
 
-  /// One request through worker's lane, waited inline (the fleet mutex
-  /// stays held, which is safe: lane threads never take it). Transport
-  /// failures become error JSON.
+  /// One request through worker's lane: submit under a brief fleet mutex
+  /// section, wait unlocked. Transport failures become error JSON.
   json::Json CallViaLane(std::size_t worker, const json::Json& request);
   /// One request straight down the transport, bypassing the lane. Only
-  /// for workers whose lane is quiesced (fleet ops) or not yet built
-  /// (addWorker's probe).
+  /// for workers whose lane is quiesced behind a closed gate (fleet ops)
+  /// or not yet built (addWorker's probe).
   json::Json CallWorkerDirect(std::size_t worker, const json::Json& request);
+
+  /// Closes worker `index`'s placement gate and waits for its in-flight
+  /// admission intents to clear; expects fleetOpMutex_ held (gates are
+  /// only ever closed by fleet operations). After CloseGate the caller
+  /// quiesces the lane and owns the worker until OpenGate.
+  void CloseGate(std::size_t index);
+  void OpenGate(std::size_t index);
 
   json::Json RouteSessionCommand(const json::Json& request);  // locks itself
   json::Json StatelessCommand(const json::Json& request);     // locks itself
@@ -213,21 +245,25 @@ class ShardRouter {
   json::Json Rebalance();                                     // locks itself
 
   /// The drain loop shared by drainWorker and removeWorker: moves every
-  /// session off `index` — whose lane the caller has quiesced — filling
-  /// the response fields. Returns the ids of sessions that could not be
-  /// moved. `sourceReachable` (optional) reports whether the drained
-  /// worker itself answered — false means a dead process, so callers
-  /// skip graceful-shutdown round trips that could only time out.
+  /// session off `index` — whose gate the caller has closed and whose
+  /// lane it has quiesced — filling the response fields. Returns the ids
+  /// of sessions that could not be moved. `sourceReachable` (optional)
+  /// reports whether the drained worker itself answered — false means a
+  /// dead process, so callers skip graceful-shutdown round trips that
+  /// could only time out.
   std::vector<std::int64_t> DrainSessions(std::size_t index,
                                           json::Json& response,
                                           bool* sourceReachable = nullptr);
 
   /// Moves one session to `destination` (export -> import -> delete
-  /// source). The source worker's lane must be quiesced by the caller;
-  /// the import rides the destination's lane. On failure the session
-  /// remains on its source worker.
+  /// source). The source worker's gate must be closed and its lane
+  /// quiesced by the caller; the import rides the destination's lane. On
+  /// failure the session remains on its source worker. A session whose
+  /// placement vanished before the export (deleted by a client whose
+  /// request was already queued when the gate closed) sets `*skipped`
+  /// and reports success without moving anything.
   Status MoveSession(std::int64_t globalId, std::size_t destination,
-                     std::uint64_t* movedBytes);
+                     std::uint64_t* movedBytes, bool* skipped = nullptr);
 
   /// localId -> session node of a worker's listSessions response; the
   /// pointers borrow from the response, which must outlive the index.
@@ -240,20 +276,23 @@ class ShardRouter {
   static Result<WorkerLoad> ParseLoad(Result<json::Json> response);
   /// Submits a listSessions probe to every live lane except `skip`,
   /// before any response is awaited — sequential probing would stack
-  /// dead workers' transport timeouts end to end under the fleet mutex.
-  /// Returns one future per slot (invalid where nothing was submitted).
+  /// dead workers' transport timeouts end to end. Returns one future per
+  /// slot (invalid where nothing was submitted). Expects fleetMutex_
+  /// held for the submissions; the caller awaits unlocked.
   std::vector<std::future<Result<json::Json>>> FanOutListSessions(
       std::size_t skip = static_cast<std::size_t>(-1));
   /// `skip` (if valid) is reported unreachable without being probed —
   /// drain uses it for the quiesced source worker, which must not be
-  /// handed new lane work while the barrier holds.
+  /// handed new lane work while the barrier holds. Locks itself.
   FleetLoads ProbeLoads(std::size_t skip = static_cast<std::size_t>(-1));
-  /// Workers admitting new sessions (live and not drained).
+  /// Workers admitting new sessions (live and not drained). Expects
+  /// fleetMutex_ held.
   std::vector<bool> Eligible() const;
   bool IsLive(std::size_t worker) const {
     return worker < workers_.size() && workers_[worker] != nullptr;
   }
   /// Placement for a new session id; error when every worker is drained.
+  /// Expects fleetMutex_ held.
   Result<std::size_t> PlaceNew(std::int64_t globalId);
   /// Builds the transport for slot `worker` from the factory/default.
   /// (No lock needed; touches only options_.)
@@ -261,7 +300,14 @@ class ShardRouter {
       std::size_t worker, const server::SimServer::Limits& limits);
 
   Options options_;
-  /// Guards every mutable member below. Lane threads never take it.
+  /// Serializes fleet operations (drain/rebalance/add/remove/open and
+  /// the stats/list/metrics/trace snapshots) against each other without
+  /// blocking routing. Lock order: always before fleetMutex_, and every
+  /// mutation of the fleet topology (workers_/lanes_/ring_ growth or
+  /// removal) happens with *both* held.
+  std::mutex fleetOpMutex_;
+  /// Guards every mutable member below. Lane threads never take it, and
+  /// no worker round trip is awaited while it is held.
   mutable std::mutex fleetMutex_;
   HashRing ring_;
   std::vector<std::shared_ptr<WorkerTransport>> workers_;
@@ -273,6 +319,18 @@ class ShardRouter {
   /// Stop answers any straggler): no future is ever abandoned.
   std::vector<std::unique_ptr<WorkerLane>> lanes_;
   std::vector<bool> drained_;
+  /// Per-worker placement gate: true while a fleet operation owns the
+  /// worker (quiesced lane, sessions in motion). Submissions aimed at a
+  /// gated worker wait on gateOpen_ and re-resolve their placement.
+  std::vector<bool> gated_;
+  std::condition_variable gateOpen_;
+  /// In-flight admission intents per worker: incremented (under
+  /// fleetMutex_) when an admission is submitted to the worker's lane,
+  /// cleared after its placement is finalized. CloseGate waits on
+  /// intentsClear_ so a drain never misses an admitted-but-unrecorded
+  /// session.
+  std::map<std::size_t, std::size_t> admissionIntents_;
+  std::condition_variable intentsClear_;
   /// Construction errors of slots whose factory failed, by worker index.
   std::map<std::size_t, std::string> slotErrors_;
   std::map<std::int64_t, Placement> placements_;

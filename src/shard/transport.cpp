@@ -37,7 +37,9 @@ Status SocketTransport::EnsureConnected() {
   SocketMetrics::Get().connects.Increment();
   auto connected = net::ConnectTo(address_, options_.connectTimeoutMs);
   if (!connected.ok()) {
-    return Status::Fail(ErrorKind::kInternal,
+    // kUnavailable: nothing was executed, the worker may come back (or a
+    // restarted one may take the address) — callers may safely retry.
+    return Status::Fail(ErrorKind::kUnavailable,
                         "worker " + address_ +
                             " unreachable: " + connected.error().message);
   }
@@ -58,14 +60,14 @@ Status SocketTransport::EnsureConnected() {
       server::WriteMessage(connection_, server::MakeHelloRequest(), wire);
   if (!sent.ok()) {
     connection_.Close();
-    return Status::Fail(ErrorKind::kInternal,
+    return Status::Fail(ErrorKind::kUnavailable,
                         "worker " + address_ + " failed the hello handshake: " +
                             sent.error().message);
   }
   auto answer = server::ReadMessage(connection_, wire);
   if (!answer.ok()) {
     connection_.Close();
-    return Status::Fail(ErrorKind::kInternal,
+    return Status::Fail(ErrorKind::kUnavailable,
                         "worker " + address_ + " failed the hello handshake: " +
                             answer.error().message);
   }
@@ -120,13 +122,18 @@ Result<json::Json> SocketTransport::Call(const json::Json& request) {
     if (!written.ok()) {
       connection_.Close();
       if (attempt == 0) continue;
-      return Error{ErrorKind::kInternal,
+      // The frame never left: retryable by the same argument as a failed
+      // connect, hence kUnavailable.
+      return Error{ErrorKind::kUnavailable,
                    "send to worker " + address_ +
                        " failed: " + written.error().message};
     }
     auto response = server::ReadMessage(connection_, wire);
     if (!response.ok()) {
       connection_.Close();
+      // Deliberately *not* kUnavailable: the request reached the worker
+      // and may have executed — a blind retry could run it twice. Fail
+      // closed and let the caller decide with full knowledge.
       return Error{ErrorKind::kInternal,
                    "no response from worker " + address_ + ": " +
                        response.error().message +

@@ -173,7 +173,7 @@ TEST(Api, StepRejectsNegativeAndClampsHugeCounts) {
   EXPECT_EQ(response.Find("state")->GetInt("cycle", -1), 10);
 }
 
-TEST(Api, StepBackBoundedByLimitsWhenCheckpointsDisabled) {
+TEST(Api, StepBackReplaysInBoundedHopsWhenCheckpointsDisabled) {
   SimServer::Limits limits;
   limits.maxStepsPerRequest = 10;
   SimServer server(limits);
@@ -193,15 +193,16 @@ TEST(Api, StepBackBoundedByLimitsWhenCheckpointsDisabled) {
   }
 
   // Without checkpoints, stepping back from cycle 30 means replaying 29
-  // cycles from reset — beyond this server's 10-cycle request budget, so
-  // the request is refused instead of spinning the dispatch loop.
+  // cycles from reset — beyond this server's 10-cycle request budget. The
+  // server loops the replay in budget-sized hops instead of refusing (or,
+  // worse, clamping at the wrong cycle) and reports the total work done.
   json::Json back = json::Json::MakeObject();
   back.Set("command", "stepBack");
   back.Set("sessionId", id);
   json::Json response = server.Handle(back);
-  EXPECT_EQ(response.GetString("status", ""), "error");
-  EXPECT_NE(response.GetString("message", "").find("replaying"),
-            std::string::npos);
+  ASSERT_EQ(response.GetString("status", ""), "ok");
+  EXPECT_EQ(response.Find("state")->GetInt("cycle", -1), 29);
+  EXPECT_EQ(response.GetInt("replayedSteps", -1), 29);
 }
 
 TEST(Api, StepStopsEarlyWhenSimulationFinishes) {
