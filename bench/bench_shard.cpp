@@ -246,8 +246,13 @@ int main(int argc, char** argv) {
   bench::JsonReport report("shard", argc, argv);
 
   // --- drain throughput, in-process workers (the PR 3 baseline) --------------
+  // The throughput gates below were pinned on the full-image wire; delta
+  // encoding shrinks movedBytes (the MiB/s numerator) by design, so the
+  // legacy legs keep measuring the full path and the delta wins are gated
+  // separately (drain_wire_bytes_per_session / drain_wire_reduction).
   shard::ShardRouter::Options options;
   options.workerCount = 3;
+  options.deltaBlobs = false;
   shard::ShardRouter router(options);
   const DrainResult inProcess = RunDrainBench(router, "in-process");
   if (!inProcess.ok) return 1;
@@ -259,6 +264,7 @@ int main(int argc, char** argv) {
     shard::SpawnedFleet fleet;
     shard::ShardRouter::Options socketOptions;
     socketOptions.workerCount = 3;
+    socketOptions.deltaBlobs = false;  // full-image wire, like the pin
     socketOptions.transportFactory =
         shard::MakeSpawningTransportFactory(&fleet, "bench");
     shard::ShardRouter socketRouter(socketOptions);
@@ -290,6 +296,146 @@ int main(int argc, char** argv) {
     // (gates with "requires_cores" in bench/baselines.json).
     report.Set("hardware_cores",
                static_cast<double>(std::thread::hardware_concurrency()));
+  }
+
+  // --- delta vs full migration wire bytes -------------------------------------
+  // Mostly-idle sessions with a 1 MiB memory whose base image is largely
+  // incompressible pseudo-random array data — the honest case for delta
+  // encoding: a full image must ship the whole megabyte, a delta ships
+  // only the handful of pages the session actually dirtied. The A/B runs
+  // the identical drain against two identical fleets, delta on vs off.
+  {
+    json::Json memoryConfig = json::Json::MakeObject();
+    json::Json memorySection = json::Json::MakeObject();
+    memorySection.Set("sizeBytes", static_cast<std::int64_t>(1024 * 1024));
+    memoryConfig.Set("memory", std::move(memorySection));
+    json::Json arrays = json::Json::MakeArray();
+    json::Json noise = json::Json::MakeObject();
+    noise.Set("name", "noise");
+    noise.Set("type", "word");
+    noise.Set("random", true);
+    noise.Set("count", static_cast<std::int64_t>(192 * 1024));  // 768 KiB
+    noise.Set("randomSeed", static_cast<std::int64_t>(7));
+    arrays.Append(std::move(noise));
+
+    auto drainWirePerSession = [&](bool delta, double* perSession) {
+      shard::ShardRouter::Options abOptions;
+      abOptions.workerCount = 2;
+      abOptions.deltaBlobs = delta;
+      shard::ShardRouter ab(abOptions);
+      constexpr int kSessions = 8;
+      for (int i = 0; i < kSessions; ++i) {
+        json::Json created = ab.Handle(
+            Cmd("createSession", {{"code", json::Json(kWorkload)},
+                                  {"entry", json::Json("main")},
+                                  {"config", memoryConfig},
+                                  {"arrays", arrays}}));
+        if (!Ok(created, "delta A/B createSession")) return false;
+        // A short warm-up: the session is live but mostly idle, so only
+        // a few stack pages are dirty against the base image.
+        json::Json stepped = ab.Handle(
+            Cmd("step", {{"sessionId", created.Find("sessionId") != nullptr
+                                           ? *created.Find("sessionId")
+                                           : json::Json(-1)},
+                         {"count", json::Json(40 + 10 * i)}}));
+        if (!Ok(stepped, "delta A/B step")) return false;
+      }
+      std::int64_t victim = 0;
+      std::int64_t victimSessions = 0;
+      json::Json stats = ab.Handle(Cmd("workerStats"));
+      for (const json::Json& worker : stats.Find("workers")->AsArray()) {
+        if (worker.GetInt("sessions", 0) > victimSessions) {
+          victim = worker.GetInt("worker", -1);
+          victimSessions = worker.GetInt("sessions", 0);
+        }
+      }
+      json::Json drained =
+          ab.Handle(Cmd("drainWorker", {{"worker", json::Json(victim)}}));
+      if (!Ok(drained, "delta A/B drainWorker")) return false;
+      const double moved = static_cast<double>(drained.GetInt("moved", 0));
+      if (moved <= 0) {
+        std::fprintf(stderr, "delta A/B: drain moved nothing\n");
+        return false;
+      }
+      *perSession =
+          static_cast<double>(drained.GetInt("movedBytes", 0)) / moved;
+      return true;
+    };
+
+    double fullPerSession = 0.0;
+    double deltaPerSession = 0.0;
+    if (!drainWirePerSession(false, &fullPerSession)) return 1;
+    if (!drainWirePerSession(true, &deltaPerSession)) return 1;
+    const double reduction =
+        deltaPerSession > 0 ? fullPerSession / deltaPerSession : 0.0;
+    std::printf("\n# migration wire bytes, mostly-idle 1 MiB sessions\n");
+    std::printf("%-22s %10.1f KiB/session\n", "full image",
+                fullPerSession / 1024.0);
+    std::printf("%-22s %10.1f KiB/session\n", "delta blob",
+                deltaPerSession / 1024.0);
+    std::printf("%-22s %10.2fx\n", "wire reduction", reduction);
+    report.Set("drain_wire_bytes_per_session", deltaPerSession);
+    report.Set("drain_wire_reduction", reduction);
+  }
+
+  // --- lane fast path: small-request dispatch latency A/B ----------------------
+  // The dispatch machinery in isolation: one WorkerLane over a stub
+  // transport that answers instantly, driven queued (Submit -> executor
+  // wake -> promise -> future wake: two thread handoffs plus a
+  // promise/future allocation per request) vs caller-runs
+  // (TryBeginDirect -> Call on this thread -> EndDirect). The stub keeps
+  // simulation cost out of the ratio — end to end, the saving is this
+  // delta riding on top of whatever the worker itself costs (visible in
+  // router_tax_us, where the fast path is on by default).
+  {
+    class StubTransport : public shard::WorkerTransport {
+     public:
+      Result<json::Json> Call(const json::Json&) override {
+        json::Json response = json::Json::MakeObject();
+        response.Set("status", "ok");
+        return response;
+      }
+      std::string Describe() const override { return "stub"; }
+    };
+    auto stub = std::make_shared<StubTransport>();
+    shard::WorkerLane lane(stub);
+    const json::Json request = Cmd("stats", {{"sessionId", json::Json(1)}});
+    constexpr int kWarmup = 500;
+    constexpr int kTimed = 20000;
+
+    for (int i = 0; i < kWarmup; ++i) lane.Submit(request).get();
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kTimed; ++i) {
+      if (!lane.Submit(request).get().ok()) {
+        std::fprintf(stderr, "lane A/B: queued submit failed\n");
+        return 1;
+      }
+    }
+    const double queuedUs = bench::SecondsSince(start) * 1e6 / kTimed;
+
+    auto direct = [&lane, &stub, &request]() -> bool {
+      if (!lane.TryBeginDirect()) return false;
+      const bool ok = stub->Call(request).ok();
+      lane.EndDirect(0);
+      return ok;
+    };
+    for (int i = 0; i < kWarmup; ++i) direct();
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kTimed; ++i) {
+      if (!direct()) {
+        std::fprintf(stderr, "lane A/B: direct claim failed\n");
+        return 1;
+      }
+    }
+    const double directUs = bench::SecondsSince(start) * 1e6 / kTimed;
+    const double speedup = directUs > 0 ? queuedUs / directUs : 0.0;
+    std::printf("\n# lane small-request dispatch latency (stub transport)\n");
+    std::printf("%-22s %10.2f us/request\n", "queued executor path", queuedUs);
+    std::printf("%-22s %10.2f us/request\n", "caller-runs fast path",
+                directUs);
+    std::printf("%-22s %10.2fx\n", "fast-path speedup", speedup);
+    report.Set("lane_small_request_us", directUs);
+    report.Set("lane_fastpath_speedup", speedup);
   }
 
   // --- steady-state routing overhead ------------------------------------------

@@ -106,6 +106,16 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
   // Snapshot the loaded memory for the checkpoints-disabled ResetHard path.
   sim->initialMemoryImage_.assign(sim->memory_->memory().bytes().begin(),
                                   sim->memory_->memory().bytes().end());
+  // Base-epoch id for delta session blobs: any process Creating the same
+  // (config, program, arrays) reproduces this exact image, so the hash
+  // alone proves base availability across the wire.
+  {
+    std::uint64_t hash = 14695981039346656037ull;
+    for (std::uint8_t byte : sim->initialMemoryImage_) {
+      hash = (hash ^ byte) * 1099511628211ull;
+    }
+    sim->memoryBaseEpoch_ = hash;
+  }
   sim->ResetHard();
   if (sim->checkpoints_.enabled()) {
     // The cycle-0 base checkpoint: Reset()'s restore point. It is pinned
@@ -115,6 +125,8 @@ Result<std::unique_ptr<Simulation>> Simulation::Create(
     sim->initialMemoryImage_.clear();
     sim->initialMemoryImage_.shrink_to_fit();
   }
+  // Memory provably equals the base image here; start delta tracking clean.
+  sim->memory_->memory().RebaseDirtyTracking();
   return sim;
 }
 
@@ -494,9 +506,9 @@ void Simulation::CaptureCheckpointNow() {
     checkpoints_.Add(cycle_, bytes, std::move(snapshot));
     if (obs::Enabled()) {
       static obs::Counter& fulls =
-          obs::Registry::Instance().GetCounter("sim.checkpoints_full");
+          obs::Registry::Instance().GetCounter("sim.checkpointsFull");
       static obs::Gauge& ringBytes =
-          obs::Registry::Instance().GetGauge("sim.checkpoint_ring_bytes");
+          obs::Registry::Instance().GetGauge("sim.checkpointRingBytes");
       fulls.Increment();
       ringBytes.Set(static_cast<double>(checkpoints_.totalBytes()));
     }
@@ -530,9 +542,9 @@ void Simulation::CaptureCheckpointNow() {
   checkpoints_.AddDelta(cycle_, bytes, std::move(delta));
   if (obs::Enabled()) {
     static obs::Counter& deltas =
-        obs::Registry::Instance().GetCounter("sim.checkpoints_delta");
+        obs::Registry::Instance().GetCounter("sim.checkpointsDelta");
     static obs::Gauge& ringBytes =
-        obs::Registry::Instance().GetGauge("sim.checkpoint_ring_bytes");
+        obs::Registry::Instance().GetGauge("sim.checkpointRingBytes");
     deltas.Increment();
     ringBytes.Set(static_cast<double>(checkpoints_.totalBytes()));
   }
@@ -1569,7 +1581,7 @@ SimStatus Simulation::Run(std::uint64_t maxCycles) {
     static obs::Counter& cycles =
         obs::Registry::Instance().GetCounter("sim.cycles");
     static obs::Counter& committed =
-        obs::Registry::Instance().GetCounter("sim.committed_instructions");
+        obs::Registry::Instance().GetCounter("sim.committedInstructions");
     cycles.Add(cycle_ - startCycle);
     committed.Add(statistics().committedInstructions - startCommitted);
     const std::uint64_t elapsedNs = obs::MonotonicNowNs() - startNs;
@@ -1577,7 +1589,7 @@ SimStatus Simulation::Run(std::uint64_t maxCycles) {
     // scheduler noise; short interactive slices would thrash it.
     if (elapsedNs >= 10'000'000 && cycle_ > startCycle) {
       static obs::Gauge& cyclesPerS =
-          obs::Registry::Instance().GetGauge("sim.cycles_per_s");
+          obs::Registry::Instance().GetGauge("sim.cyclesPerS");
       cyclesPerS.Set(static_cast<double>(cycle_ - startCycle) * 1e9 /
                      static_cast<double>(elapsedNs));
     }

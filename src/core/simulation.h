@@ -289,6 +289,12 @@ class Simulation {
   const stats::SimulationStatistics& statistics() const { return stats_; }
   const memory::MemorySystem& memorySystem() const { return *memory_; }
   memory::MemorySystem& memorySystem() { return *memory_; }
+
+  /// FNV-1a hash of the memory image a fresh Create of this (config,
+  /// program) pair produces. Together with the config and program hashes
+  /// it identifies the base that delta session blobs are encoded against.
+  std::uint64_t memoryBaseEpoch() const { return memoryBaseEpoch_; }
+
   const ArchRegisterFile& archRegs() const { return arch_; }
   const RenameState& rename() const { return rename_; }
   const predictor::PredictorUnit& predictor() const { return predictor_; }
@@ -381,6 +387,7 @@ class Simulation {
   config::CpuConfig config_;
   assembler::LoadedProgram loaded_;
   std::vector<std::uint8_t> initialMemoryImage_;
+  std::uint64_t memoryBaseEpoch_ = 0;
   /// Predecode cache, parallel to loaded_.program.instructions (pc = 4*i).
   /// Derived state: never snapshotted, never invalidated (program is
   /// immutable for the simulation's lifetime).

@@ -61,17 +61,17 @@ std::string DetachBlob(json::Json& message) {
 struct Metrics {
   obs::Registry& registry = obs::Registry::Instance();
   obs::Gauge& connections = registry.GetGauge("gateway.connections");
-  obs::Gauge& inFlight = registry.GetGauge("gateway.in_flight");
+  obs::Gauge& inFlight = registry.GetGauge("gateway.inFlight");
   obs::Counter& accepted = registry.GetCounter("gateway.accepted");
-  obs::Counter& acceptErrors = registry.GetCounter("gateway.accept_errors");
+  obs::Counter& acceptErrors = registry.GetCounter("gateway.acceptErrors");
   obs::Counter& rejectedConnections =
-      registry.GetCounter("gateway.rejected_connections");
+      registry.GetCounter("gateway.rejectedConnections");
   obs::Counter& quotaRejections =
-      registry.GetCounter("gateway.quota_rejections");
+      registry.GetCounter("gateway.quotaRejections");
   obs::Counter& shed = registry.GetCounter("gateway.shed");
   obs::Counter& frames = registry.GetCounter("gateway.frames");
-  obs::Counter& frameErrors = registry.GetCounter("gateway.frame_errors");
-  obs::Histogram& requestUs = registry.GetHistogram("gateway.request_us");
+  obs::Counter& frameErrors = registry.GetCounter("gateway.frameErrors");
+  obs::Histogram& requestUs = registry.GetHistogram("gateway.requestUs");
 
   static Metrics& Get() {
     static Metrics* metrics = new Metrics();
@@ -534,7 +534,7 @@ class Gateway::Impl {
       metrics.requestUs.Record(elapsedUs);
       if (obs::Enabled()) {
         metrics.registry
-            .GetHistogram("gateway.request_us." +
+            .GetHistogram("gateway.requestUs." +
                           std::string(obs::SanitizedCommandName(
                               connection.pendingCommand)))
             .Record(elapsedUs);

@@ -67,7 +67,7 @@ struct GatewayOptions {
   /// read the bound address back from Gateway::address()).
   std::string address;
   /// Accepted connections beyond this are closed on arrival (counted in
-  /// gateway.rejected_connections).
+  /// gateway.rejectedConnections).
   std::size_t maxConnections = 1024;
   /// createSession/importSession quota per connection; exceeding it is
   /// refused with kUnavailable before reaching the fleet.

@@ -70,11 +70,35 @@ void MainMemory::FoldDirtyInto(std::vector<std::uint8_t>& accumulator) const {
 }
 
 void MainMemory::ClearDirtyFlags() {
+  for (std::size_t page = 0; page < dirtyPages_.size(); ++page) {
+    dirtySinceBase_[page] |= dirtyPages_[page];
+  }
   std::fill(dirtyPages_.begin(), dirtyPages_.end(), 0);
 }
 
 void MainMemory::MarkAllDirty() {
   std::fill(dirtyPages_.begin(), dirtyPages_.end(), 1);
+  std::fill(dirtySinceBase_.begin(), dirtySinceBase_.end(), 1);
+}
+
+std::vector<std::uint8_t> MainMemory::DirtySinceBase() const {
+  std::vector<std::uint8_t> pages(dirtyPages_.size(), 0);
+  for (std::size_t page = 0; page < pages.size(); ++page) {
+    pages[page] = PageDirtySinceBase(static_cast<std::uint32_t>(page)) ? 1 : 0;
+  }
+  return pages;
+}
+
+void MainMemory::RebaseDirtyTracking() {
+  std::fill(dirtyPages_.begin(), dirtyPages_.end(), 0);
+  std::fill(dirtySinceBase_.begin(), dirtySinceBase_.end(), 0);
+}
+
+void MainMemory::SetDirtySinceBase(const std::vector<std::uint8_t>& pages) {
+  std::fill(dirtyPages_.begin(), dirtyPages_.end(), 0);
+  for (std::size_t page = 0; page < dirtySinceBase_.size(); ++page) {
+    dirtySinceBase_[page] = page < pages.size() ? pages[page] : 1;
+  }
 }
 
 }  // namespace rvss::memory

@@ -13,6 +13,13 @@
 // of whole memory images. Tracking is conservative: anything that mutates
 // bytes outside the typed Write* accessors (the mutable bytes() span, Clear,
 // RestoreState) marks every page dirty.
+//
+// A second, longer-lived accumulator tracks pages dirtied since the memory
+// was last *rebased* — i.e. since it last provably equaled the session's
+// base image (the post-load state a fresh Create reproduces). The snapshot
+// codec's delta blob form ships only these pages. The accumulator is fed
+// for free: ClearDirtyFlags() folds the per-interval dirt into it before
+// clearing, so the write hot path pays nothing extra.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +37,9 @@ class MainMemory {
   static constexpr std::uint32_t kPageSizeBytes = 4096;
 
   explicit MainMemory(std::uint32_t sizeBytes)
-      : bytes_(sizeBytes, 0), dirtyPages_(PageCountFor(sizeBytes), 1) {}
+      : bytes_(sizeBytes, 0),
+        dirtyPages_(PageCountFor(sizeBytes), 1),
+        dirtySinceBase_(PageCountFor(sizeBytes), 1) {}
 
   std::uint32_t size() const { return static_cast<std::uint32_t>(bytes_.size()); }
 
@@ -87,6 +96,28 @@ class MainMemory {
   void ClearDirtyFlags();
   void MarkAllDirty();
 
+  // --- dirty-since-base tracking (delta session blobs) ---------------------
+
+  /// True when `page` may differ from the base image. Conservative: the
+  /// union of the since-base accumulator and the current dirty window.
+  bool PageDirtySinceBase(std::uint32_t page) const {
+    return dirtySinceBase_[page] != 0 || dirtyPages_[page] != 0;
+  }
+
+  /// One flag per page, `PageDirtySinceBase` materialized.
+  std::vector<std::uint8_t> DirtySinceBase() const;
+
+  /// Declares the current contents to *be* the base image: both trackers
+  /// clear. Call only at a point where the contents provably equal what a
+  /// fresh Create would produce (end of Simulation::Create).
+  void RebaseDirtyTracking();
+
+  /// Declares the current contents to differ from the base image exactly at
+  /// the pages flagged in `pages` (sized like the page count; excess pages
+  /// are treated as dirty). Used after a delta import, where the overlaid
+  /// page set is known precisely.
+  void SetDirtySinceBase(const std::vector<std::uint8_t>& pages);
+
   /// Copyable snapshot of the full memory contents. Restoring a snapshot
   /// taken from a memory of a different capacity also restores that
   /// capacity (snapshots always come from the same configuration).
@@ -98,6 +129,8 @@ class MainMemory {
     bytes_ = state.bytes;
     dirtyPages_.assign(PageCountFor(static_cast<std::uint32_t>(bytes_.size())),
                        1);
+    dirtySinceBase_.assign(
+        PageCountFor(static_cast<std::uint32_t>(bytes_.size())), 1);
   }
 
  private:
@@ -110,7 +143,8 @@ class MainMemory {
   }
 
   std::vector<std::uint8_t> bytes_;
-  std::vector<std::uint8_t> dirtyPages_;  ///< one flag per page
+  std::vector<std::uint8_t> dirtyPages_;      ///< one flag per page
+  std::vector<std::uint8_t> dirtySinceBase_;  ///< folded on ClearDirtyFlags
 };
 
 }  // namespace rvss::memory

@@ -24,6 +24,33 @@ constexpr std::string_view kKnownCommands[] = {
     "removeWorker", "rebalance", "shutdownWorker",
 };
 
+/// Canonicalizes a metric name arriving from a (possibly older) worker:
+/// snake_case runs within each dot-separated segment fold into camelCase
+/// humps ("shard.lane.queue_wait_us" -> "shard.lane.queueWaitUs"), so a
+/// fleet merge during a rolling upgrade never splits one logical metric
+/// across two keys. Already-camelCase names pass through unchanged.
+std::string CanonicalMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool upperNext = false;
+  for (const char c : name) {
+    if (c == '_') {
+      upperNext = true;
+      continue;
+    }
+    if (c == '.') {
+      upperNext = false;
+      out.push_back(c);
+      continue;
+    }
+    out.push_back(upperNext && c >= 'a' && c <= 'z'
+                      ? static_cast<char>(c - 'a' + 'A')
+                      : c);
+    upperNext = false;
+  }
+  return out;
+}
+
 }  // namespace
 
 bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
@@ -140,10 +167,11 @@ void MergeMetricsJson(json::Json& into, const json::Json& from) {
     json::Json& mine = section(into, "counters");
     for (const auto& [name, value] : counters->AsObject()) {
       if (!value.IsNumber()) continue;
-      const json::Json* existing = mine.Find(name);
+      const std::string canonical = CanonicalMetricName(name);
+      const json::Json* existing = mine.Find(canonical);
       const std::int64_t base =
           existing != nullptr && existing->IsNumber() ? existing->AsInt() : 0;
-      mine.Set(name, base + value.AsInt());
+      mine.Set(canonical, base + value.AsInt());
     }
   }
 
@@ -152,11 +180,12 @@ void MergeMetricsJson(json::Json& into, const json::Json& from) {
     json::Json& mine = section(into, "gauges");
     for (const auto& [name, value] : gauges->AsObject()) {
       if (!value.IsNumber()) continue;
-      const json::Json* existing = mine.Find(name);
+      const std::string canonical = CanonicalMetricName(name);
+      const json::Json* existing = mine.Find(canonical);
       const double base = existing != nullptr && existing->IsNumber()
                               ? existing->AsDouble()
                               : 0.0;
-      mine.Set(name, std::max(base, value.AsDouble()));
+      mine.Set(canonical, std::max(base, value.AsDouble()));
     }
   }
 
@@ -165,9 +194,10 @@ void MergeMetricsJson(json::Json& into, const json::Json& from) {
     json::Json& mine = section(into, "histograms");
     for (const auto& [name, node] : histograms->AsObject()) {
       if (!node.IsObject()) continue;
-      json::Json* existing = mine.Find(name);
+      const std::string canonical = CanonicalMetricName(name);
+      json::Json* existing = mine.Find(canonical);
       if (existing == nullptr || !existing->IsObject()) {
-        mine.Set(name, node);
+        mine.Set(canonical, node);
         continue;
       }
       existing->Set("count",
@@ -196,11 +226,21 @@ void MergeMetricsJson(json::Json& into, const json::Json& from) {
 
 namespace {
 
+/// JSON metric names are camelCase (the API surface); the Prometheus
+/// rendering is the one snake_case surface. camelCase humps become
+/// '_<lower>' and every other non-alphanumeric becomes '_':
+/// "shard.lane.queueWaitUs" -> "rvss_shard_lane_queue_wait_us",
+/// "server.cmd.createSession" -> "rvss_server_cmd_create_session".
 std::string PrometheusName(std::string_view name) {
   std::string out = "rvss_";
   for (const char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_';
+    if (c >= 'A' && c <= 'Z') {
+      out.push_back('_');
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+      continue;
+    }
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
     out.push_back(ok ? c : '_');
   }
   return out;

@@ -10,6 +10,7 @@
 #include "memory/memory_initializer.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "server/wire.h"
 
 namespace rvss::server {
 namespace {
@@ -57,13 +58,13 @@ void RecordCommandMetrics(std::string_view command, std::uint64_t startNs) {
   obs::Registry& registry = obs::Registry::Instance();
   static obs::Counter& requests = registry.GetCounter("server.requests");
   static obs::Histogram& handleUs =
-      registry.GetHistogram("server.handle_us");
+      registry.GetHistogram("server.handleUs");
   requests.Increment();
   const std::uint64_t elapsedUs = (obs::MonotonicNowNs() - startNs) / 1000;
   handleUs.Record(elapsedUs);
   const std::string suffix(obs::SanitizedCommandName(command));
   registry.GetCounter("server.cmd." + suffix).Increment();
-  registry.GetHistogram("server.handle_us." + suffix).Record(elapsedUs);
+  registry.GetHistogram("server.handleUs." + suffix).Record(elapsedUs);
 }
 
 /// One deep seek as a server-side loop of bounded SeekTo hops, instead of
@@ -95,6 +96,19 @@ Status ChunkedSeek(core::Simulation& sim, std::uint64_t target,
 json::Json MakeErrorResponse(const Error& error) {
   json::Json response = json::Json::MakeObject();
   response.Set("status", "error");
+  json::Json envelope = json::Json::MakeObject();
+  envelope.Set("kind", ToString(error.kind));
+  envelope.Set("message", error.message);
+  envelope.Set("retryable", ErrorIsRetryable(error.kind));
+  json::Json details = json::Json::MakeObject();
+  if (error.pos.line != 0) {
+    details.Set("line", static_cast<std::int64_t>(error.pos.line));
+    details.Set("column", static_cast<std::int64_t>(error.pos.column));
+  }
+  envelope.Set("details", std::move(details));
+  response.Set("error", std::move(envelope));
+  // One-release compatibility shim: mirror the legacy flat fields so
+  // clients written against the pre-envelope shape keep working.
   response.Set("kind", ToString(error.kind));
   response.Set("message", error.message);
   if (error.pos.line != 0) {
@@ -102,6 +116,17 @@ json::Json MakeErrorResponse(const Error& error) {
     response.Set("column", static_cast<std::int64_t>(error.pos.column));
   }
   return response;
+}
+
+void AddErrorDetail(json::Json& response, const std::string& key,
+                    json::Json value) {
+  if (json::Json* envelope = response.Find("error"); envelope != nullptr) {
+    if (json::Json* details = envelope->Find("details"); details != nullptr) {
+      details->Set(key, value);
+    }
+  }
+  // Legacy top-level mirror (the compatibility shim).
+  response.Set(key, std::move(value));
 }
 
 json::Json SimServer::ErrorResponse(const Error& error) const {
@@ -120,6 +145,14 @@ Result<SimServer::Session*> SimServer::FindSession(const json::Json& request) {
 
 json::Json SimServer::Dispatch(const json::Json& request) {
   const std::string command = request.GetString("command", "");
+
+  // Every process that speaks the API answers hello itself — the frame
+  // loop, gateway and router do it before routing, and the bare
+  // in-process server matches them so an embedder sees the same
+  // version/capability fields without a wire in between.
+  if (command == "hello") {
+    return MakeHelloResponse();
+  }
 
   if (command == "compile") {
     cc::CompileOptions options;
@@ -206,6 +239,7 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     sessions_[id] = std::move(session);
     json::Json response = Ok();
     response.Set("sessionId", id);
+    response.Set("apiVersion", kApiVersion);
     return response;
   }
 
@@ -253,6 +287,7 @@ json::Json SimServer::Dispatch(const json::Json& request) {
     // same command returns the *fleet* view (the router fans it out to
     // every worker and merges); a bare server answers for itself.
     json::Json response = Ok();
+    response.Set("apiVersion", kApiVersion);
     if (request.GetString("format", "json") == "text") {
       response.Set("text", obs::MetricsToPrometheusText(obs::MetricsToJson()));
     } else {
@@ -361,14 +396,27 @@ json::Json SimServer::Dispatch(const json::Json& request) {
   }
   if (command == "exportSession") {
     obs::ScopedSpan span("session", "exportSession");
+    // encoding:"delta" ships only the pages dirtied since the session's
+    // base image — the router asks for it after the destination's hello
+    // advertised delta support. Default stays full (self-contained for
+    // unknown readers, e.g. a file saved for a future process).
+    const std::string encoding = request.GetString("encoding", "full");
+    if (encoding != "full" && encoding != "delta") {
+      return ErrorResponse(Error{
+          ErrorKind::kInvalidArgument,
+          "'encoding' must be \"full\" or \"delta\", got '" + encoding + "'"});
+    }
+    snapshot::SessionBlobOptions blobOptions;
+    blobOptions.delta = encoding == "delta";
     json::Json response = Ok();
-    std::string blob = Base64Encode(
-        snapshot::EncodeSessionBlob(sim, session.value()->identity));
+    std::string blob = Base64Encode(snapshot::EncodeSessionBlob(
+        sim, session.value()->identity, blobOptions));
     span.SetDetail(StrFormat("cycle=%llu blobBytes=%zu",
                              static_cast<unsigned long long>(sim.cycle()),
                              blob.size()));
     response.Set("blob", std::move(blob));
     response.Set("cycle", static_cast<std::int64_t>(sim.cycle()));
+    response.Set("encoding", encoding);
     return response;
   }
   if (command == "saveCheckpoint") {

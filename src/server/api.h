@@ -78,8 +78,30 @@ struct RequestTiming {
   }
 };
 
-/// The standard "status: error" JSON response for an Error.
+/// Version of the JSON API surface: the error envelope, field naming and
+/// negotiation fields. Advertised as "apiVersion" in the hello handshake
+/// and in createSession/metrics responses; bumped on incompatible changes.
+/// v1: uniform error envelope, camelCase field names, delta-blob hello
+/// negotiation.
+inline constexpr std::int64_t kApiVersion = 1;
+
+/// True exactly for the error kinds a client may retry verbatim (load
+/// shed / backpressure, not a fault in the request itself).
+inline bool ErrorIsRetryable(ErrorKind kind) {
+  return kind == ErrorKind::kUnavailable;
+}
+
+/// The standard "status: error" JSON response for an Error: a nested
+/// {"status":"error","error":{"kind","message","retryable","details":{}}}
+/// envelope. For one release the legacy flat fields (top-level "kind",
+/// "message" and any details) are mirrored alongside.
 json::Json MakeErrorResponse(const Error& error);
+
+/// Adds a machine-readable detail field to an error response built by
+/// MakeErrorResponse, writing both the envelope's "error"."details" object
+/// and the legacy top-level mirror.
+void AddErrorDetail(json::Json& response, const std::string& key,
+                    json::Json value);
 
 /// Byte-level request pipeline shared by SimServer and the shard router:
 /// parses `requestBytes`, dispatches through `handler`, serializes and

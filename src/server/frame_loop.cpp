@@ -16,8 +16,8 @@ bool ServeConnection(SimServer& server, net::Socket& connection,
                      const WireOptions& options) {
   obs::Registry& registry = obs::Registry::Instance();
   obs::Counter& framesServed =
-      registry.GetCounter("server.frames_served");
-  obs::Counter& frameErrors = registry.GetCounter("server.frame_errors");
+      registry.GetCounter("server.framesServed");
+  obs::Counter& frameErrors = registry.GetCounter("server.frameErrors");
   while (true) {
     // Idle indefinitely between requests; options.ioTimeoutMs bounds the
     // message read only once its first bytes arrive.
@@ -69,7 +69,7 @@ bool ServeConnection(SimServer& server, net::Socket& connection,
 Status ServeFrames(SimServer& server, net::Socket& listener,
                    const WireOptions& options) {
   obs::Counter& acceptErrors =
-      obs::Registry::Instance().GetCounter("server.accept_errors");
+      obs::Registry::Instance().GetCounter("server.acceptErrors");
   while (true) {
     int acceptErrno = 0;
     auto connection = net::AcceptOn(listener, net::kNoTimeout, &acceptErrno);

@@ -14,7 +14,7 @@
 //     returns to accept, so the worker survives its clients.
 //   * A transient accept failure — an aborted handshake (ECONNABORTED)
 //     or descriptor exhaustion (EMFILE/ENFILE) — is counted in the
-//     `server.accept_errors` metric, logged, and retried (with a brief
+//     `server.acceptErrors` metric, logged, and retried (with a brief
 //     pause for exhaustion, which an immediate retry would only spin
 //     on). Only an unrecoverable listener error (EBADF, EINVAL) ends
 //     the loop with its error: losing one connection attempt must never

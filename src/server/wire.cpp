@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "config/cpu_config.h"
+#include "server/api.h"
 #include "snapshot/codec.h"
 
 namespace rvss::server {
@@ -114,9 +115,13 @@ const std::string& LocalConfigHashHex() {
 void FillHelloFields(json::Json& message) {
   message.Set("hello", true);
   message.Set("frameVersion", static_cast<std::int64_t>(net::kFrameVersion));
+  message.Set("apiVersion", kApiVersion);
   message.Set("snapshotFormatVersion",
               static_cast<std::int64_t>(snapshot::kFormatVersion));
   message.Set("configHash", LocalConfigHashHex());
+  // Capability, not a version pin: a peer without it still interoperates,
+  // it just always receives full session images.
+  message.Set("deltaBlobs", true);
 }
 
 }  // namespace
@@ -136,7 +141,7 @@ json::Json MakeHelloRequest() {
 }
 
 Status CheckHelloResponse(const json::Json& response,
-                          const std::string& peer) {
+                          const std::string& peer, HelloInfo* info) {
   const auto refuse = [&peer](const std::string& why) {
     return Status::Fail(ErrorKind::kInvalidArgument,
                         "worker " + peer + " failed the hello handshake: " +
@@ -163,10 +168,19 @@ Status CheckHelloResponse(const json::Json& response,
                   std::to_string(snapshotVersion) + " != local " +
                   std::to_string(snapshot::kFormatVersion));
   }
+  const std::int64_t apiVersion = response.GetInt("apiVersion", -1);
+  if (apiVersion != kApiVersion) {
+    return refuse("api version " + std::to_string(apiVersion) +
+                  " != local " + std::to_string(kApiVersion));
+  }
   const std::string configHash = response.GetString("configHash", "");
   if (configHash != LocalConfigHashHex()) {
     return refuse("config hash " + configHash + " != local " +
                   LocalConfigHashHex());
+  }
+  if (info != nullptr) {
+    info->deltaBlobs = response.GetBool("deltaBlobs", false);
+    info->apiVersion = apiVersion;
   }
   return Status::Ok();
 }

@@ -59,6 +59,7 @@ Result<json::Json> ReadMessage(net::Socket& socket,
 // processes must agree on to move sessions safely:
 //
 //   frameVersion           net::kFrameVersion — the wire framing
+//   apiVersion             server::kApiVersion — the JSON API surface
 //   snapshotFormatVersion  snapshot::kFormatVersion — session blobs
 //   configHash             snapshot::ConfigHash(config::DefaultConfig()),
 //                          hex — a stand-in for "same simulator build":
@@ -66,14 +67,24 @@ Result<json::Json> ReadMessage(net::Socket& socket,
 //                          changes it, so a stale worker binary is caught
 //                          at connect time instead of surfacing as a
 //                          per-message decode error mid-migration.
+//   deltaBlobs             true when this build can decode base-referenced
+//                          delta session blobs (snapshot format >= 3); a
+//                          capability, not a pinned version — a sender
+//                          ships full images to a peer that lacks it.
 //
 // The worker side answers from the frame loop (out-of-band, like
 // shutdownWorker); a pre-handshake worker answers with an unknown-command
 // error, which the router also treats as a refusal.
 
+/// Peer capabilities learned from an accepted hello response.
+struct HelloInfo {
+  bool deltaBlobs = false;
+  std::int64_t apiVersion = 0;
+};
+
 /// This build's fingerprint as a hello response:
-/// {status:"ok", hello:true, frameVersion, snapshotFormatVersion,
-///  configHash}.
+/// {status:"ok", hello:true, frameVersion, apiVersion,
+///  snapshotFormatVersion, configHash, deltaBlobs}.
 json::Json MakeHelloResponse();
 
 /// The hello request a connecting router sends (same fields, command
@@ -81,7 +92,9 @@ json::Json MakeHelloResponse();
 json::Json MakeHelloRequest();
 
 /// Verifies a peer's hello response against the local fingerprint.
-/// `peer` names the endpoint in the error message.
-Status CheckHelloResponse(const json::Json& response, const std::string& peer);
+/// `peer` names the endpoint in the error message. On success fills
+/// `info` (when non-null) with the peer's advertised capabilities.
+Status CheckHelloResponse(const json::Json& response, const std::string& peer,
+                          HelloInfo* info = nullptr);
 
 }  // namespace rvss::server

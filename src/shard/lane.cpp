@@ -1,6 +1,8 @@
 #include "shard/lane.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 namespace rvss::shard {
 namespace {
@@ -57,6 +59,37 @@ void WorkerLane::Quiesce() {
   idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
 }
 
+bool WorkerLane::TryBeginDirect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopped_ || busy_ || !queue_.empty()) return false;
+  busy_ = true;
+  inFlight_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void WorkerLane::EndDirect(std::uint64_t elapsedNs) {
+  // Same dispatch accounting as the executor path (queueWaitUs excepted —
+  // a direct call never queued), so the fleet's request and latency
+  // totals do not depend on which path a request took.
+  static obs::Histogram& dispatchUs =
+      obs::Registry::Instance().GetHistogram("shard.lane.dispatchUs");
+  static obs::Counter& requests =
+      obs::Registry::Instance().GetCounter("shard.lane.requests");
+  dispatchUs.Record(elapsedNs / 1000);
+  requests.Increment();
+  lastDispatchNs_.store(elapsedNs, std::memory_order_relaxed);
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  inFlight_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    busy_ = false;
+    if (queue_.empty()) idle_.notify_all();
+  }
+  // Jobs submitted while the direct call held the lane woke the executor
+  // into a busy lane; re-wake it now that the lane is free.
+  wake_.notify_one();
+}
+
 void WorkerLane::Stop() {
   std::deque<Job> orphaned;
   {
@@ -89,37 +122,75 @@ void WorkerLane::Run() {
   // lanes (the per-worker split lives in workerStats' lane Stats).
   obs::Registry& registry = obs::Registry::Instance();
   obs::Histogram& queueWaitUs =
-      registry.GetHistogram("shard.lane.queue_wait_us");
-  obs::Histogram& dispatchUs = registry.GetHistogram("shard.lane.dispatch_us");
+      registry.GetHistogram("shard.lane.queueWaitUs");
+  obs::Histogram& dispatchUs = registry.GetHistogram("shard.lane.dispatchUs");
   obs::Counter& requests = registry.GetCounter("shard.lane.requests");
+  obs::Counter& batches = registry.GetCounter("shard.lane.batches");
+
+  // Coalescing bound: enough to fold a burst of small frames into one
+  // wire write, small enough to keep per-batch latency and the resolved-
+  // but-unread response window flat.
+  constexpr std::size_t kMaxBatch = 16;
 
   while (true) {
-    Job job;
+    std::vector<Job> batch;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+      // !busy_: a caller-runs direct call may own the lane; the executor
+      // must not run the transport concurrently with it.
+      wake_.wait(lock,
+                 [this] { return stopped_ || (!busy_ && !queue_.empty()); });
       if (stopped_) return;  // Stop() answers whatever is still queued
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      queueDepth_.fetch_sub(1, std::memory_order_relaxed);
+      const std::size_t take = std::min(queue_.size(), kMaxBatch);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queueDepth_.fetch_sub(take, std::memory_order_relaxed);
       busy_ = true;
       inFlight_.store(true, std::memory_order_relaxed);
     }
     const std::uint64_t startNs = obs::MonotonicNowNs();
-    queueWaitUs.Record((startNs - job.enqueuedNs) / 1000);
-    // Resolve the future before clearing busy_: a Quiesce() waiter that
-    // wakes on idle then observes a completed call, never a pending one.
-    job.promise.set_value(transport_->Call(job.request));
+    for (const Job& job : batch) {
+      queueWaitUs.Record((startNs - job.enqueuedNs) / 1000);
+    }
+    std::vector<Result<json::Json>> results;
+    if (batch.size() == 1) {
+      results.push_back(transport_->Call(batch[0].request));
+    } else {
+      std::vector<const json::Json*> requestPtrs;
+      requestPtrs.reserve(batch.size());
+      for (const Job& job : batch) requestPtrs.push_back(&job.request);
+      results = transport_->CallBatch(requestPtrs);
+      batches.Increment();
+    }
     const std::uint64_t elapsedNs = obs::MonotonicNowNs() - startNs;
     dispatchUs.Record(elapsedNs / 1000);
-    requests.Increment();
+    requests.Add(batch.size());
     lastDispatchNs_.store(elapsedNs, std::memory_order_relaxed);
-    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    dispatched_.fetch_add(batch.size(), std::memory_order_relaxed);
     inFlight_.store(false, std::memory_order_relaxed);
+    // Release the lane BEFORE delivering the promises. Every transport
+    // call has returned, so a Quiesce() waiter woken here observes a
+    // truly idle transport — delivery below touches no lane state. And a
+    // client whose future resolves and immediately sends its next
+    // request must find the lane idle, or sequential request streams
+    // could never take the caller-runs fast path.
     {
       std::lock_guard<std::mutex> lock(mutex_);
       busy_ = false;
       if (queue_.empty()) idle_.notify_all();
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i < results.size()) {
+        batch[i].promise.set_value(std::move(results[i]));
+      } else {
+        // Defensive: a transport must answer index-aligned.
+        batch[i].promise.set_value(
+            Error{ErrorKind::kInternal,
+                  "batched transport returned too few responses"});
+      }
     }
   }
 }

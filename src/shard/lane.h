@@ -76,6 +76,22 @@ class WorkerLane {
   /// the router's placement gate for this worker); see the file comment.
   void Quiesce();
 
+  /// Caller-runs fast path: atomically claims an idle lane (no queued
+  /// jobs, nothing in flight, not stopped). On success the caller owns
+  /// the worker's transport for ONE call on its own thread — skipping
+  /// the enqueue/wake/future hop — and must call EndDirect() when done.
+  /// While claimed the lane counts as busy: the executor parks, and
+  /// Quiesce() waits for the direct call like any in-flight job. The
+  /// claim must happen in the same critical section as the router's
+  /// placement-gate check (exactly like Submit), or a fleet operation
+  /// could close the gate between check and claim and then race the
+  /// direct call on the transport.
+  /// `elapsedNs` is the direct call's wall time; EndDirect folds it into
+  /// the same dispatch metrics the executor records, so fleet accounting
+  /// (requests, dispatchUs, dispatched) is path-independent.
+  bool TryBeginDirect();
+  void EndDirect(std::uint64_t elapsedNs = 0);
+
   /// Terminates the executor. Requests still queued are answered with an
   /// error response. Idempotent.
   void Stop();

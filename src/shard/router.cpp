@@ -97,13 +97,40 @@ std::string ShardRouter::HandleRaw(std::string_view requestBytes,
 json::Json ShardRouter::CallViaLane(std::size_t worker,
                                     const json::Json& request) {
   std::future<Result<json::Json>> pending;
+  std::shared_ptr<WorkerTransport> direct;
   {
     std::lock_guard<std::mutex> lock(fleetMutex_);
     if (!IsLive(worker)) {
       return RouterError(ErrorKind::kUnavailable,
                          "worker " + std::to_string(worker) + " was removed");
     }
-    pending = lanes_[worker]->Submit(request);
+    // Fast path: an idle, ungated lane is claimed in the same critical
+    // section as the gate check, so no fleet operation can close the
+    // gate between check and claim (see WorkerLane::TryBeginDirect).
+    if (options_.laneFastPath && !gated_[worker] &&
+        lanes_[worker]->TryBeginDirect()) {
+      direct = workers_[worker];
+    } else {
+      pending = lanes_[worker]->Submit(request);
+    }
+  }
+  if (direct != nullptr) {
+    static obs::Counter& directCalls =
+        obs::Registry::Instance().GetCounter("shard.lane.directCalls");
+    directCalls.Increment();
+    const std::uint64_t startNs = obs::MonotonicNowNs();
+    auto response = direct->Call(request);
+    {
+      // EndDirect under the fleet mutex: RemoveWorker destroys a lane
+      // only with this mutex held, after Quiesce() — which our claim
+      // blocks — so the lane cannot disappear mid-release.
+      std::lock_guard<std::mutex> lock(fleetMutex_);
+      lanes_[worker]->EndDirect(obs::MonotonicNowNs() - startNs);
+    }
+    if (!response.ok()) {
+      return server::MakeErrorResponse(response.error());
+    }
+    return std::move(response).value();
   }
   auto response = pending.get();
   if (!response.ok()) {
@@ -156,7 +183,7 @@ json::Json ShardRouter::Dispatch(const json::Json& request) {
   static obs::Counter& requests =
       registry.GetCounter("shard.router.requests");
   static obs::Histogram& handleUs =
-      registry.GetHistogram("shard.router.handle_us");
+      registry.GetHistogram("shard.router.handleUs");
   requests.Increment();
   if (obs::Enabled()) {
     registry
@@ -304,6 +331,8 @@ json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
   const bool isDelete = request.GetString("command", "") == "deleteSession";
   std::size_t worker = 0;
   std::future<Result<json::Json>> pending;
+  std::shared_ptr<WorkerTransport> direct;
+  json::Json forwarded;
   {
     std::unique_lock<std::mutex> lock(fleetMutex_);
     while (true) {
@@ -325,9 +354,18 @@ json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
         // because a session's requests all enter the same FIFO lane, in
         // the order their dispatching threads held the mutex.
         worker = placement.worker;
-        json::Json forwarded = request;
+        forwarded = request;
         forwarded.Set("sessionId", placement.localId);
-        pending = lanes_[worker]->Submit(std::move(forwarded));
+        // Idle lane: skip the enqueue/wake/future hop entirely and run
+        // the call on this thread. Claimed in the same critical section
+        // as the gate check (the TryBeginDirect contract), and FIFO is
+        // trivially preserved — an idle lane has nothing to reorder
+        // against, and the claim makes it busy for everyone else.
+        if (options_.laneFastPath && lanes_[worker]->TryBeginDirect()) {
+          direct = workers_[worker];
+        } else {
+          pending = lanes_[worker]->Submit(std::move(forwarded));
+        }
         break;
       }
       // A fleet operation owns this session's worker (drain, rebalance,
@@ -337,7 +375,21 @@ json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
       gateOpen_.wait(lock);
     }
   }
-  auto result = pending.get();
+  auto result = [&]() -> Result<json::Json> {
+    if (direct == nullptr) return pending.get();
+    static obs::Counter& directCalls =
+        obs::Registry::Instance().GetCounter("shard.lane.directCalls");
+    directCalls.Increment();
+    const std::uint64_t startNs = obs::MonotonicNowNs();
+    auto answer = direct->Call(forwarded);
+    {
+      // See CallViaLane: releasing under the fleet mutex keeps the lane
+      // alive until EndDirect has fully returned.
+      std::lock_guard<std::mutex> lock(fleetMutex_);
+      lanes_[worker]->EndDirect(obs::MonotonicNowNs() - startNs);
+    }
+    return answer;
+  }();
   if (!result.ok()) {
     return server::MakeErrorResponse(result.error());
   }
@@ -690,15 +742,30 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
     source = it->second;
   }
 
+  // Ship a delta blob only when the destination's hello advertised v3
+  // decode support; a peer whose capability is unknown (disconnected
+  // socket, old build) gets a full image — always decodable, never
+  // lossy. The snapshot under the fleet mutex is advisory: a stale
+  // answer costs at most one fallback round trip below.
+  bool deltaExport = false;
+  {
+    std::lock_guard<std::mutex> lock(fleetMutex_);
+    deltaExport = options_.deltaBlobs && IsLive(destination) &&
+                  workers_[destination]->SupportsDeltaBlobs();
+  }
+
   // Source-side calls go straight down the transport: the caller closed
   // the source worker's gate and quiesced its lane, so the lane is idle
   // and stays idle (every submission path checks the gate) — the
   // transport is ours until the gate reopens.
-  json::Json exportRequest = json::Json::MakeObject();
-  exportRequest.Set("command", "exportSession");
-  exportRequest.Set("sessionId", source.localId);
-  json::Json exported = CallWorkerDirect(source.worker, exportRequest);
-  if (!IsOk(exported)) {
+  auto exportFrom = [&](bool delta) {
+    json::Json exportRequest = json::Json::MakeObject();
+    exportRequest.Set("command", "exportSession");
+    exportRequest.Set("sessionId", source.localId);
+    if (delta) exportRequest.Set("encoding", "delta");
+    return CallWorkerDirect(source.worker, exportRequest);
+  };
+  auto exportFailed = [&](const json::Json& exported) {
     {
       // A delete that executed during the quiesce may finalize (erase
       // its placement) at any point after our snapshot above; if the
@@ -718,21 +785,44 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
         "export of session " + std::to_string(globalId) + " from worker " +
             std::to_string(source.worker) + " failed: " +
             exported.GetString("message", "unknown error"));
-  }
-
+  };
   // Session blobs can be tens of MiB of base64; read by reference and
-  // copy exactly once (into the import request).
-  static const std::string kNoBlob;
-  const json::Json* blob = exported.Find("blob");
-  const std::string& blobBytes =
-      blob != nullptr && blob->IsString() ? blob->AsString() : kNoBlob;
-  json::Json importRequest = json::Json::MakeObject();
-  importRequest.Set("command", "importSession");
-  importRequest.Set("blob", blobBytes);
-  // The import rides the destination's lane so it cannot interleave with
-  // a response already executing there — ordering on the destination is
-  // preserved exactly as for client traffic.
-  json::Json imported = CallViaLane(destination, importRequest);
+  // copy exactly once (into the import request). The import rides the
+  // destination's lane so it cannot interleave with a response already
+  // executing there — ordering on the destination is preserved exactly
+  // as for client traffic.
+  auto blobSizeOf = [](const json::Json& exported) -> std::uint64_t {
+    const json::Json* blob = exported.Find("blob");
+    return blob != nullptr && blob->IsString() ? blob->AsString().size() : 0;
+  };
+  auto importFrom = [&](const json::Json& exported) {
+    static const std::string kNoBlob;
+    const json::Json* blob = exported.Find("blob");
+    const std::string& blobBytes =
+        blob != nullptr && blob->IsString() ? blob->AsString() : kNoBlob;
+    json::Json importRequest = json::Json::MakeObject();
+    importRequest.Set("command", "importSession");
+    importRequest.Set("blob", blobBytes);
+    return CallViaLane(destination, importRequest);
+  };
+
+  json::Json exported = exportFrom(deltaExport);
+  if (!IsOk(exported)) return exportFailed(exported);
+  std::uint64_t wireBytes = blobSizeOf(exported);
+  json::Json imported = importFrom(exported);
+  if (!IsOk(imported) && deltaExport) {
+    // Fail closed, not lossy: ANY delta import failure — base-epoch
+    // mismatch, decode error, a peer that lied about its capability —
+    // retries exactly once with a full image before the move is declared
+    // failed. The source copy is still untouched either way.
+    static obs::Counter& fallbacks = obs::Registry::Instance().GetCounter(
+        "shard.router.deltaFallbacks");
+    fallbacks.Increment();
+    exported = exportFrom(false);
+    if (!IsOk(exported)) return exportFailed(exported);
+    wireBytes += blobSizeOf(exported);
+    imported = importFrom(exported);
+  }
   if (!IsOk(imported)) {
     // Destination refused (blob budget, decode failure) or is
     // unreachable. The source copy was never deleted, so the session is
@@ -768,13 +858,15 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
     placements_[globalId] =
         Placement{destination, imported.GetInt("sessionId", -1)};
   }
-  if (movedBytes != nullptr) *movedBytes += blobBytes.size();
+  // wireBytes is what actually crossed the wire for this move — the
+  // delta blob, plus the full image too when the fallback fired.
+  if (movedBytes != nullptr) *movedBytes += wireBytes;
   static obs::Counter& migrations =
       obs::Registry::Instance().GetCounter("shard.router.migrations");
   static obs::Counter& migrationBytes =
-      obs::Registry::Instance().GetCounter("shard.router.migration_bytes");
+      obs::Registry::Instance().GetCounter("shard.router.migrationBytes");
   migrations.Increment();
-  migrationBytes.Add(blobBytes.size());
+  migrationBytes.Add(wireBytes);
   return Status::Ok();
 }
 
@@ -896,16 +988,21 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
                            failedIds.size()));
   if (failedIds.empty()) {
     response.Set("status", "ok");
-  } else {
-    response.Set("status", "error");
-    response.Set("kind", ToString(ErrorKind::kInternal));
-    response.Set(
-        "message",
-        "drain of worker " + std::to_string(worker) + " left " +
-            std::to_string(failedIds.size()) +
-            " session(s) on the worker (each is still live and retryable)");
+    return response;
   }
-  return response;
+  // Error envelope with the drain tallies carried along (AddErrorDetail
+  // also mirrors each field at the top level for legacy readers).
+  json::Json error = server::MakeErrorResponse(Error{
+      ErrorKind::kInternal,
+      "drain of worker " + std::to_string(worker) + " left " +
+          std::to_string(failedIds.size()) +
+          " session(s) on the worker (each is still live and retryable)"});
+  server::AddErrorDetail(error, "moved", response.GetInt("moved", 0));
+  server::AddErrorDetail(error, "movedBytes", response.GetInt("movedBytes", 0));
+  if (json::Json* failed = response.Find("failed"); failed != nullptr) {
+    server::AddErrorDetail(error, "failed", std::move(*failed));
+  }
+  return error;
 }
 
 json::Json ShardRouter::OpenWorker(const json::Json& request) {
@@ -1009,16 +1106,21 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
     // Fail closed: the worker stays (drained), every stranded session is
     // still addressed, and the caller can retry or force.
     OpenGate(index);
-    response.Set("status", "error");
-    response.Set("kind", ToString(ErrorKind::kInternal));
-    response.Set("message",
-                 "removeWorker " + std::to_string(worker) + " would strand " +
-                     std::to_string(failedIds.size()) +
-                     " session(s); they remain on the (drained) worker — "
-                     "retry, or pass force to discard them");
-    response.Set("removed", false);
-    response.Set("lost", std::move(lost));
-    return response;
+    json::Json error = server::MakeErrorResponse(Error{
+        ErrorKind::kInternal,
+        "removeWorker " + std::to_string(worker) + " would strand " +
+            std::to_string(failedIds.size()) +
+            " session(s); they remain on the (drained) worker — "
+            "retry, or pass force to discard them"});
+    server::AddErrorDetail(error, "moved", response.GetInt("moved", 0));
+    server::AddErrorDetail(error, "movedBytes",
+                           response.GetInt("movedBytes", 0));
+    if (json::Json* failed = response.Find("failed"); failed != nullptr) {
+      server::AddErrorDetail(error, "failed", std::move(*failed));
+    }
+    server::AddErrorDetail(error, "removed", false);
+    server::AddErrorDetail(error, "lost", std::move(lost));
+    return error;
   }
 
   // Graceful stop for process workers; in-process workers just go away
@@ -1196,12 +1298,21 @@ json::Json ShardRouter::Rebalance() {
     response = RouterError(ErrorKind::kInternal,
                            "rebalance stopped on a failed migration");
   }
-  response.Set("moved", moved);
-  response.Set("movedBytes", static_cast<std::int64_t>(movedBytes));
-  response.Set("skewBefore", skewBefore);
+  // On the error path AddErrorDetail lands each field in the envelope's
+  // details and mirrors it at the top level; on success plain Set.
+  auto setField = [&](const std::string& key, json::Json value) {
+    if (IsOk(response)) {
+      response.Set(key, std::move(value));
+    } else {
+      server::AddErrorDetail(response, key, std::move(value));
+    }
+  };
+  setField("moved", moved);
+  setField("movedBytes", static_cast<std::int64_t>(movedBytes));
+  setField("skewBefore", skewBefore);
   const double skewAfter = skewOf(ProbeLoads().bytes);
-  response.Set("skewAfter", skewAfter);
-  response.Set("failed", std::move(failed));
+  setField("skewAfter", skewAfter);
+  setField("failed", std::move(failed));
   span.SetDetail(StrFormat("moved=%lld skewBefore=%.3f skewAfter=%.3f",
                            static_cast<long long>(moved), skewBefore,
                            skewAfter));

@@ -149,6 +149,20 @@ class ShardRouter {
     /// multi-process fleet (see cli --spawn-workers). A slot whose
     /// factory fails is born removed and reported in workerStats.
     TransportFactory transportFactory;
+    /// Ship base-referenced delta session blobs (snapshot format v3) on
+    /// drain/rebalance when the destination advertised support in its
+    /// hello handshake. Any delta import failure retries once with a
+    /// full image — this flag is a wire-size optimization, never a
+    /// correctness risk; disabling it restores the PR 8 full-image wire.
+    bool deltaBlobs = true;
+    /// Caller-runs fast path: when a session command arrives and its
+    /// worker's lane is completely idle, run the transport call on the
+    /// dispatching thread instead of enqueue/wake/future (see
+    /// WorkerLane::TryBeginDirect). Per-session FIFO order and the
+    /// quiesce barrier are preserved — the claim happens in the same
+    /// fleet-mutex section as the gate check, and a claimed lane counts
+    /// as busy for Quiesce().
+    bool laneFastPath = true;
     /// Socket options for transports the router creates itself
     /// (`addWorker {address}`).
     SocketTransportOptions socketOptions;

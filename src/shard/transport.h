@@ -25,9 +25,11 @@
 //                       executed).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/socket.h"
 #include "common/status.h"
@@ -46,6 +48,26 @@ class WorkerTransport {
   /// means the transport failed — the worker may or may not have seen
   /// the request; the caller must fail closed (report, don't assume).
   virtual Result<json::Json> Call(const json::Json& request) = 0;
+
+  /// Dispatches `requests` in order and returns one result per request,
+  /// index-aligned. The default loops Call(); transports with a real wire
+  /// override it to pipeline the whole batch into fewer writes (the lane's
+  /// coalesced fast path). Same failure contract as Call(), per entry.
+  virtual std::vector<Result<json::Json>> CallBatch(
+      const std::vector<const json::Json*>& requests) {
+    std::vector<Result<json::Json>> results;
+    results.reserve(requests.size());
+    for (const json::Json* request : requests) {
+      results.push_back(Call(*request));
+    }
+    return results;
+  }
+
+  /// True when the peer can decode base-referenced delta session blobs
+  /// (snapshot format v3). Learned from the hello handshake for sockets;
+  /// false until known — callers then ship full images, which is always
+  /// safe, never lossy.
+  virtual bool SupportsDeltaBlobs() const { return false; }
 
   /// Human-readable endpoint for logs and workerStats ("in-process",
   /// "unix:/tmp/rvss-w0.sock").
@@ -67,11 +89,12 @@ class InProcessTransport : public WorkerTransport {
         obs::Registry::Instance().GetCounter("shard.transport.inproc.calls");
     static obs::Histogram& callUs =
         obs::Registry::Instance().GetHistogram(
-            "shard.transport.inproc.call_us");
+            "shard.transport.inproc.callUs");
     calls.Increment();
     obs::ScopedLatency timer(callUs);
     return server_->Handle(request);
   }
+  bool SupportsDeltaBlobs() const override { return true; }
   std::string Describe() const override { return "in-process"; }
   server::SimServer* LocalServer() override { return server_.get(); }
 
@@ -95,6 +118,13 @@ class SocketTransport : public WorkerTransport {
                            SocketTransportOptions options = {});
 
   Result<json::Json> Call(const json::Json& request) override;
+  std::vector<Result<json::Json>> CallBatch(
+      const std::vector<const json::Json*>& requests) override;
+  bool SupportsDeltaBlobs() const override {
+    // Set after each hello handshake; false while disconnected, which is
+    // the conservative answer (a full image is always decodable).
+    return peerDeltaBlobs_.load(std::memory_order_relaxed);
+  }
   std::string Describe() const override { return address_; }
 
   const std::string& address() const { return address_; }
@@ -105,6 +135,9 @@ class SocketTransport : public WorkerTransport {
   std::string address_;
   SocketTransportOptions options_;
   net::Socket connection_;
+  /// Atomic: read by the router's migration planner while the lane's
+  /// executor thread owns the connection.
+  std::atomic<bool> peerDeltaBlobs_{false};
 };
 
 }  // namespace rvss::shard

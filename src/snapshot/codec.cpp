@@ -1,9 +1,11 @@
 #include "snapshot/codec.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
 #include "common/strings.h"
+#include "memory/main_memory.h"
 #include "snapshot/wire.h"
 
 namespace rvss::snapshot {
@@ -316,7 +318,15 @@ std::uint64_t ProgramHash(const assembler::Program& program) {
 
 std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
                            const CodecContext& context) {
+  return EncodeSnapshot(snapshot, context, EncodeOptions{});
+}
+
+std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
+                           const CodecContext& context,
+                           const EncodeOptions& options) {
   const assembler::Program& program = *context.program;
+  const std::uint32_t formatVersion =
+      std::clamp(options.formatVersion, kMinFormatVersion, kFormatVersion);
   Writer w;
 
   // Scalars.
@@ -392,10 +402,43 @@ std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
     w.U32(history);
   }
 
-  // Memory system: raw image, cache residency, statistics.
+  // Memory system: raw image (full, or in v3 delta mode a sparse page
+  // overlay against the negotiated base), cache residency, statistics.
   const auto& memoryBytes = snapshot.memory.memory.bytes;
-  w.U32(static_cast<std::uint32_t>(memoryBytes.size()));
-  w.Bytes(memoryBytes.data(), memoryBytes.size());
+  const bool deltaMemory =
+      formatVersion >= 3 && options.deltaPages != nullptr;
+  if (formatVersion >= 3) {
+    w.U8(deltaMemory ? 1 : 0);
+  }
+  if (deltaMemory) {
+    constexpr std::uint32_t kPage = memory::MainMemory::kPageSizeBytes;
+    const std::vector<std::uint8_t>& dirty = *options.deltaPages;
+    const auto totalSize = static_cast<std::uint32_t>(memoryBytes.size());
+    const std::uint32_t pageTotal = (totalSize + kPage - 1) / kPage;
+    // An undersized flag vector is treated as all-dirty past its end
+    // (conservative: shipping an extra page is correct, skipping one is
+    // not).
+    const auto pageDirty = [&dirty](std::uint32_t page) {
+      return page >= dirty.size() || dirty[page] != 0;
+    };
+    std::uint32_t dirtyCount = 0;
+    for (std::uint32_t page = 0; page < pageTotal; ++page) {
+      if (pageDirty(page)) ++dirtyCount;
+    }
+    w.U64(options.baseEpoch);
+    w.U32(totalSize);
+    w.U32(dirtyCount);
+    for (std::uint32_t page = 0; page < pageTotal; ++page) {
+      if (!pageDirty(page)) continue;
+      const std::uint32_t offset = page * kPage;
+      w.U32(page);
+      w.Bytes(memoryBytes.data() + offset,
+              std::min(kPage, totalSize - offset));
+    }
+  } else {
+    w.U32(static_cast<std::uint32_t>(memoryBytes.size()));
+    w.Bytes(memoryBytes.data(), memoryBytes.size());
+  }
   w.Bool(snapshot.memory.cache.has_value());
   if (snapshot.memory.cache.has_value()) {
     const auto& cache = *snapshot.memory.cache;
@@ -465,7 +508,7 @@ std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
   const std::string payload = w.Take();
   Writer header;
   header.Bytes(kMagic, sizeof(kMagic));
-  header.U32(kFormatVersion);
+  header.U32(formatVersion);
   header.U64(ConfigHash(*context.config));
   header.U64(ProgramHash(program));
   header.U64(Fnv1a(payload));
@@ -478,7 +521,8 @@ std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
 // --- decode -----------------------------------------------------------------
 
 Result<core::SimSnapshot> DecodeSnapshot(std::string_view blob,
-                                         const CodecContext& context) {
+                                         const CodecContext& context,
+                                         DecodeInfo* info) {
   const config::CpuConfig& config = *context.config;
   const assembler::Program& program = *context.program;
 
@@ -492,10 +536,10 @@ Result<core::SimSnapshot> DecodeSnapshot(std::string_view blob,
     return CodecError("bad magic (not a snapshot blob)");
   }
   const std::uint32_t version = r.U32();
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return CodecError(
-        StrFormat("unsupported format version %u (this build reads %u)",
-                  version, kFormatVersion));
+        StrFormat("unsupported format version %u (this build reads %u..%u)",
+                  version, kMinFormatVersion, kFormatVersion));
   }
   if (r.U64() != ConfigHash(config)) {
     return CodecError(
@@ -682,13 +726,61 @@ Result<core::SimSnapshot> DecodeSnapshot(std::string_view blob,
     snapshot.predictor.localHistories.push_back(r.U32());
   }
 
-  // Memory system.
-  const std::uint32_t memorySize = r.Count(1);
-  if (r.ok() && memorySize != config.memory.sizeBytes) {
-    return CodecError("memory size does not match configuration");
+  // Memory system. v3 leads with a mode byte; v2 is always a full image.
+  std::uint8_t memoryMode = 0;
+  if (version >= 3) {
+    memoryMode = r.U8();
+    if (r.ok() && memoryMode > 1) {
+      return CodecError("memory mode out of range");
+    }
   }
-  snapshot.memory.memory.bytes.resize(memorySize);
-  r.BytesInto(snapshot.memory.memory.bytes.data(), memorySize);
+  DecodeInfo decodeInfo;
+  if (memoryMode == 1) {
+    constexpr std::uint32_t kPage = memory::MainMemory::kPageSizeBytes;
+    const std::uint64_t baseEpoch = r.U64();
+    const std::uint32_t totalSize = r.U32();
+    if (r.ok() && totalSize != config.memory.sizeBytes) {
+      return CodecError("memory size does not match configuration");
+    }
+    // Fail closed: a delta is only restorable over the exact base it was
+    // computed against. No base (or a different one) means this side must
+    // ask for a full image instead — never patch over the wrong bytes.
+    if (r.ok() && (context.baseMemory.size() != totalSize ||
+                   context.baseEpoch != baseEpoch)) {
+      return CodecError(
+          "delta blob references a base image this side does not have "
+          "(base-epoch mismatch)");
+    }
+    const std::uint32_t pageTotal = (totalSize + kPage - 1) / kPage;
+    const std::uint32_t pageCount = r.Count(4);
+    if (r.ok() && pageCount > pageTotal) {
+      return CodecError("delta page count exceeds the memory's page count");
+    }
+    snapshot.memory.memory.bytes.assign(context.baseMemory.begin(),
+                                        context.baseMemory.end());
+    decodeInfo.deltaMemory = true;
+    decodeInfo.overlaidPages.assign(pageTotal, 0);
+    std::int64_t lastPage = -1;
+    for (std::uint32_t i = 0; i < pageCount; ++i) {
+      const std::uint32_t page = r.U32();
+      if (!r.ok()) break;
+      if (page >= pageTotal || static_cast<std::int64_t>(page) <= lastPage) {
+        return CodecError("delta page index out of order or out of range");
+      }
+      lastPage = page;
+      const std::uint32_t offset = page * kPage;
+      r.BytesInto(snapshot.memory.memory.bytes.data() + offset,
+                  std::min(kPage, totalSize - offset));
+      decodeInfo.overlaidPages[page] = 1;
+    }
+  } else {
+    const std::uint32_t memorySize = r.Count(1);
+    if (r.ok() && memorySize != config.memory.sizeBytes) {
+      return CodecError("memory size does not match configuration");
+    }
+    snapshot.memory.memory.bytes.resize(memorySize);
+    r.BytesInto(snapshot.memory.memory.bytes.data(), memorySize);
+  }
   const bool hasCache = r.Bool();
   if (r.ok() && hasCache != config.cache.enabled) {
     return CodecError("cache presence does not match configuration");
@@ -782,6 +874,7 @@ Result<core::SimSnapshot> DecodeSnapshot(std::string_view blob,
   if (r.remaining() != 0) {
     return CodecError("trailing bytes after the snapshot payload");
   }
+  if (info != nullptr) *info = std::move(decodeInfo);
   return snapshot;
 }
 

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "assembler/program.h"
 #include "common/status.h"
@@ -40,15 +41,51 @@
 
 namespace rvss::snapshot {
 
-/// Bumped on any incompatible layout change; decode rejects other versions.
+/// Bumped on any incompatible layout change. Decode is *versioned*: this
+/// build reads every version in [kMinFormatVersion, kFormatVersion], so
+/// persisted blobs from older releases keep importing.
 /// v2: fast-forward seed (core::FastForwardSeed) and the
 /// fastForwardedInstructions statistic.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: memory-mode byte ahead of the memory image — mode 0 is the full
+/// image (v2 layout after the byte), mode 1 is a base-referenced delta
+/// (base-epoch id + sparse 4 KiB pages dirtied since the base).
+inline constexpr std::uint32_t kFormatVersion = 3;
+inline constexpr std::uint32_t kMinFormatVersion = 2;
 
-/// What a blob must match to be restorable.
+/// What a blob must match to be restorable. `baseMemory`/`baseEpoch`
+/// describe the base image available on the decoding side (the post-Create
+/// memory of the same (config, program) pair); they are only consulted for
+/// delta-mode blobs, which fail closed without a matching base.
 struct CodecContext {
   const config::CpuConfig* config = nullptr;
   const assembler::Program* program = nullptr;
+  std::string_view baseMemory{};
+  std::uint64_t baseEpoch = 0;
+};
+
+/// Encode-side knobs. Defaults produce a v3 full-image blob identical in
+/// meaning to what EncodeSnapshot always produced.
+struct EncodeOptions {
+  /// Must lie in [kMinFormatVersion, kFormatVersion]. v2 output is
+  /// byte-identical to what older builds wrote (no memory-mode byte, so
+  /// no delta form).
+  std::uint32_t formatVersion = kFormatVersion;
+  /// Non-null selects delta memory mode (v3 only): one flag per 4 KiB
+  /// page, set when the page may differ from the base image. Pages with
+  /// the flag clear are *not* shipped and are taken from the decoder's
+  /// base.
+  const std::vector<std::uint8_t>* deltaPages = nullptr;
+  /// Identifies the base image a delta was computed against; decode
+  /// refuses a delta whose epoch differs from the context's.
+  std::uint64_t baseEpoch = 0;
+};
+
+/// What DecodeSnapshot learned about the blob's memory section.
+struct DecodeInfo {
+  bool deltaMemory = false;
+  /// Delta mode only: one flag per page, set for pages the blob overlaid
+  /// on the base (i.e. the decoded memory's precise dirty-since-base set).
+  std::vector<std::uint8_t> overlaidPages;
 };
 
 /// FNV-1a over the canonical JSON dump of `config` with checkpoint
@@ -63,11 +100,17 @@ std::uint64_t ProgramHash(const assembler::Program& program);
 /// snapshot came from.
 std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
                            const CodecContext& context);
+std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
+                           const CodecContext& context,
+                           const EncodeOptions& options);
 
 /// Parses and validates a blob against `context`. Returns a snapshot ready
 /// for Simulation::RestoreState, or an error for any version, hash, size
-/// or structural mismatch. Never crashes on malformed input.
+/// or structural mismatch — including a delta blob whose base the context
+/// cannot supply (fail closed, never lossy). Never crashes on malformed
+/// input. `info`, when non-null, reports the memory mode encountered.
 Result<core::SimSnapshot> DecodeSnapshot(std::string_view blob,
-                                         const CodecContext& context);
+                                         const CodecContext& context,
+                                         DecodeInfo* info = nullptr);
 
 }  // namespace rvss::snapshot

@@ -1,10 +1,13 @@
 #include "snapshot/session.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
+#include <vector>
 
 #include "common/slz.h"
 #include "json/json.h"
+#include "memory/main_memory.h"
 #include "memory/memory_initializer.h"
 #include "snapshot/codec.h"
 #include "snapshot/wire.h"
@@ -35,14 +38,30 @@ SessionIdentity MakeIdentity(const core::Simulation& sim, std::string source,
 
 std::string EncodeSessionBlob(const core::Simulation& sim,
                               const SessionIdentity& identity) {
+  return EncodeSessionBlob(sim, identity, SessionBlobOptions{});
+}
+
+std::string EncodeSessionBlob(const core::Simulation& sim,
+                              const SessionIdentity& identity,
+                              const SessionBlobOptions& options) {
   CodecContext context{&sim.config(), &sim.program()};
+  EncodeOptions encode;
+  if (options.formatVersion != 0) {
+    encode.formatVersion = options.formatVersion;
+  }
+  std::vector<std::uint8_t> dirtyPages;
+  if (options.delta && encode.formatVersion >= 3) {
+    dirtyPages = sim.memorySystem().memory().DirtySinceBase();
+    encode.deltaPages = &dirtyPages;
+    encode.baseEpoch = sim.memoryBaseEpoch();
+  }
   Writer container;
   container.U32(kSessionVersion);
   container.Str(identity.configJson);
   container.Str(identity.source);
   container.Str(identity.entryLabel);
   container.Str(identity.arraysJson);
-  container.Str(EncodeSnapshot(sim.SaveState(), context));
+  container.Str(EncodeSnapshot(sim.SaveState(), context, encode));
 
   std::string out(kSessionMagic, sizeof(kSessionMagic));
   out += static_cast<char>(kFlagSlz);
@@ -127,14 +146,47 @@ Result<ImportedSession> ImportSessionBlob(
       std::unique_ptr<core::Simulation> sim,
       core::Simulation::Create(config, identity.source, options));
 
+  // The freshly Created simulation holds exactly the base image a delta
+  // snapshot was encoded against (same config/source/arrays reproduce the
+  // same post-load memory), so hand it to the decoder; the base-epoch
+  // check inside DecodeSnapshot fails closed if this build would produce
+  // a different image.
+  const auto baseSpan = std::as_const(*sim).memorySystem().memory().bytes();
+  std::vector<std::uint8_t> baseImage(baseSpan.begin(), baseSpan.end());
   CodecContext context{&sim->config(), &sim->program()};
+  context.baseMemory = std::string_view(
+      reinterpret_cast<const char*>(baseImage.data()), baseImage.size());
+  context.baseEpoch = sim->memoryBaseEpoch();
+  DecodeInfo decodeInfo;
   RVSS_ASSIGN_OR_RETURN(core::SimSnapshot snapshot,
-                        DecodeSnapshot(snapshotBlob, context));
+                        DecodeSnapshot(snapshotBlob, context, &decodeInfo));
   sim->RestoreState(snapshot);
   // Anchor backward stepping at the imported position; without this the
   // only checkpoint is the cycle-0 base and the first StepBack replays the
   // whole prefix.
   sim->CaptureCheckpointNow();
+  // Seed precise dirty-since-base tracking so a later delta export of this
+  // session stays small. Delta imports know the overlaid page set exactly;
+  // full imports recover it by diffing the restored memory against the
+  // base image (RestoreState itself conservatively marked everything).
+  if (decodeInfo.deltaMemory) {
+    sim->memorySystem().memory().SetDirtySinceBase(decodeInfo.overlaidPages);
+  } else {
+    const auto restored = std::as_const(*sim).memorySystem().memory().bytes();
+    constexpr std::uint32_t kPage = memory::MainMemory::kPageSizeBytes;
+    const std::size_t pageTotal = (restored.size() + kPage - 1) / kPage;
+    std::vector<std::uint8_t> dirty(pageTotal, 0);
+    for (std::size_t page = 0; page < pageTotal; ++page) {
+      const std::size_t offset = page * kPage;
+      const std::size_t size =
+          std::min<std::size_t>(kPage, restored.size() - offset);
+      if (std::memcmp(restored.data() + offset, baseImage.data() + offset,
+                      size) != 0) {
+        dirty[page] = 1;
+      }
+    }
+    sim->memorySystem().memory().SetDirtySinceBase(dirty);
+  }
 
   ImportedSession imported;
   imported.sim = std::move(sim);

@@ -38,9 +38,26 @@ SessionIdentity MakeIdentity(const core::Simulation& sim,
                              std::string entryLabel,
                              std::string arraysJson);
 
+/// Encode-side knobs for EncodeSessionBlob.
+struct SessionBlobOptions {
+  /// Ship only the 4 KiB memory pages dirtied since the session's base
+  /// image (the post-Create memory of its config/program/arrays) instead
+  /// of the full image. The importer re-Creates that base from the
+  /// identity carried in the blob, so a delta blob is just as restorable —
+  /// it only requires the reader to understand snapshot format v3, which
+  /// the hello handshake negotiates. Ignored when formatVersion < 3.
+  bool delta = false;
+  /// Snapshot format version to emit; older versions let current sessions
+  /// be saved for legacy readers.
+  std::uint32_t formatVersion = 0;  ///< 0 = current (snapshot::kFormatVersion)
+};
+
 /// Serializes identity + current state into a compressed binary blob.
 std::string EncodeSessionBlob(const core::Simulation& sim,
                               const SessionIdentity& identity);
+std::string EncodeSessionBlob(const core::Simulation& sim,
+                              const SessionIdentity& identity,
+                              const SessionBlobOptions& options);
 
 /// Cheap upper-bound estimate of EncodeSessionBlob's output for `sim`,
 /// for shard placement and per-worker byte accounting: the dominant terms

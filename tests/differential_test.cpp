@@ -165,6 +165,14 @@ std::string TransportMode() {
   return env == nullptr ? "" : env;
 }
 
+/// Migration blob encoding axis for the router seams: "" or "delta" =
+/// the default (delta blobs negotiated via hello), "full" = force full
+/// images, the pre-delta wire. The nightly fuzz leg runs both.
+bool DeltaBlobsEnabled() {
+  const char* env = std::getenv("RVSS_SHARD_BLOBS");
+  return env == nullptr || std::string(env) != "full";
+}
+
 /// Seam 1 via the router: create the session behind a 2-worker fleet,
 /// step to the seed's midpoint, drain the worker that holds it (a real
 /// export -> import migration, over sockets when mode == "socket"), run
@@ -180,6 +188,7 @@ void RunMigrationThroughRouter(const std::string& mode,
   {
     shard::ShardRouter::Options options;
     options.workerCount = 2;
+    options.deltaBlobs = DeltaBlobsEnabled();
     if (mode == "socket") {
       options.transportFactory =
           shard::MakeSpawningTransportFactory(&fleet, "fuzz");

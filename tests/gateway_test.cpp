@@ -38,6 +38,7 @@
 #include "server/wire.h"
 #include "shard/lane.h"
 #include "shard/router.h"
+#include "test_util.h"
 #include "shard/transport.h"
 #include "shard/worker.h"
 
@@ -241,7 +242,7 @@ TEST(Gateway, BadJsonGetsAnErrorAndTheConnectionLivesOn) {
                   .ok());
   auto response = server::ReadMessage(client.socket, ClientWire());
   ASSERT_TRUE(response.ok()) << response.error().ToText();
-  EXPECT_EQ(response.value().GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(response.value());
   EXPECT_EQ(response.value().GetString("kind", ""), "parse");
 
   json::Json parsed =
@@ -273,7 +274,7 @@ TEST(Gateway, PipelinedFramesAreAnsweredInOrder) {
   EXPECT_EQ(first.value().GetString("status", ""), "ok");
   auto second = server::ReadMessage(client.socket, ClientWire());
   ASSERT_TRUE(second.ok()) << second.error().ToText();
-  EXPECT_EQ(second.value().GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(second.value());
   auto third = server::ReadMessage(client.socket, ClientWire());
   ASSERT_TRUE(third.ok()) << third.error().ToText();
   EXPECT_TRUE(third.value().GetBool("hello", false)) << third.value().Dump();
@@ -306,7 +307,7 @@ TEST(Gateway, SessionQuotaIsRefusedWithRetryableUnavailable) {
   // The third admission is refused at the gateway: retryable, explicit,
   // and the fleet never sees it.
   json::Json refused = create();
-  EXPECT_EQ(refused.GetString("status", ""), "error") << refused.Dump();
+  testutil::CheckErrorEnvelope(refused);
   EXPECT_EQ(refused.GetString("kind", ""), "unavailable") << refused.Dump();
   EXPECT_NE(refused.GetString("message", "").find("quota"),
             std::string::npos);
@@ -418,7 +419,7 @@ TEST(Gateway, DispatchQueueOverflowShedsWithUnavailable) {
                   .ok());
   auto shed = server::ReadMessage(c.socket, wire);
   ASSERT_TRUE(shed.ok()) << shed.error().ToText();
-  EXPECT_EQ(shed.value().GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(shed.value());
   EXPECT_EQ(shed.value().GetString("kind", ""), "unavailable")
       << shed.value().Dump();
   EXPECT_NE(shed.value().GetString("message", "").find("shed"),
@@ -508,7 +509,7 @@ TEST(Gateway, StalledWorkerLaneShedsThroughTheGateway) {
   ASSERT_TRUE(server::WriteMessage(c.socket, request, wire).ok());
   auto shed = server::ReadMessage(c.socket, wire);
   ASSERT_TRUE(shed.ok()) << shed.error().ToText();
-  EXPECT_EQ(shed.value().GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(shed.value());
   EXPECT_EQ(shed.value().GetString("kind", ""), "unavailable")
       << shed.value().Dump();
 
@@ -617,7 +618,7 @@ TEST(ServeFrames, TransientAcceptFailuresAreCountedAndRetried) {
       [&] { (void)server::ServeFrames(sim, listener.value()); });
 
   obs::Counter& acceptErrors =
-      obs::Registry::Instance().GetCounter("server.accept_errors");
+      obs::Registry::Instance().GetCounter("server.acceptErrors");
   const std::uint64_t errorsBefore = acceptErrors.value();
 
   // Exhaust the descriptor table: soft limit down to the highest fd in

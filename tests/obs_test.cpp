@@ -178,8 +178,8 @@ TEST(Merge, IgnoresMalformedEntries) {
 TEST(Prometheus, RendersCountersGaugesAndCumulativeBuckets) {
   const json::Json document = ParseOrDie(R"({
     "counters": {"server.requests": 12},
-    "gauges": {"sim.cycles_per_s": 1000.0},
-    "histograms": {"server.handle_us": {"count": 3, "sum": 9,
+    "gauges": {"sim.cyclesPerS": 1000.0},
+    "histograms": {"server.handleUs": {"count": 3, "sum": 9,
                                         "buckets": [1, 1, 1]}}
   })");
   const std::string text = MetricsToPrometheusText(document);
@@ -311,7 +311,7 @@ TEST(ServerCommand, TraceDumpReturnsSpanRing) {
 TEST(ServerCommand, HandleLatencyIsRecordedPerCommand) {
   server::SimServer server;
   Registry& registry = Registry::Instance();
-  Histogram& stepLatency = registry.GetHistogram("server.handle_us.step");
+  Histogram& stepLatency = registry.GetHistogram("server.handleUs.step");
   Counter& stepCount = registry.GetCounter("server.cmd.step");
   const std::uint64_t latencyBefore = stepLatency.count();
   const std::uint64_t countBefore = stepCount.value();

@@ -83,8 +83,10 @@ TEST(Api, CompileErrorsReportPosition) {
   SimServer server;
   json::Json response = server.Handle(
       Parse(R"({"command": "compile", "code": "int main( { return; }"})"));
-  EXPECT_EQ(response.GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(response);
   EXPECT_GT(response.GetInt("line", 0), 0);
+  // Position detail lives in the envelope too, not just the legacy mirror.
+  EXPECT_GT(response.Find("error")->Find("details")->GetInt("line", 0), 0);
 }
 
 TEST(Api, ParseAsmValidatesSource) {
@@ -96,7 +98,7 @@ TEST(Api, ParseAsmValidatesSource) {
 
   json::Json bad = server.Handle(
       Parse(R"({"command": "parseAsm", "code": "bogus a0\n"})"));
-  EXPECT_EQ(bad.GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(bad);
 }
 
 TEST(Api, SessionLifecycleAndStepping) {
@@ -159,7 +161,7 @@ TEST(Api, StepRejectsNegativeAndClampsHugeCounts) {
   negative.Set("command", "step");
   negative.Set("sessionId", id);
   negative.Set("count", -5);
-  EXPECT_EQ(server.Handle(negative).GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(server.Handle(negative));
 
   // A count far beyond the limit (the count=10^18 denial-of-service shape)
   // executes at most maxStepsPerRequest cycles and returns.
@@ -228,7 +230,7 @@ TEST(Api, RunRejectsNegativeMaxCycles) {
   request.Set("command", "run");
   request.Set("sessionId", id);
   request.Set("maxCycles", -1);
-  EXPECT_EQ(server.Handle(request).GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(server.Handle(request));
 }
 
 TEST(Api, CheckpointSaveRestoreScrubsSession) {
@@ -274,7 +276,7 @@ TEST(Api, CheckpointSaveRestoreScrubsSession) {
   bad.Set("command", "restoreCheckpoint");
   bad.Set("sessionId", id);
   bad.Set("cycle", -3);
-  EXPECT_EQ(server.Handle(bad).GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(server.Handle(bad));
 
   json::Json stats = json::Json::MakeObject();
   stats.Set("command", "stats");
@@ -310,12 +312,9 @@ TEST(Api, CheckConfigReportsAllProblems) {
 
 TEST(Api, UnknownCommandAndUnknownSession) {
   SimServer server;
-  EXPECT_EQ(server.Handle(Parse(R"({"command": "nope"})"))
-                .GetString("status", ""),
-            "error");
-  EXPECT_EQ(server.Handle(Parse(R"({"command": "step", "sessionId": 99})"))
-                .GetString("status", ""),
-            "error");
+  testutil::CheckErrorEnvelope(server.Handle(Parse(R"({"command": "nope"})")));
+  testutil::CheckErrorEnvelope(
+      server.Handle(Parse(R"({"command": "step", "sessionId": 99})")));
 }
 
 TEST(Api, RawPathTimesAndCompresses) {
@@ -345,7 +344,7 @@ TEST(Api, RawPathTimesAndCompresses) {
 TEST(Api, MalformedJsonIsAnError) {
   SimServer server;
   std::string response = server.HandleRaw("{not json", false, nullptr);
-  EXPECT_EQ(Parse(response).GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(Parse(response));
 }
 
 // ---- renderer ----------------------------------------------------------------

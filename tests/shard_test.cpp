@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/registry.h"
 #include "server/api.h"
 #include "shard/placement.h"
 #include "shard/router.h"
@@ -159,7 +161,7 @@ TEST(RouteThrough, MatchesBareServerStepByStep) {
 
   // Errors mirror the single-server shape.
   json::Json missing = Cmd(router, "step", {{"sessionId", json::Json(999)}});
-  EXPECT_EQ(missing.GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(missing);
   EXPECT_NE(missing.GetString("message", "").find("unknown sessionId"),
             std::string::npos);
 
@@ -276,7 +278,7 @@ TEST(Drain, DestinationBudgetRejectionKeepsSessionOnSource) {
   }
 
   json::Json drained = Cmd(router, "drainWorker", {{"worker", json::Json(0)}});
-  EXPECT_EQ(drained.GetString("status", ""), "error") << drained.Dump();
+  testutil::CheckErrorEnvelope(drained);
   EXPECT_EQ(drained.GetInt("moved", -1), 0);
   ASSERT_FALSE(drained.Find("failed")->AsArray().empty());
   EXPECT_NE(drained.Find("failed")->AsArray()[0].GetString("message", "")
@@ -319,7 +321,7 @@ TEST(Drain, SessionVanishingMidDrainFailsThatSessionOnly) {
   ASSERT_EQ(worker0->Handle(vanish).GetString("status", ""), "ok");
 
   json::Json drained = Cmd(router, "drainWorker", {{"worker", json::Json(0)}});
-  EXPECT_EQ(drained.GetString("status", ""), "error") << drained.Dump();
+  testutil::CheckErrorEnvelope(drained);
   EXPECT_EQ(drained.GetInt("moved", -1), onWorker0Before - 1)
       << "the surviving sessions must still migrate";
   ASSERT_EQ(drained.Find("failed")->AsArray().size(), 1u);
@@ -360,12 +362,12 @@ TEST(Drain, DoubleDrainIsIdempotentAndOpenWorkerReadmits) {
   // Draining the last eligible worker strands its sessions with an error
   // (no destination), but loses nothing.
   json::Json strand = Cmd(router, "drainWorker", {{"worker", json::Json(1)}});
-  EXPECT_EQ(strand.GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(strand);
   EXPECT_FALSE(strand.Find("failed")->AsArray().empty());
   json::Json refused = Cmd(router, "createSession",
                            {{"code", json::Json(kSpinLoop)},
                             {"entry", json::Json("main")}});
-  EXPECT_EQ(refused.GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(refused);
 
   // Reopening brings the fleet back.
   ASSERT_EQ(Cmd(router, "openWorker", {{"worker", json::Json(0)}})
@@ -381,7 +383,131 @@ TEST(Drain, DoubleDrainIsIdempotentAndOpenWorkerReadmits) {
             "ok");
 
   json::Json bogus = Cmd(router, "drainWorker", {{"worker", json::Json(9)}});
-  EXPECT_EQ(bogus.GetString("status", ""), "error");
+  testutil::CheckErrorEnvelope(bogus);
+}
+
+TEST(Drain, DeltaDrainMatchesFullDrainAndShipsFewerBytes) {
+  // Two identical fleets, one migrating with delta blobs (the default)
+  // and one forced to full images. Same sessions, same drain — the
+  // resulting states must be byte-identical across the two fleets and
+  // unchanged from before the drain, while the delta fleet must have put
+  // strictly fewer bytes on the wire.
+  auto build = [](bool delta) {
+    ShardRouter::Options options;
+    options.workerCount = 2;
+    options.deltaBlobs = delta;
+    return std::make_unique<ShardRouter>(options);
+  };
+  auto deltaRouter = build(true);
+  auto fullRouter = build(false);
+
+  // Identical creation order => identical placement (the ring is
+  // deterministic), so both fleets drain the same session set.
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    const std::int64_t id = MustCreateSession(*deltaRouter);
+    ASSERT_EQ(MustCreateSession(*fullRouter), id);
+    ids.push_back(id);
+    for (ShardRouter* router : {deltaRouter.get(), fullRouter.get()}) {
+      json::Json stepped =
+          Cmd(*router, "step", {{"sessionId", json::Json(id)},
+                                {"count", json::Json(60 + 25 * i)}});
+      ASSERT_EQ(stepped.GetString("status", ""), "ok");
+    }
+  }
+  ASSERT_GT(SessionsPerWorker(*deltaRouter)[0], 0);
+
+  std::map<std::int64_t, std::string> before;
+  for (const std::int64_t id : ids) before[id] = ExportBlob(*deltaRouter, id);
+
+  json::Json deltaDrain =
+      Cmd(*deltaRouter, "drainWorker", {{"worker", json::Json(0)}});
+  json::Json fullDrain =
+      Cmd(*fullRouter, "drainWorker", {{"worker", json::Json(0)}});
+  ASSERT_EQ(deltaDrain.GetString("status", ""), "ok") << deltaDrain.Dump();
+  ASSERT_EQ(fullDrain.GetString("status", ""), "ok") << fullDrain.Dump();
+  EXPECT_EQ(deltaDrain.GetInt("moved", -1), fullDrain.GetInt("moved", -2));
+  // Mostly-idle sessions dirty a handful of pages; the delta wire must
+  // be well under the full-image wire, not merely equal.
+  EXPECT_LT(deltaDrain.GetInt("movedBytes", 0),
+            fullDrain.GetInt("movedBytes", 0))
+      << deltaDrain.Dump() << fullDrain.Dump();
+
+  // Delta migration is invisible at the blob level: both fleets export
+  // byte-identically, and identically to the pre-drain blobs.
+  for (const std::int64_t id : ids) {
+    const std::string deltaSide = ExportBlob(*deltaRouter, id);
+    EXPECT_EQ(deltaSide, before[id]) << "session " << id;
+    EXPECT_EQ(deltaSide, ExportBlob(*fullRouter, id)) << "session " << id;
+  }
+}
+
+namespace {
+
+/// Claims delta support but fails the first importSession it sees — the
+/// in-process stand-in for a peer that advertised v3 decode in its hello
+/// and then couldn't honor it. Everything else passes through.
+class FirstImportFailsTransport : public WorkerTransport {
+ public:
+  explicit FirstImportFailsTransport(const server::SimServer::Limits& limits)
+      : inner_(limits) {}
+
+  Result<json::Json> Call(const json::Json& request) override {
+    if (request.GetString("command", "") == "importSession" &&
+        !failedOnce_.exchange(true)) {
+      return Error{ErrorKind::kInternal,
+                   "simulated delta decode failure (capability lie)"};
+    }
+    return inner_.Call(request);
+  }
+  bool SupportsDeltaBlobs() const override { return true; }
+  std::string Describe() const override { return inner_.Describe(); }
+  server::SimServer* LocalServer() override { return inner_.LocalServer(); }
+
+ private:
+  InProcessTransport inner_;
+  std::atomic<bool> failedOnce_{false};
+};
+
+}  // namespace
+
+TEST(Drain, DeltaImportFailureFallsBackToFullImage) {
+  // A destination that rejects the delta blob must get exactly one full-
+  // image retry: the session still moves, nothing is lost, and the
+  // fallback is counted.
+  ShardRouter::Options options;
+  options.workerCount = 2;
+  options.transportFactory = [](std::size_t,
+                                const server::SimServer::Limits& limits)
+      -> Result<std::shared_ptr<WorkerTransport>> {
+    return std::shared_ptr<WorkerTransport>(
+        std::make_shared<FirstImportFailsTransport>(limits));
+  };
+  ShardRouter router(options);
+
+  std::vector<std::int64_t> ids;
+  while (SessionsPerWorker(router)[0] < 1) {
+    ids.push_back(MustCreateSession(router));
+  }
+  std::map<std::int64_t, std::string> before;
+  for (const std::int64_t id : ids) before[id] = ExportBlob(router, id);
+
+  const std::uint64_t fallbacksBefore =
+      obs::Registry::Instance().GetCounter("shard.router.deltaFallbacks")
+          .value();
+  json::Json drained = Cmd(router, "drainWorker", {{"worker", json::Json(0)}});
+  ASSERT_EQ(drained.GetString("status", ""), "ok") << drained.Dump();
+  EXPECT_EQ(SessionsPerWorker(router)[0], 0);
+  EXPECT_GT(obs::Registry::Instance()
+                .GetCounter("shard.router.deltaFallbacks")
+                .value(),
+            fallbacksBefore)
+      << "the failed delta import must be counted as a fallback";
+
+  // The doubly-shipped session arrived intact.
+  for (const std::int64_t id : ids) {
+    EXPECT_EQ(before[id], ExportBlob(router, id)) << "session " << id;
+  }
 }
 
 // ---- elastic scaling (in-process) ------------------------------------------
@@ -479,7 +605,7 @@ TEST(Elastic, RemoveWorkerWithNoDestinationFailsClosed) {
   // No destination exists: removal must refuse (the session would be
   // stranded) and the session must keep working.
   json::Json removed = Cmd(router, "removeWorker", {{"worker", json::Json(0)}});
-  EXPECT_EQ(removed.GetString("status", ""), "error") << removed.Dump();
+  testutil::CheckErrorEnvelope(removed);
   EXPECT_FALSE(removed.Find("removed")->AsBool());
   json::Json stepped = Cmd(router, "step", {{"sessionId", json::Json(id)},
                                             {"count", json::Json(10)}});
@@ -686,6 +812,180 @@ TEST(Concurrency, DrainDuringInflightRunQuiescesThenMigrates) {
   EXPECT_EQ(referenceState.Find("state")->Dump(),
             migratedState.Find("state")->Dump())
       << "quiesced migration must be invisible to simulation state";
+}
+
+TEST(Concurrency, LaneFastPathKeepsPerSessionOrderUnderEightThreadStress) {
+  // 8 driver threads share ONE worker's lane, so the caller-runs fast
+  // path (idle lane) and the queued/batched path (contended lane)
+  // interleave constantly. Per-session command order must survive the
+  // constant path switching: every session's final statistics must equal
+  // the same script run sequentially on a bare SimServer.
+  constexpr int kSessions = 8;
+
+  std::vector<std::string> expected(kSessions);
+  {
+    server::SimServer reference;
+    for (int i = 0; i < kSessions; ++i) {
+      const std::int64_t id =
+          MustCreateSession(reference, SaltedProgram(i).c_str());
+      json::Json stats = RunMixedScript(reference, id, i);
+      ASSERT_EQ(stats.GetString("status", ""), "ok") << stats.Dump();
+      expected[i] = stats.Find("statistics")->Dump();
+    }
+  }
+
+  ShardRouter::Options options;
+  options.workerCount = 1;
+  ASSERT_TRUE(options.laneFastPath) << "fast path must default on";
+  ShardRouter router(options);
+  std::vector<std::int64_t> ids(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    ids[i] = MustCreateSession(router, SaltedProgram(i).c_str());
+  }
+
+  const std::uint64_t directBefore =
+      obs::Registry::Instance().GetCounter("shard.lane.directCalls").value();
+  std::vector<std::string> actual(kSessions);
+  std::vector<std::string> errors(kSessions);
+  std::vector<std::thread> drivers;
+  drivers.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    drivers.emplace_back([&router, &ids, &actual, &errors, i] {
+      json::Json stats = RunMixedScript(router, ids[i], i);
+      if (stats.GetString("status", "") != "ok") {
+        errors[i] = stats.Dump();
+        return;
+      }
+      actual[i] = stats.Find("statistics")->Dump();
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(errors[i].empty()) << "session " << i << ": " << errors[i];
+    EXPECT_EQ(actual[i], expected[i])
+        << "session " << i << " diverged under the lane fast path";
+  }
+  // The sequential session creations alone guarantee idle-lane windows,
+  // so the fast path must actually have fired.
+  EXPECT_GT(
+      obs::Registry::Instance().GetCounter("shard.lane.directCalls").value(),
+      directBefore)
+      << "the caller-runs fast path never engaged";
+}
+
+namespace {
+
+/// Blocks `run` calls until released: holds a lane provably busy so the
+/// depth-cap test below can stage a full queue without timing guesses.
+class GatedRunTransport : public WorkerTransport {
+ public:
+  explicit GatedRunTransport(const server::SimServer::Limits& limits)
+      : inner_(limits) {}
+
+  Result<json::Json> Call(const json::Json& request) override {
+    if (request.GetString("command", "") == "run") {
+      entered_.store(true);
+      std::unique_lock<std::mutex> lock(mutex_);
+      released_.wait(lock, [this] { return released; });
+    }
+    return inner_.Call(request);
+  }
+  bool SupportsDeltaBlobs() const override { return true; }
+  std::string Describe() const override { return inner_.Describe(); }
+  server::SimServer* LocalServer() override { return inner_.LocalServer(); }
+
+  bool entered() const { return entered_.load(); }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      released = true;
+    }
+    released_.notify_all();
+  }
+
+ private:
+  InProcessTransport inner_;
+  std::atomic<bool> entered_{false};
+  std::mutex mutex_;
+  std::condition_variable released_;
+  bool released = false;
+};
+
+}  // namespace
+
+TEST(Concurrency, DepthCapShedsWithTheFastPathOnAndAnswersTheEnvelope) {
+  // PR 8's load-shed semantics must survive the fast path: a direct call
+  // holds the lane busy exactly like a queued job, so with a depth cap
+  // of 1, one follow-up queues and every further one is shed immediately
+  // with the retryable-unavailable envelope.
+  auto gated = std::make_shared<GatedRunTransport>(server::SimServer::Limits{});
+  ShardRouter::Options options;
+  options.workerCount = 1;
+  options.maxLaneQueueDepth = 1;
+  options.transportFactory =
+      [&gated](std::size_t, const server::SimServer::Limits&)
+      -> Result<std::shared_ptr<WorkerTransport>> {
+    return std::static_pointer_cast<WorkerTransport>(gated);
+  };
+  ShardRouter router(options);
+  const std::int64_t id = MustCreateSession(router);
+
+  // The run claims the idle lane via the fast path and parks inside the
+  // gated transport — the lane is now provably busy.
+  std::thread runner([&router, id] {
+    json::Json ran = Cmd(router, "run", {{"sessionId", json::Json(id)},
+                                         {"maxCycles", json::Json(100)}});
+    EXPECT_EQ(ran.GetString("status", ""), "ok") << ran.Dump();
+  });
+  while (!gated->entered()) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+
+  // 8 concurrent steps against the busy lane: exactly one fits the
+  // queue (cap 1), the other seven are shed.
+  constexpr int kBlast = 8;
+  std::vector<json::Json> responses(kBlast);
+  std::atomic<int> answered{0};
+  std::vector<std::thread> blasters;
+  blasters.reserve(kBlast);
+  for (int i = 0; i < kBlast; ++i) {
+    blasters.emplace_back([&router, &responses, &answered, id, i] {
+      responses[i] = Cmd(router, "step", {{"sessionId", json::Json(id)},
+                                          {"count", json::Json(1)}});
+      answered.fetch_add(1);
+    });
+  }
+  // The shed responses return immediately; the one queued step blocks
+  // until the gate opens. Wait for the sheds, then release the run.
+  while (answered.load() < kBlast - 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gated->Release();
+  for (std::thread& blaster : blasters) blaster.join();
+  runner.join();
+
+  int ok = 0;
+  int shed = 0;
+  for (const json::Json& response : responses) {
+    if (response.GetString("status", "") == "ok") {
+      ++ok;
+      continue;
+    }
+    testutil::CheckErrorEnvelope(response);
+    EXPECT_EQ(response.GetString("kind", ""), "unavailable")
+        << response.Dump();
+    EXPECT_NE(response.GetString("message", "").find("shed"),
+              std::string::npos)
+        << response.Dump();
+    ++shed;
+  }
+  EXPECT_EQ(ok, 1) << "exactly the one queued step may succeed";
+  EXPECT_EQ(shed, kBlast - 1);
+
+  // The lane recovers: with the gate open the session serves normally.
+  json::Json after = Cmd(router, "step", {{"sessionId", json::Json(id)},
+                                          {"count", json::Json(5)}});
+  EXPECT_EQ(after.GetString("status", ""), "ok") << after.Dump();
 }
 
 // ---- rebalance --------------------------------------------------------------

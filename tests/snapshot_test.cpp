@@ -704,6 +704,167 @@ TEST(ServerSession, LimitsOverrideCheckpointBudget) {
 
 // ---- CLI flags --------------------------------------------------------------
 
+
+// ---- delta session blobs (format v3) ---------------------------------------
+
+TEST(DeltaBlob, DeltaImportMatchesFullImportByteIdentically) {
+  auto original = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(original, nullptr);
+  StepN(*original, 433);
+
+  const SessionIdentity identity =
+      MakeIdentity(*original, kBranchyMemory, "main", "");
+  const std::string full = EncodeSessionBlob(*original, identity);
+  SessionBlobOptions deltaOptions;
+  deltaOptions.delta = true;
+  const std::string delta =
+      EncodeSessionBlob(*original, identity, deltaOptions);
+  EXPECT_LT(delta.size(), full.size());
+
+  auto fromFull = ImportSessionBlob(full);
+  ASSERT_TRUE(fromFull.ok()) << fromFull.error().ToText();
+  auto fromDelta = ImportSessionBlob(delta);
+  ASSERT_TRUE(fromDelta.ok()) << fromDelta.error().ToText();
+  ExpectIdenticalState(*fromFull.value().sim, *fromDelta.value().sim,
+                       "delta vs full import");
+
+  // ... and they stay in lockstep through the rest of the program.
+  std::vector<std::uint32_t> fullTrace;
+  std::vector<std::uint32_t> deltaTrace;
+  fromFull.value().sim->SetCommitTraceSink(&fullTrace);
+  fromDelta.value().sim->SetCommitTraceSink(&deltaTrace);
+  fromFull.value().sim->Run(5'000'000);
+  fromDelta.value().sim->Run(5'000'000);
+  EXPECT_EQ(fullTrace, deltaTrace);
+  ExpectIdenticalState(*fromFull.value().sim, *fromDelta.value().sim,
+                       "delta vs full after run");
+}
+
+TEST(DeltaBlob, ReExportAfterEitherImportStaysDeltaRestorable) {
+  // Import re-seeds dirty-since-base tracking (precisely for delta, by
+  // page compare for full), so a session that migrated once must still
+  // delta-export from its new home — that is what keeps every later hop
+  // of a multi-migration cheap.
+  auto original = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(original, nullptr);
+  StepN(*original, 433);
+  const SessionIdentity identity =
+      MakeIdentity(*original, kBranchyMemory, "main", "");
+  SessionBlobOptions deltaOptions;
+  deltaOptions.delta = true;
+
+  for (const bool firstHopDelta : {false, true}) {
+    const std::string hop1 = EncodeSessionBlob(
+        *original, identity, firstHopDelta ? deltaOptions
+                                           : SessionBlobOptions{});
+    auto imported = ImportSessionBlob(hop1);
+    ASSERT_TRUE(imported.ok()) << imported.error().ToText();
+    const std::string hop2 = EncodeSessionBlob(
+        *imported.value().sim, imported.value().identity, deltaOptions);
+    auto again = ImportSessionBlob(hop2);
+    ASSERT_TRUE(again.ok())
+        << "firstHopDelta=" << firstHopDelta << ": "
+        << again.error().ToText();
+    ExpectIdenticalState(*original, *again.value().sim,
+                         firstHopDelta ? "delta->delta" : "full->delta");
+  }
+}
+
+TEST(DeltaBlob, CodecFailsClosedOnBaseMismatch) {
+  auto base = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(base, nullptr);
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 433);
+
+  const CodecContext encodeContext{&sim->config(), &sim->program()};
+  EncodeOptions options;
+  const std::vector<std::uint8_t> dirty =
+      sim->memorySystem().memory().DirtySinceBase();
+  options.deltaPages = &dirty;
+  options.baseEpoch = sim->memoryBaseEpoch();
+  const std::string blob =
+      EncodeSnapshot(sim->SaveState(), encodeContext, options);
+
+  // With the matching base the delta decodes, and reports itself as one.
+  const auto baseBytes = std::as_const(*base).memorySystem().memory().bytes();
+  CodecContext withBase{&base->config(), &base->program()};
+  withBase.baseMemory = std::string_view(
+      reinterpret_cast<const char*>(baseBytes.data()), baseBytes.size());
+  withBase.baseEpoch = base->memoryBaseEpoch();
+  DecodeInfo info;
+  ASSERT_TRUE(DecodeSnapshot(blob, withBase, &info).ok());
+  EXPECT_TRUE(info.deltaMemory);
+
+  // A different base epoch fails closed with a clear message.
+  CodecContext wrongEpoch = withBase;
+  wrongEpoch.baseEpoch ^= 1;
+  auto rejected = DecodeSnapshot(blob, wrongEpoch);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error().message.find("base-epoch"), std::string::npos);
+
+  // No base at all fails closed too — a delta is never guessed against.
+  CodecContext noBase{&base->config(), &base->program()};
+  EXPECT_FALSE(DecodeSnapshot(blob, noBase).ok());
+}
+
+TEST(DeltaBlob, TruncatedAndCorruptedDeltaBlobsAlwaysError) {
+  auto base = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(base, nullptr);
+  auto sim = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(sim, nullptr);
+  StepN(*sim, 250);
+
+  const CodecContext encodeContext{&sim->config(), &sim->program()};
+  EncodeOptions options;
+  const std::vector<std::uint8_t> dirty =
+      sim->memorySystem().memory().DirtySinceBase();
+  options.deltaPages = &dirty;
+  options.baseEpoch = sim->memoryBaseEpoch();
+  const std::string blob =
+      EncodeSnapshot(sim->SaveState(), encodeContext, options);
+
+  const auto baseBytes = std::as_const(*base).memorySystem().memory().bytes();
+  CodecContext context{&base->config(), &base->program()};
+  context.baseMemory = std::string_view(
+      reinterpret_cast<const char*>(baseBytes.data()), baseBytes.size());
+  context.baseEpoch = base->memoryBaseEpoch();
+  ASSERT_TRUE(DecodeSnapshot(blob, context).ok());
+
+  for (std::size_t length = 0; length < blob.size();
+       length += 1 + length / 7) {
+    EXPECT_FALSE(
+        DecodeSnapshot(std::string_view(blob).substr(0, length), context)
+            .ok())
+        << "truncation at " << length;
+  }
+  // The payload checksum catches every single-byte flip.
+  for (std::size_t pos = 0; pos < blob.size(); pos += 1 + pos / 7) {
+    std::string mutant = blob;
+    mutant[pos] = static_cast<char>(mutant[pos] ^ 0x5a);
+    EXPECT_FALSE(DecodeSnapshot(mutant, context).ok())
+        << "byte flip at " << pos;
+  }
+}
+
+TEST(DeltaBlob, V2FormatSessionBlobStillImports) {
+  // The versioned reader: a blob persisted by the previous release
+  // (format v2, no memory-mode byte) must keep importing after the v3
+  // bump — long-lived saved sessions survive the upgrade.
+  auto original = MustCreate(kBranchyMemory, TestConfig());
+  ASSERT_NE(original, nullptr);
+  StepN(*original, 433);
+  const SessionIdentity identity =
+      MakeIdentity(*original, kBranchyMemory, "main", "");
+  SessionBlobOptions v2;
+  v2.formatVersion = 2;
+  const std::string blob = EncodeSessionBlob(*original, identity, v2);
+
+  auto imported = ImportSessionBlob(blob);
+  ASSERT_TRUE(imported.ok()) << imported.error().ToText();
+  ExpectIdenticalState(*original, *imported.value().sim, "v2 import");
+}
+
 TEST(CliSnapshot, SaveLoadRoundTripMatchesUninterruptedRun) {
   const std::string dir = ::testing::TempDir();
   const std::string programPath = dir + "/snap_prog.s";

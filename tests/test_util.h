@@ -9,9 +9,35 @@
 #include "assembler/loader.h"
 #include "config/cpu_config.h"
 #include "core/simulation.h"
+#include "json/json.h"
 #include "ref/interpreter.h"
 
 namespace rvss::testutil {
+
+/// Asserts `response` is a well-formed error envelope (docs/api.md):
+/// status "error", a nested `error` object with kind/message/retryable/
+/// details, retryable true exactly for kind "unavailable", and the
+/// one-release legacy mirror (flat kind/message) in agreement.
+inline void CheckErrorEnvelope(const json::Json& response) {
+  ASSERT_EQ(response.GetString("status", ""), "error") << response.Dump();
+  const json::Json* error = response.Find("error");
+  ASSERT_NE(error, nullptr) << "no error envelope: " << response.Dump();
+  ASSERT_TRUE(error->IsObject()) << response.Dump();
+  const std::string kind = error->GetString("kind", "");
+  EXPECT_FALSE(kind.empty()) << response.Dump();
+  EXPECT_FALSE(error->GetString("message", "").empty()) << response.Dump();
+  ASSERT_NE(error->Find("retryable"), nullptr) << response.Dump();
+  EXPECT_EQ(error->GetBool("retryable", false), kind == "unavailable")
+      << "retryable must be true exactly for kind unavailable: "
+      << response.Dump();
+  const json::Json* details = error->Find("details");
+  ASSERT_NE(details, nullptr) << response.Dump();
+  EXPECT_TRUE(details->IsObject()) << response.Dump();
+  EXPECT_EQ(response.GetString("kind", ""), kind) << response.Dump();
+  EXPECT_EQ(response.GetString("message", ""),
+            error->GetString("message", ""))
+      << response.Dump();
+}
 
 /// Runs a program on the golden-model ISS and returns the interpreter for
 /// state inspection. Fails the current test on any error.

@@ -897,17 +897,17 @@ TEST(SocketRouter, MetricsMergeFleetCountersEqualSumOfWorkers) {
   // commands issued — buckets are neither lost nor double-counted by the
   // trailing-zero trim + pad on merge.
   const std::int64_t totalSteps = kSteps[0] + kSteps[1];
-  EXPECT_EQ(HistogramCountOf(afterFleet, "server.handle_us.step") -
-                HistogramCountOf(beforeFleet, "server.handle_us.step"),
+  EXPECT_EQ(HistogramCountOf(afterFleet, "server.handleUs.step") -
+                HistogramCountOf(beforeFleet, "server.handleUs.step"),
             totalSteps);
-  EXPECT_EQ(HistogramBucketTotalOf(afterFleet, "server.handle_us.step") -
-                HistogramBucketTotalOf(beforeFleet, "server.handle_us.step"),
+  EXPECT_EQ(HistogramBucketTotalOf(afterFleet, "server.handleUs.step") -
+                HistogramBucketTotalOf(beforeFleet, "server.handleUs.step"),
             totalSteps);
 
   // The lane request histogram rode every routed command, so it must
   // have grown by at least the workload (fan-out probes also cross it).
-  EXPECT_GE(HistogramCountOf(afterFleet, "shard.lane.dispatch_us") -
-                HistogramCountOf(beforeFleet, "shard.lane.dispatch_us"),
+  EXPECT_GE(HistogramCountOf(afterFleet, "shard.lane.dispatchUs") -
+                HistogramCountOf(beforeFleet, "shard.lane.dispatchUs"),
             totalSteps + kRuns[0] + kRuns[1]);
 }
 
