@@ -403,7 +403,7 @@ int main(int argc, char** argv) {
     constexpr int kWarmup = 500;
     constexpr int kTimed = 20000;
 
-    for (int i = 0; i < kWarmup; ++i) lane.Submit(request).get();
+    for (int i = 0; i < kWarmup; ++i) (void)lane.Submit(request).get();
     auto start = std::chrono::steady_clock::now();
     for (int i = 0; i < kTimed; ++i) {
       if (!lane.Submit(request).get().ok()) {

@@ -83,10 +83,10 @@ class SimLog {
   /// Drops oldest entries until both bounds hold (keeping >= 1 entry).
   void EvictToBounds();
 
-  std::size_t capacity_;
-  std::size_t maxBytes_;
+  std::size_t capacity_;  // snapshot: derived
+  std::size_t maxBytes_;  // snapshot: derived
   std::size_t bytes_ = 0;
-  LogLevel minLevel_ = LogLevel::kInfo;
+  LogLevel minLevel_ = LogLevel::kInfo;  // snapshot: derived
   std::deque<LogEntry> entries_;
 };
 

@@ -1,0 +1,79 @@
+// Annotated synchronization primitives: Mutex, MutexLock, CondVar.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+// attributes, so Clang's analysis (common/thread_annotations.h) cannot
+// track them — GUARDED_BY(someStdMutex) would warn on every access, held
+// or not. These thin wrappers are the annotated equivalents the
+// concurrent subsystems use instead; they add no state and no overhead
+// beyond the underlying primitive.
+//
+// CondVar wraps std::condition_variable_any, which can wait on any
+// BasicLockable — so Wait() takes the Mutex itself (no unique_lock
+// needed) and can be annotated REQUIRES(mu): the analysis then enforces
+// that every wait happens with the mutex held, and the classic
+//
+//     MutexLock lock(mutex_);
+//     while (!condition) cv_.Wait(mutex_);
+//
+// loop type-checks as written. Predicate-lambda waits do not survive the
+// analysis (the lambda body cannot carry the REQUIRES fact), which is
+// why the codebase spells waits as explicit while loops.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace rvss {
+
+/// std::mutex with capability annotations. Lowercase lock/unlock keep it
+/// BasicLockable so std::condition_variable_any can wait on it directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped holder (the annotated std::lock_guard). Constructor acquires,
+/// destructor releases; the analysis tracks the capability for the
+/// enclosing scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on a Mutex. Wait() atomically releases the
+/// mutex and re-acquires it before returning, like std::condition_variable
+/// — the REQUIRES contract is therefore preserved across the call, which
+/// is exactly how the analysis models it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rvss

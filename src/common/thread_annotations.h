@@ -1,0 +1,80 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// The concurrent subsystems (shard router/lanes, gateway, obs) carry
+// their locking contracts as these annotations instead of comments, and
+// the clang CI leg compiles with -Werror=thread-safety, so "caller must
+// hold the fleet mutex" is machine-checked on every build. GCC has no
+// equivalent analysis: the macros expand to nothing there, so the g++
+// legs (including local tier-1) compile the same source unchanged.
+//
+// Conventions (docs/static_analysis.md has the full write-up):
+//   * Guarded data:  member declarations get GUARDED_BY(mutex_).
+//   * Contracts:     functions that expect a lock held get REQUIRES(mu);
+//                    functions that take the lock internally get
+//                    EXCLUDES(mu) so a holder cannot re-enter and
+//                    self-deadlock.
+//   * Split locking: a public Foo() EXCLUDES(mu_) wraps a private
+//                    FooLocked() REQUIRES(mu_) when both call shapes are
+//                    needed.
+//   * Lock types:    use common/sync.h (Mutex/MutexLock/CondVar) — the
+//                    libstdc++ std::mutex is invisible to the analysis.
+#pragma once
+
+#if defined(__clang__)
+#define RVSS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RVSS_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" by convention).
+#define CAPABILITY(x) RVSS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY RVSS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while the capability is held.
+#define GUARDED_BY(x) RVSS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded (the pointer itself is not).
+#define PT_GUARDED_BY(x) RVSS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declared lock-acquisition order between capabilities (checked under
+/// -Wthread-safety-beta; harmless documentation otherwise).
+#define ACQUIRED_BEFORE(...) RVSS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) RVSS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the capability when calling this function.
+#define REQUIRES(...) \
+  RVSS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  RVSS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) RVSS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  RVSS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller held.
+#define RELEASE(...) RVSS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  RVSS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function tries to acquire; first argument is the success value.
+#define TRY_ACQUIRE(...) \
+  RVSS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (the function takes it
+/// itself; calling while holding would self-deadlock).
+#define EXCLUDES(...) RVSS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) RVSS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (fact injected into the
+/// analysis; use where the proof is dynamic, e.g. after a handoff).
+#define ASSERT_CAPABILITY(x) RVSS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: the function is exempt from analysis. Every use needs a
+/// comment explaining why the analysis cannot see the invariant.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RVSS_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -384,23 +384,23 @@ class Simulation {
         inst.inst - loaded_.program.instructions.data())];
   }
 
-  config::CpuConfig config_;
-  assembler::LoadedProgram loaded_;
-  std::vector<std::uint8_t> initialMemoryImage_;
-  std::uint64_t memoryBaseEpoch_ = 0;
+  config::CpuConfig config_;                       // snapshot: derived
+  assembler::LoadedProgram loaded_;                // snapshot: derived
+  std::vector<std::uint8_t> initialMemoryImage_;   // snapshot: derived
+  std::uint64_t memoryBaseEpoch_ = 0;              // snapshot: derived
   /// Predecode cache, parallel to loaded_.program.instructions (pc = 4*i).
   /// Derived state: never snapshotted, never invalidated (program is
   /// immutable for the simulation's lifetime).
-  std::vector<PredecodedOp> predecoded_;
+  std::vector<PredecodedOp> predecoded_;  // snapshot: derived
   /// Reusable evaluation scratch for the execution finalizers; its writes
   /// vector keeps its capacity across cycles (see expr::EvaluateInto).
-  expr::EvalResult evalScratch_;
+  expr::EvalResult evalScratch_;  // snapshot: derived
 
   std::unique_ptr<memory::MemorySystem> memory_;
   predictor::PredictorUnit predictor_;
   ArchRegisterFile arch_;
   RenameState rename_;
-  expr::ExpressionCache expressions_;
+  expr::ExpressionCache expressions_;  // snapshot: derived
   stats::SimulationStatistics stats_;
   SimLog log_;
 
@@ -421,29 +421,29 @@ class Simulation {
   std::vector<FunctionalUnit> fus_;
   /// Indices into fus_ of the units each issue window can dispatch to,
   /// grouped once at construction (issue never scans foreign-kind units).
-  std::array<std::vector<std::uint32_t>, 4> fusByWindow_;
-  std::vector<std::uint32_t>* commitTraceSink_ = nullptr;
+  std::array<std::vector<std::uint32_t>, 4> fusByWindow_;  // snapshot: derived
+  std::vector<std::uint32_t>* commitTraceSink_ = nullptr;  // snapshot: derived
 
-  CheckpointRing checkpoints_;
-  std::uint64_t lastSeekReplayedCycles_ = 0;
+  CheckpointRing checkpoints_;                 // snapshot: derived
+  std::uint64_t lastSeekReplayedCycles_ = 0;   // snapshot: derived
 
   // --- fast-forward bookkeeping --------------------------------------------
   /// Seed the detailed window started from (see FastForwardTo); applied by
   /// ResetHard so cycle 0 rebuilds the post-fast-forward state.
   std::optional<FastForwardSeed> ffSeed_;
   /// See earliestReachableCycle().
-  std::uint64_t earliestReachableCycle_ = 0;
+  std::uint64_t earliestReachableCycle_ = 0;  // snapshot: derived
 
   // --- delta-checkpoint bookkeeping ----------------------------------------
   /// The full snapshot deltas patch against.
-  std::shared_ptr<const SimSnapshot> lastFullCheckpoint_;
+  std::shared_ptr<const SimSnapshot> lastFullCheckpoint_;  // snapshot: derived
   /// Pages dirtied since lastFullCheckpoint_ (per-interval dirt folded in
   /// at each capture).
-  std::vector<std::uint8_t> dirtySinceFull_;
-  std::uint64_t deltasSinceFull_ = 0;
+  std::vector<std::uint8_t> dirtySinceFull_;  // snapshot: derived
+  std::uint64_t deltasSinceFull_ = 0;         // snapshot: derived
   /// Restores invalidate the dirty accounting, so the next capture must be
   /// a full snapshot.
-  bool forceFullCheckpoint_ = true;
+  bool forceFullCheckpoint_ = true;  // snapshot: derived
 };
 
 }  // namespace rvss::core

@@ -8,12 +8,10 @@
 
 #include <atomic>
 #include <cerrno>
-#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <utility>
@@ -21,6 +19,7 @@
 
 #include "common/framing.h"
 #include "common/socket.h"
+#include "common/sync.h"
 #include "obs/registry.h"
 #include "server/api.h"
 
@@ -114,21 +113,21 @@ class Gateway::Impl {
     return Status::Ok();
   }
 
-  Status Wait() {
-    std::unique_lock<std::mutex> lock(doneMutex_);
-    doneCv_.wait(lock, [this] { return done_; });
+  Status Wait() EXCLUDES(doneMutex_) {
+    MutexLock lock(doneMutex_);
+    while (!done_) doneCv_.Wait(doneMutex_);
     return finalStatus_;
   }
 
-  void Stop() {
+  void Stop() EXCLUDES(dispatchMutex_) {
     stopping_.store(true, std::memory_order_relaxed);
     WakeIoThread();
     if (ioThread_.joinable()) ioThread_.join();
     {
-      std::lock_guard<std::mutex> lock(dispatchMutex_);
+      MutexLock lock(dispatchMutex_);
       dispatchStop_ = true;
     }
-    dispatchCv_.notify_all();
+    dispatchCv_.NotifyAll();
     for (std::thread& dispatcher : dispatchers_) {
       if (dispatcher.joinable()) dispatcher.join();
     }
@@ -196,21 +195,21 @@ class Gateway::Impl {
 
   // ---- dispatcher side ------------------------------------------------
 
-  void DispatchLoop() {
+  void DispatchLoop() EXCLUDES(dispatchMutex_, completionMutex_) {
     while (true) {
       DispatchJob job;
       {
-        std::unique_lock<std::mutex> lock(dispatchMutex_);
-        dispatchCv_.wait(lock, [this] {
-          return dispatchStop_ || !dispatchQueue_.empty();
-        });
+        MutexLock lock(dispatchMutex_);
+        while (!dispatchStop_ && dispatchQueue_.empty()) {
+          dispatchCv_.Wait(dispatchMutex_);
+        }
         if (dispatchQueue_.empty()) return;  // only on dispatchStop_
         job = std::move(dispatchQueue_.front());
         dispatchQueue_.pop_front();
       }
       json::Json response = handler_(job.request);
       {
-        std::lock_guard<std::mutex> lock(completionMutex_);
+        MutexLock lock(completionMutex_);
         completions_.push_back(
             Completion{job.connectionId, std::move(response)});
       }
@@ -256,17 +255,17 @@ class Gateway::Impl {
     Finish(Status::Ok());
   }
 
-  void Finish(Status status) {
+  void Finish(Status status) EXCLUDES(doneMutex_) {
     connections_.clear();  // closes every socket (RAII)
     Metrics::Get().connections.Set(0);
     {
-      std::lock_guard<std::mutex> lock(doneMutex_);
+      MutexLock lock(doneMutex_);
       if (!done_) {
         done_ = true;
         finalStatus_ = std::move(status);
       }
     }
-    doneCv_.notify_all();
+    doneCv_.NotifyAll();
   }
 
   void DrainEventFd() {
@@ -441,7 +440,8 @@ class Gateway::Impl {
   /// One parsed request: answered inline (hello, shutdown, admission
   /// refusals) or handed to the dispatcher pool. Returns false when the
   /// connection was closed (a failed inline answer).
-  bool HandleRequest(Connection& connection, json::Json request) {
+  bool HandleRequest(Connection& connection, json::Json request)
+      EXCLUDES(dispatchMutex_) {
     Metrics& metrics = Metrics::Get();
     const std::string command = request.GetString("command", "");
     if (command == "hello") {
@@ -474,7 +474,7 @@ class Gateway::Impl {
     const std::int64_t requestSessionId = request.GetInt("sessionId", -1);
     bool shed = false;
     {
-      std::lock_guard<std::mutex> lock(dispatchMutex_);
+      MutexLock lock(dispatchMutex_);
       if (dispatchQueue_.size() >= options_.maxDispatchQueue) {
         shed = true;
       } else {
@@ -490,7 +490,7 @@ class Gateway::Impl {
                            std::to_string(options_.maxDispatchQueue) +
                            " requests waiting); load shed, retry later"));
     }
-    dispatchCv_.notify_one();
+    dispatchCv_.NotifyOne();
     connection.inFlight = true;
     connection.pendingCommand = command;
     connection.pendingSessionId = requestSessionId;
@@ -499,10 +499,10 @@ class Gateway::Impl {
     return true;
   }
 
-  void ProcessCompletions() {
+  void ProcessCompletions() EXCLUDES(completionMutex_) {
     std::vector<Completion> batch;
     {
-      std::lock_guard<std::mutex> lock(completionMutex_);
+      MutexLock lock(completionMutex_);
       batch.swap(completions_);
     }
     Metrics& metrics = Metrics::Get();
@@ -645,20 +645,21 @@ class Gateway::Impl {
   std::vector<std::thread> dispatchers_;
   std::atomic<bool> stopping_{false};
 
-  std::mutex dispatchMutex_;
-  std::condition_variable dispatchCv_;
-  std::deque<DispatchJob> dispatchQueue_;
-  bool dispatchStop_ = false;
+  Mutex dispatchMutex_;
+  CondVar dispatchCv_;
+  std::deque<DispatchJob> dispatchQueue_ GUARDED_BY(dispatchMutex_);
+  bool dispatchStop_ GUARDED_BY(dispatchMutex_) = false;
 
-  std::mutex completionMutex_;
-  std::vector<Completion> completions_;
+  Mutex completionMutex_;
+  std::vector<Completion> completions_ GUARDED_BY(completionMutex_);
 
-  std::mutex doneMutex_;
-  std::condition_variable doneCv_;
-  bool done_ = false;
-  Status finalStatus_ = Status::Ok();
+  Mutex doneMutex_;
+  CondVar doneCv_;
+  bool done_ GUARDED_BY(doneMutex_) = false;
+  Status finalStatus_ GUARDED_BY(doneMutex_) = Status::Ok();
 
-  // I/O-thread-only state.
+  // I/O-thread-only state: single-owner by construction (see the section
+  // comment above Run), so deliberately lock-free and unannotated.
   std::map<std::uint64_t, Connection> connections_;
   std::uint64_t nextConnectionId_ = kFirstConnectionId;
   std::size_t inFlightCount_ = 0;

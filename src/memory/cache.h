@@ -97,14 +97,14 @@ class Cache {
   void AccessLine(std::uint32_t address, bool isStore, std::uint64_t cycle,
                   CacheAccessResult& result);
 
-  config::CacheConfig config_;
-  std::uint32_t loadLatency_;
-  std::uint32_t storeLatency_;
-  std::uint64_t seed_;
-  std::uint32_t setCount_ = 1;
-  std::uint32_t ways_ = 1;
-  std::uint32_t offsetBits_ = 0;
-  std::uint32_t indexBits_ = 0;
+  config::CacheConfig config_;       // snapshot: derived
+  std::uint32_t loadLatency_;        // snapshot: derived
+  std::uint32_t storeLatency_;       // snapshot: derived
+  std::uint64_t seed_;               // snapshot: derived
+  std::uint32_t setCount_ = 1;       // snapshot: derived
+  std::uint32_t ways_ = 1;           // snapshot: derived
+  std::uint32_t offsetBits_ = 0;     // snapshot: derived
+  std::uint32_t indexBits_ = 0;      // snapshot: derived
   std::vector<Line> lines_;  ///< sets * ways, row-major by set
   Rng rng_;
   std::uint64_t insertCounter_ = 0;

@@ -71,7 +71,7 @@ class MemorySystem {
   void RestoreState(const State& state);
 
  private:
-  config::CpuConfig config_;
+  config::CpuConfig config_;  // snapshot: derived
   MainMemory memory_;
   std::unique_ptr<Cache> cache_;
   MemoryStats stats_;

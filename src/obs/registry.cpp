@@ -77,7 +77,7 @@ Registry& Registry::Instance() {
 }
 
 Counter& Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -87,7 +87,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 }
 
 Gauge& Registry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -96,7 +96,7 @@ Gauge& Registry::GetGauge(std::string_view name) {
 }
 
 Histogram& Registry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -106,7 +106,7 @@ Histogram& Registry::GetHistogram(std::string_view name) {
 }
 
 json::Json Registry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   json::Json root = json::Json::MakeObject();
 
   json::Json counters = json::Json::MakeObject();

@@ -38,10 +38,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/sync.h"
 #include "json/json.h"
 
 namespace rvss::obs {
@@ -142,14 +142,14 @@ class Registry {
  public:
   static Registry& Instance();
 
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) EXCLUDES(mutex_);
+  Gauge& GetGauge(std::string_view name) EXCLUDES(mutex_);
+  Histogram& GetHistogram(std::string_view name) EXCLUDES(mutex_);
 
   /// {counters: {name: n}, gauges: {name: x},
   ///  histograms: {name: {count, sum, buckets: [...]}}}.
   /// Bucket arrays are trimmed of trailing zeros (merge pads them back).
-  json::Json ToJson() const;
+  json::Json ToJson() const EXCLUDES(mutex_);
 
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
@@ -157,12 +157,17 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // unique_ptr nodes give every metric a stable address across rehash-free
-  // map growth; names are registered once and never removed.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // map growth; names are registered once and never removed. The maps are
+  // mutex-guarded; the metric objects they point at are wait-free atomics,
+  // deliberately recorded into without the lock.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 /// Registry::Instance().ToJson() — the payload of the `metrics` command.

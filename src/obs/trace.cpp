@@ -15,7 +15,7 @@ void TraceRing::Record(std::string category, std::string name,
                        std::uint64_t startNs, std::uint64_t durationNs,
                        std::string detail) {
   if (!Enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SpanEvent event;
   event.seq = nextSeq_++;
   event.category = std::move(category);
@@ -31,7 +31,7 @@ void TraceRing::Record(std::string category, std::string name,
 }
 
 json::Json TraceRing::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   json::Json root = json::Json::MakeObject();
   json::Json spans = json::Json::MakeArray();
   for (const SpanEvent& event : events_) {
@@ -51,7 +51,7 @@ json::Json TraceRing::ToJson() const {
 }
 
 void TraceRing::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
   dropped_ = 0;
 }

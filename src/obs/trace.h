@@ -18,9 +18,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "json/json.h"
 
 namespace rvss::obs {
@@ -43,14 +43,14 @@ class TraceRing {
   /// Appends one completed span, evicting the oldest beyond kCapacity.
   /// No-op while obs is disabled (obs::SetEnabled).
   void Record(std::string category, std::string name, std::uint64_t startNs,
-              std::uint64_t durationNs, std::string detail);
+              std::uint64_t durationNs, std::string detail) EXCLUDES(mutex_);
 
   /// {spans: [{seq, category, name, startNs, durationNs, detail}...],
   ///  dropped, capacity} — spans oldest-first.
-  json::Json ToJson() const;
+  json::Json ToJson() const EXCLUDES(mutex_);
 
   /// Drops everything (tests; also resets the dropped count, not seq).
-  void Clear();
+  void Clear() EXCLUDES(mutex_);
 
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
@@ -58,10 +58,10 @@ class TraceRing {
  private:
   TraceRing() = default;
 
-  mutable std::mutex mutex_;
-  std::deque<SpanEvent> events_;
-  std::uint64_t nextSeq_ = 1;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  std::deque<SpanEvent> events_ GUARDED_BY(mutex_);
+  std::uint64_t nextSeq_ GUARDED_BY(mutex_) = 1;
+  std::uint64_t dropped_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Records a span over its own lifetime. Detail can be filled in as the

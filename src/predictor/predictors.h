@@ -66,9 +66,9 @@ class PatternHistoryTable {
   void RestoreState(const State& state) { entries_ = state.entries; }
 
  private:
-  config::PredictorConfig config_;
+  config::PredictorConfig config_;  // snapshot: derived
   std::vector<BitPredictor> entries_;
-  std::uint32_t mask_;
+  std::uint32_t mask_;  // snapshot: derived
 };
 
 /// Branch target buffer: direct-mapped PC -> target cache.
@@ -100,7 +100,7 @@ class BranchTargetBuffer {
 
  private:
   std::vector<Entry> entries_;
-  std::uint32_t mask_;
+  std::uint32_t mask_;  // snapshot: derived
 };
 
 /// The complete front-end predictor: BTB + PHT + history registers.
@@ -165,10 +165,10 @@ class PredictorUnit {
   std::uint32_t HistoryFor(std::uint32_t pc) const;
   void SetHistoryFor(std::uint32_t pc, std::uint32_t history);
 
-  config::PredictorConfig config_;
+  config::PredictorConfig config_;  // snapshot: derived
   PatternHistoryTable pht_;
   BranchTargetBuffer btb_;
-  std::uint32_t historyMask_;
+  std::uint32_t historyMask_;  // snapshot: derived
   std::uint32_t globalHistory_ = 0;
   std::vector<std::uint32_t> localHistories_;
 };

@@ -37,7 +37,7 @@ std::future<Result<json::Json>> WorkerLane::Submit(json::Json request) {
   job.enqueuedNs = obs::MonotonicNowNs();
   std::future<Result<json::Json>> result = job.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) {
       job.promise.set_value(StoppedError());
       return result;
@@ -50,17 +50,17 @@ std::future<Result<json::Json>> WorkerLane::Submit(json::Json request) {
     queue_.push_back(std::move(job));
     queueDepth_.fetch_add(1, std::memory_order_relaxed);
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
   return result;
 }
 
 void WorkerLane::Quiesce() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || busy_) idle_.Wait(mutex_);
 }
 
 bool WorkerLane::TryBeginDirect() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (stopped_ || busy_ || !queue_.empty()) return false;
   busy_ = true;
   inFlight_.store(true, std::memory_order_relaxed);
@@ -81,24 +81,24 @@ void WorkerLane::EndDirect(std::uint64_t elapsedNs) {
   dispatched_.fetch_add(1, std::memory_order_relaxed);
   inFlight_.store(false, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     busy_ = false;
-    if (queue_.empty()) idle_.notify_all();
+    if (queue_.empty()) idle_.NotifyAll();
   }
   // Jobs submitted while the direct call held the lane woke the executor
   // into a busy lane; re-wake it now that the lane is free.
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 void WorkerLane::Stop() {
   std::deque<Job> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopped_ = true;
     orphaned.swap(queue_);
     queueDepth_.store(0, std::memory_order_relaxed);
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   for (Job& job : orphaned) {
     job.promise.set_value(StoppedError());
@@ -135,11 +135,10 @@ void WorkerLane::Run() {
   while (true) {
     std::vector<Job> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       // !busy_: a caller-runs direct call may own the lane; the executor
       // must not run the transport concurrently with it.
-      wake_.wait(lock,
-                 [this] { return stopped_ || (!busy_ && !queue_.empty()); });
+      while (!stopped_ && (busy_ || queue_.empty())) wake_.Wait(mutex_);
       if (stopped_) return;  // Stop() answers whatever is still queued
       const std::size_t take = std::min(queue_.size(), kMaxBatch);
       batch.reserve(take);
@@ -178,9 +177,9 @@ void WorkerLane::Run() {
     // request must find the lane idle, or sequential request streams
     // could never take the caller-runs fast path.
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       busy_ = false;
-      if (queue_.empty()) idle_.notify_all();
+      if (queue_.empty()) idle_.NotifyAll();
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (i < results.size()) {

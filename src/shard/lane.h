@@ -34,14 +34,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.h"
 #include "json/json.h"
 #include "obs/registry.h"
 #include "shard/transport.h"
@@ -69,12 +68,13 @@ class WorkerLane {
   /// stopped lane — or when the queue is at its depth cap — the future
   /// is immediately ready with a retryable kUnavailable Error (the
   /// latter is a load shed: nothing was enqueued, try again later).
-  std::future<Result<json::Json>> Submit(json::Json request);
+  std::future<Result<json::Json>> Submit(json::Json request)
+      EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and the executor is idle. Only
   /// meaningful while the caller prevents new submissions (by closing
   /// the router's placement gate for this worker); see the file comment.
-  void Quiesce();
+  void Quiesce() EXCLUDES(mutex_);
 
   /// Caller-runs fast path: atomically claims an idle lane (no queued
   /// jobs, nothing in flight, not stopped). On success the caller owns
@@ -89,12 +89,12 @@ class WorkerLane {
   /// `elapsedNs` is the direct call's wall time; EndDirect folds it into
   /// the same dispatch metrics the executor records, so fleet accounting
   /// (requests, dispatchUs, dispatched) is path-independent.
-  bool TryBeginDirect();
-  void EndDirect(std::uint64_t elapsedNs = 0);
+  [[nodiscard]] bool TryBeginDirect() EXCLUDES(mutex_);
+  void EndDirect(std::uint64_t elapsedNs = 0) EXCLUDES(mutex_);
 
   /// Terminates the executor. Requests still queued are answered with an
   /// error response. Idempotent.
-  void Stop();
+  void Stop() EXCLUDES(mutex_);
 
   /// The lane's transport, for fleet operations acting under the quiesce
   /// barrier (and for Describe()/LocalServer() introspection, which is
@@ -119,16 +119,19 @@ class WorkerLane {
     std::uint64_t enqueuedNs = 0;
   };
 
-  void Run();
+  void Run() EXCLUDES(mutex_);
 
   std::shared_ptr<WorkerTransport> transport_;
-  std::mutex mutex_;
-  std::condition_variable wake_;  ///< signals the executor thread
-  std::condition_variable idle_;  ///< signals Quiesce() waiters
-  std::deque<Job> queue_;
+  Mutex mutex_;
+  CondVar wake_;  ///< signals the executor thread
+  CondVar idle_;  ///< signals Quiesce() waiters
+  std::deque<Job> queue_ GUARDED_BY(mutex_);
   const std::size_t maxQueueDepth_;
-  bool busy_ = false;
-  bool stopped_ = false;
+  /// The lane-ownership flag: set while the executor runs a batch or a
+  /// caller-runs direct call owns the transport. The release-busy-before-
+  /// promise ordering in Run() is part of the protocol — see there.
+  bool busy_ GUARDED_BY(mutex_) = false;
+  bool stopped_ GUARDED_BY(mutex_) = false;
 
   // Lane load, readable without the lane mutex (workerStats must not
   // block behind a minute-long `run` holding the executor busy).

@@ -67,17 +67,17 @@ ShardRouter::ShardRouter(const Options& options)
 }
 
 std::size_t ShardRouter::workerCount() const {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  MutexLock lock(fleetMutex_);
   return workers_.size();
 }
 
 std::size_t ShardRouter::sessionCount() const {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  MutexLock lock(fleetMutex_);
   return placements_.size();
 }
 
 server::SimServer* ShardRouter::workerServer(std::size_t index) {
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  MutexLock lock(fleetMutex_);
   if (index >= workers_.size() || workers_[index] == nullptr) return nullptr;
   return workers_[index]->LocalServer();
 }
@@ -99,7 +99,7 @@ json::Json ShardRouter::CallViaLane(std::size_t worker,
   std::future<Result<json::Json>> pending;
   std::shared_ptr<WorkerTransport> direct;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     if (!IsLive(worker)) {
       return RouterError(ErrorKind::kUnavailable,
                          "worker " + std::to_string(worker) + " was removed");
@@ -124,7 +124,7 @@ json::Json ShardRouter::CallViaLane(std::size_t worker,
       // EndDirect under the fleet mutex: RemoveWorker destroys a lane
       // only with this mutex held, after Quiesce() — which our claim
       // blocks — so the lane cannot disappear mid-release.
-      std::lock_guard<std::mutex> lock(fleetMutex_);
+      MutexLock lock(fleetMutex_);
       lanes_[worker]->EndDirect(obs::MonotonicNowNs() - startNs);
     }
     if (!response.ok()) {
@@ -143,7 +143,7 @@ json::Json ShardRouter::CallWorkerDirect(std::size_t worker,
                                          const json::Json& request) {
   std::shared_ptr<WorkerTransport> transport;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     if (!IsLive(worker)) {
       return RouterError(ErrorKind::kUnavailable,
                          "worker " + std::to_string(worker) + " was removed");
@@ -157,24 +157,28 @@ json::Json ShardRouter::CallWorkerDirect(std::size_t worker,
   return std::move(response).value();
 }
 
-void ShardRouter::CloseGate(std::size_t index) {
-  std::unique_lock<std::mutex> lock(fleetMutex_);
+WorkerLane* ShardRouter::CloseGate(std::size_t index) {
+  MutexLock lock(fleetMutex_);
   gated_[index] = true;
   // An admission already submitted to this worker's lane finishes its
   // round trip and records its placement from the admitting thread;
   // wait it out so the drain below starts from a placement map that
   // includes every session the (about to be quiesced) lane produced.
-  intentsClear_.wait(lock, [&] {
-    return admissionIntents_.find(index) == admissionIntents_.end();
-  });
+  while (admissionIntents_.find(index) != admissionIntents_.end()) {
+    intentsClear_.Wait(fleetMutex_);
+  }
+  // Handing the lane out of the mutex section is safe: only RemoveWorker
+  // destroys a lane, fleet operations serialize on fleetOpMutex_ (held by
+  // our caller), and the closed gate keeps new submissions out.
+  return lanes_[index].get();
 }
 
 void ShardRouter::OpenGate(std::size_t index) {
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     gated_[index] = false;
   }
-  gateOpen_.notify_all();
+  gateOpen_.NotifyAll();
 }
 
 json::Json ShardRouter::Dispatch(const json::Json& request) {
@@ -238,7 +242,7 @@ json::Json ShardRouter::StatelessCommand(const json::Json& request) {
   for (std::size_t i = 0;; ++i) {
     std::future<Result<json::Json>> pending;
     {
-      std::lock_guard<std::mutex> lock(fleetMutex_);
+      MutexLock lock(fleetMutex_);
       if (i >= workers_.size()) break;
       if (!IsLive(i) || gated_[i]) continue;
       // Submit *under* the mutex — the quiesce barrier's contract is
@@ -285,7 +289,7 @@ json::Json ShardRouter::AdmitSession(const json::Json& request) {
   std::size_t worker = 0;
   std::future<Result<json::Json>> pending;
   {
-    std::unique_lock<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     globalId = nextGlobalId_++;
     while (true) {
       auto placed = PlaceNew(globalId);
@@ -294,7 +298,7 @@ json::Json ShardRouter::AdmitSession(const json::Json& request) {
       if (!gated_[worker]) break;
       // The ring picked a worker a fleet operation currently owns; wait
       // for the gate and re-place (eligibility may have changed).
-      gateOpen_.wait(lock);
+      gateOpen_.Wait(fleetMutex_);
     }
     ++admissionIntents_[worker];
     pending = lanes_[worker]->Submit(request);
@@ -306,7 +310,7 @@ json::Json ShardRouter::AdmitSession(const json::Json& request) {
                             : server::MakeErrorResponse(result.error());
   const bool admitted = IsOk(response);
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     auto intent = admissionIntents_.find(worker);
     if (intent != admissionIntents_.end() && --intent->second == 0) {
       admissionIntents_.erase(intent);
@@ -316,7 +320,7 @@ json::Json ShardRouter::AdmitSession(const json::Json& request) {
           Placement{worker, response.GetInt("sessionId", -1)};
     }
   }
-  intentsClear_.notify_all();
+  intentsClear_.NotifyAll();
   if (!admitted) return response;
   static obs::Counter& admissions =
       obs::Registry::Instance().GetCounter("shard.router.admissions");
@@ -334,7 +338,7 @@ json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
   std::shared_ptr<WorkerTransport> direct;
   json::Json forwarded;
   {
-    std::unique_lock<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     while (true) {
       auto it = placements_.find(globalId);
       if (it == placements_.end()) {
@@ -372,7 +376,7 @@ json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
       // removal in progress): wait for the gate and re-resolve — the
       // session may have moved to a different worker meanwhile. Only
       // traffic aimed at the gated worker blocks here.
-      gateOpen_.wait(lock);
+      gateOpen_.Wait(fleetMutex_);
     }
   }
   auto result = [&]() -> Result<json::Json> {
@@ -385,7 +389,7 @@ json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
     {
       // See CallViaLane: releasing under the fleet mutex keeps the lane
       // alive until EndDirect has fully returned.
-      std::lock_guard<std::mutex> lock(fleetMutex_);
+      MutexLock lock(fleetMutex_);
       lanes_[worker]->EndDirect(obs::MonotonicNowNs() - startNs);
     }
     return answer;
@@ -400,7 +404,7 @@ json::Json ShardRouter::RouteSessionCommand(const json::Json& request) {
     // between our worker-side delete and this erase sees a placement for
     // a session that no longer exists — its export fails and MoveSession
     // re-checks the map, reporting the session skipped, not lost.
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     auto it = placements_.find(globalId);
     if (it != placements_.end() && it->second.worker == worker) {
       placements_.erase(it);
@@ -430,12 +434,12 @@ json::Json ShardRouter::ListSessions() {
   // (it would not have been part of any serial order either). Worker
   // queries fan out to every lane before any response is awaited, so the
   // fleet enumerates in parallel.
-  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  MutexLock opLock(fleetOpMutex_);
   std::size_t slots = 0;
   std::map<std::int64_t, Placement> placements;
   std::vector<std::future<Result<json::Json>>> pending;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     slots = workers_.size();
     placements = placements_;
     pending = FanOutListSessions();
@@ -516,7 +520,7 @@ ShardRouter::FleetLoads ShardRouter::ProbeLoads(std::size_t skip) {
   FleetLoads loads;
   std::vector<std::future<Result<json::Json>>> pending;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     loads.bytes.assign(workers_.size(), 0);
     loads.reachable.assign(workers_.size(), false);
     pending = FanOutListSessions(skip);
@@ -532,7 +536,7 @@ ShardRouter::FleetLoads ShardRouter::ProbeLoads(std::size_t skip) {
 }
 
 json::Json ShardRouter::WorkerStats() {
-  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  MutexLock opLock(fleetOpMutex_);
   // Everything a worker entry needs, snapshotted under the fleet mutex
   // so the probe responses can be awaited without it: stats must not
   // block routing behind a minute-long `run` occupying some lane.
@@ -546,7 +550,7 @@ json::Json ShardRouter::WorkerStats() {
   std::vector<Slot> slots;
   std::vector<std::future<Result<json::Json>>> pending;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     slots.resize(workers_.size());
     // Snapshot lane load *before* fanning out the listSessions probes:
     // the probes ride the very lanes being measured, so sampling
@@ -606,7 +610,7 @@ json::Json ShardRouter::WorkerStats() {
 }
 
 json::Json ShardRouter::Metrics(const json::Json& request) {
-  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  MutexLock opLock(fleetOpMutex_);
   // Start from this process's registry: router counters, lane and
   // transport histograms — and every in-process worker's server metrics,
   // which land in the same registry (the whole point of a process-wide
@@ -625,7 +629,7 @@ json::Json ShardRouter::Metrics(const json::Json& request) {
   std::vector<Slot> slots;
   std::vector<std::future<Result<json::Json>>> pending;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     slots.resize(workers_.size());
     pending.resize(workers_.size());
     // Fan out to every socket worker before awaiting any response — the
@@ -682,13 +686,13 @@ json::Json ShardRouter::Metrics(const json::Json& request) {
 }
 
 json::Json ShardRouter::TraceDump() {
-  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  MutexLock opLock(fleetOpMutex_);
   json::Json traceRequest = json::Json::MakeObject();
   traceRequest.Set("command", "traceDump");
   std::vector<std::string> transports;
   std::vector<std::future<Result<json::Json>>> pending;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     transports.resize(workers_.size());
     pending.resize(workers_.size());
     for (std::size_t i = 0; i < workers_.size(); ++i) {
@@ -730,7 +734,7 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
                                 std::uint64_t* movedBytes, bool* skipped) {
   Placement source;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     auto it = placements_.find(globalId);
     if (it == placements_.end()) {
       // Deleted by a client whose request was already queued when the
@@ -749,7 +753,7 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
   // answer costs at most one fallback round trip below.
   bool deltaExport = false;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     deltaExport = options_.deltaBlobs && IsLive(destination) &&
                   workers_[destination]->SupportsDeltaBlobs();
   }
@@ -771,7 +775,7 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
       // its placement) at any point after our snapshot above; if the
       // placement is gone now, the failed export was that delete, not a
       // lost session.
-      std::lock_guard<std::mutex> lock(fleetMutex_);
+      MutexLock lock(fleetMutex_);
       if (placements_.find(globalId) == placements_.end()) {
         if (skipped != nullptr) *skipped = true;
         return Status::Ok();
@@ -854,7 +858,7 @@ Status ShardRouter::MoveSession(std::int64_t globalId, std::size_t destination,
   }
 
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     placements_[globalId] =
         Placement{destination, imported.GetInt("sessionId", -1)};
   }
@@ -880,7 +884,7 @@ std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
   std::vector<Victim> toMove;
   std::vector<bool> eligible;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     for (const auto& [globalId, placement] : placements_) {
       if (placement.worker == index) {
         toMove.push_back(Victim{globalId, placement.localId});
@@ -951,11 +955,11 @@ std::vector<std::int64_t> ShardRouter::DrainSessions(std::size_t index,
 }
 
 json::Json ShardRouter::DrainWorker(const json::Json& request) {
-  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  MutexLock opLock(fleetOpMutex_);
   const std::int64_t worker = request.GetInt("worker", -1);
   std::size_t index = 0;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
         !IsLive(static_cast<std::size_t>(worker))) {
       return RouterError(ErrorKind::kInvalidArgument,
@@ -968,7 +972,7 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
     drained_[index] = true;
   }
   obs::ScopedSpan span("fleet", "drainWorker");
-  CloseGate(index);
+  WorkerLane* lane = CloseGate(index);
   {
     // The quiesce barrier: wait out any request already in the worker's
     // lane (an in-flight `run` completes; its client gets a normal
@@ -977,7 +981,7 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
     // — traffic for every other worker flows the whole time.
     obs::ScopedSpan quiesceSpan("fleet", "quiesce");
     quiesceSpan.SetDetail(StrFormat("worker=%zu", index));
-    lanes_[index]->Quiesce();
+    lane->Quiesce();
   }
 
   json::Json response = json::Json::MakeObject();
@@ -1006,8 +1010,8 @@ json::Json ShardRouter::DrainWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::OpenWorker(const json::Json& request) {
-  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
-  std::lock_guard<std::mutex> lock(fleetMutex_);
+  MutexLock opLock(fleetOpMutex_);
+  MutexLock lock(fleetMutex_);
   const std::int64_t worker = request.GetInt("worker", -1);
   if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
       !IsLive(static_cast<std::size_t>(worker))) {
@@ -1019,11 +1023,16 @@ json::Json ShardRouter::OpenWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::AddWorker(const json::Json& request) {
-  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  MutexLock opLock(fleetOpMutex_);
   obs::ScopedSpan span("fleet", "addWorker");
-  // The slot index is stable without the fleet mutex: only fleet
-  // operations grow the vectors, and they serialize on fleetOpMutex_.
-  const std::size_t index = workers_.size();
+  // The slot index cannot shift under us — only fleet operations grow the
+  // vectors and they serialize on fleetOpMutex_ — but the read itself
+  // still takes the fleet mutex (concurrent routing reads the vectors).
+  std::size_t index = 0;
+  {
+    MutexLock lock(fleetMutex_);
+    index = workers_.size();
+  }
   Result<std::shared_ptr<WorkerTransport>> transport = [&]()
       -> Result<std::shared_ptr<WorkerTransport>> {
     const std::string address = request.GetString("address", "");
@@ -1052,7 +1061,7 @@ json::Json ShardRouter::AddWorker(const json::Json& request) {
 
   std::string describe;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     workers_.push_back(std::move(transport).value());
     lanes_.push_back(std::make_unique<WorkerLane>(
         workers_.back(), options_.maxLaneQueueDepth));
@@ -1071,12 +1080,16 @@ json::Json ShardRouter::AddWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::RemoveWorker(const json::Json& request) {
-  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  MutexLock opLock(fleetOpMutex_);
   const std::int64_t worker = request.GetInt("worker", -1);
   const bool force = request.GetBool("force", false);
   std::size_t index = 0;
+  // Snapshotted under the fleet mutex; the shared_ptr keeps the transport
+  // alive for the unlocked shutdown round trip below even after the slot
+  // is nulled out.
+  std::shared_ptr<WorkerTransport> transport;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     if (worker < 0 || worker >= static_cast<std::int64_t>(workers_.size()) ||
         !IsLive(static_cast<std::size_t>(worker))) {
       return RouterError(ErrorKind::kInvalidArgument,
@@ -1084,13 +1097,14 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
     }
     index = static_cast<std::size_t>(worker);
     drained_[index] = true;
+    transport = workers_[index];
   }
   obs::ScopedSpan span("fleet", "removeWorker");
-  CloseGate(index);
+  WorkerLane* lane = CloseGate(index);
   {
     obs::ScopedSpan quiesceSpan("fleet", "quiesce");
     quiesceSpan.SetDetail(StrFormat("worker=%zu", index));
-    lanes_[index]->Quiesce();
+    lane->Quiesce();
   }
 
   json::Json response = json::Json::MakeObject();
@@ -1127,16 +1141,16 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
   // with their transport. A worker the drain already proved dead gets no
   // shutdown round trip — it could only burn the connect timeout. The
   // lane is quiesced behind the closed gate, so the shutdown goes
-  // straight down the transport, unlocked.
-  const bool processWorker = workers_[index]->LocalServer() == nullptr;
-  const std::string address = workers_[index]->Describe();
+  // straight down the (snapshotted) transport, unlocked.
+  const bool processWorker = transport->LocalServer() == nullptr;
+  const std::string address = transport->Describe();
   if (processWorker && sourceReachable) {
     json::Json shutdown = json::Json::MakeObject();
     shutdown.Set("command", "shutdownWorker");
-    (void)workers_[index]->Call(shutdown);
+    (void)transport->Call(shutdown);
   }
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     for (const std::int64_t globalId : failedIds) {
       // force: the operator accepted the loss (dead process, corrupt
       // session). Drop the placement so the id stops routing to a ghost,
@@ -1161,7 +1175,7 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
   }
   // Waiters blocked on this worker's gate re-resolve: moved sessions
   // route to their new homes, stragglers get "worker was removed".
-  gateOpen_.notify_all();
+  gateOpen_.NotifyAll();
 
   response.Set("status", "ok");
   response.Set("removed", true);
@@ -1170,13 +1184,13 @@ json::Json ShardRouter::RemoveWorker(const json::Json& request) {
 }
 
 json::Json ShardRouter::Rebalance() {
-  std::lock_guard<std::mutex> opLock(fleetOpMutex_);
+  MutexLock opLock(fleetOpMutex_);
   obs::ScopedSpan span("fleet", "rebalance");
   FleetLoads fleet = ProbeLoads();
   std::vector<bool> eligible;
   std::size_t maxMoves = 0;
   {
-    std::lock_guard<std::mutex> lock(fleetMutex_);
+    MutexLock lock(fleetMutex_);
     eligible = Eligible();
     maxMoves = placements_.size();
   }
@@ -1235,8 +1249,7 @@ json::Json ShardRouter::Rebalance() {
     // exported — the same gate-and-quiesce barrier drain takes, per
     // iteration because `most` changes as loads even out. Only traffic
     // for `most` waits; idle lanes make the quiesce itself free.
-    CloseGate(most);
-    lanes_[most]->Quiesce();
+    CloseGate(most)->Quiesce();
 
     // Smallest session on the most loaded worker (ties -> lowest global
     // id): smallest first avoids overshooting the mean.
@@ -1247,7 +1260,7 @@ json::Json ShardRouter::Rebalance() {
     std::int64_t candidate = -1;
     std::int64_t candidateBytes = std::numeric_limits<std::int64_t>::max();
     {
-      std::lock_guard<std::mutex> lock(fleetMutex_);
+      MutexLock lock(fleetMutex_);
       for (const auto& [globalId, placement] : placements_) {
         if (placement.worker != most) continue;
         auto found = localIndex.find(placement.localId);

@@ -100,17 +100,16 @@
 // placements start landing there.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.h"
 #include "json/json.h"
 #include "server/api.h"
 #include "shard/lane.h"
@@ -185,8 +184,8 @@ class ShardRouter {
 
   /// Fleet slots ever created (including removed ones; their entries stay
   /// so worker indices are stable).
-  std::size_t workerCount() const;
-  std::size_t sessionCount() const;
+  std::size_t workerCount() const EXCLUDES(fleetMutex_);
+  std::size_t sessionCount() const EXCLUDES(fleetMutex_);
 
   /// The in-process SimServer behind worker `index`, or nullptr when the
   /// slot is removed or lives behind a socket. For tests and embedders;
@@ -195,7 +194,7 @@ class ShardRouter {
   /// export and reports it. Calling into the returned server while other
   /// threads route requests to it is a data race; single-threaded tests
   /// only.
-  server::SimServer* workerServer(std::size_t index);
+  server::SimServer* workerServer(std::size_t index) EXCLUDES(fleetMutex_);
 
  private:
   /// Where one global session lives.
@@ -225,38 +224,53 @@ class ShardRouter {
 
   /// One request through worker's lane: submit under a brief fleet mutex
   /// section, wait unlocked. Transport failures become error JSON.
-  json::Json CallViaLane(std::size_t worker, const json::Json& request);
+  json::Json CallViaLane(std::size_t worker, const json::Json& request)
+      EXCLUDES(fleetMutex_);
   /// One request straight down the transport, bypassing the lane. Only
   /// for workers whose lane is quiesced behind a closed gate (fleet ops)
   /// or not yet built (addWorker's probe).
-  json::Json CallWorkerDirect(std::size_t worker, const json::Json& request);
+  json::Json CallWorkerDirect(std::size_t worker, const json::Json& request)
+      EXCLUDES(fleetMutex_);
 
   /// Closes worker `index`'s placement gate and waits for its in-flight
-  /// admission intents to clear; expects fleetOpMutex_ held (gates are
-  /// only ever closed by fleet operations). After CloseGate the caller
-  /// quiesces the lane and owns the worker until OpenGate.
-  void CloseGate(std::size_t index);
-  void OpenGate(std::size_t index);
+  /// admission intents to clear; gates are only ever closed by fleet
+  /// operations, hence REQUIRES(fleetOpMutex_). Returns the worker's lane
+  /// — fetched under the fleet mutex — so the caller can quiesce it
+  /// without re-locking; the pointer stays valid until OpenGate because
+  /// only RemoveWorker destroys lanes and fleet operations serialize on
+  /// fleetOpMutex_. After CloseGate the caller quiesces the lane and owns
+  /// the worker until OpenGate.
+  WorkerLane* CloseGate(std::size_t index)
+      REQUIRES(fleetOpMutex_) EXCLUDES(fleetMutex_);
+  void OpenGate(std::size_t index)
+      REQUIRES(fleetOpMutex_) EXCLUDES(fleetMutex_);
 
-  json::Json RouteSessionCommand(const json::Json& request);  // locks itself
-  json::Json StatelessCommand(const json::Json& request);     // locks itself
+  json::Json RouteSessionCommand(const json::Json& request)
+      EXCLUDES(fleetMutex_);
+  json::Json StatelessCommand(const json::Json& request)
+      EXCLUDES(fleetMutex_);
   /// The fleet metrics view: this process's obs registry (router, lanes,
   /// transports and any in-process workers) merged with every socket
   /// worker's `metrics` response — sum counters, merge histogram buckets,
   /// max gauges — plus a per-worker breakdown.
-  json::Json Metrics(const json::Json& request);              // locks itself
+  json::Json Metrics(const json::Json& request)
+      EXCLUDES(fleetOpMutex_, fleetMutex_);
   /// The router's span ring plus each socket worker's, for post-hoc "why
   /// was that drain slow" forensics.
-  json::Json TraceDump();                                     // locks itself
+  json::Json TraceDump() EXCLUDES(fleetOpMutex_, fleetMutex_);
   /// createSession / importSession: place on the ring and forward.
-  json::Json AdmitSession(const json::Json& request);         // locks itself
-  json::Json ListSessions();                                  // locks itself
-  json::Json WorkerStats();                                   // locks itself
-  json::Json DrainWorker(const json::Json& request);          // locks itself
-  json::Json OpenWorker(const json::Json& request);           // locks itself
-  json::Json AddWorker(const json::Json& request);            // locks itself
-  json::Json RemoveWorker(const json::Json& request);         // locks itself
-  json::Json Rebalance();                                     // locks itself
+  json::Json AdmitSession(const json::Json& request) EXCLUDES(fleetMutex_);
+  json::Json ListSessions() EXCLUDES(fleetOpMutex_, fleetMutex_);
+  json::Json WorkerStats() EXCLUDES(fleetOpMutex_, fleetMutex_);
+  json::Json DrainWorker(const json::Json& request)
+      EXCLUDES(fleetOpMutex_, fleetMutex_);
+  json::Json OpenWorker(const json::Json& request)
+      EXCLUDES(fleetOpMutex_, fleetMutex_);
+  json::Json AddWorker(const json::Json& request)
+      EXCLUDES(fleetOpMutex_, fleetMutex_);
+  json::Json RemoveWorker(const json::Json& request)
+      EXCLUDES(fleetOpMutex_, fleetMutex_);
+  json::Json Rebalance() EXCLUDES(fleetOpMutex_, fleetMutex_);
 
   /// The drain loop shared by drainWorker and removeWorker: moves every
   /// session off `index` — whose gate the caller has closed and whose
@@ -267,7 +281,8 @@ class ShardRouter {
   /// could only time out.
   std::vector<std::int64_t> DrainSessions(std::size_t index,
                                           json::Json& response,
-                                          bool* sourceReachable = nullptr);
+                                          bool* sourceReachable = nullptr)
+      EXCLUDES(fleetMutex_);
 
   /// Moves one session to `destination` (export -> import -> delete
   /// source). The source worker's gate must be closed and its lane
@@ -277,7 +292,8 @@ class ShardRouter {
   /// request was already queued when the gate closed) sets `*skipped`
   /// and reports success without moving anything.
   Status MoveSession(std::int64_t globalId, std::size_t destination,
-                     std::uint64_t* movedBytes, bool* skipped = nullptr);
+                     std::uint64_t* movedBytes, bool* skipped = nullptr)
+      EXCLUDES(fleetMutex_);
 
   /// localId -> session node of a worker's listSessions response; the
   /// pointers borrow from the response, which must outlive the index.
@@ -294,61 +310,64 @@ class ShardRouter {
   /// slot (invalid where nothing was submitted). Expects fleetMutex_
   /// held for the submissions; the caller awaits unlocked.
   std::vector<std::future<Result<json::Json>>> FanOutListSessions(
-      std::size_t skip = static_cast<std::size_t>(-1));
+      std::size_t skip = static_cast<std::size_t>(-1)) REQUIRES(fleetMutex_);
   /// `skip` (if valid) is reported unreachable without being probed —
   /// drain uses it for the quiesced source worker, which must not be
   /// handed new lane work while the barrier holds. Locks itself.
-  FleetLoads ProbeLoads(std::size_t skip = static_cast<std::size_t>(-1));
-  /// Workers admitting new sessions (live and not drained). Expects
-  /// fleetMutex_ held.
-  std::vector<bool> Eligible() const;
-  bool IsLive(std::size_t worker) const {
+  FleetLoads ProbeLoads(std::size_t skip = static_cast<std::size_t>(-1))
+      EXCLUDES(fleetMutex_);
+  /// Workers admitting new sessions (live and not drained).
+  std::vector<bool> Eligible() const REQUIRES(fleetMutex_);
+  bool IsLive(std::size_t worker) const REQUIRES(fleetMutex_) {
     return worker < workers_.size() && workers_[worker] != nullptr;
   }
   /// Placement for a new session id; error when every worker is drained.
-  /// Expects fleetMutex_ held.
-  Result<std::size_t> PlaceNew(std::int64_t globalId);
+  Result<std::size_t> PlaceNew(std::int64_t globalId) REQUIRES(fleetMutex_);
   /// Builds the transport for slot `worker` from the factory/default.
   /// (No lock needed; touches only options_.)
   Result<std::shared_ptr<WorkerTransport>> MakeTransport(
       std::size_t worker, const server::SimServer::Limits& limits);
 
   Options options_;
+  /// Guards every mutable member below. Lane threads never take it, and
+  /// no worker round trip is awaited while it is held. (Declared before
+  /// fleetOpMutex_ only so ACQUIRED_BEFORE can name it; the lock *order*
+  /// is fleetOpMutex_ first.)
+  mutable Mutex fleetMutex_;
   /// Serializes fleet operations (drain/rebalance/add/remove/open and
   /// the stats/list/metrics/trace snapshots) against each other without
-  /// blocking routing. Lock order: always before fleetMutex_, and every
-  /// mutation of the fleet topology (workers_/lanes_/ring_ growth or
-  /// removal) happens with *both* held.
-  std::mutex fleetOpMutex_;
-  /// Guards every mutable member below. Lane threads never take it, and
-  /// no worker round trip is awaited while it is held.
-  mutable std::mutex fleetMutex_;
-  HashRing ring_;
-  std::vector<std::shared_ptr<WorkerTransport>> workers_;
+  /// blocking routing. Lock order: always before fleetMutex_ (the
+  /// ACQUIRED_BEFORE below), and every mutation of the fleet topology
+  /// (workers_/lanes_/ring_ growth or removal) happens with *both* held.
+  Mutex fleetOpMutex_ ACQUIRED_BEFORE(fleetMutex_);
+  HashRing ring_ GUARDED_BY(fleetMutex_);
+  std::vector<std::shared_ptr<WorkerTransport>> workers_
+      GUARDED_BY(fleetMutex_);
   /// Dispatch lane per slot, parallel to workers_ (nullptr when removed).
   /// Dispatchers block on a Submit()'s future after releasing the fleet
   /// mutex without keeping the lane alive — that is safe because a
   /// promise's shared state outlives the lane, and RemoveWorker resolves
   /// every job before destroying one (quiesce under the held mutex, then
   /// Stop answers any straggler): no future is ever abandoned.
-  std::vector<std::unique_ptr<WorkerLane>> lanes_;
-  std::vector<bool> drained_;
+  std::vector<std::unique_ptr<WorkerLane>> lanes_ GUARDED_BY(fleetMutex_);
+  std::vector<bool> drained_ GUARDED_BY(fleetMutex_);
   /// Per-worker placement gate: true while a fleet operation owns the
   /// worker (quiesced lane, sessions in motion). Submissions aimed at a
   /// gated worker wait on gateOpen_ and re-resolve their placement.
-  std::vector<bool> gated_;
-  std::condition_variable gateOpen_;
+  std::vector<bool> gated_ GUARDED_BY(fleetMutex_);
+  CondVar gateOpen_;
   /// In-flight admission intents per worker: incremented (under
   /// fleetMutex_) when an admission is submitted to the worker's lane,
   /// cleared after its placement is finalized. CloseGate waits on
   /// intentsClear_ so a drain never misses an admitted-but-unrecorded
   /// session.
-  std::map<std::size_t, std::size_t> admissionIntents_;
-  std::condition_variable intentsClear_;
+  std::map<std::size_t, std::size_t> admissionIntents_
+      GUARDED_BY(fleetMutex_);
+  CondVar intentsClear_;
   /// Construction errors of slots whose factory failed, by worker index.
-  std::map<std::size_t, std::string> slotErrors_;
-  std::map<std::int64_t, Placement> placements_;
-  std::int64_t nextGlobalId_ = 1;
+  std::map<std::size_t, std::string> slotErrors_ GUARDED_BY(fleetMutex_);
+  std::map<std::int64_t, Placement> placements_ GUARDED_BY(fleetMutex_);
+  std::int64_t nextGlobalId_ GUARDED_BY(fleetMutex_) = 1;
 };
 
 }  // namespace rvss::shard

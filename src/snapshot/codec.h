@@ -91,16 +91,16 @@ struct DecodeInfo {
 /// FNV-1a over the canonical JSON dump of `config` with checkpoint
 /// settings and the display name normalized to defaults (they do not shape
 /// simulation state).
-std::uint64_t ConfigHash(const config::CpuConfig& config);
+[[nodiscard]] std::uint64_t ConfigHash(const config::CpuConfig& config);
 
 /// FNV-1a over the program's instructions, entry point and data image.
-std::uint64_t ProgramHash(const assembler::Program& program);
+[[nodiscard]] std::uint64_t ProgramHash(const assembler::Program& program);
 
 /// Serializes a snapshot. The context must describe the simulation the
 /// snapshot came from.
-std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
+[[nodiscard]] std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
                            const CodecContext& context);
-std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
+[[nodiscard]] std::string EncodeSnapshot(const core::SimSnapshot& snapshot,
                            const CodecContext& context,
                            const EncodeOptions& options);
 

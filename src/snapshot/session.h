@@ -53,9 +53,9 @@ struct SessionBlobOptions {
 };
 
 /// Serializes identity + current state into a compressed binary blob.
-std::string EncodeSessionBlob(const core::Simulation& sim,
+[[nodiscard]] std::string EncodeSessionBlob(const core::Simulation& sim,
                               const SessionIdentity& identity);
-std::string EncodeSessionBlob(const core::Simulation& sim,
+[[nodiscard]] std::string EncodeSessionBlob(const core::Simulation& sim,
                               const SessionIdentity& identity,
                               const SessionBlobOptions& options);
 

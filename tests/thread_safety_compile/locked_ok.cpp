@@ -1,0 +1,28 @@
+// Positive twin of unlocked_bad.cpp: the same guarded access, correctly
+// locked. Compiled with -fsyntax-only -Werror=thread-safety; must
+// succeed, establishing that a failure of unlocked_bad.cpp comes from
+// the mis-lock and not from an unrelated breakage in the fixture.
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mutex_) {
+    rvss::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+ private:
+  rvss::Mutex mutex_;
+  int balance_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

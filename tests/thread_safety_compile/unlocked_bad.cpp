@@ -1,0 +1,28 @@
+// Negative-compile fixture: writes a GUARDED_BY field without holding
+// its mutex. Registered in CTest with WILL_FAIL — if this file ever
+// *compiles* under clang -Werror=thread-safety, the annotations have
+// stopped being enforced (macro regression, flag dropped from the
+// toolchain, analysis disabled) and the test suite fails.
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mutex_) {
+    balance_ += amount;  // mis-locked on purpose: mutex_ not held
+  }
+
+ private:
+  rvss::Mutex mutex_;
+  int balance_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}
